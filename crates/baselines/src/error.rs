@@ -1,0 +1,62 @@
+//! Error type shared by the baseline flows.
+
+use std::error::Error;
+use std::fmt;
+
+/// Failure modes of the baseline methods, matching the footnotes of
+/// Table 2.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BaselineError {
+    /// Note (1): the method is restricted to distributive specifications.
+    NonDistributive {
+        /// Names of the non-input signals with detonant states.
+        signals: Vec<String>,
+    },
+    /// Note (2): some excitation region admits no single monotonous cube, so
+    /// state signals would have to be inserted first.
+    NeedsStateSignals {
+        /// The signal whose region is not coverable.
+        signal: String,
+    },
+    /// The specification fails Complete State Coding (all methods need it).
+    Csc {
+        /// Number of violating state pairs.
+        violations: usize,
+    },
+    /// The specification is not semi-modular with input choices.
+    NotSemiModular {
+        /// Number of failing diamonds.
+        violations: usize,
+    },
+    /// Netlist timing failed (never for covers produced here).
+    Timing(nshot_netlist::TimingError),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::NonDistributive { signals } => {
+                write!(f, "non-distributive specification (signals: {})", signals.join(", "))
+            }
+            BaselineError::NeedsStateSignals { signal } => {
+                write!(f, "signal '{signal}' needs additional state signals")
+            }
+            BaselineError::Csc { violations } => {
+                write!(f, "complete state coding violated ({violations} pairs)")
+            }
+            BaselineError::NotSemiModular { violations } => {
+                write!(f, "not semi-modular ({violations} diamonds)")
+            }
+            BaselineError::Timing(e) => write!(f, "timing analysis failed: {e}"),
+        }
+    }
+}
+
+impl Error for BaselineError {}
+
+impl From<nshot_netlist::TimingError> for BaselineError {
+    fn from(e: nshot_netlist::TimingError) -> Self {
+        BaselineError::Timing(e)
+    }
+}

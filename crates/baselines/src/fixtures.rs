@@ -1,0 +1,85 @@
+//! Test fixtures shared by the baseline tests.
+
+use nshot_sg::{SgBuilder, SignalKind, StateGraph};
+
+/// Four-state request/grant handshake.
+pub(crate) fn handshake() -> StateGraph {
+    let mut b = SgBuilder::named("handshake");
+    let r = b.signal("r", SignalKind::Input);
+    let g = b.signal("g", SignalKind::Output);
+    b.edge_codes(0b00, (r, true), 0b01).unwrap();
+    b.edge_codes(0b01, (g, true), 0b11).unwrap();
+    b.edge_codes(0b11, (r, false), 0b10).unwrap();
+    b.edge_codes(0b10, (g, false), 0b00).unwrap();
+    b.build(0b00).unwrap()
+}
+
+/// Non-distributive Figure 1 behaviour with CSC (phase signal `d`).
+pub(crate) fn figure1_csc() -> StateGraph {
+    let mut b = SgBuilder::named("figure1-csc");
+    let a = b.signal("a", SignalKind::Input);
+    let bb = b.signal("b", SignalKind::Input);
+    let c = b.signal("c", SignalKind::Output);
+    let d = b.signal("d", SignalKind::Internal);
+    b.edge_codes(0b0000, (a, true), 0b0001).unwrap();
+    b.edge_codes(0b0000, (bb, true), 0b0010).unwrap();
+    b.edge_codes(0b0001, (bb, true), 0b0011).unwrap();
+    b.edge_codes(0b0010, (a, true), 0b0011).unwrap();
+    b.edge_codes(0b0001, (c, true), 0b0101).unwrap();
+    b.edge_codes(0b0010, (c, true), 0b0110).unwrap();
+    b.edge_codes(0b0011, (c, true), 0b0111).unwrap();
+    b.edge_codes(0b0101, (bb, true), 0b0111).unwrap();
+    b.edge_codes(0b0110, (a, true), 0b0111).unwrap();
+    b.edge_codes(0b0111, (d, true), 0b1111).unwrap();
+    b.edge_codes(0b1111, (a, false), 0b1110).unwrap();
+    b.edge_codes(0b1111, (bb, false), 0b1101).unwrap();
+    b.edge_codes(0b1110, (bb, false), 0b1100).unwrap();
+    b.edge_codes(0b1110, (c, false), 0b1010).unwrap();
+    b.edge_codes(0b1101, (a, false), 0b1100).unwrap();
+    b.edge_codes(0b1101, (c, false), 0b1001).unwrap();
+    b.edge_codes(0b1100, (c, false), 0b1000).unwrap();
+    b.edge_codes(0b1010, (bb, false), 0b1000).unwrap();
+    b.edge_codes(0b1001, (a, false), 0b1000).unwrap();
+    b.edge_codes(0b1000, (d, false), 0b0000).unwrap();
+    b.build(0b0000).unwrap()
+}
+
+/// Two interleaved request/grant handshakes.
+pub(crate) fn parallel_handshakes() -> StateGraph {
+    let mut b = SgBuilder::named("parallel");
+    let r1 = b.signal("r1", SignalKind::Input);
+    let g1 = b.signal("g1", SignalKind::Output);
+    let r2 = b.signal("r2", SignalKind::Input);
+    let g2 = b.signal("g2", SignalKind::Output);
+    let phase_code = |p: usize, shift: usize| -> u64 {
+        (match p {
+            0 => 0b00u64,
+            1 => 0b01,
+            2 => 0b11,
+            _ => 0b10,
+        }) << shift
+    };
+    let step = |p: usize| (p + 1) % 4;
+    for p1 in 0..4usize {
+        for p2 in 0..4usize {
+            let code = phase_code(p1, 0) | phase_code(p2, 2);
+            let (sig, val) = match p1 {
+                0 => (r1, true),
+                1 => (g1, true),
+                2 => (r1, false),
+                _ => (g1, false),
+            };
+            b.edge_codes(code, (sig, val), phase_code(step(p1), 0) | phase_code(p2, 2))
+                .unwrap();
+            let (sig, val) = match p2 {
+                0 => (r2, true),
+                1 => (g2, true),
+                2 => (r2, false),
+                _ => (g2, false),
+            };
+            b.edge_codes(code, (sig, val), phase_code(p1, 0) | phase_code(step(p2), 2))
+                .unwrap();
+        }
+    }
+    b.build(0).unwrap()
+}

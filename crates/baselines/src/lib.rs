@@ -1,0 +1,44 @@
+//! The two comparator synthesis methods of Table 2.
+//!
+//! * [`syn`] — a **SYN-like** flow in the style of Beerel & Meng \[1\] and the
+//!   monotonous-cover method \[4\]: speed-independent standard-C architecture
+//!   where every excitation region must be covered by a *single monotonous
+//!   cube* contained in `ER ∪ QR ∪ unreachable`. The constraint forbids the
+//!   free don't-care exploitation and cross-region merging the N-SHOT flow
+//!   enjoys, and cubes that extend into the quiescent region need extra
+//!   acknowledgement hardware — reproducing SYN's area overhead on the
+//!   ack-heavy benchmarks. Specifications where some excitation region
+//!   admits no monotonous cube need additional state signals (Table 2
+//!   note (2)); non-distributive inputs are rejected (note (1)).
+//!
+//! * [`sis`] — a **SIS-like** flow in the style of Lavagno et al. \[5\]:
+//!   bounded-delay next-state logic (one SOP per signal with feedback)
+//!   minimized without hazard constraints, followed by a static-hazard
+//!   analysis; every signal whose cover has hazards gets a feedback delay
+//!   line whose padding lengthens the critical path — reproducing SIS's
+//!   delay overhead. Non-distributive inputs are rejected (note (1)).
+//!
+//! * [`qmodule`] — the **Q-module** scheme of the related-work discussion
+//!   (Section II): every input and state signal behind a synchronizing
+//!   Q-flop, an internally generated clock from a worst-case delay line,
+//!   and an N-way rendezvous C-element tree. No distributivity
+//!   restriction, but the paper argues — and this model measures — a
+//!   significant area/performance premium.
+//!
+//! All flows share the region analysis and netlist substrate with the
+//! N-SHOT flow, so the Table 2 comparison measures exactly what the paper
+//! compares: covering constraints and architecture overheads, not substrate
+//! differences.
+
+mod error;
+mod qmodule;
+mod sis;
+mod syn;
+
+pub use error::BaselineError;
+pub use qmodule::{qmodule, QModuleImplementation};
+pub use sis::{sis, SisImplementation};
+pub use syn::{syn, SynImplementation};
+
+#[cfg(test)]
+pub(crate) mod fixtures;

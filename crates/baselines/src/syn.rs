@@ -1,0 +1,281 @@
+//! The SYN-like speed-independent baseline (standard-C architecture with
+//! monotonous covers).
+
+use crate::error::BaselineError;
+use nshot_core::build_sop;
+use nshot_logic::{Cover, Cube};
+use nshot_netlist::{DelayModel, GateKind, NetId, Netlist};
+use nshot_sg::{Dir, SignalId, SignalKind, StateGraph};
+
+/// Result of the SYN-like flow.
+#[derive(Debug, Clone)]
+pub struct SynImplementation {
+    /// Specification name.
+    pub name: String,
+    /// Reachable state count.
+    pub num_states: usize,
+    /// The standard-C netlist.
+    pub netlist: Netlist,
+    /// Per-signal `(signal, set cover, reset cover)`.
+    pub covers: Vec<(SignalId, Cover, Cover)>,
+    /// Number of cubes that needed acknowledgement hardware.
+    pub ack_cubes: usize,
+    /// Total area in library units (netlist + ack hardware).
+    pub area: u32,
+    /// Critical path in ns.
+    pub delay_ns: f64,
+}
+
+/// Synthesize with the monotonous-cover constraint: one cube per excitation
+/// region, with `ER ⊆ cube ⊆ ER ∪ QR ∪ unreachable`.
+///
+/// # Errors
+///
+/// See [`BaselineError`] — notably [`BaselineError::NonDistributive`]
+/// (note (1) of Table 2) and [`BaselineError::NeedsStateSignals`]
+/// (note (2)).
+pub fn syn(sg: &StateGraph, model: &DelayModel) -> Result<SynImplementation, BaselineError> {
+    let distributivity = sg.non_distributive_signals();
+    if !distributivity.is_empty() {
+        return Err(BaselineError::NonDistributive {
+            signals: distributivity
+                .iter()
+                .map(|&s| sg.signal_name(s).to_owned())
+                .collect(),
+        });
+    }
+    if let Err(v) = sg.check_csc() {
+        return Err(BaselineError::Csc {
+            violations: v.len(),
+        });
+    }
+    if let Err(v) = sg.check_semi_modular() {
+        return Err(BaselineError::NotSemiModular {
+            violations: v.len(),
+        });
+    }
+
+    let n = sg.num_signals();
+    let reachable: Vec<u64> = {
+        let mut v: Vec<u64> = sg.reachable_codes().into_iter().collect();
+        v.sort_unstable();
+        v
+    };
+
+    let mut covers = Vec::new();
+    let mut ack_cubes = 0usize;
+    for a in sg.non_input_signals() {
+        let regions = sg.regions_of(a);
+        let mut set_cubes = Vec::new();
+        let mut reset_cubes = Vec::new();
+        for (er, qr) in regions.excitation.iter().zip(&regions.quiescent) {
+            let er_codes: Vec<u64> = er.states.iter().map(|&s| sg.code(s)).collect();
+            let allowed: std::collections::HashSet<u64> = er_codes
+                .iter()
+                .copied()
+                .chain(qr.states.iter().map(|&s| sg.code(s)))
+                .collect();
+            // Forbidden = reachable codes outside ER ∪ QR_i (unreachable
+            // codes are free).
+            let forbidden: Vec<Cube> = reachable
+                .iter()
+                .filter(|c| !allowed.contains(c))
+                .map(|&c| Cube::from_minterm(n, c))
+                .collect();
+            // The minimal cube containing ER is its supercube; any cube
+            // covering ER contains it, so feasibility is decided here.
+            let mut cube = er_codes
+                .iter()
+                .map(|&c| Cube::from_minterm(n, c))
+                .reduce(|x, y| x.supercube(&y))
+                .expect("excitation regions are non-empty");
+            if forbidden.iter().any(|f| f.intersects(&cube)) {
+                return Err(BaselineError::NeedsStateSignals {
+                    signal: sg.signal_name(a).to_owned(),
+                });
+            }
+            // Expand to a prime against the forbidden set, preferring raises
+            // that stay out of the quiescent region (they are free), then
+            // accepting QR raises (they reduce literals but cost
+            // acknowledgement hardware below).
+            for quiescent_allowed in [false, true] {
+                let mut changed = true;
+                while changed {
+                    changed = false;
+                    for v in 0..n {
+                        if matches!(
+                            cube.polarity(v),
+                            nshot_logic::Polarity::Positive | nshot_logic::Polarity::Negative
+                        ) {
+                            let mut trial = cube.clone();
+                            trial.raise(v);
+                            let hits_forbidden = forbidden.iter().any(|f| f.intersects(&trial));
+                            let adds_quiescent = allowed
+                                .iter()
+                                .any(|&c| trial.contains_minterm(c) && !cube.contains_minterm(c));
+                            if !hits_forbidden && (quiescent_allowed || !adds_quiescent) {
+                                cube = trial;
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+            // Monotonous-cover discipline: the cube keeps the output's own
+            // literal so that its turn-off is acknowledged by the output
+            // transition itself. (The excitation region fixes the output's
+            // value, so this is always consistent with covering ER.)
+            cube.set(a.index(), !er.instance.dir.target_value());
+            // Cubes that still cover reachable quiescent states turn off
+            // unobserved and need extra acknowledgement hardware.
+            let covers_quiescent = allowed
+                .iter()
+                .any(|&c| cube.contains_minterm(c) && !er_codes.contains(&c));
+            if covers_quiescent {
+                ack_cubes += 1;
+            }
+            match er.instance.dir {
+                Dir::Rise => set_cubes.push(cube),
+                Dir::Fall => reset_cubes.push(cube),
+            }
+        }
+        covers.push((
+            a,
+            Cover::from_cubes(n, set_cubes),
+            Cover::from_cubes(n, reset_cubes),
+        ));
+    }
+
+    let netlist = assemble_standard_c(sg, &covers, ack_cubes)?;
+    let area = netlist.area();
+    let delay_ns = netlist.critical_path_ns(model)?;
+    Ok(SynImplementation {
+        name: sg.name().to_owned(),
+        num_states: sg.reachable().len(),
+        netlist,
+        covers,
+        ack_cubes,
+        area,
+        delay_ns,
+    })
+}
+
+/// Standard-C architecture: per signal a C-element whose first input is the
+/// set SOP and whose second input is the complemented reset SOP.
+fn assemble_standard_c(
+    sg: &StateGraph,
+    covers: &[(SignalId, Cover, Cover)],
+    ack_cubes: usize,
+) -> Result<Netlist, BaselineError> {
+    let mut nl = Netlist::new(sg.name());
+    let mut signal_net: Vec<Option<NetId>> = vec![None; sg.num_signals()];
+    for s in sg.signal_ids() {
+        if sg.signal_kind(s) == SignalKind::Input {
+            signal_net[s.index()] = Some(nl.add_input(sg.signal_name(s)));
+        }
+    }
+    let placeholder = nl.add_gate(GateKind::Const(false), vec![], "c-placeholder");
+    let mut cells = Vec::new();
+    for &(a, _, _) in covers {
+        // The reset rail enters the C-element through a free input bubble.
+        let c = nl.add_gate(
+            GateKind::CElement { invert_b: true },
+            vec![placeholder, placeholder],
+            sg.signal_name(a),
+        );
+        signal_net[a.index()] = Some(c);
+        nl.mark_output(sg.signal_name(a), c);
+        cells.push(c);
+    }
+    let net_of = |v: usize| signal_net[v].expect("every signal has a net");
+    for (&(a, ref set, ref reset), &cell) in covers.iter().zip(&cells) {
+        let name = sg.signal_name(a);
+        let set_net = build_sop(&mut nl, set, &net_of, &format!("{name}.set"));
+        let reset_net = build_sop(&mut nl, reset, &net_of, &format!("{name}.reset"));
+        nl.rewire_input(cell.driver(), 0, set_net);
+        nl.rewire_input(cell.driver(), 1, reset_net);
+    }
+    // Acknowledgement hardware: cubes extending into a quiescent region
+    // switch off unobserved; SYN taps them with a completion inverter each
+    // (charged as area-only fixup cells).
+    for i in 0..ack_cubes {
+        let dummy_in = nl.outputs().first().map(|&(_, n)| n);
+        if let Some(n) = dummy_in {
+            nl.add_gate(GateKind::Not, vec![n], &format!("ack{i}"));
+        }
+    }
+    Ok(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use nshot_netlist::DelayModel;
+
+    #[test]
+    fn handshake_standard_c() {
+        let sg = fixtures::handshake();
+        let imp = syn(&sg, &DelayModel::nominal()).unwrap();
+        assert_eq!(imp.covers.len(), 1);
+        // One cube per ER; both single-literal.
+        assert_eq!(imp.covers[0].1.num_cubes(), 1);
+        assert_eq!(imp.covers[0].2.num_cubes(), 1);
+        assert!(imp.area > 0);
+        // One C-element; the monotonous cubes keep their literals (tight to
+        // the excitation regions), so the SOPs are AND gates, not wires.
+        let stats = imp.netlist.stats();
+        assert_eq!(stats.storage, 1);
+        assert!(stats.ands >= 2);
+    }
+
+    #[test]
+    fn non_distributive_is_rejected() {
+        let sg = fixtures::figure1_csc();
+        let err = syn(&sg, &DelayModel::nominal()).unwrap_err();
+        assert!(matches!(err, BaselineError::NonDistributive { .. }));
+    }
+
+    #[test]
+    fn one_cube_per_excitation_region() {
+        let sg = fixtures::parallel_handshakes();
+        let imp = syn(&sg, &DelayModel::nominal()).unwrap();
+        for (a, set, reset) in &imp.covers {
+            let regions = sg.regions_of(*a);
+            let rises = regions
+                .excitation
+                .iter()
+                .filter(|e| e.instance.dir == Dir::Rise)
+                .count();
+            let falls = regions.excitation.len() - rises;
+            assert_eq!(set.num_cubes(), rises);
+            assert_eq!(reset.num_cubes(), falls);
+            // Monotonous-cover check: each cube covers its whole ER.
+            for (er, cube) in regions
+                .excitation
+                .iter()
+                .filter(|e| e.instance.dir == Dir::Rise)
+                .zip(set.iter())
+            {
+                for &s in &er.states {
+                    assert!(cube.contains_minterm(sg.code(s)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn syn_never_smaller_than_nshot_on_ack_heavy_specs(){
+        // The acknowledgement overhead and the one-cube-per-region
+        // constraint make SYN at least as large as N-SHOT here.
+        let sg = fixtures::parallel_handshakes();
+        let imp = syn(&sg, &DelayModel::nominal()).unwrap();
+        let nshot = nshot_core::synthesize(&sg, &nshot_core::SynthesisOptions::default()).unwrap();
+        assert!(
+            imp.area >= nshot.area.saturating_sub(16),
+            "syn {} vs nshot {}",
+            imp.area,
+            nshot.area
+        );
+    }
+}

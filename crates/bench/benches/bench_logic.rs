@@ -1,0 +1,60 @@
+//! Criterion benches: the two-level minimizer kernels on functions derived
+//! from real specifications.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nshot_core::SetResetSpec;
+use nshot_logic::{all_primes, espresso, minimize_exact};
+
+fn derived_functions() -> Vec<(String, nshot_logic::Function)> {
+    let mut out = Vec::new();
+    for name in ["chu133", "full", "pmcm1", "sbuf-send-ctl"] {
+        let sg = nshot_benchmarks::by_name(name).expect("in suite").build();
+        for a in sg.non_input_signals() {
+            let spec = SetResetSpec::derive(&sg, a);
+            out.push((format!("{name}/{}/set", sg.signal_name(a)), spec.set));
+        }
+    }
+    out
+}
+
+fn bench_espresso(c: &mut Criterion) {
+    let functions = derived_functions();
+    let mut group = c.benchmark_group("logic/espresso");
+    for (name, f) in &functions {
+        group.bench_function(name, |b| b.iter(|| espresso(f)));
+    }
+    group.finish();
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let functions = derived_functions();
+    let mut group = c.benchmark_group("logic/exact");
+    for (name, f) in functions.iter().take(4) {
+        group.bench_function(name, |b| b.iter(|| minimize_exact(f).expect("small")));
+    }
+    group.finish();
+}
+
+fn bench_primes(c: &mut Criterion) {
+    let functions = derived_functions();
+    let mut group = c.benchmark_group("logic/primes");
+    for (name, f) in functions.iter().take(4) {
+        group.bench_function(name, |b| b.iter(|| all_primes(f)));
+    }
+    group.finish();
+}
+
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group!{
+    name = benches;
+    config = fast();
+    targets = bench_espresso, bench_exact, bench_primes
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion benches: STG token-game elaboration and SG analyses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nshot_stg::parse_stg;
+
+const HANDSHAKE_G: &str = "
+.model hs
+.inputs r
+.outputs g
+.graph
+r+ g+
+g+ r-
+r- g-
+g- r+
+.marking { <g-,r+> }
+.end
+";
+
+fn concurrent_stg(k: usize) -> String {
+    let mut text = String::from(".model conc\n.outputs");
+    for i in 0..k {
+        text.push_str(&format!(" s{i}"));
+    }
+    text.push_str("\n.graph\n");
+    for i in 0..k {
+        text.push_str(&format!("s{i}+ s{i}-\ns{i}- s{i}+\n"));
+    }
+    text.push_str(".marking {");
+    for i in 0..k {
+        text.push_str(&format!(" <s{i}-,s{i}+>"));
+    }
+    text.push_str(" }\n.end");
+    text
+}
+
+fn bench_parse_and_elaborate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stg/elaborate");
+    group.bench_function("handshake", |b| {
+        b.iter(|| parse_stg(HANDSHAKE_G).expect("parses").elaborate().expect("elaborates"))
+    });
+    for k in [6usize, 9] {
+        let text = concurrent_stg(k);
+        let stg = parse_stg(&text).expect("parses");
+        group.bench_function(format!("toggles-{k} ({} states)", 1usize << k), |b| {
+            b.iter(|| stg.elaborate().expect("elaborates"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sg_analyses(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sg/analyses");
+    for name in ["full", "vbe10b", "read-write"] {
+        let sg = nshot_benchmarks::by_name(name).expect("in suite").build();
+        group.bench_function(format!("csc/{name}"), |b| b.iter(|| sg.check_csc().is_ok()));
+        group.bench_function(format!("semimod/{name}"), |b| {
+            b.iter(|| sg.check_semi_modular().is_ok())
+        });
+        let a = sg.non_input_signals().next().expect("has outputs");
+        group.bench_function(format!("regions/{name}"), |b| b.iter(|| sg.regions_of(a)));
+    }
+    group.finish();
+}
+
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group!{
+    name = benches;
+    config = fast();
+    targets = bench_parse_and_elaborate, bench_sg_analyses
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benches: event-driven simulation and conformance throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nshot_core::{synthesize, SynthesisOptions};
+use nshot_sim::{check_conformance, ConformanceConfig, PulseResponse};
+
+fn bench_conformance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/conformance");
+    for name in ["full", "chu133", "pmcm1"] {
+        let sg = nshot_benchmarks::by_name(name).expect("in suite").build();
+        let imp = synthesize(&sg, &SynthesisOptions::default()).expect("synthesizes");
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let report = check_conformance(&sg, &imp, &ConformanceConfig::default());
+                assert!(report.is_hazard_free());
+                report.transitions
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mhs(c: &mut Criterion) {
+    let pulses: Vec<(u64, u64)> = (0..64)
+        .map(|i| (1_000 + i * 1_000, 100 + (i % 8) * 50))
+        .collect();
+    c.bench_function("sim/mhs-pulse-train-64", |b| {
+        b.iter(|| PulseResponse::of_pulse_train(300, 600, &pulses))
+    });
+}
+
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group!{
+    name = benches;
+    config = fast();
+    targets = bench_conformance, bench_mhs
+}
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Stress test of the Eq. 1 delay requirement: under a pathological ±3×
+//! delay spread the requirement turns positive and the flow inserts
+//! compensation delay lines. This experiment simulates the compensated and
+//! the (deliberately) uncompensated circuit under that same wide spread and
+//! many random seeds, counting external hazards.
+//!
+//! Usage: `cargo run --release -p nshot-bench --bin eq1_stress [-- trials]`
+
+use nshot_core::{assemble_netlist, synthesize, SynthesisOptions};
+use nshot_netlist::DelayModel;
+use nshot_sim::{monte_carlo, ConformanceConfig, SimConfig};
+
+fn main() {
+    let trials: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50);
+    let wide = DelayModel::wide_spread();
+
+    println!(
+        "{:<15} {:>10} {:>12} {:>18} {:>18}",
+        "circuit", "max t_del", "delay lines", "compensated clean", "uncompensated clean"
+    );
+    for name in ["chu133", "pr-rcv-ifc", "pmcm1", "wrdatab"] {
+        let sg = nshot_benchmarks::by_name(name).expect("in suite").build();
+        // Compensated: synthesized under the wide model (delay lines in).
+        let options = SynthesisOptions {
+            delay_model: wide.clone(),
+            ..SynthesisOptions::default()
+        };
+        let compensated = synthesize(&sg, &options).expect("synthesizes");
+        let max_tdel = compensated
+            .signals
+            .iter()
+            .map(|s| s.delay.t_del_ns)
+            .fold(0.0f64, f64::max);
+        let lines = compensated
+            .signals
+            .iter()
+            .filter(|s| s.delay.needs_delay_line())
+            .count();
+
+        // Uncompensated: same covers assembled under the nominal model (no
+        // delay lines), then simulated under the wide spread anyway.
+        let covers: Vec<_> = compensated
+            .signals
+            .iter()
+            .map(|s| (s.signal, s.set_cover.clone(), s.reset_cover.clone()))
+            .collect();
+        let (netlist, _) =
+            assemble_netlist(&sg, &covers, &DelayModel::nominal()).expect("assembles");
+        let mut uncompensated = compensated.clone();
+        uncompensated.netlist = netlist;
+
+        let config = ConformanceConfig {
+            max_transitions: 150,
+            sim: SimConfig {
+                delay_model: wide.clone(),
+                ..SimConfig::default()
+            },
+            ..ConformanceConfig::default()
+        };
+        let with = monte_carlo(&sg, &compensated, &config, trials);
+        let without = monte_carlo(&sg, &uncompensated, &config, trials);
+        println!(
+            "{:<15} {:>10.2} {:>12} {:>15}/{:<2} {:>15}/{:<2}",
+            name, max_tdel, lines, with.clean_trials, with.trials, without.clean_trials,
+            without.trials
+        );
+        if let Some(f) = &without.first_failure {
+            println!("    uncompensated first failure: {:?}", f.violations.first());
+        }
+    }
+    println!(
+        "\n(A compensated circuit must stay clean; the uncompensated one is exposed to\n trespassing pulses whenever the race actually occurs — absence of failures in a\n finite sample does not prove safety, which is exactly why Eq. 1 is a *requirement*.)"
+    );
+}

@@ -1,0 +1,26 @@
+//! Regenerate the paper's figures as text/DOT artifacts.
+//!
+//! Usage: `cargo run --release -p nshot-bench --bin figures [-- fig1|fig2|fig3|fig4|fig6|fig7]`
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    let all = which == "all";
+    if all || which == "fig1" {
+        println!("{}", nshot_bench::figures::figure1());
+    }
+    if all || which == "fig2" {
+        println!("{}", nshot_bench::figures::figure2());
+    }
+    if all || which == "fig3" {
+        println!("{}", nshot_bench::figures::figure3());
+    }
+    if all || which == "fig4" {
+        println!("{}", nshot_bench::figures::figure4(300, 600));
+    }
+    if all || which == "fig5" || which == "fig6" {
+        println!("{}", nshot_bench::figures::figure6(300));
+    }
+    if all || which == "fig7" {
+        println!("{}", nshot_bench::figures::figure7());
+    }
+}

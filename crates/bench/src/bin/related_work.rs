@@ -1,0 +1,54 @@
+//! The Section II cost argument, measured: the Q-module scheme \[9\] pays a
+//! synchronizer per input *and* state signal, an N-way rendezvous tree and
+//! a worst-case clock delay line — versus the N-SHOT architecture's two
+//! acknowledgement gates and one MHS flip-flop per non-input signal.
+//!
+//! Usage: `cargo run --release -p nshot-bench --bin related_work`
+
+use nshot_baselines::qmodule;
+use nshot_core::{synthesize, SynthesisOptions};
+use nshot_netlist::DelayModel;
+
+fn main() {
+    let model = DelayModel::nominal();
+    println!(
+        "{:<15} {:>7} | {:>14} {:>14} | {:>10} {:>10} | {:>7} {:>7}",
+        "circuit", "states", "Q-module a/d", "N-SHOT a/d", "area x", "delay x", "qflops", "rdv C's"
+    );
+    println!("{}", "-".repeat(110));
+    let mut area_ratios = Vec::new();
+    let mut delay_ratios = Vec::new();
+    for b in nshot_benchmarks::suite() {
+        if b.paper_states > 300 {
+            continue;
+        }
+        let sg = b.build();
+        let q = qmodule(&sg, &model).expect("CSC suite");
+        let n = synthesize(&sg, &SynthesisOptions::default()).expect("synthesizes");
+        let ar = f64::from(q.area) / f64::from(n.area);
+        let dr = q.delay_ns / n.delay_ns;
+        area_ratios.push(ar);
+        delay_ratios.push(dr);
+        println!(
+            "{:<15} {:>7} | {:>8}/{:<5.1} {:>8}/{:<5.1} | {:>10.2} {:>10.2} | {:>7} {:>7}",
+            b.name,
+            q.num_states,
+            q.area,
+            q.delay_ns,
+            n.area,
+            n.delay_ns,
+            ar,
+            dr,
+            q.qflops,
+            q.rendezvous_cells
+        );
+    }
+    println!("{}", "-".repeat(110));
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "geometric picture: Q-module costs {:.2}x area and {:.2}x delay on average —",
+        mean(&area_ratios),
+        mean(&delay_ratios)
+    );
+    println!("the paper's §II claim (\"significantly more expensive in terms of both area and performance\").");
+}

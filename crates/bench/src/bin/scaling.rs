@@ -1,0 +1,70 @@
+//! Scalability study: synthesis cost versus specification size, along the
+//! two axes the archetypes expose — sequential depth (pipeline length) and
+//! concurrency width (fork/join channels). Not a figure of the paper, but
+//! the natural capacity question for the flow; tsbmsiBRK (4729 states) is
+//! the paper's largest data point.
+//!
+//! Usage: `cargo run --release -p nshot-bench --bin scaling`
+
+use nshot_core::{synthesize, SynthesisOptions};
+use std::time::Instant;
+
+fn main() {
+    println!("— sequential depth (pipeline of n alternating signals)");
+    println!(
+        "{:>4} {:>8} {:>8} {:>10} {:>10}",
+        "n", "states", "area", "delay(ns)", "synth(ms)"
+    );
+    for n in [4usize, 8, 12, 16, 20, 24] {
+        let kinds: Vec<bool> = (0..n).map(|i| i % 2 == 1).collect();
+        let sg = nshot_benchmarks::pipeline(&format!("pipe{n}"), "", &kinds);
+        let t = Instant::now();
+        let imp = synthesize(&sg, &SynthesisOptions::default()).expect("synthesizes");
+        println!(
+            "{:>4} {:>8} {:>8} {:>10.1} {:>10.1}",
+            n,
+            imp.num_states,
+            imp.area,
+            imp.delay_ns,
+            t.elapsed().as_secs_f64() * 1e3
+        );
+    }
+
+    println!("\n— concurrency width (fork/join with k channels, 2·3^k+2 states)");
+    println!(
+        "{:>4} {:>8} {:>8} {:>10} {:>10}",
+        "k", "states", "area", "delay(ns)", "synth(ms)"
+    );
+    for k in [2usize, 3, 4, 5, 6, 7] {
+        let sg = nshot_benchmarks::fork_join_channels(&format!("fj{k}"), "", k, 0);
+        let t = Instant::now();
+        let imp = synthesize(&sg, &SynthesisOptions::default()).expect("synthesizes");
+        println!(
+            "{:>4} {:>8} {:>8} {:>10.1} {:>10.1}",
+            k,
+            imp.num_states,
+            imp.area,
+            imp.delay_ns,
+            t.elapsed().as_secs_f64() * 1e3
+        );
+    }
+
+    println!("\n— interleaved products (p independent handshakes, 4^p states)");
+    println!(
+        "{:>4} {:>8} {:>8} {:>10} {:>10}",
+        "p", "states", "area", "delay(ns)", "synth(ms)"
+    );
+    for p in [2usize, 3, 4, 5] {
+        let sg = nshot_benchmarks::par_handshakes(&format!("par{p}"), "", p);
+        let t = Instant::now();
+        let imp = synthesize(&sg, &SynthesisOptions::default()).expect("synthesizes");
+        println!(
+            "{:>4} {:>8} {:>8} {:>10.1} {:>10.1}",
+            p,
+            imp.num_states,
+            imp.area,
+            imp.delay_ns,
+            t.elapsed().as_secs_f64() * 1e3
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Regenerate Table 2: area/delay of the SIS-like and SYN-like baselines
+//! versus the N-SHOT (ASSASSIN) flow over the 25-circuit suite.
+//!
+//! Usage: `cargo run --release -p nshot-bench --bin table2 [-- filter]`
+//! An optional substring filter restricts the circuits (e.g. `chu`).
+
+use nshot_netlist::DelayModel;
+
+fn main() {
+    let filter = std::env::args().nth(1);
+    let rows = nshot_bench::run_table2(filter.as_deref(), &DelayModel::nominal());
+    print!("{}", nshot_bench::table2_text(&rows));
+
+    // Shape summary: who wins area on the circuits all methods handle.
+    let mut nshot_vs_syn_wins = 0;
+    let mut comparable = 0;
+    let mut nshot_faster_than_sis = 0;
+    let mut sis_comparable = 0;
+    for r in &rows {
+        if let (nshot_bench::Cell::Value(na, _), nshot_bench::Cell::Value(sa, _)) =
+            (&r.assassin, &r.syn)
+        {
+            comparable += 1;
+            if na <= sa {
+                nshot_vs_syn_wins += 1;
+            }
+        }
+        if let (nshot_bench::Cell::Value(_, nd), nshot_bench::Cell::Value(_, sd)) =
+            (&r.assassin, &r.sis)
+        {
+            sis_comparable += 1;
+            if nd <= sd {
+                nshot_faster_than_sis += 1;
+            }
+        }
+    }
+    println!();
+    println!("shape check: ASSASSIN area <= SYN on {nshot_vs_syn_wins}/{comparable} comparable circuits");
+    println!("shape check: ASSASSIN delay <= SIS on {nshot_faster_than_sis}/{sis_comparable} comparable circuits");
+}

@@ -1,0 +1,328 @@
+//! Regeneration of the paper's figures as text/DOT artifacts.
+
+use nshot_core::{synthesize, SynthesisOptions};
+use nshot_netlist::GateKind;
+use nshot_sg::StateGraph;
+use nshot_sim::{PulseResponse, StructuralMhs, StructuralTrace};
+
+/// The Figure 1 specification: inputs `a`, `b`, output `c` with OR
+/// causality in both phases (non-distributive), made CSC-complete with the
+/// internal phase signal `d` so the downstream figures can synthesize it.
+pub fn figure1_sg() -> StateGraph {
+    nshot_benchmarks::or_causal("figure1", "", 0)
+}
+
+/// Figure 1: the SG with its excitation/quiescent regions for `c`,
+/// rendered as DOT (regions coloured) plus a textual region listing.
+pub fn figure1() -> String {
+    let sg = figure1_sg();
+    let c = sg.signal_by_name("c").expect("output c exists");
+    let regions = sg.regions_of(c);
+    let mut out = String::new();
+    out.push_str("Figure 1 — SG example with ER/QR decomposition of c\n\n");
+    out.push_str(&format!(
+        "detonant states w.r.t. c: {:?}\n",
+        sg.detonant_states(c)
+            .iter()
+            .map(|&s| sg.code_string(s))
+            .collect::<Vec<_>>()
+    ));
+    out.push_str(&format!("distributive: {}\n\n", sg.is_distributive()));
+    for er in &regions.excitation {
+        out.push_str(&format!(
+            "ER({}{}_{}): {{{}}}\n",
+            er.instance.dir.sign(),
+            sg.signal_name(c),
+            er.instance.index + 1,
+            er.states
+                .iter()
+                .map(|&s| sg.code_string(s))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
+    for qr in &regions.quiescent {
+        out.push_str(&format!(
+            "QR({}{}_{}): {{{}}}\n",
+            qr.instance.dir.sign(),
+            sg.signal_name(c),
+            qr.instance.index + 1,
+            qr.states
+                .iter()
+                .map(|&s| sg.code_string(s))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
+    out.push('\n');
+    out.push_str(&sg.to_dot_highlighting(Some(c)));
+    out
+}
+
+/// Figure 2: trigger regions of every excitation region of `c`.
+pub fn figure2() -> String {
+    let sg = figure1_sg();
+    let c = sg.signal_by_name("c").expect("output c exists");
+    let regions = sg.regions_of(c);
+    let mut out = String::from("Figure 2 — trigger regions (minimal sets left only by firing *c)\n\n");
+    for (i, er) in regions.excitation.iter().enumerate() {
+        out.push_str(&format!(
+            "ER#{i} ({}{}): {} states; trigger regions:",
+            er.instance.dir.sign(),
+            sg.signal_name(c),
+            er.states.len()
+        ));
+        for tr in regions.triggers_of(i) {
+            out.push_str(&format!(
+                " {{{}}}",
+                tr.states
+                    .iter()
+                    .map(|&s| sg.code_string(s))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "\nsingle traversal: {}\n",
+        sg.is_single_traversal()
+    ));
+    out
+}
+
+/// Figure 3: the N-SHOT architecture instance for the Figure 1 circuit —
+/// a netlist dump showing set/reset SOPs, acknowledgement gates, delay
+/// line (if any) and the MHS flip-flop.
+pub fn figure3() -> String {
+    let sg = figure1_sg();
+    let imp = synthesize(&sg, &SynthesisOptions::default()).expect("figure 1 synthesizes");
+    let mut out = String::from("Figure 3 — N-SHOT architecture (netlist instance)\n\n");
+    for s in &imp.signals {
+        out.push_str(&format!(
+            "signal {}: set = {} ({} cubes), reset = {} ({} cubes), t_del = {:.2} ns{}\n",
+            s.name,
+            s.set_cover,
+            s.set_cover.num_cubes(),
+            s.reset_cover,
+            s.reset_cover.num_cubes(),
+            s.delay.t_del_ns,
+            if s.delay.needs_delay_line() {
+                " (delay line inserted)"
+            } else {
+                " (no compensation needed)"
+            }
+        ));
+    }
+    out.push('\n');
+    out.push_str(&imp.netlist.to_string());
+    out
+}
+
+/// Figure 4: the MHS flip-flop response — a sweep of single input pulses of
+/// growing width through ω, with the observed firing time.
+pub fn figure4(omega_ps: u64, tau_ps: u64) -> String {
+    let mut out = format!(
+        "Figure 4 — MHS response (ω = {omega_ps} ps, τ = {tau_ps} ps)\n\n{:>10} {:>10} {:>12}\n",
+        "width(ps)", "fires?", "out rise(ps)"
+    );
+    for width in [50u64, 100, 200, 250, 290, 300, 310, 400, 600, 1_000, 2_000] {
+        let r = PulseResponse::of_pulse_train(omega_ps, tau_ps, &[(1_000, width)]);
+        out.push_str(&format!(
+            "{:>10} {:>10} {:>12}\n",
+            width,
+            if r.output_rises.is_empty() { "no" } else { "yes" },
+            r.output_rises
+                .first()
+                .map_or("-".to_owned(), |t| t.to_string())
+        ));
+    }
+    out.push_str("\npulse stream → single transition (Property 3):\n");
+    let r = PulseResponse::of_pulse_train(
+        omega_ps,
+        tau_ps,
+        &[(1_000, 100), (1_400, 150), (2_000, 500), (3_000, 400)],
+    );
+    out.push_str(&format!(
+        "4-pulse stream: {} output transition(s) at {:?}, {} absorbed\n",
+        r.output_rises.len(),
+        r.output_rises,
+        r.absorbed
+    ));
+    out
+}
+
+/// Figure 5/6: the structural master/filter/slave pipeline and its response
+/// to a hazardous input stream, as an ASCII waveform.
+pub fn figure6(omega_ps: u64) -> String {
+    let mhs = StructuralMhs::new(omega_ps, 100);
+    let trace = mhs.respond_to_set_pulses(&[(1_000, 120), (1_500, 180), (2_200, 900)]);
+    let mut out = String::from(
+        "Figure 5/6 — structural MHS (master RS + hazard filter + slave RS)\nresponse to a hazardous set stream (two runts, one real pulse):\n\n",
+    );
+    let render = |name: &str, wave: &[(u64, bool)]| -> String {
+        let mut line = format!("{name:>12}: 0 ");
+        for &(t, v) in wave {
+            line.push_str(&format!("--{}@{}ps ", if v { "rise" } else { "fall" }, t));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&render("master-q", &trace.master_q));
+    out.push_str(&render("slave-set", &trace.slave_set));
+    out.push_str(&render("slave-reset", &trace.slave_reset));
+    out.push_str(&render("out", &trace.out));
+    out.push_str(&format!(
+        "\nslave-set up-transitions: {} (hazard-free)\nhazardous slave-reset downs filtered by the slave latch: output transitions = {}\n",
+        StructuralTrace::rises(&trace.slave_set),
+        trace.out.len()
+    ));
+    out
+}
+
+/// Figure 7: a single-traversal SG vs a non-single-traversal SG (free
+/// running input), with their trigger regions.
+pub fn figure7() -> String {
+    let single = nshot_benchmarks::pipeline("fig7a", "", &[true, false]);
+    let multi = figure7b_sg();
+    let mut out = String::from("Figure 7 — (a) single traversal vs (b) non single traversal\n\n");
+    for (tag, sg) in [("(a)", &single), ("(b)", &multi)] {
+        out.push_str(&format!(
+            "{tag} {}: single traversal = {}\n",
+            sg.name(),
+            sg.is_single_traversal()
+        ));
+        for a in sg.non_input_signals() {
+            let regions = sg.regions_of(a);
+            for tr in &regions.triggers {
+                out.push_str(&format!(
+                    "    TR({}{}) = {{{}}}\n",
+                    regions.excitation[tr.er_index].instance.dir.sign(),
+                    sg.signal_name(a),
+                    tr.states
+                        .iter()
+                        .map(|&s| sg.code_string(s))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// The Figure 7(b) specification (free-running input toggling inside the
+/// excitation regions of `y`).
+pub fn figure7b_sg() -> StateGraph {
+    use nshot_sg::{SgBuilder, SignalKind};
+    let mut b = SgBuilder::named("fig7b");
+    let r = b.signal("r", SignalKind::Input);
+    let x = b.signal("x", SignalKind::Input);
+    let y = b.signal("y", SignalKind::Output);
+    b.edge_codes(0b000, (r, true), 0b001).unwrap();
+    b.edge_codes(0b000, (x, true), 0b010).unwrap();
+    b.edge_codes(0b010, (r, true), 0b011).unwrap();
+    b.edge_codes(0b010, (x, false), 0b000).unwrap();
+    b.edge_codes(0b001, (x, true), 0b011).unwrap();
+    b.edge_codes(0b001, (y, true), 0b101).unwrap();
+    b.edge_codes(0b011, (x, false), 0b001).unwrap();
+    b.edge_codes(0b011, (y, true), 0b111).unwrap();
+    b.edge_codes(0b101, (x, true), 0b111).unwrap();
+    b.edge_codes(0b101, (r, false), 0b100).unwrap();
+    b.edge_codes(0b111, (x, false), 0b101).unwrap();
+    b.edge_codes(0b111, (r, false), 0b110).unwrap();
+    b.edge_codes(0b100, (x, true), 0b110).unwrap();
+    b.edge_codes(0b100, (y, false), 0b000).unwrap();
+    b.edge_codes(0b110, (x, false), 0b100).unwrap();
+    b.edge_codes(0b110, (y, false), 0b010).unwrap();
+    b.build(0b000).unwrap()
+}
+
+/// Count the architecture's components for the Figure 3 sanity test.
+pub fn architecture_component_counts(sg: &StateGraph) -> (usize, usize, usize) {
+    let imp = synthesize(sg, &SynthesisOptions::default()).expect("synthesizes");
+    let mut mhs = 0;
+    let mut acks = 0;
+    let mut delays = 0;
+    for g in imp.netlist.gate_ids() {
+        match imp.netlist.kind(g) {
+            GateKind::MhsFlipFlop => mhs += 1,
+            GateKind::DelayLine { .. } => delays += 1,
+            GateKind::AckAnd { .. } => acks += 1,
+            _ => {}
+        }
+    }
+    (mhs, acks, delays)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_shows_regions_and_detonance() {
+        let text = figure1();
+        assert!(text.contains("ER(+c"));
+        assert!(text.contains("ER(-c"));
+        assert!(text.contains("QR(+c"));
+        assert!(text.contains("distributive: false"));
+        assert!(text.contains("digraph"));
+    }
+
+    #[test]
+    fn figure2_lists_trigger_regions() {
+        let text = figure2();
+        assert!(text.contains("trigger regions:"));
+        assert!(text.contains("single traversal: true"));
+    }
+
+    #[test]
+    fn figure3_dumps_architecture() {
+        let text = figure3();
+        assert!(text.contains("mhs-ff"));
+        assert!(text.contains("ack_set"));
+        assert!(text.contains("no compensation needed"));
+        // Two flip-flops (c and the phase signal d), two ack gates each.
+        let sg = figure1_sg();
+        let (mhs, acks, delays) = architecture_component_counts(&sg);
+        assert_eq!(mhs, 2);
+        assert_eq!(acks, 4);
+        assert_eq!(delays, 0);
+    }
+
+    #[test]
+    fn figure4_threshold_behaviour() {
+        let text = figure4(300, 600);
+        let row = |w: &str| {
+            text.lines()
+                .find(|l| l.trim_start().starts_with(w))
+                .unwrap_or_else(|| panic!("row {w} missing"))
+                .to_owned()
+        };
+        assert!(row("290").contains("no"));
+        assert!(row("300").contains("yes"));
+        assert!(row("300").contains("1600"), "fires at rise + τ");
+        assert!(text.contains("1 output transition(s)"));
+    }
+
+    #[test]
+    fn figure6_structural_filtering() {
+        let text = figure6(300);
+        assert!(text.contains("slave-set up-transitions: 1"));
+        assert!(text.contains("output transitions = 1"));
+    }
+
+    #[test]
+    fn figure7_contrast() {
+        let text = figure7();
+        assert!(text.contains("(a) fig7a: single traversal = true"));
+        assert!(text.contains("(b) fig7b: single traversal = false"));
+    }
+
+    #[test]
+    fn figure7b_synthesizes_with_trigger_cubes() {
+        let sg = figure7b_sg();
+        let imp = synthesize(&sg, &SynthesisOptions::default()).unwrap();
+        assert!(!imp.signals[0].triggers.is_empty());
+    }
+}

@@ -1,0 +1,124 @@
+//! The Table 2 benchmark suite: 19 distributive controllers from the
+//! published benchmark set plus 6 non-distributive industrial interface
+//! circuits, rebuilt from structural archetypes (see DESIGN.md §2 for the
+//! substitution rationale — the original `.g` files are not public).
+//!
+//! # Example
+//!
+//! ```
+//! let suite = nshot_benchmarks::suite();
+//! assert_eq!(suite.len(), 25);
+//! let full = nshot_benchmarks::by_name("full").expect("in the suite");
+//! let sg = full.build();
+//! assert_eq!(sg.num_states(), 16);
+//! assert!(sg.check_csc().is_ok());
+//! ```
+
+mod gen;
+mod suite;
+
+pub use gen::{
+    choice_cycle, fork_join_channels, interleave, or_causal, par_handshakes, pipeline,
+};
+pub use suite::{by_name, suite, Benchmark, PaperCell, PaperNote, Provenance};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_25_entries_in_table_order() {
+        let s = suite();
+        assert_eq!(s.len(), 25);
+        assert_eq!(s[0].name, "chu133");
+        assert_eq!(s[18].name, "tsbmsiBRK");
+        assert_eq!(s[24].name, "sing2dual-out");
+        // 6 non-distributive industrial circuits.
+        assert_eq!(s.iter().filter(|b| !b.distributive).count(), 6);
+    }
+
+    #[test]
+    fn all_small_benchmarks_build_and_validate() {
+        for b in suite() {
+            if b.paper_states > 300 {
+                continue; // the big ones are covered by specific tests below
+            }
+            let sg = b.build();
+            assert!(sg.num_states() > 0, "{}", b.name);
+            assert!(sg.check_csc().is_ok(), "{} violates CSC", b.name);
+            assert!(
+                sg.check_semi_modular().is_ok(),
+                "{} is not semi-modular",
+                b.name
+            );
+            assert_eq!(
+                sg.is_distributive(),
+                b.distributive,
+                "{} distributivity class mismatch",
+                b.name
+            );
+            assert!(sg.is_strongly_reachable(), "{}", b.name);
+            // Scale matches the paper within a small factor.
+            let ratio = sg.num_states() as f64 / b.paper_states as f64;
+            assert!(
+                (0.3..=3.0).contains(&ratio),
+                "{}: {} states vs paper {}",
+                b.name,
+                sg.num_states(),
+                b.paper_states
+            );
+        }
+    }
+
+    #[test]
+    fn big_benchmarks_have_the_right_scale() {
+        for (name, lo, hi) in [
+            ("master-read", 1500, 2500),
+            ("tsbmsi", 900, 1100),
+            ("tsbmsiBRK", 4000, 5000),
+            ("read-write", 250, 400),
+        ] {
+            let b = by_name(name).unwrap();
+            let sg = b.build();
+            assert!(
+                (lo..=hi).contains(&sg.num_states()),
+                "{name}: {} states",
+                sg.num_states()
+            );
+            assert!(sg.check_csc().is_ok(), "{name}");
+        }
+    }
+
+    #[test]
+    fn non_distributive_entries_have_detonant_states() {
+        for b in suite().into_iter().filter(|b| !b.distributive) {
+            let sg = b.build();
+            assert!(
+                !sg.non_distributive_signals().is_empty(),
+                "{} should have detonant states",
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for b in suite() {
+            assert_eq!(by_name(b.name).unwrap().name, b.name);
+        }
+        assert!(by_name("nonesuch").is_none());
+    }
+
+    #[test]
+    fn paper_cells_match_table_footnotes() {
+        let s = suite();
+        let rw = s.iter().find(|b| b.name == "read-write").unwrap();
+        assert_eq!(rw.paper_syn, Err(PaperNote::NeedsStateSignals));
+        let tsb = s.iter().find(|b| b.name == "tsbmsi").unwrap();
+        assert_eq!(tsb.paper_sis, Err(PaperNote::SgFormat));
+        assert!(tsb.sg_format_only);
+        let pm = s.iter().find(|b| b.name == "pmcm1").unwrap();
+        assert_eq!(pm.paper_sis, Err(PaperNote::NonDistributive));
+        assert_eq!(pm.paper_syn, Err(PaperNote::NonDistributive));
+    }
+}

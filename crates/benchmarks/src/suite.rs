@@ -1,0 +1,194 @@
+//! The Table 2 benchmark suite.
+//!
+//! Each entry records the paper's reported figures (for the shape
+//! comparison in EXPERIMENTS.md) and rebuilds the circuit from the
+//! structural archetypes in [`crate::gen`]. `provenance` is honest about
+//! fidelity: the original `.g` files are not available, so every entry is a
+//! reconstruction targeting the published signal/state scale and
+//! distributivity class.
+
+use crate::gen;
+use nshot_sg::StateGraph;
+
+/// How faithful a rebuilt benchmark is to the original.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// Rebuilt from the published structural description (shape and scale
+    /// match; exact transitions may differ).
+    Reconstructed,
+    /// Synthetic equivalent: same archetype, signal scale and
+    /// distributivity class as the unavailable original.
+    Synthetic,
+}
+
+/// Why a baseline column is empty in Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PaperNote {
+    /// (1) non-distributive SG.
+    NonDistributive,
+    /// (2) must add state signals (not handled in SYN 2.3).
+    NeedsStateSignals,
+    /// (3) can be handled with the latest version.
+    LaterVersion,
+    /// (4) input file in SG format (SIS frontend cannot read it).
+    SgFormat,
+}
+
+/// A Table 2 cell: `Ok((area, delay))` or the footnote explaining absence.
+pub type PaperCell = Result<(u32, f64), PaperNote>;
+
+/// One benchmark of the suite.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Circuit name as printed in Table 2.
+    pub name: &'static str,
+    /// State count reported in the paper.
+    pub paper_states: usize,
+    /// Paper's SIS column.
+    pub paper_sis: PaperCell,
+    /// Paper's SYN column.
+    pub paper_syn: PaperCell,
+    /// Paper's ASSASSIN column.
+    pub paper_assassin: (u32, f64),
+    /// Whether the original is distributive.
+    pub distributive: bool,
+    /// Fidelity of the rebuild.
+    pub provenance: Provenance,
+    /// Table 2 note (4): available only in SG format (affects SIS).
+    pub sg_format_only: bool,
+}
+
+impl Benchmark {
+    /// Build the specification state graph.
+    ///
+    /// # Panics
+    ///
+    /// Never for the entries of [`suite`] (generator parameters are fixed
+    /// and validated by tests).
+    pub fn build(&self) -> StateGraph {
+        let n = self.name;
+        match n {
+            "chu133" => gen::fork_join_channels(n, "", 2, 1),
+            "chu150" => gen::pipeline(
+                n,
+                "",
+                &[true, false, true, false, false, true, false, true, false, true, false, true, false],
+            ),
+            "chu172" => gen::pipeline(n, "", &[true, false, true, false, false, true]),
+            "converta" => gen::pipeline(
+                n,
+                "",
+                &[true, false, true, false, true, false, false, true, false],
+            ),
+            "ebergen" => gen::fork_join_channels(n, "", 2, 0),
+            "full" => gen::par_handshakes(n, "", 2),
+            "hazard" => gen::pipeline(n, "", &[true, false, false, true, false, false]),
+            "hybridf" => {
+                let l = gen::fork_join_channels("hybridf.fj", "m_", 2, 0);
+                let r = gen::par_handshakes("hybridf.hs", "s_", 1);
+                gen::interleave(n, &l, &r)
+            }
+            "pe-send-ifc" => {
+                let l = gen::choice_cycle("pe.ch", "c_", 2, 4);
+                let r = gen::par_handshakes("pe.hs", "h_", 1);
+                gen::interleave(n, &l, &r)
+            }
+            "qr42" => gen::fork_join_channels(n, "q", 2, 0),
+            "vbe10b" => gen::par_handshakes(n, "", 4),
+            "vbe5b" => {
+                let l = gen::pipeline("vbe5b.p", "p_", &[true, false, false]);
+                let r = gen::par_handshakes("vbe5b.hs", "h_", 1);
+                gen::interleave(n, &l, &r)
+            }
+            "wrdatab" => {
+                let l = gen::par_handshakes("wr.hs", "h_", 1);
+                let r = gen::fork_join_channels("wr.fj", "f_", 3, 0);
+                gen::interleave(n, &l, &r)
+            }
+            "sbuf-send-ctl" => gen::choice_cycle(n, "", 2, 3),
+            "pr-rcv-ifc" => gen::fork_join_channels(n, "", 3, 2),
+            "master-read" => {
+                let l = gen::fork_join_channels("mr.fj", "f_", 5, 0);
+                let r = gen::par_handshakes("mr.hs", "h_", 1);
+                gen::interleave(n, &l, &r)
+            }
+            "read-write" => {
+                let l = gen::choice_cycle("rw.ch", "c_", 2, 2);
+                let r = gen::fork_join_channels("rw.fj", "f_", 2, 0);
+                gen::interleave(n, &l, &r)
+            }
+            "tsbmsi" => gen::par_handshakes(n, "", 5),
+            "tsbmsiBRK" => gen::fork_join_channels(n, "", 7, 0),
+            "pmcm1" => gen::or_causal(n, "", 3),
+            "pmcm2" => gen::or_causal(n, "", 0),
+            "combuf1" => gen::or_causal(n, "", 4),
+            "combuf2" => gen::or_causal(n, "", 2),
+            "sing2dual-inp" => {
+                let l = gen::or_causal("s2d.or", "o_", 1);
+                let r = gen::par_handshakes("s2d.hs", "h_", 1);
+                gen::interleave(n, &l, &r)
+            }
+            "sing2dual-out" => {
+                let l = gen::or_causal("s2o.or", "o_", 0);
+                let r = gen::choice_cycle("s2o.ch", "c_", 2, 2);
+                gen::interleave(n, &l, &r)
+            }
+            other => unreachable!("unknown benchmark '{other}'"),
+        }
+    }
+}
+
+/// The full 25-circuit suite in Table 2 order.
+pub fn suite() -> Vec<Benchmark> {
+    use PaperNote::*;
+    let b = |name,
+             paper_states,
+             paper_sis: PaperCell,
+             paper_syn: PaperCell,
+             paper_assassin,
+             distributive,
+             provenance,
+             sg_format_only| Benchmark {
+        name,
+        paper_states,
+        paper_sis,
+        paper_syn,
+        paper_assassin,
+        distributive,
+        provenance,
+        sg_format_only,
+    };
+    use Provenance::*;
+    vec![
+        b("chu133", 24, Ok((352, 5.2)), Ok((232, 4.8)), (256, 4.8), true, Reconstructed, false),
+        b("chu150", 26, Ok((232, 7.0)), Ok((240, 4.8)), (240, 4.8), true, Synthetic, false),
+        b("chu172", 12, Ok((104, 1.6)), Ok((152, 3.6)), (120, 2.4), true, Synthetic, false),
+        b("converta", 18, Ok((432, 6.8)), Ok((496, 6.0)), (488, 4.8), true, Synthetic, false),
+        b("ebergen", 18, Ok((280, 5.6)), Ok((344, 4.8)), (312, 4.8), true, Reconstructed, false),
+        b("full", 16, Ok((224, 5.2)), Ok((240, 4.8)), (240, 4.8), true, Reconstructed, false),
+        b("hazard", 12, Ok((296, 6.6)), Ok((256, 4.8)), (232, 4.8), true, Synthetic, false),
+        b("hybridf", 80, Ok((274, 6.6)), Ok((352, 4.8)), (336, 4.8), true, Synthetic, false),
+        b("pe-send-ifc", 117, Ok((1232, 12.2)), Ok((1832, 6.0)), (1408, 6.0), true, Synthetic, false),
+        b("qr42", 18, Ok((280, 5.6)), Ok((344, 4.8)), (312, 4.8), true, Reconstructed, false),
+        b("vbe10b", 256, Ok((1008, 10.0)), Ok((800, 4.8)), (744, 4.8), true, Reconstructed, false),
+        b("vbe5b", 24, Ok((272, 4.2)), Ok((240, 3.6)), (240, 3.6), true, Synthetic, false),
+        b("wrdatab", 216, Ok((824, 4.8)), Ok((840, 4.8)), (760, 4.8), true, Synthetic, false),
+        b("sbuf-send-ctl", 27, Ok((408, 5.2)), Ok((696, 4.8)), (320, 3.6), true, Synthetic, false),
+        b("pr-rcv-ifc", 65, Ok((1176, 9.8)), Ok((1640, 6.0)), (1144, 4.8), true, Synthetic, false),
+        b("master-read", 2108, Ok((1016, 6.4)), Ok((880, 4.8)), (824, 4.8), true, Synthetic, false),
+        b("read-write", 315, Ok((740, 7.6)), Err(NeedsStateSignals), (608, 6.0), true, Synthetic, false),
+        b("tsbmsi", 1023, Err(SgFormat), Ok((960, 4.8)), (928, 4.8), true, Synthetic, true),
+        b("tsbmsiBRK", 4729, Err(SgFormat), Err(LaterVersion), (1648, 4.8), true, Synthetic, true),
+        b("pmcm1", 26, Err(NonDistributive), Err(NonDistributive), (304, 4.8), false, Synthetic, false),
+        b("pmcm2", 13, Err(NonDistributive), Err(NonDistributive), (160, 3.6), false, Synthetic, false),
+        b("combuf1", 32, Err(NonDistributive), Err(NonDistributive), (480, 4.8), false, Synthetic, false),
+        b("combuf2", 24, Err(NonDistributive), Err(NonDistributive), (456, 4.8), false, Synthetic, false),
+        b("sing2dual-inp", 65, Err(NonDistributive), Err(NonDistributive), (386, 4.8), false, Synthetic, false),
+        b("sing2dual-out", 204, Err(NonDistributive), Err(NonDistributive), (648, 3.6), false, Synthetic, false),
+    ]
+}
+
+/// Look up one benchmark by name.
+pub fn by_name(name: &str) -> Option<Benchmark> {
+    suite().into_iter().find(|b| b.name == name)
+}

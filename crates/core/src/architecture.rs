@@ -1,0 +1,271 @@
+//! Mapping minimized covers onto the N-SHOT architecture (Fig. 3).
+//!
+//! Per non-input signal: one AND gate per product term (input bubbles are
+//! free basic-gate inversions), an OR gate when there is more than one term,
+//! the two acknowledgement AND gates gating the set (reset) stream with the
+//! delayed complement (true) rail of the flip-flop, an optional Eq. 1 delay
+//! line shared by both acknowledgement gates, and the MHS flip-flop itself.
+//!
+//! Feedback nets (non-input signals appearing in cubes) tap the flip-flop
+//! outputs directly — the architecture is closed under composition.
+
+use crate::delay_req::{delay_requirement_ns, DelayRequirement};
+use crate::error::SynthesisError;
+use nshot_logic::{Cover, Polarity};
+use nshot_netlist::{DelayModel, GateKind, NetId, Netlist};
+use nshot_sg::{SignalId, SignalKind, StateGraph};
+
+/// The nets of one synthesized signal inside the shared netlist.
+#[derive(Debug, Clone)]
+pub struct AssembledSignal {
+    /// The signal.
+    pub signal: SignalId,
+    /// Output of the set SOP network (before acknowledgement gating).
+    pub set_sop: NetId,
+    /// Output of the reset SOP network.
+    pub reset_sop: NetId,
+    /// The gated set input of the flip-flop.
+    pub ack_set: NetId,
+    /// The gated reset input of the flip-flop.
+    pub ack_reset: NetId,
+    /// The flip-flop output (the signal itself).
+    pub ff: NetId,
+    /// The Eq. 1 delay line on the feedback path, when required.
+    pub delay_line: Option<NetId>,
+    /// The evaluated Eq. 1 requirement.
+    pub delay: DelayRequirement,
+}
+
+/// Assemble the full N-SHOT netlist for all non-input signals of `sg` from
+/// their minimized covers, evaluating Eq. 1 and inserting delay lines where
+/// the requirement is positive.
+///
+/// `covers[i]` pairs the `i`-th non-input signal (in `sg` signal order) with
+/// its `(set, reset)` covers over the full signal space.
+///
+/// # Errors
+///
+/// [`SynthesisError::Timing`] if path analysis fails (cannot happen for
+/// covers produced by this crate — SOPs are acyclic by construction).
+///
+/// # Panics
+///
+/// Panics if `covers` does not match the non-input signals of `sg`.
+pub fn assemble_netlist(
+    sg: &StateGraph,
+    covers: &[(SignalId, Cover, Cover)],
+    model: &DelayModel,
+) -> Result<(Netlist, Vec<AssembledSignal>), SynthesisError> {
+    let non_inputs: Vec<SignalId> = sg.non_input_signals().collect();
+    assert_eq!(
+        covers.iter().map(|&(s, _, _)| s).collect::<Vec<_>>(),
+        non_inputs,
+        "covers must be given for exactly the non-input signals, in order"
+    );
+
+    let mut nl = Netlist::new(sg.name());
+
+    // Primary inputs and flip-flops first, so cubes can reference any signal.
+    let mut signal_net: Vec<Option<NetId>> = vec![None; sg.num_signals()];
+    for s in sg.signal_ids() {
+        if sg.signal_kind(s) == SignalKind::Input {
+            signal_net[s.index()] = Some(nl.add_input(sg.signal_name(s)));
+        }
+    }
+    let placeholder = nl.add_gate(GateKind::Const(false), vec![], "ff-placeholder");
+    let mut ffs = Vec::new();
+    for &a in &non_inputs {
+        let ff = nl.add_gate(
+            GateKind::MhsFlipFlop,
+            vec![placeholder, placeholder],
+            sg.signal_name(a),
+        );
+        signal_net[a.index()] = Some(ff);
+        ffs.push(ff);
+        nl.mark_output(sg.signal_name(a), ff);
+    }
+    let net_of = |v: usize| signal_net[v].expect("every signal has a net");
+
+    // SOP networks, acknowledgement gates, Eq. 1.
+    let mut assembled = Vec::new();
+    for (&(signal, ref set_cover, ref reset_cover), &ff) in covers.iter().zip(&ffs) {
+        let name = sg.signal_name(signal);
+        let set_sop = build_sop(&mut nl, set_cover, &net_of, &format!("{name}.set"));
+        let reset_sop = build_sop(&mut nl, reset_cover, &net_of, &format!("{name}.reset"));
+
+        // Eq. 1 is evaluated on the raw SOP outputs (the acknowledgement
+        // gates sit on both compared paths and cancel out).
+        let delay = delay_requirement_ns(&nl, set_sop, reset_sop, model)?;
+        let (fb, delay_line) = if delay.needs_delay_line() {
+            let dl = nl.add_gate(
+                GateKind::DelayLine {
+                    ps: delay.delay_line_ps(),
+                },
+                vec![ff],
+                &format!("{name}.tdel"),
+            );
+            (dl, Some(dl))
+        } else {
+            (ff, None)
+        };
+
+        // enable-set is the (delayed) complement rail: a free input bubble.
+        // The acknowledgement gates are physically merged into the flip-flop
+        // input stage (zero extra level; the MHS response covers them).
+        let ack_set = nl.add_gate(
+            GateKind::AckAnd {
+                invert_enable: true,
+            },
+            vec![set_sop, fb],
+            &format!("{name}.ack_set"),
+        );
+        let ack_reset = nl.add_gate(
+            GateKind::AckAnd {
+                invert_enable: false,
+            },
+            vec![reset_sop, fb],
+            &format!("{name}.ack_reset"),
+        );
+        nl.rewire_input(ff.driver(), 0, ack_set);
+        nl.rewire_input(ff.driver(), 1, ack_reset);
+
+        assembled.push(AssembledSignal {
+            signal,
+            set_sop,
+            reset_sop,
+            ack_set,
+            ack_reset,
+            ff,
+            delay_line,
+            delay,
+        });
+    }
+    Ok((nl, assembled))
+}
+
+/// Build one sum-of-products network (fan-in-limited trees); returns its
+/// output net.
+///
+/// Single positive literals are wires, single negative literals are
+/// inverters, single-cube covers skip the OR gate, empty covers are a
+/// constant 0 and the full cube a constant 1. This helper is shared with
+/// the baseline synthesis flows.
+pub fn build_sop(
+    nl: &mut Netlist,
+    cover: &Cover,
+    net_of: &dyn Fn(usize) -> NetId,
+    prefix: &str,
+) -> NetId {
+    let mut terms = Vec::new();
+    for (i, cube) in cover.iter().enumerate() {
+        let mut literals = Vec::new();
+        for v in 0..cube.num_vars() {
+            match cube.polarity(v) {
+                Polarity::Positive => literals.push((net_of(v), false)),
+                Polarity::Negative => literals.push((net_of(v), true)),
+                Polarity::Free => {}
+                Polarity::Empty => unreachable!("covers never hold empty cubes"),
+            }
+        }
+        let term = if literals.is_empty() {
+            nl.add_gate(GateKind::Const(true), vec![], &format!("{prefix}.one"))
+        } else {
+            nl.add_and_tree(&literals, &format!("{prefix}.p{i}"))
+        };
+        terms.push(term);
+    }
+    if terms.is_empty() {
+        nl.add_gate(GateKind::Const(false), vec![], &format!("{prefix}.zero"))
+    } else {
+        nl.add_or_tree(terms, prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::derive::SetResetSpec;
+    use crate::fixtures;
+    use nshot_logic::espresso;
+    use nshot_netlist::DelayModel;
+
+    fn covers_for(sg: &StateGraph) -> Vec<(SignalId, Cover, Cover)> {
+        sg.non_input_signals()
+            .map(|a| {
+                let spec = SetResetSpec::derive(sg, a);
+                (a, espresso(&spec.set), espresso(&spec.reset))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn handshake_architecture_shape() {
+        let sg = fixtures::handshake();
+        let covers = covers_for(&sg);
+        let (nl, parts) = assemble_netlist(&sg, &covers, &DelayModel::nominal()).unwrap();
+        assert_eq!(parts.len(), 1);
+        let p = &parts[0];
+        // set = r (single positive literal → wire), reset = r̄ (inverter).
+        assert_eq!(nl.kind(p.set_sop.driver()), &GateKind::Input);
+        assert!(matches!(nl.kind(p.reset_sop.driver()), GateKind::Not));
+        // Acknowledgement gates feed the flip-flop.
+        assert_eq!(nl.inputs(p.ff.driver()), &[p.ack_set, p.ack_reset]);
+        // No delay line under the nominal model.
+        assert!(p.delay_line.is_none());
+        assert!(!p.delay.needs_delay_line());
+        // The signal is observable.
+        assert_eq!(nl.output_by_name("g"), Some(p.ff));
+    }
+
+    #[test]
+    fn wide_spread_inserts_shared_delay_line() {
+        let sg = fixtures::figure1_csc();
+        let covers = covers_for(&sg);
+        let (nl, parts) = assemble_netlist(&sg, &covers, &DelayModel::wide_spread()).unwrap();
+        // At least one signal needs compensation under a wide spread when
+        // the set/reset SOP depths differ.
+        let with_dl: Vec<_> = parts.iter().filter(|p| p.delay_line.is_some()).collect();
+        for p in &with_dl {
+            let dl = p.delay_line.unwrap();
+            assert!(matches!(nl.kind(dl.driver()), GateKind::DelayLine { .. }));
+            // Both ack gates take their feedback from the delay line.
+            assert_eq!(nl.inputs(p.ack_set.driver())[1], dl);
+            assert_eq!(nl.inputs(p.ack_reset.driver())[1], dl);
+        }
+        // And under the nominal model, none do (the paper's observation).
+        let (_, parts) = assemble_netlist(&sg, &covers, &DelayModel::nominal()).unwrap();
+        assert!(parts.iter().all(|p| p.delay_line.is_none()));
+    }
+
+    #[test]
+    fn feedback_nets_reference_flip_flops() {
+        let sg = fixtures::figure1_csc();
+        let covers = covers_for(&sg);
+        let (nl, parts) = assemble_netlist(&sg, &covers, &DelayModel::nominal()).unwrap();
+        // d's covers depend on c (and vice versa): some cube input must be
+        // another signal's flip-flop output.
+        let ff_nets: Vec<NetId> = parts.iter().map(|p| p.ff).collect();
+        let mut found = false;
+        for g in nl.gate_ids() {
+            if matches!(nl.kind(g), GateKind::And { .. }) {
+                let is_ack = parts
+                    .iter()
+                    .any(|p| p.ack_set.driver() == g || p.ack_reset.driver() == g);
+                for i in nl.inputs(g) {
+                    if ff_nets.contains(i) && !is_ack {
+                        found = true;
+                    }
+                }
+            }
+        }
+        assert!(found, "some product term taps a flip-flop feedback net");
+    }
+
+    #[test]
+    fn no_combinational_loops() {
+        let sg = fixtures::figure1_csc();
+        let covers = covers_for(&sg);
+        let (nl, _) = assemble_netlist(&sg, &covers, &DelayModel::nominal()).unwrap();
+        assert!(nl.critical_path_ns(&DelayModel::nominal()).is_ok());
+    }
+}

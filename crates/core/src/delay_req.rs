@@ -1,0 +1,140 @@
+//! The Eq. 1 delay requirement (Section IV.C).
+//!
+//! Pulses left over from the set phase must not trespass into the next reset
+//! phase (and vice versa). The acknowledgement scheme re-enables the set
+//! path only `t_del` after the output has fallen, where
+//!
+//! ```text
+//! t_del ≥ MAX{ t_set0_w − t_res1_f − t_mhs−,
+//!              t_res0_w − t_set1_f − t_mhs+ }        (Eq. 1)
+//! ```
+//!
+//! `t_set0_w` is the worst-case settle-to-0 time of the set SOP, `t_res1_f`
+//! the best-case rise time of the reset SOP, and `t_mhs∓` the flip-flop
+//! response. When the MAX is ≤ 0 no delay line is needed — which is the
+//! case for every benchmark in the paper and for every circuit under the
+//! nominal ±10 % delay model.
+
+use nshot_netlist::{DelayModel, NetId, Netlist, TimingError};
+
+/// The evaluated Eq. 1 requirement for one signal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayRequirement {
+    /// Worst-case settle time of the set SOP (ns).
+    pub set_settle_worst_ns: f64,
+    /// Best-case response of the reset SOP (ns).
+    pub reset_rise_fast_ns: f64,
+    /// Worst-case settle time of the reset SOP (ns).
+    pub reset_settle_worst_ns: f64,
+    /// Best-case response of the set SOP (ns).
+    pub set_rise_fast_ns: f64,
+    /// Minimum flip-flop response (ns).
+    pub mhs_response_ns: f64,
+    /// The required compensation, clamped at 0 (ns).
+    pub t_del_ns: f64,
+}
+
+impl DelayRequirement {
+    /// `true` when a physical delay line must be inserted.
+    pub fn needs_delay_line(&self) -> bool {
+        self.t_del_ns > 0.0
+    }
+
+    /// The delay-line length in picoseconds (0 when none is needed).
+    pub fn delay_line_ps(&self) -> u64 {
+        (self.t_del_ns.max(0.0) * 1000.0).ceil() as u64
+    }
+}
+
+/// Evaluate Eq. 1 for a signal whose set/reset SOP outputs are `set_out` and
+/// `reset_out` in `netlist`.
+///
+/// # Errors
+///
+/// Propagates [`TimingError`] from path analysis.
+pub fn delay_requirement_ns(
+    netlist: &Netlist,
+    set_out: NetId,
+    reset_out: NetId,
+    model: &DelayModel,
+) -> Result<DelayRequirement, TimingError> {
+    let set_settle_worst_ns = netlist.arrival_max_ns(set_out, model)?;
+    let set_rise_fast_ns = netlist.arrival_min_ns(set_out, model)?;
+    let reset_settle_worst_ns = netlist.arrival_max_ns(reset_out, model)?;
+    let reset_rise_fast_ns = netlist.arrival_min_ns(reset_out, model)?;
+    let mhs_response_ns = model.storage_ns.0;
+    let a = set_settle_worst_ns - reset_rise_fast_ns - mhs_response_ns;
+    let b = reset_settle_worst_ns - set_rise_fast_ns - mhs_response_ns;
+    Ok(DelayRequirement {
+        set_settle_worst_ns,
+        reset_rise_fast_ns,
+        reset_settle_worst_ns,
+        set_rise_fast_ns,
+        mhs_response_ns,
+        t_del_ns: a.max(b).max(0.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nshot_netlist::{GateKind, Netlist};
+
+    /// Two-level set SOP, single-gate reset SOP.
+    fn asymmetric_stage() -> (Netlist, NetId, NetId) {
+        let mut n = Netlist::new("stage");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let p = n.add_gate(GateKind::and(2), vec![a, b], "p");
+        let q = n.add_gate(GateKind::and(2), vec![a, b], "q");
+        let set = n.add_gate(GateKind::Or, vec![p, q], "set");
+        let reset = n.add_gate(
+            GateKind::And {
+                inverted: vec![true, true],
+            },
+            vec![a, b],
+            "reset",
+        );
+        (n, set, reset)
+    }
+
+    #[test]
+    fn nominal_model_never_needs_compensation() {
+        let (n, set, reset) = asymmetric_stage();
+        let req =
+            delay_requirement_ns(&n, set, reset, &nshot_netlist::DelayModel::nominal()).unwrap();
+        // 2.4 (set worst) − 1.08 (reset fast) − 2.16 (mhs) < 0.
+        assert!(!req.needs_delay_line(), "{req:?}");
+        assert_eq!(req.delay_line_ps(), 0);
+    }
+
+    #[test]
+    fn wide_spread_model_forces_a_delay_line() {
+        let (n, set, reset) = asymmetric_stage();
+        let req =
+            delay_requirement_ns(&n, set, reset, &nshot_netlist::DelayModel::wide_spread())
+                .unwrap();
+        // 2.4 (set worst) − 0.4 (reset fast) − 1.0 (mhs) = 1.0 > 0.
+        assert!(req.needs_delay_line());
+        assert!((req.t_del_ns - 1.0).abs() < 1e-9, "{req:?}");
+        assert_eq!(req.delay_line_ps(), 1000);
+    }
+
+    #[test]
+    fn symmetric_networks_balance_out() {
+        let mut n = Netlist::new("sym");
+        let a = n.add_input("a");
+        let set = n.add_gate(GateKind::and(1), vec![a], "set");
+        let reset = n.add_gate(
+            GateKind::And {
+                inverted: vec![true],
+            },
+            vec![a],
+            "reset",
+        );
+        let req =
+            delay_requirement_ns(&n, set, reset, &nshot_netlist::DelayModel::nominal()).unwrap();
+        assert!(!req.needs_delay_line());
+        assert!((req.set_settle_worst_ns - req.reset_settle_worst_ns).abs() < 1e-9);
+    }
+}

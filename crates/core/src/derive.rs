@@ -1,0 +1,164 @@
+//! Deriving the set/reset specifications from the region decomposition.
+//!
+//! This implements the logic-derivation procedure of Section IV.A and its
+//! Table 1: for a non-input signal `a`,
+//!
+//! | region      | SET | RESET | mode     |
+//! |-------------|-----|-------|----------|
+//! | `ER(+a)`    |  1  |   0   | `+a`     |
+//! | `QR(+a)`    |  *  |   0   | `a = 1`  |
+//! | `ER(-a)`    |  0  |   1   | `-a`     |
+//! | `QR(-a)`    |  0  |   *   | `a = 0`  |
+//! | unreachable |  *  |   *   | memory   |
+//!
+//! Unreachable codes are folded into the don't-care sets by construction:
+//! the DC cover is computed as the complement of ON ∪ OFF, which covers both
+//! the quiescent states of the firing direction and every unreachable code —
+//! without ever enumerating the `2^n` space.
+
+use nshot_logic::{Cover, Function};
+use nshot_sg::{RegionMode, SignalId, StateGraph};
+
+/// The ON/DC/OFF specification of one signal's set and reset functions.
+#[derive(Debug, Clone)]
+pub struct SetResetSpec {
+    /// The signal being implemented.
+    pub signal: SignalId,
+    /// The set function (fires `+a`).
+    pub set: Function,
+    /// The reset function (fires `-a`).
+    pub reset: Function,
+}
+
+impl SetResetSpec {
+    /// Derive the specification for non-input signal `a` from the reachable
+    /// states of `sg`, per Table 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is an input signal (inputs are driven by the
+    /// environment and are never implemented).
+    pub fn derive(sg: &StateGraph, a: SignalId) -> Self {
+        assert!(
+            sg.signal_kind(a).is_non_input(),
+            "input signal '{}' is not synthesized",
+            sg.signal_name(a)
+        );
+        let n = sg.num_signals();
+        let mut er_up = Vec::new();
+        let mut qr_up = Vec::new();
+        let mut er_down = Vec::new();
+        let mut qr_down = Vec::new();
+        for s in sg.reachable() {
+            let code = sg.code(s);
+            match sg.region_mode(s, a) {
+                RegionMode::ExcitedUp => er_up.push(code),
+                RegionMode::StableHigh => qr_up.push(code),
+                RegionMode::ExcitedDown => er_down.push(code),
+                RegionMode::StableLow => qr_down.push(code),
+            }
+        }
+        let cover = |codes: &[u64]| Cover::from_minterms(n, codes);
+
+        // SET: on = ER(+a); off = ER(-a) ∪ QR(-a); dc = rest (QR(+a) ∪ unreachable).
+        let set_on = cover(&er_up);
+        let set_off = cover(&er_down).union(&cover(&qr_down));
+        let set_dc = set_on.union(&set_off).complement();
+        let set = Function::with_off(set_on, set_dc, set_off);
+
+        // RESET: on = ER(-a); off = ER(+a) ∪ QR(+a); dc = rest.
+        let reset_on = cover(&er_down);
+        let reset_off = cover(&er_up).union(&cover(&qr_up));
+        let reset_dc = reset_on.union(&reset_off).complement();
+        let reset = Function::with_off(reset_on, reset_dc, reset_off);
+
+        SetResetSpec { signal: a, set, reset }
+    }
+
+    /// Render the Table 1 row for a given state: `(SET, RESET, mode)` as the
+    /// paper prints them (`1`, `0`, `*`).
+    pub fn table1_row(&self, sg: &StateGraph, state: nshot_sg::StateId) -> (char, char, String) {
+        let name = sg.signal_name(self.signal);
+        match sg.region_mode(state, self.signal) {
+            RegionMode::ExcitedUp => ('1', '0', format!("+{name}")),
+            RegionMode::StableHigh => ('*', '0', format!("{name} = 1")),
+            RegionMode::ExcitedDown => ('0', '1', format!("-{name}")),
+            RegionMode::StableLow => ('0', '*', format!("{name} = 0")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn handshake_set_reset_functions() {
+        let sg = fixtures::handshake();
+        let g = sg.signal_by_name("g").unwrap();
+        let spec = SetResetSpec::derive(&sg, g);
+        // States (r,g): 00 → 01(r) → 11 → 10(g only). r = bit0, g = bit1.
+        // ER(+g) = {01}; QR(+g) = {11}; ER(-g) = {10}; QR(-g) = {00}.
+        assert_eq!(spec.set.on_set().minterms(), vec![0b01]);
+        assert_eq!(spec.set.off_set().minterms(), vec![0b00, 0b10]);
+        assert!(spec.set.dc_set().contains_minterm(0b11));
+        assert_eq!(spec.reset.on_set().minterms(), vec![0b10]);
+        assert_eq!(spec.reset.off_set().minterms(), vec![0b01, 0b11]);
+        assert!(spec.reset.dc_set().contains_minterm(0b00));
+    }
+
+    #[test]
+    fn unreachable_codes_are_dont_care() {
+        // figure1_csc has 14 reachable states over 4 signals → 2 unreachable
+        // codes, which must land in both DC sets.
+        let sg = fixtures::figure1_csc();
+        let c = sg.signal_by_name("c").unwrap();
+        let spec = SetResetSpec::derive(&sg, c);
+        let reachable = sg.reachable_codes();
+        for code in 0..16u64 {
+            if !reachable.contains(&code) {
+                assert!(
+                    spec.set.dc_set().contains_minterm(code),
+                    "unreachable {code:04b} must be a set don't-care"
+                );
+                assert!(
+                    spec.reset.dc_set().contains_minterm(code),
+                    "unreachable {code:04b} must be a reset don't-care"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table1_partition_is_exact() {
+        // For every reachable state the (SET, RESET) spec matches Table 1,
+        // and ON/DC/OFF partition the space.
+        let sg = fixtures::figure1_csc();
+        for a in sg.non_input_signals() {
+            let spec = SetResetSpec::derive(&sg, a);
+            for s in sg.reachable() {
+                let code = sg.code(s);
+                let (set_c, reset_c, _) = spec.table1_row(&sg, s);
+                match set_c {
+                    '1' => assert!(spec.set.on_set().contains_minterm(code)),
+                    '0' => assert!(spec.set.off_set().contains_minterm(code)),
+                    _ => assert!(spec.set.dc_set().contains_minterm(code)),
+                }
+                match reset_c {
+                    '1' => assert!(spec.reset.on_set().contains_minterm(code)),
+                    '0' => assert!(spec.reset.off_set().contains_minterm(code)),
+                    _ => assert!(spec.reset.dc_set().contains_minterm(code)),
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not synthesized")]
+    fn deriving_an_input_panics() {
+        let sg = fixtures::handshake();
+        let r = sg.signal_by_name("r").unwrap();
+        let _ = SetResetSpec::derive(&sg, r);
+    }
+}

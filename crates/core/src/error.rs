@@ -1,0 +1,72 @@
+//! Error type for the synthesis flow.
+
+use nshot_sg::{CscViolation, SemiModularityViolation};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by [`crate::synthesize`].
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum SynthesisError {
+    /// The specification violates Complete State Coding — the minimal
+    /// requirement of the method (Theorem 2 presupposes it).
+    Csc(Vec<CscViolation>),
+    /// The specification is not semi-modular with input choices.
+    NotSemiModular(Vec<SemiModularityViolation>),
+    /// Theorem 1 fails for the given signal: some trigger region admits no
+    /// off-set-free covering cube, so the MHS flip-flop may never see a
+    /// pulse long enough to fire.
+    TriggerRequirement {
+        /// Name of the offending non-input signal.
+        signal: String,
+        /// Codes of the trigger-region states that cannot be covered.
+        states: Vec<u64>,
+    },
+    /// The exact minimizer gave up (covering table too large); retry with
+    /// the heuristic minimizer.
+    Logic(nshot_logic::LogicError),
+    /// Timing analysis of the assembled netlist failed.
+    Timing(nshot_netlist::TimingError),
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::Csc(v) => {
+                write!(f, "complete state coding violated ({} state pairs)", v.len())
+            }
+            SynthesisError::NotSemiModular(v) => {
+                write!(f, "not semi-modular with input choices ({} diamonds fail)", v.len())
+            }
+            SynthesisError::TriggerRequirement { signal, states } => write!(
+                f,
+                "trigger requirement fails for signal '{signal}' ({} uncoverable states)",
+                states.len()
+            ),
+            SynthesisError::Logic(e) => write!(f, "logic minimization failed: {e}"),
+            SynthesisError::Timing(e) => write!(f, "timing analysis failed: {e}"),
+        }
+    }
+}
+
+impl Error for SynthesisError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SynthesisError::Logic(e) => Some(e),
+            SynthesisError::Timing(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nshot_logic::LogicError> for SynthesisError {
+    fn from(e: nshot_logic::LogicError) -> Self {
+        SynthesisError::Logic(e)
+    }
+}
+
+impl From<nshot_netlist::TimingError> for SynthesisError {
+    fn from(e: nshot_netlist::TimingError) -> Self {
+        SynthesisError::Timing(e)
+    }
+}

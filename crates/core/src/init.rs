@@ -1,0 +1,159 @@
+//! Initialization of the MHS flip-flop (Section IV.F).
+//!
+//! The flip-flop self-initializes whenever the initial state already drives
+//! its set or reset input. Explicit initialization (a "reset" product term
+//! on one output of the master RS latch) is needed only when the initial
+//! state sits in a quiescent region and the corresponding SOP output happens
+//! to be 0 there.
+
+use nshot_logic::Cover;
+use nshot_sg::{RegionMode, SignalId, StateGraph};
+
+/// The initialization plan of one MHS flip-flop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InitPlan {
+    /// No explicit initialization needed; the flip-flop settles to `value`.
+    Automatic {
+        /// The initial output value the flip-flop reaches on its own.
+        value: bool,
+    },
+    /// A reset term forcing the flip-flop **high** is required
+    /// (`s₀ ∈ QR(+a)` and `set(s₀) = 0`).
+    ForceHigh,
+    /// A reset term forcing the flip-flop **low** is required
+    /// (`s₀ ∈ QR(-a)` and `reset(s₀) = 0`).
+    ForceLow,
+}
+
+impl InitPlan {
+    /// Extra area charged for an explicit initialization term, in library
+    /// units (one product term on the master latch).
+    pub fn area(&self) -> u32 {
+        match self {
+            InitPlan::Automatic { .. } => 0,
+            InitPlan::ForceHigh | InitPlan::ForceLow => 8,
+        }
+    }
+
+    /// The value of the signal in the initial state.
+    pub fn initial_value(&self) -> bool {
+        matches!(self, InitPlan::Automatic { value: true } | InitPlan::ForceHigh)
+    }
+}
+
+/// Analyze the initialization of `signal` given its minimized covers.
+pub fn init_plan(
+    sg: &StateGraph,
+    signal: SignalId,
+    set_cover: &Cover,
+    reset_cover: &Cover,
+) -> InitPlan {
+    let s0 = sg.initial();
+    let code = sg.code(s0);
+    match sg.region_mode(s0, signal) {
+        // In an excitation region the corresponding SOP is driven to 1, so
+        // the flip-flop initializes itself (firing the pending transition).
+        RegionMode::ExcitedUp => InitPlan::Automatic { value: true },
+        RegionMode::ExcitedDown => InitPlan::Automatic { value: false },
+        RegionMode::StableHigh => {
+            if set_cover.contains_minterm(code) {
+                InitPlan::Automatic { value: true }
+            } else {
+                InitPlan::ForceHigh
+            }
+        }
+        RegionMode::StableLow => {
+            if reset_cover.contains_minterm(code) {
+                InitPlan::Automatic { value: false }
+            } else {
+                InitPlan::ForceLow
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::derive::SetResetSpec;
+    use crate::fixtures;
+    use nshot_logic::espresso;
+
+    #[test]
+    fn handshake_initializes() {
+        let sg = fixtures::handshake();
+        let g = sg.signal_by_name("g").unwrap();
+        let spec = SetResetSpec::derive(&sg, g);
+        let set = espresso(&spec.set);
+        let reset = espresso(&spec.reset);
+        let plan = init_plan(&sg, g, &set, &reset);
+        // s0 = 00 ∈ QR(-g). reset cover is free to contain 00 (it is a
+        // don't-care there); either outcome is legal, and the initial value
+        // is 0 in both.
+        assert!(!plan.initial_value());
+        match plan {
+            InitPlan::Automatic { value } => assert!(!value),
+            InitPlan::ForceLow => {}
+            InitPlan::ForceHigh => panic!("g starts low"),
+        }
+    }
+
+    #[test]
+    fn force_low_when_reset_misses_initial_state() {
+        // Build covers by hand: a reset cover that misses the initial code.
+        let sg = fixtures::handshake();
+        let g = sg.signal_by_name("g").unwrap();
+        // set = r (covers 01); reset = r̄ restricted to g=1 only: cube r̄·g.
+        let n = sg.num_signals();
+        let set = nshot_logic::Cover::from_cubes(
+            n,
+            vec![nshot_logic::Cube::from_literals(n, &[(0, true)])],
+        );
+        let reset = nshot_logic::Cover::from_cubes(
+            n,
+            vec![nshot_logic::Cube::from_literals(n, &[(0, false), (1, true)])],
+        );
+        let plan = init_plan(&sg, g, &set, &reset);
+        assert_eq!(plan, InitPlan::ForceLow);
+        assert_eq!(plan.area(), 8);
+    }
+
+    #[test]
+    fn automatic_when_reset_holds_initial_state() {
+        let sg = fixtures::handshake();
+        let g = sg.signal_by_name("g").unwrap();
+        let n = sg.num_signals();
+        // reset = r̄ (covers 00 and 10).
+        let set = nshot_logic::Cover::from_cubes(
+            n,
+            vec![nshot_logic::Cube::from_literals(n, &[(0, true)])],
+        );
+        let reset = nshot_logic::Cover::from_cubes(
+            n,
+            vec![nshot_logic::Cube::from_literals(n, &[(0, false)])],
+        );
+        let plan = init_plan(&sg, g, &set, &reset);
+        assert_eq!(plan, InitPlan::Automatic { value: false });
+        assert_eq!(plan.area(), 0);
+    }
+
+    #[test]
+    fn excited_initial_state_is_automatic() {
+        // An SG whose initial state already excites the output.
+        let mut b = nshot_sg::SgBuilder::new();
+        let y = b.signal("y", nshot_sg::SignalKind::Output);
+        let r = b.signal("r", nshot_sg::SignalKind::Input);
+        b.edge_codes(0b00, (y, true), 0b01).unwrap();
+        b.edge_codes(0b01, (r, true), 0b11).unwrap();
+        b.edge_codes(0b11, (y, false), 0b10).unwrap();
+        b.edge_codes(0b10, (r, false), 0b00).unwrap();
+        let sg = b.build(0b00).unwrap();
+        let spec = SetResetSpec::derive(&sg, y);
+        let set = espresso(&spec.set);
+        let reset = espresso(&spec.reset);
+        assert_eq!(
+            init_plan(&sg, y, &set, &reset),
+            InitPlan::Automatic { value: true }
+        );
+    }
+}

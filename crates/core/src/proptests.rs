@@ -1,0 +1,68 @@
+//! Property tests: synthesis invariants over generated pipeline SGs.
+
+use crate::{synthesize, verify_covers, SynthesisOptions};
+use nshot_sg::{SgBuilder, SignalKind, StateGraph};
+use proptest::prelude::*;
+
+/// Sequential cycle of signals with mixed kinds (at least one non-input).
+fn pipeline_sg(kinds: &[bool]) -> StateGraph {
+    let n = kinds.len();
+    let mut b = SgBuilder::named("pipeline");
+    let ids: Vec<_> = (0..n)
+        .map(|i| {
+            b.signal(
+                &format!("s{i}"),
+                if kinds[i] {
+                    SignalKind::Input
+                } else {
+                    SignalKind::Output
+                },
+            )
+        })
+        .collect();
+    let mut code = 0u64;
+    for phase in [true, false] {
+        for (i, &id) in ids.iter().enumerate() {
+            let next = if phase { code | (1 << i) } else { code & !(1 << i) };
+            b.edge_codes(code, (id, phase), next).expect("consistent");
+            code = next;
+        }
+    }
+    b.build(0).expect("non-empty")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pipelines_always_synthesize(mut kinds in proptest::collection::vec(any::<bool>(), 2..8)) {
+        kinds[0] = false; // ensure at least one non-input signal
+        let sg = pipeline_sg(&kinds);
+        let result = synthesize(&sg, &SynthesisOptions::default()).expect("pipelines satisfy CSC");
+        // One implementation per non-input signal.
+        let expected = kinds.iter().filter(|&&k| !k).count();
+        prop_assert_eq!(result.signals.len(), expected);
+        // Covers verify against Table 1 independently.
+        for s in &result.signals {
+            prop_assert_eq!(
+                verify_covers(&sg, s.signal, &s.set_cover, &s.reset_cover),
+                Ok(())
+            );
+        }
+        // Corollary 1 territory: sequential SGs are single-traversal, hence
+        // every trigger region is covered.
+        prop_assert!(sg.is_single_traversal());
+        // Eq. 1 never demands compensation under the nominal model.
+        prop_assert!(result.delay_compensation_free());
+        // The netlist has no combinational loops and positive area.
+        prop_assert!(result.area > 0);
+        prop_assert!(result.delay_ns > 0.0);
+    }
+
+    #[test]
+    fn area_grows_with_signal_count(n in 2usize..6) {
+        let small = synthesize(&pipeline_sg(&vec![false; n]), &SynthesisOptions::default()).unwrap();
+        let large = synthesize(&pipeline_sg(&vec![false; n + 2]), &SynthesisOptions::default()).unwrap();
+        prop_assert!(large.area > small.area);
+    }
+}

@@ -1,0 +1,121 @@
+//! Human-readable synthesis reports.
+
+use crate::synth::NshotImplementation;
+use crate::trigger::TriggerStatus;
+use nshot_sg::StateGraph;
+use std::fmt::Write as _;
+
+impl NshotImplementation {
+    /// Render a complete synthesis report: specification statistics,
+    /// per-signal covers (with PLA dumps), trigger certificates, Eq. 1
+    /// figures, initialization plans, and netlist totals.
+    pub fn report(&self, sg: &StateGraph) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "=== N-SHOT synthesis report: {} ===", self.name);
+        let _ = writeln!(
+            out,
+            "specification: {} signals ({} inputs, {} non-inputs), {} states",
+            sg.num_signals(),
+            sg.input_signals().count(),
+            sg.non_input_signals().count(),
+            self.num_states
+        );
+        let _ = writeln!(
+            out,
+            "classification: distributive = {}, single traversal = {}",
+            sg.is_distributive(),
+            sg.is_single_traversal()
+        );
+        let _ = writeln!(
+            out,
+            "totals: area = {} units, critical path = {:.1} ns, {} product terms",
+            self.area,
+            self.delay_ns,
+            self.product_terms()
+        );
+        let stats = self.netlist.stats();
+        let _ = writeln!(
+            out,
+            "netlist: {} AND (incl. ack), {} OR, {} INV, {} storage, {} delay lines",
+            stats.ands, stats.ors, stats.inverters, stats.storage, stats.delays
+        );
+        for s in &self.signals {
+            let _ = writeln!(out, "\n--- signal {} ---", s.name);
+            let _ = writeln!(
+                out,
+                "set   ({} cubes, {} literals): {}",
+                s.set_cover.num_cubes(),
+                s.set_cover.literal_count(),
+                s.set_cover
+            );
+            let _ = writeln!(
+                out,
+                "reset ({} cubes, {} literals): {}",
+                s.reset_cover.num_cubes(),
+                s.reset_cover.literal_count(),
+                s.reset_cover
+            );
+            for cert in &s.triggers {
+                let how = match cert.status {
+                    TriggerStatus::Covered { cube } => format!("covered by cube #{cube}"),
+                    TriggerStatus::Repaired { cube } => {
+                        format!("repaired with supercube #{cube}")
+                    }
+                };
+                let _ = writeln!(
+                    out,
+                    "trigger region ({}{}, {} states): {how}",
+                    cert.dir.sign(),
+                    s.name,
+                    cert.states.len()
+                );
+            }
+            let _ = writeln!(out, "initialization: {:?}", s.init);
+            let _ = writeln!(
+                out,
+                "Eq. 1: t_del = {:.2} ns ({}); set worst {:.2} / reset fast {:.2} / mhs {:.2}",
+                s.delay.t_del_ns,
+                if s.delay.needs_delay_line() {
+                    "delay line inserted"
+                } else {
+                    "no compensation"
+                },
+                s.delay.set_settle_worst_ns,
+                s.delay.reset_rise_fast_ns,
+                s.delay.mhs_response_ns
+            );
+            let _ = writeln!(out, "set PLA:\n{}", s.set_cover.to_pla());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::fixtures;
+    use crate::{synthesize, SynthesisOptions};
+
+    #[test]
+    fn report_contains_all_sections() {
+        let sg = fixtures::figure1_csc();
+        let imp = synthesize(&sg, &SynthesisOptions::default()).unwrap();
+        let report = imp.report(&sg);
+        assert!(report.contains("=== N-SHOT synthesis report: figure1-csc ==="));
+        assert!(report.contains("distributive = false"));
+        assert!(report.contains("--- signal c ---"));
+        assert!(report.contains("--- signal d ---"));
+        assert!(report.contains("trigger region (+c"));
+        assert!(report.contains("Eq. 1: t_del = 0.00 ns (no compensation)"));
+        assert!(report.contains(".i 4"), "PLA dump present");
+        assert!(report.contains("initialization:"));
+    }
+
+    #[test]
+    fn report_shows_repairs_on_non_single_traversal() {
+        let sg = fixtures::figure7b();
+        let imp = synthesize(&sg, &SynthesisOptions::default()).unwrap();
+        let report = imp.report(&sg);
+        assert!(report.contains("single traversal = false"));
+        assert!(report.contains("2 states"), "multi-state trigger region listed");
+    }
+}

@@ -1,0 +1,107 @@
+//! Independent functional verification of minimized covers against Table 1.
+
+use nshot_logic::Cover;
+use nshot_sg::{RegionMode, SignalId, StateGraph};
+
+/// Check that `set_cover` / `reset_cover` implement the Table 1
+/// specification of `signal` over every reachable state:
+///
+/// * `ER(+a)`: set = 1 and reset = 0;
+/// * `QR(+a)`: reset = 0;
+/// * `ER(-a)`: set = 0 and reset = 1;
+/// * `QR(-a)`: set = 0.
+///
+/// This re-derives the requirement straight from the state graph, so it is
+/// an independent oracle for the whole derive → minimize → repair pipeline.
+///
+/// # Errors
+///
+/// A human-readable description of the first violated state.
+pub fn verify_covers(
+    sg: &StateGraph,
+    signal: SignalId,
+    set_cover: &Cover,
+    reset_cover: &Cover,
+) -> Result<(), String> {
+    let name = sg.signal_name(signal);
+    for s in sg.reachable() {
+        let code = sg.code(s);
+        let set = set_cover.contains_minterm(code);
+        let reset = reset_cover.contains_minterm(code);
+        let fail = |what: &str| {
+            Err(format!(
+                "signal '{name}', state {}: {what} (set={set}, reset={reset})",
+                sg.code_string(s)
+            ))
+        };
+        match sg.region_mode(s, signal) {
+            RegionMode::ExcitedUp => {
+                if !set {
+                    return fail("ER(+a) requires set = 1");
+                }
+                if reset {
+                    return fail("ER(+a) requires reset = 0");
+                }
+            }
+            RegionMode::StableHigh => {
+                if reset {
+                    return fail("QR(+a) requires reset = 0");
+                }
+            }
+            RegionMode::ExcitedDown => {
+                if set {
+                    return fail("ER(-a) requires set = 0");
+                }
+                if !reset {
+                    return fail("ER(-a) requires reset = 1");
+                }
+            }
+            RegionMode::StableLow => {
+                if set {
+                    return fail("QR(-a) requires set = 0");
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::derive::SetResetSpec;
+    use crate::fixtures;
+    use nshot_logic::{espresso, minimize_exact, Cube};
+
+    #[test]
+    fn minimized_covers_verify() {
+        for sg in [
+            fixtures::handshake(),
+            fixtures::figure1_csc(),
+            fixtures::figure7b(),
+            fixtures::parallel_handshakes(),
+        ] {
+            for a in sg.non_input_signals() {
+                let spec = SetResetSpec::derive(&sg, a);
+                let set = espresso(&spec.set);
+                let reset = espresso(&spec.reset);
+                verify_covers(&sg, a, &set, &reset).expect("heuristic covers verify");
+                let set = minimize_exact(&spec.set).expect("small");
+                let reset = minimize_exact(&spec.reset).expect("small");
+                verify_covers(&sg, a, &set, &reset).expect("exact covers verify");
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_cover_is_rejected() {
+        let sg = fixtures::handshake();
+        let g = sg.signal_by_name("g").unwrap();
+        let n = sg.num_signals();
+        // set = r̄ is wrong (misses ER(+g) at 01 and hits QR(-g) at 00).
+        let bad_set = Cover::from_cubes(n, vec![Cube::from_literals(n, &[(0, false)])]);
+        let reset = Cover::from_cubes(n, vec![Cube::from_literals(n, &[(0, false)])]);
+        let err = verify_covers(&sg, g, &bad_set, &reset).unwrap_err();
+        assert!(err.contains("signal 'g'"), "{err}");
+    }
+}

@@ -1,0 +1,31 @@
+//! Error type for the logic crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by logic-level operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LogicError {
+    /// Exact minimization was asked to build a covering table larger than the
+    /// configured limit.
+    CoveringTableTooLarge {
+        /// Number of rows the table would have had.
+        rows: usize,
+        /// Number of candidate primes (columns).
+        columns: usize,
+    },
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::CoveringTableTooLarge { rows, columns } => write!(
+                f,
+                "exact covering table too large ({rows} rows x {columns} primes)"
+            ),
+        }
+    }
+}
+
+impl Error for LogicError {}

@@ -1,0 +1,440 @@
+//! The heuristic two-level minimizer: EXPAND / IRREDUNDANT / REDUCE.
+//!
+//! This is a faithful, compact implementation of the classic ESPRESSO
+//! operator loop. It is deliberately *conventional*: the whole point of the
+//! N-SHOT architecture is that no hazard-related constraint is imposed on the
+//! minimizer — the don't-care set may be used freely and the result is just a
+//! good sum-of-products cover.
+
+use crate::{Cover, Cube, Function};
+
+/// Statistics reported by [`espresso_with_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EspressoStats {
+    /// Number of EXPAND/IRREDUNDANT/REDUCE iterations executed.
+    pub iterations: usize,
+    /// Cube count of the initial (unminimized) cover.
+    pub initial_cubes: usize,
+    /// Cube count of the result.
+    pub final_cubes: usize,
+    /// Literal count of the result.
+    pub final_literals: usize,
+}
+
+/// Minimize `f`, returning a prime, irredundant cover of the ON-set that may
+/// dip freely into the DC-set.
+///
+/// The result is guaranteed to implement `f`: it covers every ON point and no
+/// OFF point (checked with `debug_assert!` in debug builds).
+pub fn espresso(f: &Function) -> Cover {
+    espresso_with_stats(f).0
+}
+
+/// Above this many initial cubes the IRREDUNDANT/REDUCE refinement (whose
+/// tautology checks are super-linear in cover size) is skipped and only
+/// EXPAND + single-cube containment runs. The result is still a valid prime
+/// cover — just not guaranteed irredundant. This keeps the largest Table 2
+/// benchmarks (thousands of states) tractable.
+const REFINEMENT_CUBE_LIMIT: usize = 1_200;
+
+/// Like [`espresso`], but also reports loop statistics.
+pub fn espresso_with_stats(f: &Function) -> (Cover, EspressoStats) {
+    let mut stats = EspressoStats {
+        initial_cubes: f.on_set().num_cubes(),
+        ..EspressoStats::default()
+    };
+    if f.on_set().is_empty() {
+        stats.final_cubes = 0;
+        return (Cover::empty(f.num_vars()), stats);
+    }
+
+    let off = f.off_set().clone();
+    let dc = f.dc_set().clone();
+
+    let fast_mode = f.on_set().num_cubes() > REFINEMENT_CUBE_LIMIT;
+    let mut cover = f.on_set().clone();
+    cover.single_cube_containment();
+    expand(&mut cover, &off);
+    if fast_mode {
+        stats.iterations = 1;
+        stats.final_cubes = cover.num_cubes();
+        stats.final_literals = cover.literal_count();
+        debug_assert!(f.is_implemented_by(&cover));
+        return (cover, stats);
+    }
+    irredundant(&mut cover, &dc, f.on_set());
+    stats.iterations = 1;
+
+    // Essential primes are set aside: they must appear in every cover, so
+    // the refinement loop only has to work on the rest (the classic
+    // ESPRESSO decomposition).
+    let essentials = essential_primes(&cover, &dc);
+    if !essentials.is_empty() && essentials.num_cubes() < cover.num_cubes() {
+        let dc_with_essentials = dc.union(&essentials);
+        let mut rest = Cover::from_cubes(
+            f.num_vars(),
+            cover
+                .iter()
+                .filter(|c| !essentials.iter().any(|e| e == *c))
+                .cloned()
+                .collect(),
+        );
+        let mut best_rest = rest.clone();
+        let mut best_rest_cost = cost(&rest);
+        for _ in 0..16 {
+            reduce(&mut rest, &dc_with_essentials);
+            expand(&mut rest, &off);
+            irredundant(&mut rest, &dc_with_essentials, f.on_set());
+            stats.iterations += 1;
+            let c = cost(&rest);
+            if c < best_rest_cost {
+                best_rest = rest.clone();
+                best_rest_cost = c;
+            } else {
+                break;
+            }
+        }
+        cover = essentials.union(&best_rest);
+        irredundant(&mut cover, &dc, f.on_set());
+    }
+
+    let mut best = cover.clone();
+    let mut best_cost = cost(&best);
+    // REDUCE / EXPAND / IRREDUNDANT until no improvement.
+    for _ in 0..16 {
+        reduce(&mut cover, &dc);
+        expand(&mut cover, &off);
+        irredundant(&mut cover, &dc, f.on_set());
+        stats.iterations += 1;
+        let c = cost(&cover);
+        if c < best_cost {
+            best = cover.clone();
+            best_cost = c;
+        } else {
+            break;
+        }
+    }
+
+    // LAST_GASP: try reduced cubes expanded in isolation; keep any that
+    // let the irredundant pass drop more cubes.
+    let mut gasp = best.clone();
+    reduce(&mut gasp, &dc);
+    expand(&mut gasp, &off);
+    let mut candidate = best.union(&gasp);
+    candidate.single_cube_containment();
+    irredundant(&mut candidate, &dc, f.on_set());
+    if cost(&candidate) < best_cost {
+        best = candidate;
+    }
+
+    debug_assert!(
+        f.is_implemented_by(&best),
+        "espresso produced an incorrect cover"
+    );
+    stats.final_cubes = best.num_cubes();
+    stats.final_literals = best.literal_count();
+    (best, stats)
+}
+
+/// Cost: primary = cube count, secondary = literal count.
+fn cost(c: &Cover) -> (usize, usize) {
+    (c.num_cubes(), c.literal_count())
+}
+
+/// The relatively essential cubes of `cover`: those not covered by the rest
+/// of the cover plus the don't-care set. Every valid cover made of these
+/// primes must contain them.
+pub(crate) fn essential_primes(cover: &Cover, dc: &Cover) -> Cover {
+    let mut essentials = Cover::empty(cover.num_vars());
+    for (i, cube) in cover.iter().enumerate() {
+        let rest: Vec<Cube> = cover
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, c)| c.clone())
+            .collect();
+        let rest_cover = Cover::from_cubes(cover.num_vars(), rest).union(dc);
+        if !rest_cover.contains_cube(cube) {
+            essentials.push(cube.clone());
+        }
+    }
+    essentials
+}
+
+/// EXPAND: make every cube prime by greedily raising literals while the cube
+/// stays disjoint from the OFF-set, then remove covered cubes.
+///
+/// Raising single literals to a fixpoint yields primes: a cube is prime iff
+/// no single literal can be removed without hitting the OFF-set.
+pub(crate) fn expand(cover: &mut Cover, off: &Cover) {
+    let n = cover.num_vars();
+    // Heuristic raise order: free the variables that conflict with the fewest
+    // OFF cubes first (they are the "cheapest" directions).
+    let mut conflict = vec![0usize; n];
+    for o in off.iter() {
+        for v in 0..n {
+            if !matches!(o.polarity(v), crate::Polarity::Free) {
+                conflict[v] += 1;
+            }
+        }
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&v| conflict[v]);
+
+    let mut cubes: Vec<Cube> = cover.iter().cloned().collect();
+    // Expand most-specific cubes first so expanded primes absorb the rest.
+    cubes.sort_by_key(Cube::literal_count);
+    cubes.reverse();
+
+    for c in &mut cubes {
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &v in &order {
+                if matches!(
+                    c.polarity(v),
+                    crate::Polarity::Positive | crate::Polarity::Negative
+                ) {
+                    let mut trial = c.clone();
+                    trial.raise(v);
+                    if !off.iter().any(|o| o.intersects(&trial)) {
+                        *c = trial;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    let mut result = Cover::from_cubes(n, cubes);
+    result.single_cube_containment();
+    *cover = result;
+}
+
+/// IRREDUNDANT: greedily drop cubes that are covered by the remaining cover
+/// plus the DC-set, while preserving coverage of the original ON-set.
+pub(crate) fn irredundant(cover: &mut Cover, dc: &Cover, on: &Cover) {
+    let mut cubes: Vec<Cube> = cover.iter().cloned().collect();
+    // Try to drop large cubes last: removing small ones first tends to keep
+    // the big primes that cover many ON points.
+    cubes.sort_by_key(Cube::literal_count);
+    cubes.reverse();
+    let mut keep = vec![true; cubes.len()];
+    for i in 0..cubes.len() {
+        keep[i] = false;
+        let rest: Vec<Cube> = cubes
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| keep[j])
+            .map(|(_, c)| c.clone())
+            .collect();
+        let rest_cover = Cover::from_cubes(cover.num_vars(), rest).union(dc);
+        if !rest_cover.contains_cube(&cubes[i]) {
+            keep[i] = true;
+        }
+    }
+    let kept: Vec<Cube> = cubes
+        .into_iter()
+        .zip(keep)
+        .filter(|(_, k)| *k)
+        .map(|(c, _)| c)
+        .collect();
+    let result = Cover::from_cubes(cover.num_vars(), kept);
+    debug_assert!(
+        result.union(dc).contains_cover(on),
+        "irredundant dropped ON coverage"
+    );
+    *cover = result;
+}
+
+/// REDUCE: shrink each cube to the smallest cube that still covers its unique
+/// share of the ON-set, opening room for EXPAND to find different primes.
+pub(crate) fn reduce(cover: &mut Cover, dc: &Cover) {
+    let n = cover.num_vars();
+    let mut cubes: Vec<Cube> = cover.iter().cloned().collect();
+    // Standard heuristic order: reduce the biggest cubes first.
+    cubes.sort_by_key(Cube::literal_count);
+    for i in 0..cubes.len() {
+        let rest: Vec<Cube> = cubes
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, c)| c.clone())
+            .collect();
+        let rest_cover = Cover::from_cubes(n, rest).union(dc);
+        let q = rest_cover.cofactor(&cubes[i]);
+        if q.is_tautology() {
+            // Fully redundant; shrink to nothing (dropped below).
+            continue;
+        }
+        // c' = c ∩ supercube(complement(Q))
+        let comp = q.complement();
+        let mut sup: Option<Cube> = None;
+        for c in comp.iter() {
+            sup = Some(match sup {
+                None => c.clone(),
+                Some(s) => s.supercube(c),
+            });
+        }
+        if let Some(s) = sup {
+            let reduced = cubes[i].intersect(&s);
+            if !reduced.is_empty() {
+                cubes[i] = reduced;
+            }
+        }
+    }
+    *cover = Cover::from_cubes(n, cubes);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Function;
+
+    fn check(f: &Function) -> Cover {
+        let c = espresso(f);
+        assert!(f.is_implemented_by(&c), "cover must implement the function");
+        c
+    }
+
+    #[test]
+    fn empty_on_set_gives_empty_cover() {
+        let f = Function::new(Cover::empty(3), Cover::empty(3));
+        assert!(espresso(&f).is_empty());
+    }
+
+    #[test]
+    fn single_minterm() {
+        let f = Function::new(Cover::from_minterms(3, &[0b101]), Cover::empty(3));
+        let c = check(&f);
+        assert_eq!(c.num_cubes(), 1);
+        assert_eq!(c.literal_count(), 3);
+    }
+
+    #[test]
+    fn merges_adjacent_minterms() {
+        // ON = {00, 01} over 2 vars → single cube !a (var0 = a).
+        let f = Function::new(Cover::from_minterms(2, &[0b00, 0b10]), Cover::empty(2));
+        let c = check(&f);
+        assert_eq!(c.num_cubes(), 1);
+        assert_eq!(c.literal_count(), 1);
+    }
+
+    #[test]
+    fn uses_dont_cares() {
+        // ON = {111}, DC = {110, 101, 011} → can reduce literals.
+        let f = Function::new(
+            Cover::from_minterms(3, &[0b111]),
+            Cover::from_minterms(3, &[0b110, 0b101, 0b011]),
+        );
+        let c = check(&f);
+        assert_eq!(c.num_cubes(), 1);
+        assert!(c.literal_count() <= 2);
+    }
+
+    #[test]
+    fn xor_needs_two_cubes() {
+        let f = Function::new(Cover::from_minterms(2, &[0b01, 0b10]), Cover::empty(2));
+        let c = check(&f);
+        assert_eq!(c.num_cubes(), 2);
+        assert_eq!(c.literal_count(), 4);
+    }
+
+    #[test]
+    fn classic_four_var_function() {
+        // f = Σ(0,1,2,3,8,9,10,11) = !x3 … wait: minterms where bit3 clear in
+        // {0..3} and bit3 set in {8..11}: both have bits {2}=0 → f = !x2.
+        let ms: Vec<u64> = vec![0, 1, 2, 3, 8, 9, 10, 11];
+        let f = Function::new(Cover::from_minterms(4, &ms), Cover::empty(4));
+        let c = check(&f);
+        assert_eq!(c.num_cubes(), 1);
+        assert_eq!(c.literal_count(), 1);
+    }
+
+    #[test]
+    fn result_is_prime_and_irredundant() {
+        let ms: Vec<u64> = vec![1, 3, 5, 7, 6];
+        let f = Function::new(Cover::from_minterms(3, &ms), Cover::empty(3));
+        let c = check(&f);
+        // Every cube must be prime: raising any literal hits the off-set.
+        for cube in c.iter() {
+            for v in 0..3 {
+                if matches!(
+                    cube.polarity(v),
+                    crate::Polarity::Positive | crate::Polarity::Negative
+                ) {
+                    let mut raised = cube.clone();
+                    raised.raise(v);
+                    assert!(
+                        f.off_set().iter().any(|o| o.intersects(&raised)),
+                        "cube {cube} is not prime (can raise var {v})"
+                    );
+                }
+            }
+        }
+        // Irredundant: dropping any cube must lose an ON point.
+        for i in 0..c.num_cubes() {
+            let rest: Vec<_> = c
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, x)| x.clone())
+                .collect();
+            let rest = Cover::from_cubes(3, rest).union(f.dc_set());
+            assert!(
+                !rest.contains_cover(f.on_set()),
+                "cube {i} is redundant in the result"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let f = Function::new(Cover::from_minterms(3, &[0, 1, 2, 3]), Cover::empty(3));
+        let (c, stats) = espresso_with_stats(&f);
+        assert_eq!(stats.initial_cubes, 4);
+        assert_eq!(stats.final_cubes, c.num_cubes());
+        assert!(stats.iterations >= 1);
+        assert_eq!(c.num_cubes(), 1);
+    }
+}
+
+#[cfg(test)]
+mod essential_tests {
+    use super::*;
+    use crate::Function;
+
+    #[test]
+    fn essential_primes_are_detected() {
+        // f = Σ(0,1,5,7): primes x̄y̅? — concretely: cube x0'x1' (covers 0,1
+        // over vars {x1,x2}?) — use the classic: ON = {00-, 1-1} shapes.
+        // minterms over 3 vars: 0=000, 1=100, 5=101, 7=111 (bit0 = x0).
+        let f = Function::new(Cover::from_minterms(3, &[0, 1, 5, 7]), Cover::empty(3));
+        let cover = espresso(&f);
+        let ess = essential_primes(&cover, f.dc_set());
+        // Minterm 0 is only coverable by the x1'x2' cube; minterm 7 only by
+        // the x0x2 cube — both of those primes are essential.
+        assert!(ess.num_cubes() >= 2, "{cover:?} → {ess:?}");
+        assert!(f.is_implemented_by(&cover));
+    }
+
+    #[test]
+    fn essentials_of_disjoint_cubes_are_all() {
+        let f = Function::new(Cover::from_minterms(2, &[0b00, 0b11]), Cover::empty(2));
+        let cover = espresso(&f);
+        let ess = essential_primes(&cover, f.dc_set());
+        assert_eq!(ess.num_cubes(), cover.num_cubes());
+    }
+
+    #[test]
+    fn last_gasp_never_worsens() {
+        // Regression guard: the LAST_GASP candidate only replaces the best
+        // cover when strictly cheaper. Exercise with a function whose primes
+        // overlap heavily.
+        let ms: Vec<u64> = (0..16).filter(|m| m % 3 != 0).collect();
+        let f = Function::new(Cover::from_minterms(4, &ms), Cover::empty(4));
+        let cover = espresso(&f);
+        assert!(f.is_implemented_by(&cover));
+        let exact = crate::minimize_exact(&f).expect("small");
+        assert!(cover.num_cubes() <= exact.num_cubes() + 2, "heuristic close to exact");
+    }
+}

@@ -1,0 +1,134 @@
+//! Incompletely specified single-output Boolean functions.
+
+use crate::{Cover, Cube};
+
+/// An incompletely specified Boolean function given by an ON-set and a
+/// DC-set (don't-care set); the OFF-set is everything else.
+///
+/// In the N-SHOT flow the ON/DC/OFF sets of a set (reset) network come
+/// straight from the excitation / quiescent region decomposition of the state
+/// graph (Table 1 of the paper), with all unreachable states added to DC.
+///
+/// # Example
+///
+/// ```
+/// use nshot_logic::{Cover, Function};
+///
+/// let f = Function::new(
+///     Cover::from_minterms(2, &[0b11]),
+///     Cover::from_minterms(2, &[0b01]),
+/// );
+/// assert!(f.off_set().contains_minterm(0b00));
+/// assert!(!f.off_set().contains_minterm(0b01));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Function {
+    on: Cover,
+    dc: Cover,
+    off: Cover,
+}
+
+impl Function {
+    /// Build a function from ON and DC covers; the OFF-set is computed as the
+    /// complement of their union.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the covers disagree on the variable count or if the ON and
+    /// DC sets overlap (the specification would be ambiguous).
+    pub fn new(on: Cover, dc: Cover) -> Self {
+        assert_eq!(on.num_vars(), dc.num_vars(), "cover dimension mismatch");
+        assert!(
+            !on.intersects(&dc),
+            "ON-set and DC-set overlap: ambiguous specification"
+        );
+        let off = on.union(&dc).complement();
+        Function { on, dc, off }
+    }
+
+    /// Build a function with an explicitly supplied OFF-set.
+    ///
+    /// Useful when the caller has already partitioned the space (as the
+    /// region-derivation step of the synthesis flow does).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions disagree or if ON and OFF overlap.
+    pub fn with_off(on: Cover, dc: Cover, off: Cover) -> Self {
+        assert_eq!(on.num_vars(), dc.num_vars(), "cover dimension mismatch");
+        assert_eq!(on.num_vars(), off.num_vars(), "cover dimension mismatch");
+        assert!(!on.intersects(&off), "ON-set and OFF-set overlap");
+        Function { on, dc, off }
+    }
+
+    /// Number of input variables.
+    pub fn num_vars(&self) -> usize {
+        self.on.num_vars()
+    }
+
+    /// The ON-set (must evaluate to 1).
+    pub fn on_set(&self) -> &Cover {
+        &self.on
+    }
+
+    /// The don't-care set (free to be 0 or 1).
+    pub fn dc_set(&self) -> &Cover {
+        &self.dc
+    }
+
+    /// The OFF-set (must evaluate to 0).
+    pub fn off_set(&self) -> &Cover {
+        &self.off
+    }
+
+    /// `true` if `cover` is a correct implementation: it covers all of ON and
+    /// touches none of OFF.
+    pub fn is_implemented_by(&self, cover: &Cover) -> bool {
+        cover.contains_cover(&self.on) && !cover.intersects(&self.off)
+    }
+
+    /// `true` if `cube` may appear in an implementation (is off-set free).
+    pub fn admits_cube(&self, cube: &Cube) -> bool {
+        !self.off.iter().any(|o| o.intersects(cube))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_set_is_complement_of_on_union_dc() {
+        let f = Function::new(
+            Cover::from_minterms(3, &[0, 1]),
+            Cover::from_minterms(3, &[2]),
+        );
+        for m in 0..8u64 {
+            let expect_off = ![0u64, 1, 2].contains(&m);
+            assert_eq!(f.off_set().contains_minterm(m), expect_off, "minterm {m}");
+        }
+    }
+
+    #[test]
+    fn implementation_check() {
+        let f = Function::new(
+            Cover::from_minterms(2, &[0b11]),
+            Cover::from_minterms(2, &[0b01]),
+        );
+        // `a` implements it (covers 11, uses DC 01, avoids OFF {00,10}).
+        let a = Cover::from_cubes(2, vec![Cube::from_literals(2, &[(0, true)])]);
+        assert!(f.is_implemented_by(&a));
+        // `b` does not: covers OFF minterm 10.
+        let b = Cover::from_cubes(2, vec![Cube::from_literals(2, &[(1, true)])]);
+        assert!(!f.is_implemented_by(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_on_dc_panics() {
+        let _ = Function::new(
+            Cover::from_minterms(2, &[1]),
+            Cover::from_minterms(2, &[1]),
+        );
+    }
+}

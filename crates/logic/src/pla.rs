@@ -1,0 +1,240 @@
+//! Berkeley PLA interchange format (the ESPRESSO input/output format).
+//!
+//! Supports the single-output `.type fr` flavour: `.i/.o` declarations,
+//! cube lines with `0/1/-` input parts and `1/0/~/-` output parts, and
+//! comments. This lets covers and functions round-trip with the historical
+//! tool chain the paper built on.
+
+use crate::{Cover, Cube, Function, Polarity};
+use std::error::Error;
+use std::fmt;
+
+/// PLA parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePlaError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl fmt::Display for ParsePlaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PLA parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParsePlaError {}
+
+/// Parse a single-output PLA into a [`Function`] (ON cubes from output `1`,
+/// DC cubes from `-`/`~`; everything else is OFF).
+///
+/// # Errors
+///
+/// [`ParsePlaError`] with the offending line.
+///
+/// # Example
+///
+/// ```
+/// let f = nshot_logic::parse_pla("
+///     .i 2
+///     .o 1
+///     11 1
+///     0- -
+///     .e
+/// ")?;
+/// assert!(f.on_set().contains_minterm(0b11));
+/// assert!(f.dc_set().contains_minterm(0b00));
+/// # Ok::<(), nshot_logic::ParsePlaError>(())
+/// ```
+pub fn parse_pla(text: &str) -> Result<Function, ParsePlaError> {
+    let mut num_inputs: Option<usize> = None;
+    let mut on = Vec::new();
+    let mut dc = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |message: String| ParsePlaError {
+            line: lineno + 1,
+            message,
+        };
+        if let Some(rest) = line.strip_prefix(".i ") {
+            num_inputs = Some(
+                rest.trim()
+                    .parse()
+                    .map_err(|_| err(format!("bad .i count '{rest}'")))?,
+            );
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".o ") {
+            let o: usize = rest
+                .trim()
+                .parse()
+                .map_err(|_| err(format!("bad .o count '{rest}'")))?;
+            if o != 1 {
+                return Err(err("only single-output PLAs are supported".into()));
+            }
+            continue;
+        }
+        if line.starts_with(".e") || line.starts_with(".type") || line.starts_with(".p") {
+            continue;
+        }
+        if line.starts_with('.') {
+            return Err(err(format!("unknown directive '{line}'")));
+        }
+        // Cube line.
+        let n = num_inputs.ok_or_else(|| err(".i must precede cubes".into()))?;
+        let mut parts = line.split_whitespace();
+        let inputs = parts.next().ok_or_else(|| err("missing input part".into()))?;
+        let output = parts.next().ok_or_else(|| err("missing output part".into()))?;
+        if inputs.len() != n {
+            return Err(err(format!(
+                "input part '{inputs}' must have {n} columns"
+            )));
+        }
+        let mut cube = Cube::full(n);
+        for (i, ch) in inputs.chars().enumerate() {
+            match ch {
+                '0' => cube.set(i, false),
+                '1' => cube.set(i, true),
+                '-' | '2' => {}
+                other => return Err(err(format!("bad input column '{other}'"))),
+            }
+        }
+        match output {
+            "1" | "4" => on.push(cube),
+            "-" | "~" | "2" => dc.push(cube),
+            "0" | "3" => {} // explicit OFF cube: implied by complementation
+            other => return Err(err(format!("bad output part '{other}'"))),
+        }
+    }
+    let n = num_inputs.ok_or(ParsePlaError {
+        line: 0,
+        message: "missing .i declaration".into(),
+    })?;
+    let on = Cover::from_cubes(n, on);
+    let mut dc = Cover::from_cubes(n, dc);
+    // PLA don't-cares may overlap ON cubes; ON wins.
+    if on.intersects(&dc) {
+        let not_on = on.complement();
+        dc = dc.intersection(&not_on);
+    }
+    Ok(Function::new(on, dc))
+}
+
+impl Cover {
+    /// Serialize as a single-output PLA body (ON cubes only).
+    pub fn to_pla(&self) -> String {
+        let mut out = format!(".i {}\n.o 1\n.p {}\n", self.num_vars(), self.num_cubes());
+        for cube in self.iter() {
+            for v in 0..self.num_vars() {
+                out.push(match cube.polarity(v) {
+                    Polarity::Negative => '0',
+                    Polarity::Positive => '1',
+                    _ => '-',
+                });
+            }
+            out.push_str(" 1\n");
+        }
+        out.push_str(".e\n");
+        out
+    }
+}
+
+impl Function {
+    /// Serialize as a PLA with ON (`1`) and DC (`-`) cubes.
+    pub fn to_pla(&self) -> String {
+        let mut out = format!(
+            ".i {}\n.o 1\n.type fd\n.p {}\n",
+            self.num_vars(),
+            self.on_set().num_cubes() + self.dc_set().num_cubes()
+        );
+        for (cover, tag) in [(self.on_set(), '1'), (self.dc_set(), '-')] {
+            for cube in cover.iter() {
+                for v in 0..self.num_vars() {
+                    out.push(match cube.polarity(v) {
+                        Polarity::Negative => '0',
+                        Polarity::Positive => '1',
+                        _ => '-',
+                    });
+                }
+                out.push(' ');
+                out.push(tag);
+                out.push('\n');
+            }
+        }
+        out.push_str(".e\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::espresso;
+
+    #[test]
+    fn parse_minimal_pla() {
+        let f = parse_pla(".i 3\n.o 1\n11- 1\n--1 1\n000 -\n.e\n").unwrap();
+        assert!(f.on_set().contains_minterm(0b011));
+        assert!(f.on_set().contains_minterm(0b100));
+        assert!(f.dc_set().contains_minterm(0b000));
+        assert!(f.off_set().contains_minterm(0b010));
+    }
+
+    #[test]
+    fn function_round_trips() {
+        let f = Function::new(
+            Cover::from_minterms(3, &[1, 3, 5]),
+            Cover::from_minterms(3, &[7]),
+        );
+        let back = parse_pla(&f.to_pla()).unwrap();
+        for m in 0..8u64 {
+            assert_eq!(
+                f.on_set().contains_minterm(m),
+                back.on_set().contains_minterm(m),
+                "minterm {m}"
+            );
+            assert_eq!(
+                f.dc_set().contains_minterm(m),
+                back.dc_set().contains_minterm(m),
+                "minterm {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn cover_round_trips_through_pla() {
+        let f = Function::new(Cover::from_minterms(4, &[0, 1, 2, 3, 12]), Cover::empty(4));
+        let cover = espresso(&f);
+        let back = parse_pla(&cover.to_pla()).unwrap();
+        assert!(back.on_set().equivalent(&cover));
+    }
+
+    #[test]
+    fn overlapping_dc_is_trimmed() {
+        let f = parse_pla(".i 2\n.o 1\n1- 1\n11 -\n.e\n").unwrap();
+        assert!(f.on_set().contains_minterm(0b11));
+        assert!(!f.dc_set().contains_minterm(0b11), "ON wins over DC");
+    }
+
+    #[test]
+    fn errors_are_located() {
+        let err = parse_pla(".i 2\n.o 1\n1 1\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        let err = parse_pla(".i 2\n.o 2\n").unwrap_err();
+        assert!(err.message.contains("single-output"));
+        let err = parse_pla("11 1\n").unwrap_err();
+        assert!(err.message.contains(".i must precede"));
+        let err = parse_pla(".i 2\n.o 1\n1x 1\n").unwrap_err();
+        assert!(err.message.contains("bad input column"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let f = parse_pla("# header\n.i 1\n.o 1\n\n1 1 # cube\n.e\n").unwrap();
+        assert!(f.on_set().contains_minterm(1));
+    }
+}

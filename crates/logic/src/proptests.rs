@@ -1,0 +1,151 @@
+//! Property-based tests over the cube/cover algebra and the minimizers.
+
+use crate::{espresso, minimize_exact, Cover, Cube, Function};
+use proptest::prelude::*;
+
+const NVARS: usize = 5;
+
+fn arb_minterms() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::btree_set(0u64..(1 << NVARS), 0..=12)
+        .prop_map(|s| s.into_iter().collect())
+}
+
+fn arb_cube() -> impl Strategy<Value = Cube> {
+    proptest::collection::vec(0u8..3, NVARS).prop_map(|spec| {
+        let mut c = Cube::full(NVARS);
+        for (v, s) in spec.iter().enumerate() {
+            match s {
+                0 => c.set(v, false),
+                1 => c.set(v, true),
+                _ => {}
+            }
+        }
+        c
+    })
+}
+
+fn arb_cover() -> impl Strategy<Value = Cover> {
+    proptest::collection::vec(arb_cube(), 0..6)
+        .prop_map(|cubes| Cover::from_cubes(NVARS, cubes))
+}
+
+proptest! {
+    #[test]
+    fn complement_partitions_space(cover in arb_cover()) {
+        let comp = cover.complement();
+        for m in 0..(1u64 << NVARS) {
+            prop_assert_eq!(cover.contains_minterm(m), !comp.contains_minterm(m));
+        }
+    }
+
+    #[test]
+    fn tautology_agrees_with_enumeration(cover in arb_cover()) {
+        let full = (0..(1u64 << NVARS)).all(|m| cover.contains_minterm(m));
+        prop_assert_eq!(cover.is_tautology(), full);
+    }
+
+    #[test]
+    fn cube_containment_agrees_with_minterms(a in arb_cube(), b in arb_cube()) {
+        let semantic = b.minterms().iter().all(|&m| a.contains_minterm(m));
+        prop_assert_eq!(a.contains(&b), semantic || b.is_empty());
+    }
+
+    #[test]
+    fn intersection_is_semantic(a in arb_cube(), b in arb_cube()) {
+        let i = a.intersect(&b);
+        for m in 0..(1u64 << NVARS) {
+            prop_assert_eq!(
+                i.contains_minterm(m),
+                a.contains_minterm(m) && b.contains_minterm(m)
+            );
+        }
+    }
+
+    #[test]
+    fn supercube_contains_both(a in arb_cube(), b in arb_cube()) {
+        let s = a.supercube(&b);
+        prop_assert!(s.contains(&a));
+        prop_assert!(s.contains(&b));
+    }
+
+    #[test]
+    fn espresso_implements_function(on in arb_minterms(), dc in arb_minterms()) {
+        let dc: Vec<u64> = dc.into_iter().filter(|m| !on.contains(m)).collect();
+        let f = Function::new(
+            Cover::from_minterms(NVARS, &on),
+            Cover::from_minterms(NVARS, &dc),
+        );
+        let c = espresso(&f);
+        prop_assert!(f.is_implemented_by(&c));
+        // Every ON minterm covered, every OFF minterm not.
+        for m in 0..(1u64 << NVARS) {
+            if on.contains(&m) {
+                prop_assert!(c.contains_minterm(m));
+            } else if !dc.contains(&m) {
+                prop_assert!(!c.contains_minterm(m));
+            }
+        }
+    }
+
+    #[test]
+    fn exact_never_worse_than_heuristic(on in arb_minterms(), dc in arb_minterms()) {
+        let dc: Vec<u64> = dc.into_iter().filter(|m| !on.contains(m)).collect();
+        let f = Function::new(
+            Cover::from_minterms(NVARS, &on),
+            Cover::from_minterms(NVARS, &dc),
+        );
+        let heur = espresso(&f);
+        let exact = minimize_exact(&f).expect("table is tiny");
+        prop_assert!(f.is_implemented_by(&exact));
+        prop_assert!(exact.num_cubes() <= heur.num_cubes());
+    }
+
+    #[test]
+    fn cofactor_shannon_expansion(cover in arb_cover(), v in 0usize..NVARS) {
+        // F == x·F_x + x̄·F_x̄ pointwise.
+        let p1 = Cube::from_literals(NVARS, &[(v, true)]);
+        let p0 = Cube::from_literals(NVARS, &[(v, false)]);
+        let f1 = cover.cofactor(&p1);
+        let f0 = cover.cofactor(&p0);
+        for m in 0..(1u64 << NVARS) {
+            let bit = (m >> v) & 1 == 1;
+            let expect = if bit { f1.contains_minterm(m) } else { f0.contains_minterm(m) };
+            prop_assert_eq!(cover.contains_minterm(m), expect);
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn pla_round_trip(on in arb_minterms(), dc in arb_minterms()) {
+        let dc: Vec<u64> = dc.into_iter().filter(|m| !on.contains(m)).collect();
+        let f = Function::new(
+            Cover::from_minterms(NVARS, &on),
+            Cover::from_minterms(NVARS, &dc),
+        );
+        let back = crate::parse_pla(&f.to_pla()).expect("self-emitted PLA parses");
+        for m in 0..(1u64 << NVARS) {
+            prop_assert_eq!(f.on_set().contains_minterm(m), back.on_set().contains_minterm(m));
+            prop_assert_eq!(f.dc_set().contains_minterm(m), back.dc_set().contains_minterm(m));
+        }
+    }
+
+    #[test]
+    fn multi_output_implements_every_function(
+        on0 in arb_minterms(),
+        on1 in arb_minterms(),
+        on2 in arb_minterms(),
+    ) {
+        let functions: Vec<Function> = [on0, on1, on2]
+            .into_iter()
+            .map(|on| Function::new(Cover::from_minterms(NVARS, &on), Cover::empty(NVARS)))
+            .collect();
+        let multi = crate::espresso_multi(&functions);
+        for (j, f) in functions.iter().enumerate() {
+            prop_assert!(f.is_implemented_by(&multi.cover_for(j)), "function {j}");
+        }
+        // Sharing never needs more gates than independent minimization.
+        let independent: usize = functions.iter().map(|f| espresso(f).num_cubes()).sum();
+        prop_assert!(multi.num_product_terms() <= independent);
+    }
+}

@@ -1,0 +1,182 @@
+//! BLIF export — the Berkeley Logic Interchange Format used by SIS itself,
+//! so synthesized netlists can be loaded into the historical tool chain the
+//! paper compared against.
+//!
+//! Combinational gates become `.names` truth tables; storage elements and
+//! delay lines become `.subckt` references to library cells (declared as
+//! black boxes at the end of the file).
+
+use crate::gate::GateKind;
+use crate::graph::Netlist;
+use std::fmt::Write as _;
+
+impl Netlist {
+    /// Emit the design as BLIF. Combinational cells are `.names` tables,
+    /// sequential/special cells are `.subckt` references with accompanying
+    /// black-box models.
+    pub fn to_blif(&self) -> String {
+        let net = |g: crate::GateId| format!("n{}", g.index());
+        let mut out = String::new();
+        let _ = writeln!(out, ".model {}", sanitize(self.name()));
+        let inputs: Vec<String> = self
+            .gate_ids()
+            .filter(|&g| matches!(self.kind(g), GateKind::Input))
+            .map(|g| sanitize(self.gate_name(g)))
+            .collect();
+        let _ = writeln!(out, ".inputs {}", inputs.join(" "));
+        let outputs: Vec<String> = self
+            .outputs()
+            .iter()
+            .map(|(n, _)| sanitize(n))
+            .collect();
+        let _ = writeln!(out, ".outputs {}", outputs.join(" "));
+
+        let mut used = (false, false, false, false); // c, rs, mhs, delay
+        for g in self.gate_ids() {
+            let ins: Vec<String> = self.inputs(g).iter().map(|n| net(n.driver())).collect();
+            let o = net(g);
+            match self.kind(g) {
+                GateKind::Input => {
+                    // Alias the port name onto the internal net.
+                    let _ = writeln!(
+                        out,
+                        ".names {} {o}\n1 1",
+                        sanitize(self.gate_name(g))
+                    );
+                }
+                GateKind::Const(v) => {
+                    let _ = writeln!(out, ".names {o}");
+                    if *v {
+                        let _ = writeln!(out, "1");
+                    }
+                }
+                GateKind::Not => {
+                    let _ = writeln!(out, ".names {} {o}\n0 1", ins[0]);
+                }
+                GateKind::And { inverted } => {
+                    let _ = writeln!(out, ".names {} {o}", ins.join(" "));
+                    let row: String = inverted.iter().map(|&i| if i { '0' } else { '1' }).collect();
+                    let _ = writeln!(out, "{row} 1");
+                }
+                GateKind::Or => {
+                    let _ = writeln!(out, ".names {} {o}", ins.join(" "));
+                    for i in 0..ins.len() {
+                        let row: String = (0..ins.len())
+                            .map(|j| if j == i { '1' } else { '-' })
+                            .collect();
+                        let _ = writeln!(out, "{row} 1");
+                    }
+                }
+                GateKind::AckAnd { invert_enable } => {
+                    let _ = writeln!(out, ".names {} {} {o}", ins[0], ins[1]);
+                    let _ = writeln!(out, "1{} 1", if *invert_enable { '0' } else { '1' });
+                }
+                GateKind::CElement { invert_b } => {
+                    used.0 = true;
+                    let _ = writeln!(
+                        out,
+                        ".subckt c_element{} a={} b={} q={o}",
+                        if *invert_b { "_nb" } else { "" },
+                        ins[0],
+                        ins[1]
+                    );
+                }
+                GateKind::RsLatch => {
+                    used.1 = true;
+                    let _ = writeln!(out, ".subckt rs_latch s={} r={} q={o}", ins[0], ins[1]);
+                }
+                GateKind::MhsFlipFlop => {
+                    used.2 = true;
+                    let _ = writeln!(out, ".subckt mhs_ff set={} reset={} q={o}", ins[0], ins[1]);
+                }
+                GateKind::DelayLine { ps } => {
+                    used.3 = true;
+                    let _ = writeln!(out, "# delay {ps} ps\n.subckt delay a={} y={o}", ins[0]);
+                }
+            }
+        }
+        // Output aliases.
+        for (name, n) in self.outputs() {
+            let _ = writeln!(out, ".names {} {}\n1 1", net(n.driver()), sanitize(name));
+        }
+        let _ = writeln!(out, ".end");
+        // Black-box models.
+        let bb = |out: &mut String, name: &str, ports: &str| {
+            let _ = writeln!(out, "\n.model {name}\n.inputs {ports}\n.outputs q\n.blackbox\n.end");
+        };
+        if used.0 {
+            bb(&mut out, "c_element", "a b");
+            bb(&mut out, "c_element_nb", "a b");
+        }
+        if used.1 {
+            bb(&mut out, "rs_latch", "s r");
+        }
+        if used.2 {
+            bb(&mut out, "mhs_ff", "set reset");
+        }
+        if used.3 {
+            let _ = writeln!(out, "\n.model delay\n.inputs a\n.outputs y\n.blackbox\n.end");
+        }
+        out
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Netlist;
+
+    #[test]
+    fn blif_structure_for_an_nshot_stage() {
+        let mut n = Netlist::new("stage");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let p = n.add_gate(
+            GateKind::And {
+                inverted: vec![false, true],
+            },
+            vec![a, b],
+            "p",
+        );
+        let q = n.add_gate(GateKind::and(2), vec![a, b], "q");
+        let s = n.add_gate(GateKind::Or, vec![p, q], "set");
+        let r = n.add_gate(GateKind::Not, vec![a], "reset");
+        let ff = n.add_gate(GateKind::MhsFlipFlop, vec![s, r], "y");
+        n.mark_output("y", ff);
+        let blif = n.to_blif();
+        assert!(blif.starts_with(".model stage\n"));
+        assert!(blif.contains(".inputs a b"));
+        assert!(blif.contains(".outputs y"));
+        // AND with a bubble: row 10.
+        assert!(blif.contains("10 1"));
+        // OR: one row per input with dashes.
+        assert!(blif.contains("1- 1"));
+        assert!(blif.contains("-1 1"));
+        // Inverter row.
+        assert!(blif.contains("0 1"));
+        // MHS as subckt + black box model.
+        assert!(blif.contains(".subckt mhs_ff"));
+        assert!(blif.contains(".model mhs_ff"));
+        assert!(blif.contains(".blackbox"));
+    }
+
+    #[test]
+    fn blif_constants_and_celement() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let one = n.add_gate(GateKind::Const(true), vec![], "one");
+        let c = n.add_gate(GateKind::CElement { invert_b: true }, vec![a, one], "c");
+        n.mark_output("y", c);
+        let blif = n.to_blif();
+        assert!(blif.contains(".subckt c_element_nb"));
+        assert!(blif.contains(".model c_element_nb"));
+        // Constant-1 .names with a lone `1` row.
+        assert!(blif.contains(".names n1\n1\n"));
+    }
+}

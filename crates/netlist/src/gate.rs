@@ -1,0 +1,177 @@
+//! The cell library.
+
+use std::fmt;
+
+/// The cells available to the synthesis flows.
+///
+/// Areas are in the library units used throughout the Table 2 reproduction:
+/// 8 units per transistor pair, so a `k`-input AND/OR costs `8·(k+1)` and an
+/// inverter costs 8. The MHS flip-flop is "about the same size as a
+/// C-element" at the layout level (paper, footnote 4); we charge it slightly
+/// more to reflect its extra rail.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum GateKind {
+    /// Primary input (zero area, zero delay).
+    Input,
+    /// Constant driver.
+    Const(bool),
+    /// AND gate; `inverted[i]` marks an input bubble. The paper assumes
+    /// AND gates with input inversions are available as basic gates, so the
+    /// bubbles are free (no separate inverter area or delay).
+    And {
+        /// Per-input inversion bubbles (parallel to the gate's inputs).
+        inverted: Vec<bool>,
+    },
+    /// OR gate.
+    Or,
+    /// Inverter.
+    Not,
+    /// Muller C-element (used by the SYN-style baseline architecture).
+    /// `invert_b` puts a free bubble on the second input (the reset rail of
+    /// the standard-C architecture).
+    CElement {
+        /// Input bubble on input 1.
+        invert_b: bool,
+    },
+    /// One of the two acknowledgement AND gates of the N-SHOT architecture
+    /// (Fig. 3). Physically merged into the flip-flop input stage: small
+    /// area, no separate logic level (the flip-flop response covers it).
+    /// Output = `in0 & (in1 ^ invert_enable)`.
+    AckAnd {
+        /// Bubble on the enable (feedback) input.
+        invert_enable: bool,
+    },
+    /// Set/reset latch (used by baselines; set = input 0, reset = input 1).
+    RsLatch,
+    /// The MHS flip-flop: master RS latch + hazard filter + slave RS latch,
+    /// dual-rail output (we expose the true rail). Inputs: set, reset,
+    /// behind the built-in acknowledgement AND gates.
+    MhsFlipFlop,
+    /// A delay line of the given length in picoseconds (for the SIS-style
+    /// baseline's hazard-masking delays and for Eq. 1 compensation).
+    DelayLine {
+        /// Delay in picoseconds.
+        ps: u64,
+    },
+}
+
+impl GateKind {
+    /// A plain C-element (no bubble).
+    pub fn c_element() -> Self {
+        GateKind::CElement { invert_b: false }
+    }
+
+    /// A plain `k`-input AND (no bubbles).
+    pub fn and(k: usize) -> Self {
+        GateKind::And {
+            inverted: vec![false; k],
+        }
+    }
+
+    /// Area in library units given the number of connected inputs.
+    pub fn area(&self, num_inputs: usize) -> u32 {
+        match self {
+            GateKind::Input | GateKind::Const(_) => 0,
+            GateKind::And { .. } | GateKind::Or => 8 * (num_inputs as u32 + 1),
+            GateKind::Not => 8,
+            GateKind::CElement { .. } => 32,
+            GateKind::AckAnd { .. } => 8,
+            GateKind::RsLatch => 24,
+            // "Comparable in physical size to a C-element" (paper, fn. 4).
+            GateKind::MhsFlipFlop => 32,
+            GateKind::DelayLine { .. } => 16,
+        }
+    }
+
+    /// `true` for storage elements that cut combinational paths.
+    pub fn is_sequential(&self) -> bool {
+        matches!(
+            self,
+            GateKind::CElement { .. } | GateKind::RsLatch | GateKind::MhsFlipFlop
+        )
+    }
+
+    /// Number of inputs the cell expects, when fixed.
+    pub fn arity(&self) -> Option<usize> {
+        match self {
+            GateKind::Input | GateKind::Const(_) => Some(0),
+            GateKind::Not | GateKind::DelayLine { .. } => Some(1),
+            GateKind::CElement { .. }
+            | GateKind::RsLatch
+            | GateKind::MhsFlipFlop
+            | GateKind::AckAnd { .. } => Some(2),
+            GateKind::And { inverted } => Some(inverted.len()),
+            GateKind::Or => None,
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GateKind::Input => write!(f, "input"),
+            GateKind::Const(v) => write!(f, "const{}", u8::from(*v)),
+            GateKind::And { inverted } => {
+                write!(f, "and{}", inverted.len())?;
+                if inverted.iter().any(|&b| b) {
+                    write!(f, "b")?;
+                }
+                Ok(())
+            }
+            GateKind::Or => write!(f, "or"),
+            GateKind::Not => write!(f, "inv"),
+            GateKind::CElement { invert_b } => {
+                write!(f, "c-element")?;
+                if *invert_b {
+                    write!(f, "b")?;
+                }
+                Ok(())
+            }
+            GateKind::AckAnd { .. } => write!(f, "ack-and"),
+            GateKind::RsLatch => write!(f, "rs-latch"),
+            GateKind::MhsFlipFlop => write!(f, "mhs-ff"),
+            GateKind::DelayLine { ps } => write!(f, "delay({ps}ps)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_table() {
+        assert_eq!(GateKind::and(2).area(2), 24);
+        assert_eq!(GateKind::and(4).area(4), 40);
+        assert_eq!(GateKind::Or.area(3), 32);
+        assert_eq!(GateKind::Not.area(1), 8);
+        assert_eq!(GateKind::c_element().area(2), 32);
+        assert_eq!(GateKind::AckAnd { invert_enable: true }.area(2), 8);
+        assert_eq!(GateKind::MhsFlipFlop.area(2), 32);
+        assert_eq!(GateKind::Input.area(0), 0);
+    }
+
+    #[test]
+    fn sequential_classification() {
+        assert!(GateKind::MhsFlipFlop.is_sequential());
+        assert!(GateKind::c_element().is_sequential());
+        assert!(!GateKind::AckAnd { invert_enable: false }.is_sequential());
+        assert!(GateKind::RsLatch.is_sequential());
+        assert!(!GateKind::and(2).is_sequential());
+        assert!(!GateKind::DelayLine { ps: 100 }.is_sequential());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(GateKind::and(3).to_string(), "and3");
+        assert_eq!(
+            GateKind::And {
+                inverted: vec![true, false]
+            }
+            .to_string(),
+            "and2b"
+        );
+        assert_eq!(GateKind::DelayLine { ps: 600 }.to_string(), "delay(600ps)");
+    }
+}

@@ -1,0 +1,276 @@
+//! Incremental construction of validated state graphs.
+
+use crate::error::SgError;
+use crate::graph::{SignalInfo, StateData, StateGraph, StateId};
+use crate::signal::{Dir, SignalId, SignalKind, TransitionLabel};
+use std::collections::HashMap;
+
+/// Builder for [`StateGraph`]s with code-addressed states.
+///
+/// States are identified by their binary code (bit `i` = value of signal
+/// `i`), which is the natural way to write down the small, CSC-satisfying
+/// specifications this crate targets. Graphs whose CSC violations require
+/// distinct states with equal codes can be built through
+/// [`SgBuilder::edge_states`] with explicitly allocated states.
+///
+/// Consistency (the λ rules of Section III.A) and determinism are enforced:
+/// [`SgBuilder::build`] returns an error describing the first violation.
+///
+/// # Example
+///
+/// ```
+/// use nshot_sg::{SgBuilder, SignalKind};
+///
+/// let mut b = SgBuilder::named("toggle");
+/// let a = b.signal("a", SignalKind::Input);
+/// let y = b.signal("y", SignalKind::Output);
+/// b.edge_codes(0b00, (a, true), 0b01)?;
+/// b.edge_codes(0b01, (y, true), 0b11)?;
+/// b.edge_codes(0b11, (a, false), 0b10)?;
+/// b.edge_codes(0b10, (y, false), 0b00)?;
+/// let sg = b.build(0b00)?;
+/// assert_eq!(sg.num_states(), 4);
+/// # Ok::<(), nshot_sg::SgError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct SgBuilder {
+    name: String,
+    signals: Vec<SignalInfo>,
+    states: Vec<StateData>,
+    by_code: HashMap<u64, StateId>,
+}
+
+impl SgBuilder {
+    /// A fresh, unnamed builder.
+    pub fn new() -> Self {
+        SgBuilder::named("sg")
+    }
+
+    /// A fresh builder with a benchmark name.
+    pub fn named(name: &str) -> Self {
+        SgBuilder {
+            name: name.to_owned(),
+            ..SgBuilder::default()
+        }
+    }
+
+    /// Declare a signal. Signals must be declared before edges that use them.
+    pub fn signal(&mut self, name: &str, kind: SignalKind) -> SignalId {
+        let id = SignalId(self.signals.len() as u16);
+        self.signals.push(SignalInfo {
+            name: name.to_owned(),
+            kind,
+        });
+        id
+    }
+
+    /// The state with the given code, allocating it on first use.
+    pub fn state(&mut self, code: u64) -> StateId {
+        if let Some(&id) = self.by_code.get(&code) {
+            return id;
+        }
+        let id = StateId(self.states.len() as u32);
+        self.states.push(StateData {
+            code,
+            ..StateData::default()
+        });
+        self.by_code.insert(code, id);
+        id
+    }
+
+    /// Allocate a state that is *not* code-addressed (for graphs with CSC
+    /// violations, where two distinct states may share a code).
+    pub fn fresh_state(&mut self, code: u64) -> StateId {
+        let id = StateId(self.states.len() as u32);
+        self.states.push(StateData {
+            code,
+            ..StateData::default()
+        });
+        id
+    }
+
+    /// Add the edge `from --(signal,value)--> to` between code-addressed
+    /// states, where `value` is the signal's value *after* the transition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgError::InconsistentAssignment`] if the codes disagree with
+    /// the transition, or [`SgError::NonDeterministic`] on duplicate labels.
+    pub fn edge_codes(
+        &mut self,
+        from: u64,
+        transition: (SignalId, bool),
+        to: u64,
+    ) -> Result<(), SgError> {
+        let f = self.state(from);
+        let t = self.state(to);
+        self.edge_states(f, transition, t)
+    }
+
+    /// Add an edge between explicitly allocated states.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SgBuilder::edge_codes`].
+    pub fn edge_states(
+        &mut self,
+        from: StateId,
+        (signal, value): (SignalId, bool),
+        to: StateId,
+    ) -> Result<(), SgError> {
+        let dir = Dir::to_value(value);
+        let label = TransitionLabel::new(signal, dir);
+        let fcode = self.states[from.index()].code;
+        let tcode = self.states[to.index()].code;
+        let bit = 1u64 << signal.index();
+        let consistent = match dir {
+            Dir::Rise => fcode & bit == 0 && tcode == fcode | bit,
+            Dir::Fall => fcode & bit != 0 && tcode == fcode & !bit,
+        };
+        if !consistent {
+            return Err(SgError::InconsistentAssignment {
+                from: self.code_string(fcode),
+                transition: format!("{}{}", dir.sign(), self.signals[signal.index()].name),
+                to: self.code_string(tcode),
+            });
+        }
+        if self.states[from.index()]
+            .out
+            .iter()
+            .any(|&(l, _)| l == label)
+        {
+            return Err(SgError::NonDeterministic {
+                state: self.code_string(fcode),
+                transition: format!("{}{}", dir.sign(), self.signals[signal.index()].name),
+            });
+        }
+        self.states[from.index()].out.push((label, to));
+        self.states[to.index()].inn.push((label, from));
+        Ok(())
+    }
+
+    /// Finish construction with the given initial state code.
+    ///
+    /// # Errors
+    ///
+    /// [`SgError::TooManySignals`] beyond 63 signals, [`SgError::Empty`] with
+    /// no states, [`SgError::MissingInitial`] if the code was never used.
+    pub fn build(self, initial_code: u64) -> Result<StateGraph, SgError> {
+        let initial = *self
+            .by_code
+            .get(&initial_code)
+            .ok_or(SgError::MissingInitial)?;
+        self.build_with_initial(initial)
+    }
+
+    /// Finish construction with an explicitly allocated initial state.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SgBuilder::build`].
+    pub fn build_with_initial(self, initial: StateId) -> Result<StateGraph, SgError> {
+        if self.signals.len() > 63 {
+            return Err(SgError::TooManySignals(self.signals.len()));
+        }
+        if self.states.is_empty() {
+            return Err(SgError::Empty);
+        }
+        if initial.index() >= self.states.len() {
+            return Err(SgError::MissingInitial);
+        }
+        Ok(StateGraph {
+            signals: self.signals,
+            states: self.states,
+            initial,
+            name: self.name,
+        })
+    }
+
+    fn code_string(&self, code: u64) -> String {
+        (0..self.signals.len())
+            .map(|i| if (code >> i) & 1 == 1 { '1' } else { '0' })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_cycle() {
+        let mut b = SgBuilder::new();
+        let a = b.signal("a", SignalKind::Input);
+        let y = b.signal("y", SignalKind::Output);
+        b.edge_codes(0b00, (a, true), 0b01).unwrap();
+        b.edge_codes(0b01, (y, true), 0b11).unwrap();
+        b.edge_codes(0b11, (a, false), 0b10).unwrap();
+        b.edge_codes(0b10, (y, false), 0b00).unwrap();
+        let sg = b.build(0b00).unwrap();
+        assert_eq!(sg.num_states(), 4);
+        assert_eq!(sg.num_signals(), 2);
+        assert!(sg.is_strongly_reachable());
+        assert_eq!(sg.reachable_codes().len(), 4);
+    }
+
+    #[test]
+    fn rejects_inconsistent_edge() {
+        let mut b = SgBuilder::new();
+        let a = b.signal("a", SignalKind::Input);
+        // +a from a state where a = 1 is inconsistent.
+        let err = b.edge_codes(0b1, (a, true), 0b1).unwrap_err();
+        assert!(matches!(err, SgError::InconsistentAssignment { .. }));
+        // -a landing on the wrong code is inconsistent too (cannot even be
+        // expressed through edge_codes since codes are derived, but flipping
+        // the wrong bit is):
+        let mut b = SgBuilder::new();
+        let a = b.signal("a", SignalKind::Input);
+        let _b2 = b.signal("b", SignalKind::Input);
+        let err = b.edge_codes(0b00, (a, true), 0b10).unwrap_err();
+        assert!(matches!(err, SgError::InconsistentAssignment { .. }));
+    }
+
+    #[test]
+    fn rejects_duplicate_label() {
+        let mut b = SgBuilder::new();
+        let a = b.signal("a", SignalKind::Input);
+        let s0 = b.fresh_state(0b0);
+        let s1 = b.fresh_state(0b1);
+        let s2 = b.fresh_state(0b1);
+        b.edge_states(s0, (a, true), s1).unwrap();
+        let err = b.edge_states(s0, (a, true), s2).unwrap_err();
+        assert!(matches!(err, SgError::NonDeterministic { .. }));
+    }
+
+    #[test]
+    fn missing_initial_is_error() {
+        let mut b = SgBuilder::new();
+        let a = b.signal("a", SignalKind::Input);
+        b.edge_codes(0b0, (a, true), 0b1).unwrap();
+        assert!(matches!(b.build(0b10), Err(SgError::MissingInitial)));
+    }
+
+    #[test]
+    fn empty_graph_is_error() {
+        let b = SgBuilder::new();
+        assert!(matches!(
+            b.build_with_initial(StateId(0)),
+            Err(SgError::Empty) | Err(SgError::MissingInitial)
+        ));
+    }
+
+    #[test]
+    fn fresh_states_allow_shared_codes() {
+        // Two distinct states with the same code — a CSC-violating shape.
+        let mut b = SgBuilder::new();
+        let a = b.signal("a", SignalKind::Input);
+        let s0 = b.fresh_state(0b0);
+        let s1 = b.fresh_state(0b1);
+        let s2 = b.fresh_state(0b0);
+        b.edge_states(s0, (a, true), s1).unwrap();
+        b.edge_states(s1, (a, false), s2).unwrap();
+        let sg = b.build_with_initial(s0).unwrap();
+        assert_eq!(sg.num_states(), 3);
+        assert_eq!(sg.reachable_codes().len(), 2);
+    }
+}

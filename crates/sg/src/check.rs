@@ -1,0 +1,275 @@
+//! Specification-level property checks: CSC, semi-modularity, distributivity.
+
+use crate::graph::{StateGraph, StateId};
+use crate::signal::{SignalId, TransitionLabel};
+use std::collections::HashMap;
+
+/// Witness of a Complete State Coding violation (Definition 1): two reachable
+/// states share a binary code but differ in their excited non-input signals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CscViolation {
+    /// First state.
+    pub a: StateId,
+    /// Second state (same code as `a`).
+    pub b: StateId,
+    /// The shared binary code.
+    pub code: u64,
+}
+
+/// Witness of a semi-modularity violation (Definition 2): in `state`, the
+/// non-input transition `t1` and the transition `t2` are both enabled but do
+/// not commute to a common successor (e.g. `t2` disables `t1`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SemiModularityViolation {
+    /// The state where the diamond fails.
+    pub state: StateId,
+    /// The enabled non-input transition.
+    pub t1: TransitionLabel,
+    /// The other enabled transition.
+    pub t2: TransitionLabel,
+}
+
+impl StateGraph {
+    /// Check Complete State Coding over the reachable states.
+    ///
+    /// # Errors
+    ///
+    /// Returns the list of violating state pairs if CSC does not hold.
+    pub fn check_csc(&self) -> Result<(), Vec<CscViolation>> {
+        let mut by_code: HashMap<u64, Vec<StateId>> = HashMap::new();
+        for s in self.reachable() {
+            by_code.entry(self.code(s)).or_default().push(s);
+        }
+        let mut violations = Vec::new();
+        for (&code, states) in &by_code {
+            for i in 0..states.len() {
+                for j in (i + 1)..states.len() {
+                    if self.excited_non_inputs(states[i]) != self.excited_non_inputs(states[j]) {
+                        violations.push(CscViolation {
+                            a: states[i],
+                            b: states[j],
+                            code,
+                        });
+                    }
+                }
+            }
+        }
+        violations.sort_by_key(|v| (v.a, v.b));
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations)
+        }
+    }
+
+    /// Check semi-modularity with input choices (Definition 2): for every
+    /// reachable state, every enabled **non-input** transition `t1` and every
+    /// other enabled transition `t2` must commute through a diamond to the
+    /// same state. Input transitions may freely disable one another.
+    ///
+    /// # Errors
+    ///
+    /// Returns the list of failing diamonds.
+    pub fn check_semi_modular(&self) -> Result<(), Vec<SemiModularityViolation>> {
+        let mut violations = Vec::new();
+        for s in self.reachable() {
+            let succ = self.successors(s).to_vec();
+            for &(t1, s1) in &succ {
+                if !self.signal_kind(t1.signal).is_non_input() {
+                    continue;
+                }
+                for &(t2, s2) in &succ {
+                    if t1 == t2 {
+                        continue;
+                    }
+                    // t1 must still be enabled after t2, t2 after t1, and the
+                    // two orders must converge.
+                    let via_t2 = self.delta(s2, t1);
+                    let via_t1 = self.delta(s1, t2);
+                    let ok = matches!((via_t2, via_t1), (Some(a), Some(b)) if a == b);
+                    if !ok {
+                        violations.push(SemiModularityViolation { state: s, t1, t2 });
+                    }
+                }
+            }
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations)
+        }
+    }
+
+    /// Detonant states with respect to `signal` (Definition 3): states `w`
+    /// where `signal` is stable and at least two direct successors excite it.
+    pub fn detonant_states(&self, signal: SignalId) -> Vec<StateId> {
+        let mut out = Vec::new();
+        for w in self.reachable() {
+            if self.is_excited(w, signal) {
+                continue;
+            }
+            let exciting = self
+                .successors(w)
+                .iter()
+                .filter(|&&(_, u)| self.is_excited(u, signal))
+                .count();
+            if exciting >= 2 {
+                out.push(w);
+            }
+        }
+        out
+    }
+
+    /// `true` if the SG is distributive with respect to every non-input
+    /// signal (Definition 4: no detonant states).
+    pub fn is_distributive(&self) -> bool {
+        self.non_input_signals()
+            .all(|a| self.detonant_states(a).is_empty())
+    }
+
+    /// The non-input signals that witness non-distributivity.
+    pub fn non_distributive_signals(&self) -> Vec<SignalId> {
+        self.non_input_signals()
+            .filter(|&a| !self.detonant_states(a).is_empty())
+            .collect()
+    }
+
+    /// Check output trapping (Property 1): from any state of an excitation
+    /// region of a non-input signal `a`, every non-`*a` edge stays inside the
+    /// region. Holds by construction for semi-modular SGs with input choices;
+    /// exposed as a check for diagnostic use.
+    pub fn check_output_trapping(&self) -> bool {
+        for a in self.non_input_signals() {
+            let regions = self.regions_of(a);
+            for er in &regions.excitation {
+                for &s in &er.states {
+                    for &(t, dst) in self.successors(s) {
+                        if t.signal != a && !er.states.contains(&dst) {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::fixtures;
+    use crate::{SgBuilder, SignalKind};
+
+    #[test]
+    fn figure1_is_semi_modular_non_distributive() {
+        let sg = fixtures::figure1();
+        let c = sg.signal_by_name("c").unwrap();
+        assert!(sg.check_semi_modular().is_ok(), "Fig.1 SG is semi-modular");
+        let detonants = sg.detonant_states(c);
+        assert_eq!(detonants.len(), 2, "states 000 and 111 are detonant");
+        assert!(!sg.is_distributive());
+        assert_eq!(sg.non_distributive_signals(), vec![c]);
+    }
+
+    #[test]
+    fn figure1_violates_csc_but_csc_variant_does_not() {
+        // The raw Figure 1 SG revisits codes with different `c` excitation.
+        let sg = fixtures::figure1();
+        let violations = sg.check_csc().unwrap_err();
+        assert_eq!(violations.len(), 4);
+        // Adding the internal phase signal `d` restores CSC.
+        let sg = fixtures::figure1_csc();
+        assert!(sg.check_csc().is_ok());
+        assert!(sg.check_semi_modular().is_ok());
+        assert!(!sg.is_distributive());
+    }
+
+    #[test]
+    fn figure1_output_trapping() {
+        assert!(fixtures::figure1().check_output_trapping());
+        assert!(fixtures::figure1_csc().check_output_trapping());
+    }
+
+    #[test]
+    fn handshake_is_clean() {
+        let sg = fixtures::handshake();
+        assert!(sg.check_csc().is_ok());
+        assert!(sg.check_semi_modular().is_ok());
+        assert!(sg.is_distributive());
+        assert!(sg.check_output_trapping());
+    }
+
+    #[test]
+    fn csc_violation_detected() {
+        // a+ y+ a- y- but with an extra input pulse that revisits code 0
+        // while y is excited: build two distinct states with code 00.
+        let mut b = SgBuilder::new();
+        let a = b.signal("a", SignalKind::Input);
+        let y = b.signal("y", SignalKind::Output);
+        let s00 = b.fresh_state(0b00);
+        let s01 = b.fresh_state(0b01);
+        let t00 = b.fresh_state(0b00); // same code, but y excited here
+        let s10 = b.fresh_state(0b10);
+        b.edge_states(s00, (a, true), s01).unwrap();
+        b.edge_states(s01, (a, false), t00).unwrap();
+        b.edge_states(t00, (y, true), s10).unwrap();
+        let sg = b.build_with_initial(s00).unwrap();
+        let violations = sg.check_csc().unwrap_err();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].code, 0b00);
+    }
+
+    #[test]
+    fn input_choice_is_allowed() {
+        // Two inputs in free choice: a+ or b+ from 00, mutually disabling.
+        let mut b = SgBuilder::new();
+        let a = b.signal("a", SignalKind::Input);
+        let bb = b.signal("b", SignalKind::Input);
+        b.edge_codes(0b00, (a, true), 0b01).unwrap();
+        b.edge_codes(0b00, (bb, true), 0b10).unwrap();
+        b.edge_codes(0b01, (a, false), 0b00).unwrap();
+        b.edge_codes(0b10, (bb, false), 0b00).unwrap();
+        let sg = b.build(0b00).unwrap();
+        assert!(
+            sg.check_semi_modular().is_ok(),
+            "input transitions may disable each other"
+        );
+    }
+
+    #[test]
+    fn output_disabling_is_a_violation() {
+        // Output y enabled in 00 but disabled by input a+.
+        let mut b = SgBuilder::new();
+        let a = b.signal("a", SignalKind::Input);
+        let y = b.signal("y", SignalKind::Output);
+        b.edge_codes(0b00, (y, true), 0b10).unwrap();
+        b.edge_codes(0b00, (a, true), 0b01).unwrap();
+        // From 01, y is NOT enabled → semi-modularity violated.
+        b.edge_codes(0b01, (a, false), 0b00).unwrap();
+        let sg = b.build(0b00).unwrap();
+        let violations = sg.check_semi_modular().unwrap_err();
+        assert!(!violations.is_empty());
+        let v = &violations[0];
+        assert_eq!(v.t1.signal, y);
+        assert_eq!(v.t2.signal, a);
+    }
+
+    #[test]
+    fn diamond_must_converge() {
+        // Both orders exist but land on different states → violation.
+        let mut b = SgBuilder::new();
+        let a = b.signal("a", SignalKind::Input);
+        let y = b.signal("y", SignalKind::Output);
+        let s00 = b.fresh_state(0b00);
+        let s01 = b.fresh_state(0b01);
+        let s10 = b.fresh_state(0b10);
+        let s11a = b.fresh_state(0b11);
+        let s11b = b.fresh_state(0b11);
+        b.edge_states(s00, (a, true), s01).unwrap();
+        b.edge_states(s00, (y, true), s10).unwrap();
+        b.edge_states(s01, (y, true), s11a).unwrap();
+        b.edge_states(s10, (a, true), s11b).unwrap();
+        let sg = b.build_with_initial(s00).unwrap();
+        assert!(sg.check_semi_modular().is_err());
+    }
+}

@@ -1,0 +1,286 @@
+//! Complete State Coding repair by internal state-signal insertion.
+//!
+//! The paper's flow (like its contemporaries) assumes the input state graph
+//! already satisfies CSC — "these benchmarks are given as SGs that have
+//! already been transformed to satisfy the CSC property". This module
+//! provides that front-end transformation for the common case: it inserts
+//! internal phase signals that toggle at chosen synchronization states,
+//! splitting the coding conflicts (the construction that turns the raw
+//! Figure 1 graph into its synthesizable variant).
+//!
+//! The search is deliberately simple and sound rather than complete: a
+//! candidate is a pair of states `(w₁, w₂)`; the new signal rises on entry
+//! to `w₁` (serialized through a spliced pre-state) and falls on entry to
+//! `w₂`. A candidate is accepted only if the phase labelling is globally
+//! consistent and the transformed graph validates (deterministic,
+//! consistent, semi-modular) with strictly fewer CSC conflicts. Up to
+//! `max_signals` signals are inserted. Specifications needing cleverer
+//! insertion (concurrent insertion points, input-race disambiguation) are
+//! rejected with [`CscRepairError::NoCandidate`] — the honest analogue of
+//! Table 2's note (2).
+
+use crate::builder::SgBuilder;
+use crate::graph::{StateGraph, StateId};
+use crate::signal::SignalKind;
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+/// Failure modes of [`StateGraph::resolve_csc`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CscRepairError {
+    /// No insertion pair separates the remaining conflicts.
+    NoCandidate {
+        /// Conflicts still present when the search gave up.
+        remaining: usize,
+    },
+    /// More than `max_signals` insertions would be needed.
+    BudgetExhausted {
+        /// The budget that was given.
+        max_signals: usize,
+    },
+    /// The graph is too large for the quadratic candidate search.
+    TooLarge {
+        /// Number of reachable states.
+        states: usize,
+    },
+}
+
+impl fmt::Display for CscRepairError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CscRepairError::NoCandidate { remaining } => write!(
+                f,
+                "no state-signal insertion separates the remaining {remaining} CSC conflicts"
+            ),
+            CscRepairError::BudgetExhausted { max_signals } => {
+                write!(f, "CSC repair needs more than {max_signals} state signals")
+            }
+            CscRepairError::TooLarge { states } => {
+                write!(f, "CSC repair supports up to 400 states; graph has {states}")
+            }
+        }
+    }
+}
+
+impl Error for CscRepairError {}
+
+impl StateGraph {
+    /// Insert up to `max_signals` internal phase signals so the graph
+    /// satisfies CSC. Returns the graph unchanged (cloned) when CSC already
+    /// holds.
+    ///
+    /// # Errors
+    ///
+    /// See [`CscRepairError`]. The search is heuristic: failure does not
+    /// prove the graph unreparable, only that this transformation family
+    /// does not suffice.
+    pub fn resolve_csc(&self, max_signals: usize) -> Result<StateGraph, CscRepairError> {
+        let mut current = self.clone();
+        for round in 0..=max_signals {
+            let conflicts = match current.check_csc() {
+                Ok(()) => return Ok(current),
+                Err(v) => v.len(),
+            };
+            if round == max_signals {
+                return Err(CscRepairError::BudgetExhausted { max_signals });
+            }
+            let reachable = current.reachable();
+            if reachable.len() > 400 {
+                return Err(CscRepairError::TooLarge {
+                    states: reachable.len(),
+                });
+            }
+            let mut best: Option<StateGraph> = None;
+            'candidates: for &w1 in &reachable {
+                for &w2 in &reachable {
+                    if w1 == w2 {
+                        continue;
+                    }
+                    let Some(phase) = phase_labelling(&current, w1, w2) else {
+                        continue;
+                    };
+                    let Some(candidate) = insert_phase_signal(&current, w1, w2, &phase, round)
+                    else {
+                        continue;
+                    };
+                    if candidate.check_semi_modular().is_err() {
+                        continue;
+                    }
+                    let new_conflicts = candidate.check_csc().map_or_else(|v| v.len(), |()| 0);
+                    if new_conflicts < conflicts {
+                        best = Some(candidate);
+                        break 'candidates;
+                    }
+                }
+            }
+            match best {
+                Some(next) => current = next,
+                None => {
+                    return Err(CscRepairError::NoCandidate {
+                        remaining: conflicts,
+                    })
+                }
+            }
+        }
+        unreachable!("loop returns or errors")
+    }
+}
+
+/// Label every reachable state with the new signal's value: 1 from entry to
+/// `w1` until entry to `w2`. `None` when the labelling is inconsistent.
+fn phase_labelling(sg: &StateGraph, w1: StateId, w2: StateId) -> Option<Vec<Option<bool>>> {
+    let mut label: Vec<Option<bool>> = vec![None; sg.num_states()];
+    label[w1.index()] = Some(true);
+    label[w2.index()] = Some(false);
+    let mut queue: VecDeque<StateId> = VecDeque::from([w1, w2]);
+    while let Some(s) = queue.pop_front() {
+        let v = label[s.index()].expect("queued states are labelled");
+        for &(_, dst) in sg.successors(s) {
+            let expected = if dst == w1 {
+                true
+            } else if dst == w2 {
+                false
+            } else {
+                v
+            };
+            match label[dst.index()] {
+                None => {
+                    label[dst.index()] = Some(expected);
+                    queue.push_back(dst);
+                }
+                Some(existing) if existing == expected => {}
+                Some(_) => return None,
+            }
+        }
+        // Backward constraint: predecessors of w1 must be 0, of w2 must be 1.
+        for &(_, src) in sg.predecessors(s) {
+            let expected = if s == w1 {
+                Some(false)
+            } else if s == w2 {
+                Some(true)
+            } else {
+                None
+            };
+            if let Some(e) = expected {
+                match label[src.index()] {
+                    None => {
+                        label[src.index()] = Some(e);
+                        queue.push_back(src);
+                    }
+                    Some(existing) if existing == e => {}
+                    Some(_) => return None,
+                }
+            }
+        }
+    }
+    Some(label)
+}
+
+/// Build the transformed graph: a fresh internal signal `cscN` rises on a
+/// spliced pre-state of `w1` and falls on a spliced pre-state of `w2`.
+/// Returns `None` when construction fails validation.
+fn insert_phase_signal(
+    sg: &StateGraph,
+    w1: StateId,
+    w2: StateId,
+    phase: &[Option<bool>],
+    round: usize,
+) -> Option<StateGraph> {
+    let n = sg.num_signals();
+    if n + 1 > 63 {
+        return None;
+    }
+    let mut b = SgBuilder::named(sg.name());
+    let ids: Vec<_> = sg
+        .signal_ids()
+        .map(|s| b.signal(sg.signal_name(s), sg.signal_kind(s)))
+        .collect();
+    let phase_sig = b.signal(&format!("csc{round}"), SignalKind::Internal);
+
+    let reachable = sg.reachable();
+    let code_of = |s: StateId| -> u64 {
+        let v = phase[s.index()].unwrap_or(false);
+        sg.code(s) | (u64::from(v) << n)
+    };
+    // Allocate states (fresh: codes may still collide until repair is done).
+    let mut new_id = vec![None; sg.num_states()];
+    for &s in &reachable {
+        new_id[s.index()] = Some(b.fresh_state(code_of(s)));
+    }
+    // Splice states: w1 with phase bit still 0, w2 with phase bit still 1.
+    let w1_pre = b.fresh_state(sg.code(w1));
+    let w2_pre = b.fresh_state(sg.code(w2) | (1 << n));
+
+    for &s in &reachable {
+        for &(t, dst) in sg.successors(s) {
+            let from = new_id[s.index()].expect("reachable allocated");
+            let to = if dst == w1 {
+                w1_pre
+            } else if dst == w2 {
+                w2_pre
+            } else {
+                new_id[dst.index()].expect("reachable allocated")
+            };
+            b.edge_states(from, (ids[t.signal.index()], t.dir.target_value()), to)
+                .ok()?;
+        }
+    }
+    b.edge_states(w1_pre, (phase_sig, true), new_id[w1.index()].expect("allocated"))
+        .ok()?;
+    b.edge_states(w2_pre, (phase_sig, false), new_id[w2.index()].expect("allocated"))
+        .ok()?;
+
+    let initial = new_id[sg.initial().index()].expect("initial reachable");
+    b.build_with_initial(initial).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::fixtures;
+    use crate::CscRepairError;
+
+    #[test]
+    fn csc_graph_is_returned_unchanged() {
+        let sg = fixtures::handshake();
+        let fixed = sg.resolve_csc(2).expect("already satisfies CSC");
+        assert_eq!(fixed.num_signals(), sg.num_signals());
+        assert_eq!(fixed.num_states(), sg.num_states());
+    }
+
+    #[test]
+    fn figure1_is_repaired_with_one_phase_signal() {
+        let sg = fixtures::figure1();
+        assert!(sg.check_csc().is_err(), "raw Figure 1 violates CSC");
+        let fixed = sg.resolve_csc(2).expect("repairable");
+        assert!(fixed.check_csc().is_ok());
+        assert!(fixed.check_semi_modular().is_ok());
+        assert!(!fixed.is_distributive(), "repair preserves OR causality");
+        // One inserted signal, two spliced states per signal.
+        assert_eq!(fixed.num_signals(), sg.num_signals() + 1);
+        assert_eq!(fixed.num_states(), sg.num_states() + 2);
+        assert!(fixed.signal_by_name("csc0").is_some());
+    }
+
+    #[test]
+    fn budget_zero_fails_on_violating_graph() {
+        let sg = fixtures::figure1();
+        assert!(matches!(
+            sg.resolve_csc(0),
+            Err(CscRepairError::BudgetExhausted { max_signals: 0 })
+        ));
+    }
+
+    #[test]
+    fn repaired_graph_round_trips_regions() {
+        let sg = fixtures::figure1().resolve_csc(2).expect("repairable");
+        for a in sg.non_input_signals() {
+            let regions = sg.regions_of(a);
+            assert!(!regions.excitation.is_empty());
+            for (ei, _) in regions.excitation.iter().enumerate() {
+                assert!(regions.triggers_of(ei).next().is_some());
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Graphviz DOT export, with optional region highlighting.
+
+use crate::graph::StateGraph;
+use crate::signal::SignalId;
+
+impl StateGraph {
+    /// Render the state graph in Graphviz DOT format.
+    ///
+    /// Each node is labelled with its binary code (stars mark excited
+    /// signals, matching the paper's `0*0*0` notation).
+    pub fn to_dot(&self) -> String {
+        self.to_dot_highlighting(None)
+    }
+
+    /// Like [`StateGraph::to_dot`], additionally colouring the excitation
+    /// regions (light blue for rising, light pink for falling) and trigger
+    /// regions (bold border) of `signal`.
+    pub fn to_dot_highlighting(&self, signal: Option<SignalId>) -> String {
+        let regions = signal.map(|s| self.regions_of(s));
+        let mut out = String::from("digraph sg {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+        for s in self.reachable() {
+            let mut label = String::new();
+            let code = self.code(s);
+            for i in 0..self.num_signals() {
+                label.push(if (code >> i) & 1 == 1 { '1' } else { '0' });
+                if self.is_excited(s, crate::SignalId(i as u16)) {
+                    label.push('*');
+                }
+            }
+            let mut attrs = format!("label=\"{label}\"");
+            if let Some(r) = &regions {
+                for er in &r.excitation {
+                    if er.states.contains(&s) {
+                        let colour = match er.instance.dir {
+                            crate::Dir::Rise => "lightblue",
+                            crate::Dir::Fall => "lightpink",
+                        };
+                        attrs.push_str(&format!(", style=filled, fillcolor={colour}"));
+                    }
+                }
+                if r.triggers.iter().any(|t| t.states.contains(&s)) {
+                    attrs.push_str(", penwidth=3");
+                }
+            }
+            if s == self.initial() {
+                attrs.push_str(", peripheries=2");
+            }
+            out.push_str(&format!("  s{} [{attrs}];\n", s.index()));
+        }
+        for s in self.reachable() {
+            for &(t, dst) in self.successors(s) {
+                out.push_str(&format!(
+                    "  s{} -> s{} [label=\"{}\"];\n",
+                    s.index(),
+                    dst.index(),
+                    self.label_string(t)
+                ));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::fixtures;
+
+    #[test]
+    fn dot_contains_all_states_and_edges() {
+        let sg = fixtures::handshake();
+        let dot = sg.to_dot();
+        assert!(dot.starts_with("digraph"));
+        assert_eq!(dot.matches("->").count(), 4);
+        assert!(dot.contains("+r"));
+        assert!(dot.contains("-g"));
+        // Initial state is doubly circled.
+        assert!(dot.contains("peripheries=2"));
+    }
+
+    #[test]
+    fn highlighting_marks_regions() {
+        let sg = fixtures::figure1();
+        let c = sg.signal_by_name("c").unwrap();
+        let dot = sg.to_dot_highlighting(Some(c));
+        assert!(dot.contains("lightblue"));
+        assert!(dot.contains("lightpink"));
+        assert!(dot.contains("penwidth=3"));
+        // Excited-signal stars appear in labels.
+        assert!(dot.contains('*'));
+    }
+}

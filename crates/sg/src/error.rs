@@ -1,0 +1,74 @@
+//! Error type for state-graph construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, parsing or validating a state graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SgError {
+    /// More than 63 signals (state codes are packed into a `u64`).
+    TooManySignals(usize),
+    /// Two signals share a name.
+    DuplicateSignal(String),
+    /// An edge references an unknown signal or state.
+    UnknownReference(String),
+    /// The transition label contradicts the source state's code (firing `+x`
+    /// from a state where `x = 1`, or the destination code is not the source
+    /// code with exactly bit `x` flipped).
+    InconsistentAssignment {
+        /// Source state code string.
+        from: String,
+        /// Transition as written, e.g. `+x`.
+        transition: String,
+        /// Destination state code string.
+        to: String,
+    },
+    /// Two edges with the same label leave the same state.
+    NonDeterministic {
+        /// State code string.
+        state: String,
+        /// Transition as written.
+        transition: String,
+    },
+    /// No initial state was provided, or it references an unknown state.
+    MissingInitial,
+    /// A parse error with line number and message.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The graph has no states.
+    Empty,
+}
+
+impl fmt::Display for SgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SgError::TooManySignals(n) => {
+                write!(f, "too many signals ({n}); the limit is 63")
+            }
+            SgError::DuplicateSignal(name) => write!(f, "duplicate signal name '{name}'"),
+            SgError::UnknownReference(what) => write!(f, "unknown reference: {what}"),
+            SgError::InconsistentAssignment {
+                from,
+                transition,
+                to,
+            } => write!(
+                f,
+                "inconsistent state assignment: {from} --{transition}--> {to}"
+            ),
+            SgError::NonDeterministic { state, transition } => write!(
+                f,
+                "non-deterministic transition {transition} from state {state}"
+            ),
+            SgError::MissingInitial => write!(f, "missing or invalid initial state"),
+            SgError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            SgError::Empty => write!(f, "state graph has no states"),
+        }
+    }
+}
+
+impl Error for SgError {}

@@ -1,0 +1,134 @@
+//! Shared state-graph fixtures used across this crate's tests.
+//!
+//! These mirror the paper's running examples:
+//!
+//! * [`handshake`] — the classic 4-state request/grant cycle (single
+//!   traversal, distributive, CSC);
+//! * [`figure1`] — the non-distributive SG of Figure 1: inputs `a`, `b`,
+//!   output `c`; `c` rises after the *first* input rise and falls after the
+//!   first input fall, making `000` and `111` detonant. Semi-modular with
+//!   input choices; violates CSC (the figure illustrates regions, not
+//!   synthesizability);
+//! * [`figure1_csc`] — the same behaviour disambiguated with an internal
+//!   signal `d`, so CSC holds and the SG is synthesizable;
+//! * [`figure7b`] — a non-single-traversal SG in the style of Figure 7(b): a
+//!   free-running input `x` keeps toggling inside `ER(+y)`, creating a
+//!   two-state trigger region.
+
+use crate::{SgBuilder, SignalKind, StateGraph};
+
+/// Four-state request/grant handshake: `+r +g -r -g`.
+pub(crate) fn handshake() -> StateGraph {
+    let mut b = SgBuilder::named("handshake");
+    let r = b.signal("r", SignalKind::Input);
+    let g = b.signal("g", SignalKind::Output);
+    b.edge_codes(0b00, (r, true), 0b01).unwrap();
+    b.edge_codes(0b01, (g, true), 0b11).unwrap();
+    b.edge_codes(0b11, (r, false), 0b10).unwrap();
+    b.edge_codes(0b10, (g, false), 0b00).unwrap();
+    b.build(0b00).unwrap()
+}
+
+/// The Figure 1 SG: `c` is OR-like on rising inputs and on falling inputs.
+///
+/// Codes are `(a, b, c)` with `a` = bit 0. The down-phase revisits up-phase
+/// codes with different `c` excitation, so CSC is violated (by design — the
+/// figure illustrates region structure and detonance).
+pub(crate) fn figure1() -> StateGraph {
+    let mut b = SgBuilder::named("figure1");
+    let a = b.signal("a", SignalKind::Input);
+    let bb = b.signal("b", SignalKind::Input);
+    let c = b.signal("c", SignalKind::Output);
+    let u0 = b.fresh_state(0b000);
+    let u1 = b.fresh_state(0b001); // a
+    let u2 = b.fresh_state(0b010); // b
+    let u3 = b.fresh_state(0b011); // ab
+    let u5 = b.fresh_state(0b101); // ac
+    let u6 = b.fresh_state(0b110); // bc
+    let t = b.fresh_state(0b111);
+    let d6 = b.fresh_state(0b110); // bc, down phase
+    let d5 = b.fresh_state(0b101); // ac, down phase
+    let d4 = b.fresh_state(0b100); // c
+    let d2 = b.fresh_state(0b010); // b, down phase
+    let d1 = b.fresh_state(0b001); // a, down phase
+    b.edge_states(u0, (a, true), u1).unwrap();
+    b.edge_states(u0, (bb, true), u2).unwrap();
+    b.edge_states(u1, (bb, true), u3).unwrap();
+    b.edge_states(u2, (a, true), u3).unwrap();
+    b.edge_states(u1, (c, true), u5).unwrap();
+    b.edge_states(u2, (c, true), u6).unwrap();
+    b.edge_states(u3, (c, true), t).unwrap();
+    b.edge_states(u5, (bb, true), t).unwrap();
+    b.edge_states(u6, (a, true), t).unwrap();
+    b.edge_states(t, (a, false), d6).unwrap();
+    b.edge_states(t, (bb, false), d5).unwrap();
+    b.edge_states(d6, (bb, false), d4).unwrap();
+    b.edge_states(d6, (c, false), d2).unwrap();
+    b.edge_states(d5, (a, false), d4).unwrap();
+    b.edge_states(d5, (c, false), d1).unwrap();
+    b.edge_states(d4, (c, false), u0).unwrap();
+    b.edge_states(d2, (bb, false), u0).unwrap();
+    b.edge_states(d1, (a, false), u0).unwrap();
+    b.build_with_initial(u0).unwrap()
+}
+
+/// The Figure 1 behaviour with an internal phase signal `d` added so every
+/// state has a unique code: semi-modular, non-distributive **and** CSC.
+///
+/// Codes are `(a, b, c, d)` with `a` = bit 0.
+pub(crate) fn figure1_csc() -> StateGraph {
+    let mut b = SgBuilder::named("figure1-csc");
+    let a = b.signal("a", SignalKind::Input);
+    let bb = b.signal("b", SignalKind::Input);
+    let c = b.signal("c", SignalKind::Output);
+    let d = b.signal("d", SignalKind::Internal);
+    b.edge_codes(0b0000, (a, true), 0b0001).unwrap();
+    b.edge_codes(0b0000, (bb, true), 0b0010).unwrap();
+    b.edge_codes(0b0001, (bb, true), 0b0011).unwrap();
+    b.edge_codes(0b0010, (a, true), 0b0011).unwrap();
+    b.edge_codes(0b0001, (c, true), 0b0101).unwrap();
+    b.edge_codes(0b0010, (c, true), 0b0110).unwrap();
+    b.edge_codes(0b0011, (c, true), 0b0111).unwrap();
+    b.edge_codes(0b0101, (bb, true), 0b0111).unwrap();
+    b.edge_codes(0b0110, (a, true), 0b0111).unwrap();
+    b.edge_codes(0b0111, (d, true), 0b1111).unwrap();
+    b.edge_codes(0b1111, (a, false), 0b1110).unwrap();
+    b.edge_codes(0b1111, (bb, false), 0b1101).unwrap();
+    b.edge_codes(0b1110, (bb, false), 0b1100).unwrap();
+    b.edge_codes(0b1110, (c, false), 0b1010).unwrap();
+    b.edge_codes(0b1101, (a, false), 0b1100).unwrap();
+    b.edge_codes(0b1101, (c, false), 0b1001).unwrap();
+    b.edge_codes(0b1100, (c, false), 0b1000).unwrap();
+    b.edge_codes(0b1010, (bb, false), 0b1000).unwrap();
+    b.edge_codes(0b1001, (a, false), 0b1000).unwrap();
+    b.edge_codes(0b1000, (d, false), 0b0000).unwrap();
+    b.build(0b0000).unwrap()
+}
+
+/// Figure 7(b)-style non-single-traversal SG: input `x` free-runs inside
+/// `ER(+y)` and `ER(-y)`, giving two-state trigger regions.
+///
+/// Codes are `(r, x, y)` with `r` = bit 0.
+pub(crate) fn figure7b() -> StateGraph {
+    let mut b = SgBuilder::named("figure7b");
+    let r = b.signal("r", SignalKind::Input);
+    let x = b.signal("x", SignalKind::Input);
+    let y = b.signal("y", SignalKind::Output);
+    b.edge_codes(0b000, (r, true), 0b001).unwrap();
+    b.edge_codes(0b000, (x, true), 0b010).unwrap();
+    b.edge_codes(0b010, (r, true), 0b011).unwrap();
+    b.edge_codes(0b010, (x, false), 0b000).unwrap();
+    b.edge_codes(0b001, (x, true), 0b011).unwrap();
+    b.edge_codes(0b001, (y, true), 0b101).unwrap();
+    b.edge_codes(0b011, (x, false), 0b001).unwrap();
+    b.edge_codes(0b011, (y, true), 0b111).unwrap();
+    b.edge_codes(0b101, (x, true), 0b111).unwrap();
+    b.edge_codes(0b101, (r, false), 0b100).unwrap();
+    b.edge_codes(0b111, (x, false), 0b101).unwrap();
+    b.edge_codes(0b111, (r, false), 0b110).unwrap();
+    b.edge_codes(0b100, (x, true), 0b110).unwrap();
+    b.edge_codes(0b100, (y, false), 0b000).unwrap();
+    b.edge_codes(0b110, (x, false), 0b100).unwrap();
+    b.edge_codes(0b110, (y, false), 0b010).unwrap();
+    b.build(0b000).unwrap()
+}

@@ -1,0 +1,312 @@
+//! The state graph automaton.
+
+use crate::signal::{Dir, SignalId, SignalKind, TransitionLabel};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Index of a state within a [`StateGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(pub(crate) u32);
+
+impl StateId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct SignalInfo {
+    pub name: String,
+    pub kind: SignalKind,
+}
+
+#[derive(Debug, Clone, Default)]
+pub(crate) struct StateData {
+    pub code: u64,
+    pub out: Vec<(TransitionLabel, StateId)>,
+    pub inn: Vec<(TransitionLabel, StateId)>,
+}
+
+/// A state graph `G = ⟨X, S, T, δ, s₀⟩` (Section III.A of the paper).
+///
+/// States are labelled with binary codes (bit `i` is the value of signal
+/// `i`); edges are single-signal transitions. The graph is validated at
+/// construction time (via [`crate::SgBuilder::build`]) to have a consistent
+/// state assignment and a deterministic transition function.
+///
+/// Analyses (CSC, semi-modularity, regions, …) live in the `check` and
+/// `regions` modules and are exposed as methods here.
+#[derive(Clone)]
+pub struct StateGraph {
+    pub(crate) signals: Vec<SignalInfo>,
+    pub(crate) states: Vec<StateData>,
+    pub(crate) initial: StateId,
+    pub(crate) name: String,
+}
+
+impl StateGraph {
+    /// Human-readable name of the specification (benchmark id).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of signals.
+    pub fn num_signals(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The initial state `s₀`.
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// All state ids.
+    pub fn state_ids(&self) -> impl Iterator<Item = StateId> + '_ {
+        (0..self.states.len() as u32).map(StateId)
+    }
+
+    /// All signal ids.
+    pub fn signal_ids(&self) -> impl Iterator<Item = SignalId> + '_ {
+        (0..self.signals.len() as u16).map(SignalId)
+    }
+
+    /// Non-input signal ids (the signals the circuit must implement).
+    pub fn non_input_signals(&self) -> impl Iterator<Item = SignalId> + '_ {
+        self.signal_ids()
+            .filter(|&s| self.signal_kind(s).is_non_input())
+    }
+
+    /// Input signal ids.
+    pub fn input_signals(&self) -> impl Iterator<Item = SignalId> + '_ {
+        self.signal_ids()
+            .filter(|&s| !self.signal_kind(s).is_non_input())
+    }
+
+    /// The name of a signal.
+    pub fn signal_name(&self, s: SignalId) -> &str {
+        &self.signals[s.index()].name
+    }
+
+    /// The kind of a signal.
+    pub fn signal_kind(&self, s: SignalId) -> SignalKind {
+        self.signals[s.index()].kind
+    }
+
+    /// Look a signal up by name.
+    pub fn signal_by_name(&self, name: &str) -> Option<SignalId> {
+        self.signals
+            .iter()
+            .position(|i| i.name == name)
+            .map(|i| SignalId(i as u16))
+    }
+
+    /// The binary code of a state (bit `i` = value of signal `i`).
+    pub fn code(&self, s: StateId) -> u64 {
+        self.states[s.index()].code
+    }
+
+    /// The value of `signal` in state `s`.
+    pub fn value(&self, s: StateId, signal: SignalId) -> bool {
+        (self.code(s) >> signal.index()) & 1 == 1
+    }
+
+    /// Outgoing edges of a state.
+    pub fn successors(&self, s: StateId) -> &[(TransitionLabel, StateId)] {
+        &self.states[s.index()].out
+    }
+
+    /// Incoming edges of a state.
+    pub fn predecessors(&self, s: StateId) -> &[(TransitionLabel, StateId)] {
+        &self.states[s.index()].inn
+    }
+
+    /// The transition function `δ(s, t)`.
+    pub fn delta(&self, s: StateId, t: TransitionLabel) -> Option<StateId> {
+        self.successors(s)
+            .iter()
+            .find(|&&(label, _)| label == t)
+            .map(|&(_, dst)| dst)
+    }
+
+    /// `true` if `signal` is excited in `s` (some `*signal` edge leaves `s`).
+    pub fn is_excited(&self, s: StateId, signal: SignalId) -> bool {
+        self.successors(s).iter().any(|(l, _)| l.signal == signal)
+    }
+
+    /// The set of excited signals of a state.
+    pub fn excited_signals(&self, s: StateId) -> Vec<SignalId> {
+        let mut v: Vec<SignalId> = self
+            .successors(s)
+            .iter()
+            .map(|(l, _)| l.signal)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// The set of excited **non-input** signals (used by the CSC check).
+    pub fn excited_non_inputs(&self, s: StateId) -> Vec<SignalId> {
+        self.excited_signals(s)
+            .into_iter()
+            .filter(|&x| self.signal_kind(x).is_non_input())
+            .collect()
+    }
+
+    /// States reachable from the initial state.
+    pub fn reachable(&self) -> Vec<StateId> {
+        let mut seen = vec![false; self.states.len()];
+        let mut stack = vec![self.initial];
+        seen[self.initial.index()] = true;
+        let mut out = Vec::new();
+        while let Some(s) = stack.pop() {
+            out.push(s);
+            for &(_, dst) in self.successors(s) {
+                if !seen[dst.index()] {
+                    seen[dst.index()] = true;
+                    stack.push(dst);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// `true` if every state is reachable from the initial state.
+    pub fn is_strongly_reachable(&self) -> bool {
+        self.reachable().len() == self.states.len()
+    }
+
+    /// The set of binary codes used by reachable states. The complement of
+    /// this set (over `2^num_signals`) is the unreachable-code don't-care
+    /// space exploited by the synthesis flow.
+    pub fn reachable_codes(&self) -> HashSet<u64> {
+        self.reachable().into_iter().map(|s| self.code(s)).collect()
+    }
+
+    /// Fire the unique enabled transition of `signal` from `s`, if any.
+    pub fn fire_signal(&self, s: StateId, signal: SignalId) -> Option<(Dir, StateId)> {
+        self.successors(s)
+            .iter()
+            .find(|(l, _)| l.signal == signal)
+            .map(|&(l, dst)| (l.dir, dst))
+    }
+
+    /// Format a transition label as the paper writes it, e.g. `+req`.
+    pub fn label_string(&self, t: TransitionLabel) -> String {
+        format!("{}{}", t.dir.sign(), self.signal_name(t.signal))
+    }
+
+    /// Format a state code as a bit-string in signal order (signal 0 first).
+    pub fn code_string(&self, s: StateId) -> String {
+        let code = self.code(s);
+        (0..self.num_signals())
+            .map(|i| if (code >> i) & 1 == 1 { '1' } else { '0' })
+            .collect()
+    }
+}
+
+impl fmt::Debug for StateGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "StateGraph '{}' ({} signals, {} states, initial {})",
+            self.name,
+            self.signals.len(),
+            self.states.len(),
+            self.code_string(self.initial)
+        )?;
+        for s in self.state_ids() {
+            for &(t, dst) in self.successors(s) {
+                writeln!(
+                    f,
+                    "  {} --{}--> {}",
+                    self.code_string(s),
+                    self.label_string(t),
+                    self.code_string(dst)
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{SgBuilder, SignalKind, TransitionLabel};
+
+    fn handshake() -> crate::StateGraph {
+        let mut b = SgBuilder::named("hs");
+        let r = b.signal("r", SignalKind::Input);
+        let g = b.signal("g", SignalKind::Output);
+        b.edge_codes(0b00, (r, true), 0b01).unwrap();
+        b.edge_codes(0b01, (g, true), 0b11).unwrap();
+        b.edge_codes(0b11, (r, false), 0b10).unwrap();
+        b.edge_codes(0b10, (g, false), 0b00).unwrap();
+        b.build(0b00).unwrap()
+    }
+
+    #[test]
+    fn delta_and_fire_signal_agree() {
+        let sg = handshake();
+        let r = sg.signal_by_name("r").unwrap();
+        let s0 = sg.initial();
+        let (dir, dst) = sg.fire_signal(s0, r).expect("r+ enabled");
+        assert_eq!(dir, crate::Dir::Rise);
+        assert_eq!(sg.delta(s0, TransitionLabel::rise(r)), Some(dst));
+        assert_eq!(sg.delta(s0, TransitionLabel::fall(r)), None);
+    }
+
+    #[test]
+    fn predecessors_mirror_successors() {
+        let sg = handshake();
+        for s in sg.state_ids() {
+            for &(t, dst) in sg.successors(s) {
+                assert!(
+                    sg.predecessors(dst).iter().any(|&(t2, src)| t2 == t && src == s),
+                    "missing predecessor entry"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn label_and_code_strings() {
+        let sg = handshake();
+        let r = sg.signal_by_name("r").unwrap();
+        assert_eq!(sg.label_string(TransitionLabel::rise(r)), "+r");
+        assert_eq!(sg.label_string(TransitionLabel::fall(r)), "-r");
+        // Initial state code 00 → string "00" (r first).
+        assert_eq!(sg.code_string(sg.initial()), "00");
+        let s1 = sg.delta(sg.initial(), TransitionLabel::rise(r)).unwrap();
+        assert_eq!(sg.code_string(s1), "10");
+    }
+
+    #[test]
+    fn excited_signal_queries() {
+        let sg = handshake();
+        let r = sg.signal_by_name("r").unwrap();
+        let g = sg.signal_by_name("g").unwrap();
+        let s0 = sg.initial();
+        assert!(sg.is_excited(s0, r));
+        assert!(!sg.is_excited(s0, g));
+        assert_eq!(sg.excited_signals(s0), vec![r]);
+        assert!(sg.excited_non_inputs(s0).is_empty());
+        let s1 = sg.fire_signal(s0, r).unwrap().1;
+        assert_eq!(sg.excited_non_inputs(s1), vec![g]);
+    }
+
+    #[test]
+    fn debug_format_lists_edges() {
+        let sg = handshake();
+        let dump = format!("{sg:?}");
+        assert!(dump.contains("StateGraph 'hs'"));
+        assert_eq!(dump.matches("-->").count(), 4);
+    }
+}

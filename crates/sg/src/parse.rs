@@ -1,0 +1,299 @@
+//! Text format for state graphs.
+//!
+//! The format is line oriented:
+//!
+//! ```text
+//! .name handshake
+//! .inputs r
+//! .outputs g
+//! .internal            # optional
+//! .initial 00
+//! 00 +r 01
+//! 01 +g 11
+//! 11 -r 10
+//! 10 -g 00
+//! ```
+//!
+//! State codes are bit-strings in signal declaration order, **first declared
+//! signal first** (leftmost character). `#` starts a comment. States are
+//! code-addressed, so this format can only express graphs without duplicated
+//! codes — which is what CSC-satisfying specifications look like.
+
+use crate::builder::SgBuilder;
+use crate::error::SgError;
+use crate::graph::StateGraph;
+use crate::signal::{Dir, SignalKind};
+
+/// Parse a state graph from its textual description.
+///
+/// # Errors
+///
+/// Returns [`SgError::Parse`] for syntax problems and the usual construction
+/// errors ([`SgError::InconsistentAssignment`], …) for semantic ones.
+///
+/// # Example
+///
+/// ```
+/// let sg = nshot_sg::parse_sg("
+///     .inputs r
+///     .outputs g
+///     .initial 00
+///     00 +r 10
+///     10 +g 11
+///     11 -r 01
+///     01 -g 00
+/// ")?;
+/// assert_eq!(sg.num_states(), 4);
+/// # Ok::<(), nshot_sg::SgError>(())
+/// ```
+pub fn parse_sg(text: &str) -> Result<StateGraph, SgError> {
+    let mut name = String::from("sg");
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut internals: Vec<String> = Vec::new();
+    let mut initial: Option<String> = None;
+    let mut edges: Vec<(usize, String, String, String)> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let head = parts.next().expect("non-empty line has a token");
+        match head {
+            ".name" => {
+                name = parts.collect::<Vec<_>>().join(" ");
+            }
+            ".inputs" => inputs.extend(parts.map(str::to_owned)),
+            ".outputs" => outputs.extend(parts.map(str::to_owned)),
+            ".internal" => internals.extend(parts.map(str::to_owned)),
+            ".initial" => {
+                initial = Some(parts.next().map(str::to_owned).ok_or(SgError::Parse {
+                    line: lineno + 1,
+                    message: ".initial needs a state code".into(),
+                })?);
+            }
+            _ => {
+                let t = parts.next().ok_or(SgError::Parse {
+                    line: lineno + 1,
+                    message: "edge needs `<src> <±signal> <dst>`".into(),
+                })?;
+                let dst = parts.next().ok_or(SgError::Parse {
+                    line: lineno + 1,
+                    message: "edge needs a destination code".into(),
+                })?;
+                edges.push((lineno + 1, head.to_owned(), t.to_owned(), dst.to_owned()));
+            }
+        }
+    }
+
+    let mut b = SgBuilder::named(&name);
+    let mut signal_ids = Vec::new();
+    for (names, kind) in [
+        (&inputs, SignalKind::Input),
+        (&outputs, SignalKind::Output),
+        (&internals, SignalKind::Internal),
+    ] {
+        for n in names {
+            if signal_ids.iter().any(|(existing, _)| existing == n) {
+                return Err(SgError::DuplicateSignal(n.clone()));
+            }
+            let id = b.signal(n, kind);
+            signal_ids.push((n.clone(), id));
+        }
+    }
+    let num_signals = signal_ids.len();
+
+    let parse_code = |line: usize, s: &str| -> Result<u64, SgError> {
+        if s.len() != num_signals || !s.chars().all(|c| c == '0' || c == '1') {
+            return Err(SgError::Parse {
+                line,
+                message: format!("state code '{s}' must be {num_signals} bits of 0/1"),
+            });
+        }
+        // Leftmost character is signal 0.
+        Ok(s.chars()
+            .enumerate()
+            .fold(0u64, |acc, (i, c)| acc | (u64::from(c == '1') << i)))
+    };
+
+    for (line, src, trans, dst) in &edges {
+        let (dir, signame) = match trans.chars().next() {
+            Some('+') => (Dir::Rise, &trans[1..]),
+            Some('-') => (Dir::Fall, &trans[1..]),
+            _ => {
+                return Err(SgError::Parse {
+                    line: *line,
+                    message: format!("transition '{trans}' must start with + or -"),
+                })
+            }
+        };
+        let &(_, id) = signal_ids
+            .iter()
+            .find(|(n, _)| n == signame)
+            .ok_or_else(|| SgError::UnknownReference(format!("signal '{signame}'")))?;
+        let from = parse_code(*line, src)?;
+        let to = parse_code(*line, dst)?;
+        b.edge_codes(from, (id, dir.target_value()), to)?;
+    }
+
+    let init = initial.ok_or(SgError::MissingInitial)?;
+    let init_code = parse_code(0, &init)?;
+    b.build(init_code)
+}
+
+impl StateGraph {
+    /// Serialize back to the textual format accepted by [`parse_sg`].
+    ///
+    /// The format declares signals grouped by kind, so state codes are
+    /// emitted in the parser's signal order (inputs, outputs, internals) —
+    /// the round-trip preserves the graph up to signal renumbering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has duplicate state codes (such graphs are not
+    /// expressible in the code-addressed format).
+    pub fn to_text(&self) -> String {
+        assert_eq!(
+            self.reachable_codes().len(),
+            self.reachable().len(),
+            "code-addressed format requires unique codes"
+        );
+        // Declaration order: inputs, outputs, internals.
+        let ordered: Vec<crate::SignalId> = [
+            crate::SignalKind::Input,
+            crate::SignalKind::Output,
+            crate::SignalKind::Internal,
+        ]
+        .into_iter()
+        .flat_map(|kind| {
+            self.signal_ids()
+                .filter(move |&s| self.signal_kind(s) == kind)
+                .collect::<Vec<_>>()
+        })
+        .collect();
+        let code_string = |s: crate::StateId| -> String {
+            let code = self.code(s);
+            ordered
+                .iter()
+                .map(|sig| {
+                    if (code >> sig.index()) & 1 == 1 {
+                        '1'
+                    } else {
+                        '0'
+                    }
+                })
+                .collect()
+        };
+        let mut out = String::new();
+        out.push_str(&format!(".name {}\n", self.name()));
+        let line = |kind: crate::SignalKind, tag: &str, out: &mut String| {
+            let names: Vec<&str> = self
+                .signal_ids()
+                .filter(|&s| self.signal_kind(s) == kind)
+                .map(|s| self.signal_name(s))
+                .collect();
+            if !names.is_empty() {
+                out.push_str(&format!("{tag} {}\n", names.join(" ")));
+            }
+        };
+        line(crate::SignalKind::Input, ".inputs", &mut out);
+        line(crate::SignalKind::Output, ".outputs", &mut out);
+        line(crate::SignalKind::Internal, ".internal", &mut out);
+        out.push_str(&format!(".initial {}\n", code_string(self.initial())));
+        for s in self.reachable() {
+            for &(t, dst) in self.successors(s) {
+                out.push_str(&format!(
+                    "{} {} {}\n",
+                    code_string(s),
+                    self.label_string(t),
+                    code_string(dst)
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HANDSHAKE: &str = "
+        .name hs
+        .inputs r
+        .outputs g
+        .initial 00
+        00 +r 10
+        10 +g 11
+        11 -r 01
+        01 -g 00
+    ";
+
+    #[test]
+    fn parses_handshake() {
+        let sg = parse_sg(HANDSHAKE).unwrap();
+        assert_eq!(sg.name(), "hs");
+        assert_eq!(sg.num_states(), 4);
+        assert_eq!(sg.num_signals(), 2);
+        assert!(sg.check_csc().is_ok());
+        let r = sg.signal_by_name("r").unwrap();
+        assert_eq!(sg.signal_kind(r), SignalKind::Input);
+    }
+
+    #[test]
+    fn roundtrips_through_text() {
+        let sg = parse_sg(HANDSHAKE).unwrap();
+        let text = sg.to_text();
+        let sg2 = parse_sg(&text).unwrap();
+        assert_eq!(sg2.num_states(), sg.num_states());
+        assert_eq!(sg2.num_signals(), sg.num_signals());
+        assert_eq!(sg2.code(sg2.initial()), sg.code(sg.initial()));
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let sg = parse_sg(
+            "# a comment\n.inputs r\n.outputs g\n\n.initial 00 # trailing\n00 +r 10\n10 +g 11\n11 -r 01\n01 -g 00\n",
+        )
+        .unwrap();
+        assert_eq!(sg.num_states(), 4);
+    }
+
+    #[test]
+    fn bad_transition_sign() {
+        let err = parse_sg(".inputs r\n.initial 0\n0 r 1\n").unwrap_err();
+        assert!(matches!(err, SgError::Parse { .. }));
+    }
+
+    #[test]
+    fn bad_code_width() {
+        let err = parse_sg(".inputs r\n.outputs g\n.initial 00\n0 +r 1\n").unwrap_err();
+        assert!(matches!(err, SgError::Parse { .. }));
+    }
+
+    #[test]
+    fn unknown_signal() {
+        let err = parse_sg(".inputs r\n.initial 0\n0 +q 1\n").unwrap_err();
+        assert!(matches!(err, SgError::UnknownReference(_)));
+    }
+
+    #[test]
+    fn missing_initial() {
+        let err = parse_sg(".inputs r\n0 +r 1\n").unwrap_err();
+        assert!(matches!(err, SgError::MissingInitial));
+    }
+
+    #[test]
+    fn duplicate_signal_name() {
+        let err = parse_sg(".inputs r\n.outputs r\n.initial 00\n").unwrap_err();
+        assert!(matches!(err, SgError::DuplicateSignal(_)));
+    }
+
+    #[test]
+    fn inconsistent_edge_reported() {
+        let err = parse_sg(".inputs r\n.outputs g\n.initial 00\n00 +r 01\n").unwrap_err();
+        assert!(matches!(err, SgError::InconsistentAssignment { .. }));
+    }
+}

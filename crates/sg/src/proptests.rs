@@ -1,0 +1,174 @@
+//! Property-based tests over randomly generated marked-graph-style SGs.
+//!
+//! The generator builds SGs as the reachability graphs of small collections
+//! of independent toggling signals plus a chain of causal dependencies; the
+//! resulting graphs are consistent and deterministic by construction, which
+//! lets us assert the structural invariants of the analyses.
+
+use crate::{Dir, SgBuilder, SignalKind};
+use proptest::prelude::*;
+
+/// Build a "pipeline" SG: signals fire in a fixed cyclic order
+/// `+s0 +s1 … +sk -s0 -s1 … -sk`, with kinds chosen by the mask.
+fn pipeline_sg(kinds: &[bool]) -> crate::StateGraph {
+    let n = kinds.len();
+    let mut b = SgBuilder::named("pipeline");
+    let ids: Vec<_> = (0..n)
+        .map(|i| {
+            b.signal(
+                &format!("s{i}"),
+                if kinds[i] {
+                    SignalKind::Input
+                } else {
+                    SignalKind::Output
+                },
+            )
+        })
+        .collect();
+    let mut code = 0u64;
+    for phase in [true, false] {
+        for (i, &id) in ids.iter().enumerate() {
+            let next = if phase {
+                code | (1 << i)
+            } else {
+                code & !(1 << i)
+            };
+            b.edge_codes(code, (id, phase), next).expect("consistent by construction");
+            code = next;
+        }
+    }
+    b.build(0).expect("non-empty")
+}
+
+/// Interleave two independent handshake pairs: a 16-state diamond lattice.
+fn parallel_handshakes() -> crate::StateGraph {
+    let mut b = SgBuilder::named("parallel");
+    let r1 = b.signal("r1", SignalKind::Input);
+    let g1 = b.signal("g1", SignalKind::Output);
+    let r2 = b.signal("r2", SignalKind::Input);
+    let g2 = b.signal("g2", SignalKind::Output);
+    // Each pair cycles 00 -> r -> rg -> g -> 00 independently; build the
+    // product automaton explicitly over phases 0..4 per pair.
+    let phase_code = |p: usize, shift: usize| -> u64 {
+        // phase: 0 = 00, 1 = r, 2 = rg, 3 = g
+        (match p {
+            0 => 0b00u64,
+            1 => 0b01,
+            2 => 0b11,
+            _ => 0b10,
+        }) << shift
+    };
+    let step = |p: usize| (p + 1) % 4;
+    for p1 in 0..4usize {
+        for p2 in 0..4usize {
+            let code = phase_code(p1, 0) | phase_code(p2, 2);
+            // Advance pair 1.
+            let (sig, val) = match p1 {
+                0 => (r1, true),
+                1 => (g1, true),
+                2 => (r1, false),
+                _ => (g1, false),
+            };
+            let next = phase_code(step(p1), 0) | phase_code(p2, 2);
+            b.edge_codes(code, (sig, val), next).expect("consistent");
+            // Advance pair 2.
+            let (sig, val) = match p2 {
+                0 => (r2, true),
+                1 => (g2, true),
+                2 => (r2, false),
+                _ => (g2, false),
+            };
+            let next = phase_code(p1, 0) | phase_code(step(p2), 2);
+            b.edge_codes(code, (sig, val), next).expect("consistent");
+        }
+    }
+    b.build(0).expect("non-empty")
+}
+
+proptest! {
+    #[test]
+    fn pipeline_invariants(kinds in proptest::collection::vec(any::<bool>(), 2..8)) {
+        let sg = pipeline_sg(&kinds);
+        // Sequential SGs are deterministic, consistent, CSC and distributive.
+        prop_assert!(sg.check_csc().is_ok());
+        prop_assert!(sg.check_semi_modular().is_ok());
+        prop_assert!(sg.is_distributive());
+        prop_assert!(sg.check_output_trapping());
+        prop_assert!(sg.is_single_traversal());
+        prop_assert_eq!(sg.num_states(), 2 * kinds.len());
+
+        // Region partition: for every signal, ER/QR modes partition states.
+        for a in sg.signal_ids() {
+            let regions = sg.regions_of(a);
+            // Exactly one rising and one falling ER in a sequential cycle.
+            prop_assert_eq!(regions.excitation_of(Dir::Rise).count(), 1);
+            prop_assert_eq!(regions.excitation_of(Dir::Fall).count(), 1);
+            // ERs and QRs are disjoint and cover all states.
+            let mut count = 0usize;
+            for er in &regions.excitation {
+                count += er.states.len();
+            }
+            for qr in &regions.quiescent {
+                count += qr.states.len();
+            }
+            prop_assert_eq!(count, sg.num_states());
+            // Every ER state is excited; every QR state is stable.
+            for er in &regions.excitation {
+                for &s in &er.states {
+                    prop_assert!(sg.is_excited(s, a));
+                }
+            }
+            for qr in &regions.quiescent {
+                for &s in &qr.states {
+                    prop_assert!(!sg.is_excited(s, a));
+                    prop_assert_eq!(sg.value(s, a), qr.instance.dir.target_value());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trigger_regions_are_closed(kinds in proptest::collection::vec(any::<bool>(), 2..6)) {
+        let sg = pipeline_sg(&kinds);
+        for a in sg.signal_ids() {
+            let regions = sg.regions_of(a);
+            for t in &regions.triggers {
+                let er = &regions.excitation[t.er_index];
+                for &s in &t.states {
+                    prop_assert!(er.states.contains(&s), "TR ⊆ ER");
+                    for &(label, dst) in sg.successors(s) {
+                        if label.signal != a {
+                            prop_assert!(
+                                t.states.contains(&dst),
+                                "non-*a edges may not leave a trigger region"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_handshakes_invariants() {
+    let sg = parallel_handshakes();
+    assert_eq!(sg.num_states(), 16);
+    assert!(sg.check_csc().is_ok());
+    assert!(sg.check_semi_modular().is_ok());
+    assert!(sg.is_distributive());
+    assert!(sg.check_output_trapping());
+    // The second pair free-runs while g1 is excited, so the whole ER(+g1)
+    // cycle is one terminal SCC: a 4-state trigger region (not single
+    // traversal, exactly like Figure 7(b)'s clock).
+    assert!(!sg.is_single_traversal());
+    let g1 = sg.signal_by_name("g1").unwrap();
+    let regions = sg.regions_of(g1);
+    assert_eq!(regions.excitation.len(), 2);
+    for er in &regions.excitation {
+        assert_eq!(er.states.len(), 4);
+    }
+    for t in &regions.triggers {
+        assert_eq!(t.states.len(), 4);
+    }
+}

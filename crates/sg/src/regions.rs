@@ -1,0 +1,495 @@
+//! Excitation, quiescent and trigger regions (Definitions 5–7).
+
+use crate::graph::{StateGraph, StateId};
+use crate::signal::{Dir, SignalId};
+use std::collections::{BTreeSet, VecDeque};
+
+/// An occurrence `*a_i` of a signal transition, identified by its excitation
+/// region (the paper indexes transitions by `i`; regions and transition
+/// occurrences are in one-to-one correspondence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TransitionInstance {
+    /// The signal.
+    pub signal: SignalId,
+    /// Rising (`+a`) or falling (`-a`).
+    pub dir: Dir,
+    /// Occurrence index among this signal's excitation regions.
+    pub index: usize,
+}
+
+/// An excitation region `ER(*a_i)` (Definition 5): a maximal connected set of
+/// states in which `a` has the same value and is excited.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExcitationRegion {
+    /// Which transition occurrence this region belongs to.
+    pub instance: TransitionInstance,
+    /// The states of the region.
+    pub states: BTreeSet<StateId>,
+}
+
+/// A quiescent region `QR(*a_i)` (Definition 6): the maximal connected set of
+/// states reachable from `ER(*a_i)` in which `a` holds its new value and is
+/// stable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuiescentRegion {
+    /// The transition occurrence whose firing enters this region.
+    pub instance: TransitionInstance,
+    /// The states of the region (possibly empty if the signal is immediately
+    /// re-excited).
+    pub states: BTreeSet<StateId>,
+}
+
+/// A trigger region `TR(*a)` (Definition 7): a minimal connected set of
+/// states inside an excitation region that, once entered, can only be left by
+/// firing `*a`.
+///
+/// Computed as the terminal strongly connected components of the excitation
+/// region's non-`*a` edge subgraph; by output trapping (Property 1) these are
+/// exactly the minimal closed sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TriggerRegion {
+    /// Index into [`SignalRegions::excitation`] of the owning region.
+    pub er_index: usize,
+    /// The states of the trigger region.
+    pub states: BTreeSet<StateId>,
+}
+
+/// Table 1 classification of a state with respect to a signal: which
+/// operation mode of the MHS flip-flop the state falls into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionMode {
+    /// `s ∈ ER(+a)`: SET = 1, RESET = 0 (mode `+a`).
+    ExcitedUp,
+    /// `s ∈ QR(+a)`: SET = *, RESET = 0 (mode `a = 1`).
+    StableHigh,
+    /// `s ∈ ER(-a)`: SET = 0, RESET = 1 (mode `-a`).
+    ExcitedDown,
+    /// `s ∈ QR(-a)`: SET = 0, RESET = * (mode `a = 0`).
+    StableLow,
+}
+
+/// The complete region decomposition of one signal.
+#[derive(Debug, Clone)]
+pub struct SignalRegions {
+    /// The signal these regions describe.
+    pub signal: SignalId,
+    /// All excitation regions, rising before falling, in discovery order.
+    pub excitation: Vec<ExcitationRegion>,
+    /// Quiescent regions, parallel to `excitation` (entry `i` is the region
+    /// entered by firing the transition of `excitation[i]`).
+    pub quiescent: Vec<QuiescentRegion>,
+    /// All trigger regions of all excitation regions.
+    pub triggers: Vec<TriggerRegion>,
+}
+
+impl SignalRegions {
+    /// Excitation regions of the given direction.
+    pub fn excitation_of(&self, dir: Dir) -> impl Iterator<Item = &ExcitationRegion> {
+        self.excitation.iter().filter(move |e| e.instance.dir == dir)
+    }
+
+    /// Quiescent regions of the given direction.
+    pub fn quiescent_of(&self, dir: Dir) -> impl Iterator<Item = &QuiescentRegion> {
+        self.quiescent.iter().filter(move |q| q.instance.dir == dir)
+    }
+
+    /// Trigger regions of the given excitation region.
+    pub fn triggers_of(&self, er_index: usize) -> impl Iterator<Item = &TriggerRegion> {
+        self.triggers.iter().filter(move |t| t.er_index == er_index)
+    }
+
+    /// `true` if every trigger region contains exactly one state
+    /// (Definition 9 restricted to this signal).
+    pub fn is_single_traversal(&self) -> bool {
+        self.triggers.iter().all(|t| t.states.len() == 1)
+    }
+}
+
+impl StateGraph {
+    /// Compute the region decomposition of `signal` over the reachable states.
+    pub fn regions_of(&self, signal: SignalId) -> SignalRegions {
+        let reachable = self.reachable();
+        let in_reach = {
+            let mut v = vec![false; self.num_states()];
+            for &s in &reachable {
+                v[s.index()] = true;
+            }
+            v
+        };
+
+        // --- Excitation regions: connected components of excited states,
+        // separated by current value.
+        let mut excitation = Vec::new();
+        for dir in [Dir::Rise, Dir::Fall] {
+            let value_before = !dir.target_value();
+            let members: BTreeSet<StateId> = reachable
+                .iter()
+                .copied()
+                .filter(|&s| self.is_excited(s, signal) && self.value(s, signal) == value_before)
+                .collect();
+            for component in self.connected_components(&members) {
+                excitation.push(ExcitationRegion {
+                    instance: TransitionInstance {
+                        signal,
+                        dir,
+                        index: 0, // fixed up below
+                    },
+                    states: component,
+                });
+            }
+        }
+        // Stable occurrence indices per direction.
+        let mut rise_count = 0;
+        let mut fall_count = 0;
+        for er in &mut excitation {
+            let idx = match er.instance.dir {
+                Dir::Rise => {
+                    rise_count += 1;
+                    rise_count - 1
+                }
+                Dir::Fall => {
+                    fall_count += 1;
+                    fall_count - 1
+                }
+            };
+            er.instance.index = idx;
+        }
+
+        // --- Quiescent regions: forward closure from the post-firing states.
+        let mut quiescent = Vec::new();
+        for er in &excitation {
+            let target = er.instance.dir.target_value();
+            let mut seen: BTreeSet<StateId> = BTreeSet::new();
+            let mut queue: VecDeque<StateId> = VecDeque::new();
+            for &s in &er.states {
+                if let Some((_, dst)) = self.fire_signal(s, signal) {
+                    if in_reach[dst.index()]
+                        && self.value(dst, signal) == target
+                        && !self.is_excited(dst, signal)
+                        && seen.insert(dst)
+                    {
+                        queue.push_back(dst);
+                    }
+                }
+            }
+            while let Some(s) = queue.pop_front() {
+                for &(_, dst) in self.successors(s) {
+                    if in_reach[dst.index()]
+                        && self.value(dst, signal) == target
+                        && !self.is_excited(dst, signal)
+                        && seen.insert(dst)
+                    {
+                        queue.push_back(dst);
+                    }
+                }
+            }
+            quiescent.push(QuiescentRegion {
+                instance: er.instance,
+                states: seen,
+            });
+        }
+
+        // --- Trigger regions: terminal SCCs of each ER's non-*a subgraph.
+        let mut triggers = Vec::new();
+        for (er_index, er) in excitation.iter().enumerate() {
+            for scc in terminal_sccs(self, signal, &er.states) {
+                triggers.push(TriggerRegion {
+                    er_index,
+                    states: scc,
+                });
+            }
+        }
+
+        SignalRegions {
+            signal,
+            excitation,
+            quiescent,
+            triggers,
+        }
+    }
+
+    /// Table 1 classification of `state` with respect to `signal`.
+    pub fn region_mode(&self, state: StateId, signal: SignalId) -> RegionMode {
+        let value = self.value(state, signal);
+        let excited = self.is_excited(state, signal);
+        match (value, excited) {
+            (false, true) => RegionMode::ExcitedUp,
+            (true, false) => RegionMode::StableHigh,
+            (true, true) => RegionMode::ExcitedDown,
+            (false, false) => RegionMode::StableLow,
+        }
+    }
+
+    /// `true` if every trigger region of every non-input signal is a single
+    /// state (Definition 9). Single-traversal SGs always satisfy the trigger
+    /// requirement (Corollary 1).
+    pub fn is_single_traversal(&self) -> bool {
+        self.non_input_signals()
+            .all(|a| self.regions_of(a).is_single_traversal())
+    }
+
+    /// Undirected connected components of the induced subgraph on `members`.
+    fn connected_components(&self, members: &BTreeSet<StateId>) -> Vec<BTreeSet<StateId>> {
+        let mut components = Vec::new();
+        let mut assigned: BTreeSet<StateId> = BTreeSet::new();
+        for &start in members {
+            if assigned.contains(&start) {
+                continue;
+            }
+            let mut component = BTreeSet::new();
+            let mut queue = VecDeque::from([start]);
+            component.insert(start);
+            while let Some(s) = queue.pop_front() {
+                let neighbours = self
+                    .successors(s)
+                    .iter()
+                    .map(|&(_, d)| d)
+                    .chain(self.predecessors(s).iter().map(|&(_, d)| d));
+                for n in neighbours {
+                    if members.contains(&n) && component.insert(n) {
+                        queue.push_back(n);
+                    }
+                }
+            }
+            assigned.extend(component.iter().copied());
+            components.push(component);
+        }
+        components
+    }
+}
+
+/// Terminal SCCs of the subgraph induced on `states` by edges not labelled
+/// with `signal` (iterative Tarjan to survive deep graphs).
+fn terminal_sccs(
+    sg: &StateGraph,
+    signal: SignalId,
+    states: &BTreeSet<StateId>,
+) -> Vec<BTreeSet<StateId>> {
+    let nodes: Vec<StateId> = states.iter().copied().collect();
+    let index_of = |s: StateId| nodes.binary_search(&s).ok();
+    let succ: Vec<Vec<usize>> = nodes
+        .iter()
+        .map(|&s| {
+            sg.successors(s)
+                .iter()
+                .filter(|(l, _)| l.signal != signal)
+                .filter_map(|&(_, d)| index_of(d))
+                .collect()
+        })
+        .collect();
+
+    // Iterative Tarjan.
+    let n = nodes.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    let mut scc_of = vec![usize::MAX; n];
+
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        // Call stack entries: (node, next child position).
+        let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut ci)) = call.last_mut() {
+            if *ci == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if *ci < succ[v].len() {
+                let w = succ[v][*ci];
+                *ci += 1;
+                if index[w] == usize::MAX {
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        scc_of[w] = sccs.len();
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(comp);
+                }
+                call.pop();
+                if let Some(&mut (parent, _)) = call.last_mut() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+            }
+        }
+    }
+
+    // Terminal = no edge to a different SCC.
+    let mut terminal = vec![true; sccs.len()];
+    for v in 0..n {
+        for &w in &succ[v] {
+            if scc_of[v] != scc_of[w] {
+                terminal[scc_of[v]] = false;
+            }
+        }
+    }
+    sccs.iter()
+        .enumerate()
+        .filter(|&(i, _)| terminal[i])
+        .map(|(_, comp)| comp.iter().map(|&i| nodes[i]).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::fixtures;
+    use crate::{Dir, RegionMode};
+
+    #[test]
+    fn handshake_regions() {
+        let sg = fixtures::handshake();
+        let g = sg.signal_by_name("g").unwrap();
+        let regions = sg.regions_of(g);
+        assert_eq!(regions.excitation.len(), 2, "one ER(+g), one ER(-g)");
+        assert_eq!(regions.excitation_of(Dir::Rise).count(), 1);
+        assert_eq!(regions.excitation_of(Dir::Fall).count(), 1);
+        for er in &regions.excitation {
+            assert_eq!(er.states.len(), 1);
+        }
+        for qr in &regions.quiescent {
+            assert_eq!(qr.states.len(), 1);
+        }
+        assert!(regions.is_single_traversal());
+        assert!(sg.is_single_traversal());
+    }
+
+    #[test]
+    fn figure1_regions_of_c() {
+        let sg = fixtures::figure1();
+        let c = sg.signal_by_name("c").unwrap();
+        let regions = sg.regions_of(c);
+        // All six up-excited states are connected → a single ER(+c); ditto
+        // for the down phase.
+        assert_eq!(regions.excitation_of(Dir::Rise).count(), 1);
+        assert_eq!(regions.excitation_of(Dir::Fall).count(), 1);
+        let er_up = regions.excitation_of(Dir::Rise).next().unwrap();
+        assert_eq!(er_up.states.len(), 3, "states 001, 010, 011 (codes a,b)");
+        // The trigger region of ER(+c) is the single state 110 (both inputs
+        // up, c not yet fired): every other ER state can still move.
+        let trigs: Vec<_> = regions
+            .triggers
+            .iter()
+            .filter(|t| regions.excitation[t.er_index].instance.dir == Dir::Rise)
+            .collect();
+        assert_eq!(trigs.len(), 1);
+        assert_eq!(trigs[0].states.len(), 1);
+        let &only = trigs[0].states.iter().next().unwrap();
+        assert_eq!(sg.code_string(only), "110");
+        assert!(regions.is_single_traversal());
+    }
+
+    #[test]
+    fn figure1_quiescent_regions() {
+        let sg = fixtures::figure1();
+        let c = sg.signal_by_name("c").unwrap();
+        let regions = sg.regions_of(c);
+        let qr_up = regions.quiescent_of(Dir::Rise).next().unwrap();
+        // After +c the high-and-stable states are traversed until ER(-c).
+        assert!(!qr_up.states.is_empty());
+        for &s in &qr_up.states {
+            assert!(sg.value(s, c));
+            assert!(!sg.is_excited(s, c));
+        }
+    }
+
+    #[test]
+    fn region_mode_partitions_states() {
+        let sg = fixtures::figure1_csc();
+        let c = sg.signal_by_name("c").unwrap();
+        let mut counts = [0usize; 4];
+        for s in sg.reachable() {
+            match sg.region_mode(s, c) {
+                RegionMode::ExcitedUp => counts[0] += 1,
+                RegionMode::StableHigh => counts[1] += 1,
+                RegionMode::ExcitedDown => counts[2] += 1,
+                RegionMode::StableLow => counts[3] += 1,
+            }
+        }
+        assert!(counts.iter().all(|&c| c > 0), "all four modes inhabited: {counts:?}");
+        assert_eq!(counts.iter().sum::<usize>(), sg.reachable().len());
+    }
+
+    #[test]
+    fn non_single_traversal_clock_example() {
+        let sg = fixtures::figure7b();
+        let y = sg.signal_by_name("y").unwrap();
+        let regions = sg.regions_of(y);
+        assert!(
+            !regions.is_single_traversal(),
+            "free-running input makes multi-state trigger regions"
+        );
+        let multi = regions
+            .triggers
+            .iter()
+            .find(|t| t.states.len() > 1)
+            .expect("a multi-state trigger region exists");
+        assert_eq!(multi.states.len(), 2);
+        assert!(!sg.is_single_traversal());
+    }
+
+    #[test]
+    fn figure7a_is_single_traversal() {
+        let sg = fixtures::handshake();
+        assert!(sg.is_single_traversal());
+    }
+
+    #[test]
+    fn trigger_region_reachability_property() {
+        // Property 2: from any ER state some trigger region is reachable via
+        // non-*a edges.
+        for sg in [
+            fixtures::handshake(),
+            fixtures::figure1(),
+            fixtures::figure1_csc(),
+            fixtures::figure7b(),
+        ] {
+            for a in sg.non_input_signals() {
+                let regions = sg.regions_of(a);
+                for (ei, er) in regions.excitation.iter().enumerate() {
+                    let trig_states: std::collections::BTreeSet<_> = regions
+                        .triggers_of(ei)
+                        .flat_map(|t| t.states.iter().copied())
+                        .collect();
+                    for &s in &er.states {
+                        // BFS along non-*a edges inside the ER.
+                        let mut seen = std::collections::BTreeSet::from([s]);
+                        let mut queue = std::collections::VecDeque::from([s]);
+                        let mut hit = trig_states.contains(&s);
+                        while let Some(x) = queue.pop_front() {
+                            if hit {
+                                break;
+                            }
+                            for &(l, d) in sg.successors(x) {
+                                if l.signal != a && er.states.contains(&d) && seen.insert(d) {
+                                    if trig_states.contains(&d) {
+                                        hit = true;
+                                    }
+                                    queue.push_back(d);
+                                }
+                            }
+                        }
+                        assert!(hit, "trigger region unreachable from an ER state");
+                    }
+                }
+            }
+        }
+    }
+}

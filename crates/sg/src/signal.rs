@@ -1,0 +1,137 @@
+//! Signals, directions and transition labels.
+
+use std::fmt;
+
+/// Index of a signal within a [`crate::StateGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SignalId(pub(crate) u16);
+
+impl SignalId {
+    /// The raw index (bit position inside state codes).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The role a signal plays in the specification.
+///
+/// Non-input signals (outputs and internal state signals) are the ones the
+/// synthesis method must implement; input signals are driven by the
+/// environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignalKind {
+    /// Driven by the environment.
+    Input,
+    /// Externally observable, implemented by the circuit.
+    Output,
+    /// Internal state signal, implemented by the circuit (observable in the
+    /// sense of the paper: hazard-freeness is guaranteed here too).
+    Internal,
+}
+
+impl SignalKind {
+    /// `true` for output and internal signals (the set `X_O` of the paper).
+    pub fn is_non_input(self) -> bool {
+        !matches!(self, SignalKind::Input)
+    }
+}
+
+/// Direction of a signal transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Dir {
+    /// A `+x` transition (0 → 1).
+    Rise,
+    /// A `-x` transition (1 → 0).
+    Fall,
+}
+
+impl Dir {
+    /// The value of the signal *after* the transition fires.
+    pub fn target_value(self) -> bool {
+        matches!(self, Dir::Rise)
+    }
+
+    /// The opposite direction.
+    pub fn opposite(self) -> Dir {
+        match self {
+            Dir::Rise => Dir::Fall,
+            Dir::Fall => Dir::Rise,
+        }
+    }
+
+    /// `Rise` for `true`, `Fall` for `false`.
+    pub fn to_value(value: bool) -> Dir {
+        if value {
+            Dir::Rise
+        } else {
+            Dir::Fall
+        }
+    }
+
+    /// The `+`/`-` sign character.
+    pub fn sign(self) -> char {
+        match self {
+            Dir::Rise => '+',
+            Dir::Fall => '-',
+        }
+    }
+}
+
+impl fmt::Display for Dir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.sign())
+    }
+}
+
+/// A signal transition `*x`: the pair (signal, direction).
+///
+/// This is the edge label of the state graph. The paper writes `+x_j` /
+/// `-x_j`; the occurrence index `j` lives in
+/// [`crate::TransitionInstance`], which pairs a label with a specific
+/// excitation region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TransitionLabel {
+    /// The signal that fires.
+    pub signal: SignalId,
+    /// Rising or falling.
+    pub dir: Dir,
+}
+
+impl TransitionLabel {
+    /// Convenience constructor.
+    pub fn new(signal: SignalId, dir: Dir) -> Self {
+        TransitionLabel { signal, dir }
+    }
+
+    /// A rising transition of `signal`.
+    pub fn rise(signal: SignalId) -> Self {
+        TransitionLabel::new(signal, Dir::Rise)
+    }
+
+    /// A falling transition of `signal`.
+    pub fn fall(signal: SignalId) -> Self {
+        TransitionLabel::new(signal, Dir::Fall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dir_roundtrips() {
+        assert_eq!(Dir::to_value(true), Dir::Rise);
+        assert_eq!(Dir::to_value(false), Dir::Fall);
+        assert!(Dir::Rise.target_value());
+        assert!(!Dir::Fall.target_value());
+        assert_eq!(Dir::Rise.opposite(), Dir::Fall);
+        assert_eq!(Dir::Fall.opposite().sign(), '+');
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert!(!SignalKind::Input.is_non_input());
+        assert!(SignalKind::Output.is_non_input());
+        assert!(SignalKind::Internal.is_non_input());
+    }
+}

@@ -1,0 +1,430 @@
+//! Specification conformance: the external hazard-freeness oracle.
+//!
+//! The environment walks the state graph: whenever an input transition is
+//! enabled in the tracked specification state, it fires it on the circuit
+//! after a random delay (no fundamental-mode restriction — inputs may change
+//! while the circuit is still settling, exactly as the paper's environment
+//! assumption allows). Every change of a non-input signal observed at the
+//! flip-flop outputs must correspond to an enabled specification transition;
+//! anything else is an **external hazard**. A circuit that goes quiescent
+//! while the specification still expects a non-input transition is a
+//! **deadlock** (the failure mode of a violated trigger requirement).
+
+use crate::engine::{SimConfig, Simulator};
+use nshot_core::NshotImplementation;
+use nshot_netlist::NetId;
+use nshot_sg::{Dir, SignalId, StateGraph, TransitionLabel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// An observed violation of external hazard-freeness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HazardViolation {
+    /// A non-input signal changed although no such transition was enabled.
+    UnexpectedTransition {
+        /// Simulation time (ps).
+        time_ps: u64,
+        /// The offending signal name.
+        signal: String,
+        /// The direction observed.
+        rose: bool,
+        /// The tracked specification state code.
+        state_code: u64,
+    },
+    /// The circuit went quiescent while non-input transitions were pending.
+    Deadlock {
+        /// Simulation time (ps).
+        time_ps: u64,
+        /// The tracked specification state code.
+        state_code: u64,
+        /// Names of the expected (enabled) non-input signals.
+        expected: Vec<String>,
+    },
+}
+
+/// Configuration of a conformance run.
+#[derive(Debug, Clone)]
+pub struct ConformanceConfig {
+    /// Stop after this many fired specification transitions.
+    pub max_transitions: usize,
+    /// Input transitions fire between these many ps after getting enabled.
+    pub input_delay_ps: (u64, u64),
+    /// Seed for both the environment choices and the gate-delay sampling.
+    pub seed: u64,
+    /// Simulation configuration (delay model, ω).
+    pub sim: SimConfig,
+}
+
+impl Default for ConformanceConfig {
+    fn default() -> Self {
+        ConformanceConfig {
+            max_transitions: 200,
+            input_delay_ps: (100, 3_000),
+            seed: 1,
+            sim: SimConfig::default(),
+        }
+    }
+}
+
+/// Result of one conformance trial.
+#[derive(Debug, Clone)]
+pub struct ConformanceReport {
+    /// Specification transitions observed/fired before stopping.
+    pub transitions: usize,
+    /// Violations found (empty = externally hazard-free on this trial).
+    pub violations: Vec<HazardViolation>,
+    /// Final simulation time (ps).
+    pub end_time_ps: u64,
+}
+
+impl ConformanceReport {
+    /// `true` when the trial saw no violation.
+    pub fn is_hazard_free(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Summary over a batch of Monte-Carlo trials.
+#[derive(Debug, Clone)]
+pub struct MonteCarloSummary {
+    /// Number of trials run.
+    pub trials: usize,
+    /// Trials with zero violations.
+    pub clean_trials: usize,
+    /// Total specification transitions exercised.
+    pub total_transitions: usize,
+    /// First failing report, if any.
+    pub first_failure: Option<ConformanceReport>,
+}
+
+impl MonteCarloSummary {
+    /// `true` when every trial was hazard-free.
+    pub fn all_clean(&self) -> bool {
+        self.clean_trials == self.trials
+    }
+}
+
+/// Run one conformance trial of `implementation` against its specification.
+///
+/// # Panics
+///
+/// Panics if the netlist's named inputs/outputs do not match the state
+/// graph's signals (they always do for netlists produced by
+/// [`nshot_core::synthesize`]).
+pub fn check_conformance(
+    sg: &StateGraph,
+    implementation: &NshotImplementation,
+    config: &ConformanceConfig,
+) -> ConformanceReport {
+    run_conformance(sg, implementation, config, None)
+}
+
+/// Like [`check_conformance`], additionally recording every specification
+/// signal into a [`crate::Waveform`] (exportable as VCD).
+pub fn check_conformance_traced(
+    sg: &StateGraph,
+    implementation: &NshotImplementation,
+    config: &ConformanceConfig,
+) -> (ConformanceReport, crate::Waveform) {
+    let mut wave = crate::Waveform::new(sg.name());
+    let report = run_conformance(sg, implementation, config, Some(&mut wave));
+    (report, wave)
+}
+
+fn run_conformance(
+    sg: &StateGraph,
+    implementation: &NshotImplementation,
+    config: &ConformanceConfig,
+    mut trace: Option<&mut crate::Waveform>,
+) -> ConformanceReport {
+    let nl = &implementation.netlist;
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5EED);
+
+    // Map signals to nets.
+    let mut net_of_signal: HashMap<SignalId, NetId> = HashMap::new();
+    for s in sg.signal_ids() {
+        let name = sg.signal_name(s);
+        let net = if sg.signal_kind(s).is_non_input() {
+            nl.output_by_name(name)
+                .unwrap_or_else(|| panic!("output '{name}' missing from netlist"))
+        } else {
+            nl.gate_ids()
+                .find(|&g| {
+                    matches!(nl.kind(g), nshot_netlist::GateKind::Input)
+                        && nl.gate_name(g) == name
+                })
+                .map(nshot_netlist::GateId::net)
+                .unwrap_or_else(|| panic!("input '{name}' missing from netlist"))
+        };
+        net_of_signal.insert(s, net);
+    }
+    let signal_of_net: HashMap<NetId, SignalId> =
+        net_of_signal.iter().map(|(&s, &n)| (n, s)).collect();
+
+    // Initial values from the initial state code.
+    let mut initial = HashMap::new();
+    for s in sg.signal_ids() {
+        initial.insert(net_of_signal[&s], sg.value(sg.initial(), s));
+    }
+    let sim_config = SimConfig {
+        seed: config.seed,
+        ..config.sim.clone()
+    };
+    let mut sim = Simulator::new(nl, &sim_config, &initial);
+
+    // Register every specification signal in the waveform (spec order).
+    let mut wave_index: HashMap<SignalId, usize> = HashMap::new();
+    if let Some(wave) = trace.as_deref_mut() {
+        for s in sg.signal_ids() {
+            let idx = wave.add_signal(sg.signal_name(s), sg.value(sg.initial(), s));
+            wave_index.insert(s, idx);
+        }
+    }
+
+    let mut state = sg.initial();
+    let mut transitions = 0usize;
+    let mut violations = Vec::new();
+
+    let schedule_next_input =
+        |sim: &mut Simulator<'_>, state: nshot_sg::StateId, rng: &mut StdRng| -> Option<SignalId> {
+            let enabled: Vec<(TransitionLabel, nshot_sg::StateId)> = sg
+                .successors(state)
+                .iter()
+                .filter(|(l, _)| !sg.signal_kind(l.signal).is_non_input())
+                .copied()
+                .collect();
+            if enabled.is_empty() {
+                return None;
+            }
+            let (label, _) = enabled[rng.gen_range(0..enabled.len())];
+            let delay = rng.gen_range(config.input_delay_ps.0..=config.input_delay_ps.1);
+            sim.schedule_input(
+                net_of_signal[&label.signal],
+                label.dir.target_value(),
+                sim.now_ps() + delay,
+            );
+            Some(label.signal)
+        };
+
+    // At most one input transition in flight at a time; `pending_input`
+    // remembers which signal we committed to fire.
+    let mut pending_input: Option<SignalId> = schedule_next_input(&mut sim, state, &mut rng);
+
+    while transitions < config.max_transitions {
+        match sim.step() {
+            Some((t, net, value)) => {
+                let Some(&signal) = signal_of_net.get(&net) else {
+                    continue; // internal net
+                };
+                if let Some(wave) = trace.as_deref_mut() {
+                    wave.record(wave_index[&signal], t, value);
+                }
+                let dir = Dir::to_value(value);
+                let label = TransitionLabel::new(signal, dir);
+                match sg.delta(state, label) {
+                    Some(next) => {
+                        state = next;
+                        transitions += 1;
+                        if !sg.signal_kind(signal).is_non_input() {
+                            pending_input = None;
+                        }
+                        if pending_input.is_none() {
+                            pending_input = schedule_next_input(&mut sim, state, &mut rng);
+                        }
+                    }
+                    None => {
+                        violations.push(HazardViolation::UnexpectedTransition {
+                            time_ps: t,
+                            signal: sg.signal_name(signal).to_owned(),
+                            rose: value,
+                            state_code: sg.code(state),
+                        });
+                        break;
+                    }
+                }
+            }
+            None => {
+                // Quiescent: if the spec still expects non-input activity,
+                // the circuit is stuck.
+                let expected: Vec<String> = sg
+                    .successors(state)
+                    .iter()
+                    .filter(|(l, _)| sg.signal_kind(l.signal).is_non_input())
+                    .map(|(l, _)| sg.signal_name(l.signal).to_owned())
+                    .collect();
+                if !expected.is_empty() {
+                    violations.push(HazardViolation::Deadlock {
+                        time_ps: sim.now_ps(),
+                        state_code: sg.code(state),
+                        expected,
+                    });
+                    break;
+                }
+                // Otherwise only inputs are enabled; make sure one is
+                // scheduled (or the specification has genuinely terminated).
+                if pending_input.is_none() {
+                    pending_input = schedule_next_input(&mut sim, state, &mut rng);
+                }
+                if pending_input.is_none() {
+                    break; // terminal state: nothing enabled at all
+                }
+            }
+        }
+    }
+
+    ConformanceReport {
+        transitions,
+        violations,
+        end_time_ps: sim.now_ps(),
+    }
+}
+
+/// Run `trials` independent conformance trials with derived seeds.
+pub fn monte_carlo(
+    sg: &StateGraph,
+    implementation: &NshotImplementation,
+    base: &ConformanceConfig,
+    trials: usize,
+) -> MonteCarloSummary {
+    let mut clean = 0;
+    let mut total = 0;
+    let mut first_failure = None;
+    for i in 0..trials {
+        let config = ConformanceConfig {
+            seed: base.seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9),
+            ..base.clone()
+        };
+        let report = check_conformance(sg, implementation, &config);
+        total += report.transitions;
+        if report.is_hazard_free() {
+            clean += 1;
+        } else if first_failure.is_none() {
+            first_failure = Some(report);
+        }
+    }
+    MonteCarloSummary {
+        trials,
+        clean_trials: clean,
+        total_transitions: total,
+        first_failure,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nshot_core::{synthesize, SynthesisOptions};
+    use nshot_sg::{SgBuilder, SignalKind};
+
+    fn handshake() -> StateGraph {
+        let mut b = SgBuilder::named("handshake");
+        let r = b.signal("r", SignalKind::Input);
+        let g = b.signal("g", SignalKind::Output);
+        b.edge_codes(0b00, (r, true), 0b01).unwrap();
+        b.edge_codes(0b01, (g, true), 0b11).unwrap();
+        b.edge_codes(0b11, (r, false), 0b10).unwrap();
+        b.edge_codes(0b10, (g, false), 0b00).unwrap();
+        b.build(0b00).unwrap()
+    }
+
+    #[test]
+    fn handshake_is_externally_hazard_free() {
+        let sg = handshake();
+        let imp = synthesize(&sg, &SynthesisOptions::default()).unwrap();
+        let report = check_conformance(&sg, &imp, &ConformanceConfig::default());
+        assert!(report.is_hazard_free(), "{:?}", report.violations);
+        assert_eq!(report.transitions, 200);
+    }
+
+    #[test]
+    fn traced_run_produces_waveform() {
+        let sg = handshake();
+        let imp = synthesize(&sg, &SynthesisOptions::default()).unwrap();
+        let (report, wave) = crate::check_conformance_traced(
+            &sg,
+            &imp,
+            &ConformanceConfig {
+                max_transitions: 40,
+                ..ConformanceConfig::default()
+            },
+        );
+        assert!(report.is_hazard_free());
+        // Both signals recorded, with edges summing to the transitions.
+        let r = wave.signal_by_name("r").unwrap();
+        let g = wave.signal_by_name("g").unwrap();
+        assert_eq!(r.num_edges() + g.num_edges(), report.transitions);
+        // Handshake order: g follows r.
+        assert!(r.edges[0].0 < g.edges[0].0);
+        let vcd = wave.to_vcd();
+        assert!(vcd.contains("$var wire 1 ! r $end"));
+        assert!(vcd.contains("$var wire 1 \" g $end"));
+    }
+
+    #[test]
+    fn monte_carlo_summary_counts() {
+        let sg = handshake();
+        let imp = synthesize(&sg, &SynthesisOptions::default()).unwrap();
+        let summary = monte_carlo(&sg, &imp, &ConformanceConfig::default(), 10);
+        assert!(summary.all_clean(), "{:?}", summary.first_failure);
+        assert_eq!(summary.trials, 10);
+        assert_eq!(summary.total_transitions, 10 * 200);
+    }
+
+    #[test]
+    fn broken_circuit_is_caught() {
+        // Swap set and reset covers: the circuit drives g against the spec.
+        let sg = handshake();
+        let mut imp = synthesize(&sg, &SynthesisOptions::default()).unwrap();
+        // Rebuild the netlist with swapped covers.
+        let g = sg.signal_by_name("g").unwrap();
+        let covers = vec![(
+            g,
+            imp.signals[0].reset_cover.clone(),
+            imp.signals[0].set_cover.clone(),
+        )];
+        let (nl, _) = nshot_core::assemble_netlist(
+            &sg,
+            &covers,
+            &nshot_netlist::DelayModel::nominal(),
+        )
+        .unwrap();
+        imp.netlist = nl;
+        // Hold inputs back so the mis-wired set network (high at reset) has
+        // to fire +g before +r is even applied.
+        let config = ConformanceConfig {
+            input_delay_ps: (20_000, 30_000),
+            ..ConformanceConfig::default()
+        };
+        let report = check_conformance(&sg, &imp, &config);
+        assert!(!report.is_hazard_free());
+        assert!(matches!(
+            report.violations[0],
+            HazardViolation::UnexpectedTransition { .. }
+        ));
+    }
+
+    #[test]
+    fn dead_circuit_is_reported_as_deadlock() {
+        // Empty covers: the circuit never drives g, so after +r the spec
+        // expects +g forever.
+        let sg = handshake();
+        let mut imp = synthesize(&sg, &SynthesisOptions::default()).unwrap();
+        let g = sg.signal_by_name("g").unwrap();
+        let n = sg.num_signals();
+        let covers = vec![(g, nshot_logic::Cover::empty(n), nshot_logic::Cover::empty(n))];
+        let (nl, _) = nshot_core::assemble_netlist(
+            &sg,
+            &covers,
+            &nshot_netlist::DelayModel::nominal(),
+        )
+        .unwrap();
+        imp.netlist = nl;
+        let report = check_conformance(&sg, &imp, &ConformanceConfig::default());
+        assert!(!report.is_hazard_free());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, HazardViolation::Deadlock { .. })));
+    }
+}

@@ -1,0 +1,559 @@
+//! The discrete-event pure-delay simulation engine.
+
+use crate::mhs::{MhsAction, MhsCell};
+use nshot_netlist::{DelayModel, GateId, GateKind, NetId, Netlist};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Configuration of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Delay model the per-gate transport delays are sampled from.
+    pub delay_model: DelayModel,
+    /// MHS pulse-rejection threshold ω, in ps.
+    pub omega_ps: u64,
+    /// RNG seed for delay sampling.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            delay_model: DelayModel::nominal(),
+            omega_ps: 300,
+            seed: 0xD5EA5E,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    /// Plain net transition (output of a combinational gate, delay line, or
+    /// an externally driven input).
+    Net,
+    /// MHS fire attempt carrying a validation token.
+    MhsFire {
+        /// The cell's gate.
+        gate: GateId,
+        /// Token from [`MhsCell::on_inputs`].
+        token: u64,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Event {
+    time: u64,
+    seq: u64,
+    net: NetId,
+    value: bool,
+    kind: EventKind,
+}
+
+/// Event-driven simulator over a netlist, under the paper's pure delay
+/// model: every gate is a transport delay, so pulses of any width propagate
+/// (this is exactly why the SOP networks may glitch). MHS flip-flops are
+/// simulated with the behavioral [`MhsCell`] (threshold ω, response τ
+/// sampled from the storage delay range).
+///
+/// Drive inputs with [`Simulator::schedule_input`]; advance with
+/// [`Simulator::step`], which returns each committed net change in time
+/// order.
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    nl: &'a Netlist,
+    values: Vec<bool>,
+    /// Last value scheduled per net (transport-delay projection).
+    projected: Vec<bool>,
+    delays_ps: Vec<u64>,
+    fanout: Vec<Vec<GateId>>,
+    heap: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    time_ps: u64,
+    mhs: HashMap<GateId, MhsCell>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Build a simulator with all nets settled at the given source values
+    /// (inputs and storage-element outputs); combinational nets are derived.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a needed source value is missing from `initial`.
+    pub fn new(nl: &'a Netlist, config: &SimConfig, initial: &HashMap<NetId, bool>) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut delays_ps = Vec::with_capacity(nl.num_gates());
+        let mut mhs = HashMap::new();
+        for g in nl.gate_ids() {
+            let kind = nl.kind(g);
+            let (lo, hi) = match kind {
+                GateKind::DelayLine { ps } => (*ps as f64 / 1000.0, *ps as f64 / 1000.0),
+                GateKind::Input | GateKind::Const(_) => (0.0, 0.0),
+                _ => {
+                    let lo = config.delay_model.min_ns(kind);
+                    let hi = config.delay_model.max_ns(kind);
+                    (lo, hi)
+                }
+            };
+            let d = if hi > lo { rng.gen_range(lo..=hi) } else { lo };
+            let d_ps = (d * 1000.0).round() as u64;
+            delays_ps.push(d_ps);
+            if matches!(kind, GateKind::MhsFlipFlop) {
+                let tau = d_ps.max(config.omega_ps + 1);
+                mhs.insert(g, MhsCell::new(config.omega_ps, tau));
+            }
+        }
+
+        // Settle all nets from the provided sources.
+        let settled = nl.eval_combinational(initial);
+        let mut values = vec![false; nl.num_gates()];
+        let mut fanout = vec![Vec::new(); nl.num_gates()];
+        for g in nl.gate_ids() {
+            for &i in nl.inputs(g) {
+                fanout[i.index()].push(g);
+            }
+        }
+        for g in nl.gate_ids() {
+            let net = Self::net_of(g);
+            let v = settled.get(&net).copied().unwrap_or_else(|| {
+                initial.get(&net).copied().unwrap_or(false)
+            });
+            values[g.index()] = v;
+        }
+        // Storage cells adopt their initial values.
+        for (g, cell) in &mut mhs {
+            cell.initialize(values[g.index()]);
+        }
+        let projected = values.clone();
+        let mut sim = Simulator {
+            nl,
+            values,
+            projected,
+            delays_ps,
+            fanout,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            time_ps: 0,
+            mhs,
+        };
+        // A statically driven set/reset at time 0 arms the cell right away —
+        // this realizes the "automatic initialization" of Section IV.F.
+        let mhs_gates: Vec<GateId> = sim.mhs.keys().copied().collect();
+        for g in mhs_gates {
+            sim.evaluate(g, 0);
+        }
+        sim
+    }
+
+    fn net_of(g: GateId) -> NetId {
+        // Gate i drives net i by construction of `Netlist`.
+        g.net()
+    }
+
+    /// Current simulation time in ps.
+    pub fn now_ps(&self) -> u64 {
+        self.time_ps
+    }
+
+    /// Current value of a net.
+    pub fn value(&self, net: NetId) -> bool {
+        self.values[net.index()]
+    }
+
+    /// Schedule an external transition on an input net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net is not a primary input or `at_ps` is in the past.
+    pub fn schedule_input(&mut self, net: NetId, value: bool, at_ps: u64) {
+        assert!(
+            matches!(self.nl.kind(net.driver()), GateKind::Input),
+            "only primary inputs may be driven externally"
+        );
+        assert!(at_ps >= self.time_ps, "cannot schedule in the past");
+        self.push(Event {
+            time: at_ps,
+            seq: 0,
+            net,
+            value,
+            kind: EventKind::Net,
+        });
+        self.projected[net.index()] = value;
+    }
+
+    fn push(&mut self, mut e: Event) {
+        e.seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(e));
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_quiescent(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Advance to the next committed net change and return it, or `None`
+    /// when the circuit is quiescent. Stale MHS fires are consumed silently.
+    pub fn step(&mut self) -> Option<(u64, NetId, bool)> {
+        while let Some(Reverse(e)) = self.heap.pop() {
+            self.time_ps = e.time;
+            match e.kind {
+                EventKind::MhsFire { gate, token } => {
+                    let cell = self.mhs.get_mut(&gate).expect("MHS cell exists");
+                    if !cell.confirm_fire(token, e.time) {
+                        continue; // cancelled runt pulse
+                    }
+                }
+                EventKind::Net => {}
+            }
+            if self.values[e.net.index()] == e.value {
+                continue;
+            }
+            self.values[e.net.index()] = e.value;
+            // Propagate to fanout gates.
+            let readers = self.fanout[e.net.index()].clone();
+            for g in readers {
+                self.evaluate(g, e.time);
+            }
+            return Some((e.time, e.net, e.value));
+        }
+        None
+    }
+
+    /// Run until quiescent or `deadline_ps`, discarding intermediate
+    /// changes. Returns the number of net changes.
+    pub fn run_until_quiescent(&mut self, deadline_ps: u64) -> usize {
+        let mut n = 0;
+        while let Some(&Reverse(e)) = self.heap.peek() {
+            if e.time > deadline_ps {
+                break;
+            }
+            if self.step().is_some() {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    fn evaluate(&mut self, g: GateId, t: u64) {
+        let kind = self.nl.kind(g).clone();
+        let out_net = Self::net_of(g);
+        let inputs = self.nl.inputs(g);
+        let val = |net: NetId| self.values[net.index()];
+        match kind {
+            GateKind::Input | GateKind::Const(_) => {}
+            GateKind::And { ref inverted } => {
+                let v = inputs
+                    .iter()
+                    .zip(inverted)
+                    .all(|(&i, &inv)| val(i) != inv);
+                self.schedule_comb(g, out_net, v, t);
+            }
+            GateKind::Or => {
+                let v = inputs.iter().any(|&i| val(i));
+                self.schedule_comb(g, out_net, v, t);
+            }
+            GateKind::Not => {
+                let v = !val(inputs[0]);
+                self.schedule_comb(g, out_net, v, t);
+            }
+            GateKind::DelayLine { .. } => {
+                let v = val(inputs[0]);
+                self.schedule_comb(g, out_net, v, t);
+            }
+            GateKind::MhsFlipFlop => {
+                let set = val(inputs[0]);
+                let reset = val(inputs[1]);
+                let cell = self.mhs.get_mut(&g).expect("MHS cell exists");
+                if let MhsAction::Schedule {
+                    fire_at,
+                    value,
+                    token,
+                } = cell.on_inputs(t, set, reset)
+                {
+                    self.push(Event {
+                        time: fire_at,
+                        seq: 0,
+                        net: out_net,
+                        value,
+                        kind: EventKind::MhsFire { gate: g, token },
+                    });
+                }
+            }
+            GateKind::AckAnd { invert_enable } => {
+                let v = val(inputs[0]) && (val(inputs[1]) ^ invert_enable);
+                self.schedule_comb(g, out_net, v, t);
+            }
+            _ => {
+                // Baseline storage: C-element waits for agreement, RS latch
+                // is set-dominant. No pulse filtering (that is the point of
+                // the MHS comparison).
+                let a = val(inputs[0]);
+                let b = val(inputs[1]);
+                let cur = self.values[out_net.index()];
+                let v = match kind {
+                    GateKind::CElement { invert_b } => {
+                        let b = b ^ invert_b;
+                        if a == b {
+                            a
+                        } else {
+                            cur
+                        }
+                    }
+                    _ => {
+                        if a {
+                            true
+                        } else if b {
+                            false
+                        } else {
+                            cur
+                        }
+                    }
+                };
+                self.schedule_comb(g, out_net, v, t);
+            }
+        }
+    }
+
+    fn schedule_comb(&mut self, g: GateId, net: NetId, v: bool, t: u64) {
+        if self.projected[net.index()] == v {
+            return;
+        }
+        self.projected[net.index()] = v;
+        let d = self.delays_ps[g.index()];
+        self.push(Event {
+            time: t + d,
+            seq: 0,
+            net,
+            value: v,
+            kind: EventKind::Net,
+        });
+    }
+
+    /// Count of MHS set/reset conflicts across all cells (diagnostic).
+    pub fn mhs_conflicts(&self) -> u64 {
+        self.mhs.values().map(MhsCell::conflicts).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nshot_netlist::{GateKind, Netlist};
+
+    #[test]
+    fn gate_propagates_with_delay() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let and = nl.add_gate(GateKind::and(2), vec![a, b], "and");
+        nl.mark_output("y", and);
+        let mut init = HashMap::new();
+        init.insert(a, false);
+        init.insert(b, true);
+        let mut sim = Simulator::new(&nl, &SimConfig::default(), &init);
+        assert!(!sim.value(and));
+        sim.schedule_input(a, true, 1_000);
+        let (t, net, v) = sim.step().expect("input change");
+        assert_eq!((net, v), (a, true));
+        assert_eq!(t, 1_000);
+        let (t2, net2, v2) = sim.step().expect("AND output rises");
+        assert_eq!(net2, and);
+        assert!(v2);
+        assert!(t2 > 1_000 && t2 <= 1_000 + 1_200);
+        assert!(sim.step().is_none());
+        assert!(sim.is_quiescent());
+    }
+
+    #[test]
+    fn pure_delay_propagates_runt_pulses() {
+        // A 50 ps pulse through an AND gate still appears at its output —
+        // transport delay, not inertial.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let buf = nl.add_gate(GateKind::and(1), vec![a], "buf");
+        nl.mark_output("y", buf);
+        let mut init = HashMap::new();
+        init.insert(a, false);
+        let mut sim = Simulator::new(&nl, &SimConfig::default(), &init);
+        sim.schedule_input(a, true, 1_000);
+        sim.schedule_input(a, false, 1_050);
+        let mut changes = Vec::new();
+        while let Some((t, net, v)) = sim.step() {
+            if net == buf {
+                changes.push((t, v));
+            }
+        }
+        assert_eq!(changes.len(), 2, "both edges of the pulse propagate");
+        assert_eq!(changes[1].0 - changes[0].0, 50, "width is preserved");
+    }
+
+    #[test]
+    fn mhs_in_circuit_filters_runts() {
+        let mut nl = Netlist::new("t");
+        let set = nl.add_input("set");
+        let reset = nl.add_input("reset");
+        let ff = nl.add_gate(GateKind::MhsFlipFlop, vec![set, reset], "ff");
+        nl.mark_output("y", ff);
+        let mut init = HashMap::new();
+        init.insert(set, false);
+        init.insert(reset, false);
+        init.insert(ff, false);
+        let mut sim = Simulator::new(&nl, &SimConfig::default(), &init);
+        // 100 ps runt: absorbed.
+        sim.schedule_input(set, true, 1_000);
+        sim.schedule_input(set, false, 1_100);
+        // 2 ns pulse at 5 ns: fires.
+        sim.schedule_input(set, true, 5_000);
+        sim.schedule_input(set, false, 7_000);
+        let mut ff_changes = Vec::new();
+        while let Some((t, net, v)) = sim.step() {
+            if net == ff {
+                ff_changes.push((t, v));
+            }
+        }
+        assert_eq!(ff_changes.len(), 1, "one clean transition");
+        assert!(ff_changes[0].0 >= 5_000);
+        assert!(ff_changes[0].1);
+        assert_eq!(sim.mhs_conflicts(), 0);
+    }
+
+    #[test]
+    fn c_element_waits_for_agreement() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_gate(GateKind::c_element(), vec![a, b], "c");
+        nl.mark_output("y", c);
+        let mut init = HashMap::new();
+        init.insert(a, false);
+        init.insert(b, false);
+        init.insert(c, false);
+        let mut sim = Simulator::new(&nl, &SimConfig::default(), &init);
+        sim.schedule_input(a, true, 1_000);
+        sim.run_until_quiescent(1_000_000);
+        assert!(!sim.value(c), "one input is not enough");
+        sim.schedule_input(b, true, sim.now_ps() + 100);
+        sim.run_until_quiescent(1_000_000);
+        assert!(sim.value(c), "both inputs agree high");
+        sim.schedule_input(a, false, sim.now_ps() + 100);
+        sim.run_until_quiescent(1_000_000);
+        assert!(sim.value(c), "C-element holds");
+    }
+
+    #[test]
+    fn determinism_under_fixed_seed() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let and = nl.add_gate(GateKind::and(2), vec![a, b], "and");
+        let or = nl.add_gate(GateKind::Or, vec![and, a], "or");
+        nl.mark_output("y", or);
+        let run = || {
+            let mut init = HashMap::new();
+            init.insert(a, false);
+            init.insert(b, true);
+            let mut sim = Simulator::new(&nl, &SimConfig::default(), &init);
+            sim.schedule_input(a, true, 500);
+            let mut log = Vec::new();
+            while let Some(e) = sim.step() {
+                log.push(e);
+            }
+            log
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "primary inputs")]
+    fn driving_a_gate_output_panics() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let buf = nl.add_gate(GateKind::and(1), vec![a], "buf");
+        nl.mark_output("y", buf);
+        let mut init = HashMap::new();
+        init.insert(a, false);
+        let mut sim = Simulator::new(&nl, &SimConfig::default(), &init);
+        sim.schedule_input(buf, true, 100);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use nshot_netlist::{GateKind, Netlist};
+
+    #[test]
+    fn delay_line_transports_exactly() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let d = nl.add_gate(GateKind::DelayLine { ps: 777 }, vec![a], "d");
+        nl.mark_output("y", d);
+        let mut init = HashMap::new();
+        init.insert(a, false);
+        let mut sim = Simulator::new(&nl, &SimConfig::default(), &init);
+        sim.schedule_input(a, true, 1_000);
+        let mut out_time = None;
+        while let Some((t, net, v)) = sim.step() {
+            if net == d && v {
+                out_time = Some(t);
+            }
+        }
+        assert_eq!(out_time, Some(1_777));
+    }
+
+    #[test]
+    fn different_seeds_sample_different_delays() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let g1 = nl.add_gate(GateKind::Not, vec![a], "g1");
+        let g2 = nl.add_gate(GateKind::Not, vec![g1], "g2");
+        let g3 = nl.add_gate(GateKind::Not, vec![g2], "g3");
+        nl.mark_output("y", g3);
+        let run = |seed: u64| -> u64 {
+            let mut init = HashMap::new();
+            init.insert(a, false);
+            let config = SimConfig {
+                delay_model: nshot_netlist::DelayModel::wide_spread(),
+                seed,
+                ..SimConfig::default()
+            };
+            let mut sim = Simulator::new(&nl, &config, &init);
+            sim.schedule_input(a, true, 0);
+            let mut last = 0;
+            while let Some((t, _, _)) = sim.step() {
+                last = t;
+            }
+            last
+        };
+        // Under a wide spread, at least two of several seeds must differ.
+        let times: std::collections::BTreeSet<u64> = (0..6).map(run).collect();
+        assert!(times.len() > 1, "delay sampling should vary by seed");
+    }
+
+    #[test]
+    fn ack_and_gates_have_zero_delay() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let en = nl.add_input("en");
+        let ack = nl.add_gate(
+            GateKind::AckAnd {
+                invert_enable: false,
+            },
+            vec![a, en],
+            "ack",
+        );
+        nl.mark_output("y", ack);
+        let mut init = HashMap::new();
+        init.insert(a, false);
+        init.insert(en, true);
+        let mut sim = Simulator::new(&nl, &SimConfig::default(), &init);
+        sim.schedule_input(a, true, 500);
+        let (t_in, _, _) = sim.step().unwrap();
+        let (t_out, net, v) = sim.step().unwrap();
+        assert_eq!(net, ack);
+        assert!(v);
+        assert_eq!(t_out, t_in, "merged into the flip-flop input stage");
+    }
+}

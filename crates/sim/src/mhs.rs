@@ -1,0 +1,317 @@
+//! Behavioral model of the MHS flip-flop (Fig. 4).
+//!
+//! The MHS flip-flop behaves like a C-element functionally but is
+//! electrically robust to small pulses: it does not transmit a pulse shorter
+//! than ω, and for pulses of width ≥ ω the output transition is translated
+//! forward in time by τ (ω < τ). This module captures exactly that contract
+//! as a deterministic state machine; the structural three-stage realization
+//! is in [`crate::StructuralMhs`].
+
+/// What the engine must do after feeding an input edge to the cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MhsAction {
+    /// Nothing to schedule.
+    None,
+    /// Schedule an output change to `value` at `fire_at`; present `token`
+    /// back to [`MhsCell::confirm_fire`] at that time (the cell may have
+    /// cancelled the fire in the meantime if the pulse turned out short).
+    Schedule {
+        /// Absolute firing time in ps.
+        fire_at: u64,
+        /// The output value to assume.
+        value: bool,
+        /// Validation token.
+        token: u64,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    target: bool,
+    rise: u64,
+    token: u64,
+    committed: bool,
+}
+
+/// The behavioral MHS flip-flop.
+///
+/// Drive it with [`MhsCell::on_inputs`] at every set/reset edge and call
+/// [`MhsCell::confirm_fire`] when a scheduled fire time arrives. Pulses
+/// shorter than ω never change the output; pulses ≥ ω change it exactly
+/// once, τ after the exciting edge.
+#[derive(Debug, Clone)]
+pub struct MhsCell {
+    omega_ps: u64,
+    tau_ps: u64,
+    out: bool,
+    next_token: u64,
+    pending: Option<Pending>,
+    conflicts: u64,
+}
+
+impl MhsCell {
+    /// A cell with threshold `omega_ps` and response `tau_ps` (ω < τ).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `omega_ps >= tau_ps` (the paper requires ω < τ).
+    pub fn new(omega_ps: u64, tau_ps: u64) -> Self {
+        assert!(omega_ps < tau_ps, "MHS requires ω < τ");
+        MhsCell {
+            omega_ps,
+            tau_ps,
+            out: false,
+            next_token: 0,
+            pending: None,
+            conflicts: 0,
+        }
+    }
+
+    /// Set the initial output value (Section IV.F initialization).
+    pub fn initialize(&mut self, value: bool) {
+        self.out = value;
+        self.pending = None;
+    }
+
+    /// Current output value.
+    pub fn output(&self) -> bool {
+        self.out
+    }
+
+    /// Number of set/reset conflicts observed (both rails high while idle —
+    /// never happens inside a correct N-SHOT stage, counted for diagnosis).
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Feed the input values after an edge at time `t`.
+    pub fn on_inputs(&mut self, t: u64, set: bool, reset: bool) -> MhsAction {
+        // Resolve an in-flight pulse first.
+        if let Some(p) = &mut self.pending {
+            let driving = if p.target { set } else { reset };
+            if !driving && !p.committed {
+                if t >= p.rise + self.omega_ps {
+                    // The pulse lasted ≥ ω before falling: it is accepted.
+                    p.committed = true;
+                } else {
+                    // Runt pulse: absorbed, the scheduled fire goes stale.
+                    self.pending = None;
+                }
+            }
+            // While a pulse is pending, further edges cannot start a second
+            // excitation of the same polarity; opposite-polarity excitation
+            // before the fire would be a protocol violation upstream.
+            if let Some(p) = &self.pending {
+                let opposite = if p.target { reset } else { set };
+                if opposite {
+                    self.conflicts += 1;
+                }
+                return MhsAction::None;
+            }
+        }
+        // Idle: look for a new excitation.
+        match (set, reset) {
+            (true, true) => {
+                self.conflicts += 1;
+                MhsAction::None
+            }
+            (true, false) if !self.out => self.arm(t, true),
+            (false, true) if self.out => self.arm(t, false),
+            _ => MhsAction::None,
+        }
+    }
+
+    fn arm(&mut self, t: u64, target: bool) -> MhsAction {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.pending = Some(Pending {
+            target,
+            rise: t,
+            token,
+            committed: false,
+        });
+        MhsAction::Schedule {
+            fire_at: t + self.tau_ps,
+            value: target,
+            token,
+        }
+    }
+
+    /// Attempt to commit a scheduled fire. Returns `true` (and flips the
+    /// output) when the token is still valid — i.e. the exciting pulse was
+    /// not cancelled as a runt.
+    pub fn confirm_fire(&mut self, token: u64, _t: u64) -> bool {
+        match &self.pending {
+            Some(p) if p.token == token => {
+                self.out = p.target;
+                self.pending = None;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Convenience harness for the Fig. 4 experiment: feed a set-pulse train to
+/// a fresh cell and report the output transition times.
+///
+/// `pulses` are `(rise_ps, width_ps)` pairs on the set input (reset held 0).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PulseResponse {
+    /// Times at which the output rose.
+    pub output_rises: Vec<u64>,
+    /// Pulses absorbed as runts.
+    pub absorbed: usize,
+}
+
+impl PulseResponse {
+    /// Run the experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pulses are not strictly ordered in time.
+    pub fn of_pulse_train(omega_ps: u64, tau_ps: u64, pulses: &[(u64, u64)]) -> Self {
+        let mut cell = MhsCell::new(omega_ps, tau_ps);
+        let mut events: Vec<(u64, bool)> = Vec::new();
+        let mut last_end = 0;
+        for &(rise, width) in pulses {
+            assert!(rise >= last_end, "pulses must be ordered and disjoint");
+            events.push((rise, true));
+            events.push((rise + width, false));
+            last_end = rise + width;
+        }
+        let mut fires: Vec<(u64, u64)> = Vec::new(); // (fire_at, token)
+        let mut rises = Vec::new();
+        let mut absorbed = 0;
+        let mut scheduled = 0;
+        let mut i = 0;
+        while i < events.len() || !fires.is_empty() {
+            let next_fire = fires.first().copied();
+            let next_event = events.get(i).copied();
+            let fire_first = match (next_fire, next_event) {
+                (Some((ft, _)), Some((et, _))) => ft <= et,
+                (Some(_), None) => true,
+                _ => false,
+            };
+            if fire_first {
+                let (ft, token) = fires.remove(0);
+                if cell.confirm_fire(token, ft) {
+                    rises.push(ft);
+                }
+            } else {
+                let (t, v) = next_event.expect("some event remains");
+                i += 1;
+                match cell.on_inputs(t, v, false) {
+                    MhsAction::Schedule { fire_at, token, .. } => {
+                        fires.push((fire_at, token));
+                        fires.sort_unstable();
+                        scheduled += 1;
+                    }
+                    MhsAction::None => {}
+                }
+            }
+        }
+        absorbed += scheduled - rises.len();
+        PulseResponse {
+            output_rises: rises,
+            absorbed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OMEGA: u64 = 300;
+    const TAU: u64 = 600;
+
+    #[test]
+    fn long_pulse_fires_after_tau() {
+        let r = PulseResponse::of_pulse_train(OMEGA, TAU, &[(1_000, 500)]);
+        assert_eq!(r.output_rises, vec![1_000 + TAU]);
+        assert_eq!(r.absorbed, 0);
+    }
+
+    #[test]
+    fn runt_pulse_is_absorbed() {
+        let r = PulseResponse::of_pulse_train(OMEGA, TAU, &[(1_000, 200)]);
+        assert!(r.output_rises.is_empty());
+        assert_eq!(r.absorbed, 1);
+    }
+
+    #[test]
+    fn exactly_omega_fires() {
+        let r = PulseResponse::of_pulse_train(OMEGA, TAU, &[(1_000, OMEGA)]);
+        assert_eq!(r.output_rises, vec![1_000 + TAU]);
+    }
+
+    #[test]
+    fn pulse_stream_yields_single_transition() {
+        // Property 3: a stream of pulses produces one output transition —
+        // the first sufficiently long pulse wins, the rest are ignored
+        // because the output is already high.
+        let r = PulseResponse::of_pulse_train(
+            OMEGA,
+            TAU,
+            &[(1_000, 100), (1_500, 150), (2_000, 400), (3_000, 500), (4_000, 350)],
+        );
+        assert_eq!(r.output_rises, vec![2_000 + TAU]);
+    }
+
+    #[test]
+    fn set_while_high_is_ignored() {
+        let mut cell = MhsCell::new(OMEGA, TAU);
+        cell.initialize(true);
+        assert_eq!(cell.on_inputs(100, true, false), MhsAction::None);
+        assert!(cell.output());
+    }
+
+    #[test]
+    fn reset_fires_symmetrically() {
+        let mut cell = MhsCell::new(OMEGA, TAU);
+        cell.initialize(true);
+        let a = cell.on_inputs(1_000, false, true);
+        let MhsAction::Schedule { fire_at, value, token } = a else {
+            panic!("reset should arm the cell");
+        };
+        assert!(!value);
+        assert_eq!(fire_at, 1_000 + TAU);
+        // Hold reset long enough, then confirm.
+        assert!(cell.confirm_fire(token, fire_at));
+        assert!(!cell.output());
+    }
+
+    #[test]
+    fn conflicts_are_counted() {
+        let mut cell = MhsCell::new(OMEGA, TAU);
+        cell.on_inputs(100, true, true);
+        assert_eq!(cell.conflicts(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "ω < τ")]
+    fn omega_must_be_less_than_tau() {
+        let _ = MhsCell::new(600, 600);
+    }
+
+    #[test]
+    fn reexcitation_after_cancel_fires_fresh() {
+        let mut cell = MhsCell::new(OMEGA, TAU);
+        // Runt, cancelled.
+        let MhsAction::Schedule { token: t1, .. } = cell.on_inputs(0, true, false) else {
+            panic!()
+        };
+        cell.on_inputs(100, false, false);
+        assert!(!cell.confirm_fire(t1, TAU));
+        // Long pulse fires.
+        let MhsAction::Schedule { token: t2, fire_at, .. } =
+            cell.on_inputs(1_000, true, false)
+        else {
+            panic!()
+        };
+        cell.on_inputs(1_000 + OMEGA + 50, false, false);
+        assert!(cell.confirm_fire(t2, fire_at));
+        assert!(cell.output());
+    }
+}

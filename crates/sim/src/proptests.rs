@@ -1,0 +1,84 @@
+//! Property tests: the headline hazard-freeness claim under random delays,
+//! and MHS pulse-filtering invariants.
+
+use crate::{check_conformance, ConformanceConfig, PulseResponse, SimConfig};
+use nshot_core::{synthesize, SynthesisOptions};
+use nshot_sg::{SgBuilder, SignalKind, StateGraph};
+use proptest::prelude::*;
+
+fn pipeline_sg(kinds: &[bool]) -> StateGraph {
+    let n = kinds.len();
+    let mut b = SgBuilder::named("pipeline");
+    let ids: Vec<_> = (0..n)
+        .map(|i| {
+            b.signal(
+                &format!("s{i}"),
+                if kinds[i] {
+                    SignalKind::Input
+                } else {
+                    SignalKind::Output
+                },
+            )
+        })
+        .collect();
+    let mut code = 0u64;
+    for phase in [true, false] {
+        for (i, &id) in ids.iter().enumerate() {
+            let next = if phase { code | (1 << i) } else { code & !(1 << i) };
+            b.edge_codes(code, (id, phase), next).expect("consistent");
+            code = next;
+        }
+    }
+    b.build(0).expect("non-empty")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn synthesized_pipelines_conform_under_random_delays(
+        mut kinds in proptest::collection::vec(any::<bool>(), 2..6),
+        seed in any::<u64>(),
+    ) {
+        kinds[0] = false;
+        let last = kinds.len() - 1;
+        kinds[last] = true; // keep an input so the env can act
+        let sg = pipeline_sg(&kinds);
+        let imp = synthesize(&sg, &SynthesisOptions::default()).expect("synthesizes");
+        let config = ConformanceConfig {
+            max_transitions: 60,
+            seed,
+            sim: SimConfig { seed, ..SimConfig::default() },
+            ..ConformanceConfig::default()
+        };
+        let report = check_conformance(&sg, &imp, &config);
+        prop_assert!(report.is_hazard_free(), "{:?}", report.violations);
+        prop_assert_eq!(report.transitions, 60);
+    }
+
+    #[test]
+    fn mhs_pulse_train_fires_at_most_once(
+        widths in proptest::collection::vec(50u64..2_000, 1..8),
+        gaps in proptest::collection::vec(50u64..2_000, 8),
+    ) {
+        let mut t = 1_000u64;
+        let mut pulses = Vec::new();
+        for (i, &w) in widths.iter().enumerate() {
+            pulses.push((t, w));
+            t += w + gaps[i % gaps.len()];
+        }
+        let r = PulseResponse::of_pulse_train(300, 600, &pulses);
+        // Property 3 (stream-to-single-transition): never more than one
+        // output transition per excitation phase.
+        prop_assert!(r.output_rises.len() <= 1);
+        // It fires iff some pulse is at least ω wide.
+        let expects_fire = widths.iter().any(|&w| w >= 300);
+        prop_assert_eq!(!r.output_rises.is_empty(), expects_fire);
+    }
+
+    #[test]
+    fn mhs_fire_time_is_rise_plus_tau(rise in 0u64..10_000, width in 300u64..5_000) {
+        let r = PulseResponse::of_pulse_train(300, 600, &[(rise, width)]);
+        prop_assert_eq!(r.output_rises.clone(), vec![rise + 600]);
+    }
+}

@@ -1,0 +1,256 @@
+//! The three-stage structure of the MHS flip-flop (Fig. 5) and its response
+//! to hazardous inputs (Fig. 6).
+//!
+//! The stages:
+//!
+//! 1. **Master RS latch** — converts the incoming pulse stream into a level
+//!    (electrically: an analog voltage). Its rails follow the pulses
+//!    directly, so they may still glitch.
+//! 2. **Hazard filter** — two degenerated inverters with a raised threshold:
+//!    an output (`slave-set` / `slave-reset`) *rises* only after its master
+//!    rail has held its level for the threshold time ω, so **up-transitions
+//!    are hazard-free**; *down-transitions* follow the master rail directly
+//!    and may still be hazardous — exactly the behaviour visible in Fig. 6.
+//! 3. **Slave RS latch** — reacts only to the (clean) up-transitions,
+//!    eliminating the hazardous down-transitions from the output.
+//!
+//! SPICE-level analog detail (metastability resolution) is abstracted into
+//! the ω threshold; see DESIGN.md for the substitution rationale.
+
+/// Recorded waveforms of one structural run: `(time_ps, value)` edges.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StructuralTrace {
+    /// Master latch true rail (may glitch).
+    pub master_q: Vec<(u64, bool)>,
+    /// Filter output feeding the slave's set input.
+    pub slave_set: Vec<(u64, bool)>,
+    /// Filter output feeding the slave's reset input.
+    pub slave_reset: Vec<(u64, bool)>,
+    /// Flip-flop output (hazard-free).
+    pub out: Vec<(u64, bool)>,
+}
+
+impl StructuralTrace {
+    /// Number of up-transitions of a waveform.
+    pub fn rises(wave: &[(u64, bool)]) -> usize {
+        wave.iter().filter(|&&(_, v)| v).count()
+    }
+
+    /// `true` if the waveform is a single clean transition to `value`.
+    pub fn is_single_transition(wave: &[(u64, bool)], value: bool) -> bool {
+        wave.len() == 1 && wave[0].1 == value
+    }
+}
+
+/// The structural MHS model.
+#[derive(Debug, Clone)]
+pub struct StructuralMhs {
+    /// Filter threshold ω in ps.
+    pub omega_ps: u64,
+    /// Per-stage propagation delay in ps (master rail, filter, slave).
+    pub stage_delay_ps: u64,
+}
+
+impl StructuralMhs {
+    /// A structural model with the given threshold and stage delay.
+    pub fn new(omega_ps: u64, stage_delay_ps: u64) -> Self {
+        StructuralMhs {
+            omega_ps,
+            stage_delay_ps,
+        }
+    }
+
+    /// Run a full set-then-reset scenario: a set-pulse train (as in
+    /// [`StructuralMhs::respond_to_set_pulses`]) followed by a reset-pulse
+    /// train after `gap_ps` of quiet. By symmetry the reset path reuses the
+    /// set-path machinery with the output sense inverted; the returned trace
+    /// contains the output edges of both phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either train is unordered.
+    pub fn respond_to_cycle(
+        &self,
+        set_pulses: &[(u64, u64)],
+        gap_ps: u64,
+        reset_pulses: &[(u64, u64)],
+    ) -> StructuralTrace {
+        let mut trace = self.respond_to_set_pulses(set_pulses);
+        let set_end = set_pulses.last().map_or(0, |&(r, w)| r + w);
+        let offset = set_end + gap_ps;
+        // The reset phase mirrors the set phase on the opposite rail.
+        let shifted: Vec<(u64, u64)> = reset_pulses
+            .iter()
+            .map(|&(r, w)| (r + offset, w))
+            .collect();
+        let reset_trace = self.respond_to_set_pulses(&shifted);
+        // Fold the mirrored stages back: the reset path's "slave_set" is the
+        // real slave_reset, and an accepted excitation drops the output.
+        trace
+            .slave_reset
+            .extend(reset_trace.slave_set.iter().copied());
+        if let Some(&(t, _)) = reset_trace.out.first() {
+            if !trace.out.is_empty() {
+                trace.out.push((t, false));
+            }
+        }
+        trace
+    }
+
+    /// Run the composite on a set-rail pulse train (`(rise, width)` pairs,
+    /// reset rail held low, initial output 0) and record every stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if pulses overlap or are unordered.
+    pub fn respond_to_set_pulses(&self, pulses: &[(u64, u64)]) -> StructuralTrace {
+        let mut trace = StructuralTrace::default();
+
+        // Stage 1: the master rail follows the pulses (delayed), glitches
+        // and all. The complementary rail (not recorded) mirrors it.
+        let mut last_end = 0;
+        for &(rise, width) in pulses {
+            assert!(rise >= last_end, "pulses must be ordered and disjoint");
+            assert!(width > 0, "pulses must have positive width");
+            trace
+                .master_q
+                .push((rise + self.stage_delay_ps, true));
+            trace
+                .master_q
+                .push((rise + width + self.stage_delay_ps, false));
+            last_end = rise + width;
+        }
+
+        // Stage 2: filter. `slave_set` rises only once the master rail has
+        // held 1 for ω (clean up-transition); it falls with the rail (the
+        // "hazardous down-transition" of Fig. 6). `slave_reset` mirrors the
+        // complementary rail: it idles at 1 here and shows hazardous
+        // down-glitches for every master pulse.
+        let mut held_since: Option<u64> = None;
+        for &(t, v) in &trace.master_q {
+            if v {
+                held_since = Some(t);
+                // Complementary rail drops: hazardous down on slave_reset.
+                trace.slave_reset.push((t + self.stage_delay_ps, false));
+            } else {
+                let rise = held_since.take().expect("fall follows rise");
+                if t - rise >= self.omega_ps {
+                    // Long enough: slave_set has risen in the meantime.
+                    trace
+                        .slave_set
+                        .push((rise + self.omega_ps + self.stage_delay_ps, true));
+                }
+                // The down-transition passes through unfiltered.
+                trace.slave_set.push((t + self.stage_delay_ps, false));
+                trace.slave_reset.push((t + self.stage_delay_ps, true));
+            }
+        }
+        // Rail still high at the end of the stimulus.
+        if let Some(rise) = held_since {
+            trace
+                .slave_set
+                .push((rise + self.omega_ps + self.stage_delay_ps, true));
+        }
+        // Order edges in time; at equal times a rise precedes its fall.
+        trace.slave_set.sort_by_key(|&(t, v)| (t, !v));
+        trace.slave_reset.sort_by_key(|&(t, v)| (t, !v));
+        trace.slave_set.retain({
+            // Keep only edges that actually toggle, starting from 0.
+            let mut cur = false;
+            move |&(_, v): &(u64, bool)| {
+                if v == cur {
+                    false
+                } else {
+                    cur = v;
+                    true
+                }
+            }
+        });
+
+        // Stage 3: the slave latch sets on the first clean slave_set rise
+        // and ignores the hazardous downs.
+        if let Some(&(t, _)) = trace.slave_set.iter().find(|&&(_, v)| v) {
+            trace.out.push((t + self.stage_delay_ps, true));
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OMEGA: u64 = 300;
+    const STAGE: u64 = 100;
+
+    #[test]
+    fn clean_long_pulse_sets_output_once() {
+        let mhs = StructuralMhs::new(OMEGA, STAGE);
+        let trace = mhs.respond_to_set_pulses(&[(1_000, 1_000)]);
+        assert!(StructuralTrace::is_single_transition(&trace.out, true));
+        // Output rises after rail delay + ω + filter + slave stages.
+        assert_eq!(trace.out[0].0, 1_000 + STAGE + OMEGA + STAGE + STAGE);
+    }
+
+    #[test]
+    fn figure6_hazardous_stream() {
+        // A hazardous stream: two runts then a long pulse.
+        let mhs = StructuralMhs::new(OMEGA, STAGE);
+        let trace =
+            mhs.respond_to_set_pulses(&[(1_000, 100), (1_400, 150), (2_000, 900)]);
+        // The output still rises exactly once (second filtering stage).
+        assert!(StructuralTrace::is_single_transition(&trace.out, true));
+        // slave_reset shows the hazardous down-transitions (one per pulse).
+        let downs = trace.slave_reset.iter().filter(|&&(_, v)| !v).count();
+        assert_eq!(downs, 3, "hazardous downs are visible before the slave");
+        // slave_set has exactly one rise: the up-transition is hazard-free.
+        assert_eq!(StructuralTrace::rises(&trace.slave_set), 1);
+    }
+
+    #[test]
+    fn all_runts_produce_no_output() {
+        let mhs = StructuralMhs::new(OMEGA, STAGE);
+        let trace = mhs.respond_to_set_pulses(&[(1_000, 100), (1_400, 100), (1_800, 200)]);
+        assert!(trace.out.is_empty());
+        assert_eq!(StructuralTrace::rises(&trace.slave_set), 0);
+    }
+
+    #[test]
+    fn full_cycle_sets_then_resets() {
+        let mhs = StructuralMhs::new(OMEGA, STAGE);
+        let trace = mhs.respond_to_cycle(
+            &[(1_000, 150), (1_500, 600)], // one runt, one real set pulse
+            5_000,
+            &[(100, 120), (700, 800)], // one runt, one real reset pulse
+        );
+        assert_eq!(trace.out.len(), 2, "one rise, one fall");
+        assert!(trace.out[0].1);
+        assert!(!trace.out[1].1);
+        assert!(trace.out[0].0 < trace.out[1].0);
+    }
+
+    #[test]
+    fn cycle_with_only_runt_resets_keeps_output_high() {
+        let mhs = StructuralMhs::new(OMEGA, STAGE);
+        let trace = mhs.respond_to_cycle(&[(1_000, 600)], 5_000, &[(100, 100), (500, 50)]);
+        assert_eq!(trace.out.len(), 1, "set only; runt resets absorbed");
+        assert!(trace.out[0].1);
+    }
+
+    #[test]
+    fn behavioral_and_structural_agree_on_firing() {
+        // The behavioral cell and the structural pipeline accept the same
+        // pulses (width ≥ ω fires, width < ω does not).
+        for width in [50u64, 200, 299, 300, 301, 500, 2_000] {
+            let structural = StructuralMhs::new(OMEGA, STAGE)
+                .respond_to_set_pulses(&[(1_000, width)]);
+            let behavioral =
+                crate::PulseResponse::of_pulse_train(OMEGA, 600, &[(1_000, width)]);
+            assert_eq!(
+                !structural.out.is_empty(),
+                !behavioral.output_rises.is_empty(),
+                "width {width}"
+            );
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for the STG crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while parsing, firing or elaborating an STG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StgError {
+    /// Parse error with line number and message.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// A transition was fired while not enabled.
+    NotEnabled(String),
+    /// A place exceeded the supported token bound during firing or
+    /// elaboration (the net is unbounded or nearly so).
+    Unbounded {
+        /// The offending place.
+        place: String,
+    },
+    /// The reachability graph exceeded the state cap.
+    TooManyStates(usize),
+    /// Structural problem (disconnected place, sourceless transition, …).
+    Structural(String),
+    /// A signal fires inconsistently (two paths give it different values in
+    /// the same marking), so no consistent state assignment exists.
+    InconsistentSignal(String),
+    /// The elaborated graph failed state-graph validation.
+    Sg(nshot_sg::SgError),
+}
+
+impl fmt::Display for StgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StgError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            StgError::NotEnabled(t) => write!(f, "transition {t} is not enabled"),
+            StgError::Unbounded { place } => write!(f, "place {place} exceeds the token bound"),
+            StgError::TooManyStates(n) => write!(f, "reachability exceeded {n} markings"),
+            StgError::Structural(msg) => write!(f, "structural error: {msg}"),
+            StgError::InconsistentSignal(s) => {
+                write!(f, "signal {s} has no consistent value assignment")
+            }
+            StgError::Sg(e) => write!(f, "state graph validation failed: {e}"),
+        }
+    }
+}
+
+impl Error for StgError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StgError::Sg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nshot_sg::SgError> for StgError {
+    fn from(e: nshot_sg::SgError) -> Self {
+        StgError::Sg(e)
+    }
+}

@@ -1,0 +1,478 @@
+//! The labelled Petri net underlying an STG.
+
+use crate::error::StgError;
+use nshot_sg::{Dir, SignalKind};
+use std::fmt;
+
+/// Index of a place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PlaceId(pub(crate) u32);
+
+/// Index of a transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TransId(pub(crate) u32);
+
+#[derive(Debug, Clone)]
+pub(crate) struct SignalDecl {
+    pub name: String,
+    pub kind: SignalKind,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct TransitionDecl {
+    /// Index into the signal table.
+    pub signal: usize,
+    pub dir: Dir,
+    /// Occurrence index (the `/k` suffix of the `.g` format), used only to
+    /// distinguish multiple transitions of the same signal edge.
+    pub occurrence: u32,
+    pub pre: Vec<PlaceId>,
+    pub post: Vec<PlaceId>,
+}
+
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PlaceDecl {
+    pub name: String,
+    pub pre: Vec<TransId>,
+    pub post: Vec<TransId>,
+}
+
+/// A marking: token count per place. Place `i` is `tokens[i]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Marking(pub(crate) Vec<u8>);
+
+impl Marking {
+    /// Token count of a place.
+    pub fn tokens(&self, p: PlaceId) -> u8 {
+        self.0[p.0 as usize]
+    }
+}
+
+/// A Signal Transition Graph: a Petri net whose transitions are labelled
+/// with signal edges.
+///
+/// Build one programmatically with [`Stg::new`] / [`Stg::add_signal`] /
+/// [`Stg::add_transition`] / [`Stg::connect`], or parse the `.g` format with
+/// [`crate::parse_stg`]. Elaborate to a state graph with [`Stg::elaborate`].
+#[derive(Debug, Clone)]
+pub struct Stg {
+    pub(crate) name: String,
+    pub(crate) signals: Vec<SignalDecl>,
+    pub(crate) transitions: Vec<TransitionDecl>,
+    pub(crate) places: Vec<PlaceDecl>,
+    pub(crate) initial: Vec<u8>,
+}
+
+impl Stg {
+    /// An empty STG with the given model name.
+    pub fn new(name: &str) -> Self {
+        Stg {
+            name: name.to_owned(),
+            signals: Vec::new(),
+            transitions: Vec::new(),
+            places: Vec::new(),
+            initial: Vec::new(),
+        }
+    }
+
+    /// The model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of signals.
+    pub fn num_signals(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// Number of transitions.
+    pub fn num_transitions(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Number of places (explicit and implicit).
+    pub fn num_places(&self) -> usize {
+        self.places.len()
+    }
+
+    /// Declare a signal. Returns its index.
+    pub fn add_signal(&mut self, name: &str, kind: SignalKind) -> usize {
+        self.signals.push(SignalDecl {
+            name: name.to_owned(),
+            kind,
+        });
+        self.signals.len() - 1
+    }
+
+    /// Look up a signal index by name.
+    pub fn signal_index(&self, name: &str) -> Option<usize> {
+        self.signals.iter().position(|s| s.name == name)
+    }
+
+    /// Add a transition of `signal` with the given direction and occurrence
+    /// index (use 0 when a signal edge occurs only once).
+    pub fn add_transition(&mut self, signal: usize, dir: Dir, occurrence: u32) -> TransId {
+        let id = TransId(self.transitions.len() as u32);
+        self.transitions.push(TransitionDecl {
+            signal,
+            dir,
+            occurrence,
+            pre: Vec::new(),
+            post: Vec::new(),
+        });
+        id
+    }
+
+    /// Add an explicit place with `tokens` initial tokens.
+    pub fn add_place(&mut self, name: &str, tokens: u8) -> PlaceId {
+        let id = PlaceId(self.places.len() as u32);
+        self.places.push(PlaceDecl {
+            name: name.to_owned(),
+            ..PlaceDecl::default()
+        });
+        self.initial.push(tokens);
+        id
+    }
+
+    /// Connect two transitions through a fresh implicit place holding
+    /// `tokens` initial tokens (the `.g` arc `t1 t2`).
+    pub fn connect(&mut self, from: TransId, to: TransId, tokens: u8) -> PlaceId {
+        let p = self.add_place(
+            &format!("<{},{}>", self.transition_name(from), self.transition_name(to)),
+            tokens,
+        );
+        self.arc_tp(from, p);
+        self.arc_pt(p, to);
+        p
+    }
+
+    /// Arc transition → place.
+    pub fn arc_tp(&mut self, t: TransId, p: PlaceId) {
+        self.transitions[t.0 as usize].post.push(p);
+        self.places[p.0 as usize].pre.push(t);
+    }
+
+    /// Arc place → transition.
+    pub fn arc_pt(&mut self, p: PlaceId, t: TransId) {
+        self.transitions[t.0 as usize].pre.push(p);
+        self.places[p.0 as usize].post.push(t);
+    }
+
+    /// The initial marking.
+    pub fn initial_marking(&self) -> Marking {
+        Marking(self.initial.clone())
+    }
+
+    /// Human-readable transition name, e.g. `a+` or `b-/2`.
+    pub fn transition_name(&self, t: TransId) -> String {
+        let tr = &self.transitions[t.0 as usize];
+        let base = format!("{}{}", self.signals[tr.signal].name, tr.dir.sign());
+        if tr.occurrence == 0 {
+            base
+        } else {
+            format!("{base}/{}", tr.occurrence)
+        }
+    }
+
+    /// `true` if `t` is enabled in `m` (every pre-place holds a token).
+    pub fn is_enabled(&self, m: &Marking, t: TransId) -> bool {
+        self.transitions[t.0 as usize]
+            .pre
+            .iter()
+            .all(|p| m.tokens(*p) > 0)
+    }
+
+    /// All transitions enabled in `m`.
+    pub fn enabled(&self, m: &Marking) -> Vec<TransId> {
+        (0..self.transitions.len() as u32)
+            .map(TransId)
+            .filter(|&t| self.is_enabled(m, t))
+            .collect()
+    }
+
+    /// Fire `t` from `m`.
+    ///
+    /// # Errors
+    ///
+    /// [`StgError::NotEnabled`] if `t` is not enabled;
+    /// [`StgError::Unbounded`] if a place would exceed the supported bound.
+    pub fn fire(&self, m: &Marking, t: TransId) -> Result<Marking, StgError> {
+        if !self.is_enabled(m, t) {
+            return Err(StgError::NotEnabled(self.transition_name(t)));
+        }
+        let mut next = m.clone();
+        let tr = &self.transitions[t.0 as usize];
+        for &p in &tr.pre {
+            next.0[p.0 as usize] -= 1;
+        }
+        for &p in &tr.post {
+            let slot = &mut next.0[p.0 as usize];
+            *slot = slot.checked_add(1).ok_or_else(|| StgError::Unbounded {
+                place: self.places[p.0 as usize].name.clone(),
+            })?;
+            if *slot > 8 {
+                return Err(StgError::Unbounded {
+                    place: self.places[p.0 as usize].name.clone(),
+                });
+            }
+        }
+        Ok(next)
+    }
+
+    /// Structural sanity check: every transition has at least one pre-place
+    /// (otherwise it is always enabled and the net is unbounded) and every
+    /// place connects to some transition.
+    ///
+    /// # Errors
+    ///
+    /// [`StgError::Structural`] describing the offending element.
+    pub fn check_structure(&self) -> Result<(), StgError> {
+        for (i, t) in self.transitions.iter().enumerate() {
+            if t.pre.is_empty() {
+                return Err(StgError::Structural(format!(
+                    "transition {} has no input place",
+                    self.transition_name(TransId(i as u32))
+                )));
+            }
+        }
+        for p in &self.places {
+            if p.pre.is_empty() && p.post.is_empty() {
+                return Err(StgError::Structural(format!(
+                    "place {} is disconnected",
+                    p.name
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Find a transition by its textual name (`a+`, `b-/2`).
+    pub fn transition_by_name(&self, name: &str) -> Option<TransId> {
+        (0..self.transitions.len() as u32)
+            .map(TransId)
+            .find(|&t| self.transition_name(t) == name)
+    }
+
+    /// Find or lazily remember a place between two transitions (used by the
+    /// parser to place marking tokens on implicit places).
+    pub(crate) fn place_between(&self, from: TransId, to: TransId) -> Option<PlaceId> {
+        self.transitions[from.0 as usize]
+            .post
+            .iter()
+            .copied()
+            .find(|p| self.places[p.0 as usize].post.contains(&to))
+    }
+
+    /// Find an explicit place by name.
+    pub fn place_by_name(&self, name: &str) -> Option<PlaceId> {
+        self.places
+            .iter()
+            .position(|p| p.name == name)
+            .map(|i| PlaceId(i as u32))
+    }
+
+    /// Set the initial token count of a place.
+    pub fn set_tokens(&mut self, p: PlaceId, tokens: u8) {
+        self.initial[p.0 as usize] = tokens;
+    }
+
+}
+
+impl fmt::Display for Stg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, ".model {}", self.name)?;
+        for (tag, kind) in [
+            (".inputs", SignalKind::Input),
+            (".outputs", SignalKind::Output),
+            (".internal", SignalKind::Internal),
+        ] {
+            let names: Vec<&str> = self
+                .signals
+                .iter()
+                .filter(|s| s.kind == kind)
+                .map(|s| s.name.as_str())
+                .collect();
+            if !names.is_empty() {
+                writeln!(f, "{tag} {}", names.join(" "))?;
+            }
+        }
+        writeln!(f, ".graph")?;
+        for (i, t) in self.transitions.iter().enumerate() {
+            let from = self.transition_name(TransId(i as u32));
+            for &p in &t.post {
+                for &succ in &self.places[p.0 as usize].post {
+                    writeln!(f, "{from} {}", self.transition_name(succ))?;
+                }
+            }
+        }
+        let marked: Vec<String> = self
+            .places
+            .iter()
+            .zip(&self.initial)
+            .filter(|&(_, &tok)| tok > 0)
+            .map(|(p, &tok)| {
+                if tok == 1 {
+                    p.name.clone()
+                } else {
+                    format!("{}={tok}", p.name)
+                }
+            })
+            .collect();
+        writeln!(f, ".marking {{ {} }}", marked.join(" "))?;
+        writeln!(f, ".end")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toggle_net() -> (Stg, TransId, TransId) {
+        let mut stg = Stg::new("toggle");
+        let a = stg.add_signal("a", SignalKind::Output);
+        let up = stg.add_transition(a, Dir::Rise, 0);
+        let down = stg.add_transition(a, Dir::Fall, 0);
+        stg.connect(up, down, 0);
+        stg.connect(down, up, 1);
+        (stg, up, down)
+    }
+
+    #[test]
+    fn firing_moves_token() {
+        let (stg, up, down) = toggle_net();
+        let m0 = stg.initial_marking();
+        assert!(stg.is_enabled(&m0, up));
+        assert!(!stg.is_enabled(&m0, down));
+        let m1 = stg.fire(&m0, up).unwrap();
+        assert!(stg.is_enabled(&m1, down));
+        assert!(!stg.is_enabled(&m1, up));
+        let m2 = stg.fire(&m1, down).unwrap();
+        assert_eq!(m2, m0);
+    }
+
+    #[test]
+    fn firing_disabled_is_error() {
+        let (stg, _, down) = toggle_net();
+        let m0 = stg.initial_marking();
+        assert!(matches!(
+            stg.fire(&m0, down),
+            Err(StgError::NotEnabled(_))
+        ));
+    }
+
+    #[test]
+    fn structure_check_catches_sourceless_transition() {
+        let mut stg = Stg::new("bad");
+        let a = stg.add_signal("a", SignalKind::Output);
+        stg.add_transition(a, Dir::Rise, 0);
+        assert!(matches!(
+            stg.check_structure(),
+            Err(StgError::Structural(_))
+        ));
+    }
+
+    #[test]
+    fn transition_names() {
+        let mut stg = Stg::new("n");
+        let a = stg.add_signal("a", SignalKind::Input);
+        let t0 = stg.add_transition(a, Dir::Rise, 0);
+        let t1 = stg.add_transition(a, Dir::Fall, 2);
+        assert_eq!(stg.transition_name(t0), "a+");
+        assert_eq!(stg.transition_name(t1), "a-/2");
+        assert_eq!(stg.transition_by_name("a-/2"), Some(t1));
+    }
+
+    #[test]
+    fn display_roundtrips_through_parser() {
+        let (stg, _, _) = toggle_net();
+        let text = stg.to_string();
+        let stg2 = crate::parse_stg(&text).expect("display output parses");
+        assert_eq!(stg2.num_transitions(), 2);
+        assert_eq!(stg2.num_places(), 2);
+    }
+}
+
+impl Stg {
+    /// Parallel composition: the disjoint union of two STGs (they run
+    /// independently side by side). Signal names must not collide.
+    ///
+    /// # Panics
+    ///
+    /// Panics on signal-name collisions.
+    pub fn parallel(name: &str, left: &Stg, right: &Stg) -> Stg {
+        for s in &right.signals {
+            assert!(
+                !left.signals.iter().any(|l| l.name == s.name),
+                "signal name '{}' collides",
+                s.name
+            );
+        }
+        let mut out = Stg::new(name);
+        out.signals = left
+            .signals
+            .iter()
+            .chain(&right.signals)
+            .cloned()
+            .collect();
+        let sig_off = left.signals.len();
+        let place_off = left.places.len() as u32;
+        let trans_off = left.transitions.len() as u32;
+        out.transitions = left.transitions.clone();
+        for t in &right.transitions {
+            let mut t = t.clone();
+            t.signal += sig_off;
+            t.pre = t.pre.iter().map(|p| PlaceId(p.0 + place_off)).collect();
+            t.post = t.post.iter().map(|p| PlaceId(p.0 + place_off)).collect();
+            out.transitions.push(t);
+        }
+        out.places = left.places.clone();
+        for p in &right.places {
+            let mut p = p.clone();
+            p.pre = p.pre.iter().map(|t| TransId(t.0 + trans_off)).collect();
+            p.post = p.post.iter().map(|t| TransId(t.0 + trans_off)).collect();
+            out.places.push(p);
+        }
+        out.initial = left
+            .initial
+            .iter()
+            .chain(&right.initial)
+            .copied()
+            .collect();
+        out
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use crate::parse_stg;
+
+    #[test]
+    fn parallel_composition_multiplies_state_spaces() {
+        let a = parse_stg(
+            ".model a\n.inputs r\n.outputs g\n.graph\nr+ g+\ng+ r-\nr- g-\ng- r+\n.marking { <g-,r+> }\n.end",
+        )
+        .unwrap();
+        let b = parse_stg(
+            ".model b\n.inputs s\n.outputs h\n.graph\ns+ h+\nh+ s-\ns- h-\nh- s+\n.marking { <h-,s+> }\n.end",
+        )
+        .unwrap();
+        let par = Stg::parallel("ab", &a, &b);
+        assert_eq!(par.num_signals(), 4);
+        assert_eq!(par.num_transitions(), 8);
+        let sg = par.elaborate().unwrap();
+        assert_eq!(sg.num_states(), 16, "4 × 4 interleaved");
+        assert!(sg.check_csc().is_ok());
+        assert!(sg.check_semi_modular().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "collides")]
+    fn name_collision_panics() {
+        let a = parse_stg(
+            ".model a\n.inputs r\n.outputs g\n.graph\nr+ g+\ng+ r+\n.marking { <g+,r+> }\n.end",
+        )
+        .unwrap();
+        let _ = Stg::parallel("aa", &a, &a);
+    }
+}

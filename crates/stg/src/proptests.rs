@@ -1,0 +1,68 @@
+//! Property tests: random marked-graph STGs elaborate to well-formed SGs.
+
+use crate::Stg;
+use nshot_sg::{Dir, SignalKind};
+use proptest::prelude::*;
+
+/// Build a random *marked graph* (every place has one producer and one
+/// consumer): a ring of handshaking stages. Stage `i` has signals `r_i`
+/// (input if `kinds[i]`, else output) rising then falling, with the ring
+/// closed by a single initial token. Marked graphs are choice-free, so the
+/// elaboration is always consistent and semi-modular.
+fn ring_stg(kinds: &[bool]) -> Stg {
+    let mut stg = Stg::new("ring");
+    let mut ts = Vec::new();
+    for (i, &is_input) in kinds.iter().enumerate() {
+        let kind = if is_input {
+            SignalKind::Input
+        } else {
+            SignalKind::Output
+        };
+        let s = stg.add_signal(&format!("s{i}"), kind);
+        let up = stg.add_transition(s, Dir::Rise, 0);
+        let down = stg.add_transition(s, Dir::Fall, 0);
+        ts.push((up, down));
+    }
+    // Chain: s0+ → s1+ → … → s(n-1)+ → s0- → s1- → … → s(n-1)- → s0+.
+    let order: Vec<_> = ts
+        .iter()
+        .map(|&(u, _)| u)
+        .chain(ts.iter().map(|&(_, d)| d))
+        .collect();
+    for w in 0..order.len() {
+        let next = (w + 1) % order.len();
+        stg.connect(order[w], order[next], u8::from(next == 0));
+    }
+    stg
+}
+
+proptest! {
+    #[test]
+    fn ring_elaboration_is_sound(kinds in proptest::collection::vec(any::<bool>(), 1..7)) {
+        let stg = ring_stg(&kinds);
+        stg.check_structure().expect("rings are structurally fine");
+        let sg = stg.elaborate().expect("marked graphs are consistent");
+        // A sequential ring of n stages visits 2n markings.
+        prop_assert_eq!(sg.num_states(), 2 * kinds.len());
+        prop_assert!(sg.check_csc().is_ok());
+        prop_assert!(sg.check_semi_modular().is_ok());
+        prop_assert!(sg.is_distributive());
+        prop_assert!(sg.check_output_trapping());
+        // The elaborated code of the initial state has every signal at 0:
+        // the first transition of each signal is rising.
+        prop_assert_eq!(sg.code(sg.initial()), 0);
+    }
+
+    #[test]
+    fn elaboration_is_deterministic(kinds in proptest::collection::vec(any::<bool>(), 1..5)) {
+        let stg = ring_stg(&kinds);
+        let a = stg.elaborate().expect("consistent");
+        let b = stg.elaborate().expect("consistent");
+        prop_assert_eq!(a.num_states(), b.num_states());
+        let codes_a: std::collections::BTreeSet<u64> =
+            a.state_ids().map(|s| a.code(s)).collect();
+        let codes_b: std::collections::BTreeSet<u64> =
+            b.state_ids().map(|s| b.code(s)).collect();
+        prop_assert_eq!(codes_a, codes_b);
+    }
+}

@@ -1,0 +1,265 @@
+//! Reachability elaboration: STG → state graph.
+
+use crate::error::StgError;
+use crate::petri::{Marking, Stg};
+use nshot_sg::{SgBuilder, StateGraph};
+use std::collections::{HashMap, VecDeque};
+
+/// Default cap on the number of reachable markings.
+const DEFAULT_STATE_CAP: usize = 500_000;
+
+impl Stg {
+    /// Elaborate the STG into a validated [`StateGraph`] by exhaustive token
+    /// game exploration, inferring initial signal values from the transition
+    /// constraints (a marking about to fire `a+` has `a = 0`, and values
+    /// propagate across edges of other signals).
+    ///
+    /// # Errors
+    ///
+    /// * [`StgError::Unbounded`] / [`StgError::TooManyStates`] for nets that
+    ///   blow up;
+    /// * [`StgError::InconsistentSignal`] when no consistent state assignment
+    ///   exists (the STG violates consistency);
+    /// * [`StgError::Sg`] when the reachability graph fails state-graph
+    ///   validation (e.g. two same-label transitions enabled together).
+    pub fn elaborate(&self) -> Result<StateGraph, StgError> {
+        self.elaborate_with_cap(DEFAULT_STATE_CAP)
+    }
+
+    /// [`Stg::elaborate`] with an explicit cap on reachable markings.
+    ///
+    /// # Errors
+    ///
+    /// See [`Stg::elaborate`].
+    pub fn elaborate_with_cap(&self, cap: usize) -> Result<StateGraph, StgError> {
+        self.check_structure()?;
+
+        // --- Phase 1: explore the marking graph.
+        let m0 = self.initial_marking();
+        let mut index: HashMap<Marking, usize> = HashMap::new();
+        let mut markings: Vec<Marking> = Vec::new();
+        // Edge list: (from, transition signal, dir, to).
+        let mut edges: Vec<(usize, usize, nshot_sg::Dir, usize)> = Vec::new();
+        index.insert(m0.clone(), 0);
+        markings.push(m0);
+        let mut queue: VecDeque<usize> = VecDeque::from([0]);
+        while let Some(mi) = queue.pop_front() {
+            let m = markings[mi].clone();
+            for t in self.enabled(&m) {
+                let next = self.fire(&m, t)?;
+                let ni = match index.get(&next) {
+                    Some(&ni) => ni,
+                    None => {
+                        let ni = markings.len();
+                        if ni >= cap {
+                            return Err(StgError::TooManyStates(cap));
+                        }
+                        index.insert(next.clone(), ni);
+                        markings.push(next);
+                        queue.push_back(ni);
+                        ni
+                    }
+                };
+                let tr = &self.transitions[t.0 as usize];
+                edges.push((mi, tr.signal, tr.dir, ni));
+            }
+        }
+
+        // --- Phase 2: infer signal values per marking by constraint
+        // propagation (bidirectional, to a fixpoint).
+        let ns = self.num_signals();
+        let nm = markings.len();
+        let mut value: Vec<Vec<Option<bool>>> = vec![vec![None; ns]; nm];
+        let assign = |slot: &mut Option<bool>, v: bool, sig: &str| -> Result<bool, StgError> {
+            match *slot {
+                None => {
+                    *slot = Some(v);
+                    Ok(true)
+                }
+                Some(old) if old == v => Ok(false),
+                Some(_) => Err(StgError::InconsistentSignal(sig.to_owned())),
+            }
+        };
+        // Seed with the firing constraints.
+        for &(from, sig, dir, to) in &edges {
+            let name = &self.signals[sig].name;
+            if from == to {
+                // A marking-preserving transition would need the signal to
+                // hold both values at once.
+                return Err(StgError::InconsistentSignal(name.clone()));
+            }
+            let before = !dir.target_value();
+            let (a, b) = split_two(&mut value, from, to);
+            assign(&mut a[sig], before, name)?;
+            assign(&mut b[sig], dir.target_value(), name)?;
+        }
+        // Propagate equalities for unrelated signals until stable.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &(from, sig, _, to) in &edges {
+                for s in 0..ns {
+                    if s == sig || from == to {
+                        continue;
+                    }
+                    let name = &self.signals[s].name;
+                    let (a, b) = split_two(&mut value, from, to);
+                    match (a[s], b[s]) {
+                        (Some(v), _) => changed |= assign(&mut b[s], v, name)?,
+                        (None, Some(v)) => changed |= assign(&mut a[s], v, name)?,
+                        (None, None) => {}
+                    }
+                }
+            }
+        }
+        // Unconstrained (never-firing, disconnected) signals default to 0.
+        let codes: Vec<u64> = (0..nm)
+            .map(|mi| {
+                (0..ns).fold(0u64, |acc, s| {
+                    acc | (u64::from(value[mi][s].unwrap_or(false)) << s)
+                })
+            })
+            .collect();
+
+        // --- Phase 3: build and validate the state graph.
+        let mut b = SgBuilder::named(self.name());
+        let sig_ids: Vec<_> = self
+            .signals
+            .iter()
+            .map(|s| b.signal(&s.name, s.kind))
+            .collect();
+        let state_ids: Vec<_> = codes.iter().map(|&c| b.fresh_state(c)).collect();
+        for &(from, sig, dir, to) in &edges {
+            b.edge_states(
+                state_ids[from],
+                (sig_ids[sig], dir.target_value()),
+                state_ids[to],
+            )?;
+        }
+        Ok(b.build_with_initial(state_ids[0])?)
+    }
+}
+
+/// Mutable access to two distinct rows of a table (helper for the
+/// propagation loop). When `a == b`, returns the same row twice via a split
+/// that still borrows safely.
+fn split_two<T>(v: &mut [Vec<T>], a: usize, b: usize) -> (&mut Vec<T>, &mut Vec<T>) {
+    assert_ne!(a, b, "self-loop edges are filtered before calling split_two");
+    if a < b {
+        let (lo, hi) = v.split_at_mut(b);
+        (&mut lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = v.split_at_mut(a);
+        (&mut hi[0], &mut lo[b])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_stg;
+    use crate::StgError;
+
+    #[test]
+    fn handshake_elaborates_to_four_states() {
+        let stg = parse_stg(
+            ".model hs\n.inputs r\n.outputs g\n.graph\nr+ g+\ng+ r-\nr- g-\ng- r+\n.marking { <g-,r+> }\n.end",
+        )
+        .unwrap();
+        let sg = stg.elaborate().unwrap();
+        assert_eq!(sg.num_states(), 4);
+        assert!(sg.check_csc().is_ok());
+        assert!(sg.check_semi_modular().is_ok());
+        assert!(sg.is_distributive());
+        // Initial marking enables r+, so r = 0 and g = 0 initially.
+        assert_eq!(sg.code(sg.initial()), 0);
+    }
+
+    #[test]
+    fn concurrency_gives_diamond() {
+        // Two concurrent outputs after one input: a+ || b+ diamond.
+        let stg = parse_stg(
+            ".model conc\n.inputs r\n.outputs a b\n.graph\nr+ a+ b+\na+ r-\nb+ r-\nr- a- b-\na- r+\nb- r+\n.marking { <b-,r+> <a-,r+> }\n.end",
+        )
+        .unwrap();
+        let sg = stg.elaborate().unwrap();
+        // r+ (1) → {a+,b+} diamond (4 states incl. join) … total 8.
+        assert_eq!(sg.num_states(), 8);
+        assert!(sg.check_semi_modular().is_ok());
+        assert!(sg.check_csc().is_ok());
+    }
+
+    #[test]
+    fn input_choice_elaborates() {
+        // Free choice at p0 between a+ and b+; each branch has its own c
+        // occurrence (c+ / c+/2), the canonical OR shape.
+        let stg = parse_stg(
+            ".model choice\n.inputs a b\n.outputs c\n.graph\np0 a+ b+\na+ c+\nb+ c+/2\nc+ a-\nc+/2 b-\na- c-\nb- c-/2\nc- p0\nc-/2 p0\n.marking { p0 }\n.end",
+        )
+        .unwrap();
+        let sg = stg.elaborate().unwrap();
+        assert_eq!(sg.num_states(), 7);
+        assert!(sg.check_semi_modular().is_ok());
+        assert!(sg.check_csc().is_ok(), "both 001 markings excite -c");
+        // Two falling excitation regions for c (one per branch).
+        let c = sg.signal_by_name("c").unwrap();
+        let regions = sg.regions_of(c);
+        use nshot_sg::Dir;
+        assert_eq!(regions.excitation_of(Dir::Fall).count(), 2);
+        assert_eq!(regions.excitation_of(Dir::Rise).count(), 2);
+    }
+
+    #[test]
+    fn unbounded_net_is_rejected() {
+        // A producer with no consumer accumulates tokens.
+        let stg = parse_stg(
+            ".model bad\n.outputs a\n.graph\np a+\na+ p q\na- q\nq a-\n.marking { p }\n.end",
+        )
+        .unwrap();
+        let err = stg.elaborate().unwrap_err();
+        assert!(
+            matches!(err, StgError::Unbounded { .. } | StgError::TooManyStates(_)),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn inconsistent_stg_is_rejected() {
+        // a+ followed by a+ again without a- in between.
+        let stg = parse_stg(
+            ".model inc\n.outputs a\n.graph\na+ a+/2\na+/2 a-\na- a+\n.marking { <a-,a+> }\n.end",
+        )
+        .unwrap();
+        let err = stg.elaborate().unwrap_err();
+        assert!(
+            matches!(err, StgError::InconsistentSignal(_) | StgError::Sg(_)),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn state_cap_is_enforced() {
+        // 6 concurrent toggling outputs → 2^6 diamond states exceed cap 10.
+        let mut text = String::from(".model big\n.outputs");
+        for i in 0..6 {
+            text.push_str(&format!(" s{i}"));
+        }
+        text.push_str("\n.graph\n");
+        for i in 0..6 {
+            text.push_str(&format!("s{i}+ s{i}-\ns{i}- s{i}+\n"));
+        }
+        text.push_str(".marking {");
+        for i in 0..6 {
+            text.push_str(&format!(" <s{i}-,s{i}+>"));
+        }
+        text.push_str(" }\n.end");
+        let stg = parse_stg(&text).unwrap();
+        assert!(matches!(
+            stg.elaborate_with_cap(10),
+            Err(StgError::TooManyStates(10))
+        ));
+        // And with a generous cap it elaborates to 4^6/…: each toggler has 2
+        // phases, so 2^6 = 64 states.
+        let sg = stg.elaborate().unwrap();
+        assert_eq!(sg.num_states(), 64);
+    }
+}

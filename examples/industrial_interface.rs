@@ -1,0 +1,64 @@
+//! An industrial-style interface circuit in the spirit of the paper's
+//! `pmcm`/`combuf` mobile-terminal designs: OR causality (a transfer is
+//! triggered by whichever side is ready first) with a handshake tail —
+//! non-distributive, so only the N-SHOT flow implements it. Regenerates the
+//! circuit's Table 1, synthesizes it, and stress-tests it.
+//!
+//! Run with: `cargo run --example industrial_interface`
+
+use nshot::core::{synthesize, SetResetSpec, SynthesisOptions};
+use nshot::sim::{monte_carlo, ConformanceConfig, SimConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // pmcm1-style: OR-causal core plus three transfer handshake pairs.
+    let sg = nshot::benchmarks::or_causal("pmcm1-style", "", 3);
+    println!(
+        "'{}': {} states, {} signals, distributive = {}",
+        sg.name(),
+        sg.num_states(),
+        sg.num_signals(),
+        sg.is_distributive()
+    );
+
+    // Table 1 for the OR-causal output c: every reachable state mapped to
+    // its MHS operation mode.
+    let c = sg.signal_by_name("c").expect("output c");
+    let spec = SetResetSpec::derive(&sg, c);
+    println!("\nTable 1 for signal c:");
+    println!("  {:<12} SET RESET  mode", "state");
+    for s in sg.reachable() {
+        let (set, reset, mode) = spec.table1_row(&sg, s);
+        println!("  {:<12} {set:^3} {reset:^5}  {mode}", sg.code_string(s));
+    }
+
+    let imp = synthesize(&sg, &SynthesisOptions::default())?;
+    println!(
+        "\nsynthesized: {} units, {:.1} ns, {} product terms",
+        imp.area,
+        imp.delay_ns,
+        imp.product_terms()
+    );
+    println!(
+        "initialization plans: {:?}",
+        imp.signals.iter().map(|s| (&s.name, s.init)).collect::<Vec<_>>()
+    );
+
+    // Stress: many trials, long runs, different ω.
+    for omega_ps in [150, 300, 500] {
+        let config = ConformanceConfig {
+            max_transitions: 400,
+            sim: SimConfig {
+                omega_ps,
+                ..SimConfig::default()
+            },
+            ..ConformanceConfig::default()
+        };
+        let summary = monte_carlo(&sg, &imp, &config, 25);
+        println!(
+            "ω = {omega_ps} ps: {}/{} clean trials ({} transitions)",
+            summary.clean_trials, summary.trials, summary.total_transitions
+        );
+        assert!(summary.all_clean(), "{:?}", summary.first_failure);
+    }
+    Ok(())
+}

@@ -1,0 +1,104 @@
+//! Quickstart: specify a controller, synthesize it with the N-SHOT flow,
+//! inspect the result, and validate it against the specification under
+//! random gate delays.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use nshot::core::{synthesize, SynthesisOptions};
+use nshot::sg::{SgBuilder, SignalKind};
+use nshot::sim::{check_conformance, monte_carlo, ConformanceConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A two-channel fork controller: on request `r`, raise both grants
+    // concurrently, wait for both acknowledges, then return to zero.
+    // Codes are bit-vectors: bit 0 = r, 1 = g0, 2 = a0, 3 = g1, 4 = a1.
+    let mut b = SgBuilder::named("quickstart");
+    let r = b.signal("r", SignalKind::Input);
+    let g0 = b.signal("g0", SignalKind::Output);
+    let a0 = b.signal("a0", SignalKind::Input);
+    let g1 = b.signal("g1", SignalKind::Output);
+    let a1 = b.signal("a1", SignalKind::Input);
+
+    b.edge_codes(0b00000, (r, true), 0b00001)?;
+    // Up-phase grid: channel positions 0 = idle, 1 = granted, 2 = ack'd.
+    let up = |p0: usize, p1: usize| -> u64 {
+        let c = |p: usize, shift: usize| -> u64 {
+            (match p {
+                0 => 0b00u64,
+                1 => 0b01,
+                _ => 0b11,
+            }) << shift
+        };
+        0b1 | c(p0, 1) | c(p1, 3)
+    };
+    for p0 in 0..3usize {
+        for p1 in 0..3usize {
+            if p0 < 2 {
+                let (sig, val) = if p0 == 0 { (g0, true) } else { (a0, true) };
+                b.edge_codes(up(p0, p1), (sig, val), up(p0 + 1, p1))?;
+            }
+            if p1 < 2 {
+                let (sig, val) = if p1 == 0 { (g1, true) } else { (a1, true) };
+                b.edge_codes(up(p0, p1), (sig, val), up(p0, p1 + 1))?;
+            }
+        }
+    }
+    // Return to zero: r- first, then each channel drops g then a.
+    let down = |p0: usize, p1: usize| -> u64 {
+        let c = |p: usize, shift: usize| -> u64 {
+            (match p {
+                2 => 0b11u64, // g and a still up
+                1 => 0b10,    // g dropped, a still up
+                _ => 0b00,
+            }) << shift
+        };
+        c(p0, 1) | c(p1, 3)
+    };
+    b.edge_codes(up(2, 2), (r, false), down(2, 2))?;
+    for p0 in 0..3usize {
+        for p1 in 0..3usize {
+            if p0 > 0 {
+                let (sig, val) = if p0 == 2 { (g0, false) } else { (a0, false) };
+                b.edge_codes(down(p0, p1), (sig, val), down(p0 - 1, p1))?;
+            }
+            if p1 > 0 {
+                let (sig, val) = if p1 == 2 { (g1, false) } else { (a1, false) };
+                b.edge_codes(down(p0, p1), (sig, val), down(p0, p1 - 1))?;
+            }
+        }
+    }
+    let sg = b.build(0)?;
+
+    println!("specification '{}':", sg.name());
+    println!("  states:           {}", sg.num_states());
+    println!("  CSC:              {}", sg.check_csc().is_ok());
+    println!("  semi-modular:     {}", sg.check_semi_modular().is_ok());
+    println!("  distributive:     {}", sg.is_distributive());
+    println!("  single traversal: {}", sg.is_single_traversal());
+
+    let imp = synthesize(&sg, &SynthesisOptions::default())?;
+    println!("\nN-SHOT implementation:");
+    println!("  area:  {} library units", imp.area);
+    println!("  delay: {:.1} ns (critical path)", imp.delay_ns);
+    for s in &imp.signals {
+        println!(
+            "  {}: set = {} | reset = {} | init = {:?} | t_del = {:.2} ns",
+            s.name, s.set_cover, s.reset_cover, s.init, s.delay.t_del_ns
+        );
+    }
+
+    // Validate: one detailed trial, then a Monte-Carlo batch.
+    let report = check_conformance(&sg, &imp, &ConformanceConfig::default());
+    println!(
+        "\nconformance: {} transitions, hazard-free = {}",
+        report.transitions,
+        report.is_hazard_free()
+    );
+    let summary = monte_carlo(&sg, &imp, &ConformanceConfig::default(), 20);
+    println!(
+        "monte carlo: {}/{} clean trials over {} transitions",
+        summary.clean_trials, summary.trials, summary.total_transitions
+    );
+    assert!(summary.all_clean());
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! # nshot — externally hazard-free asynchronous circuit synthesis
+//!
+//! A from-scratch Rust reproduction of *“Externally Hazard-Free
+//! Implementations of Asynchronous Circuits”* (Sawasaki, Ykman-Couvreur,
+//! Lin — 32nd DAC, 1995): the **N-SHOT architecture** and the ASSASSIN-style
+//! synthesis flow built on it, together with every substrate the paper
+//! depends on.
+//!
+//! The headline idea: implement each non-input signal of a semi-modular
+//! state-graph specification with *conventionally minimized* (hazardous!)
+//! set/reset sum-of-products networks, an acknowledgement scheme, and a
+//! pulse-filtering **MHS flip-flop** — the circuit is then hazard-free at
+//! every externally observable signal, for distributive *and*
+//! non-distributive specifications, requiring only Complete State Coding and
+//! the trigger requirement.
+//!
+//! ## Crate map
+//!
+//! | re-export | contents |
+//! |-----------|----------|
+//! | [`sg`] | state-graph model, CSC/semi-modularity checks, ER/QR/TR regions |
+//! | [`stg`] | Signal Transition Graph front-end (`.g` parser, elaboration) |
+//! | [`logic`] | two-level minimization (heuristic ESPRESSO loop + exact) |
+//! | [`netlist`] | gate library, area/delay estimation, Eq. 1 timing |
+//! | [`core`] | the N-SHOT synthesis flow (the paper's contribution) |
+//! | [`sim`] | pure-delay event simulation, MHS models, conformance oracle |
+//! | [`baselines`] | the SIS-like and SYN-like Table 2 comparators |
+//! | [`benchmarks`] | the 25-circuit Table 2 suite |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use nshot::sg::{SgBuilder, SignalKind};
+//! use nshot::core::{synthesize, SynthesisOptions};
+//!
+//! // Specify a request/grant handshake as a state graph…
+//! let mut b = SgBuilder::named("handshake");
+//! let r = b.signal("r", SignalKind::Input);
+//! let g = b.signal("g", SignalKind::Output);
+//! b.edge_codes(0b00, (r, true), 0b01)?;
+//! b.edge_codes(0b01, (g, true), 0b11)?;
+//! b.edge_codes(0b11, (r, false), 0b10)?;
+//! b.edge_codes(0b10, (g, false), 0b00)?;
+//! let sg = b.build(0b00)?;
+//!
+//! // …synthesize an externally hazard-free N-SHOT implementation…
+//! let imp = synthesize(&sg, &SynthesisOptions::default())?;
+//!
+//! // …and check it against the specification under random gate delays.
+//! let report = nshot::sim::check_conformance(
+//!     &sg,
+//!     &imp,
+//!     &nshot::sim::ConformanceConfig::default(),
+//! );
+//! assert!(report.is_hazard_free());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use nshot_baselines as baselines;
+pub use nshot_benchmarks as benchmarks;
+pub use nshot_core as core;
+pub use nshot_logic as logic;
+pub use nshot_netlist as netlist;
+pub use nshot_sg as sg;
+pub use nshot_sim as sim;
+pub use nshot_stg as stg;

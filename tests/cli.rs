@@ -1,0 +1,125 @@
+//! Integration tests of the `assassin` command-line tool.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn assassin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_assassin"))
+}
+
+fn write_spec(name: &str, text: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("nshot-cli-{name}-{}.g", std::process::id()));
+    std::fs::write(&path, text).expect("temp file writable");
+    path
+}
+
+const HANDSHAKE_G: &str = "\
+.model cli-demo
+.inputs rin
+.outputs lt aout
+.graph
+rin+ lt+
+lt+ aout+
+aout+ rin-
+rin- lt-
+lt- aout-
+aout- rin+
+.marking { <aout-,rin+> }
+.end
+";
+
+#[test]
+fn check_reports_analyses() {
+    let spec = write_spec("check", HANDSHAKE_G);
+    let out = assassin().arg("check").arg(&spec).output().expect("runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("CSC:              ok"));
+    assert!(stdout.contains("semi-modular:     ok"));
+    assert!(stdout.contains("distributive:     yes"));
+    assert!(stdout.contains("signal lt"));
+}
+
+#[test]
+fn synth_writes_verilog_blif_and_dot() {
+    let spec = write_spec("synth", HANDSHAKE_G);
+    let v = std::env::temp_dir().join(format!("nshot-cli-{}.v", std::process::id()));
+    let blif = std::env::temp_dir().join(format!("nshot-cli-{}.blif", std::process::id()));
+    let dot = std::env::temp_dir().join(format!("nshot-cli-{}.dot", std::process::id()));
+    let out = assassin()
+        .args(["synth"])
+        .arg(&spec)
+        .args(["--verilog"])
+        .arg(&v)
+        .args(["--blif"])
+        .arg(&blif)
+        .args(["--dot"])
+        .arg(&dot)
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let verilog = std::fs::read_to_string(&v).expect("verilog written");
+    assert!(verilog.contains("module cli_demo"));
+    assert!(verilog.contains("nshot_mhs_ff"));
+    let blif_text = std::fs::read_to_string(&blif).expect("blif written");
+    assert!(blif_text.starts_with(".model cli_demo"));
+    assert!(blif_text.contains(".subckt mhs_ff"));
+    let dot_text = std::fs::read_to_string(&dot).expect("dot written");
+    assert!(dot_text.starts_with("digraph"));
+}
+
+#[test]
+fn simulate_writes_vcd_and_passes() {
+    let spec = write_spec("sim", HANDSHAKE_G);
+    let vcd = std::env::temp_dir().join(format!("nshot-cli-{}.vcd", std::process::id()));
+    let out = assassin()
+        .args(["simulate"])
+        .arg(&spec)
+        .args(["--trials", "3", "--transitions", "60", "--vcd"])
+        .arg(&vcd)
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("3/3 clean trials"));
+    let wave = std::fs::read_to_string(&vcd).expect("vcd written");
+    assert!(wave.contains("$timescale 1ps $end"));
+    assert!(wave.contains("$var wire 1"));
+}
+
+#[test]
+fn suite_lists_all_benchmarks() {
+    let out = assassin().arg("suite").output().expect("runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.lines().count(), 25);
+    assert!(stdout.contains("tsbmsiBRK"));
+    assert!(stdout.contains("non-distributive"));
+}
+
+#[test]
+fn bench_runs_one_circuit() {
+    let out = assassin().args(["bench", "pmcm2"]).output().expect("runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("pmcm2"));
+    assert!(stdout.contains("ASSASSIN"));
+    assert!(stdout.contains("(1)"), "baselines refuse non-distributive input");
+}
+
+#[test]
+fn unknown_command_fails_cleanly() {
+    let out = assassin().arg("frobnicate").output().expect("runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let out = assassin()
+        .args(["check", "/nonexistent/spec.g"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+}

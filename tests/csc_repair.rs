@@ -1,0 +1,80 @@
+//! Front-end CSC repair feeding the synthesis flow: the raw (coding-
+//! conflicting) Figure 1 specification is transformed by state-signal
+//! insertion, then synthesized and validated like any other spec.
+
+use nshot::core::{synthesize, SynthesisError, SynthesisOptions};
+use nshot::sg::{SgBuilder, SignalKind, StateGraph};
+use nshot::sim::{monte_carlo, ConformanceConfig};
+
+/// The raw Figure 1 SG: OR-causal `c`, no phase signal — CSC fails.
+fn raw_figure1() -> StateGraph {
+    let mut b = SgBuilder::named("figure1-raw");
+    let a = b.signal("a", SignalKind::Input);
+    let bb = b.signal("b", SignalKind::Input);
+    let c = b.signal("c", SignalKind::Output);
+    let u0 = b.fresh_state(0b000);
+    let u1 = b.fresh_state(0b001);
+    let u2 = b.fresh_state(0b010);
+    let u3 = b.fresh_state(0b011);
+    let u5 = b.fresh_state(0b101);
+    let u6 = b.fresh_state(0b110);
+    let t = b.fresh_state(0b111);
+    let d6 = b.fresh_state(0b110);
+    let d5 = b.fresh_state(0b101);
+    let d4 = b.fresh_state(0b100);
+    let d2 = b.fresh_state(0b010);
+    let d1 = b.fresh_state(0b001);
+    b.edge_states(u0, (a, true), u1).unwrap();
+    b.edge_states(u0, (bb, true), u2).unwrap();
+    b.edge_states(u1, (bb, true), u3).unwrap();
+    b.edge_states(u2, (a, true), u3).unwrap();
+    b.edge_states(u1, (c, true), u5).unwrap();
+    b.edge_states(u2, (c, true), u6).unwrap();
+    b.edge_states(u3, (c, true), t).unwrap();
+    b.edge_states(u5, (bb, true), t).unwrap();
+    b.edge_states(u6, (a, true), t).unwrap();
+    b.edge_states(t, (a, false), d6).unwrap();
+    b.edge_states(t, (bb, false), d5).unwrap();
+    b.edge_states(d6, (bb, false), d4).unwrap();
+    b.edge_states(d6, (c, false), d2).unwrap();
+    b.edge_states(d5, (a, false), d4).unwrap();
+    b.edge_states(d5, (c, false), d1).unwrap();
+    b.edge_states(d4, (c, false), u0).unwrap();
+    b.edge_states(d2, (bb, false), u0).unwrap();
+    b.edge_states(d1, (a, false), u0).unwrap();
+    b.build_with_initial(u0).unwrap()
+}
+
+#[test]
+fn synthesis_refuses_csc_violations() {
+    let sg = raw_figure1();
+    assert!(matches!(
+        synthesize(&sg, &SynthesisOptions::default()),
+        Err(SynthesisError::Csc(_))
+    ));
+}
+
+#[test]
+fn repair_then_synthesize_then_validate() {
+    let sg = raw_figure1();
+    let fixed = sg.resolve_csc(3).expect("Figure 1 is repairable");
+    assert!(fixed.check_csc().is_ok());
+    assert!(!fixed.is_distributive(), "repair keeps the OR causality");
+
+    let imp = synthesize(&fixed, &SynthesisOptions::default()).expect("repaired spec synthesizes");
+    // The inserted phase signal is implemented like any internal signal.
+    assert!(imp.signals.iter().any(|s| s.name.starts_with("csc")));
+
+    let summary = monte_carlo(&fixed, &imp, &ConformanceConfig::default(), 10);
+    assert!(summary.all_clean(), "{:?}", summary.first_failure);
+}
+
+#[test]
+fn repair_is_idempotent_on_clean_specs() {
+    for name in ["full", "chu133", "pmcm2"] {
+        let sg = nshot::benchmarks::by_name(name).expect("in suite").build();
+        let fixed = sg.resolve_csc(1).expect("already CSC");
+        assert_eq!(fixed.num_states(), sg.num_states(), "{name}");
+        assert_eq!(fixed.num_signals(), sg.num_signals(), "{name}");
+    }
+}

@@ -1,0 +1,172 @@
+//! The paper's central experimental claim, as an integration test: every
+//! synthesized circuit is externally hazard-free under randomly sampled
+//! gate delays — and the oracle is not vacuous (it catches sabotage).
+
+use nshot::core::{assemble_netlist, synthesize, SynthesisOptions};
+use nshot::netlist::DelayModel;
+use nshot::sim::{check_conformance, monte_carlo, ConformanceConfig, HazardViolation, SimConfig};
+
+/// Medium specimens spanning the archetypes.
+fn specimens() -> Vec<&'static str> {
+    vec!["full", "chu133", "hazard", "vbe5b", "sbuf-send-ctl", "pmcm1", "pmcm2", "combuf2"]
+}
+
+#[test]
+fn suite_is_externally_hazard_free() {
+    for name in specimens() {
+        let sg = nshot::benchmarks::by_name(name).expect("in suite").build();
+        let imp = synthesize(&sg, &SynthesisOptions::default()).expect("synthesizes");
+        let config = ConformanceConfig {
+            max_transitions: 120,
+            ..ConformanceConfig::default()
+        };
+        let summary = monte_carlo(&sg, &imp, &config, 5);
+        assert!(
+            summary.all_clean(),
+            "{name}: {:?}",
+            summary.first_failure.map(|f| f.violations)
+        );
+    }
+}
+
+#[test]
+fn hazard_freeness_holds_across_omega_values() {
+    let sg = nshot::benchmarks::by_name("pmcm2").expect("in suite").build();
+    let imp = synthesize(&sg, &SynthesisOptions::default()).expect("synthesizes");
+    for omega_ps in [100, 300, 600, 1_000] {
+        let config = ConformanceConfig {
+            max_transitions: 150,
+            sim: SimConfig {
+                omega_ps,
+                ..SimConfig::default()
+            },
+            ..ConformanceConfig::default()
+        };
+        let report = check_conformance(&sg, &imp, &config);
+        assert!(report.is_hazard_free(), "ω={omega_ps}: {:?}", report.violations);
+    }
+}
+
+#[test]
+fn oracle_catches_swapped_covers() {
+    // Sanity of the oracle itself: sabotage the circuit, expect detection.
+    let sg = nshot::benchmarks::by_name("full").expect("in suite").build();
+    let good = synthesize(&sg, &SynthesisOptions::default()).expect("synthesizes");
+    let covers: Vec<_> = good
+        .signals
+        .iter()
+        .map(|s| (s.signal, s.reset_cover.clone(), s.set_cover.clone())) // swapped!
+        .collect();
+    let (netlist, _) =
+        assemble_netlist(&sg, &covers, &DelayModel::nominal()).expect("assembles");
+    let mut broken = good;
+    broken.netlist = netlist;
+    let config = ConformanceConfig {
+        input_delay_ps: (20_000, 30_000),
+        ..ConformanceConfig::default()
+    };
+    let report = check_conformance(&sg, &broken, &config);
+    assert!(!report.is_hazard_free(), "sabotage must be detected");
+}
+
+#[test]
+fn oracle_catches_dead_outputs() {
+    let sg = nshot::benchmarks::by_name("full").expect("in suite").build();
+    let good = synthesize(&sg, &SynthesisOptions::default()).expect("synthesizes");
+    let n = sg.num_signals();
+    let covers: Vec<_> = good
+        .signals
+        .iter()
+        .map(|s| {
+            (
+                s.signal,
+                nshot::logic::Cover::empty(n),
+                nshot::logic::Cover::empty(n),
+            )
+        })
+        .collect();
+    let (netlist, _) =
+        assemble_netlist(&sg, &covers, &DelayModel::nominal()).expect("assembles");
+    let mut broken = good;
+    broken.netlist = netlist;
+    let report = check_conformance(&sg, &broken, &ConformanceConfig::default());
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| matches!(v, HazardViolation::Deadlock { .. })));
+}
+
+#[test]
+fn trigger_repaired_circuit_is_hazard_free() {
+    // The Figure 7(b)-style circuit: a free-running input toggles inside
+    // the excitation regions, so trigger regions span several states and
+    // the SOP emits pulse streams the MHS flip-flop must convert into
+    // single transitions.
+    use nshot::sg::{SgBuilder, SignalKind};
+    let mut b = SgBuilder::named("fig7b");
+    let r = b.signal("r", SignalKind::Input);
+    let x = b.signal("x", SignalKind::Input);
+    let y = b.signal("y", SignalKind::Output);
+    b.edge_codes(0b000, (r, true), 0b001).unwrap();
+    b.edge_codes(0b000, (x, true), 0b010).unwrap();
+    b.edge_codes(0b010, (r, true), 0b011).unwrap();
+    b.edge_codes(0b010, (x, false), 0b000).unwrap();
+    b.edge_codes(0b001, (x, true), 0b011).unwrap();
+    b.edge_codes(0b001, (y, true), 0b101).unwrap();
+    b.edge_codes(0b011, (x, false), 0b001).unwrap();
+    b.edge_codes(0b011, (y, true), 0b111).unwrap();
+    b.edge_codes(0b101, (x, true), 0b111).unwrap();
+    b.edge_codes(0b101, (r, false), 0b100).unwrap();
+    b.edge_codes(0b111, (x, false), 0b101).unwrap();
+    b.edge_codes(0b111, (r, false), 0b110).unwrap();
+    b.edge_codes(0b100, (x, true), 0b110).unwrap();
+    b.edge_codes(0b100, (y, false), 0b000).unwrap();
+    b.edge_codes(0b110, (x, false), 0b100).unwrap();
+    b.edge_codes(0b110, (y, false), 0b010).unwrap();
+    let sg = b.build(0b000).unwrap();
+    assert!(!sg.is_single_traversal());
+    let imp = synthesize(&sg, &SynthesisOptions::default()).expect("Theorem 1 holds here");
+    let summary = monte_carlo(
+        &sg,
+        &imp,
+        &ConformanceConfig {
+            max_transitions: 200,
+            ..ConformanceConfig::default()
+        },
+        10,
+    );
+    assert!(summary.all_clean(), "{:?}", summary.first_failure);
+}
+
+#[test]
+fn multi_output_circuits_are_hazard_free() {
+    for name in ["full", "pmcm1", "sbuf-send-ctl"] {
+        let sg = nshot::benchmarks::by_name(name).expect("in suite").build();
+        let imp =
+            synthesize(&sg, &SynthesisOptions::multi_output()).expect("synthesizes");
+        let summary = monte_carlo(
+            &sg,
+            &imp,
+            &ConformanceConfig {
+                max_transitions: 120,
+                ..ConformanceConfig::default()
+            },
+            5,
+        );
+        assert!(summary.all_clean(), "{name}: {:?}", summary.first_failure);
+    }
+}
+
+#[test]
+fn determinism_of_trials() {
+    let sg = nshot::benchmarks::by_name("chu133").expect("in suite").build();
+    let imp = synthesize(&sg, &SynthesisOptions::default()).expect("synthesizes");
+    let config = ConformanceConfig {
+        max_transitions: 80,
+        ..ConformanceConfig::default()
+    };
+    let a = check_conformance(&sg, &imp, &config);
+    let b = check_conformance(&sg, &imp, &config);
+    assert_eq!(a.transitions, b.transitions);
+    assert_eq!(a.end_time_ps, b.end_time_ps);
+}

@@ -1,0 +1,135 @@
+//! Region-structure invariants over the whole benchmark suite — the
+//! Section III objects behave per their definitions on every circuit, not
+//! just on the hand-built fixtures.
+
+use nshot::sg::{Dir, StateGraph};
+use std::collections::BTreeSet;
+
+fn analysed() -> Vec<StateGraph> {
+    nshot::benchmarks::suite()
+        .iter()
+        .filter(|b| b.paper_states <= 300)
+        .map(nshot::benchmarks::Benchmark::build)
+        .collect()
+}
+
+#[test]
+fn excitation_regions_partition_excited_states() {
+    for sg in analysed() {
+        for a in sg.non_input_signals() {
+            let regions = sg.regions_of(a);
+            let mut seen: BTreeSet<_> = BTreeSet::new();
+            for er in &regions.excitation {
+                for &s in &er.states {
+                    assert!(sg.is_excited(s, a), "{}: ER state not excited", sg.name());
+                    assert!(
+                        seen.insert(s),
+                        "{}: state in two excitation regions",
+                        sg.name()
+                    );
+                    // All states of one ER hold the same (pre-transition)
+                    // value.
+                    assert_eq!(
+                        sg.value(s, a),
+                        !er.instance.dir.target_value(),
+                        "{}",
+                        sg.name()
+                    );
+                }
+            }
+            // Every excited state is in some ER.
+            for s in sg.reachable() {
+                if sg.is_excited(s, a) {
+                    assert!(seen.contains(&s), "{}: excited state missed", sg.name());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn quiescent_regions_are_stable_at_the_new_value() {
+    for sg in analysed() {
+        for a in sg.non_input_signals() {
+            let regions = sg.regions_of(a);
+            for qr in &regions.quiescent {
+                for &s in &qr.states {
+                    assert!(!sg.is_excited(s, a), "{}: QR state excited", sg.name());
+                    assert_eq!(
+                        sg.value(s, a),
+                        qr.instance.dir.target_value(),
+                        "{}: QR value mismatch",
+                        sg.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn region_modes_partition_reachable_states() {
+    use nshot::sg::RegionMode;
+    for sg in analysed() {
+        for a in sg.non_input_signals() {
+            let mut counts = [0usize; 4];
+            for s in sg.reachable() {
+                let i = match sg.region_mode(s, a) {
+                    RegionMode::ExcitedUp => 0,
+                    RegionMode::StableHigh => 1,
+                    RegionMode::ExcitedDown => 2,
+                    RegionMode::StableLow => 3,
+                };
+                counts[i] += 1;
+            }
+            assert_eq!(counts.iter().sum::<usize>(), sg.reachable().len());
+            // Alternation: a signal that rises somewhere must fall somewhere.
+            assert_eq!(counts[0] > 0, counts[2] > 0, "{}", sg.name());
+        }
+    }
+}
+
+#[test]
+fn rising_and_falling_regions_alternate() {
+    // Firing the transition of an ER lands in states whose next excitation
+    // of the signal (if any) has the opposite direction.
+    for sg in analysed() {
+        for a in sg.non_input_signals() {
+            let regions = sg.regions_of(a);
+            for er in &regions.excitation {
+                for &s in &er.states {
+                    let (dir, dst) = sg.fire_signal(s, a).expect("ER states fire *a");
+                    assert_eq!(dir, er.instance.dir);
+                    if sg.is_excited(dst, a) {
+                        let next_dir = sg.fire_signal(dst, a).expect("excited").0;
+                        assert_eq!(next_dir, dir.opposite(), "{}", sg.name());
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn trigger_regions_count_matches_single_traversal_flag() {
+    for sg in analysed() {
+        let all_singleton = sg.non_input_signals().all(|a| {
+            sg.regions_of(a)
+                .triggers
+                .iter()
+                .all(|t| t.states.len() == 1)
+        });
+        assert_eq!(all_singleton, sg.is_single_traversal(), "{}", sg.name());
+    }
+}
+
+#[test]
+fn dot_highlighting_renders_for_every_circuit() {
+    for sg in analysed().into_iter().take(6) {
+        let a = sg.non_input_signals().next().expect("has outputs");
+        let dot = sg.to_dot_highlighting(Some(a));
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("penwidth=3"), "{}: trigger states marked", sg.name());
+    }
+    let _ = Dir::Rise; // keep the import meaningful for rustc
+}

@@ -1,0 +1,153 @@
+//! The paper's formal statements, checked on the whole benchmark suite:
+//! Properties 1–3, Theorem 1 (trigger cubes), Theorem 2 (synthesizability),
+//! Corollary 1 (single traversal), Table 1, and Section IV.F initialization.
+
+use nshot::core::{synthesize, verify_covers, SynthesisOptions, TriggerStatus};
+use nshot::sg::Dir;
+
+/// Benchmarks small enough for exhaustive per-test analysis.
+fn analysed_suite() -> Vec<nshot::sg::StateGraph> {
+    nshot::benchmarks::suite()
+        .iter()
+        .filter(|b| b.paper_states <= 300)
+        .map(nshot::benchmarks::Benchmark::build)
+        .collect()
+}
+
+#[test]
+fn property1_output_trapping_holds_on_the_suite() {
+    for sg in analysed_suite() {
+        assert!(sg.check_output_trapping(), "{}", sg.name());
+    }
+}
+
+#[test]
+fn property2_trigger_regions_reachable() {
+    for sg in analysed_suite() {
+        for a in sg.non_input_signals() {
+            let regions = sg.regions_of(a);
+            for (ei, er) in regions.excitation.iter().enumerate() {
+                assert!(
+                    regions.triggers_of(ei).next().is_some(),
+                    "{}: ER without trigger region",
+                    sg.name()
+                );
+                // Every trigger region is inside its ER.
+                for tr in regions.triggers_of(ei) {
+                    assert!(tr.states.is_subset(&er.states));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem1_trigger_cubes_certified() {
+    for sg in analysed_suite() {
+        let imp = synthesize(&sg, &SynthesisOptions::default()).expect("synthesizes");
+        for s in &imp.signals {
+            let regions = sg.regions_of(s.signal);
+            // One certificate per trigger region.
+            assert_eq!(
+                s.triggers.len(),
+                regions.triggers.len(),
+                "{}/{}",
+                sg.name(),
+                s.name
+            );
+            for cert in &s.triggers {
+                let cover = match cert.dir {
+                    Dir::Rise => &s.set_cover,
+                    Dir::Fall => &s.reset_cover,
+                };
+                assert!(
+                    cover
+                        .iter()
+                        .any(|c| cert.states.iter().all(|&m| c.contains_minterm(m))),
+                    "{}/{}: certificate without covering cube",
+                    sg.name(),
+                    s.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn corollary1_single_traversal_needs_no_repair() {
+    for sg in analysed_suite() {
+        if !sg.is_single_traversal() {
+            continue;
+        }
+        let imp = synthesize(&sg, &SynthesisOptions::default()).expect("Corollary 1");
+        for s in &imp.signals {
+            for cert in &s.triggers {
+                assert!(
+                    matches!(cert.status, TriggerStatus::Covered { .. }),
+                    "{}/{}: single-traversal SG needed a repair cube",
+                    sg.name(),
+                    s.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem2_the_whole_suite_synthesizes() {
+    // CSC + semi-modularity + trigger requirement ⇒ implementation exists —
+    // including every non-distributive circuit.
+    for b in nshot::benchmarks::suite() {
+        if b.paper_states > 300 {
+            continue; // big ones are exercised by the table2 binary
+        }
+        let sg = b.build();
+        let imp = synthesize(&sg, &SynthesisOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        assert_eq!(
+            imp.signals.len(),
+            sg.non_input_signals().count(),
+            "{}",
+            b.name
+        );
+        assert!(imp.area > 0);
+    }
+}
+
+#[test]
+fn table1_covers_verify_everywhere() {
+    for sg in analysed_suite() {
+        let imp = synthesize(&sg, &SynthesisOptions::default()).expect("synthesizes");
+        for s in &imp.signals {
+            verify_covers(&sg, s.signal, &s.set_cover, &s.reset_cover)
+                .unwrap_or_else(|e| panic!("{}: {e}", sg.name()));
+        }
+    }
+}
+
+#[test]
+fn initialization_matches_initial_values() {
+    // Section IV.F: the initialization plan always reproduces the initial
+    // state's signal values.
+    for sg in analysed_suite() {
+        let imp = synthesize(&sg, &SynthesisOptions::default()).expect("synthesizes");
+        for s in &imp.signals {
+            assert_eq!(
+                s.init.initial_value(),
+                sg.value(sg.initial(), s.signal),
+                "{}/{}",
+                sg.name(),
+                s.name
+            );
+        }
+    }
+}
+
+#[test]
+fn eq1_never_requires_compensation_nominally() {
+    // The paper: "delay compensation was never required" on any example.
+    for sg in analysed_suite() {
+        let imp = synthesize(&sg, &SynthesisOptions::default()).expect("synthesizes");
+        assert!(imp.delay_compensation_free(), "{}", sg.name());
+    }
+}
