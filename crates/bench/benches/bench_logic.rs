@@ -1,9 +1,10 @@
-//! Criterion benches: the two-level minimizer kernels on functions derived
-//! from real specifications.
+//! Microbenches: the two-level minimizer kernels on functions derived from
+//! real specifications, plus the memoized front-end.
+//! Std-`Instant` harness — see `nshot_bench::microbench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use nshot_bench::microbench::bench;
 use nshot_core::SetResetSpec;
-use nshot_logic::{all_primes, espresso, minimize_exact};
+use nshot_logic::{all_primes, espresso, espresso_cached, minimize_exact, reset_cache};
 
 fn derived_functions() -> Vec<(String, nshot_logic::Function)> {
     let mut out = Vec::new();
@@ -17,44 +18,30 @@ fn derived_functions() -> Vec<(String, nshot_logic::Function)> {
     out
 }
 
-fn bench_espresso(c: &mut Criterion) {
+fn main() {
     let functions = derived_functions();
-    let mut group = c.benchmark_group("logic/espresso");
+
+    println!("== logic/espresso ==");
     for (name, f) in &functions {
-        group.bench_function(name, |b| b.iter(|| espresso(f)));
+        bench(&format!("logic/espresso/{name}"), || espresso(f));
     }
-    group.finish();
-}
 
-fn bench_exact(c: &mut Criterion) {
-    let functions = derived_functions();
-    let mut group = c.benchmark_group("logic/exact");
+    println!("== logic/espresso-cached (warm) ==");
+    reset_cache();
     for (name, f) in functions.iter().take(4) {
-        group.bench_function(name, |b| b.iter(|| minimize_exact(f).expect("small")));
+        espresso_cached(f); // populate
+        bench(&format!("logic/cached/{name}"), || espresso_cached(f));
     }
-    group.finish();
-}
 
-fn bench_primes(c: &mut Criterion) {
-    let functions = derived_functions();
-    let mut group = c.benchmark_group("logic/primes");
+    println!("== logic/exact ==");
     for (name, f) in functions.iter().take(4) {
-        group.bench_function(name, |b| b.iter(|| all_primes(f)));
+        bench(&format!("logic/exact/{name}"), || {
+            minimize_exact(f).expect("small")
+        });
     }
-    group.finish();
-}
 
-
-fn fast() -> Criterion {
-    Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(2))
-        .sample_size(20)
+    println!("== logic/primes ==");
+    for (name, f) in functions.iter().take(4) {
+        bench(&format!("logic/primes/{name}"), || all_primes(f));
+    }
 }
-
-criterion_group!{
-    name = benches;
-    config = fast();
-    targets = bench_espresso, bench_exact, bench_primes
-}
-criterion_main!(benches);

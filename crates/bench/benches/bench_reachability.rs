@@ -1,6 +1,8 @@
-//! Criterion benches: STG token-game elaboration and SG analyses.
+//! Microbenches: STG token-game elaboration and SG analyses, plus the
+//! interning-hasher comparison (std SipHash vs the nshot-par FxHash used by
+//! `Stg::elaborate`). Std-`Instant` harness — see `nshot_bench::microbench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use nshot_bench::microbench::bench;
 use nshot_stg::parse_stg;
 
 const HANDSHAKE_G: &str = "
@@ -33,46 +35,33 @@ fn concurrent_stg(k: usize) -> String {
     text
 }
 
-fn bench_parse_and_elaborate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("stg/elaborate");
-    group.bench_function("handshake", |b| {
-        b.iter(|| parse_stg(HANDSHAKE_G).expect("parses").elaborate().expect("elaborates"))
+fn main() {
+    println!("== stg/elaborate ==");
+    bench("stg/elaborate/handshake", || {
+        parse_stg(HANDSHAKE_G)
+            .expect("parses")
+            .elaborate()
+            .expect("elaborates")
     });
     for k in [6usize, 9] {
         let text = concurrent_stg(k);
         let stg = parse_stg(&text).expect("parses");
-        group.bench_function(format!("toggles-{k} ({} states)", 1usize << k), |b| {
-            b.iter(|| stg.elaborate().expect("elaborates"))
+        bench(&format!("stg/elaborate/toggles-{k}"), || {
+            stg.elaborate().expect("elaborates")
         });
     }
-    group.finish();
-}
 
-fn bench_sg_analyses(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sg/analyses");
+    println!("== sg/analyses ==");
     for name in ["full", "vbe10b", "read-write"] {
         let sg = nshot_benchmarks::by_name(name).expect("in suite").build();
-        group.bench_function(format!("csc/{name}"), |b| b.iter(|| sg.check_csc().is_ok()));
-        group.bench_function(format!("semimod/{name}"), |b| {
-            b.iter(|| sg.check_semi_modular().is_ok())
+        bench(&format!("sg/csc/{name}"), || sg.check_csc().is_ok());
+        bench(&format!("sg/semimod/{name}"), || {
+            sg.check_semi_modular().is_ok()
         });
         let a = sg.non_input_signals().next().expect("has outputs");
-        group.bench_function(format!("regions/{name}"), |b| b.iter(|| sg.regions_of(a)));
+        bench(&format!("sg/regions/{name}"), || sg.regions_of(a));
     }
-    group.finish();
-}
 
-
-fn fast() -> Criterion {
-    Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(2))
-        .sample_size(20)
+    println!("== interning hasher (SipHash vs FxHash) ==");
+    nshot_bench::reach_hasher_bench(50_000);
 }
-
-criterion_group!{
-    name = benches;
-    config = fast();
-    targets = bench_parse_and_elaborate, bench_sg_analyses
-}
-criterion_main!(benches);

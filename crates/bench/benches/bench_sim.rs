@@ -1,45 +1,38 @@
-//! Criterion benches: event-driven simulation and conformance throughput.
+//! Microbenches: event-driven simulation and conformance throughput.
+//! Std-`Instant` harness — see `nshot_bench::microbench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use nshot_bench::microbench::bench;
 use nshot_core::{synthesize, SynthesisOptions};
-use nshot_sim::{check_conformance, ConformanceConfig, PulseResponse};
+use nshot_sim::{check_conformance, monte_carlo, ConformanceConfig, PulseResponse};
 
-fn bench_conformance(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim/conformance");
+fn main() {
+    println!("== sim/conformance ==");
     for name in ["full", "chu133", "pmcm1"] {
         let sg = nshot_benchmarks::by_name(name).expect("in suite").build();
         let imp = synthesize(&sg, &SynthesisOptions::default()).expect("synthesizes");
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let report = check_conformance(&sg, &imp, &ConformanceConfig::default());
-                assert!(report.is_hazard_free());
-                report.transitions
-            })
+        bench(&format!("sim/conformance/{name}"), || {
+            let report = check_conformance(&sg, &imp, &ConformanceConfig::default());
+            assert!(report.is_hazard_free());
+            report.transitions
         });
     }
-    group.finish();
-}
 
-fn bench_mhs(c: &mut Criterion) {
+    println!("== sim/monte-carlo (parallel trials) ==");
+    {
+        let sg = nshot_benchmarks::by_name("chu133").expect("in suite").build();
+        let imp = synthesize(&sg, &SynthesisOptions::default()).expect("synthesizes");
+        bench("sim/monte-carlo-16/chu133", || {
+            let summary = monte_carlo(&sg, &imp, &ConformanceConfig::default(), 16);
+            assert!(summary.all_clean());
+            summary.total_transitions
+        });
+    }
+
+    println!("== sim/mhs ==");
     let pulses: Vec<(u64, u64)> = (0..64)
         .map(|i| (1_000 + i * 1_000, 100 + (i % 8) * 50))
         .collect();
-    c.bench_function("sim/mhs-pulse-train-64", |b| {
-        b.iter(|| PulseResponse::of_pulse_train(300, 600, &pulses))
+    bench("sim/mhs-pulse-train-64", || {
+        PulseResponse::of_pulse_train(300, 600, &pulses)
     });
 }
-
-
-fn fast() -> Criterion {
-    Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(2))
-        .sample_size(20)
-}
-
-criterion_group!{
-    name = benches;
-    config = fast();
-    targets = bench_conformance, bench_mhs
-}
-criterion_main!(benches);

@@ -1,8 +1,9 @@
-//! Criterion benches: end-to-end synthesis per Table 2 circuit (benchmark
-//! ids are the table rows), for all three flows.
+//! Microbenches: end-to-end synthesis per Table 2 circuit (benchmark ids
+//! are the table rows), for all three flows. Std-`Instant` harness — see
+//! `nshot_bench::microbench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use nshot_baselines::{sis, syn};
+use nshot_bench::microbench::bench;
 use nshot_core::{synthesize, SynthesisOptions};
 use nshot_netlist::DelayModel;
 
@@ -12,48 +13,36 @@ const QUICK: &[&str] = &[
     "sbuf-send-ctl", "pmcm1", "pmcm2", "combuf1", "combuf2",
 ];
 
-fn bench_nshot(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table2/nshot");
+fn main() {
+    println!("== table2/nshot ==");
     for name in QUICK {
         let sg = nshot_benchmarks::by_name(name).expect("in suite").build();
-        group.bench_function(*name, |b| {
-            b.iter(|| synthesize(&sg, &SynthesisOptions::default()).expect("synthesizes"))
+        bench(&format!("table2/nshot/{name}"), || {
+            synthesize(&sg, &SynthesisOptions::default()).expect("synthesizes")
         });
     }
-    group.finish();
-}
 
-fn bench_baselines(c: &mut Criterion) {
+    println!("== table2/baselines ==");
     let model = DelayModel::nominal();
-    let mut group = c.benchmark_group("table2/baselines");
     for name in ["chu133", "full", "hazard", "vbe5b"] {
         let sg = nshot_benchmarks::by_name(name).expect("in suite").build();
-        group.bench_function(format!("sis/{name}"), |b| {
-            b.iter(|| sis(&sg, &model).expect("distributive"))
+        bench(&format!("table2/sis/{name}"), || {
+            sis(&sg, &model).expect("distributive")
         });
-        group.bench_function(format!("syn/{name}"), |b| {
-            b.iter(|| syn(&sg, &model).expect("distributive"))
+        bench(&format!("table2/syn/{name}"), || {
+            syn(&sg, &model).expect("distributive")
         });
     }
-    group.finish();
-}
 
-fn bench_medium(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table2/nshot-medium");
-    group.sample_size(10);
+    println!("== table2/nshot-medium ==");
     for name in ["hybridf", "pe-send-ifc", "pr-rcv-ifc", "vbe10b", "sing2dual-out"] {
         let sg = nshot_benchmarks::by_name(name).expect("in suite").build();
-        group.bench_function(name, |b| {
-            b.iter(|| synthesize(&sg, &SynthesisOptions::default()).expect("synthesizes"))
+        bench(&format!("table2/nshot-medium/{name}"), || {
+            synthesize(&sg, &SynthesisOptions::default()).expect("synthesizes")
         });
     }
-    group.finish();
-}
 
-
-/// Ablation: the three minimizer modes on a mixed pair of circuits.
-fn bench_minimizer_modes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation/minimizer");
+    println!("== ablation/minimizer ==");
     for name in ["chu133", "pmcm1"] {
         let sg = nshot_benchmarks::by_name(name).expect("in suite").build();
         for (mode, options) in [
@@ -61,24 +50,9 @@ fn bench_minimizer_modes(c: &mut Criterion) {
             ("exact", SynthesisOptions::exact()),
             ("multi-output", SynthesisOptions::multi_output()),
         ] {
-            group.bench_function(format!("{mode}/{name}"), |b| {
-                b.iter(|| synthesize(&sg, &options).expect("synthesizes"))
+            bench(&format!("ablation/{mode}/{name}"), || {
+                synthesize(&sg, &options).expect("synthesizes")
             });
         }
     }
-    group.finish();
 }
-
-fn fast() -> Criterion {
-    Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(2))
-        .sample_size(20)
-}
-
-criterion_group!{
-    name = benches;
-    config = fast();
-    targets = bench_nshot, bench_baselines, bench_medium, bench_minimizer_modes
-}
-criterion_main!(benches);

@@ -1,0 +1,211 @@
+//! End-to-end parallel pipeline benchmark: synthesize + Monte-Carlo-validate
+//! a suite of circuits with the `nshot-par` worker pool, at one thread and at
+//! the machine's parallelism, and write the results to `BENCH_pipeline.json`.
+//!
+//! Usage: `cargo run --release -p nshot-bench --bin pipeline [-- trials [out.json]]`
+//!
+//! Records, per run: wall time, minimizer-cache hit/miss counters, and the
+//! speedup of the parallel run over the single-thread baseline. Also records
+//! the SipHash-vs-FxHash marking-interning micro-benchmark backing the
+//! hasher switch in `nshot_stg::reach` / `nshot_sg::builder`.
+
+use std::time::Instant;
+
+use nshot_core::{synthesize, SynthesisOptions};
+use nshot_logic::{cache_stats, reset_cache, CacheStats};
+use nshot_par::{num_threads, par_map, ThreadGuard};
+use nshot_sim::{monte_carlo, ConformanceConfig};
+
+/// The circuits the pipeline sweeps — the quick Table 2 subset.
+const CIRCUITS: &[&str] = &[
+    "chu133", "chu150", "chu172", "converta", "ebergen", "full", "hazard", "qr42", "vbe5b",
+    "sbuf-send-ctl", "pmcm1", "pmcm2", "combuf1", "combuf2",
+];
+
+struct PipelineRun {
+    threads: usize,
+    wall_ms: f64,
+    cache: CacheStats,
+    /// Per-circuit (name, states, clean trials, total trials) plus a digest
+    /// of the synthesized implementation for cross-run determinism checks.
+    circuits: Vec<(String, usize, usize, usize, String)>,
+}
+
+/// Synthesize and validate every circuit, circuits in parallel, and return
+/// wall time plus cache statistics for this run.
+fn run_pipeline(threads: usize, trials: usize) -> PipelineRun {
+    let _guard = ThreadGuard::pin(threads);
+    reset_cache();
+    let specs: Vec<&str> = CIRCUITS.to_vec();
+    let t0 = Instant::now();
+    let results = par_map(&specs, |name| {
+        let sg = nshot_benchmarks::by_name(name).expect("in suite").build();
+        let imp = synthesize(&sg, &SynthesisOptions::default())
+            .unwrap_or_else(|e| panic!("{name}: synthesis failed: {e}"));
+        let summary = monte_carlo(&sg, &imp, &ConformanceConfig::default(), trials);
+        let digest = format!("{imp:?}");
+        (
+            name.to_string(),
+            imp.num_states,
+            summary.clean_trials,
+            summary.trials,
+            digest,
+        )
+    });
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    PipelineRun {
+        threads,
+        wall_ms,
+        cache: cache_stats(),
+        circuits: results,
+    }
+}
+
+fn main() {
+    let trials: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let out_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+
+    let hw_threads = num_threads();
+    println!(
+        "pipeline: {} circuits × {trials} trials, hardware parallelism {hw_threads}",
+        CIRCUITS.len()
+    );
+
+    // Warm the binary (page-in, lazy statics) without polluting measurements.
+    {
+        let _g = ThreadGuard::pin(1);
+        let sg = nshot_benchmarks::by_name("full").expect("in suite").build();
+        let _ = synthesize(&sg, &SynthesisOptions::default());
+    }
+
+    let baseline = run_pipeline(1, trials);
+    println!(
+        "  1 thread : {:8.1} ms   cache {}/{} hits ({:.0}%)",
+        baseline.wall_ms,
+        baseline.cache.hits,
+        baseline.cache.hits + baseline.cache.misses,
+        baseline.cache.hit_rate() * 100.0
+    );
+    let parallel = run_pipeline(hw_threads, trials);
+    println!(
+        "  {} threads: {:8.1} ms   cache {}/{} hits ({:.0}%)",
+        parallel.threads,
+        parallel.wall_ms,
+        parallel.cache.hits,
+        parallel.cache.hits + parallel.cache.misses,
+        parallel.cache.hit_rate() * 100.0
+    );
+    let speedup = baseline.wall_ms / parallel.wall_ms.max(1e-9);
+    println!("  speedup  : {speedup:.2}x");
+
+    // Determinism: the parallel run must synthesize byte-identical
+    // implementations (same Debug rendering) and identical trial outcomes.
+    let deterministic = baseline
+        .circuits
+        .iter()
+        .zip(&parallel.circuits)
+        .all(|(a, b)| a == b);
+    println!("  deterministic across thread counts: {deterministic}");
+    assert!(deterministic, "parallel run diverged from single-thread run");
+
+    let clean = baseline.circuits.iter().all(|(_, _, c, t, _)| c == t);
+    println!("  all trials hazard-free: {clean}");
+
+    println!("  interning hasher micro-benchmark:");
+    let hasher = nshot_bench::reach_hasher_bench(50_000);
+    let hasher_ns: Vec<u128> = hasher.iter().map(|m| m.median_ns()).collect();
+
+    let json = render_json(
+        trials,
+        hw_threads,
+        &baseline,
+        &parallel,
+        speedup,
+        deterministic,
+        &hasher_ns,
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_pipeline.json");
+    println!("wrote {out_path}");
+}
+
+fn run_json(run: &PipelineRun) -> String {
+    let total = run.cache.hits + run.cache.misses;
+    format!(
+        concat!(
+            "{{\"threads\": {}, \"wall_ms\": {:.2}, ",
+            "\"cache\": {{\"hits\": {}, \"misses\": {}, \"lookups\": {}, \"hit_rate\": {:.4}}}}}"
+        ),
+        run.threads,
+        run.wall_ms,
+        run.cache.hits,
+        run.cache.misses,
+        total,
+        run.cache.hit_rate()
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    trials: usize,
+    hw_threads: usize,
+    baseline: &PipelineRun,
+    parallel: &PipelineRun,
+    speedup: f64,
+    deterministic: bool,
+    hasher_ns: &[u128],
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(
+        "  \"generated_by\": \"cargo run --release -p nshot-bench --bin pipeline\",\n",
+    );
+    s.push_str(&format!(
+        "  \"hardware\": {{\"available_parallelism\": {hw_threads}}},\n"
+    ));
+    s.push_str(&format!("  \"trials_per_circuit\": {trials},\n"));
+    s.push_str(&format!(
+        "  \"circuits\": [{}],\n",
+        CIRCUITS
+            .iter()
+            .map(|c| format!("\"{c}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    s.push_str(&format!("  \"baseline\": {},\n", run_json(baseline)));
+    s.push_str(&format!("  \"parallel\": {},\n", run_json(parallel)));
+    s.push_str(&format!("  \"speedup\": {speedup:.3},\n"));
+    s.push_str(&format!("  \"deterministic\": {deterministic},\n"));
+    let ratio = |sip: u128, fx: u128| sip as f64 / (fx as f64).max(1.0);
+    s.push_str(&format!(
+        concat!(
+            "  \"interning_hasher\": {{\n",
+            "    \"marking\": {{\"siphash_median_ns\": {}, \"fxhash_median_ns\": {}, \"speedup\": {:.3}}},\n",
+            "    \"state_code\": {{\"siphash_median_ns\": {}, \"fxhash_median_ns\": {}, \"speedup\": {:.3}}}\n",
+            "  }},\n"
+        ),
+        hasher_ns[0],
+        hasher_ns[1],
+        ratio(hasher_ns[0], hasher_ns[1]),
+        hasher_ns[2],
+        hasher_ns[3],
+        ratio(hasher_ns[2], hasher_ns[3]),
+    ));
+    s.push_str("  \"per_circuit\": [\n");
+    let rows: Vec<String> = baseline
+        .circuits
+        .iter()
+        .map(|(name, states, clean, total, _)| {
+            format!(
+                "    {{\"name\": \"{name}\", \"states\": {states}, \"clean_trials\": {clean}, \"trials\": {total}}}"
+            )
+        })
+        .collect();
+    s.push_str(&rows.join(",\n"));
+    s.push_str("\n  ]\n}\n");
+    s
+}

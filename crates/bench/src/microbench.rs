@@ -1,0 +1,116 @@
+//! A tiny std-`Instant` micro-benchmark harness.
+//!
+//! Criterion cannot be fetched in hermetic builds, so the `[[bench]]`
+//! targets of this crate are plain `harness = false` binaries built on this
+//! module: adaptive iteration-count calibration, a fixed measurement budget,
+//! and median-of-samples reporting. Good enough to rank kernels and catch
+//! regressions of 2× and up; not a statistics suite.
+
+use std::time::{Duration, Instant};
+
+/// One measured benchmark case.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Case name, e.g. `table2/nshot/chu133`.
+    pub name: String,
+    /// Median wall time per iteration.
+    pub median: Duration,
+    /// Minimum wall time per iteration (the least-noise estimate).
+    pub min: Duration,
+    /// Iterations executed per sample.
+    pub iters_per_sample: u32,
+    /// Number of samples taken.
+    pub samples: u32,
+}
+
+impl Measurement {
+    /// Median nanoseconds per iteration.
+    pub fn median_ns(&self) -> u128 {
+        self.median.as_nanos()
+    }
+}
+
+/// Render one measurement line, criterion-style.
+pub fn report(m: &Measurement) -> String {
+    let pretty = |d: Duration| {
+        let ns = d.as_nanos();
+        if ns < 10_000 {
+            format!("{ns} ns")
+        } else if ns < 10_000_000 {
+            format!("{:.2} µs", ns as f64 / 1e3)
+        } else if ns < 10_000_000_000 {
+            format!("{:.2} ms", ns as f64 / 1e6)
+        } else {
+            format!("{:.2} s", ns as f64 / 1e9)
+        }
+    };
+    format!(
+        "{:<42} median {:>10}   min {:>10}   ({} samples × {} iters)",
+        m.name,
+        pretty(m.median),
+        pretty(m.min),
+        m.samples,
+        m.iters_per_sample
+    )
+}
+
+/// Measurement budget per case. `NSHOT_BENCH_MS` overrides (milliseconds) —
+/// the CI smoke run sets it low, interactive runs may raise it.
+fn budget() -> Duration {
+    let ms = std::env::var("NSHOT_BENCH_MS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(300);
+    Duration::from_millis(ms)
+}
+
+/// Measure `f`, printing the result line, and return the measurement.
+///
+/// Calibrates the per-sample iteration count so one sample costs roughly a
+/// tenth of the budget, then samples until the budget is exhausted (at least
+/// 3 samples).
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> Measurement {
+    let budget = budget();
+
+    // Calibrate: run once, derive iterations per sample.
+    let t0 = Instant::now();
+    std::hint::black_box(f());
+    let once = t0.elapsed().max(Duration::from_nanos(1));
+    let per_sample = budget.as_nanos() / 10 / once.as_nanos().max(1);
+    let iters: u32 = per_sample.clamp(1, 10_000) as u32;
+
+    let mut samples = Vec::new();
+    let started = Instant::now();
+    while samples.len() < 3 || (started.elapsed() < budget && samples.len() < 200) {
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        samples.push(t.elapsed() / iters);
+    }
+    samples.sort_unstable();
+    let m = Measurement {
+        name: name.to_owned(),
+        median: samples[samples.len() / 2],
+        min: samples[0],
+        iters_per_sample: iters,
+        samples: samples.len() as u32,
+    };
+    println!("{}", report(&m));
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        std::env::set_var("NSHOT_BENCH_MS", "10");
+        let m = bench("smoke/noop", || std::hint::black_box(2 + 2));
+        assert!(m.samples >= 3);
+        assert!(m.min <= m.median);
+        assert!(report(&m).contains("smoke/noop"));
+        std::env::remove_var("NSHOT_BENCH_MS");
+    }
+}

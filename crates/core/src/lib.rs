@@ -71,5 +71,5 @@ pub use verify::verify_covers;
 
 #[cfg(test)]
 mod fixtures;
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests;

@@ -15,7 +15,7 @@ use crate::error::SynthesisError;
 use crate::init::{init_plan, InitPlan};
 use crate::trigger::{check_trigger_requirement, TriggerCertificate};
 use crate::verify::verify_covers;
-use nshot_logic::{espresso, minimize_exact, Cover};
+use nshot_logic::{espresso_cached, minimize_exact, Cover};
 use nshot_netlist::{DelayModel, Netlist};
 use nshot_sg::{Dir, SignalId, StateGraph};
 
@@ -162,41 +162,65 @@ pub fn synthesize(
         _ => None,
     };
 
+    // Per-signal minimize → trigger-check → init-plan chains are mutually
+    // independent (Section IV, Table 1): fan them out over the worker pool.
+    // Results are merged back in signal order below, and each chain is a
+    // deterministic function of (sg, spec), so the outcome — including which
+    // error surfaces when several signals fail — is byte-identical to the
+    // sequential loop at any thread count.
+    type PerSignal = (
+        SignalId,
+        Cover,
+        Cover,
+        Vec<TriggerCertificate>,
+        InitPlan,
+    );
+    let indexed: Vec<(usize, &SetResetSpec)> = specs.iter().enumerate().collect();
+    let results: Vec<Result<PerSignal, SynthesisError>> =
+        nshot_par::par_map(&indexed, |&(i, spec)| {
+            let a = spec.signal;
+            let (mut set_cover, mut reset_cover) = match options.minimizer {
+                Minimizer::Heuristic => {
+                    (espresso_cached(&spec.set), espresso_cached(&spec.reset))
+                }
+                Minimizer::Exact => {
+                    (minimize_exact(&spec.set)?, minimize_exact(&spec.reset)?)
+                }
+                Minimizer::MultiOutput => {
+                    let m = multi.as_ref().expect("computed above");
+                    (m.cover_for(2 * i), m.cover_for(2 * i + 1))
+                }
+            };
+
+            // Theorem 1: one trigger cube per trigger region.
+            let regions = sg.regions_of(a);
+            let mut triggers = Vec::new();
+            for (dir, function, cover) in [
+                (Dir::Rise, &spec.set, &mut set_cover),
+                (Dir::Fall, &spec.reset, &mut reset_cover),
+            ] {
+                let certs = check_trigger_requirement(sg, &regions, dir, function, cover)
+                    .map_err(|states| SynthesisError::TriggerRequirement {
+                        signal: sg.signal_name(a).to_owned(),
+                        states,
+                    })?;
+                triggers.extend(certs);
+            }
+
+            debug_assert_eq!(
+                verify_covers(sg, a, &set_cover, &reset_cover),
+                Ok(()),
+                "covers must satisfy Table 1"
+            );
+
+            let init = init_plan(sg, a, &set_cover, &reset_cover);
+            Ok((a, set_cover, reset_cover, triggers, init))
+        });
+
     let mut covers = Vec::new();
     let mut per_signal = Vec::new();
-    for (i, spec) in specs.iter().enumerate() {
-        let a = spec.signal;
-        let (mut set_cover, mut reset_cover) = match options.minimizer {
-            Minimizer::Heuristic => (espresso(&spec.set), espresso(&spec.reset)),
-            Minimizer::Exact => (minimize_exact(&spec.set)?, minimize_exact(&spec.reset)?),
-            Minimizer::MultiOutput => {
-                let m = multi.as_ref().expect("computed above");
-                (m.cover_for(2 * i), m.cover_for(2 * i + 1))
-            }
-        };
-
-        // Theorem 1: one trigger cube per trigger region.
-        let regions = sg.regions_of(a);
-        let mut triggers = Vec::new();
-        for (dir, function, cover) in [
-            (Dir::Rise, &spec.set, &mut set_cover),
-            (Dir::Fall, &spec.reset, &mut reset_cover),
-        ] {
-            let certs = check_trigger_requirement(sg, &regions, dir, function, cover)
-                .map_err(|states| SynthesisError::TriggerRequirement {
-                    signal: sg.signal_name(a).to_owned(),
-                    states,
-                })?;
-            triggers.extend(certs);
-        }
-
-        debug_assert_eq!(
-            verify_covers(sg, a, &set_cover, &reset_cover),
-            Ok(()),
-            "covers must satisfy Table 1"
-        );
-
-        let init = init_plan(sg, a, &set_cover, &reset_cover);
+    for result in results {
+        let (a, set_cover, reset_cover, triggers, init) = result?;
         per_signal.push((a, triggers, init));
         covers.push((a, set_cover, reset_cover));
     }

@@ -1,0 +1,236 @@
+//! Memoized two-level minimization.
+//!
+//! The set/reset functions derived from state graphs repeat heavily: mirror
+//! signals inside one specification (parallel handshakes, pipeline stages)
+//! and across the benchmark suite produce byte-identical (ON, DC) pairs, and
+//! minimization dominates synthesis runtime. This module caches minimized
+//! covers process-wide, keyed by a **canonical encoding** of the function —
+//! the sorted cube lists of the ON- and DC-sets — so a hit is independent of
+//! the order in which cubes were derived, and a partially constructed or
+//! "poisoned" entry is impossible by construction: values are inserted
+//! complete, under a mutex, and are pure functions of their key.
+//!
+//! Determinism: on a miss the minimizer runs on the *canonicalized* function
+//! (cubes of ON, DC and OFF sorted), so the cover stored — and every cover
+//! ever returned for that key, from any thread, in any order — is the same.
+//! This is what makes the parallel synthesis pipeline byte-identical across
+//! thread counts even though the cache population order changes.
+
+use crate::{espresso, Cover, Cube, Function};
+use nshot_par::FxHashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Hit/miss counters of the global cover cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Calls answered from the cache.
+    pub hits: u64,
+    /// Calls that ran the minimizer.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0 when no lookups were made).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static CACHE: Mutex<Option<FxHashMap<Vec<u64>, Cover>>> = Mutex::new(None);
+
+/// Sorted copy of a cover's cubes (the canonical cube list).
+fn sorted_cubes(cover: &Cover) -> Vec<Cube> {
+    let mut cubes: Vec<Cube> = cover.iter().cloned().collect();
+    cubes.sort_unstable();
+    cubes
+}
+
+/// Canonical key: `[num_vars, |ON|, ON words…, |DC|, DC words…]`. The word
+/// count per cube is fixed by `num_vars`, so the encoding is unambiguous,
+/// and the full key is stored (not just a hash) — collisions cannot poison
+/// the cache.
+fn canonical_key(num_vars: usize, on: &[Cube], dc: &[Cube]) -> Vec<u64> {
+    let mut key = Vec::with_capacity(2 + (on.len() + dc.len()) * 2);
+    key.push(num_vars as u64);
+    for list in [on, dc] {
+        key.push(list.len() as u64);
+        for cube in list {
+            key.extend_from_slice(cube.words());
+        }
+    }
+    key
+}
+
+/// Like [`espresso`], but memoized process-wide on the canonical (ON, DC)
+/// encoding.
+///
+/// On a miss the heuristic minimizer runs on the canonicalized function and
+/// the resulting cover is cached; on a hit the cached cover is cloned. The
+/// returned cover implements `f` either way, and for a fixed (ON, DC) pair
+/// the result is identical across calls, threads, and thread counts.
+pub fn espresso_cached(f: &Function) -> Cover {
+    let on = sorted_cubes(f.on_set());
+    let dc = sorted_cubes(f.dc_set());
+    let key = canonical_key(f.num_vars(), &on, &dc);
+
+    if let Some(cover) = CACHE
+        .lock()
+        .expect("cover cache poisoned")
+        .get_or_insert_with(FxHashMap::default)
+        .get(&key)
+        .cloned()
+    {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        return cover;
+    }
+
+    // Minimize outside the lock (this is the expensive part — holding the
+    // mutex here would serialize the whole point of the parallel pipeline).
+    // A concurrent miss on the same key just recomputes the same cover.
+    let canonical = Function::with_off(
+        Cover::from_cubes(f.num_vars(), on),
+        Cover::from_cubes(f.num_vars(), dc),
+        Cover::from_cubes(f.num_vars(), sorted_cubes(f.off_set())),
+    );
+    let cover = espresso(&canonical);
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    CACHE
+        .lock()
+        .expect("cover cache poisoned")
+        .get_or_insert_with(FxHashMap::default)
+        .insert(key, cover.clone());
+    cover
+}
+
+/// Current global hit/miss counters.
+pub fn cache_stats() -> CacheStats {
+    CacheStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+    }
+}
+
+/// Number of cached covers.
+pub fn cache_len() -> usize {
+    CACHE
+        .lock()
+        .expect("cover cache poisoned")
+        .as_ref()
+        .map_or(0, FxHashMap::len)
+}
+
+/// Clear the cache and reset the counters (benchmark isolation).
+pub fn reset_cache() {
+    let mut guard = CACHE.lock().expect("cover cache poisoned");
+    *guard = None;
+    HITS.store(0, Ordering::Relaxed);
+    MISSES.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The cache is process-global; serialize the tests that reset it.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn toggle(num_vars: usize, on: &[u64], dc: &[u64]) -> Function {
+        Function::new(
+            Cover::from_minterms(num_vars, on),
+            Cover::from_minterms(num_vars, dc),
+        )
+    }
+
+    #[test]
+    fn hit_equals_fresh_run() {
+        let _l = TEST_LOCK.lock().unwrap();
+        reset_cache();
+        let f = toggle(3, &[0b111, 0b110], &[0b001]);
+        let fresh = espresso_cached(&f); // miss
+        let hit = espresso_cached(&f); // hit
+        assert_eq!(fresh, hit);
+        assert!(f.is_implemented_by(&hit));
+        let stats = cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(cache_len(), 1);
+    }
+
+    #[test]
+    fn cube_order_does_not_split_entries() {
+        let _l = TEST_LOCK.lock().unwrap();
+        reset_cache();
+        // The same function with the ON cubes derived in opposite orders.
+        let a = Function::new(
+            Cover::from_minterms(4, &[3, 7, 11]),
+            Cover::empty(4),
+        );
+        let b = Function::new(
+            Cover::from_minterms(4, &[11, 3, 7]),
+            Cover::empty(4),
+        );
+        let ca = espresso_cached(&a);
+        let cb = espresso_cached(&b);
+        assert_eq!(ca, cb, "canonicalization must collapse cube orderings");
+        assert_eq!(cache_len(), 1);
+        assert_eq!(cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn distinct_functions_do_not_collide() {
+        let _l = TEST_LOCK.lock().unwrap();
+        reset_cache();
+        // Same ON set, different DC sets — must be distinct entries.
+        let a = toggle(3, &[0b101], &[]);
+        let b = toggle(3, &[0b101], &[0b100]);
+        let ca = espresso_cached(&a);
+        let cb = espresso_cached(&b);
+        assert!(a.is_implemented_by(&ca));
+        assert!(b.is_implemented_by(&cb));
+        assert_eq!(cache_len(), 2);
+        assert_eq!(cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn counters_under_concurrent_access() {
+        let _l = TEST_LOCK.lock().unwrap();
+        reset_cache();
+        let functions: Vec<Function> =
+            (0..8u64).map(|i| toggle(4, &[i, i + 8], &[])).collect();
+        let baseline: Vec<Cover> = functions.iter().map(espresso_cached).collect();
+        let before = cache_stats();
+        assert_eq!(before.misses, 8);
+
+        // 4 threads × 8 functions, all hits, all equal to the baseline.
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for (f, expect) in functions.iter().zip(&baseline) {
+                        assert_eq!(&espresso_cached(f), expect);
+                    }
+                });
+            }
+        });
+        let after = cache_stats();
+        assert_eq!(after.misses, 8, "no recomputation after warm-up");
+        assert_eq!(after.hits, before.hits + 4 * 8);
+        assert_eq!(cache_len(), 8);
+    }
+
+    #[test]
+    fn empty_on_set_is_cached_too() {
+        let _l = TEST_LOCK.lock().unwrap();
+        reset_cache();
+        let f = Function::new(Cover::empty(2), Cover::from_minterms(2, &[1]));
+        assert!(espresso_cached(&f).is_empty());
+        assert!(espresso_cached(&f).is_empty());
+        assert_eq!(cache_stats().hits, 1);
+    }
+}

@@ -37,7 +37,7 @@ pub enum Polarity {
 /// assert!(!ab.contains_minterm(0b011));
 /// assert_eq!(ab.literal_count(), 2);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Cube {
     words: Vec<u64>,
     num_vars: usize,
@@ -98,6 +98,12 @@ impl Cube {
             cube.set(var, value);
         }
         cube
+    }
+
+    /// The packed positional-cube words (two bits per variable). Used by the
+    /// memoization cache to build canonical keys.
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
     }
 
     /// Number of variables of the space this cube lives in.

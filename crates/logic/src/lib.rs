@@ -34,6 +34,7 @@
 //! assert_eq!(cover.literal_count(), 1);
 //! ```
 
+mod cache;
 mod cover;
 mod cube;
 mod error;
@@ -43,6 +44,7 @@ mod function;
 mod multi;
 mod pla;
 
+pub use cache::{cache_len, cache_stats, espresso_cached, reset_cache, CacheStats};
 pub use cover::Cover;
 pub use cube::{Cube, Polarity};
 pub use error::LogicError;
@@ -52,5 +54,5 @@ pub use function::Function;
 pub use multi::{espresso_multi, MultiCover};
 pub use pla::{parse_pla, ParsePlaError};
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests;

@@ -1,0 +1,220 @@
+//! Scoped, chunked, order-preserving parallel map.
+//!
+//! No persistent pool: workers are scoped threads spawned per call, which
+//! keeps the API dependency-free and panic-safe (a panicking worker aborts
+//! the whole `par_map`, exactly like a panic in a sequential loop). Work is
+//! handed out in chunks through a shared atomic cursor, so load imbalance
+//! between items (minimization time varies wildly per signal) is absorbed
+//! without any channel machinery. Results are written back by index, so the
+//! output order is the input order — callers can rely on byte-identical
+//! results regardless of the thread count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global thread-count override (0 = none). Takes precedence over the
+/// `NSHOT_THREADS` environment variable; used by benchmarks and determinism
+/// tests to pin the level of parallelism without mutating the environment.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Pin the worker count for subsequent [`par_map`] calls (`None` clears the
+/// override). Returns the previous override.
+pub fn set_thread_override(n: Option<usize>) -> Option<usize> {
+    let prev = THREAD_OVERRIDE.swap(n.unwrap_or(0), Ordering::SeqCst);
+    (prev != 0).then_some(prev)
+}
+
+/// The current override, if any.
+pub fn thread_override() -> Option<usize> {
+    let n = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    (n != 0).then_some(n)
+}
+
+/// RAII guard pinning the thread count for a scope (tests, benchmarks).
+///
+/// Restores the previous override on drop.
+#[derive(Debug)]
+pub struct ThreadGuard {
+    prev: Option<usize>,
+}
+
+impl ThreadGuard {
+    /// Pin [`num_threads`] to `n` until the guard is dropped.
+    pub fn pin(n: usize) -> Self {
+        ThreadGuard {
+            prev: set_thread_override(Some(n)),
+        }
+    }
+}
+
+impl Drop for ThreadGuard {
+    fn drop(&mut self) {
+        set_thread_override(self.prev);
+    }
+}
+
+/// Worker count used by [`par_map`]: the programmatic override if set, else
+/// the `NSHOT_THREADS` environment variable, else
+/// [`std::thread::available_parallelism`]. Always at least 1.
+pub fn num_threads() -> usize {
+    if let Some(n) = thread_override() {
+        return n.max(1);
+    }
+    if let Ok(s) = std::env::var("NSHOT_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Chunk size for the shared work cursor: small enough to balance skewed
+/// item costs, large enough to amortize the atomic increment.
+fn chunk_size(len: usize, workers: usize) -> usize {
+    // Aim for ~4 chunks per worker so slow items don't serialize the tail.
+    (len / (workers * 4)).max(1)
+}
+
+/// Apply `f` to every item of `items` in parallel, returning the results in
+/// input order.
+///
+/// Spawns up to [`num_threads`] scoped workers (never more than there are
+/// items); with one worker, or one item, runs inline with zero overhead.
+/// The mapping is deterministic: output `i` is always `f(&items[i])`, and
+/// `f` must itself be deterministic for cross-thread-count reproducibility
+/// (all callers in this workspace derive any randomness from per-item
+/// seeds, never from scheduling).
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = num_threads().min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let chunk = chunk_size(items.len(), workers);
+    let mut collected: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= items.len() {
+                            break;
+                        }
+                        let end = (start + chunk).min(items.len());
+                        for (i, item) in items[start..end].iter().enumerate() {
+                            local.push((start + i, f(item)));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par_map worker panicked"))
+            .collect()
+    });
+
+    // Reassemble in input order.
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for batch in collected.drain(..) {
+        for (i, r) in batch {
+            debug_assert!(slots[i].is_none(), "index {i} produced twice");
+            slots[i] = Some(r);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("every index produced exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// The override is process-global; serialize the tests that pin it.
+    static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn preserves_input_order() {
+        let _l = OVERRIDE_LOCK.lock().unwrap();
+        let items: Vec<u64> = (0..1000).collect();
+        let _g = ThreadGuard::pin(8);
+        let out = par_map(&items, |&x| x * x);
+        assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let _l = OVERRIDE_LOCK.lock().unwrap();
+        let items: Vec<u64> = (0..257).collect();
+        let run = |n: usize| {
+            let _g = ThreadGuard::pin(n);
+            par_map(&items, |&x| x.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 7)
+        };
+        let base = run(1);
+        for n in [2, 3, 8, 16] {
+            assert_eq!(run(n), base, "thread count {n}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn override_beats_env() {
+        let _l = OVERRIDE_LOCK.lock().unwrap();
+        let _g = ThreadGuard::pin(3);
+        assert_eq!(num_threads(), 3);
+    }
+
+    #[test]
+    fn guard_restores_previous() {
+        let _l = OVERRIDE_LOCK.lock().unwrap();
+        let outer = ThreadGuard::pin(5);
+        {
+            let _inner = ThreadGuard::pin(2);
+            assert_eq!(num_threads(), 2);
+        }
+        assert_eq!(num_threads(), 5);
+        drop(outer);
+    }
+
+    #[test]
+    fn uneven_work_is_balanced() {
+        let _l = OVERRIDE_LOCK.lock().unwrap();
+        // Items with wildly different costs still come back in order.
+        let items: Vec<u64> = (0..64).collect();
+        let _g = ThreadGuard::pin(4);
+        let out = par_map(&items, |&x| {
+            let mut acc = x;
+            for _ in 0..(x % 7) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (x, acc)
+        });
+        for (i, (x, _)) in out.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
+    }
+}

@@ -3,7 +3,7 @@
 use crate::error::SgError;
 use crate::graph::{SignalInfo, StateData, StateGraph, StateId};
 use crate::signal::{Dir, SignalId, SignalKind, TransitionLabel};
-use std::collections::HashMap;
+use nshot_par::FxHashMap;
 
 /// Builder for [`StateGraph`]s with code-addressed states.
 ///
@@ -37,7 +37,7 @@ pub struct SgBuilder {
     name: String,
     signals: Vec<SignalInfo>,
     states: Vec<StateData>,
-    by_code: HashMap<u64, StateId>,
+    by_code: FxHashMap<u64, StateId>,
 }
 
 impl SgBuilder {

@@ -2,7 +2,7 @@
 
 use crate::graph::{StateGraph, StateId};
 use crate::signal::{SignalId, TransitionLabel};
-use std::collections::HashMap;
+use nshot_par::FxHashMap;
 
 /// Witness of a Complete State Coding violation (Definition 1): two reachable
 /// states share a binary code but differ in their excited non-input signals.
@@ -36,7 +36,7 @@ impl StateGraph {
     ///
     /// Returns the list of violating state pairs if CSC does not hold.
     pub fn check_csc(&self) -> Result<(), Vec<CscViolation>> {
-        let mut by_code: HashMap<u64, Vec<StateId>> = HashMap::new();
+        let mut by_code: FxHashMap<u64, Vec<StateId>> = FxHashMap::default();
         for s in self.reachable() {
             by_code.entry(self.code(s)).or_default().push(s);
         }

@@ -1,7 +1,7 @@
 //! The state graph automaton.
 
 use crate::signal::{Dir, SignalId, SignalKind, TransitionLabel};
-use std::collections::HashSet;
+use nshot_par::FxHashSet;
 use std::fmt;
 
 /// Index of a state within a [`StateGraph`].
@@ -186,7 +186,7 @@ impl StateGraph {
     /// The set of binary codes used by reachable states. The complement of
     /// this set (over `2^num_signals`) is the unreachable-code don't-care
     /// space exploited by the synthesis flow.
-    pub fn reachable_codes(&self) -> HashSet<u64> {
+    pub fn reachable_codes(&self) -> FxHashSet<u64> {
         self.reachable().into_iter().map(|s| self.code(s)).collect()
     }
 

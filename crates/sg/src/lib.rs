@@ -58,5 +58,5 @@ pub use signal::{Dir, SignalId, SignalKind, TransitionLabel};
 
 #[cfg(test)]
 mod fixtures;
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests;

@@ -14,8 +14,7 @@ use crate::engine::{SimConfig, Simulator};
 use nshot_core::NshotImplementation;
 use nshot_netlist::NetId;
 use nshot_sg::{Dir, SignalId, StateGraph, TransitionLabel};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nshot_par::SmallRng;
 use std::collections::HashMap;
 
 /// An observed violation of external hazard-freeness.
@@ -139,7 +138,7 @@ fn run_conformance(
     mut trace: Option<&mut crate::Waveform>,
 ) -> ConformanceReport {
     let nl = &implementation.netlist;
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5EED);
+    let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x5EED);
 
     // Map signals to nets.
     let mut net_of_signal: HashMap<SignalId, NetId> = HashMap::new();
@@ -187,7 +186,7 @@ fn run_conformance(
     let mut violations = Vec::new();
 
     let schedule_next_input =
-        |sim: &mut Simulator<'_>, state: nshot_sg::StateId, rng: &mut StdRng| -> Option<SignalId> {
+        |sim: &mut Simulator<'_>, state: nshot_sg::StateId, rng: &mut SmallRng| -> Option<SignalId> {
             let enabled: Vec<(TransitionLabel, nshot_sg::StateId)> = sg
                 .successors(state)
                 .iter()
@@ -197,8 +196,8 @@ fn run_conformance(
             if enabled.is_empty() {
                 return None;
             }
-            let (label, _) = enabled[rng.gen_range(0..enabled.len())];
-            let delay = rng.gen_range(config.input_delay_ps.0..=config.input_delay_ps.1);
+            let (label, _) = enabled[rng.gen_index(enabled.len())];
+            let delay = rng.gen_range_u64(config.input_delay_ps.0, config.input_delay_ps.1);
             sim.schedule_input(
                 net_of_signal[&label.signal],
                 label.dir.target_value(),
@@ -280,22 +279,37 @@ fn run_conformance(
     }
 }
 
+/// The derived seed of trial `i` (the schedule is part of the public
+/// contract: parallel and sequential runs use the identical seeds).
+fn trial_seed(base: u64, i: usize) -> u64 {
+    base.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9)
+}
+
 /// Run `trials` independent conformance trials with derived seeds.
+///
+/// Trials fan out across [`nshot_par::num_threads`] worker threads; each
+/// trial's RNG is seeded purely from its index, and the reports are folded
+/// in trial order, so clean/hazard counts and the `first_failure` report are
+/// byte-identical to a sequential run regardless of the thread count.
 pub fn monte_carlo(
     sg: &StateGraph,
     implementation: &NshotImplementation,
     base: &ConformanceConfig,
     trials: usize,
 ) -> MonteCarloSummary {
+    let indices: Vec<usize> = (0..trials).collect();
+    let reports = nshot_par::par_map(&indices, |&i| {
+        let config = ConformanceConfig {
+            seed: trial_seed(base.seed, i),
+            ..base.clone()
+        };
+        check_conformance(sg, implementation, &config)
+    });
+
     let mut clean = 0;
     let mut total = 0;
     let mut first_failure = None;
-    for i in 0..trials {
-        let config = ConformanceConfig {
-            seed: base.seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9),
-            ..base.clone()
-        };
-        let report = check_conformance(sg, implementation, &config);
+    for report in reports {
         total += report.transitions;
         if report.is_hazard_free() {
             clean += 1;

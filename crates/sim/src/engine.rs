@@ -2,8 +2,7 @@
 
 use crate::mhs::{MhsAction, MhsCell};
 use nshot_netlist::{DelayModel, GateId, GateKind, NetId, Netlist};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nshot_par::SmallRng;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -82,7 +81,7 @@ impl<'a> Simulator<'a> {
     ///
     /// Panics if a needed source value is missing from `initial`.
     pub fn new(nl: &'a Netlist, config: &SimConfig, initial: &HashMap<NetId, bool>) -> Self {
-        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut rng = SmallRng::seed_from_u64(config.seed);
         let mut delays_ps = Vec::with_capacity(nl.num_gates());
         let mut mhs = HashMap::new();
         for g in nl.gate_ids() {
@@ -96,7 +95,7 @@ impl<'a> Simulator<'a> {
                     (lo, hi)
                 }
             };
-            let d = if hi > lo { rng.gen_range(lo..=hi) } else { lo };
+            let d = if hi > lo { rng.gen_range_f64(lo, hi) } else { lo };
             let d_ps = (d * 1000.0).round() as u64;
             delays_ps.push(d_ps);
             if matches!(kind, GateKind::MhsFlipFlop) {

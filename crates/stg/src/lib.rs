@@ -45,5 +45,5 @@ pub use error::StgError;
 pub use parse::parse_stg;
 pub use petri::{Marking, PlaceId, Stg, TransId};
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests;

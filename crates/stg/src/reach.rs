@@ -2,8 +2,9 @@
 
 use crate::error::StgError;
 use crate::petri::{Marking, Stg};
+use nshot_par::FxHashMap;
 use nshot_sg::{SgBuilder, StateGraph};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Default cap on the number of reachable markings.
 const DEFAULT_STATE_CAP: usize = 500_000;
@@ -36,7 +37,10 @@ impl Stg {
 
         // --- Phase 1: explore the marking graph.
         let m0 = self.initial_marking();
-        let mut index: HashMap<Marking, usize> = HashMap::new();
+        // Marking → index interning is the hottest map of the whole flow
+        // (one lookup per fired transition); FxHash beats SipHash here by a
+        // wide margin and markings are never adversarial.
+        let mut index: FxHashMap<Marking, usize> = FxHashMap::default();
         let mut markings: Vec<Marking> = Vec::new();
         // Edge list: (from, transition signal, dir, to).
         let mut edges: Vec<(usize, usize, nshot_sg::Dir, usize)> = Vec::new();

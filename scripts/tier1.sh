@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate: hermetic build, full test suite, and a 2-circuit smoke run.
+# Must pass with no network access — the workspace has zero external deps.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== tier1: build (release, offline) =="
+cargo build --release --workspace
+
+echo "== tier1: tests =="
+cargo test --release --workspace -q
+
+echo "== tier1: 2-circuit smoke (synth + validate) =="
+cargo run --release --bin assassin -- bench chu133
+cargo run --release --bin assassin -- bench full
+
+echo "tier1: OK"

@@ -1,0 +1,125 @@
+//! Cross-thread-count determinism of the parallel pipeline.
+//!
+//! The `nshot-par` worker pool promises byte-identical results at any thread
+//! count: `synthesize` fans out per-signal minimization and `monte_carlo`
+//! fans out trials, but both reassemble results in input order and derive
+//! all randomness from per-item seeds. These tests pin the pool to 1 and 8
+//! workers and require identical output, including with a pre-populated
+//! minimizer cache (a cache hit must be indistinguishable from a fresh
+//! espresso run regardless of which thread populated the entry).
+
+use std::sync::Mutex;
+
+use nshot_core::{synthesize, SynthesisOptions};
+use nshot_logic::reset_cache;
+use nshot_par::ThreadGuard;
+use nshot_sim::{monte_carlo, ConformanceConfig};
+
+/// Serializes tests that pin the process-global thread override.
+static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+const CIRCUITS: &[&str] = &["chu133", "full", "pmcm1", "sbuf-send-ctl"];
+
+/// Everything observable about a synthesized implementation, rendered to a
+/// comparable string (covers, trigger certificates, delay requirements,
+/// netlist, area/delay figures).
+fn synthesis_digest(name: &str) -> String {
+    let sg = nshot_benchmarks::by_name(name).expect("in suite").build();
+    let imp = synthesize(&sg, &SynthesisOptions::default()).expect("synthesizes");
+    format!("{imp:?}")
+}
+
+#[test]
+fn synthesize_is_identical_at_1_and_8_threads() {
+    let _lock = OVERRIDE_LOCK.lock().unwrap();
+    for name in CIRCUITS {
+        let serial = {
+            let _g = ThreadGuard::pin(1);
+            reset_cache();
+            synthesis_digest(name)
+        };
+        let parallel = {
+            let _g = ThreadGuard::pin(8);
+            reset_cache();
+            synthesis_digest(name)
+        };
+        assert_eq!(serial, parallel, "{name}: thread count changed the result");
+    }
+}
+
+#[test]
+fn warm_cache_does_not_change_results() {
+    let _lock = OVERRIDE_LOCK.lock().unwrap();
+    let cold: Vec<String> = {
+        let _g = ThreadGuard::pin(8);
+        CIRCUITS
+            .iter()
+            .map(|name| {
+                reset_cache();
+                synthesis_digest(name)
+            })
+            .collect()
+    };
+    // One warm pass over all circuits: every signal's minimization now hits
+    // entries populated in arbitrary order by earlier parallel runs.
+    let warm: Vec<String> = {
+        let _g = ThreadGuard::pin(8);
+        reset_cache();
+        for name in CIRCUITS {
+            let _ = synthesis_digest(name);
+        }
+        CIRCUITS.iter().map(|name| synthesis_digest(name)).collect()
+    };
+    assert_eq!(cold, warm, "cache warmth changed synthesis output");
+}
+
+#[test]
+fn monte_carlo_counts_match_across_thread_counts() {
+    let _lock = OVERRIDE_LOCK.lock().unwrap();
+    for name in &["chu133", "full", "ebergen"] {
+        let sg = nshot_benchmarks::by_name(name).expect("in suite").build();
+        let imp = {
+            let _g = ThreadGuard::pin(1);
+            reset_cache();
+            synthesize(&sg, &SynthesisOptions::default()).expect("synthesizes")
+        };
+        let config = ConformanceConfig::default();
+        let serial = {
+            let _g = ThreadGuard::pin(1);
+            monte_carlo(&sg, &imp, &config, 12)
+        };
+        let parallel = {
+            let _g = ThreadGuard::pin(8);
+            monte_carlo(&sg, &imp, &config, 12)
+        };
+        assert_eq!(serial.trials, parallel.trials, "{name}");
+        assert_eq!(serial.clean_trials, parallel.clean_trials, "{name}");
+        assert_eq!(
+            serial.total_transitions, parallel.total_transitions,
+            "{name}: trial seed schedule not preserved"
+        );
+        assert_eq!(
+            format!("{:?}", serial.first_failure),
+            format!("{:?}", parallel.first_failure),
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn nshot_threads_env_is_respected_by_default_sizing() {
+    let _lock = OVERRIDE_LOCK.lock().unwrap();
+    // With no override pinned, NSHOT_THREADS drives the pool size.
+    assert_eq!(nshot_par::thread_override(), None);
+    std::env::set_var("NSHOT_THREADS", "3");
+    assert_eq!(nshot_par::num_threads(), 3);
+    std::env::remove_var("NSHOT_THREADS");
+    // And a pinned override wins over the environment.
+    std::env::set_var("NSHOT_THREADS", "5");
+    {
+        let _g = ThreadGuard::pin(2);
+        assert_eq!(nshot_par::num_threads(), 2);
+    }
+    assert_eq!(nshot_par::num_threads(), 5);
+    std::env::remove_var("NSHOT_THREADS");
+}
