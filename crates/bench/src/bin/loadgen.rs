@@ -1,0 +1,405 @@
+//! `loadgen` — replay the 25-circuit Table 2 suite against the synthesis
+//! service and report throughput, latency, cache and backpressure numbers.
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT] [--concurrency N] [--passes N]
+//!         [--circuits a,b,c] [--format blif|verilog|none]
+//!         [--out PATH] [--no-shutdown]
+//! ```
+//!
+//! Without `--addr` the generator spawns the server in-process on an
+//! ephemeral loopback port (the reproducible, CI-friendly mode). Each of
+//! the N client connections replays every circuit once per pass, starting
+//! at a rotated offset so the interleavings differ. Every response is
+//! checked against a locally computed `synthesize` call — a mismatch is a
+//! protocol error and fails the run. The summary (throughput, latency
+//! percentiles from the merged per-client histograms, cache hit rate,
+//! reject count) lands in `BENCH_server.json`.
+
+use nshot_core::{synthesize, SynthesisOptions};
+use nshot_server::{json, Json, LatencyHistogram, Server, ServerConfig};
+use std::io::{BufRead, BufReader, Write as IoWrite};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+struct Options {
+    addr: Option<String>,
+    concurrency: usize,
+    passes: usize,
+    circuits: Option<Vec<String>>,
+    format: String,
+    out: String,
+    shutdown: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            addr: None,
+            concurrency: 8,
+            passes: 2,
+            circuits: None,
+            format: "blif".into(),
+            out: "BENCH_server.json".into(),
+            shutdown: true,
+        }
+    }
+}
+
+/// Per-client tally, merged after the run.
+#[derive(Default)]
+struct ClientReport {
+    ok: u64,
+    rejected: u64,
+    protocol_errors: Vec<String>,
+    cache_hits: u64,
+    latency: LatencyHistogram,
+}
+
+fn main() -> std::process::ExitCode {
+    match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("loadgen: {msg}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => opts.addr = Some(value("--addr")?),
+            "--concurrency" => {
+                opts.concurrency = value("--concurrency")?
+                    .parse()
+                    .map_err(|_| "--concurrency must be an integer".to_string())?;
+            }
+            "--passes" => {
+                opts.passes = value("--passes")?
+                    .parse()
+                    .map_err(|_| "--passes must be an integer".to_string())?;
+            }
+            "--circuits" => {
+                opts.circuits =
+                    Some(value("--circuits")?.split(',').map(str::to_owned).collect());
+            }
+            "--format" => opts.format = value("--format")?,
+            "--out" => opts.out = value("--out")?,
+            "--no-shutdown" => opts.shutdown = false,
+            "--help" | "-h" => {
+                println!(
+                    "usage: loadgen [--addr HOST:PORT] [--concurrency N] [--passes N] \
+                     [--circuits a,b,c] [--format blif|verilog|none] [--out PATH] \
+                     [--no-shutdown]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if opts.concurrency == 0 || opts.passes == 0 {
+        return Err("--concurrency and --passes must be at least 1".into());
+    }
+    Ok(opts)
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let opts = parse_args(args)?;
+
+    // The workload: the full Table 2 suite unless a subset was requested.
+    let suite = nshot_benchmarks::suite();
+    let names: Vec<String> = match &opts.circuits {
+        Some(list) => list.clone(),
+        None => suite.iter().map(|b| b.name.to_owned()).collect(),
+    };
+    let specs: Vec<(String, String)> = names
+        .iter()
+        .map(|n| {
+            nshot_benchmarks::by_name(n)
+                .map(|b| (n.clone(), b.build().to_text()))
+                .ok_or_else(|| format!("unknown circuit '{n}'"))
+        })
+        .collect::<Result<_, _>>()?;
+
+    // Ground truth for the byte-identity check, computed once up front.
+    let expected: Vec<String> = specs
+        .iter()
+        .map(|(name, spec)| {
+            let sg = nshot_sg::parse_sg(spec).map_err(|e| format!("{name}: {e}"))?;
+            let imp = synthesize(&sg, &SynthesisOptions::default())
+                .map_err(|e| format!("{name}: {e}"))?;
+            Ok(match opts.format.as_str() {
+                "blif" => imp.netlist.to_blif(),
+                "verilog" => imp.netlist.to_verilog(),
+                "none" => String::new(),
+                other => return Err(format!("unknown format '{other}'")),
+            })
+        })
+        .collect::<Result<_, _>>()?;
+
+    // Target service: external, or spawned in-process on an ephemeral port.
+    let (server, addr): (Option<Server>, SocketAddr) = match &opts.addr {
+        Some(a) => (
+            None,
+            a.parse().map_err(|_| format!("bad address '{a}'"))?,
+        ),
+        None => {
+            // No request deadline: the heavy suite circuits legitimately take
+            // minutes on a single shared core, and this harness measures
+            // throughput and byte-identity, not timeout behaviour.
+            let server = Server::bind(ServerConfig {
+                queue_cap: (opts.concurrency * 2).max(64),
+                timeout_ms: 0,
+                ..ServerConfig::default()
+            })
+            .map_err(|e| format!("bind: {e}"))?;
+            let addr = server.local_addr();
+            (Some(server), addr)
+        }
+    };
+    eprintln!(
+        "loadgen: {} clients x {} passes x {} circuits against {addr}",
+        opts.concurrency,
+        opts.passes,
+        specs.len()
+    );
+
+    let t0 = Instant::now();
+    let reports: Vec<ClientReport> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..opts.concurrency)
+            .map(|client| {
+                let specs = &specs;
+                let expected = &expected;
+                let opts = &opts;
+                s.spawn(move || client_loop(client, addr, specs, expected, opts))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Final service-side counters, then (optionally) a graceful shutdown.
+    let stats = request(addr, r#"{"id":"stats","op":"stats"}"#)?;
+    if opts.shutdown {
+        let ack = request(addr, r#"{"id":"ctl","op":"shutdown"}"#)?;
+        if ack.get("drained").and_then(Json::as_bool) != Some(true) {
+            return Err(format!("shutdown did not drain: {ack}"));
+        }
+    }
+    if let Some(server) = server {
+        if opts.shutdown {
+            server.wait();
+        } else {
+            server.shutdown();
+            server.wait();
+        }
+    }
+
+    // Merge the per-client tallies.
+    let mut latency = LatencyHistogram::default();
+    let mut ok = 0u64;
+    let mut rejected = 0u64;
+    let mut cache_hits = 0u64;
+    let mut protocol_errors: Vec<String> = Vec::new();
+    for r in reports {
+        latency.merge(&r.latency);
+        ok += r.ok;
+        rejected += r.rejected;
+        cache_hits += r.cache_hits;
+        protocol_errors.extend(r.protocol_errors);
+    }
+    let sent = (opts.concurrency * opts.passes * specs.len()) as u64;
+    let throughput = (ok + rejected) as f64 / (wall_ms / 1e3);
+
+    let report = render_report(
+        &opts, &names, sent, ok, rejected, cache_hits, &protocol_errors, wall_ms,
+        throughput, &latency, &stats,
+    );
+    std::fs::write(&opts.out, report).map_err(|e| format!("{}: {e}", opts.out))?;
+    eprintln!(
+        "loadgen: {ok}/{sent} ok, {rejected} rejected, {} protocol errors, \
+         {throughput:.1} req/s -> {}",
+        protocol_errors.len(),
+        opts.out
+    );
+
+    if !protocol_errors.is_empty() {
+        for e in protocol_errors.iter().take(5) {
+            eprintln!("loadgen: protocol error: {e}");
+        }
+        return Err(format!("{} protocol errors", protocol_errors.len()));
+    }
+    Ok(())
+}
+
+/// One client connection replaying the whole suite `passes` times.
+fn client_loop(
+    client: usize,
+    addr: SocketAddr,
+    specs: &[(String, String)],
+    expected: &[String],
+    opts: &Options,
+) -> ClientReport {
+    let mut report = ClientReport::default();
+    let stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            report.protocol_errors.push(format!("client {client}: connect: {e}"));
+            return report;
+        }
+    };
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+
+    for pass in 0..opts.passes {
+        for k in 0..specs.len() {
+            let i = (k + client) % specs.len();
+            let (name, spec) = &specs[i];
+            let line = Json::Obj(vec![
+                ("id".into(), Json::Str(format!("{client}:{pass}:{name}"))),
+                ("op".into(), Json::Str("synth".into())),
+                ("spec".into(), Json::Str(spec.clone())),
+                ("format".into(), Json::Str(opts.format.clone())),
+            ])
+            .to_string();
+
+            let t0 = Instant::now();
+            let raw = match send_line(&mut writer, &mut reader, &line) {
+                Ok(raw) => raw,
+                Err(e) => {
+                    report.protocol_errors.push(format!("client {client} {name}: {e}"));
+                    return report; // the connection is gone
+                }
+            };
+            report.latency.record(t0.elapsed().as_micros() as u64);
+
+            let response = match json::parse(&raw) {
+                Ok(v) => v,
+                Err(e) => {
+                    report
+                        .protocol_errors
+                        .push(format!("client {client} {name}: bad json: {e}"));
+                    continue;
+                }
+            };
+            match response.get("code").and_then(Json::as_u64) {
+                Some(200) => {
+                    report.ok += 1;
+                    if response.get("cached").and_then(Json::as_bool) == Some(true) {
+                        report.cache_hits += 1;
+                    }
+                    // Byte-identity against the direct library call.
+                    if opts.format != "none" {
+                        let got = response.get(opts.format.as_str()).and_then(Json::as_str);
+                        if got != Some(expected[i].as_str()) {
+                            report.protocol_errors.push(format!(
+                                "client {client} {name}: netlist differs from direct call"
+                            ));
+                        }
+                    }
+                }
+                Some(429) | Some(503) => report.rejected += 1,
+                code => report.protocol_errors.push(format!(
+                    "client {client} {name}: unexpected code {code:?}: {raw}"
+                )),
+            }
+        }
+    }
+    report
+}
+
+fn send_line(
+    writer: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    line: &str,
+) -> Result<String, String> {
+    writer
+        .write_all(format!("{line}\n").as_bytes())
+        .and_then(|()| writer.flush())
+        .map_err(|e| format!("write: {e}"))?;
+    let mut raw = String::new();
+    reader.read_line(&mut raw).map_err(|e| format!("read: {e}"))?;
+    if raw.is_empty() {
+        return Err("connection closed".into());
+    }
+    Ok(raw.trim_end().to_owned())
+}
+
+/// One-shot request on a fresh connection.
+fn request(addr: SocketAddr, line: &str) -> Result<Json, String> {
+    let mut writer = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let mut reader = BufReader::new(writer.try_clone().map_err(|e| e.to_string())?);
+    let raw = send_line(&mut writer, &mut reader, line)?;
+    json::parse(&raw).map_err(|e| format!("bad json: {e}"))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_report(
+    opts: &Options,
+    names: &[String],
+    sent: u64,
+    ok: u64,
+    rejected: u64,
+    cache_hits: u64,
+    protocol_errors: &[String],
+    wall_ms: f64,
+    throughput: f64,
+    latency: &LatencyHistogram,
+    stats: &Json,
+) -> String {
+    let names_json = names
+        .iter()
+        .map(|n| Json::Str(n.clone()).to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let buckets = latency
+        .nonzero_buckets()
+        .into_iter()
+        .map(|(lo, hi, n)| format!("[{lo}, {hi}, {n}]"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let hit_rate = if ok > 0 {
+        cache_hits as f64 / ok as f64
+    } else {
+        0.0
+    };
+    let stats_line = stats
+        .get("response_cache")
+        .map_or_else(|| "null".to_string(), Json::to_string);
+    format!(
+        "{{\n\
+         \x20 \"generated_by\": \"cargo run --release -p nshot-bench --bin loadgen\",\n\
+         \x20 \"note\": \"single-container numbers; client, server and workers share the same cores, so throughput is a lower bound\",\n\
+         \x20 \"hardware\": {{\"available_parallelism\": {par}}},\n\
+         \x20 \"workload\": {{\"concurrency\": {conc}, \"passes\": {passes}, \"format\": \"{format}\", \"circuits\": [{names_json}]}},\n\
+         \x20 \"requests\": {{\"sent\": {sent}, \"ok\": {ok}, \"rejected\": {rejected}, \"protocol_errors\": {perr}}},\n\
+         \x20 \"byte_identical_with_direct_calls\": {ident},\n\
+         \x20 \"wall_ms\": {wall_ms:.2},\n\
+         \x20 \"throughput_rps\": {throughput:.1},\n\
+         \x20 \"client_latency_us\": {{\"count\": {count}, \"p50\": {p50}, \"p99\": {p99}, \"mean\": {mean}, \"max\": {max}, \"buckets\": [{buckets}]}},\n\
+         \x20 \"response_cache\": {{\"client_observed_hits\": {cache_hits}, \"client_hit_rate\": {hit_rate:.4}, \"server\": {stats_line}}}\n\
+         }}\n",
+        par = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        conc = opts.concurrency,
+        passes = opts.passes,
+        format = opts.format,
+        perr = protocol_errors.len(),
+        ident = protocol_errors.is_empty(),
+        count = latency.count(),
+        p50 = latency.p50_us(),
+        p99 = latency.p99_us(),
+        mean = latency.mean_us(),
+        max = latency.max_us(),
+    )
+}

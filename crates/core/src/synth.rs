@@ -45,7 +45,8 @@ pub struct SynthesisOptions {
     /// Delay model for Eq. 1 and the reported critical path.
     pub delay_model: DelayModel,
     /// Share structurally identical product terms across all set/reset
-    /// networks (the paper allows this explicitly). Default `true`.
+    /// networks (the paper allows this explicitly). Default `false`, so the
+    /// reported per-network cover sizes match Table 2 accounting.
     pub share_products: bool,
 }
 

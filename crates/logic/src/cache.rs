@@ -1,4 +1,4 @@
-//! Memoized two-level minimization.
+//! Memoized two-level minimization and the shared bounded-cache machinery.
 //!
 //! The set/reset functions derived from state graphs repeat heavily: mirror
 //! signals inside one specification (parallel handshakes, pipeline stages)
@@ -15,19 +15,131 @@
 //! ever returned for that key, from any thread, in any order — is the same.
 //! This is what makes the parallel synthesis pipeline byte-identical across
 //! thread counts even though the cache population order changes.
+//!
+//! Boundedness: a long-running process (the `nshot-server` service layer in
+//! particular) must not grow memory without bound, so the memo table lives
+//! in a [`BoundedCache`] — a two-generation *segmented* cache: inserts go
+//! into the current generation; when it fills, the previous generation is
+//! dropped wholesale and the generations rotate. Hits in the previous
+//! generation are promoted, so the working set survives rotation while cold
+//! entries age out in at most two generations. Eviction never changes what a
+//! lookup *returns* (values are pure functions of their keys), only whether
+//! it recomputes — determinism is unaffected by the cap. The same structure
+//! backs the server's whole-response cache.
 
 use crate::{espresso, Cover, Cube, Function};
 use nshot_par::FxHashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Hit/miss counters of the global cover cache.
+/// Default entry cap of the global espresso memo table. Generous: a cover
+/// entry is tens-to-hundreds of bytes, so the worst case stays in the tens
+/// of megabytes, while every workload in the repo fits with room to spare.
+pub const DEFAULT_ESPRESSO_CACHE_CAP: usize = 65_536;
+
+/// A bounded map with two-generation segmented ("clock"-style) eviction.
+///
+/// Capacity is split across two generations of `cap / 2` entries each.
+/// Inserts fill the current generation; when it reaches its half-cap, the
+/// previous generation is dropped (each dropped entry counts as one
+/// eviction) and the full current generation becomes the new previous.
+/// Lookups check the current generation first and *promote* hits found in
+/// the previous one, so frequently used entries are never more than one
+/// rotation from safety. All operations are O(1) amortized and fully
+/// deterministic given the operation sequence.
+#[derive(Debug)]
+pub struct BoundedCache<K, V> {
+    half_cap: usize,
+    current: FxHashMap<K, V>,
+    previous: FxHashMap<K, V>,
+    evictions: u64,
+}
+
+impl<K: Hash + Eq, V> BoundedCache<K, V> {
+    /// A cache holding at most `cap` entries (minimum 2: one per
+    /// generation).
+    pub fn new(cap: usize) -> Self {
+        BoundedCache {
+            half_cap: (cap / 2).max(1),
+            current: FxHashMap::default(),
+            previous: FxHashMap::default(),
+            evictions: 0,
+        }
+    }
+
+    /// Total entry cap (both generations).
+    pub fn capacity(&self) -> usize {
+        self.half_cap * 2
+    }
+
+    /// Look up `key`, promoting a previous-generation hit into the current
+    /// generation.
+    pub fn get(&mut self, key: &K) -> Option<&V>
+    where
+        K: Clone,
+    {
+        // Split borrows force the two-step shape: test membership first,
+        // then promote, then return a reference into `current` only.
+        if !self.current.contains_key(key) {
+            let (k, v) = self.previous.remove_entry(key)?;
+            self.rotate_if_full();
+            self.current.insert(k, v);
+        }
+        self.current.get(key)
+    }
+
+    /// Insert `key → value` into the current generation, rotating first if
+    /// it is full. An existing mapping for `key` is replaced.
+    pub fn insert(&mut self, key: K, value: V) {
+        if !self.current.contains_key(&key) {
+            self.rotate_if_full();
+        }
+        // The same key may still shadow an older value in the previous
+        // generation; drop it so `len` counts live entries once.
+        self.previous.remove(&key);
+        self.current.insert(key, value);
+    }
+
+    fn rotate_if_full(&mut self) {
+        if self.current.len() >= self.half_cap {
+            self.evictions += self.previous.len() as u64;
+            self.previous = std::mem::take(&mut self.current);
+        }
+    }
+
+    /// Live entries across both generations.
+    pub fn len(&self) -> usize {
+        self.current.len() + self.previous.len()
+    }
+
+    /// `true` when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Entries dropped by generation rotation since creation/clear.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Drop all entries and reset the eviction counter.
+    pub fn clear(&mut self) {
+        self.current.clear();
+        self.previous.clear();
+        self.evictions = 0;
+    }
+}
+
+/// Hit/miss/eviction counters of the global cover cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Calls answered from the cache.
     pub hits: u64,
     /// Calls that ran the minimizer.
     pub misses: u64,
+    /// Entries dropped by the bounded table's generation rotation.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -44,7 +156,38 @@ impl CacheStats {
 
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
-static CACHE: Mutex<Option<FxHashMap<Vec<u64>, Cover>>> = Mutex::new(None);
+/// Entry-cap override for the global memo table (0 = unset, fall back to
+/// `NSHOT_ESPRESSO_CACHE_CAP` or [`DEFAULT_ESPRESSO_CACHE_CAP`]).
+static CAP_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+static CACHE: Mutex<Option<BoundedCache<Vec<u64>, Cover>>> = Mutex::new(None);
+
+/// Entry cap the memo table is (re)created with: the programmatic override
+/// if set, else the `NSHOT_ESPRESSO_CACHE_CAP` environment variable, else
+/// [`DEFAULT_ESPRESSO_CACHE_CAP`]. Always at least 2.
+pub fn espresso_cache_cap() -> usize {
+    let n = CAP_OVERRIDE.load(Ordering::SeqCst);
+    if n != 0 {
+        return n.max(2);
+    }
+    if let Ok(s) = std::env::var("NSHOT_ESPRESSO_CACHE_CAP") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n >= 2 {
+                return n;
+            }
+        }
+    }
+    DEFAULT_ESPRESSO_CACHE_CAP
+}
+
+/// Pin the memo-table entry cap (`None` clears the override) and rebuild
+/// the table empty at the new cap. Counters are preserved; returns the
+/// previous override.
+pub fn set_espresso_cache_cap(cap: Option<usize>) -> Option<usize> {
+    let prev = CAP_OVERRIDE.swap(cap.unwrap_or(0), Ordering::SeqCst);
+    let mut guard = CACHE.lock().expect("cover cache poisoned");
+    *guard = Some(BoundedCache::new(espresso_cache_cap()));
+    (prev != 0).then_some(prev)
+}
 
 /// Sorted copy of a cover's cubes (the canonical cube list).
 fn sorted_cubes(cover: &Cover) -> Vec<Cube> {
@@ -70,12 +213,13 @@ fn canonical_key(num_vars: usize, on: &[Cube], dc: &[Cube]) -> Vec<u64> {
 }
 
 /// Like [`espresso`], but memoized process-wide on the canonical (ON, DC)
-/// encoding.
+/// encoding, in a bounded table (see [`espresso_cache_cap`]).
 ///
 /// On a miss the heuristic minimizer runs on the canonicalized function and
 /// the resulting cover is cached; on a hit the cached cover is cloned. The
 /// returned cover implements `f` either way, and for a fixed (ON, DC) pair
-/// the result is identical across calls, threads, and thread counts.
+/// the result is identical across calls, threads, and thread counts —
+/// eviction can only cause recomputation, never a different answer.
 pub fn espresso_cached(f: &Function) -> Cover {
     let on = sorted_cubes(f.on_set());
     let dc = sorted_cubes(f.dc_set());
@@ -84,7 +228,7 @@ pub fn espresso_cached(f: &Function) -> Cover {
     if let Some(cover) = CACHE
         .lock()
         .expect("cover cache poisoned")
-        .get_or_insert_with(FxHashMap::default)
+        .get_or_insert_with(|| BoundedCache::new(espresso_cache_cap()))
         .get(&key)
         .cloned()
     {
@@ -105,16 +249,22 @@ pub fn espresso_cached(f: &Function) -> Cover {
     CACHE
         .lock()
         .expect("cover cache poisoned")
-        .get_or_insert_with(FxHashMap::default)
+        .get_or_insert_with(|| BoundedCache::new(espresso_cache_cap()))
         .insert(key, cover.clone());
     cover
 }
 
-/// Current global hit/miss counters.
+/// Current global hit/miss/eviction counters.
 pub fn cache_stats() -> CacheStats {
+    let evictions = CACHE
+        .lock()
+        .expect("cover cache poisoned")
+        .as_ref()
+        .map_or(0, BoundedCache::evictions);
     CacheStats {
         hits: HITS.load(Ordering::Relaxed),
         misses: MISSES.load(Ordering::Relaxed),
+        evictions,
     }
 }
 
@@ -124,7 +274,7 @@ pub fn cache_len() -> usize {
         .lock()
         .expect("cover cache poisoned")
         .as_ref()
-        .map_or(0, FxHashMap::len)
+        .map_or(0, BoundedCache::len)
 }
 
 /// Clear the cache and reset the counters (benchmark isolation).
@@ -232,5 +382,74 @@ mod tests {
         assert!(espresso_cached(&f).is_empty());
         assert!(espresso_cached(&f).is_empty());
         assert_eq!(cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn bounded_cache_rotates_and_counts_evictions() {
+        let mut c: BoundedCache<u32, u32> = BoundedCache::new(8); // 4 + 4
+        for i in 0..4 {
+            c.insert(i, i * 10);
+        }
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.evictions(), 0);
+        // Fifth insert rotates (previous was empty → 0 evictions yet)…
+        for i in 4..8 {
+            c.insert(i, i * 10);
+        }
+        assert_eq!(c.len(), 8);
+        // …and the ninth rotates again, dropping generation {0..3}.
+        c.insert(8, 80);
+        assert_eq!(c.evictions(), 4);
+        assert!(c.get(&0).is_none(), "cold entry aged out");
+        assert_eq!(c.get(&5), Some(&50), "recent generation survives");
+        assert!(c.len() <= c.capacity());
+    }
+
+    #[test]
+    fn bounded_cache_promotion_survives_rotation() {
+        let mut c: BoundedCache<u32, u32> = BoundedCache::new(4); // 2 + 2
+        c.insert(1, 100);
+        c.insert(2, 200); // current = {1,2}
+        c.insert(3, 300); // rotate: previous = {1,2}, current = {3}
+        assert_eq!(c.get(&1), Some(&100), "promoted out of previous");
+        // 1 now lives in current; the next rotation drops {2} but keeps 1.
+        c.insert(4, 400);
+        c.insert(5, 500);
+        assert_eq!(c.get(&1).is_some() || c.get(&4).is_some(), true);
+        assert!(c.len() <= c.capacity());
+        assert!(c.evictions() > 0);
+    }
+
+    #[test]
+    fn bounded_cache_insert_replaces_and_dedupes_generations() {
+        let mut c: BoundedCache<u32, u32> = BoundedCache::new(4);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(3, 30); // 1,2 → previous
+        c.insert(1, 11); // shadowed copy in previous must be dropped
+        assert_eq!(c.get(&1), Some(&11));
+        assert_eq!(
+            c.len(),
+            3,
+            "no double-counting of a key present in both generations"
+        );
+    }
+
+    #[test]
+    fn global_cap_bounds_the_memo_table() {
+        let _l = TEST_LOCK.lock().unwrap();
+        let prev = set_espresso_cache_cap(Some(8));
+        // 32 distinct functions through a cap-8 table: the table stays
+        // bounded, evictions are counted, and every answer is still correct.
+        for i in 0..32u64 {
+            let f = toggle(6, &[i, i + 32], &[]);
+            let c = espresso_cached(&f);
+            assert!(f.is_implemented_by(&c));
+        }
+        assert!(cache_len() <= 8, "cap respected, len {}", cache_len());
+        assert!(cache_stats().evictions > 0, "rotation happened");
+        // Restore global state for the other tests.
+        set_espresso_cache_cap(prev);
+        reset_cache();
     }
 }

@@ -44,7 +44,10 @@ mod function;
 mod multi;
 mod pla;
 
-pub use cache::{cache_len, cache_stats, espresso_cached, reset_cache, CacheStats};
+pub use cache::{
+    cache_len, cache_stats, espresso_cache_cap, espresso_cached, reset_cache,
+    set_espresso_cache_cap, BoundedCache, CacheStats, DEFAULT_ESPRESSO_CACHE_CAP,
+};
 pub use cover::Cover;
 pub use cube::{Cube, Polarity};
 pub use error::LogicError;

@@ -14,7 +14,10 @@
 //!   in hot interning maps ([`FxHashMap`], [`FxHashSet`]);
 //! * [`rng`] — a small deterministic PRNG (xoshiro256** seeded via
 //!   SplitMix64) standing in for the `rand` crate, which is unavailable in
-//!   hermetic builds.
+//!   hermetic builds;
+//! * [`queue`] — a bounded MPMC job queue with non-blocking admission
+//!   ([`BoundedQueue::try_push`] reports `Full`/`Closed` instead of
+//!   blocking), the backpressure primitive of the `nshot-server` layer.
 //!
 //! Everything here is deterministic by construction: `par_map` returns
 //! results in input order regardless of scheduling, and the PRNG sequence
@@ -22,8 +25,10 @@
 
 pub mod fxhash;
 pub mod pool;
+pub mod queue;
 pub mod rng;
 
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use pool::{num_threads, par_map, set_thread_override, thread_override, ThreadGuard};
+pub use queue::{BoundedQueue, PushError};
 pub use rng::SmallRng;

@@ -1,0 +1,81 @@
+//! `nshot-serve` — run the N-SHOT synthesis service.
+//!
+//! ```text
+//! nshot-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
+//!             [--timeout-ms N] [--cache-cap N] [--port-file PATH]
+//! ```
+//!
+//! Defaults: loopback on an ephemeral port, workers = available
+//! parallelism, queue 64, timeout 30 s, cache 1024 entries. The bound
+//! address is printed on stdout (and written to `--port-file` when given)
+//! so scripts can discover an ephemeral port. The process exits after a
+//! graceful `{"op":"shutdown"}` request has drained all jobs.
+
+use nshot_server::{Server, ServerConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("nshot-serve: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut config = ServerConfig::default();
+    let mut port_file: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--workers" => {
+                config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers must be an integer".to_string())?;
+            }
+            "--queue-cap" => {
+                config.queue_cap = value("--queue-cap")?
+                    .parse()
+                    .map_err(|_| "--queue-cap must be an integer".to_string())?;
+            }
+            "--timeout-ms" => {
+                config.timeout_ms = value("--timeout-ms")?
+                    .parse()
+                    .map_err(|_| "--timeout-ms must be an integer".to_string())?;
+            }
+            "--cache-cap" => {
+                config.cache_cap = value("--cache-cap")?
+                    .parse()
+                    .map_err(|_| "--cache-cap must be an integer".to_string())?;
+            }
+            "--port-file" => port_file = Some(value("--port-file")?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: nshot-serve [--addr HOST:PORT] [--workers N] [--queue-cap N] \
+                     [--timeout-ms N] [--cache-cap N] [--port-file PATH]"
+                );
+                return Ok(());
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+
+    let server = Server::bind(config).map_err(|e| format!("bind: {e}"))?;
+    let addr = server.local_addr();
+    println!("nshot-server listening on {addr}");
+    if let Some(path) = port_file {
+        std::fs::write(&path, format!("{addr}\n")).map_err(|e| format!("{path}: {e}"))?;
+    }
+    server.wait();
+    println!("nshot-server: drained, bye");
+    Ok(())
+}

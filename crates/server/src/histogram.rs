@@ -1,0 +1,191 @@
+//! Fixed-bucket latency histogram.
+//!
+//! Powers-of-two microsecond buckets: bucket *i* counts observations in
+//! `[2^(i-1), 2^i)` µs (bucket 0 counts `0`). 40 buckets cover ~17 minutes,
+//! far beyond any request timeout. Recording is O(1) with no allocation, so
+//! the per-request overhead is a couple of adds — and quantiles are computed
+//! from the counts on demand, conservatively reporting the *upper* edge of
+//! the bucket the quantile falls in. All timing comes from
+//! [`std::time::Instant`] at the call sites; the histogram itself never
+//! consults a clock.
+
+/// Number of power-of-two buckets (see module docs).
+pub const NUM_BUCKETS: usize = 40;
+
+/// A fixed-bucket histogram of microsecond latencies.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; NUM_BUCKETS],
+    count: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            sum_us: 0,
+            max_us: 0,
+        }
+    }
+}
+
+/// Index of the bucket covering `us`.
+fn bucket_of(us: u64) -> usize {
+    if us == 0 {
+        0
+    } else {
+        ((64 - us.leading_zeros()) as usize).min(NUM_BUCKETS - 1)
+    }
+}
+
+/// Upper edge (exclusive) of bucket `i`, in µs.
+fn upper_edge(i: usize) -> u64 {
+    if i == 0 {
+        1
+    } else {
+        1u64 << i
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one observation.
+    pub fn record(&mut self, us: u64) {
+        self.buckets[bucket_of(us)] += 1;
+        self.count += 1;
+        self.sum_us += us;
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in µs (0 with no observations).
+    pub fn mean_us(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.sum_us / self.count
+        }
+    }
+
+    /// Largest observation in µs.
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// The `q`-quantile (0 < q ≤ 1) as the upper edge of the bucket it
+    /// falls in; 0 with no observations.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // Rank of the target observation, 1-based, clamped into range.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return upper_edge(i).min(self.max_us.max(1));
+            }
+        }
+        upper_edge(NUM_BUCKETS - 1)
+    }
+
+    /// Median (p50) in µs.
+    pub fn p50_us(&self) -> u64 {
+        self.quantile_us(0.50)
+    }
+
+    /// 99th percentile in µs.
+    pub fn p99_us(&self) -> u64 {
+        self.quantile_us(0.99)
+    }
+
+    /// The non-empty buckets as `(lower_us, upper_us, count)` triples, for
+    /// reports and the stats endpoint.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                let lo = if i == 0 { 0 } else { upper_edge(i - 1) };
+                (lo, upper_edge(i), n)
+            })
+            .collect()
+    }
+
+    /// Fold another histogram into this one (loadgen merges per-client
+    /// histograms).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+        self.max_us = self.max_us.max(other.max_us);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_power_of_two_ranges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_are_conservative_upper_bounds() {
+        let mut h = LatencyHistogram::default();
+        for us in [10, 11, 12, 13, 900, 950, 1000, 1100, 9000, 100_000] {
+            h.record(us);
+        }
+        assert_eq!(h.count(), 10);
+        let p50 = h.p50_us();
+        let p99 = h.p99_us();
+        // p50 falls among the ~1ms observations, p99 in the 100ms tail.
+        assert!(p50 >= 900 && p50 <= 2048, "p50 = {p50}");
+        assert!(p99 >= 100_000 && p99 <= 131_072, "p99 = {p99}");
+        assert!(h.mean_us() > 0);
+        assert_eq!(h.max_us(), 100_000);
+    }
+
+    #[test]
+    fn single_observation_everything_agrees() {
+        let mut h = LatencyHistogram::default();
+        h.record(5000);
+        assert_eq!(h.p50_us(), h.p99_us());
+        assert_eq!(h.mean_us(), 5000);
+        assert_eq!(h.nonzero_buckets().len(), 1);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        let mut whole = LatencyHistogram::default();
+        for (i, us) in [3u64, 17, 200, 4096, 0, 65_000].iter().enumerate() {
+            if i % 2 == 0 { &mut a } else { &mut b }.record(*us);
+            whole.record(*us);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.p50_us(), whole.p50_us());
+        assert_eq!(a.p99_us(), whole.p99_us());
+        assert_eq!(a.nonzero_buckets(), whole.nonzero_buckets());
+    }
+}

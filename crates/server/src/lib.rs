@@ -1,0 +1,496 @@
+//! # nshot-server — the N-SHOT synthesis service
+//!
+//! A std-only TCP service speaking newline-delimited JSON: each request
+//! carries a `.g` STG or SG-text specification plus options (method
+//! nshot/syn/sis, exact vs heuristic minimization, Monte-Carlo trial
+//! count), and each response carries the synthesized netlist, area/delay
+//! estimates, trigger/delay-requirement verdicts and timing. Around that
+//! core sits the production plumbing the ROADMAP's north star asks for:
+//!
+//! * a **bounded job queue** ([`nshot_par::BoundedQueue`]) with explicit
+//!   backpressure — a full queue rejects immediately with a 429-style
+//!   response carrying the observed depth, instead of buffering without
+//!   bound;
+//! * a **worker pool** draining the queue, sized like the synthesis
+//!   pipeline's own pool ([`nshot_par::num_threads`]);
+//! * per-request **wall-clock deadlines**, enforced cooperatively between
+//!   pipeline stages (see [`service`]);
+//! * a **whole-response cache** keyed on the canonical encoding of
+//!   (specification text, options), built on the same bounded segmented
+//!   cache that backs the espresso memo table
+//!   ([`nshot_logic::BoundedCache`]);
+//! * a **`stats`** request exposing counters (requests, cache hits, queue
+//!   high-water mark, p50/p99 latency from a fixed-bucket
+//!   [`histogram::LatencyHistogram`] — all timing from
+//!   [`std::time::Instant`]);
+//! * **graceful shutdown** on a control request: admission closes, queued
+//!   and in-flight jobs drain, workers exit, and only then is the shutdown
+//!   acknowledged.
+//!
+//! Protocol details live in [`protocol`]; the deterministic request
+//! execution in [`service`]. The load harness is
+//! `cargo run --release -p nshot-bench --bin loadgen`.
+
+pub mod histogram;
+pub mod json;
+pub mod protocol;
+pub mod service;
+
+pub use histogram::LatencyHistogram;
+pub use json::Json;
+pub use protocol::{Envelope, Method, OutputFormat, Request, Response, SynthRequest};
+pub use service::{load_spec, process_synth, Deadline};
+
+use nshot_logic::BoundedCache;
+use nshot_par::{BoundedQueue, PushError};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Service configuration. `Default` gives a loopback service on an
+/// ephemeral port with generous limits.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads draining the job queue (0 = [`nshot_par::num_threads`]).
+    pub workers: usize,
+    /// Job-queue capacity; a full queue rejects with 429.
+    pub queue_cap: usize,
+    /// Per-request wall-clock budget in ms (0 = unlimited).
+    pub timeout_ms: u64,
+    /// Whole-response cache entry cap (0 disables the cache).
+    pub cache_cap: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 0,
+            queue_cap: 64,
+            timeout_ms: 30_000,
+            cache_cap: 1024,
+        }
+    }
+}
+
+/// Monotonic service counters (all lock-free except the histogram).
+#[derive(Debug, Default)]
+struct Counters {
+    requests: AtomicU64,
+    synth_requests: AtomicU64,
+    ok: AtomicU64,
+    client_errors: AtomicU64,
+    server_errors: AtomicU64,
+    rejects: AtomicU64,
+    timeouts: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+/// One queued synthesis job: the request, its deadline, and the channel the
+/// worker answers on.
+struct Job {
+    synth: SynthRequest,
+    deadline: Deadline,
+    reply: mpsc::Sender<Response>,
+}
+
+/// State shared by the accept loop, connection handlers and workers.
+struct Shared {
+    config: ServerConfig,
+    started: Instant,
+    queue: BoundedQueue<Job>,
+    cache: Mutex<BoundedCache<String, String>>,
+    counters: Counters,
+    latency: Mutex<LatencyHistogram>,
+    shutdown: AtomicBool,
+    in_flight: AtomicUsize,
+    /// Signalled by workers after each finished job so the shutdown path
+    /// can wait for the drain.
+    drain: (Mutex<()>, Condvar),
+}
+
+impl Shared {
+    fn count_code(&self, code: u16) {
+        match code {
+            200 => self.counters.ok.fetch_add(1, Ordering::Relaxed),
+            429 | 503 => self.counters.rejects.fetch_add(1, Ordering::Relaxed),
+            504 => self.counters.timeouts.fetch_add(1, Ordering::Relaxed),
+            400..=499 => self.counters.client_errors.fetch_add(1, Ordering::Relaxed),
+            _ => self.counters.server_errors.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// The deterministic stats body (counter snapshot).
+    fn stats_response(&self) -> Response {
+        let c = &self.counters;
+        let latency = self.latency.lock().expect("latency poisoned");
+        let (cache_len, cache_evictions) = {
+            let cache = self.cache.lock().expect("cache poisoned");
+            (cache.len(), cache.evictions())
+        };
+        let espresso = nshot_logic::cache_stats();
+        let num = |n: u64| Json::Num(n as f64);
+        Response::ok(vec![
+            ("uptime_ms".into(), num(self.started.elapsed().as_millis() as u64)),
+            ("requests".into(), num(c.requests.load(Ordering::Relaxed))),
+            (
+                "synth_requests".into(),
+                num(c.synth_requests.load(Ordering::Relaxed)),
+            ),
+            ("ok".into(), num(c.ok.load(Ordering::Relaxed))),
+            (
+                "client_errors".into(),
+                num(c.client_errors.load(Ordering::Relaxed)),
+            ),
+            (
+                "server_errors".into(),
+                num(c.server_errors.load(Ordering::Relaxed)),
+            ),
+            ("rejects".into(), num(c.rejects.load(Ordering::Relaxed))),
+            ("timeouts".into(), num(c.timeouts.load(Ordering::Relaxed))),
+            (
+                "queue".into(),
+                Json::Obj(vec![
+                    ("depth".into(), Json::Num(self.queue.len() as f64)),
+                    (
+                        "capacity".into(),
+                        Json::Num(self.queue.capacity() as f64),
+                    ),
+                    (
+                        "high_water".into(),
+                        Json::Num(self.queue.high_water() as f64),
+                    ),
+                ]),
+            ),
+            (
+                "response_cache".into(),
+                Json::Obj(vec![
+                    ("hits".into(), num(c.cache_hits.load(Ordering::Relaxed))),
+                    ("misses".into(), num(c.cache_misses.load(Ordering::Relaxed))),
+                    ("entries".into(), Json::Num(cache_len as f64)),
+                    ("evictions".into(), num(cache_evictions)),
+                ]),
+            ),
+            (
+                "espresso_cache".into(),
+                Json::Obj(vec![
+                    ("hits".into(), num(espresso.hits)),
+                    ("misses".into(), num(espresso.misses)),
+                    ("evictions".into(), num(espresso.evictions)),
+                    ("entries".into(), Json::Num(nshot_logic::cache_len() as f64)),
+                ]),
+            ),
+            (
+                "latency_us".into(),
+                Json::Obj(vec![
+                    ("count".into(), num(latency.count())),
+                    ("p50".into(), num(latency.p50_us())),
+                    ("p99".into(), num(latency.p99_us())),
+                    ("mean".into(), num(latency.mean_us())),
+                    ("max".into(), num(latency.max_us())),
+                    (
+                        "buckets".into(),
+                        Json::Arr(
+                            latency
+                                .nonzero_buckets()
+                                .into_iter()
+                                .map(|(lo, hi, n)| {
+                                    Json::Arr(vec![
+                                        Json::Num(lo as f64),
+                                        Json::Num(hi as f64),
+                                        Json::Num(n as f64),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    /// Close admission and wait for queued + in-flight jobs to finish.
+    fn drain(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.close();
+        let (lock, cvar) = &self.drain;
+        let mut guard = lock.lock().expect("drain mutex poisoned");
+        while !self.queue.is_empty() || self.in_flight.load(Ordering::SeqCst) > 0 {
+            let (g, _) = cvar
+                .wait_timeout(guard, Duration::from_millis(20))
+                .expect("drain mutex poisoned");
+            guard = g;
+        }
+    }
+
+    fn notify_drain(&self) {
+        let (lock, cvar) = &self.drain;
+        let _g = lock.lock().expect("drain mutex poisoned");
+        cvar.notify_all();
+    }
+}
+
+/// Worker loop: pop jobs until the queue closes and drains.
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        let response = if job.deadline.expired() {
+            Response::error(504, "deadline exceeded while queued")
+        } else {
+            process_synth(&job.synth, &job.deadline)
+        };
+        // A dropped receiver just means the client hung up mid-request.
+        let _ = job.reply.send(response);
+        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        shared.notify_drain();
+    }
+}
+
+/// Whether a response prefix may be served from / stored in the cache:
+/// only deterministic outcomes (success, spec parse errors, synthesis
+/// rejections) — never backpressure or deadline artifacts.
+fn cacheable(code: u16) -> bool {
+    matches!(code, 200 | 400 | 422)
+}
+
+/// Handle one synthesis request end to end (cache → queue → worker →
+/// cache fill). Returns the deterministic field string, the code, and
+/// whether it was served from cache.
+fn run_synth(shared: &Shared, synth: SynthRequest) -> (u16, String, bool) {
+    shared
+        .counters
+        .synth_requests
+        .fetch_add(1, Ordering::Relaxed);
+
+    let key = (shared.config.cache_cap > 0).then(|| synth.cache_key());
+    if let Some(key) = &key {
+        let mut cache = shared.cache.lock().expect("cache poisoned");
+        if let Some(hit) = cache.get(key) {
+            let fields = hit.clone();
+            drop(cache);
+            shared.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            // The cached prefix starts with `"code":NNN`.
+            let code: u16 = fields[7..10].parse().unwrap_or(200);
+            return (code, fields, true);
+        }
+        shared.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    if shared.shutdown.load(Ordering::SeqCst) {
+        let r = Response::rejected(503, "shutting down", None);
+        return (r.code, r.deterministic_fields(), false);
+    }
+
+    let deadline = Deadline(
+        (shared.config.timeout_ms > 0)
+            .then(|| Instant::now() + Duration::from_millis(shared.config.timeout_ms)),
+    );
+    let (tx, rx) = mpsc::channel();
+    let job = Job {
+        synth,
+        deadline,
+        reply: tx,
+    };
+    let response = match shared.queue.try_push(job) {
+        Ok(()) => rx.recv().unwrap_or_else(|_| {
+            // Workers only exit after the queue is closed *and* drained, so
+            // an accepted job always gets an answer; this is a last-resort
+            // guard, not an expected path.
+            Response::error(500, "worker dropped the job")
+        }),
+        Err(PushError::Full(depth)) => {
+            Response::rejected(429, "queue full", Some(depth))
+        }
+        Err(PushError::Closed) => Response::rejected(503, "shutting down", None),
+    };
+
+    let fields = response.deterministic_fields();
+    if cacheable(response.code) {
+        if let Some(key) = key {
+            shared
+                .cache
+                .lock()
+                .expect("cache poisoned")
+                .insert(key, fields.clone());
+        }
+    }
+    (response.code, fields, false)
+}
+
+/// Serve one client connection (one request per line, one response line
+/// each, in order).
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream, local_addr: SocketAddr) {
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    for line in reader.split(b'\n') {
+        let Ok(raw) = line else { break };
+        if raw.is_empty() || raw == b"\r" {
+            continue;
+        }
+        let t0 = Instant::now();
+        shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+
+        // Non-UTF-8 bytes are a protocol error, answered — not a panic, not
+        // a dropped connection.
+        let parsed = match String::from_utf8(raw) {
+            Ok(text) => protocol::parse_request(text.trim_end_matches('\r')),
+            Err(_) => Err((Json::Null, "request is not valid utf-8".into())),
+        };
+
+        let mut shutdown_after_reply = false;
+        let (id, code, fields, cached) = match parsed {
+            Err((id, message)) => {
+                let r = Response::error(400, message);
+                (id, r.code, r.deterministic_fields(), false)
+            }
+            Ok(Envelope { id, request }) => match request {
+                Request::Ping => {
+                    let r = Response::ok(vec![("pong".into(), Json::Bool(true))]);
+                    (id, r.code, r.deterministic_fields(), false)
+                }
+                Request::Stats => {
+                    let r = shared.stats_response();
+                    (id, r.code, r.deterministic_fields(), false)
+                }
+                Request::Shutdown => {
+                    shared.drain();
+                    shutdown_after_reply = true;
+                    let r = Response::ok(vec![
+                        ("shutdown".into(), Json::Bool(true)),
+                        ("drained".into(), Json::Bool(true)),
+                        (
+                            "served".into(),
+                            Json::Num(
+                                shared.counters.requests.load(Ordering::Relaxed) as f64,
+                            ),
+                        ),
+                    ]);
+                    (id, r.code, r.deterministic_fields(), false)
+                }
+                Request::Synth(synth) => {
+                    let (code, fields, cached) = run_synth(shared, synth);
+                    (id, code, fields, cached)
+                }
+            },
+        };
+
+        shared.count_code(code);
+        let service_us = t0.elapsed().as_micros() as u64;
+        shared
+            .latency
+            .lock()
+            .expect("latency poisoned")
+            .record(service_us);
+
+        let mut line = protocol::render_response(&id, &fields, cached, service_us);
+        line.push('\n');
+        if writer.write_all(line.as_bytes()).is_err() || writer.flush().is_err() {
+            break;
+        }
+        if shutdown_after_reply {
+            // Wake the accept loop so it observes the shutdown flag.
+            let _ = TcpStream::connect(local_addr);
+            break;
+        }
+    }
+}
+
+/// A running service. Dropping the handle does **not** stop the server;
+/// send a `shutdown` request or call [`Server::shutdown`], then
+/// [`Server::wait`].
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: std::thread::JoinHandle<()>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start: workers first, then the accept loop.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] when the address cannot be bound.
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = if config.workers == 0 {
+            nshot_par::num_threads()
+        } else {
+            config.workers
+        };
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_cap),
+            cache: Mutex::new(BoundedCache::new(config.cache_cap.max(2))),
+            counters: Counters::default(),
+            latency: Mutex::new(LatencyHistogram::default()),
+            shutdown: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            drain: (Mutex::new(()), Condvar::new()),
+            started: Instant::now(),
+            config,
+        });
+
+        let worker_handles: Vec<_> = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("nshot-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("nshot-accept".into())
+            .spawn(move || {
+                for incoming in listener.incoming() {
+                    if accept_shared.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = incoming else { continue };
+                    let shared = Arc::clone(&accept_shared);
+                    let _ = std::thread::Builder::new()
+                        .name("nshot-conn".into())
+                        .spawn(move || handle_connection(&shared, stream, addr));
+                }
+            })
+            .expect("spawn accept loop");
+
+        Ok(Server {
+            shared,
+            addr,
+            accept,
+            workers: worker_handles,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Programmatic graceful shutdown: drain jobs, stop the accept loop.
+    pub fn shutdown(&self) {
+        self.shared.drain();
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Block until the service has shut down (via a `shutdown` request or
+    /// [`Server::shutdown`]) and every worker has exited.
+    pub fn wait(self) {
+        let _ = self.accept.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}

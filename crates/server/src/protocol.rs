@@ -1,0 +1,373 @@
+//! The NDJSON request/response protocol.
+//!
+//! One JSON object per line in each direction. Requests:
+//!
+//! ```text
+//! {"id":1,"op":"synth","spec":".name hs\n…","method":"nshot",
+//!  "minimizer":"heuristic","trials":8,"format":"blif","share":true}
+//! {"id":2,"op":"stats"}
+//! {"id":3,"op":"ping"}
+//! {"id":4,"op":"shutdown"}
+//! ```
+//!
+//! Responses always carry `id` (echoed verbatim, `null` when the request
+//! had none or was unparseable), `code` (HTTP-flavoured: 200 ok, 400 bad
+//! request, 422 valid request the method cannot synthesize, 429 queue full,
+//! 503 shutting down, 504 deadline exceeded), `status`, then the
+//! result fields, and finally `cached` + `service_us`. Everything up to
+//! `cached` is a pure function of the request — that prefix is what the
+//! response cache stores and what the loopback tests compare byte-for-byte
+//! against direct library calls.
+
+use crate::json::{self, Json};
+use nshot_core::Minimizer;
+
+/// Which synthesis flow to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// The paper's N-SHOT architecture (the service's raison d'être).
+    Nshot,
+    /// The SYN-like monotonous-cover baseline.
+    Syn,
+    /// The SIS-like bounded-delay baseline.
+    Sis,
+}
+
+impl Method {
+    /// Wire name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Nshot => "nshot",
+            Method::Syn => "syn",
+            Method::Sis => "sis",
+        }
+    }
+}
+
+/// Netlist text format requested in the response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputFormat {
+    /// BLIF (the SIS interchange format).
+    Blif,
+    /// Structural Verilog.
+    Verilog,
+    /// No netlist text (verdicts and estimates only).
+    None,
+}
+
+impl OutputFormat {
+    /// Wire name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OutputFormat::Blif => "blif",
+            OutputFormat::Verilog => "verilog",
+            OutputFormat::None => "none",
+        }
+    }
+}
+
+/// A fully validated synthesis request.
+#[derive(Debug, Clone)]
+pub struct SynthRequest {
+    /// The specification text: a `.g` STG (detected by a `.graph` section)
+    /// or the SG text format.
+    pub spec: String,
+    /// Synthesis flow.
+    pub method: Method,
+    /// Two-level minimizer (N-SHOT only).
+    pub minimizer: Minimizer,
+    /// Monte-Carlo conformance trials to run after synthesis (0 = skip;
+    /// N-SHOT only).
+    pub trials: usize,
+    /// Netlist text format to include.
+    pub format: OutputFormat,
+    /// Share structurally identical product terms (N-SHOT only).
+    pub share: bool,
+}
+
+impl SynthRequest {
+    /// The canonical response-cache key: every option that affects the
+    /// deterministic response prefix, then the specification bytes. Options
+    /// are rendered into a fixed-order header so two requests collide iff
+    /// they are semantically identical; the full key is stored, so hash
+    /// collisions cannot poison the cache.
+    pub fn cache_key(&self) -> String {
+        format!(
+            "{}|{:?}|{}|{}|{}|{}",
+            self.method.name(),
+            self.minimizer,
+            self.trials,
+            self.format.name(),
+            self.share,
+            self.spec
+        )
+    }
+}
+
+/// A request, parsed and validated.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Run a synthesis job (queued).
+    Synth(SynthRequest),
+    /// Report service counters (answered inline).
+    Stats,
+    /// Liveness probe (answered inline).
+    Ping,
+    /// Drain in-flight jobs and stop the service.
+    Shutdown,
+}
+
+/// A parsed request line: the echoed `id` plus the request itself.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Client correlation id, echoed verbatim in the response.
+    pub id: Json,
+    /// The validated request.
+    pub request: Request,
+}
+
+/// Parse and validate one request line.
+///
+/// # Errors
+///
+/// `(id, message)` — the id is recovered when the line is valid JSON so
+/// the error response can still be correlated.
+pub fn parse_request(line: &str) -> Result<Envelope, (Json, String)> {
+    let value = json::parse(line).map_err(|e| (Json::Null, format!("bad json: {e}")))?;
+    let id = value.get("id").cloned().unwrap_or(Json::Null);
+    let fail = |msg: String| (id.clone(), msg);
+
+    if !matches!(value, Json::Obj(_)) {
+        return Err(fail("request must be a json object".into()));
+    }
+    let op = value
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| fail("missing 'op'".into()))?;
+    let request = match op {
+        "stats" => Request::Stats,
+        "ping" => Request::Ping,
+        "shutdown" => Request::Shutdown,
+        "synth" => {
+            let spec = value
+                .get("spec")
+                .and_then(Json::as_str)
+                .ok_or_else(|| fail("synth needs a 'spec' string".into()))?
+                .to_owned();
+            let method = match value.get("method").and_then(Json::as_str).unwrap_or("nshot") {
+                "nshot" => Method::Nshot,
+                "syn" => Method::Syn,
+                "sis" => Method::Sis,
+                other => return Err(fail(format!("unknown method '{other}'"))),
+            };
+            let minimizer = match value
+                .get("minimizer")
+                .and_then(Json::as_str)
+                .unwrap_or("heuristic")
+            {
+                "heuristic" => Minimizer::Heuristic,
+                "exact" => Minimizer::Exact,
+                "multi" => Minimizer::MultiOutput,
+                other => return Err(fail(format!("unknown minimizer '{other}'"))),
+            };
+            let trials = match value.get("trials") {
+                None => 0,
+                Some(v) => v
+                    .as_u64()
+                    .filter(|&n| n <= 10_000)
+                    .ok_or_else(|| fail("'trials' must be an integer ≤ 10000".into()))?
+                    as usize,
+            };
+            let format = match value.get("format").and_then(Json::as_str).unwrap_or("blif") {
+                "blif" => OutputFormat::Blif,
+                "verilog" => OutputFormat::Verilog,
+                "none" => OutputFormat::None,
+                other => return Err(fail(format!("unknown format '{other}'"))),
+            };
+            // Defaults mirror `SynthesisOptions::default()` so a bare synth
+            // request is byte-identical to a direct library call.
+            let share = match value.get("share") {
+                None => false,
+                Some(v) => v
+                    .as_bool()
+                    .ok_or_else(|| fail("'share' must be a boolean".into()))?,
+            };
+            Request::Synth(SynthRequest {
+                spec,
+                method,
+                minimizer,
+                trials,
+                format,
+                share,
+            })
+        }
+        other => return Err(fail(format!("unknown op '{other}'"))),
+    };
+    Ok(Envelope { id, request })
+}
+
+/// A response: the HTTP-flavoured code, a status word, and the result
+/// fields. `code`/`status`/`body` are deterministic functions of the
+/// request; `id`, `cached` and `service_us` are stamped on at send time.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP-flavoured status code (see module docs).
+    pub code: u16,
+    /// `"ok"`, `"error"`, or `"rejected"`.
+    pub status: &'static str,
+    /// Result fields, in render order.
+    pub body: Vec<(String, Json)>,
+}
+
+impl Response {
+    /// A 200 response with the given result fields.
+    pub fn ok(body: Vec<(String, Json)>) -> Self {
+        Response {
+            code: 200,
+            status: "ok",
+            body,
+        }
+    }
+
+    /// An error response (`code` ∈ {400, 422, 500, 504}).
+    pub fn error(code: u16, message: impl Into<String>) -> Self {
+        Response {
+            code,
+            status: "error",
+            body: vec![("error".into(), Json::Str(message.into()))],
+        }
+    }
+
+    /// A 429/503 backpressure rejection.
+    pub fn rejected(code: u16, message: impl Into<String>, depth: Option<usize>) -> Self {
+        let mut body = vec![("error".into(), Json::Str(message.into()))];
+        if let Some(d) = depth {
+            body.push(("queue_depth".into(), Json::Num(d as f64)));
+        }
+        Response {
+            code,
+            status: "rejected",
+            body,
+        }
+    }
+
+    /// The deterministic prefix — `code`, `status` and the body fields —
+    /// rendered as the inner part of the response object. This is the
+    /// string the response cache stores.
+    pub fn deterministic_fields(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "\"code\":{},\"status\":\"{}\"",
+            self.code, self.status
+        ));
+        for (k, v) in &self.body {
+            s.push_str(&format!(",{}:{}", Json::Str(k.clone()), v));
+        }
+        s
+    }
+}
+
+/// Assemble a complete response line from the deterministic prefix and the
+/// per-call fields. The caller appends the trailing `\n`.
+pub fn render_response(id: &Json, deterministic_fields: &str, cached: bool, service_us: u64) -> String {
+    format!(
+        "{{\"id\":{id},{deterministic_fields},\"cached\":{cached},\"service_us\":{service_us}}}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_synth_request() {
+        let env = parse_request(
+            r#"{"id":3,"op":"synth","spec":".inputs r\n","method":"syn","minimizer":"exact","trials":4,"format":"verilog","share":false}"#,
+        )
+        .unwrap();
+        let Request::Synth(s) = env.request else {
+            panic!("expected synth")
+        };
+        assert_eq!(env.id.as_u64(), Some(3));
+        assert_eq!(s.method, Method::Syn);
+        assert_eq!(s.minimizer, Minimizer::Exact);
+        assert_eq!(s.trials, 4);
+        assert_eq!(s.format, OutputFormat::Verilog);
+        assert!(!s.share);
+        assert_eq!(s.spec, ".inputs r\n");
+    }
+
+    #[test]
+    fn defaults_are_nshot_heuristic_blif() {
+        let env = parse_request(r#"{"op":"synth","spec":"x"}"#).unwrap();
+        let Request::Synth(s) = env.request else {
+            panic!("expected synth")
+        };
+        assert_eq!(s.method, Method::Nshot);
+        assert_eq!(s.minimizer, Minimizer::Heuristic);
+        assert_eq!(s.trials, 0);
+        assert_eq!(s.format, OutputFormat::Blif);
+        assert!(!s.share, "share defaults off, like SynthesisOptions");
+    }
+
+    #[test]
+    fn errors_keep_the_id_when_json_is_valid() {
+        let (id, msg) = parse_request(r#"{"id":"abc","op":"synth"}"#).unwrap_err();
+        assert_eq!(id.as_str(), Some("abc"));
+        assert!(msg.contains("spec"));
+        let (id, _) = parse_request("not json").unwrap_err();
+        assert_eq!(id, Json::Null);
+    }
+
+    #[test]
+    fn rejects_unknown_enums_and_oversized_trials() {
+        for bad in [
+            r#"{"op":"synth","spec":"x","method":"magic"}"#,
+            r#"{"op":"synth","spec":"x","minimizer":"quantum"}"#,
+            r#"{"op":"synth","spec":"x","format":"edif"}"#,
+            r#"{"op":"synth","spec":"x","trials":999999}"#,
+            r#"{"op":"synth","spec":"x","trials":-1}"#,
+            r#"{"op":"synth","spec":"x","share":"yes"}"#,
+            r#"{"op":"fly"}"#,
+            r#"{"spec":"x"}"#,
+            r#"[1,2]"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn cache_key_distinguishes_options() {
+        let base = SynthRequest {
+            spec: ".inputs r\n".into(),
+            method: Method::Nshot,
+            minimizer: Minimizer::Heuristic,
+            trials: 0,
+            format: OutputFormat::Blif,
+            share: true,
+        };
+        let mut other = base.clone();
+        other.share = false;
+        assert_ne!(base.cache_key(), other.cache_key());
+        let mut fmt = base.clone();
+        fmt.format = OutputFormat::None;
+        assert_ne!(base.cache_key(), fmt.cache_key());
+        assert_eq!(base.cache_key(), base.clone().cache_key());
+    }
+
+    #[test]
+    fn rendered_response_is_one_parseable_line() {
+        let r = Response::ok(vec![
+            ("name".into(), Json::Str("hs".into())),
+            ("area".into(), Json::Num(52.0)),
+        ]);
+        let line = render_response(&Json::Num(9.0), &r.deterministic_fields(), false, 1234);
+        assert!(!line.contains('\n'));
+        let v = crate::json::parse(&line).unwrap();
+        assert_eq!(v.get("id").unwrap().as_u64(), Some(9));
+        assert_eq!(v.get("code").unwrap().as_u64(), Some(200));
+        assert_eq!(v.get("area").unwrap().as_u64(), Some(52));
+        assert_eq!(v.get("cached").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("service_us").unwrap().as_u64(), Some(1234));
+    }
+}

@@ -1,0 +1,357 @@
+//! Request execution: one synthesis job in, one deterministic response out.
+//!
+//! This is the pure part of the service — no sockets, no queues. Everything
+//! here is a function of the request (plus the deadline), so the whole
+//! response prefix is cacheable and the loopback tests can compare it
+//! byte-for-byte against direct library calls.
+//!
+//! Cancellation is **cooperative**: a job checks its deadline between
+//! pipeline stages (parse → elaborate → synthesize → per-chunk Monte-Carlo)
+//! and bails with a 504 as soon as it notices the budget is gone. A stage
+//! in progress is never interrupted — the stages are the cancellation
+//! granularity, which keeps every data structure valid and every partial
+//! result discardable.
+
+use crate::json::Json;
+use crate::protocol::{Method, OutputFormat, Response, SynthRequest};
+use nshot_core::{synthesize, NshotImplementation, SynthesisOptions};
+use nshot_netlist::{DelayModel, Netlist};
+use nshot_sg::StateGraph;
+use nshot_sim::{monte_carlo, ConformanceConfig, MonteCarloSummary};
+use std::time::Instant;
+
+/// Monte-Carlo trials run between two deadline checks.
+const TRIAL_CHUNK: usize = 8;
+
+/// A cooperative cancellation deadline (`None` = unlimited).
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline(pub Option<Instant>);
+
+impl Deadline {
+    /// A deadline that never expires.
+    pub fn unlimited() -> Self {
+        Deadline(None)
+    }
+
+    /// `true` once the wall clock has passed the deadline.
+    pub fn expired(&self) -> bool {
+        self.0.is_some_and(|t| Instant::now() >= t)
+    }
+
+    /// Check the budget between stages.
+    ///
+    /// # Errors
+    ///
+    /// The 504 response naming the stage that found the deadline gone.
+    fn check(&self, stage: &str) -> Result<(), Response> {
+        if self.expired() {
+            Err(Response::error(
+                504,
+                format!("deadline exceeded (noticed after {stage})"),
+            ))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Parse a specification: `.g` STG text (detected by a `.graph` section,
+/// as in the `assassin` CLI) or the SG text format.
+///
+/// # Errors
+///
+/// The parse/elaboration error message, for a 400 response.
+pub fn load_spec(text: &str) -> Result<StateGraph, String> {
+    if text.contains(".graph") {
+        let stg = nshot_stg::parse_stg(text).map_err(|e| e.to_string())?;
+        stg.elaborate().map_err(|e| e.to_string())
+    } else {
+        nshot_sg::parse_sg(text).map_err(|e| e.to_string())
+    }
+}
+
+/// Render the requested netlist text.
+fn netlist_text(netlist: &Netlist, format: OutputFormat) -> Option<Json> {
+    match format {
+        OutputFormat::Blif => Some(Json::Str(netlist.to_blif())),
+        OutputFormat::Verilog => Some(Json::Str(netlist.to_verilog())),
+        OutputFormat::None => None,
+    }
+}
+
+/// Run `trials` Monte-Carlo conformance trials in deadline-checked chunks.
+///
+/// Chunking is invisible in the result: the per-trial seed schedule is
+/// `trial_seed(base, i) = (base + i) · c`, so running chunk `[s, s+n)` with
+/// the base seed advanced by `s` reproduces exactly the seeds a single
+/// `monte_carlo(trials)` call would use, and the summaries fold the same
+/// way (sums and first-failure).
+///
+/// # Errors
+///
+/// The 504 response when the deadline expires between chunks.
+fn monte_carlo_chunked(
+    sg: &StateGraph,
+    imp: &NshotImplementation,
+    trials: usize,
+    deadline: &Deadline,
+) -> Result<MonteCarloSummary, Response> {
+    let base = ConformanceConfig::default();
+    let mut done = 0;
+    let mut clean = 0;
+    let mut total_transitions = 0;
+    let mut first_failure = None;
+    while done < trials {
+        deadline.check("monte-carlo chunk")?;
+        let n = TRIAL_CHUNK.min(trials - done);
+        let config = ConformanceConfig {
+            seed: base.seed.wrapping_add(done as u64),
+            ..base.clone()
+        };
+        let chunk = monte_carlo(sg, imp, &config, n);
+        clean += chunk.clean_trials;
+        total_transitions += chunk.total_transitions;
+        if first_failure.is_none() {
+            first_failure = chunk.first_failure;
+        }
+        done += n;
+    }
+    Ok(MonteCarloSummary {
+        trials,
+        clean_trials: clean,
+        total_transitions,
+        first_failure,
+    })
+}
+
+/// Execute one synthesis request to completion (or deadline/error).
+///
+/// The returned [`Response`] is deterministic: same request, same response
+/// prefix, regardless of worker, thread count, or cache state.
+pub fn process_synth(req: &SynthRequest, deadline: &Deadline) -> Response {
+    if let Err(r) = deadline.check("dequeue") {
+        return r;
+    }
+    let sg = match load_spec(&req.spec) {
+        Ok(sg) => sg,
+        Err(e) => return Response::error(400, format!("spec: {e}")),
+    };
+    if let Err(r) = deadline.check("parse") {
+        return r;
+    }
+
+    let mut body: Vec<(String, Json)> = vec![
+        ("name".into(), Json::Str(sg.name().to_owned())),
+        ("method".into(), Json::Str(req.method.name().into())),
+        ("states".into(), Json::Num(sg.reachable().len() as f64)),
+    ];
+
+    match req.method {
+        Method::Nshot => {
+            let options = SynthesisOptions {
+                minimizer: req.minimizer,
+                delay_model: DelayModel::default(),
+                share_products: req.share,
+            };
+            let imp = match synthesize(&sg, &options) {
+                Ok(imp) => imp,
+                Err(e) => return Response::error(422, format!("synthesis: {e}")),
+            };
+            if let Err(r) = deadline.check("synthesize") {
+                return r;
+            }
+            body.push(("signals".into(), Json::Num(imp.signals.len() as f64)));
+            body.push(("area".into(), Json::Num(f64::from(imp.area))));
+            body.push(("delay_ns".into(), Json::Num(imp.delay_ns)));
+            body.push((
+                "product_terms".into(),
+                Json::Num(imp.product_terms() as f64),
+            ));
+            body.push((
+                "delay_compensation_free".into(),
+                Json::Bool(imp.delay_compensation_free()),
+            ));
+            body.push((
+                "triggers".into(),
+                Json::Num(imp.signals.iter().map(|s| s.triggers.len()).sum::<usize>() as f64),
+            ));
+            if let Some(text) = netlist_text(&imp.netlist, req.format) {
+                body.push((req.format.name().into(), text));
+            }
+            if req.trials > 0 {
+                let summary = match monte_carlo_chunked(&sg, &imp, req.trials, deadline) {
+                    Ok(s) => s,
+                    Err(r) => return r,
+                };
+                body.push(("trials".into(), Json::Num(summary.trials as f64)));
+                body.push((
+                    "clean_trials".into(),
+                    Json::Num(summary.clean_trials as f64),
+                ));
+                body.push((
+                    "total_transitions".into(),
+                    Json::Num(summary.total_transitions as f64),
+                ));
+                body.push((
+                    "hazard_free".into(),
+                    Json::Bool(summary.clean_trials == summary.trials),
+                ));
+            }
+        }
+        Method::Syn => {
+            let imp = match nshot_baselines::syn(&sg, &DelayModel::default()) {
+                Ok(imp) => imp,
+                Err(e) => return Response::error(422, format!("syn: {e}")),
+            };
+            body.push(("area".into(), Json::Num(f64::from(imp.area))));
+            body.push(("delay_ns".into(), Json::Num(imp.delay_ns)));
+            body.push(("ack_cubes".into(), Json::Num(imp.ack_cubes as f64)));
+            if let Some(text) = netlist_text(&imp.netlist, req.format) {
+                body.push((req.format.name().into(), text));
+            }
+        }
+        Method::Sis => {
+            let imp = match nshot_baselines::sis(&sg, &DelayModel::default()) {
+                Ok(imp) => imp,
+                Err(e) => return Response::error(422, format!("sis: {e}")),
+            };
+            body.push(("area".into(), Json::Num(f64::from(imp.area))));
+            body.push(("delay_ns".into(), Json::Num(imp.delay_ns)));
+            body.push(("delay_lines".into(), Json::Num(imp.delay_lines as f64)));
+            if let Some(text) = netlist_text(&imp.netlist, req.format) {
+                body.push((req.format.name().into(), text));
+            }
+        }
+    }
+
+    if let Err(r) = deadline.check("render") {
+        return r;
+    }
+    Response::ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    const HANDSHAKE_SG: &str = "
+        .name hs
+        .inputs r
+        .outputs g
+        .initial 00
+        00 +r 10
+        10 +g 11
+        11 -r 01
+        01 -g 00
+    ";
+
+    const HANDSHAKE_G: &str = "
+        .model hs
+        .inputs r
+        .outputs g
+        .graph
+        r+ g+
+        g+ r-
+        r- g-
+        g- r+
+        .marking { <g-,r+> }
+        .end
+    ";
+
+    fn req(spec: &str) -> SynthRequest {
+        SynthRequest {
+            spec: spec.into(),
+            method: Method::Nshot,
+            minimizer: nshot_core::Minimizer::Heuristic,
+            trials: 0,
+            format: OutputFormat::Blif,
+            share: true,
+        }
+    }
+
+    #[test]
+    fn synthesizes_both_spec_formats_identically() {
+        let a = process_synth(&req(HANDSHAKE_SG), &Deadline::unlimited());
+        let b = process_synth(&req(HANDSHAKE_G), &Deadline::unlimited());
+        assert_eq!(a.code, 200);
+        assert_eq!(b.code, 200);
+        // Same area/delay either way (states and netlist details may differ
+        // by signal ordering, but the handshake is symmetric).
+        assert_eq!(
+            a.body.iter().find(|(k, _)| k == "area"),
+            b.body.iter().find(|(k, _)| k == "area")
+        );
+    }
+
+    #[test]
+    fn response_matches_direct_library_call() {
+        let r = process_synth(&req(HANDSHAKE_SG), &Deadline::unlimited());
+        let sg = nshot_sg::parse_sg(HANDSHAKE_SG).unwrap();
+        let imp = synthesize(&sg, &SynthesisOptions::default()).unwrap();
+        let blif = r
+            .body
+            .iter()
+            .find(|(k, _)| k == "blif")
+            .and_then(|(_, v)| v.as_str())
+            .unwrap();
+        assert_eq!(blif, imp.netlist.to_blif(), "byte-identical netlist");
+        let area = r
+            .body
+            .iter()
+            .find(|(k, _)| k == "area")
+            .and_then(|(_, v)| v.as_f64())
+            .unwrap();
+        assert_eq!(area as u32, imp.area);
+    }
+
+    #[test]
+    fn trials_chunking_matches_single_call() {
+        let sg = nshot_sg::parse_sg(HANDSHAKE_SG).unwrap();
+        let imp = synthesize(&sg, &SynthesisOptions::default()).unwrap();
+        // 19 trials: 2 full chunks + a ragged tail.
+        let direct = monte_carlo(&sg, &imp, &ConformanceConfig::default(), 19);
+        let chunked =
+            monte_carlo_chunked(&sg, &imp, 19, &Deadline::unlimited()).unwrap();
+        assert_eq!(chunked.trials, direct.trials);
+        assert_eq!(chunked.clean_trials, direct.clean_trials);
+        assert_eq!(chunked.total_transitions, direct.total_transitions);
+    }
+
+    #[test]
+    fn parse_failure_is_400_synthesis_failure_is_422() {
+        let bad = process_synth(&req(".inputs r\n.initial 0\n"), &Deadline::unlimited());
+        assert_eq!(bad.code, 400);
+        // Semi-modularity violation: a valid SG the method cannot implement
+        // (+y enabled in 00 but withdrawn by +a without firing).
+        let smv = process_synth(
+            &req(".inputs a\n.outputs y\n.initial 00\n00 +y 01\n00 +a 10\n10 -a 00\n"),
+            &Deadline::unlimited(),
+        );
+        assert_eq!(smv.code, 422, "{:?}", smv.body);
+    }
+
+    #[test]
+    fn expired_deadline_is_a_504() {
+        let past = Deadline(Some(Instant::now() - Duration::from_millis(1)));
+        let r = process_synth(&req(HANDSHAKE_SG), &past);
+        assert_eq!(r.code, 504);
+        assert_eq!(r.status, "error");
+    }
+
+    #[test]
+    fn baselines_run_and_report() {
+        let mut syn_req = req(HANDSHAKE_SG);
+        syn_req.method = Method::Syn;
+        let r = process_synth(&syn_req, &Deadline::unlimited());
+        assert_eq!(r.code, 200);
+        assert!(r.body.iter().any(|(k, _)| k == "ack_cubes"));
+
+        let mut sis_req = req(HANDSHAKE_SG);
+        sis_req.method = Method::Sis;
+        sis_req.format = OutputFormat::None;
+        let r = process_synth(&sis_req, &Deadline::unlimited());
+        assert_eq!(r.code, 200);
+        assert!(r.body.iter().all(|(k, _)| k != "blif" && k != "verilog"));
+    }
+}

@@ -104,6 +104,11 @@ pub fn parse_sg(text: &str) -> Result<StateGraph, SgError> {
         }
     }
     let num_signals = signal_ids.len();
+    // Codes are packed into a u64; guard here (not just in `build`) so the
+    // per-edge bit shifts below cannot overflow on adversarial inputs.
+    if num_signals > 63 {
+        return Err(SgError::TooManySignals(num_signals));
+    }
 
     let parse_code = |line: usize, s: &str| -> Result<u64, SgError> {
         if s.len() != num_signals || !s.chars().all(|c| c == '0' || c == '1') {

@@ -34,6 +34,13 @@ impl Stg {
     /// See [`Stg::elaborate`].
     pub fn elaborate_with_cap(&self, cap: usize) -> Result<StateGraph, StgError> {
         self.check_structure()?;
+        // State codes are packed into a u64; reject oversized declarations
+        // up front so the phase-2 bit shifts cannot overflow.
+        if self.num_signals() > 63 {
+            return Err(StgError::Sg(nshot_sg::SgError::TooManySignals(
+                self.num_signals(),
+            )));
+        }
 
         // --- Phase 1: explore the marking graph.
         let m0 = self.initial_marking();

@@ -16,4 +16,20 @@ echo "== tier1: 2-circuit smoke (synth + validate) =="
 cargo run --release --bin assassin -- bench chu133
 cargo run --release --bin assassin -- bench full
 
+echo "== tier1: server smoke (ephemeral port, synth + stats + shutdown) =="
+PORT_FILE="$(mktemp)"
+cargo run --release -p nshot-server --bin nshot-serve -- --port-file "$PORT_FILE" &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$PORT_FILE" ] && break
+  sleep 0.1
+done
+ADDR="$(cat "$PORT_FILE")"
+[ -n "$ADDR" ] || { echo "server never bound"; kill "$SERVER_PID"; exit 1; }
+cargo run --release -p nshot-bench --bin loadgen -- \
+  --addr "$ADDR" --concurrency 2 --passes 1 --circuits chu133,full \
+  --out /tmp/BENCH_server_smoke.json
+wait "$SERVER_PID"
+rm -f "$PORT_FILE"
+
 echo "tier1: OK"

@@ -26,6 +26,7 @@
 //! | [`sim`] | pure-delay event simulation, MHS models, conformance oracle |
 //! | [`baselines`] | the SIS-like and SYN-like Table 2 comparators |
 //! | [`benchmarks`] | the 25-circuit Table 2 suite |
+//! | [`server`] | the NDJSON-over-TCP synthesis service (`nshot-serve`) |
 //!
 //! ## Quickstart
 //!
@@ -61,6 +62,7 @@ pub use nshot_benchmarks as benchmarks;
 pub use nshot_core as core;
 pub use nshot_logic as logic;
 pub use nshot_netlist as netlist;
+pub use nshot_server as server;
 pub use nshot_sg as sg;
 pub use nshot_sim as sim;
 pub use nshot_stg as stg;

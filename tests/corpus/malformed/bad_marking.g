@@ -1,0 +1,10 @@
+.model badmark
+.inputs r
+.outputs g
+.graph
+r+ g+
+g+ r-
+r- g-
+g- r+
+.marking { <x+,y+> }
+.end

@@ -1,0 +1,6 @@
+.model truncated
+.inputs r
+.outputs g
+.graph
+r+ g+
+g+ r

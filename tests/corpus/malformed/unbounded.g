@@ -1,0 +1,11 @@
+.model unbounded
+.inputs a
+.outputs b
+.graph
+a+ a-
+a- a+
+a- b+
+b+ b-
+b- b+
+.marking { <a-,a+> <b-,b+> }
+.end
