@@ -12,9 +12,11 @@
 //! the N client connections replays every circuit once per pass, starting
 //! at a rotated offset so the interleavings differ. Every response is
 //! checked against a locally computed `synthesize` call — a mismatch is a
-//! protocol error and fails the run. The summary (throughput, latency
-//! percentiles from the merged per-client histograms, cache hit rate,
-//! reject count) lands in `BENCH_server.json`.
+//! protocol error and fails the run. After each pass the generator scrapes
+//! the server's `metrics` op and reports per-pipeline-stage latency
+//! percentiles from the Prometheus exposition. The summary (throughput,
+//! latency percentiles from the merged per-client histograms, per-stage
+//! timings, cache hit rate, reject count) lands in `BENCH_server.json`.
 
 use nshot_core::{synthesize, SynthesisOptions};
 use nshot_server::{json, Json, LatencyHistogram, Server, ServerConfig};
@@ -173,20 +175,42 @@ fn run(args: &[String]) -> Result<(), String> {
     );
 
     let t0 = Instant::now();
-    let reports: Vec<ClientReport> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..opts.concurrency)
-            .map(|client| {
-                let specs = &specs;
-                let expected = &expected;
-                let opts = &opts;
-                s.spawn(move || client_loop(client, addr, specs, expected, opts))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("client thread"))
-            .collect()
-    });
+    let mut reports: Vec<ClientReport> = Vec::new();
+    let mut stage_timings: Vec<(String, StageStat)> = Vec::new();
+    for pass in 0..opts.passes {
+        let pass_reports: Vec<ClientReport> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..opts.concurrency)
+                .map(|client| {
+                    let specs = &specs;
+                    let expected = &expected;
+                    let opts = &opts;
+                    s.spawn(move || client_loop(client, pass, addr, specs, expected, opts))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread"))
+                .collect()
+        });
+        reports.extend(pass_reports);
+
+        // Scrape the metrics op: cumulative per-stage pipeline timings so
+        // far, straight from the server's Prometheus exposition.
+        match request(addr, r#"{"id":"metrics","op":"metrics"}"#) {
+            Ok(m) => {
+                if let Some(expo) = m.get("exposition").and_then(Json::as_str) {
+                    stage_timings = parse_stage_histograms(expo);
+                    let line = stage_timings
+                        .iter()
+                        .map(|(s, st)| format!("{s} p50={} p99={}", st.p50_us, st.p99_us))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    eprintln!("loadgen: pass {} stage timings (us): {line}", pass + 1);
+                }
+            }
+            Err(e) => eprintln!("loadgen: pass {} metrics scrape failed: {e}", pass + 1),
+        }
+    }
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
 
     // Final service-side counters, then (optionally) a graceful shutdown.
@@ -224,7 +248,7 @@ fn run(args: &[String]) -> Result<(), String> {
 
     let report = render_report(
         &opts, &names, sent, ok, rejected, cache_hits, &protocol_errors, wall_ms,
-        throughput, &latency, &stats,
+        throughput, &latency, &stats, &stage_timings,
     );
     std::fs::write(&opts.out, report).map_err(|e| format!("{}: {e}", opts.out))?;
     eprintln!(
@@ -243,9 +267,10 @@ fn run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// One client connection replaying the whole suite `passes` times.
+/// One client connection replaying the whole suite once (one pass).
 fn client_loop(
     client: usize,
+    pass: usize,
     addr: SocketAddr,
     specs: &[(String, String)],
     expected: &[String],
@@ -262,58 +287,56 @@ fn client_loop(
     let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
     let mut writer = stream;
 
-    for pass in 0..opts.passes {
-        for k in 0..specs.len() {
-            let i = (k + client) % specs.len();
-            let (name, spec) = &specs[i];
-            let line = Json::Obj(vec![
-                ("id".into(), Json::Str(format!("{client}:{pass}:{name}"))),
-                ("op".into(), Json::Str("synth".into())),
-                ("spec".into(), Json::Str(spec.clone())),
-                ("format".into(), Json::Str(opts.format.clone())),
-            ])
-            .to_string();
+    for k in 0..specs.len() {
+        let i = (k + client) % specs.len();
+        let (name, spec) = &specs[i];
+        let line = Json::Obj(vec![
+            ("id".into(), Json::Str(format!("{client}:{pass}:{name}"))),
+            ("op".into(), Json::Str("synth".into())),
+            ("spec".into(), Json::Str(spec.clone())),
+            ("format".into(), Json::Str(opts.format.clone())),
+        ])
+        .to_string();
 
-            let t0 = Instant::now();
-            let raw = match send_line(&mut writer, &mut reader, &line) {
-                Ok(raw) => raw,
-                Err(e) => {
-                    report.protocol_errors.push(format!("client {client} {name}: {e}"));
-                    return report; // the connection is gone
-                }
-            };
-            report.latency.record(t0.elapsed().as_micros() as u64);
-
-            let response = match json::parse(&raw) {
-                Ok(v) => v,
-                Err(e) => {
-                    report
-                        .protocol_errors
-                        .push(format!("client {client} {name}: bad json: {e}"));
-                    continue;
-                }
-            };
-            match response.get("code").and_then(Json::as_u64) {
-                Some(200) => {
-                    report.ok += 1;
-                    if response.get("cached").and_then(Json::as_bool) == Some(true) {
-                        report.cache_hits += 1;
-                    }
-                    // Byte-identity against the direct library call.
-                    if opts.format != "none" {
-                        let got = response.get(opts.format.as_str()).and_then(Json::as_str);
-                        if got != Some(expected[i].as_str()) {
-                            report.protocol_errors.push(format!(
-                                "client {client} {name}: netlist differs from direct call"
-                            ));
-                        }
-                    }
-                }
-                Some(429) | Some(503) => report.rejected += 1,
-                code => report.protocol_errors.push(format!(
-                    "client {client} {name}: unexpected code {code:?}: {raw}"
-                )),
+        let t0 = Instant::now();
+        let raw = match send_line(&mut writer, &mut reader, &line) {
+            Ok(raw) => raw,
+            Err(e) => {
+                report.protocol_errors.push(format!("client {client} {name}: {e}"));
+                return report; // the connection is gone
             }
+        };
+        report.latency.record(t0.elapsed().as_micros() as u64);
+
+        let response = match json::parse(&raw) {
+            Ok(v) => v,
+            Err(e) => {
+                report
+                    .protocol_errors
+                    .push(format!("client {client} {name}: bad json: {e}"));
+                continue;
+            }
+        };
+        match response.get("code").and_then(Json::as_u64) {
+            Some(200) => {
+                report.ok += 1;
+                if response.get("cached").and_then(Json::as_bool) == Some(true) {
+                    report.cache_hits += 1;
+                }
+                // Byte-identity against the direct library call.
+                if opts.format != "none" {
+                    let got = response.get(opts.format.as_str()).and_then(Json::as_str);
+                    if got != Some(expected[i].as_str()) {
+                        report.protocol_errors.push(format!(
+                            "client {client} {name}: netlist differs from direct call"
+                        ));
+                    }
+                }
+            }
+            Some(429) | Some(503) => report.rejected += 1,
+            code => report.protocol_errors.push(format!(
+                "client {client} {name}: unexpected code {code:?}: {raw}"
+            )),
         }
     }
     report
@@ -344,6 +367,91 @@ fn request(addr: SocketAddr, line: &str) -> Result<Json, String> {
     json::parse(&raw).map_err(|e| format!("bad json: {e}"))
 }
 
+/// Per-pipeline-stage summary recovered from the server's Prometheus
+/// exposition.
+struct StageStat {
+    count: u64,
+    sum_us: u64,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+/// Extract the `nshot_stage_duration_us` histogram per stage from
+/// Prometheus text and compute conservative (upper-bucket-edge) p50/p99
+/// from the cumulative `le` buckets, the same convention the histogram
+/// itself uses.
+fn parse_stage_histograms(exposition: &str) -> Vec<(String, StageStat)> {
+    // stage -> (ascending (le, cumulative) pairs, sum, count)
+    type Acc = Vec<(String, Vec<(u64, u64)>, u64, u64)>;
+    let mut stages: Acc = Vec::new();
+    fn entry(stages: &mut Acc, stage: &str) -> usize {
+        match stages.iter().position(|(s, ..)| s == stage) {
+            Some(i) => i,
+            None => {
+                stages.push((stage.to_owned(), Vec::new(), 0, 0));
+                stages.len() - 1
+            }
+        }
+    }
+    for line in exposition.lines() {
+        let Some(rest) = line.strip_prefix("nshot_stage_duration_us") else {
+            continue;
+        };
+        let Some((series, value)) = rest.rsplit_once(' ') else {
+            continue;
+        };
+        let Ok(value) = value.parse::<u64>() else { continue };
+        let stage_of = |s: &str| {
+            s.split("stage=\"")
+                .nth(1)
+                .and_then(|t| t.split('"').next())
+                .map(str::to_owned)
+        };
+        if let Some(labels) = series.strip_prefix("_bucket{") {
+            let Some(stage) = stage_of(labels) else { continue };
+            let Some(le) = labels.split("le=\"").nth(1).and_then(|t| t.split('"').next())
+            else {
+                continue;
+            };
+            if let Ok(le) = le.parse::<u64>() {
+                let i = entry(&mut stages, &stage);
+                stages[i].1.push((le, value));
+            }
+        } else if let Some(labels) = series.strip_prefix("_sum{") {
+            if let Some(stage) = stage_of(labels) {
+                let i = entry(&mut stages, &stage);
+                stages[i].2 = value;
+            }
+        } else if let Some(labels) = series.strip_prefix("_count{") {
+            if let Some(stage) = stage_of(labels) {
+                let i = entry(&mut stages, &stage);
+                stages[i].3 = value;
+            }
+        }
+    }
+    stages
+        .into_iter()
+        .filter(|(_, _, _, count)| *count > 0)
+        .map(|(stage, mut buckets, sum_us, count)| {
+            buckets.sort_unstable();
+            let quantile = |q: f64| -> u64 {
+                let rank = ((q * count as f64).ceil() as u64).max(1);
+                buckets
+                    .iter()
+                    .find(|(_, cum)| *cum >= rank)
+                    .map_or_else(|| buckets.last().map_or(0, |(le, _)| *le), |(le, _)| *le)
+            };
+            let stat = StageStat {
+                count,
+                sum_us,
+                p50_us: quantile(0.50),
+                p99_us: quantile(0.99),
+            };
+            (stage, stat)
+        })
+        .collect()
+}
+
 #[allow(clippy::too_many_arguments)]
 fn render_report(
     opts: &Options,
@@ -357,7 +465,22 @@ fn render_report(
     throughput: f64,
     latency: &LatencyHistogram,
     stats: &Json,
+    stage_timings: &[(String, StageStat)],
 ) -> String {
+    let stage_json = stage_timings
+        .iter()
+        .map(|(s, st)| {
+            format!(
+                "{}: {{\"count\": {}, \"sum_us\": {}, \"p50\": {}, \"p99\": {}}}",
+                Json::Str(s.clone()),
+                st.count,
+                st.sum_us,
+                st.p50_us,
+                st.p99_us
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
     let names_json = names
         .iter()
         .map(|n| Json::Str(n.clone()).to_string())
@@ -388,6 +511,7 @@ fn render_report(
          \x20 \"wall_ms\": {wall_ms:.2},\n\
          \x20 \"throughput_rps\": {throughput:.1},\n\
          \x20 \"client_latency_us\": {{\"count\": {count}, \"p50\": {p50}, \"p99\": {p99}, \"mean\": {mean}, \"max\": {max}, \"buckets\": [{buckets}]}},\n\
+         \x20 \"stage_timings_us\": {{{stage_json}}},\n\
          \x20 \"response_cache\": {{\"client_observed_hits\": {cache_hits}, \"client_hit_rate\": {hit_rate:.4}, \"server\": {stats_line}}}\n\
          }}\n",
         par = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),

@@ -1,0 +1,131 @@
+//! `obs_overhead` — prove the disabled-tracing fast path is free.
+//!
+//! With `NSHOT_TRACE` unset and no request context installed, every
+//! `nshot_obs::span()` call must collapse to a single relaxed atomic load.
+//! This harness measures that cost directly, counts how many spans one
+//! `synthesize` call actually opens (by running one under a request
+//! context and summing the per-stage counts), measures the end-to-end
+//! `synthesize` time, and computes
+//!
+//! ```text
+//! overhead% = spans_per_synthesize x inert_span_ns / synthesize_ns x 100
+//! ```
+//!
+//! The run **fails** (exit 1) when the computed overhead reaches 2% — the
+//! budget the observability layer promised when it was added. tier1.sh
+//! runs this as a regression gate.
+//!
+//! ```text
+//! obs_overhead [--circuit NAME] [--spans N] [--iters N]
+//! ```
+
+use nshot_core::{synthesize, SynthesisOptions};
+use nshot_obs::Stage;
+use std::hint::black_box;
+use std::time::Instant;
+
+const BUDGET_PCT: f64 = 2.0;
+
+fn main() -> std::process::ExitCode {
+    match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("obs_overhead: {msg}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut circuit = "hazard".to_string();
+    let mut span_reps: u64 = 5_000_000;
+    let mut iters: usize = 20;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--circuit" => circuit = value("--circuit")?,
+            "--spans" => {
+                span_reps = value("--spans")?
+                    .parse()
+                    .map_err(|_| "--spans must be an integer".to_string())?;
+            }
+            "--iters" => {
+                iters = value("--iters")?
+                    .parse()
+                    .map_err(|_| "--iters must be an integer".to_string())?;
+            }
+            "--help" | "-h" => {
+                println!("usage: obs_overhead [--circuit NAME] [--spans N] [--iters N]");
+                return Ok(());
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if std::env::var_os("NSHOT_TRACE").is_some() {
+        return Err("NSHOT_TRACE is set; this harness measures the disabled path".into());
+    }
+
+    let bench = nshot_benchmarks::by_name(&circuit)
+        .ok_or_else(|| format!("unknown circuit '{circuit}'"))?;
+    let sg = bench.build();
+    let opts = SynthesisOptions::default();
+
+    // Warm every lazy structure (espresso cache, stage histograms) so the
+    // timed loops below measure steady state.
+    synthesize(&sg, &opts).map_err(|e| format!("{circuit}: {e}"))?;
+
+    // How many spans one synthesize call opens, counted by attributing one
+    // run to a throwaway request context and summing the per-stage counts.
+    let (_, timings) = nshot_obs::with_request(nshot_obs::next_trace_id(), || {
+        synthesize(&sg, &opts)
+    });
+    let spans_per_call: u64 = timings.entries().iter().map(|(_, count, _)| count).sum();
+    if spans_per_call == 0 {
+        return Err("no spans recorded; instrumentation is missing".into());
+    }
+
+    // Inert span cost: with tracing disabled and no context installed,
+    // span() must be one relaxed load. Median-of-5 batches.
+    let mut per_span = Vec::new();
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        for _ in 0..span_reps {
+            let guard = black_box(nshot_obs::span(black_box(Stage::Parse)));
+            drop(guard);
+        }
+        per_span.push(t0.elapsed().as_nanos() as f64 / span_reps as f64);
+    }
+    per_span.sort_by(f64::total_cmp);
+    let span_ns = per_span[per_span.len() / 2];
+
+    // End-to-end synthesize cost: best-of-iters, the least noisy statistic
+    // on a shared core.
+    let mut best_ns = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        black_box(synthesize(black_box(&sg), &opts)).map_err(|e| e.to_string())?;
+        best_ns = best_ns.min(t0.elapsed().as_nanos() as f64);
+    }
+
+    let overhead_pct = spans_per_call as f64 * span_ns / best_ns * 100.0;
+    println!(
+        "{{\"circuit\": \"{circuit}\", \"spans_per_synthesize\": {spans_per_call}, \
+         \"inert_span_ns\": {span_ns:.2}, \"synthesize_ns\": {best_ns:.0}, \
+         \"overhead_pct\": {overhead_pct:.4}, \"budget_pct\": {BUDGET_PCT}}}"
+    );
+    if overhead_pct >= BUDGET_PCT {
+        return Err(format!(
+            "disabled-tracing overhead {overhead_pct:.4}% exceeds the {BUDGET_PCT}% budget"
+        ));
+    }
+    eprintln!(
+        "obs_overhead: {overhead_pct:.4}% (budget {BUDGET_PCT}%) — disabled tracing is \
+         effectively free"
+    );
+    Ok(())
+}

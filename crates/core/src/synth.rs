@@ -142,6 +142,7 @@ pub fn synthesize(
     sg: &StateGraph,
     options: &SynthesisOptions,
 ) -> Result<NshotImplementation, SynthesisError> {
+    let classify_span = nshot_obs::span(nshot_obs::Stage::Classify);
     sg.check_csc().map_err(SynthesisError::Csc)?;
     sg.check_semi_modular()
         .map_err(SynthesisError::NotSemiModular)?;
@@ -152,8 +153,10 @@ pub fn synthesize(
         .non_input_signals()
         .map(|a| SetResetSpec::derive(sg, a))
         .collect();
+    drop(classify_span);
     let multi = match options.minimizer {
         Minimizer::MultiOutput => {
+            let _minimize_span = nshot_obs::span(nshot_obs::Stage::Minimize);
             let functions: Vec<nshot_logic::Function> = specs
                 .iter()
                 .flat_map(|s| [s.set.clone(), s.reset.clone()])
@@ -180,6 +183,7 @@ pub fn synthesize(
     let results: Vec<Result<PerSignal, SynthesisError>> =
         nshot_par::par_map(&indexed, |&(i, spec)| {
             let a = spec.signal;
+            let minimize_span = nshot_obs::span(nshot_obs::Stage::Minimize);
             let (mut set_cover, mut reset_cover) = match options.minimizer {
                 Minimizer::Heuristic => {
                     (espresso_cached(&spec.set), espresso_cached(&spec.reset))
@@ -192,8 +196,10 @@ pub fn synthesize(
                     (m.cover_for(2 * i), m.cover_for(2 * i + 1))
                 }
             };
+            drop(minimize_span);
 
             // Theorem 1: one trigger cube per trigger region.
+            let trigger_span = nshot_obs::span(nshot_obs::Stage::TriggerCheck);
             let regions = sg.regions_of(a);
             let mut triggers = Vec::new();
             for (dir, function, cover) in [
@@ -207,6 +213,7 @@ pub fn synthesize(
                     })?;
                 triggers.extend(certs);
             }
+            drop(trigger_span);
 
             debug_assert_eq!(
                 verify_covers(sg, a, &set_cover, &reset_cover),
@@ -226,10 +233,15 @@ pub fn synthesize(
         covers.push((a, set_cover, reset_cover));
     }
 
+    // Netlist mapping (including the per-signal Eq. 1 delay evaluation the
+    // architecture performs while placing compensation delays) is the emit
+    // stage; the top-level delay/critical-path verdict below gets its own.
+    let emit_span = nshot_obs::span(nshot_obs::Stage::Emit);
     let (mut netlist, assembled) = assemble_netlist(sg, &covers, &options.delay_model)?;
     if options.share_products {
         netlist.dedupe();
     }
+    drop(emit_span);
 
     let mut signals = Vec::new();
     for (((a, triggers, init), (_, set_cover, reset_cover)), parts) in
@@ -246,8 +258,10 @@ pub fn synthesize(
         });
     }
 
+    let delay_span = nshot_obs::span(nshot_obs::Stage::DelayCheck);
     let area = netlist.area() + signals.iter().map(|s| s.init.area()).sum::<u32>();
     let delay_ns = netlist.critical_path_ns(&options.delay_model)?;
+    drop(delay_span);
     Ok(NshotImplementation {
         name: sg.name().to_owned(),
         num_states: sg.reachable().len(),

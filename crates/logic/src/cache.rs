@@ -28,10 +28,16 @@
 //! backs the server's whole-response cache.
 
 use crate::{espresso, Cover, Cube, Function};
+use nshot_obs::{Counter, Gauge, Registry};
 use nshot_par::FxHashMap;
 use std::hash::Hash;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+// The cache-statistics struct lives in `nshot-obs` now, shared with the
+// server's response cache; re-exported here so `nshot_logic::CacheStats`
+// stays a valid name.
+pub use nshot_obs::CacheStats;
 
 /// Default entry cap of the global espresso memo table. Generous: a cover
 /// entry is tens-to-hundreds of bytes, so the worst case stays in the tens
@@ -131,31 +137,30 @@ impl<K: Hash + Eq, V> BoundedCache<K, V> {
     }
 }
 
-/// Hit/miss/eviction counters of the global cover cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct CacheStats {
-    /// Calls answered from the cache.
-    pub hits: u64,
-    /// Calls that ran the minimizer.
-    pub misses: u64,
-    /// Entries dropped by the bounded table's generation rotation.
-    pub evictions: u64,
+/// Handles to the memo table's series in the process-global metrics
+/// registry, resolved once. The `stats` op of `nshot-server` and the
+/// `metrics` Prometheus exposition both read these — the counters *are*
+/// the statistics, not a copy of them.
+struct Metrics {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+    entries: Arc<Gauge>,
 }
 
-impl CacheStats {
-    /// Hits as a fraction of all lookups (0 when no lookups were made).
-    pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.hits as f64 / total as f64
+fn metrics() -> &'static Metrics {
+    static METRICS: OnceLock<Metrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = Registry::global();
+        Metrics {
+            hits: r.counter("nshot_espresso_cache_hits_total"),
+            misses: r.counter("nshot_espresso_cache_misses_total"),
+            evictions: r.counter("nshot_espresso_cache_evictions_total"),
+            entries: r.gauge("nshot_espresso_cache_entries"),
         }
-    }
+    })
 }
 
-static HITS: AtomicU64 = AtomicU64::new(0);
-static MISSES: AtomicU64 = AtomicU64::new(0);
 /// Entry-cap override for the global memo table (0 = unset, fall back to
 /// `NSHOT_ESPRESSO_CACHE_CAP` or [`DEFAULT_ESPRESSO_CACHE_CAP`]).
 static CAP_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -232,7 +237,7 @@ pub fn espresso_cached(f: &Function) -> Cover {
         .get(&key)
         .cloned()
     {
-        HITS.fetch_add(1, Ordering::Relaxed);
+        metrics().hits.inc();
         return cover;
     }
 
@@ -245,25 +250,34 @@ pub fn espresso_cached(f: &Function) -> Cover {
         Cover::from_cubes(f.num_vars(), sorted_cubes(f.off_set())),
     );
     let cover = espresso(&canonical);
-    MISSES.fetch_add(1, Ordering::Relaxed);
-    CACHE
-        .lock()
-        .expect("cover cache poisoned")
-        .get_or_insert_with(|| BoundedCache::new(espresso_cache_cap()))
-        .insert(key, cover.clone());
+    let m = metrics();
+    m.misses.inc();
+    {
+        let mut guard = CACHE.lock().expect("cover cache poisoned");
+        let table = guard.get_or_insert_with(|| BoundedCache::new(espresso_cache_cap()));
+        table.insert(key, cover.clone());
+        // Keep the registry's view of the table current while we hold the
+        // lock anyway (evictions are monotone, entries are a gauge).
+        m.evictions.store(table.evictions());
+        m.entries.set(table.len() as u64);
+    }
     cover
 }
 
-/// Current global hit/miss/eviction counters.
+/// Current global hit/miss/eviction counters (read straight from the
+/// process-global metrics registry; the eviction counter is refreshed from
+/// the table first so `stats` and `metrics` agree).
 pub fn cache_stats() -> CacheStats {
+    let m = metrics();
     let evictions = CACHE
         .lock()
         .expect("cover cache poisoned")
         .as_ref()
         .map_or(0, BoundedCache::evictions);
+    m.evictions.store(evictions);
     CacheStats {
-        hits: HITS.load(Ordering::Relaxed),
-        misses: MISSES.load(Ordering::Relaxed),
+        hits: m.hits.get(),
+        misses: m.misses.get(),
         evictions,
     }
 }
@@ -281,8 +295,11 @@ pub fn cache_len() -> usize {
 pub fn reset_cache() {
     let mut guard = CACHE.lock().expect("cover cache poisoned");
     *guard = None;
-    HITS.store(0, Ordering::Relaxed);
-    MISSES.store(0, Ordering::Relaxed);
+    let m = metrics();
+    m.hits.reset();
+    m.misses.reset();
+    m.evictions.reset();
+    m.entries.set(0);
 }
 
 #[cfg(test)]

@@ -1,0 +1,48 @@
+//! # nshot-obs — structured tracing, metrics and per-stage profiling
+//!
+//! The synthesis pipeline is a fixed sequence of stages (parse → elaborate →
+//! ER/QR/TR classification → minimize → trigger check → delay/compensation
+//! check → netlist emit, plus Monte-Carlo validation), and hazard-free
+//! synthesis cost is dominated by a few super-linear stages. This crate
+//! makes *where the time goes* observable without adding a single external
+//! dependency or measurable cost to the disabled path:
+//!
+//! * **Spans** ([`span`]) — RAII guards over [`std::time::Instant`] named by
+//!   a fixed [`Stage`] vocabulary. A span records its duration into the
+//!   process-wide per-stage histograms, into the active request's trace
+//!   context (for the server's per-response `timing` map) and, when the
+//!   NDJSON sink is on, as one trace line. When no sink is configured and no
+//!   request context is installed anywhere, creating a span is a single
+//!   relaxed atomic load and nothing else — no clock read, no allocation.
+//! * **Trace contexts** ([`with_request`] / [`with_context`]) — a per-request
+//!   collector keyed by a trace id minted with [`next_trace_id`]. Contexts
+//!   propagate across `nshot_par::par_map` worker threads, so per-signal
+//!   minimization and Monte-Carlo chunks are attributed to the request that
+//!   spawned them.
+//! * **Registry** ([`Registry`]) — named counters, gauges and fixed-bucket
+//!   power-of-two-µs histograms ([`AtomicHistogram`]), renderable as
+//!   Prometheus text exposition. A process-global registry
+//!   ([`Registry::global`]) holds the pipeline-stage histograms and the
+//!   espresso-cache counters; the server additionally keeps a per-instance
+//!   registry for its own counters.
+//! * **NDJSON sink** ([`set_trace`], env `NSHOT_TRACE=path|stderr`) — one
+//!   JSON object per finished span, written through lock-striped buffers so
+//!   concurrent workers do not serialize on a single writer mutex. Off by
+//!   default; the enabled check is one atomic.
+//!
+//! Determinism: tracing never influences synthesis results. Spans observe,
+//! they do not participate — the byte-identity tests run with the sink on
+//! and off and require identical netlists.
+
+pub mod registry;
+pub mod sink;
+pub mod span;
+
+pub use registry::{
+    AtomicHistogram, CacheStats, Counter, Gauge, Histogram, Registry, NUM_BUCKETS,
+};
+pub use sink::{flush_trace, set_trace, trace_enabled, TraceTarget};
+pub use span::{
+    current_context, next_trace_id, span, stage_histograms, with_context, with_request,
+    SpanGuard, Stage, StageTimings, TraceContext, PIPELINE_STAGES, STAGES,
+};

@@ -1,0 +1,554 @@
+//! Named metrics: counters, gauges, fixed-bucket histograms, and their
+//! Prometheus text exposition.
+//!
+//! The histogram is the power-of-two-µs design that previously lived in
+//! `nshot-server`: bucket *i* counts observations in `[2^(i-1), 2^i)` µs
+//! (bucket 0 counts `0`). 40 buckets cover ~17 minutes, far beyond any
+//! request timeout. Recording is O(1) with no allocation, and quantiles are
+//! computed from the counts on demand, conservatively reporting the *upper*
+//! edge of the bucket the quantile falls in. All timing comes from
+//! [`std::time::Instant`] at the call sites; histograms never consult a
+//! clock. Two flavours share the bucket layout:
+//!
+//! * [`Histogram`] — plain, mergeable; used by load generators that tally
+//!   per-client and fold at the end.
+//! * [`AtomicHistogram`] — lock-free shared recording for the [`Registry`];
+//!   snapshots produce a plain [`Histogram`].
+//!
+//! Metric names may carry a fixed Prometheus label set inline
+//! (`name{stage="minimize"}`); the renderer splits base name and labels so
+//! histogram series get their `le` label merged correctly.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// Number of power-of-two buckets (see module docs).
+pub const NUM_BUCKETS: usize = 40;
+
+/// Index of the bucket covering `us`.
+fn bucket_of(us: u64) -> usize {
+    if us == 0 {
+        0
+    } else {
+        ((64 - us.leading_zeros()) as usize).min(NUM_BUCKETS - 1)
+    }
+}
+
+/// Upper edge (exclusive) of bucket `i`, in µs.
+fn upper_edge(i: usize) -> u64 {
+    if i == 0 {
+        1
+    } else {
+        1u64 << i
+    }
+}
+
+/// A fixed-bucket histogram of microsecond latencies.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; NUM_BUCKETS],
+    count: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            sum_us: 0,
+            max_us: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn record(&mut self, us: u64) {
+        self.buckets[bucket_of(us)] += 1;
+        self.count += 1;
+        self.sum_us += us;
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations in µs.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us
+    }
+
+    /// Mean latency in µs (0 with no observations).
+    pub fn mean_us(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.sum_us / self.count
+        }
+    }
+
+    /// Largest observation in µs.
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// The `q`-quantile (0 < q ≤ 1) as the upper edge of the bucket it
+    /// falls in; 0 with no observations.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // Rank of the target observation, 1-based, clamped into range.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return upper_edge(i).min(self.max_us.max(1));
+            }
+        }
+        upper_edge(NUM_BUCKETS - 1)
+    }
+
+    /// Median (p50) in µs.
+    pub fn p50_us(&self) -> u64 {
+        self.quantile_us(0.50)
+    }
+
+    /// 99th percentile in µs.
+    pub fn p99_us(&self) -> u64 {
+        self.quantile_us(0.99)
+    }
+
+    /// The non-empty buckets as `(lower_us, upper_us, count)` triples, for
+    /// reports and the stats endpoint.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                let lo = if i == 0 { 0 } else { upper_edge(i - 1) };
+                (lo, upper_edge(i), n)
+            })
+            .collect()
+    }
+
+    /// Fold another histogram into this one (loadgen merges per-client
+    /// histograms).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// Render this histogram as Prometheus text series `base_bucket{…,le}`,
+    /// `base_sum`, `base_count`. `labels` is the inner label list without
+    /// braces (may be empty).
+    pub fn render_prometheus(&self, out: &mut String, base: &str, labels: &str) {
+        use std::fmt::Write;
+        let sep = if labels.is_empty() { "" } else { "," };
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            // Keep the exposition compact: only emit a bucket boundary when
+            // it carries information (non-empty or first/last).
+            if n > 0 {
+                let _ = writeln!(
+                    out,
+                    "{base}_bucket{{{labels}{sep}le=\"{}\"}} {cumulative}",
+                    upper_edge(i)
+                );
+            }
+        }
+        let _ = writeln!(out, "{base}_bucket{{{labels}{sep}le=\"+Inf\"}} {}", self.count);
+        if labels.is_empty() {
+            let _ = writeln!(out, "{base}_sum {}", self.sum_us);
+            let _ = writeln!(out, "{base}_count {}", self.count);
+        } else {
+            let _ = writeln!(out, "{base}_sum{{{labels}}} {}", self.sum_us);
+            let _ = writeln!(out, "{base}_count{{{labels}}} {}", self.count);
+        }
+    }
+}
+
+/// Lock-free shared histogram with the same bucket layout as [`Histogram`].
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        AtomicHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl AtomicHistogram {
+    /// Record one observation (a handful of relaxed atomic adds).
+    pub fn record(&self, us: u64) {
+        self.buckets[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A plain snapshot for quantiles, merging and rendering. Buckets are
+    /// read one by one (not atomically as a set), which is fine for
+    /// monitoring: each counter is monotone.
+    pub fn snapshot(&self) -> Histogram {
+        let mut h = Histogram::default();
+        for (dst, src) in h.buckets.iter_mut().zip(self.buckets.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        // Derive count/sum from what we saw if a racing record lands between
+        // the bucket reads and these loads; staying self-consistent matters
+        // more than being up-to-the-instant.
+        h.count = h.buckets.iter().sum();
+        h.sum_us = self.sum_us.load(Ordering::Relaxed);
+        h.max_us = self.max_us.load(Ordering::Relaxed);
+        h
+    }
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add 1.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrite with an externally maintained monotone value (used to
+    /// mirror counters that live inside another data structure).
+    pub fn store(&self, n: u64) {
+        self.0.store(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Reset to 0 (benchmark isolation).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A gauge: a value that can go up and down.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Set the value.
+    pub fn set(&self, n: u64) {
+        self.0.store(n, Ordering::Relaxed);
+    }
+
+    /// Raise the value to `n` if larger (high-water marks).
+    pub fn raise(&self, n: u64) {
+        self.0.fetch_max(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Hit/miss/eviction counters of a bounded cache — shared by the espresso
+/// memo table (`nshot-logic`) and the server's whole-response cache, which
+/// previously each carried their own copy of this struct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+    /// Entries dropped by the bounded table's generation rotation.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0 when no lookups were made).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Split a metric name into `(base, labels)`: `a_total{x="y"}` →
+/// `("a_total", "x=\"y\"")`.
+fn split_name(name: &str) -> (&str, &str) {
+    match name.find('{') {
+        Some(i) => (&name[..i], name[i + 1..].trim_end_matches('}')),
+        None => (name, ""),
+    }
+}
+
+/// A registry of named metrics. One process-global instance
+/// ([`Registry::global`]) carries cross-cutting series (pipeline stage
+/// histograms, espresso-cache counters); components with per-instance
+/// counters (one `Server` per test, say) create their own.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<AtomicHistogram>>>,
+}
+
+fn unpoison<T>(r: Result<T, PoisonError<T>>) -> T {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The process-global registry.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = unpoison(self.counters.lock());
+        Arc::clone(map.entry(name.to_owned()).or_default())
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = unpoison(self.gauges.lock());
+        Arc::clone(map.entry(name.to_owned()).or_default())
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<AtomicHistogram> {
+        let mut map = unpoison(self.histograms.lock());
+        Arc::clone(map.entry(name.to_owned()).or_default())
+    }
+
+    /// Current value of a counter, 0 when it has never been created.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        unpoison(self.counters.lock())
+            .get(name)
+            .map_or(0, |c| c.get())
+    }
+
+    /// Current value of a gauge, 0 when it has never been created.
+    pub fn gauge_value(&self, name: &str) -> u64 {
+        unpoison(self.gauges.lock())
+            .get(name)
+            .map_or(0, |g| g.get())
+    }
+
+    /// Render every metric as Prometheus text exposition (version 0.0.4):
+    /// `# TYPE` headers, then one `name{labels} value` line per series, in
+    /// deterministic (sorted) order.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let mut last_base = String::new();
+        for (name, c) in unpoison(self.counters.lock()).iter() {
+            let (base, _) = split_name(name);
+            if base != last_base {
+                let _ = writeln!(out, "# TYPE {base} counter");
+                last_base = base.to_owned();
+            }
+            let _ = writeln!(out, "{name} {}", c.get());
+        }
+        last_base.clear();
+        for (name, g) in unpoison(self.gauges.lock()).iter() {
+            let (base, _) = split_name(name);
+            if base != last_base {
+                let _ = writeln!(out, "# TYPE {base} gauge");
+                last_base = base.to_owned();
+            }
+            let _ = writeln!(out, "{name} {}", g.get());
+        }
+        last_base.clear();
+        for (name, h) in unpoison(self.histograms.lock()).iter() {
+            let (base, labels) = split_name(name);
+            if base != last_base {
+                let _ = writeln!(out, "# TYPE {base} histogram");
+                last_base = base.to_owned();
+            }
+            h.snapshot().render_prometheus(&mut out, base, labels);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_power_of_two_ranges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_edges_partition_the_line() {
+        // Every bucket's upper edge is the next bucket's lower edge, and
+        // values land exactly where the edges say they should.
+        for i in 1..NUM_BUCKETS - 1 {
+            let hi = upper_edge(i);
+            assert_eq!(bucket_of(hi - 1), i, "inclusive below the edge");
+            assert_eq!(bucket_of(hi), i + 1, "exclusive at the edge");
+        }
+        assert_eq!(upper_edge(0), 1);
+        assert_eq!(bucket_of(upper_edge(NUM_BUCKETS - 1)), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_are_conservative_upper_bounds() {
+        let mut h = Histogram::default();
+        for us in [10, 11, 12, 13, 900, 950, 1000, 1100, 9000, 100_000] {
+            h.record(us);
+        }
+        assert_eq!(h.count(), 10);
+        let p50 = h.p50_us();
+        let p99 = h.p99_us();
+        assert!(p50 >= 900 && p50 <= 2048, "p50 = {p50}");
+        assert!(p99 >= 100_000 && p99 <= 131_072, "p99 = {p99}");
+        assert!(h.mean_us() > 0);
+        assert_eq!(h.max_us(), 100_000);
+    }
+
+    #[test]
+    fn single_observation_everything_agrees() {
+        let mut h = Histogram::default();
+        h.record(5000);
+        assert_eq!(h.p50_us(), h.p99_us());
+        assert_eq!(h.mean_us(), 5000);
+        assert_eq!(h.nonzero_buckets().len(), 1);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut whole = Histogram::default();
+        for (i, us) in [3u64, 17, 200, 4096, 0, 65_000].iter().enumerate() {
+            if i % 2 == 0 { &mut a } else { &mut b }.record(*us);
+            whole.record(*us);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.p50_us(), whole.p50_us());
+        assert_eq!(a.p99_us(), whole.p99_us());
+        assert_eq!(a.nonzero_buckets(), whole.nonzero_buckets());
+    }
+
+    #[test]
+    fn atomic_histogram_snapshot_matches_plain() {
+        let ah = AtomicHistogram::default();
+        let mut plain = Histogram::default();
+        for us in [0u64, 1, 7, 63, 64, 100_000, 5, 5, 5] {
+            ah.record(us);
+            plain.record(us);
+        }
+        let snap = ah.snapshot();
+        assert_eq!(snap.count(), plain.count());
+        assert_eq!(snap.sum_us(), plain.sum_us());
+        assert_eq!(snap.max_us(), plain.max_us());
+        assert_eq!(snap.nonzero_buckets(), plain.nonzero_buckets());
+    }
+
+    #[test]
+    fn registry_series_are_shared_and_rendered_sorted() {
+        let reg = Registry::new();
+        reg.counter("b_total").add(2);
+        reg.counter("a_total{k=\"v\"}").inc();
+        assert_eq!(reg.counter_value("b_total"), 2);
+        // Same name → same underlying counter.
+        reg.counter("b_total").inc();
+        assert_eq!(reg.counter_value("b_total"), 3);
+        reg.gauge("depth").set(7);
+        reg.histogram("lat_us{stage=\"x\"}").record(3);
+        reg.histogram("lat_us{stage=\"x\"}").record(700);
+
+        let text = reg.render_prometheus();
+        let a = text.find("a_total{k=\"v\"} 1").expect("labeled counter");
+        let b = text.find("b_total 3").expect("plain counter");
+        assert!(a < b, "sorted order");
+        assert!(text.contains("# TYPE a_total counter"));
+        assert!(text.contains("# TYPE depth gauge"));
+        assert!(text.contains("depth 7"));
+        assert!(text.contains("# TYPE lat_us histogram"));
+        assert!(text.contains("lat_us_bucket{stage=\"x\",le=\"+Inf\"} 2"));
+        assert!(text.contains("lat_us_sum{stage=\"x\"} 703"));
+        assert!(text.contains("lat_us_count{stage=\"x\"} 2"));
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative() {
+        let mut h = Histogram::default();
+        for us in [1u64, 1, 3, 900] {
+            h.record(us);
+        }
+        let mut out = String::new();
+        h.render_prometheus(&mut out, "t_us", "");
+        assert!(out.contains("t_us_bucket{le=\"2\"} 2"));
+        assert!(out.contains("t_us_bucket{le=\"4\"} 3"));
+        assert!(out.contains("t_us_bucket{le=\"1024\"} 4"));
+        assert!(out.contains("t_us_bucket{le=\"+Inf\"} 4"));
+        assert!(out.contains("t_us_sum 905"));
+        assert!(out.contains("t_us_count 4"));
+    }
+
+    #[test]
+    fn cache_stats_hit_rate() {
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

@@ -104,22 +104,31 @@ where
 
     let cursor = AtomicUsize::new(0);
     let chunk = chunk_size(items.len(), workers);
+    // Propagate the spawning thread's trace context so spans recorded by
+    // workers (per-signal minimization, Monte-Carlo chunks) stay attributed
+    // to the request that fanned them out.
+    let ctx = nshot_obs::current_context();
     let mut collected: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let cursor = &cursor;
+        let f = &f;
         let handles: Vec<_> = (0..workers)
             .map(|_| {
-                s.spawn(|| {
-                    let mut local: Vec<(usize, R)> = Vec::new();
-                    loop {
-                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                        if start >= items.len() {
-                            break;
+                let ctx = ctx.clone();
+                s.spawn(move || {
+                    nshot_obs::with_context(ctx, || {
+                        let mut local: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= items.len() {
+                                break;
+                            }
+                            let end = (start + chunk).min(items.len());
+                            for (i, item) in items[start..end].iter().enumerate() {
+                                local.push((start + i, f(item)));
+                            }
                         }
-                        let end = (start + chunk).min(items.len());
-                        for (i, item) in items[start..end].iter().enumerate() {
-                            local.push((start + i, f(item)));
-                        }
-                    }
-                    local
+                        local
+                    })
                 })
             })
             .collect();

@@ -75,7 +75,18 @@ fn run(args: &[String]) -> Result<(), String> {
     if let Some(path) = port_file {
         std::fs::write(&path, format!("{addr}\n")).map_err(|e| format!("{path}: {e}"))?;
     }
-    server.wait();
+    let report = server.wait();
+    // Flush any buffered NDJSON trace lines before reporting — a trace
+    // that loses its tail on graceful shutdown is worse than none.
+    nshot_obs::flush_trace();
+    eprintln!(
+        "nshot-serve: served {} requests, queue high-water {}",
+        report.served, report.queue_high_water
+    );
+    eprintln!("nshot-serve: final metrics snapshot:");
+    for line in report.metrics.lines() {
+        eprintln!("  {line}");
+    }
     println!("nshot-server: drained, bye");
     Ok(())
 }

@@ -19,33 +19,41 @@
 //!   (specification text, options), built on the same bounded segmented
 //!   cache that backs the espresso memo table
 //!   ([`nshot_logic::BoundedCache`]);
-//! * a **`stats`** request exposing counters (requests, cache hits, queue
-//!   high-water mark, p50/p99 latency from a fixed-bucket
-//!   [`histogram::LatencyHistogram`] — all timing from
-//!   [`std::time::Instant`]);
+//! * **observability** via `nshot-obs`: every request gets a trace id
+//!   ([`nshot_obs::next_trace_id`]); workers execute jobs inside
+//!   [`nshot_obs::with_request`], so the pipeline's stage spans are
+//!   attributed to the request and surface as a per-response `timing`
+//!   map. Service counters and the request-latency histogram live in a
+//!   per-server [`nshot_obs::Registry`]; the **`metrics`** op renders it
+//!   (plus the process-global registry with the stage histograms and
+//!   espresso-cache counters) as Prometheus text. The **`stats`** op
+//!   keeps its JSON counter snapshot;
 //! * **graceful shutdown** on a control request: admission closes, queued
 //!   and in-flight jobs drain, workers exit, and only then is the shutdown
-//!   acknowledged.
+//!   acknowledged. [`Server::wait`] returns a [`ShutdownReport`] with the
+//!   final counters and metrics snapshot.
 //!
 //! Protocol details live in [`protocol`]; the deterministic request
 //! execution in [`service`]. The load harness is
 //! `cargo run --release -p nshot-bench --bin loadgen`.
 
-pub mod histogram;
 pub mod json;
 pub mod protocol;
 pub mod service;
 
-pub use histogram::LatencyHistogram;
 pub use json::Json;
+/// The fixed-bucket latency histogram now lives in `nshot-obs`; the old
+/// name is kept as an alias for downstream users (loadgen).
+pub use nshot_obs::Histogram as LatencyHistogram;
 pub use protocol::{Envelope, Method, OutputFormat, Request, Response, SynthRequest};
 pub use service::{load_spec, process_synth, Deadline};
 
 use nshot_logic::BoundedCache;
+use nshot_obs::{AtomicHistogram, Counter, Gauge, Registry, StageTimings};
 use nshot_par::{BoundedQueue, PushError};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -77,26 +85,75 @@ impl Default for ServerConfig {
     }
 }
 
-/// Monotonic service counters (all lock-free except the histogram).
-#[derive(Debug, Default)]
+/// The service's metric handles, backed by a **per-server**
+/// [`Registry`] so two servers in one test process don't pollute each
+/// other's counters. The registry itself is kept for the `metrics`
+/// exposition.
 struct Counters {
-    requests: AtomicU64,
-    synth_requests: AtomicU64,
-    ok: AtomicU64,
-    client_errors: AtomicU64,
-    server_errors: AtomicU64,
-    rejects: AtomicU64,
-    timeouts: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
+    registry: Registry,
+    requests: Arc<Counter>,
+    synth_requests: Arc<Counter>,
+    ok: Arc<Counter>,
+    client_errors: Arc<Counter>,
+    server_errors: Arc<Counter>,
+    rejects: Arc<Counter>,
+    timeouts: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    cache_entries: Arc<Gauge>,
+    cache_evictions: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    queue_capacity: Arc<Gauge>,
+    queue_high_water: Arc<Gauge>,
+    latency: Arc<AtomicHistogram>,
 }
 
-/// One queued synthesis job: the request, its deadline, and the channel the
-/// worker answers on.
+impl Counters {
+    fn new() -> Counters {
+        let registry = Registry::new();
+        let requests = registry.counter("nshot_requests_total");
+        let synth_requests = registry.counter("nshot_synth_requests_total");
+        let ok = registry.counter("nshot_responses_total{outcome=\"ok\"}");
+        let client_errors = registry.counter("nshot_responses_total{outcome=\"client_error\"}");
+        let server_errors = registry.counter("nshot_responses_total{outcome=\"server_error\"}");
+        let rejects = registry.counter("nshot_responses_total{outcome=\"rejected\"}");
+        let timeouts = registry.counter("nshot_responses_total{outcome=\"timeout\"}");
+        let cache_hits = registry.counter("nshot_response_cache_hits_total");
+        let cache_misses = registry.counter("nshot_response_cache_misses_total");
+        let cache_entries = registry.gauge("nshot_response_cache_entries");
+        let cache_evictions = registry.counter("nshot_response_cache_evictions_total");
+        let queue_depth = registry.gauge("nshot_queue_depth");
+        let queue_capacity = registry.gauge("nshot_queue_capacity");
+        let queue_high_water = registry.gauge("nshot_queue_high_water");
+        let latency = registry.histogram("nshot_request_duration_us");
+        Counters {
+            registry,
+            requests,
+            synth_requests,
+            ok,
+            client_errors,
+            server_errors,
+            rejects,
+            timeouts,
+            cache_hits,
+            cache_misses,
+            cache_entries,
+            cache_evictions,
+            queue_depth,
+            queue_capacity,
+            queue_high_water,
+            latency,
+        }
+    }
+}
+
+/// One queued synthesis job: the request, its deadline, its trace id, and
+/// the channel the worker answers on (response + per-stage timings).
 struct Job {
     synth: SynthRequest,
     deadline: Deadline,
-    reply: mpsc::Sender<Response>,
+    trace_id: u64,
+    reply: mpsc::Sender<(Response, StageTimings)>,
 }
 
 /// State shared by the accept loop, connection handlers and workers.
@@ -106,7 +163,6 @@ struct Shared {
     queue: BoundedQueue<Job>,
     cache: Mutex<BoundedCache<String, String>>,
     counters: Counters,
-    latency: Mutex<LatencyHistogram>,
     shutdown: AtomicBool,
     in_flight: AtomicUsize,
     /// Signalled by workers after each finished job so the shutdown path
@@ -117,42 +173,68 @@ struct Shared {
 impl Shared {
     fn count_code(&self, code: u16) {
         match code {
-            200 => self.counters.ok.fetch_add(1, Ordering::Relaxed),
-            429 | 503 => self.counters.rejects.fetch_add(1, Ordering::Relaxed),
-            504 => self.counters.timeouts.fetch_add(1, Ordering::Relaxed),
-            400..=499 => self.counters.client_errors.fetch_add(1, Ordering::Relaxed),
-            _ => self.counters.server_errors.fetch_add(1, Ordering::Relaxed),
+            200 => self.counters.ok.inc(),
+            429 | 503 => self.counters.rejects.inc(),
+            504 => self.counters.timeouts.inc(),
+            400..=499 => self.counters.client_errors.inc(),
+            _ => self.counters.server_errors.inc(),
         };
     }
 
-    /// The deterministic stats body (counter snapshot).
-    fn stats_response(&self) -> Response {
+    /// Refresh the gauges that mirror live data structures (queue, caches).
+    fn refresh_gauges(&self) {
         let c = &self.counters;
-        let latency = self.latency.lock().expect("latency poisoned");
+        c.queue_depth.set(self.queue.len() as u64);
+        c.queue_capacity.set(self.queue.capacity() as u64);
+        c.queue_high_water.set(self.queue.high_water() as u64);
         let (cache_len, cache_evictions) = {
             let cache = self.cache.lock().expect("cache poisoned");
             (cache.len(), cache.evictions())
         };
-        let espresso = nshot_logic::cache_stats();
+        c.cache_entries.set(cache_len as u64);
+        c.cache_evictions.store(cache_evictions);
+    }
+
+    /// The Prometheus text exposition: this server's registry followed by
+    /// the process-global one (pipeline-stage histograms, espresso-cache
+    /// counters).
+    fn metrics_text(&self) -> String {
+        self.refresh_gauges();
+        let mut text = self.counters.registry.render_prometheus();
+        text.push_str(&Registry::global().render_prometheus());
+        text
+    }
+
+    /// The `metrics` response: the exposition rides inside the NDJSON
+    /// envelope as the `exposition` string field.
+    fn metrics_response(&self) -> Response {
+        Response::ok(vec![(
+            "exposition".into(),
+            Json::Str(self.metrics_text()),
+        )])
+    }
+
+    /// The deterministic stats body (counter snapshot). The espresso-cache
+    /// numbers come from the process-global registry — the same series the
+    /// `metrics` op exposes — not from a private side channel.
+    fn stats_response(&self) -> Response {
+        let c = &self.counters;
+        let latency = c.latency.snapshot();
+        let (cache_len, cache_evictions) = {
+            let cache = self.cache.lock().expect("cache poisoned");
+            (cache.len(), cache.evictions())
+        };
+        let global = Registry::global();
         let num = |n: u64| Json::Num(n as f64);
         Response::ok(vec![
             ("uptime_ms".into(), num(self.started.elapsed().as_millis() as u64)),
-            ("requests".into(), num(c.requests.load(Ordering::Relaxed))),
-            (
-                "synth_requests".into(),
-                num(c.synth_requests.load(Ordering::Relaxed)),
-            ),
-            ("ok".into(), num(c.ok.load(Ordering::Relaxed))),
-            (
-                "client_errors".into(),
-                num(c.client_errors.load(Ordering::Relaxed)),
-            ),
-            (
-                "server_errors".into(),
-                num(c.server_errors.load(Ordering::Relaxed)),
-            ),
-            ("rejects".into(), num(c.rejects.load(Ordering::Relaxed))),
-            ("timeouts".into(), num(c.timeouts.load(Ordering::Relaxed))),
+            ("requests".into(), num(c.requests.get())),
+            ("synth_requests".into(), num(c.synth_requests.get())),
+            ("ok".into(), num(c.ok.get())),
+            ("client_errors".into(), num(c.client_errors.get())),
+            ("server_errors".into(), num(c.server_errors.get())),
+            ("rejects".into(), num(c.rejects.get())),
+            ("timeouts".into(), num(c.timeouts.get())),
             (
                 "queue".into(),
                 Json::Obj(vec![
@@ -170,8 +252,8 @@ impl Shared {
             (
                 "response_cache".into(),
                 Json::Obj(vec![
-                    ("hits".into(), num(c.cache_hits.load(Ordering::Relaxed))),
-                    ("misses".into(), num(c.cache_misses.load(Ordering::Relaxed))),
+                    ("hits".into(), num(c.cache_hits.get())),
+                    ("misses".into(), num(c.cache_misses.get())),
                     ("entries".into(), Json::Num(cache_len as f64)),
                     ("evictions".into(), num(cache_evictions)),
                 ]),
@@ -179,10 +261,22 @@ impl Shared {
             (
                 "espresso_cache".into(),
                 Json::Obj(vec![
-                    ("hits".into(), num(espresso.hits)),
-                    ("misses".into(), num(espresso.misses)),
-                    ("evictions".into(), num(espresso.evictions)),
-                    ("entries".into(), Json::Num(nshot_logic::cache_len() as f64)),
+                    (
+                        "hits".into(),
+                        num(global.counter_value("nshot_espresso_cache_hits_total")),
+                    ),
+                    (
+                        "misses".into(),
+                        num(global.counter_value("nshot_espresso_cache_misses_total")),
+                    ),
+                    (
+                        "evictions".into(),
+                        num(global.counter_value("nshot_espresso_cache_evictions_total")),
+                    ),
+                    (
+                        "entries".into(),
+                        num(global.gauge_value("nshot_espresso_cache_entries")),
+                    ),
                 ]),
             ),
             (
@@ -235,17 +329,22 @@ impl Shared {
     }
 }
 
-/// Worker loop: pop jobs until the queue closes and drains.
+/// Worker loop: pop jobs until the queue closes and drains. Each job runs
+/// inside [`nshot_obs::with_request`], so pipeline spans (including those
+/// recorded on `par_map` worker threads) are attributed to the job's trace
+/// id and come back as its per-stage timings.
 fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.queue.pop() {
         shared.in_flight.fetch_add(1, Ordering::SeqCst);
-        let response = if job.deadline.expired() {
-            Response::error(504, "deadline exceeded while queued")
-        } else {
-            process_synth(&job.synth, &job.deadline)
-        };
+        let (response, timings) = nshot_obs::with_request(job.trace_id, || {
+            if job.deadline.expired() {
+                Response::error(504, "deadline exceeded while queued")
+            } else {
+                process_synth(&job.synth, &job.deadline)
+            }
+        });
         // A dropped receiver just means the client hung up mid-request.
-        let _ = job.reply.send(response);
+        let _ = job.reply.send((response, timings));
         shared.in_flight.fetch_sub(1, Ordering::SeqCst);
         shared.notify_drain();
     }
@@ -259,13 +358,15 @@ fn cacheable(code: u16) -> bool {
 }
 
 /// Handle one synthesis request end to end (cache → queue → worker →
-/// cache fill). Returns the deterministic field string, the code, and
-/// whether it was served from cache.
-fn run_synth(shared: &Shared, synth: SynthRequest) -> (u16, String, bool) {
-    shared
-        .counters
-        .synth_requests
-        .fetch_add(1, Ordering::Relaxed);
+/// cache fill). Returns the code, the deterministic field string, whether
+/// it was served from cache, and the per-stage timings (empty for cache
+/// hits and rejections — no pipeline ran).
+fn run_synth(
+    shared: &Shared,
+    synth: SynthRequest,
+    trace_id: u64,
+) -> (u16, String, bool, StageTimings) {
+    shared.counters.synth_requests.inc();
 
     let key = (shared.config.cache_cap > 0).then(|| synth.cache_key());
     if let Some(key) = &key {
@@ -273,17 +374,17 @@ fn run_synth(shared: &Shared, synth: SynthRequest) -> (u16, String, bool) {
         if let Some(hit) = cache.get(key) {
             let fields = hit.clone();
             drop(cache);
-            shared.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            shared.counters.cache_hits.inc();
             // The cached prefix starts with `"code":NNN`.
             let code: u16 = fields[7..10].parse().unwrap_or(200);
-            return (code, fields, true);
+            return (code, fields, true, StageTimings::default());
         }
-        shared.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+        shared.counters.cache_misses.inc();
     }
 
     if shared.shutdown.load(Ordering::SeqCst) {
         let r = Response::rejected(503, "shutting down", None);
-        return (r.code, r.deterministic_fields(), false);
+        return (r.code, r.deterministic_fields(), false, StageTimings::default());
     }
 
     let deadline = Deadline(
@@ -294,19 +395,27 @@ fn run_synth(shared: &Shared, synth: SynthRequest) -> (u16, String, bool) {
     let job = Job {
         synth,
         deadline,
+        trace_id,
         reply: tx,
     };
-    let response = match shared.queue.try_push(job) {
+    let (response, timings) = match shared.queue.try_push(job) {
         Ok(()) => rx.recv().unwrap_or_else(|_| {
             // Workers only exit after the queue is closed *and* drained, so
             // an accepted job always gets an answer; this is a last-resort
             // guard, not an expected path.
-            Response::error(500, "worker dropped the job")
+            (
+                Response::error(500, "worker dropped the job"),
+                StageTimings::default(),
+            )
         }),
-        Err(PushError::Full(depth)) => {
-            Response::rejected(429, "queue full", Some(depth))
-        }
-        Err(PushError::Closed) => Response::rejected(503, "shutting down", None),
+        Err(PushError::Full(depth)) => (
+            Response::rejected(429, "queue full", Some(depth)),
+            StageTimings::default(),
+        ),
+        Err(PushError::Closed) => (
+            Response::rejected(503, "shutting down", None),
+            StageTimings::default(),
+        ),
     };
 
     let fields = response.deterministic_fields();
@@ -319,7 +428,7 @@ fn run_synth(shared: &Shared, synth: SynthRequest) -> (u16, String, bool) {
                 .insert(key, fields.clone());
         }
     }
-    (response.code, fields, false)
+    (response.code, fields, false, timings)
 }
 
 /// Serve one client connection (one request per line, one response line
@@ -336,7 +445,8 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream, local_addr: Socket
             continue;
         }
         let t0 = Instant::now();
-        shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let trace_id = nshot_obs::next_trace_id();
+        shared.counters.requests.inc();
 
         // Non-UTF-8 bytes are a protocol error, answered — not a panic, not
         // a dropped connection.
@@ -346,6 +456,7 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream, local_addr: Socket
         };
 
         let mut shutdown_after_reply = false;
+        let mut timings = StageTimings::default();
         let (id, code, fields, cached) = match parsed {
             Err((id, message)) => {
                 let r = Response::error(400, message);
@@ -360,6 +471,10 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream, local_addr: Socket
                     let r = shared.stats_response();
                     (id, r.code, r.deterministic_fields(), false)
                 }
+                Request::Metrics => {
+                    let r = shared.metrics_response();
+                    (id, r.code, r.deterministic_fields(), false)
+                }
                 Request::Shutdown => {
                     shared.drain();
                     shutdown_after_reply = true;
@@ -368,15 +483,14 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream, local_addr: Socket
                         ("drained".into(), Json::Bool(true)),
                         (
                             "served".into(),
-                            Json::Num(
-                                shared.counters.requests.load(Ordering::Relaxed) as f64,
-                            ),
+                            Json::Num(shared.counters.requests.get() as f64),
                         ),
                     ]);
                     (id, r.code, r.deterministic_fields(), false)
                 }
                 Request::Synth(synth) => {
-                    let (code, fields, cached) = run_synth(shared, synth);
+                    let (code, fields, cached, t) = run_synth(shared, synth, trace_id);
+                    timings = t;
                     (id, code, fields, cached)
                 }
             },
@@ -384,13 +498,15 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream, local_addr: Socket
 
         shared.count_code(code);
         let service_us = t0.elapsed().as_micros() as u64;
-        shared
-            .latency
-            .lock()
-            .expect("latency poisoned")
-            .record(service_us);
+        shared.counters.latency.record(service_us);
 
-        let mut line = protocol::render_response(&id, &fields, cached, service_us);
+        let timing_json = if timings.is_empty() {
+            String::new()
+        } else {
+            timings.to_json()
+        };
+        let mut line =
+            protocol::render_response(&id, &fields, cached, service_us, trace_id, &timing_json);
         line.push('\n');
         if writer.write_all(line.as_bytes()).is_err() || writer.flush().is_err() {
             break;
@@ -401,6 +517,19 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream, local_addr: Socket
             break;
         }
     }
+}
+
+/// What a gracefully stopped server saw over its lifetime; returned by
+/// [`Server::wait`] so the `serve` bin can report instead of draining
+/// silently.
+#[derive(Debug)]
+pub struct ShutdownReport {
+    /// Total request lines served (all ops).
+    pub served: u64,
+    /// Deepest the job queue ever got.
+    pub queue_high_water: u64,
+    /// Final Prometheus exposition (per-server + global registries).
+    pub metrics: String,
 }
 
 /// A running service. Dropping the handle does **not** stop the server;
@@ -420,6 +549,10 @@ impl Server {
     ///
     /// [`std::io::Error`] when the address cannot be bound.
     pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        // Force-register the pipeline-stage histograms so a `metrics`
+        // scrape sees every stage (with zero counts) from the first
+        // request on.
+        let _ = nshot_obs::stage_histograms();
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let workers = if config.workers == 0 {
@@ -430,8 +563,7 @@ impl Server {
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_cap),
             cache: Mutex::new(BoundedCache::new(config.cache_cap.max(2))),
-            counters: Counters::default(),
-            latency: Mutex::new(LatencyHistogram::default()),
+            counters: Counters::new(),
             shutdown: AtomicBool::new(false),
             in_flight: AtomicUsize::new(0),
             drain: (Mutex::new(()), Condvar::new()),
@@ -486,11 +618,17 @@ impl Server {
     }
 
     /// Block until the service has shut down (via a `shutdown` request or
-    /// [`Server::shutdown`]) and every worker has exited.
-    pub fn wait(self) {
+    /// [`Server::shutdown`]) and every worker has exited, then report what
+    /// it saw.
+    pub fn wait(self) -> ShutdownReport {
         let _ = self.accept.join();
         for w in self.workers {
             let _ = w.join();
+        }
+        ShutdownReport {
+            served: self.shared.counters.requests.get(),
+            queue_high_water: self.shared.queue.high_water() as u64,
+            metrics: self.shared.metrics_text(),
         }
     }
 }

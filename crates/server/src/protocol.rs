@@ -7,17 +7,27 @@
 //!  "minimizer":"heuristic","trials":8,"format":"blif","share":true}
 //! {"id":2,"op":"stats"}
 //! {"id":3,"op":"ping"}
-//! {"id":4,"op":"shutdown"}
+//! {"id":4,"op":"metrics"}
+//! {"id":5,"op":"shutdown"}
 //! ```
 //!
 //! Responses always carry `id` (echoed verbatim, `null` when the request
 //! had none or was unparseable), `code` (HTTP-flavoured: 200 ok, 400 bad
 //! request, 422 valid request the method cannot synthesize, 429 queue full,
 //! 503 shutting down, 504 deadline exceeded), `status`, then the
-//! result fields, and finally `cached` + `service_us`. Everything up to
-//! `cached` is a pure function of the request — that prefix is what the
-//! response cache stores and what the loopback tests compare byte-for-byte
-//! against direct library calls.
+//! result fields, and finally `cached`, `service_us`, the request's
+//! `trace` id, and — on executed synthesis responses — a `timing` object
+//! mapping pipeline stage names to µs spent. Everything up to `cached` is
+//! a pure function of the request — that prefix is what the response cache
+//! stores and what the loopback tests compare byte-for-byte against direct
+//! library calls; `trace`/`timing` are observability and stamped on at
+//! send time, like `service_us`.
+//!
+//! The `metrics` op answers inline with the Prometheus text exposition of
+//! the service's registry plus the process-global one (pipeline-stage
+//! histograms, espresso-cache counters), embedded as the `exposition`
+//! string field (the protocol is NDJSON, so the text rides inside the
+//! JSON envelope).
 
 use crate::json::{self, Json};
 use nshot_core::Minimizer;
@@ -111,6 +121,8 @@ pub enum Request {
     Synth(SynthRequest),
     /// Report service counters (answered inline).
     Stats,
+    /// Prometheus-text metrics exposition (answered inline).
+    Metrics,
     /// Liveness probe (answered inline).
     Ping,
     /// Drain in-flight jobs and stop the service.
@@ -146,6 +158,7 @@ pub fn parse_request(line: &str) -> Result<Envelope, (Json, String)> {
         .ok_or_else(|| fail("missing 'op'".into()))?;
     let request = match op {
         "stats" => Request::Stats,
+        "metrics" => Request::Metrics,
         "ping" => Request::Ping,
         "shutdown" => Request::Shutdown,
         "synth" => {
@@ -268,10 +281,25 @@ impl Response {
 }
 
 /// Assemble a complete response line from the deterministic prefix and the
-/// per-call fields. The caller appends the trailing `\n`.
-pub fn render_response(id: &Json, deterministic_fields: &str, cached: bool, service_us: u64) -> String {
+/// per-call fields: `cached`, `service_us`, the request's `trace` id, and
+/// — when `timing_json` is non-empty — the per-stage `timing` object (a
+/// JSON string like `{"parse":12,"minimize":140}`). The caller appends the
+/// trailing `\n`.
+pub fn render_response(
+    id: &Json,
+    deterministic_fields: &str,
+    cached: bool,
+    service_us: u64,
+    trace_id: u64,
+    timing_json: &str,
+) -> String {
+    let timing = if timing_json.is_empty() {
+        String::new()
+    } else {
+        format!(",\"timing\":{timing_json}")
+    };
     format!(
-        "{{\"id\":{id},{deterministic_fields},\"cached\":{cached},\"service_us\":{service_us}}}"
+        "{{\"id\":{id},{deterministic_fields},\"cached\":{cached},\"service_us\":{service_us},\"trace\":{trace_id}{timing}}}"
     )
 }
 
@@ -361,7 +389,14 @@ mod tests {
             ("name".into(), Json::Str("hs".into())),
             ("area".into(), Json::Num(52.0)),
         ]);
-        let line = render_response(&Json::Num(9.0), &r.deterministic_fields(), false, 1234);
+        let line = render_response(
+            &Json::Num(9.0),
+            &r.deterministic_fields(),
+            false,
+            1234,
+            7,
+            "{\"parse\":3,\"minimize\":900}",
+        );
         assert!(!line.contains('\n'));
         let v = crate::json::parse(&line).unwrap();
         assert_eq!(v.get("id").unwrap().as_u64(), Some(9));
@@ -369,5 +404,23 @@ mod tests {
         assert_eq!(v.get("area").unwrap().as_u64(), Some(52));
         assert_eq!(v.get("cached").unwrap().as_bool(), Some(false));
         assert_eq!(v.get("service_us").unwrap().as_u64(), Some(1234));
+        assert_eq!(v.get("trace").unwrap().as_u64(), Some(7));
+        let timing = v.get("timing").unwrap();
+        assert_eq!(timing.get("minimize").unwrap().as_u64(), Some(900));
+    }
+
+    #[test]
+    fn empty_timing_is_omitted() {
+        let r = Response::error(429, "queue full");
+        let line = render_response(&Json::Null, &r.deterministic_fields(), false, 10, 3, "");
+        assert!(!line.contains("timing"));
+        assert!(line.contains("\"trace\":3"));
+        crate::json::parse(&line).unwrap();
+    }
+
+    #[test]
+    fn metrics_op_parses() {
+        let env = parse_request(r#"{"id":1,"op":"metrics"}"#).unwrap();
+        assert!(matches!(env.request, Request::Metrics));
     }
 }

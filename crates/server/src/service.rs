@@ -16,6 +16,7 @@ use crate::json::Json;
 use crate::protocol::{Method, OutputFormat, Response, SynthRequest};
 use nshot_core::{synthesize, NshotImplementation, SynthesisOptions};
 use nshot_netlist::{DelayModel, Netlist};
+use nshot_obs::Stage;
 use nshot_sg::StateGraph;
 use nshot_sim::{monte_carlo, ConformanceConfig, MonteCarloSummary};
 use std::time::Instant;
@@ -38,7 +39,9 @@ impl Deadline {
         self.0.is_some_and(|t| Instant::now() >= t)
     }
 
-    /// Check the budget between stages.
+    /// Check the budget between stages. The stage names are the same
+    /// [`Stage`] vocabulary the spans use — cancellation and tracing share
+    /// one set of pipeline boundaries.
     ///
     /// # Errors
     ///
@@ -102,7 +105,7 @@ fn monte_carlo_chunked(
     let mut total_transitions = 0;
     let mut first_failure = None;
     while done < trials {
-        deadline.check("monte-carlo chunk")?;
+        deadline.check(Stage::MonteCarlo.name())?;
         let n = TRIAL_CHUNK.min(trials - done);
         let config = ConformanceConfig {
             seed: base.seed.wrapping_add(done as u64),
@@ -129,16 +132,19 @@ fn monte_carlo_chunked(
 /// The returned [`Response`] is deterministic: same request, same response
 /// prefix, regardless of worker, thread count, or cache state.
 pub fn process_synth(req: &SynthRequest, deadline: &Deadline) -> Response {
-    if let Err(r) = deadline.check("dequeue") {
-        return r;
-    }
-    let sg = match load_spec(&req.spec) {
-        Ok(sg) => sg,
-        Err(e) => return Response::error(400, format!("spec: {e}")),
-    };
-    if let Err(r) = deadline.check("parse") {
-        return r;
-    }
+    // Both arms of the inner Result are responses: `Err` short-circuits
+    // through `?` at each deadline check or failed stage, `Ok` is the
+    // success path. This is what keeps the per-stage cancellation flat.
+    process_synth_checked(req, deadline).unwrap_or_else(|r| r)
+}
+
+fn process_synth_checked(
+    req: &SynthRequest,
+    deadline: &Deadline,
+) -> Result<Response, Response> {
+    deadline.check("dequeue")?;
+    let sg = load_spec(&req.spec).map_err(|e| Response::error(400, format!("spec: {e}")))?;
+    deadline.check(Stage::Parse.name())?;
 
     let mut body: Vec<(String, Json)> = vec![
         ("name".into(), Json::Str(sg.name().to_owned())),
@@ -153,13 +159,9 @@ pub fn process_synth(req: &SynthRequest, deadline: &Deadline) -> Response {
                 delay_model: DelayModel::default(),
                 share_products: req.share,
             };
-            let imp = match synthesize(&sg, &options) {
-                Ok(imp) => imp,
-                Err(e) => return Response::error(422, format!("synthesis: {e}")),
-            };
-            if let Err(r) = deadline.check("synthesize") {
-                return r;
-            }
+            let imp = synthesize(&sg, &options)
+                .map_err(|e| Response::error(422, format!("synthesis: {e}")))?;
+            deadline.check("synthesize")?;
             body.push(("signals".into(), Json::Num(imp.signals.len() as f64)));
             body.push(("area".into(), Json::Num(f64::from(imp.area))));
             body.push(("delay_ns".into(), Json::Num(imp.delay_ns)));
@@ -179,10 +181,7 @@ pub fn process_synth(req: &SynthRequest, deadline: &Deadline) -> Response {
                 body.push((req.format.name().into(), text));
             }
             if req.trials > 0 {
-                let summary = match monte_carlo_chunked(&sg, &imp, req.trials, deadline) {
-                    Ok(s) => s,
-                    Err(r) => return r,
-                };
+                let summary = monte_carlo_chunked(&sg, &imp, req.trials, deadline)?;
                 body.push(("trials".into(), Json::Num(summary.trials as f64)));
                 body.push((
                     "clean_trials".into(),
@@ -199,10 +198,8 @@ pub fn process_synth(req: &SynthRequest, deadline: &Deadline) -> Response {
             }
         }
         Method::Syn => {
-            let imp = match nshot_baselines::syn(&sg, &DelayModel::default()) {
-                Ok(imp) => imp,
-                Err(e) => return Response::error(422, format!("syn: {e}")),
-            };
+            let imp = nshot_baselines::syn(&sg, &DelayModel::default())
+                .map_err(|e| Response::error(422, format!("syn: {e}")))?;
             body.push(("area".into(), Json::Num(f64::from(imp.area))));
             body.push(("delay_ns".into(), Json::Num(imp.delay_ns)));
             body.push(("ack_cubes".into(), Json::Num(imp.ack_cubes as f64)));
@@ -211,10 +208,8 @@ pub fn process_synth(req: &SynthRequest, deadline: &Deadline) -> Response {
             }
         }
         Method::Sis => {
-            let imp = match nshot_baselines::sis(&sg, &DelayModel::default()) {
-                Ok(imp) => imp,
-                Err(e) => return Response::error(422, format!("sis: {e}")),
-            };
+            let imp = nshot_baselines::sis(&sg, &DelayModel::default())
+                .map_err(|e| Response::error(422, format!("sis: {e}")))?;
             body.push(("area".into(), Json::Num(f64::from(imp.area))));
             body.push(("delay_ns".into(), Json::Num(imp.delay_ns)));
             body.push(("delay_lines".into(), Json::Num(imp.delay_lines as f64)));
@@ -224,10 +219,8 @@ pub fn process_synth(req: &SynthRequest, deadline: &Deadline) -> Response {
         }
     }
 
-    if let Err(r) = deadline.check("render") {
-        return r;
-    }
-    Response::ok(body)
+    deadline.check("render")?;
+    Ok(Response::ok(body))
 }
 
 #[cfg(test)]

@@ -47,6 +47,7 @@ use crate::signal::{Dir, SignalKind};
 /// # Ok::<(), nshot_sg::SgError>(())
 /// ```
 pub fn parse_sg(text: &str) -> Result<StateGraph, SgError> {
+    let parse_span = nshot_obs::span(nshot_obs::Stage::Parse);
     let mut name = String::from("sg");
     let mut inputs: Vec<String> = Vec::new();
     let mut outputs: Vec<String> = Vec::new();
@@ -145,6 +146,11 @@ pub fn parse_sg(text: &str) -> Result<StateGraph, SgError> {
 
     let init = initial.ok_or(SgError::MissingInitial)?;
     let init_code = parse_code(0, &init)?;
+    // Building derives state codes and successor tables — attribute it to
+    // elaboration, matching the STG path where parse and elaborate are
+    // separate calls.
+    drop(parse_span);
+    let _elaborate_span = nshot_obs::span(nshot_obs::Stage::Elaborate);
     b.build(init_code)
 }
 

@@ -297,6 +297,7 @@ pub fn monte_carlo(
     base: &ConformanceConfig,
     trials: usize,
 ) -> MonteCarloSummary {
+    let _span = nshot_obs::span(nshot_obs::Stage::MonteCarlo);
     let indices: Vec<usize> = (0..trials).collect();
     let reports = nshot_par::par_map(&indices, |&i| {
         let config = ConformanceConfig {

@@ -29,6 +29,7 @@ use std::collections::HashMap;
 ///
 /// [`StgError::Parse`] describes the offending line.
 pub fn parse_stg(text: &str) -> Result<Stg, StgError> {
+    let _span = nshot_obs::span(nshot_obs::Stage::Parse);
     let mut stg = Stg::new("stg");
     let mut kinds: HashMap<String, SignalKind> = HashMap::new();
     let mut declared: Vec<(String, SignalKind)> = Vec::new();

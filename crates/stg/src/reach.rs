@@ -33,6 +33,7 @@ impl Stg {
     ///
     /// See [`Stg::elaborate`].
     pub fn elaborate_with_cap(&self, cap: usize) -> Result<StateGraph, StgError> {
+        let _span = nshot_obs::span(nshot_obs::Stage::Elaborate);
         self.check_structure()?;
         // State codes are packed into a u64; reject oversized declarations
         // up front so the phase-2 bit shifts cannot overflow.

@@ -12,6 +12,9 @@ cargo build --release --workspace
 echo "== tier1: tests =="
 cargo test --release --workspace -q
 
+echo "== tier1: disabled-tracing overhead gate (<2%) =="
+cargo run --release -p nshot-bench --bin obs_overhead
+
 echo "== tier1: 2-circuit smoke (synth + validate) =="
 cargo run --release --bin assassin -- bench chu133
 cargo run --release --bin assassin -- bench full
@@ -26,6 +29,21 @@ for _ in $(seq 1 100); do
 done
 ADDR="$(cat "$PORT_FILE")"
 [ -n "$ADDR" ] || { echo "server never bound"; kill "$SERVER_PID"; exit 1; }
+
+echo "== tier1: metrics op smoke =="
+exec 3<>"/dev/tcp/${ADDR%:*}/${ADDR#*:}"
+printf '{"id":"m","op":"metrics"}\n' >&3
+IFS= read -r METRICS_LINE <&3
+exec 3<&- 3>&-
+case "$METRICS_LINE" in
+  *nshot_requests_total*)
+    case "$METRICS_LINE" in
+      *nshot_stage_duration_us*) echo "metrics op: OK" ;;
+      *) echo "metrics op missing stage histograms: $METRICS_LINE"; kill "$SERVER_PID"; exit 1 ;;
+    esac ;;
+  *) echo "metrics op missing server counters: $METRICS_LINE"; kill "$SERVER_PID"; exit 1 ;;
+esac
+
 cargo run --release -p nshot-bench --bin loadgen -- \
   --addr "$ADDR" --concurrency 2 --passes 1 --circuits chu133,full \
   --out /tmp/BENCH_server_smoke.json

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# trace2flame.sh — collapse an NSHOT_TRACE NDJSON span log into folded
+# stacks, the input format of flamegraph.pl / inferno / speedscope.
+#
+#   NSHOT_TRACE=/tmp/trace.ndjson cargo test -q
+#   scripts/trace2flame.sh /tmp/trace.ndjson > /tmp/trace.folded
+#   flamegraph.pl /tmp/trace.folded > flame.svg   # (external tool)
+#
+# Each trace line looks like
+#   {"trace":3,"span":"minimize","stack":"classify;minimize","start_us":12,"us":48,"thread":2}
+# and becomes one folded-stack sample "classify;minimize 48" with the
+# span's own microseconds as the weight. Durations of identical stacks are
+# summed, so the output is directly plottable. Only leaf spans carry their
+# own time here; parents also appear as their own (shorter) stacks, which
+# flamegraph tooling renders correctly because child time is exclusive in
+# this trace (a parent's `us` includes its children — pass --exclusive to
+# subtract child time from parents instead).
+set -euo pipefail
+
+exclusive=0
+input=""
+for arg in "$@"; do
+  case "$arg" in
+    --exclusive) exclusive=1 ;;
+    --help|-h)
+      echo "usage: trace2flame.sh [--exclusive] TRACE.ndjson" >&2
+      exit 0
+      ;;
+    *) input="$arg" ;;
+  esac
+done
+[ -n "$input" ] || { echo "usage: trace2flame.sh [--exclusive] TRACE.ndjson" >&2; exit 1; }
+[ -r "$input" ] || { echo "trace2flame.sh: cannot read '$input'" >&2; exit 1; }
+
+# The writer emits fields in a fixed order, so a field-anchored extraction
+# is exact, not heuristic. Still, parse defensively: skip lines that do
+# not carry both a stack and a duration.
+awk -v exclusive="$exclusive" '
+{
+  if (match($0, /"stack":"[^"]*"/) == 0) next
+  stack = substr($0, RSTART + 9, RLENGTH - 10)
+  if (match($0, /"us":[0-9]+/) == 0) next
+  us = substr($0, RSTART + 5, RLENGTH - 5) + 0
+  if (stack == "") next
+  total[stack] += us
+}
+END {
+  if (exclusive) {
+    # Subtract each stack'\''s time from its parent prefix so every frame
+    # carries only its own (exclusive) time.
+    for (s in total) {
+      n = split(s, parts, ";")
+      if (n > 1) {
+        parent = parts[1]
+        for (i = 2; i < n; i++) parent = parent ";" parts[i]
+        child_sum[parent] += total[s]
+      }
+    }
+    for (s in total) {
+      t = total[s] - child_sum[s]
+      if (t > 0) print s, t
+    }
+  } else {
+    for (s in total) print s, total[s]
+  }
+}' "$input" | sort

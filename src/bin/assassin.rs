@@ -30,7 +30,10 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
+    let result = run(&args);
+    // Drain any buffered NSHOT_TRACE span lines before the process exits.
+    nshot_obs::flush_trace();
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("assassin: {msg}");
