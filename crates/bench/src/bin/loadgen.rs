@@ -4,8 +4,17 @@
 //! ```text
 //! loadgen [--addr HOST:PORT] [--concurrency N] [--passes N]
 //!         [--circuits a,b,c] [--format blif|verilog|none]
-//!         [--out PATH] [--no-shutdown]
+//!         [--out PATH] [--no-shutdown] [--store DIR]
 //! ```
+//!
+//! With `--store DIR` (in-process mode only) the server persists its
+//! response cache to the artifact store, and after the measured run a
+//! *second* server is started on the same directory and replays one pass:
+//! the warm-start phase. Its first-pass wall time, cache hit rate and the
+//! store's final figures land in the report's `store` section — the
+//! cold-vs-warm comparison that shows what the durability layer buys. The
+//! warm pass runs through the same byte-identity checks as the cold one,
+//! so a stale or corrupt store would fail the run, not skew it.
 //!
 //! Without `--addr` the generator spawns the server in-process on an
 //! ephemeral loopback port (the reproducible, CI-friendly mode). Each of
@@ -32,6 +41,7 @@ struct Options {
     format: String,
     out: String,
     shutdown: bool,
+    store: Option<String>,
 }
 
 impl Default for Options {
@@ -44,6 +54,7 @@ impl Default for Options {
             format: "blif".into(),
             out: "BENCH_server.json".into(),
             shutdown: true,
+            store: None,
         }
     }
 }
@@ -96,11 +107,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--format" => opts.format = value("--format")?,
             "--out" => opts.out = value("--out")?,
             "--no-shutdown" => opts.shutdown = false,
+            "--store" => opts.store = Some(value("--store")?),
             "--help" | "-h" => {
                 println!(
                     "usage: loadgen [--addr HOST:PORT] [--concurrency N] [--passes N] \
                      [--circuits a,b,c] [--format blif|verilog|none] [--out PATH] \
-                     [--no-shutdown]"
+                     [--no-shutdown] [--store DIR]"
                 );
                 std::process::exit(0);
             }
@@ -109,6 +121,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     if opts.concurrency == 0 || opts.passes == 0 {
         return Err("--concurrency and --passes must be at least 1".into());
+    }
+    if opts.store.is_some() && opts.addr.is_some() {
+        return Err("--store needs the in-process server (drop --addr)".into());
+    }
+    if opts.store.is_some() && !opts.shutdown {
+        return Err("--store needs the graceful shutdown (drop --no-shutdown)".into());
     }
     Ok(opts)
 }
@@ -160,6 +178,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let server = Server::bind(ServerConfig {
                 queue_cap: (opts.concurrency * 2).max(64),
                 timeout_ms: 0,
+                store_dir: opts.store.as_ref().map(Into::into),
                 ..ServerConfig::default()
             })
             .map_err(|e| format!("bind: {e}"))?;
@@ -177,7 +196,9 @@ fn run(args: &[String]) -> Result<(), String> {
     let t0 = Instant::now();
     let mut reports: Vec<ClientReport> = Vec::new();
     let mut stage_timings: Vec<(String, StageStat)> = Vec::new();
+    let mut pass_wall_ms: Vec<f64> = Vec::new();
     for pass in 0..opts.passes {
+        let pass_t0 = Instant::now();
         let pass_reports: Vec<ClientReport> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..opts.concurrency)
                 .map(|client| {
@@ -192,6 +213,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 .map(|h| h.join().expect("client thread"))
                 .collect()
         });
+        pass_wall_ms.push(pass_t0.elapsed().as_secs_f64() * 1e3);
         reports.extend(pass_reports);
 
         // Scrape the metrics op: cumulative per-stage pipeline timings so
@@ -222,13 +244,91 @@ fn run(args: &[String]) -> Result<(), String> {
         }
     }
     if let Some(server) = server {
-        if opts.shutdown {
-            server.wait();
-        } else {
+        if !opts.shutdown {
             server.shutdown();
-            server.wait();
         }
+        // Joining also joins the store's write-behind thread, so the warm
+        // phase below opens a fully flushed store.
+        server.wait();
     }
+
+    // Warm-start phase: a *fresh* server on the persisted store replays
+    // one pass. Everything it answers has to come off disk — and still
+    // pass the byte-identity checks against direct synthesis. The warm
+    // figures stay out of the main throughput/latency tallies (they
+    // measure a different thing); only its protocol errors fail the run.
+    let mut warm_errors: Vec<String> = Vec::new();
+    let store_json = match &opts.store {
+        None => None,
+        Some(dir) => {
+            let warm_server = Server::bind(ServerConfig {
+                queue_cap: (opts.concurrency * 2).max(64),
+                timeout_ms: 0,
+                store_dir: Some(dir.into()),
+                ..ServerConfig::default()
+            })
+            .map_err(|e| format!("warm bind: {e}"))?;
+            let warm_addr = warm_server.local_addr();
+            eprintln!("loadgen: warm-start pass against {warm_addr} (store {dir})");
+            let warm_t0 = Instant::now();
+            let warm_reports: Vec<ClientReport> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..opts.concurrency)
+                    .map(|client| {
+                        let specs = &specs;
+                        let expected = &expected;
+                        let opts = &opts;
+                        s.spawn(move || {
+                            client_loop(client, opts.passes, warm_addr, specs, expected, opts)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("warm client thread"))
+                    .collect()
+            });
+            let warm_wall_ms = warm_t0.elapsed().as_secs_f64() * 1e3;
+            warm_server.shutdown();
+            let warm_store = warm_server.wait().store;
+
+            let (mut warm_ok, mut warm_hits) = (0u64, 0u64);
+            for r in warm_reports {
+                warm_ok += r.ok;
+                warm_hits += r.cache_hits;
+                warm_errors.extend(r.protocol_errors);
+            }
+            let warm_hit_rate = if warm_ok > 0 {
+                warm_hits as f64 / warm_ok as f64
+            } else {
+                0.0
+            };
+            let cold_ms = pass_wall_ms.first().copied().unwrap_or(0.0);
+            eprintln!(
+                "loadgen: warm start: {warm_ok} ok, hit rate {warm_hit_rate:.4}, \
+                 first pass {warm_wall_ms:.0} ms (cold {cold_ms:.0} ms)"
+            );
+            let report_json = warm_store.as_ref().map_or_else(
+                || "null".to_string(),
+                |s| {
+                    format!(
+                        "{{\"records\": {}, \"segments\": {}, \"bytes\": {}, \"compactions\": {}, \"recovered\": {}, \"dropped\": {}}}",
+                        s.records,
+                        s.segments,
+                        s.bytes,
+                        s.stats.compactions,
+                        s.stats.recovered_records,
+                        s.stats.dropped_records
+                    )
+                },
+            );
+            Some(format!(
+                "{{\"dir\": {dir}, \"cold_first_pass_ms\": {cold:.2}, \"warm_first_pass_ms\": {warm:.2}, \"warm_ok\": {warm_ok}, \"warm_hits\": {warm_hits}, \"warm_hit_rate\": {warm_hit_rate:.4}, \"final\": {report_json}}}",
+                dir = Json::Str(dir.clone()),
+                cold = cold_ms,
+                warm = warm_wall_ms,
+            ))
+        }
+    };
 
     // Merge the per-client tallies.
     let mut latency = LatencyHistogram::default();
@@ -243,12 +343,13 @@ fn run(args: &[String]) -> Result<(), String> {
         cache_hits += r.cache_hits;
         protocol_errors.extend(r.protocol_errors);
     }
+    protocol_errors.extend(warm_errors);
     let sent = (opts.concurrency * opts.passes * specs.len()) as u64;
     let throughput = (ok + rejected) as f64 / (wall_ms / 1e3);
 
     let report = render_report(
         &opts, &names, sent, ok, rejected, cache_hits, &protocol_errors, wall_ms,
-        throughput, &latency, &stats, &stage_timings,
+        throughput, &latency, &stats, &stage_timings, store_json.as_deref(),
     );
     std::fs::write(&opts.out, report).map_err(|e| format!("{}: {e}", opts.out))?;
     eprintln!(
@@ -466,6 +567,7 @@ fn render_report(
     latency: &LatencyHistogram,
     stats: &Json,
     stage_timings: &[(String, StageStat)],
+    store_json: Option<&str>,
 ) -> String {
     let stage_json = stage_timings
         .iter()
@@ -512,8 +614,10 @@ fn render_report(
          \x20 \"throughput_rps\": {throughput:.1},\n\
          \x20 \"client_latency_us\": {{\"count\": {count}, \"p50\": {p50}, \"p99\": {p99}, \"mean\": {mean}, \"max\": {max}, \"buckets\": [{buckets}]}},\n\
          \x20 \"stage_timings_us\": {{{stage_json}}},\n\
-         \x20 \"response_cache\": {{\"client_observed_hits\": {cache_hits}, \"client_hit_rate\": {hit_rate:.4}, \"server\": {stats_line}}}\n\
+         \x20 \"response_cache\": {{\"client_observed_hits\": {cache_hits}, \"client_hit_rate\": {hit_rate:.4}, \"server\": {stats_line}}},\n\
+         \x20 \"store\": {store_line}\n\
          }}\n",
+        store_line = store_json.unwrap_or("null"),
         par = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         conc = opts.concurrency,
         passes = opts.passes,

@@ -27,7 +27,8 @@
 //! it recomputes — determinism is unaffected by the cap. The same structure
 //! backs the server's whole-response cache.
 
-use crate::{espresso, Cover, Cube, Function};
+use crate::key::{function_key, sorted_cubes};
+use crate::{espresso, Cover, Function};
 use nshot_obs::{Counter, Gauge, Registry};
 use nshot_par::FxHashMap;
 use std::hash::Hash;
@@ -194,29 +195,6 @@ pub fn set_espresso_cache_cap(cap: Option<usize>) -> Option<usize> {
     (prev != 0).then_some(prev)
 }
 
-/// Sorted copy of a cover's cubes (the canonical cube list).
-fn sorted_cubes(cover: &Cover) -> Vec<Cube> {
-    let mut cubes: Vec<Cube> = cover.iter().cloned().collect();
-    cubes.sort_unstable();
-    cubes
-}
-
-/// Canonical key: `[num_vars, |ON|, ON words…, |DC|, DC words…]`. The word
-/// count per cube is fixed by `num_vars`, so the encoding is unambiguous,
-/// and the full key is stored (not just a hash) — collisions cannot poison
-/// the cache.
-fn canonical_key(num_vars: usize, on: &[Cube], dc: &[Cube]) -> Vec<u64> {
-    let mut key = Vec::with_capacity(2 + (on.len() + dc.len()) * 2);
-    key.push(num_vars as u64);
-    for list in [on, dc] {
-        key.push(list.len() as u64);
-        for cube in list {
-            key.extend_from_slice(cube.words());
-        }
-    }
-    key
-}
-
 /// Like [`espresso`], but memoized process-wide on the canonical (ON, DC)
 /// encoding, in a bounded table (see [`espresso_cache_cap`]).
 ///
@@ -228,7 +206,11 @@ fn canonical_key(num_vars: usize, on: &[Cube], dc: &[Cube]) -> Vec<u64> {
 pub fn espresso_cached(f: &Function) -> Cover {
     let on = sorted_cubes(f.on_set());
     let dc = sorted_cubes(f.dc_set());
-    let key = canonical_key(f.num_vars(), &on, &dc);
+    // The key encoding lives in `crate::key`, alongside the request-key
+    // encoding shared with the server cache and the artifact store: the
+    // full key is stored (not just a hash), so collisions cannot poison
+    // the cache.
+    let key = function_key(f.num_vars(), &on, &dc);
 
     if let Some(cover) = CACHE
         .lock()

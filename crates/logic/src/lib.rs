@@ -41,6 +41,7 @@ mod error;
 mod espresso;
 mod exact;
 mod function;
+mod key;
 mod multi;
 mod pla;
 
@@ -54,6 +55,7 @@ pub use error::LogicError;
 pub use espresso::{espresso, espresso_with_stats, EspressoStats};
 pub use exact::{all_primes, minimize_exact};
 pub use function::Function;
+pub use key::{function_key, request_key, sorted_cubes};
 pub use multi::{espresso_multi, MultiCover};
 pub use pla::{parse_pla, ParsePlaError};
 

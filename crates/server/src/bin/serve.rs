@@ -3,15 +3,20 @@
 //! ```text
 //! nshot-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
 //!             [--timeout-ms N] [--cache-cap N] [--port-file PATH]
+//!             [--store DIR] [--store-fsync always|batch|never]
 //! ```
 //!
 //! Defaults: loopback on an ephemeral port, workers = available
-//! parallelism, queue 64, timeout 30 s, cache 1024 entries. The bound
-//! address is printed on stdout (and written to `--port-file` when given)
-//! so scripts can discover an ephemeral port. The process exits after a
-//! graceful `{"op":"shutdown"}` request has drained all jobs.
+//! parallelism, queue 64, timeout 30 s, cache 1024 entries, no store. The
+//! bound address is printed on stdout (and written to `--port-file` when
+//! given) so scripts can discover an ephemeral port. With `--store` the
+//! response cache is warmed from the persistent artifact store at startup
+//! and every cache fill is persisted write-behind, so a restarted service
+//! answers previously seen specs from disk without recompiling. The
+//! process exits after a graceful `{"op":"shutdown"}` request has drained
+//! all jobs, printing the final store summary.
 
-use nshot_server::{Server, ServerConfig};
+use nshot_server::{FsyncPolicy, Server, ServerConfig};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -58,10 +63,15 @@ fn run(args: &[String]) -> Result<(), String> {
                     .map_err(|_| "--cache-cap must be an integer".to_string())?;
             }
             "--port-file" => port_file = Some(value("--port-file")?),
+            "--store" => config.store_dir = Some(value("--store")?.into()),
+            "--store-fsync" => {
+                config.store_fsync = FsyncPolicy::parse(&value("--store-fsync")?)?;
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: nshot-serve [--addr HOST:PORT] [--workers N] [--queue-cap N] \
-                     [--timeout-ms N] [--cache-cap N] [--port-file PATH]"
+                     [--timeout-ms N] [--cache-cap N] [--port-file PATH] \
+                     [--store DIR] [--store-fsync always|batch|never]"
                 );
                 return Ok(());
             }
@@ -83,6 +93,9 @@ fn run(args: &[String]) -> Result<(), String> {
         "nshot-serve: served {} requests, queue high-water {}",
         report.served, report.queue_high_water
     );
+    if let Some(store) = &report.store {
+        eprintln!("nshot-serve: store {store}");
+    }
     eprintln!("nshot-serve: final metrics snapshot:");
     for line in report.metrics.lines() {
         eprintln!("  {line}");

@@ -51,11 +51,22 @@ pub use service::{load_spec, process_synth, Deadline};
 use nshot_logic::BoundedCache;
 use nshot_obs::{AtomicHistogram, Counter, Gauge, Registry, StageTimings};
 use nshot_par::{BoundedQueue, PushError};
+use nshot_store::{Store, StoreConfig, StoreReport};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+pub use nshot_store::FsyncPolicy;
+
+/// Version stamped on every persisted response record. Bump when the
+/// deterministic response prefix changes shape: stale-version records are
+/// dropped at [`Store::open`] and transparently recompiled, so a store
+/// written by an older release can never serve an outdated response
+/// format.
+pub const RESPONSE_STORE_VERSION: u32 = 1;
 
 /// Service configuration. `Default` gives a loopback service on an
 /// ephemeral port with generous limits.
@@ -71,6 +82,13 @@ pub struct ServerConfig {
     pub timeout_ms: u64,
     /// Whole-response cache entry cap (0 disables the cache).
     pub cache_cap: usize,
+    /// Persistent artifact store directory (`None` = in-RAM caching only).
+    /// When set, the response cache is warmed from the store at bind time
+    /// and cache fills are persisted write-behind on a dedicated thread,
+    /// so the request path never blocks on fsync.
+    pub store_dir: Option<PathBuf>,
+    /// Fsync policy for the artifact store (ignored without `store_dir`).
+    pub store_fsync: FsyncPolicy,
 }
 
 impl Default for ServerConfig {
@@ -81,6 +99,8 @@ impl Default for ServerConfig {
             queue_cap: 64,
             timeout_ms: 30_000,
             cache_cap: 1024,
+            store_dir: None,
+            store_fsync: FsyncPolicy::default(),
         }
     }
 }
@@ -102,6 +122,7 @@ struct Counters {
     cache_misses: Arc<Counter>,
     cache_entries: Arc<Gauge>,
     cache_evictions: Arc<Counter>,
+    cache_warmed: Arc<Counter>,
     queue_depth: Arc<Gauge>,
     queue_capacity: Arc<Gauge>,
     queue_high_water: Arc<Gauge>,
@@ -122,6 +143,7 @@ impl Counters {
         let cache_misses = registry.counter("nshot_response_cache_misses_total");
         let cache_entries = registry.gauge("nshot_response_cache_entries");
         let cache_evictions = registry.counter("nshot_response_cache_evictions_total");
+        let cache_warmed = registry.counter("nshot_response_cache_warmed_total");
         let queue_depth = registry.gauge("nshot_queue_depth");
         let queue_capacity = registry.gauge("nshot_queue_capacity");
         let queue_high_water = registry.gauge("nshot_queue_high_water");
@@ -139,6 +161,7 @@ impl Counters {
             cache_misses,
             cache_entries,
             cache_evictions,
+            cache_warmed,
             queue_depth,
             queue_capacity,
             queue_high_water,
@@ -168,6 +191,10 @@ struct Shared {
     /// Signalled by workers after each finished job so the shutdown path
     /// can wait for the drain.
     drain: (Mutex<()>, Condvar),
+    /// Write-behind channel to the store thread (`None` when no store is
+    /// configured). Taken — dropping the sender — at drain time, which is
+    /// what tells the store thread to flush and exit.
+    persist: Mutex<Option<mpsc::Sender<(String, String)>>>,
 }
 
 impl Shared {
@@ -308,7 +335,10 @@ impl Shared {
         ])
     }
 
-    /// Close admission and wait for queued + in-flight jobs to finish.
+    /// Close admission and wait for queued + in-flight jobs to finish,
+    /// then release the store thread (every job's cache fill has been
+    /// sent by the time the workers are idle, so dropping the sender here
+    /// loses nothing).
     fn drain(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         self.queue.close();
@@ -320,6 +350,8 @@ impl Shared {
                 .expect("drain mutex poisoned");
             guard = g;
         }
+        drop(guard);
+        self.persist.lock().expect("persist poisoned").take();
     }
 
     fn notify_drain(&self) {
@@ -368,18 +400,23 @@ fn run_synth(
 ) -> (u16, String, bool, StageTimings) {
     shared.counters.synth_requests.inc();
 
-    let key = (shared.config.cache_cap > 0).then(|| synth.cache_key());
-    if let Some(key) = &key {
-        let mut cache = shared.cache.lock().expect("cache poisoned");
-        if let Some(hit) = cache.get(key) {
-            let fields = hit.clone();
-            drop(cache);
-            shared.counters.cache_hits.inc();
-            // The cached prefix starts with `"code":NNN`.
-            let code: u16 = fields[7..10].parse().unwrap_or(200);
-            return (code, fields, true, StageTimings::default());
+    // The key feeds both the in-RAM cache and the persistent store (same
+    // canonical encoding, see `nshot_logic::request_key`).
+    let key = (shared.config.cache_cap > 0 || shared.config.store_dir.is_some())
+        .then(|| synth.cache_key());
+    if shared.config.cache_cap > 0 {
+        if let Some(key) = &key {
+            let mut cache = shared.cache.lock().expect("cache poisoned");
+            if let Some(hit) = cache.get(key) {
+                let fields = hit.clone();
+                drop(cache);
+                shared.counters.cache_hits.inc();
+                // The cached prefix starts with `"code":NNN`.
+                let code: u16 = fields[7..10].parse().unwrap_or(200);
+                return (code, fields, true, StageTimings::default());
+            }
+            shared.counters.cache_misses.inc();
         }
-        shared.counters.cache_misses.inc();
     }
 
     if shared.shutdown.load(Ordering::SeqCst) {
@@ -421,11 +458,19 @@ fn run_synth(
     let fields = response.deterministic_fields();
     if cacheable(response.code) {
         if let Some(key) = key {
-            shared
-                .cache
-                .lock()
-                .expect("cache poisoned")
-                .insert(key, fields.clone());
+            // Write-behind: hand the record to the store thread before the
+            // cache fill; the request path never waits on disk. A closed
+            // channel (store thread released at drain) just skips.
+            if let Some(tx) = shared.persist.lock().expect("persist poisoned").as_ref() {
+                let _ = tx.send((key.clone(), fields.clone()));
+            }
+            if shared.config.cache_cap > 0 {
+                shared
+                    .cache
+                    .lock()
+                    .expect("cache poisoned")
+                    .insert(key, fields.clone());
+            }
         }
     }
     (response.code, fields, false, timings)
@@ -530,6 +575,8 @@ pub struct ShutdownReport {
     pub queue_high_water: u64,
     /// Final Prometheus exposition (per-server + global registries).
     pub metrics: String,
+    /// Final artifact-store summary (`None` when no store was configured).
+    pub store: Option<StoreReport>,
 }
 
 /// A running service. Dropping the handle does **not** stop the server;
@@ -540,6 +587,7 @@ pub struct Server {
     addr: SocketAddr,
     accept: std::thread::JoinHandle<()>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    store_thread: Option<std::thread::JoinHandle<StoreReport>>,
 }
 
 impl Server {
@@ -560,14 +608,66 @@ impl Server {
         } else {
             config.workers
         };
+
+        // Open the persistent store (recovering whatever survives on
+        // disk) before serving: warm-start records go straight into the
+        // response cache, so the first request for a stored spec is a
+        // cache hit, not a recompilation.
+        let mut store = match &config.store_dir {
+            None => None,
+            Some(dir) => {
+                let mut cfg = StoreConfig::new(dir);
+                cfg.fsync = config.store_fsync;
+                cfg.value_version = RESPONSE_STORE_VERSION;
+                Some(Store::open(cfg)?)
+            }
+        };
+
+        let counters = Counters::new();
+        let cache = Mutex::new(BoundedCache::new(config.cache_cap.max(2)));
+        if let Some(store) = store.as_mut() {
+            if config.cache_cap > 0 {
+                let mut guard = cache.lock().expect("cache poisoned");
+                for (key, value) in store.entries() {
+                    // Values are deterministic-field strings; a record
+                    // that is not UTF-8 is foreign and skipped.
+                    if let Ok(fields) = String::from_utf8(value) {
+                        guard.insert(key, fields);
+                        counters.cache_warmed.inc();
+                    }
+                }
+            }
+        }
+
+        let (persist, store_thread) = match store {
+            None => (None, None),
+            Some(mut store) => {
+                let (tx, rx) = mpsc::channel::<(String, String)>();
+                let handle = std::thread::Builder::new()
+                    .name("nshot-store".into())
+                    .spawn(move || {
+                        // Write-behind loop: exits when every sender is
+                        // dropped (drain), then flushes and reports.
+                        while let Ok((key, fields)) = rx.recv() {
+                            let _ = store.put(&key, fields.as_bytes());
+                        }
+                        let _ = store.flush();
+                        store.report()
+                    })
+                    .expect("spawn store thread");
+                (Some(tx), Some(handle))
+            }
+        };
+
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_cap),
-            cache: Mutex::new(BoundedCache::new(config.cache_cap.max(2))),
-            counters: Counters::new(),
+            cache,
+            counters,
             shutdown: AtomicBool::new(false),
             in_flight: AtomicUsize::new(0),
             drain: (Mutex::new(()), Condvar::new()),
             started: Instant::now(),
+            persist: Mutex::new(persist),
             config,
         });
 
@@ -603,6 +703,7 @@ impl Server {
             addr,
             accept,
             workers: worker_handles,
+            store_thread,
         })
     }
 
@@ -625,10 +726,15 @@ impl Server {
         for w in self.workers {
             let _ = w.join();
         }
+        // The workers are gone and drain() dropped the persist sender, so
+        // the store thread is already flushing its tail; joining it here
+        // makes the returned report (and the on-disk state) final.
+        let store = self.store_thread.and_then(|h| h.join().ok());
         ShutdownReport {
             served: self.shared.counters.requests.get(),
             queue_high_water: self.shared.queue.high_water() as u64,
             metrics: self.shared.metrics_text(),
+            store,
         }
     }
 }

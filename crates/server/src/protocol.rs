@@ -96,20 +96,19 @@ pub struct SynthRequest {
 }
 
 impl SynthRequest {
-    /// The canonical response-cache key: every option that affects the
-    /// deterministic response prefix, then the specification bytes. Options
-    /// are rendered into a fixed-order header so two requests collide iff
-    /// they are semantically identical; the full key is stored, so hash
+    /// The canonical response-cache key — the shared
+    /// [`nshot_logic::request_key`] encoding, so the in-RAM response cache
+    /// and the on-disk artifact store (`nshot-store`) key on identical
+    /// bytes and can never drift. The full key is stored, so hash
     /// collisions cannot poison the cache.
     pub fn cache_key(&self) -> String {
-        format!(
-            "{}|{:?}|{}|{}|{}|{}",
+        nshot_logic::request_key(
             self.method.name(),
-            self.minimizer,
+            self.minimizer.name(),
             self.trials,
             self.format.name(),
             self.share,
-            self.spec
+            &self.spec,
         )
     }
 }
@@ -381,6 +380,34 @@ mod tests {
         fmt.format = OutputFormat::None;
         assert_ne!(base.cache_key(), fmt.cache_key());
         assert_eq!(base.cache_key(), base.clone().cache_key());
+    }
+
+    #[test]
+    fn cache_key_encoding_is_stable() {
+        // Stores written by older releases (which rendered the minimizer
+        // with `{:?}`) must keep hitting: the encoding is a compatibility
+        // contract, not an implementation detail.
+        let req = SynthRequest {
+            spec: ".inputs r\n".into(),
+            method: Method::Nshot,
+            minimizer: Minimizer::MultiOutput,
+            trials: 4,
+            format: OutputFormat::Verilog,
+            share: true,
+        };
+        assert_eq!(req.cache_key(), "nshot|MultiOutput|4|verilog|true|.inputs r\n");
+        assert_eq!(
+            req.cache_key(),
+            format!(
+                "{}|{:?}|{}|{}|{}|{}",
+                req.method.name(),
+                req.minimizer,
+                req.trials,
+                req.format.name(),
+                req.share,
+                req.spec
+            ),
+        );
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! `nshot-store`: crash-safe, content-addressed, on-disk store for
+//! synthesis artifacts.
+//!
+//! The serving layer (PR 2) and the parallel pipeline (PR 1) memoize in
+//! RAM; every process restart starts cold. This crate is the durability
+//! layer underneath them: synthesis responses keyed by the canonical
+//! `(options|spec)` encoding (see `nshot_logic::request_key`) are written
+//! to append-only log segments and survive crashes, restarts and partial
+//! writes.
+//!
+//! # On-disk format
+//!
+//! A store is a directory of segment files `seg-NNNNNNNN.log`. Each file
+//! starts with a 16-byte header (magic `NSHOTSTR`, format version, segment
+//! id) followed by records framed as
+//!
+//! ```text
+//! u32 key_len | u32 val_len | u32 value_version | key | value | u32 crc32
+//! ```
+//!
+//! (all little-endian; the CRC covers header + key + value). Appends are
+//! fsynced per [`FsyncPolicy`].
+//!
+//! # Recovery
+//!
+//! [`Store::open`] rebuilds the index by scanning every segment:
+//!
+//! * a **torn tail** (frame extending past EOF, from a crash mid-write) is
+//!   truncated away; every record before it survives;
+//! * an intact frame with a **CRC mismatch** (bit rot, torn overwrite) is
+//!   skipped individually — scanning resyncs at the next frame boundary;
+//! * a record with a **stale `value_version`** is dropped so the caller
+//!   transparently recompiles it in the current format;
+//! * a file without our magic/format version is ignored wholesale;
+//! * a **missing segment** simply contributes nothing — the index only
+//!   ever references files that exist.
+//!
+//! Corruption is therefore never an error and never served: at worst a
+//! record is recompiled.
+//!
+//! # Boundedness
+//!
+//! Segments belong to two generations, mirroring
+//! `nshot_logic::BoundedCache`: when the current generation's live-record
+//! count reaches half of [`StoreConfig::max_records`], the previous
+//! generation's files are deleted wholesale and the generations rotate.
+//! [`Store::get`] promotes previous-generation hits into the current
+//! generation, so hot artifacts survive compaction indefinitely while cold
+//! ones age out.
+
+mod crc32;
+mod segment;
+mod store;
+
+pub use crc32::crc32;
+pub use segment::{
+    encode_header, encode_record, file_name, frame_len, parse_file_name, RecordLocation,
+    ScanOutcome, FORMAT_VERSION, HEADER_LEN, MAGIC, MAX_PART_LEN, RECORD_HEADER_LEN,
+    RECORD_TRAILER_LEN,
+};
+pub use store::{
+    FsyncPolicy, Store, StoreConfig, StoreReport, StoreStats, BATCH_FSYNC_EVERY,
+};

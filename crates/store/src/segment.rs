@@ -1,0 +1,314 @@
+//! On-disk segment format: versioned header plus CRC-framed records.
+//!
+//! A segment is an append-only file:
+//!
+//! ```text
+//! ┌──────────────────────────── header (16 bytes) ───────────────────────────┐
+//! │ magic "NSHOTSTR" (8) │ format_version u32 LE │ segment_id u32 LE         │
+//! ├──────────────────────────── record (repeated) ───────────────────────────┤
+//! │ key_len u32 LE │ val_len u32 LE │ value_version u32 LE │ key │ value │   │
+//! │ crc32 u32 LE over the 12 length/version bytes + key + value              │
+//! └──────────────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! All integers are little-endian. `format_version` covers the *framing*
+//! (this layout); `value_version` covers the *payload* encoding and is
+//! chosen by the caller, so a store can transparently drop records whose
+//! payload format it no longer understands (they are recompiled and
+//! rewritten at the current version).
+//!
+//! Recovery rules, applied by [`scan`] on every open:
+//!
+//! * a record whose frame extends past end-of-file is a **torn tail** (a
+//!   crash mid-append): the scan reports the offset of the last good
+//!   record so the store can truncate the file there, and counts the torn
+//!   record as dropped;
+//! * a fully framed record whose CRC does not match is **corrupt**: it is
+//!   skipped (counted dropped) and the scan resynchronizes at the next
+//!   frame boundary — the length fields were plausible, so later records
+//!   survive a payload bit flip;
+//! * a record with an unexpected `value_version` is **stale**: well-formed
+//!   but not indexed, so the caller recompiles it;
+//! * a segment with a bad magic or framing version is ignored wholesale.
+
+use crate::crc32::crc32;
+use std::io::{self, Read};
+use std::path::Path;
+
+/// Magic bytes opening every segment file.
+pub const MAGIC: &[u8; 8] = b"NSHOTSTR";
+
+/// Version of the framing described in the module docs.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Segment header length in bytes.
+pub const HEADER_LEN: u64 = 16;
+
+/// Fixed part of a record frame before the key bytes.
+pub const RECORD_HEADER_LEN: usize = 12;
+
+/// CRC trailer length.
+pub const RECORD_TRAILER_LEN: usize = 4;
+
+/// Upper bound on a single key or value (guards against allocating on a
+/// corrupt length field).
+pub const MAX_PART_LEN: u32 = 256 * 1024 * 1024;
+
+/// File name of segment `id` (zero-padded so lexicographic order is id
+/// order).
+pub fn file_name(id: u64) -> String {
+    format!("seg-{id:08}.log")
+}
+
+/// Parse a segment id back out of a file name produced by [`file_name`].
+pub fn parse_file_name(name: &str) -> Option<u64> {
+    let id = name.strip_prefix("seg-")?.strip_suffix(".log")?;
+    if id.len() == 8 && id.bytes().all(|b| b.is_ascii_digit()) {
+        id.parse().ok()
+    } else {
+        None
+    }
+}
+
+/// The 16-byte segment header.
+pub fn encode_header(segment_id: u64) -> [u8; HEADER_LEN as usize] {
+    let mut h = [0u8; HEADER_LEN as usize];
+    h[..8].copy_from_slice(MAGIC);
+    h[8..12].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    h[12..16].copy_from_slice(&(segment_id as u32).to_le_bytes());
+    h
+}
+
+/// One fully framed record, ready to append.
+pub fn encode_record(key: &[u8], value: &[u8], value_version: u32) -> Vec<u8> {
+    let mut buf =
+        Vec::with_capacity(RECORD_HEADER_LEN + key.len() + value.len() + RECORD_TRAILER_LEN);
+    buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&(value.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&value_version.to_le_bytes());
+    buf.extend_from_slice(key);
+    buf.extend_from_slice(value);
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// Total frame length of a record with the given part lengths.
+pub fn frame_len(key_len: u32, val_len: u32) -> u64 {
+    RECORD_HEADER_LEN as u64 + u64::from(key_len) + u64::from(val_len) + RECORD_TRAILER_LEN as u64
+}
+
+/// Where a live record sits inside a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordLocation {
+    /// Segment id.
+    pub seg: u64,
+    /// Byte offset of the record frame (the `key_len` field).
+    pub offset: u64,
+    /// Total frame length (header + key + value + CRC).
+    pub frame_len: u64,
+    /// Key length in bytes.
+    pub key_len: u32,
+    /// Value length in bytes.
+    pub val_len: u32,
+}
+
+impl RecordLocation {
+    /// Byte range of the value inside the frame.
+    pub fn value_range(&self) -> std::ops::Range<usize> {
+        let start = RECORD_HEADER_LEN + self.key_len as usize;
+        start..start + self.val_len as usize
+    }
+}
+
+/// What scanning one segment found.
+#[derive(Debug, Default)]
+pub struct ScanOutcome {
+    /// Well-formed current-version records in append order (later entries
+    /// for the same key supersede earlier ones).
+    pub entries: Vec<(String, RecordLocation)>,
+    /// Records that passed framing + CRC at the expected version.
+    pub recovered: u64,
+    /// Records lost to torn tails or CRC mismatches.
+    pub dropped: u64,
+    /// Well-formed records with a different `value_version`.
+    pub stale: u64,
+    /// When set, the file should be truncated to this length (torn tail or
+    /// unframeable remainder).
+    pub truncate_to: Option<u64>,
+    /// Bytes of the segment considered valid (header + scanned frames).
+    pub valid_len: u64,
+}
+
+/// Scan a segment file, applying the module's recovery rules. Returns
+/// `None` when the file is not a segment of ours at all (bad magic or
+/// framing version) — the caller ignores it wholesale.
+///
+/// # Errors
+///
+/// Only real I/O errors propagate; corruption is reported in the outcome.
+pub fn scan(path: &Path, seg_id: u64, want_version: u32) -> io::Result<Option<ScanOutcome>> {
+    let mut buf = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut buf)?;
+    if buf.len() < HEADER_LEN as usize
+        || &buf[..8] != MAGIC
+        || u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes")) != FORMAT_VERSION
+    {
+        return Ok(None);
+    }
+
+    let mut out = ScanOutcome::default();
+    let mut off = HEADER_LEN as usize;
+    // Keys are not valid UTF-8? Then the record cannot have been written by
+    // us (we only store string keys); it counts as corrupt.
+    while off < buf.len() {
+        let remaining = buf.len() - off;
+        if remaining < RECORD_HEADER_LEN {
+            // Partial frame header: torn tail.
+            out.dropped += 1;
+            out.truncate_to = Some(off as u64);
+            break;
+        }
+        let key_len = u32::from_le_bytes(buf[off..off + 4].try_into().expect("4 bytes"));
+        let val_len = u32::from_le_bytes(buf[off + 4..off + 8].try_into().expect("4 bytes"));
+        let version = u32::from_le_bytes(buf[off + 8..off + 12].try_into().expect("4 bytes"));
+        let frame = frame_len(key_len, val_len);
+        if key_len > MAX_PART_LEN || val_len > MAX_PART_LEN || frame > remaining as u64 {
+            // The frame claims more bytes than exist: either a torn tail
+            // (crash mid-append) or a corrupted length field. Both leave
+            // the remainder unframeable, so truncate here.
+            out.dropped += 1;
+            out.truncate_to = Some(off as u64);
+            break;
+        }
+        let frame = frame as usize;
+        let body = &buf[off..off + frame - RECORD_TRAILER_LEN];
+        let stored_crc = u32::from_le_bytes(
+            buf[off + frame - RECORD_TRAILER_LEN..off + frame]
+                .try_into()
+                .expect("4 bytes"),
+        );
+        if crc32(body) != stored_crc {
+            // Payload corruption inside an intact frame: skip just this
+            // record and resynchronize at the next boundary.
+            out.dropped += 1;
+            off += frame;
+            continue;
+        }
+        let key_bytes = &body[RECORD_HEADER_LEN..RECORD_HEADER_LEN + key_len as usize];
+        match std::str::from_utf8(key_bytes) {
+            Ok(key) if version == want_version => {
+                out.entries.push((
+                    key.to_owned(),
+                    RecordLocation {
+                        seg: seg_id,
+                        offset: off as u64,
+                        frame_len: frame as u64,
+                        key_len,
+                        val_len,
+                    },
+                ));
+                out.recovered += 1;
+            }
+            Ok(_) => out.stale += 1,
+            Err(_) => out.dropped += 1,
+        }
+        off += frame;
+    }
+    out.valid_len = out.truncate_to.unwrap_or(buf.len() as u64);
+    Ok(Some(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_file(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("nshot-segtest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir.join(name)
+    }
+
+    fn write_segment(path: &Path, records: &[(&str, &[u8], u32)]) {
+        let mut f = std::fs::File::create(path).expect("create");
+        f.write_all(&encode_header(7)).expect("header");
+        for (k, v, ver) in records {
+            f.write_all(&encode_record(k.as_bytes(), v, *ver)).expect("record");
+        }
+    }
+
+    #[test]
+    fn file_names_round_trip() {
+        assert_eq!(file_name(3), "seg-00000003.log");
+        assert_eq!(parse_file_name("seg-00000003.log"), Some(3));
+        assert_eq!(parse_file_name("seg-3.log"), None);
+        assert_eq!(parse_file_name("other.log"), None);
+    }
+
+    #[test]
+    fn clean_segment_scans_fully() {
+        let path = temp_file("clean.log");
+        write_segment(&path, &[("a", b"alpha", 1), ("b", b"beta", 1), ("a", b"alpha2", 1)]);
+        let out = scan(&path, 7, 1).expect("io").expect("ours");
+        assert_eq!(out.recovered, 3);
+        assert_eq!(out.dropped, 0);
+        assert_eq!(out.stale, 0);
+        assert!(out.truncate_to.is_none());
+        assert_eq!(out.entries.len(), 3);
+        assert_eq!(out.entries[2].0, "a", "append order preserved");
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_last_good_record() {
+        let path = temp_file("torn.log");
+        write_segment(&path, &[("a", b"alpha", 1), ("b", b"beta", 1)]);
+        let full = std::fs::metadata(&path).expect("meta").len();
+        // Chop 3 bytes off the final record.
+        let f = std::fs::OpenOptions::new().write(true).open(&path).expect("open");
+        f.set_len(full - 3).expect("truncate");
+        let out = scan(&path, 7, 1).expect("io").expect("ours");
+        assert_eq!(out.recovered, 1);
+        assert_eq!(out.dropped, 1);
+        let expected_cut =
+            HEADER_LEN + frame_len("a".len() as u32, "alpha".len() as u32);
+        assert_eq!(out.truncate_to, Some(expected_cut));
+        assert_eq!(out.entries.len(), 1);
+        assert_eq!(out.entries[0].0, "a");
+    }
+
+    #[test]
+    fn payload_flip_drops_only_that_record() {
+        let path = temp_file("flip.log");
+        write_segment(&path, &[("a", b"alpha", 1), ("b", b"beta", 1), ("c", b"gamma", 1)]);
+        // Flip one byte inside record b's value.
+        let rec_a = frame_len(1, 5);
+        let flip_at = HEADER_LEN + rec_a + RECORD_HEADER_LEN as u64 + 1 + 2; // inside "beta"
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes[flip_at as usize] ^= 0x40;
+        std::fs::write(&path, &bytes).expect("write");
+        let out = scan(&path, 7, 1).expect("io").expect("ours");
+        assert_eq!(out.recovered, 2, "a and c survive");
+        assert_eq!(out.dropped, 1, "b dropped");
+        assert!(out.truncate_to.is_none(), "mid-file corruption does not truncate");
+        let keys: Vec<&str> = out.entries.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["a", "c"]);
+    }
+
+    #[test]
+    fn stale_version_records_are_counted_not_indexed() {
+        let path = temp_file("stale.log");
+        write_segment(&path, &[("a", b"old", 1), ("b", b"new", 2)]);
+        let out = scan(&path, 7, 2).expect("io").expect("ours");
+        assert_eq!(out.recovered, 1);
+        assert_eq!(out.stale, 1);
+        assert_eq!(out.entries[0].0, "b");
+    }
+
+    #[test]
+    fn foreign_file_is_ignored_wholesale() {
+        let path = temp_file("foreign.log");
+        std::fs::write(&path, b"not a segment at all").expect("write");
+        assert!(scan(&path, 7, 1).expect("io").is_none());
+    }
+}

@@ -1,0 +1,819 @@
+//! The store proper: an index over CRC-framed append-only segments.
+//!
+//! See the crate docs for the design contract; briefly: [`Store::open`]
+//! rebuilds the in-memory index by scanning every segment (applying the
+//! recovery rules in [`crate::segment`]), [`Store::put`] appends a framed
+//! record and fsyncs per [`FsyncPolicy`], and boundedness comes from the
+//! same two-generation philosophy as `nshot_logic::BoundedCache`: segments
+//! belong to a *previous* or *current* generation; when the current
+//! generation's live-record count reaches half the cap, the previous
+//! generation's files are deleted wholesale and the generations rotate.
+//! [`Store::get`] *promotes* a previous-generation hit by re-appending the
+//! record into the active segment, so the working set survives rotation
+//! while cold artifacts age out — eviction can only cause recompilation,
+//! never a wrong answer.
+
+use crate::crc32::crc32;
+use crate::segment::{
+    self, RecordLocation, FORMAT_VERSION, HEADER_LEN, MAX_PART_LEN, RECORD_HEADER_LEN,
+    RECORD_TRAILER_LEN,
+};
+use nshot_obs::{Counter, Gauge, Registry};
+use nshot_par::FxHashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
+
+/// When to fsync the active segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// `fdatasync` after every append — maximum durability, slowest.
+    Always,
+    /// `fdatasync` every [`BATCH_FSYNC_EVERY`] appends and on seal/flush —
+    /// bounded data-loss window, near-`Never` throughput. The default.
+    #[default]
+    Batch,
+    /// Never fsync explicitly; the OS decides. A crash may lose the tail,
+    /// which recovery then truncates.
+    Never,
+}
+
+/// Appends between fsyncs under [`FsyncPolicy::Batch`].
+pub const BATCH_FSYNC_EVERY: usize = 64;
+
+impl FsyncPolicy {
+    /// Parse a CLI name.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the accepted values.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "batch" => Ok(FsyncPolicy::Batch),
+            "never" => Ok(FsyncPolicy::Never),
+            other => Err(format!("unknown fsync policy '{other}' (always|batch|never)")),
+        }
+    }
+
+    /// CLI/wire name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FsyncPolicy::Always => "always",
+            FsyncPolicy::Batch => "batch",
+            FsyncPolicy::Never => "never",
+        }
+    }
+}
+
+/// Store configuration. [`StoreConfig::new`] gives the production
+/// defaults; tests shrink `max_records`/`segment_max_bytes` to force
+/// rotation and sealing.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Directory holding the segment files (created if absent).
+    pub dir: PathBuf,
+    /// Fsync policy for appends.
+    pub fsync: FsyncPolicy,
+    /// Two-generation live-record cap (minimum 2, one per generation).
+    pub max_records: usize,
+    /// Seal the active segment once it exceeds this many bytes.
+    pub segment_max_bytes: u64,
+    /// Payload format version written with every record; records carrying
+    /// any other version are dropped (as "stale") on open and transparently
+    /// recompiled by the caller.
+    pub value_version: u32,
+}
+
+impl StoreConfig {
+    /// Defaults: batch fsync, 65 536 records, 8 MiB segments, version 1.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        StoreConfig {
+            dir: dir.into(),
+            fsync: FsyncPolicy::Batch,
+            max_records: 65_536,
+            segment_max_bytes: 8 * 1024 * 1024,
+            value_version: 1,
+        }
+    }
+}
+
+/// Monotone per-store counters (a plain snapshot; the same figures are
+/// mirrored to the process-global [`Registry`] as `nshot_store_*` series).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// `get` calls answered from the store.
+    pub hits: u64,
+    /// `get` calls for absent (or just-invalidated) keys.
+    pub misses: u64,
+    /// Records appended (puts + promotions).
+    pub appends: u64,
+    /// Previous-generation hits re-appended into the current generation.
+    pub promotions: u64,
+    /// Well-formed current-version records found at open.
+    pub recovered_records: u64,
+    /// Records lost at open to torn tails or CRC mismatches.
+    pub dropped_records: u64,
+    /// Well-formed records at open with a different value version.
+    pub stale_records: u64,
+    /// Generation rotations (previous generation deleted wholesale).
+    pub compactions: u64,
+    /// Live records deleted by rotation.
+    pub evictions: u64,
+    /// Records that failed CRC verification at read time.
+    pub read_corruptions: u64,
+}
+
+/// What a store saw over its lifetime — the shutdown summary printed by
+/// `nshot-serve --store` and `nshot-batch`.
+#[derive(Debug, Clone)]
+pub struct StoreReport {
+    /// Live records in the index.
+    pub records: usize,
+    /// Segment files on disk.
+    pub segments: usize,
+    /// Total bytes across segment files.
+    pub bytes: u64,
+    /// Final counters.
+    pub stats: StoreStats,
+}
+
+impl std::fmt::Display for StoreReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "records {}, segments {}, bytes {}, compactions {} \
+             (recovered {}, dropped {}, stale {}, evictions {})",
+            self.records,
+            self.segments,
+            self.bytes,
+            self.stats.compactions,
+            self.stats.recovered_records,
+            self.stats.dropped_records,
+            self.stats.stale_records,
+            self.stats.evictions,
+        )
+    }
+}
+
+/// Handles to the `nshot_store_*` series in the process-global registry.
+/// Counters accumulate across every store opened in the process; gauges
+/// reflect the most recently mutated store.
+struct Metrics {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    appends: Arc<Counter>,
+    promotions: Arc<Counter>,
+    recovered: Arc<Counter>,
+    dropped: Arc<Counter>,
+    stale: Arc<Counter>,
+    compactions: Arc<Counter>,
+    evictions: Arc<Counter>,
+    read_corruptions: Arc<Counter>,
+    records: Arc<Gauge>,
+    segments: Arc<Gauge>,
+    bytes: Arc<Gauge>,
+}
+
+fn metrics() -> &'static Metrics {
+    static METRICS: OnceLock<Metrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = Registry::global();
+        Metrics {
+            hits: r.counter("nshot_store_hits_total"),
+            misses: r.counter("nshot_store_misses_total"),
+            appends: r.counter("nshot_store_appends_total"),
+            promotions: r.counter("nshot_store_promotions_total"),
+            recovered: r.counter("nshot_store_recovered_records_total"),
+            dropped: r.counter("nshot_store_dropped_records_total"),
+            stale: r.counter("nshot_store_stale_records_total"),
+            compactions: r.counter("nshot_store_compactions_total"),
+            evictions: r.counter("nshot_store_evictions_total"),
+            read_corruptions: r.counter("nshot_store_read_corruptions_total"),
+            records: r.gauge("nshot_store_records"),
+            segments: r.gauge("nshot_store_segments"),
+            bytes: r.gauge("nshot_store_bytes"),
+        }
+    })
+}
+
+/// A crash-safe, content-addressed, bounded on-disk artifact store.
+///
+/// Not `Sync`: one owner at a time (the server funnels writes through a
+/// dedicated write-behind thread). Opening the same directory from two
+/// processes concurrently is unsupported.
+#[derive(Debug)]
+pub struct Store {
+    config: StoreConfig,
+    half_cap: usize,
+    index: FxHashMap<String, RecordLocation>,
+    /// Sealed segments of the previous generation (deleted wholesale at
+    /// the next rotation).
+    prev_segs: Vec<u64>,
+    /// Segments of the current generation; the last one is active.
+    cur_segs: Vec<u64>,
+    /// Live index entries pointing into the current generation.
+    cur_live: usize,
+    /// Bytes per live segment (valid prefix for recovered ones).
+    seg_bytes: FxHashMap<u64, u64>,
+    active: File,
+    active_id: u64,
+    active_len: u64,
+    next_seg_id: u64,
+    dirty_appends: usize,
+    stats: StoreStats,
+}
+
+impl Store {
+    /// Open (or create) the store at `config.dir`, rebuilding the index by
+    /// scanning every segment and applying the recovery rules: torn tails
+    /// are truncated, CRC-corrupt records skipped, stale-version records
+    /// dropped for recompilation. All pre-existing segments form the
+    /// *previous* generation; a fresh active segment starts the current
+    /// one, so a restarted service's working set is promoted on first use.
+    ///
+    /// # Errors
+    ///
+    /// Real I/O failures only (directory creation, segment creation,
+    /// unreadable files); corruption is recovered from, not reported as an
+    /// error.
+    pub fn open(config: StoreConfig) -> io::Result<Store> {
+        std::fs::create_dir_all(&config.dir)?;
+        let mut ids: Vec<(u64, PathBuf)> = Vec::new();
+        for entry in std::fs::read_dir(&config.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            if let Some(id) = name.to_str().and_then(segment::parse_file_name) {
+                ids.push((id, entry.path()));
+            }
+        }
+        ids.sort_unstable_by_key(|(id, _)| *id);
+
+        let mut stats = StoreStats::default();
+        let mut index: FxHashMap<String, RecordLocation> = FxHashMap::default();
+        let mut seg_bytes: FxHashMap<u64, u64> = FxHashMap::default();
+        let mut max_id = 0u64;
+        for (id, path) in &ids {
+            max_id = max_id.max(*id);
+            let Some(outcome) = segment::scan(path, *id, config.value_version)? else {
+                continue; // not one of our segments; leave it alone
+            };
+            if let Some(cut) = outcome.truncate_to {
+                // Torn tail: truncate so future scans (and any external
+                // tooling) see only whole records.
+                OpenOptions::new().write(true).open(path)?.set_len(cut)?;
+            }
+            stats.recovered_records += outcome.recovered;
+            stats.dropped_records += outcome.dropped;
+            stats.stale_records += outcome.stale;
+            for (key, loc) in outcome.entries {
+                index.insert(key, loc); // last writer wins across id order
+            }
+            seg_bytes.insert(*id, outcome.valid_len);
+        }
+
+        // Prune segments no live record points into (all-stale, all-corrupt
+        // or fully superseded): they would never be read again.
+        let mut prev_segs = Vec::new();
+        for (id, path) in &ids {
+            if !seg_bytes.contains_key(id) {
+                continue; // foreign file, kept untouched
+            }
+            if index.values().any(|loc| loc.seg == *id) {
+                prev_segs.push(*id);
+            } else {
+                let _ = std::fs::remove_file(path);
+                seg_bytes.remove(id);
+            }
+        }
+
+        let active_id = max_id + 1;
+        let (active, active_len) = create_segment(&config.dir, active_id, config.fsync)?;
+        seg_bytes.insert(active_id, active_len);
+
+        let m = metrics();
+        m.recovered.add(stats.recovered_records);
+        m.dropped.add(stats.dropped_records);
+        m.stale.add(stats.stale_records);
+
+        let store = Store {
+            half_cap: (config.max_records / 2).max(1),
+            config,
+            index,
+            prev_segs,
+            cur_segs: vec![active_id],
+            cur_live: 0,
+            seg_bytes,
+            active,
+            active_id,
+            active_len,
+            next_seg_id: active_id + 1,
+            dirty_appends: 0,
+            stats,
+        };
+        store.refresh_gauges();
+        Ok(store)
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.config.dir
+    }
+
+    /// Live records.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// `true` when no records are live.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Whether `key` has a live record (no I/O, no promotion, no counter).
+    pub fn contains(&self, key: &str) -> bool {
+        self.index.contains_key(key)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// The shutdown summary.
+    pub fn report(&self) -> StoreReport {
+        StoreReport {
+            records: self.index.len(),
+            segments: self.seg_bytes.len(),
+            bytes: self.seg_bytes.values().sum(),
+            stats: self.stats,
+        }
+    }
+
+    /// Store `value` under `key`, replacing any existing record. The
+    /// record is CRC-framed, appended to the active segment (sealing it
+    /// first if over the size threshold) and fsynced per policy; the
+    /// current generation rotates first if it is full.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures appending or fsyncing; oversized keys/values are
+    /// `InvalidInput`.
+    pub fn put(&mut self, key: &str, value: &[u8]) -> io::Result<()> {
+        if key.len() as u64 > u64::from(MAX_PART_LEN)
+            || value.len() as u64 > u64::from(MAX_PART_LEN)
+        {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "key or value exceeds the 256 MiB framing limit",
+            ));
+        }
+        if !self.in_current(key) {
+            self.rotate_if_full()?;
+        }
+        self.append(key, value)?;
+        Ok(())
+    }
+
+    /// Fetch the value stored under `key`, verifying its CRC at read time
+    /// (a record corrupted *after* open is invalidated and reported as a
+    /// miss, never served). A hit found in the previous generation is
+    /// promoted — re-appended into the current one — so it survives the
+    /// next rotation, mirroring `BoundedCache::get`.
+    pub fn get(&mut self, key: &str) -> Option<Vec<u8>> {
+        let Some(loc) = self.index.get(key).copied() else {
+            self.stats.misses += 1;
+            metrics().misses.inc();
+            return None;
+        };
+        let Some(value) = self.read_value(&loc) else {
+            // CRC or I/O failure on a record we indexed at open: drop it.
+            self.invalidate(key, &loc);
+            self.stats.misses += 1;
+            metrics().misses.inc();
+            return None;
+        };
+        if self.prev_segs.contains(&loc.seg) {
+            // Promotion failures are not fatal — the value is still good,
+            // the record just stays in the doomed generation.
+            let promoted = self
+                .rotate_if_full()
+                .and_then(|()| self.append(key, &value))
+                .is_ok();
+            if promoted {
+                self.stats.promotions += 1;
+                metrics().promotions.inc();
+            }
+        }
+        self.stats.hits += 1;
+        metrics().hits.inc();
+        Some(value)
+    }
+
+    /// Every live `(key, value)` pair, sorted by key — the warm-start scan.
+    /// Reads bypass hit/miss counters and do not promote (bulk warming must
+    /// not rewrite the whole store on every restart); records failing their
+    /// read-time CRC check are invalidated and skipped.
+    pub fn entries(&mut self) -> Vec<(String, Vec<u8>)> {
+        let mut keys: Vec<String> = self.index.keys().cloned().collect();
+        keys.sort_unstable();
+        let mut out = Vec::with_capacity(keys.len());
+        for key in keys {
+            let loc = self.index[&key];
+            match self.read_value(&loc) {
+                Some(value) => out.push((key, value)),
+                None => self.invalidate(&key, &loc),
+            }
+        }
+        out
+    }
+
+    /// Fsync the active segment regardless of policy.
+    ///
+    /// # Errors
+    ///
+    /// The underlying `fdatasync` failure.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.active.sync_data()?;
+        self.dirty_appends = 0;
+        Ok(())
+    }
+
+    fn path_of(&self, seg: u64) -> PathBuf {
+        self.config.dir.join(segment::file_name(seg))
+    }
+
+    fn in_current(&self, key: &str) -> bool {
+        self.index
+            .get(key)
+            .is_some_and(|loc| self.cur_segs.contains(&loc.seg))
+    }
+
+    /// Read a record frame back and verify it end to end.
+    fn read_value(&self, loc: &RecordLocation) -> Option<Vec<u8>> {
+        let mut file = File::open(self.path_of(loc.seg)).ok()?;
+        file.seek(SeekFrom::Start(loc.offset)).ok()?;
+        let mut frame = vec![0u8; loc.frame_len as usize];
+        file.read_exact(&mut frame).ok()?;
+        let body_len = loc.frame_len as usize - RECORD_TRAILER_LEN;
+        let stored = u32::from_le_bytes(frame[body_len..].try_into().expect("4 bytes"));
+        if crc32(&frame[..body_len]) != stored {
+            return None;
+        }
+        Some(frame[loc.value_range()].to_vec())
+    }
+
+    /// Drop an index entry whose on-disk record failed verification.
+    fn invalidate(&mut self, key: &str, loc: &RecordLocation) {
+        if self.cur_segs.contains(&loc.seg) {
+            self.cur_live -= 1;
+        }
+        self.index.remove(key);
+        self.stats.read_corruptions += 1;
+        metrics().read_corruptions.inc();
+        self.refresh_gauges();
+    }
+
+    /// Append one framed record to the active segment (sealing first if it
+    /// is over the size threshold) and index it.
+    fn append(&mut self, key: &str, value: &[u8]) -> io::Result<()> {
+        let frame = segment::encode_record(key.as_bytes(), value, self.config.value_version);
+        if self.active_len > HEADER_LEN
+            && self.active_len + frame.len() as u64 > self.config.segment_max_bytes
+        {
+            self.seal_and_start_segment()?;
+        }
+        let offset = self.active_len;
+        self.active.write_all(&frame)?;
+        self.active_len += frame.len() as u64;
+        self.seg_bytes.insert(self.active_id, self.active_len);
+
+        let loc = RecordLocation {
+            seg: self.active_id,
+            offset,
+            frame_len: frame.len() as u64,
+            key_len: key.len() as u32,
+            val_len: value.len() as u32,
+        };
+        let replaced_in_cur = self
+            .index
+            .insert(key.to_owned(), loc)
+            .is_some_and(|old| self.cur_segs.contains(&old.seg));
+        if !replaced_in_cur {
+            self.cur_live += 1;
+        }
+        self.stats.appends += 1;
+        metrics().appends.inc();
+
+        self.dirty_appends += 1;
+        match self.config.fsync {
+            FsyncPolicy::Always => self.flush()?,
+            FsyncPolicy::Batch if self.dirty_appends >= BATCH_FSYNC_EVERY => self.flush()?,
+            FsyncPolicy::Batch | FsyncPolicy::Never => {}
+        }
+        self.refresh_gauges();
+        Ok(())
+    }
+
+    /// Two-generation rotation, the `BoundedCache` eviction philosophy on
+    /// disk: once the current generation holds half the cap, the previous
+    /// generation's files are deleted wholesale (dropping whatever still
+    /// lives only there) and the generations rotate around a fresh active
+    /// segment.
+    fn rotate_if_full(&mut self) -> io::Result<()> {
+        if self.cur_live < self.half_cap {
+            return Ok(());
+        }
+        let doomed = std::mem::take(&mut self.prev_segs);
+        let before = self.index.len();
+        self.index.retain(|_, loc| !doomed.contains(&loc.seg));
+        let evicted = (before - self.index.len()) as u64;
+        for seg in &doomed {
+            let _ = std::fs::remove_file(self.path_of(*seg));
+            self.seg_bytes.remove(seg);
+        }
+        self.seal_and_start_segment()?;
+        // Everything written so far moves to the previous generation; the
+        // just-created active segment alone is the new current one.
+        let mut cur = std::mem::replace(&mut self.cur_segs, vec![self.active_id]);
+        cur.pop(); // the new active segment is not part of the old generation
+        self.prev_segs = cur;
+        self.cur_live = 0;
+        self.stats.compactions += 1;
+        self.stats.evictions += evicted;
+        let m = metrics();
+        m.compactions.inc();
+        m.evictions.add(evicted);
+        self.refresh_gauges();
+        Ok(())
+    }
+
+    /// Seal the active segment (flushing it durable unless policy is
+    /// `Never`) and open the next one.
+    fn seal_and_start_segment(&mut self) -> io::Result<()> {
+        if self.config.fsync != FsyncPolicy::Never {
+            self.flush()?;
+        }
+        let id = self.next_seg_id;
+        self.next_seg_id += 1;
+        let (file, len) = create_segment(&self.config.dir, id, self.config.fsync)?;
+        self.active = file;
+        self.active_id = id;
+        self.active_len = len;
+        self.seg_bytes.insert(id, len);
+        self.cur_segs.push(id);
+        Ok(())
+    }
+
+    fn refresh_gauges(&self) {
+        let m = metrics();
+        m.records.set(self.index.len() as u64);
+        m.segments.set(self.seg_bytes.len() as u64);
+        m.bytes.set(self.seg_bytes.values().sum());
+    }
+}
+
+impl Drop for Store {
+    fn drop(&mut self) {
+        // Best-effort durability on the way out…
+        if self.config.fsync != FsyncPolicy::Never {
+            let _ = self.flush();
+        }
+        // …and no litter: an active segment that never received a record
+        // (e.g. a read-only warm-start open) is removed again.
+        if self.active_len == HEADER_LEN
+            && !self.index.values().any(|loc| loc.seg == self.active_id)
+        {
+            let _ = std::fs::remove_file(self.path_of(self.active_id));
+        }
+    }
+}
+
+/// Create segment file `id` with its header; fsync the file (and,
+/// best-effort, the directory so the new name is durable) unless the
+/// policy is `Never`.
+fn create_segment(dir: &Path, id: u64, fsync: FsyncPolicy) -> io::Result<(File, u64)> {
+    let path = dir.join(segment::file_name(id));
+    let mut file = OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(true)
+        .open(&path)?;
+    file.write_all(&segment::encode_header(id))?;
+    if fsync != FsyncPolicy::Never {
+        file.sync_data()?;
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok((file, HEADER_LEN))
+}
+
+const _: () = {
+    // Compile-time sanity: the frame layout constants agree.
+    assert!(RECORD_HEADER_LEN == 12);
+    assert!(RECORD_TRAILER_LEN == 4);
+    assert!(FORMAT_VERSION == 1);
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "nshot-store-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_config(dir: &Path) -> StoreConfig {
+        StoreConfig {
+            fsync: FsyncPolicy::Never,
+            ..StoreConfig::new(dir)
+        }
+    }
+
+    #[test]
+    fn put_get_survives_reopen() {
+        let dir = temp_dir("reopen");
+        {
+            let mut s = Store::open(small_config(&dir)).expect("open");
+            s.put("alpha", b"payload a").expect("put");
+            s.put("beta", b"payload b").expect("put");
+            assert_eq!(s.get("alpha").as_deref(), Some(&b"payload a"[..]));
+            assert_eq!(s.len(), 2);
+        }
+        let mut s = Store::open(small_config(&dir)).expect("reopen");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.stats().recovered_records, 2);
+        assert_eq!(s.get("beta").as_deref(), Some(&b"payload b"[..]));
+        assert_eq!(s.get("missing"), None);
+        let st = s.stats();
+        assert_eq!((st.hits, st.misses), (1, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn overwrite_keeps_latest_across_reopen() {
+        let dir = temp_dir("overwrite");
+        {
+            let mut s = Store::open(small_config(&dir)).expect("open");
+            s.put("k", b"v1").expect("put");
+            s.put("k", b"v2").expect("put");
+            assert_eq!(s.len(), 1);
+            assert_eq!(s.get("k").as_deref(), Some(&b"v2"[..]));
+        }
+        let mut s = Store::open(small_config(&dir)).expect("reopen");
+        assert_eq!(s.get("k").as_deref(), Some(&b"v2"[..]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segments_seal_at_size_threshold() {
+        let dir = temp_dir("seal");
+        let config = StoreConfig {
+            segment_max_bytes: 64, // every record overflows it
+            ..small_config(&dir)
+        };
+        let mut s = Store::open(config).expect("open");
+        for i in 0..4 {
+            s.put(&format!("key-{i}"), &[b'x'; 48]).expect("put");
+        }
+        let report = s.report();
+        assert!(report.segments >= 4, "sealing produced {} segments", report.segments);
+        assert_eq!(report.records, 4);
+        for i in 0..4 {
+            assert!(s.get(&format!("key-{i}")).is_some());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_bounds_the_store_and_counts_evictions() {
+        let dir = temp_dir("rotate");
+        let config = StoreConfig {
+            max_records: 4, // half-cap 2
+            ..small_config(&dir)
+        };
+        let mut s = Store::open(config).expect("open");
+        for i in 0..12 {
+            s.put(&format!("key-{i:02}"), b"v").expect("put");
+        }
+        let st = s.stats();
+        assert!(st.compactions > 0, "rotation never happened");
+        assert!(st.evictions > 0, "nothing evicted");
+        assert!(s.len() <= 4, "live records {} exceed cap", s.len());
+        // The newest insert always survives.
+        assert!(s.contains("key-11"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn promotion_rescues_previous_generation_hits() {
+        let dir = temp_dir("promote");
+        {
+            let mut s = Store::open(StoreConfig { max_records: 4, ..small_config(&dir) })
+                .expect("open");
+            s.put("hot", b"hot value").expect("put");
+            s.put("cold", b"cold value").expect("put");
+        }
+        // Reopen: both records are now previous-generation.
+        let mut s = Store::open(StoreConfig { max_records: 4, ..small_config(&dir) })
+            .expect("reopen");
+        assert_eq!(s.get("hot").as_deref(), Some(&b"hot value"[..]));
+        assert_eq!(s.stats().promotions, 1, "prev-gen hit must promote");
+        // Fill the current generation until the old one is deleted
+        // (half-cap is 2: the promoted record plus one insert fill it, the
+        // next insert rotates).
+        for i in 0..2 {
+            s.put(&format!("new-{i}"), b"x").expect("put");
+        }
+        assert_eq!(s.stats().compactions, 1);
+        assert!(s.contains("hot"), "promoted record survives rotation");
+        assert!(!s.contains("cold"), "unpromoted record ages out");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_value_version_is_recompiled_not_served() {
+        let dir = temp_dir("version");
+        {
+            let mut s = Store::open(StoreConfig { value_version: 1, ..small_config(&dir) })
+                .expect("open");
+            s.put("k", b"old-format").expect("put");
+        }
+        let mut s = Store::open(StoreConfig { value_version: 2, ..small_config(&dir) })
+            .expect("reopen");
+        assert_eq!(s.get("k"), None, "stale-format record must not be served");
+        assert_eq!(s.stats().stale_records, 1);
+        s.put("k", b"new-format").expect("put");
+        assert_eq!(s.get("k").as_deref(), Some(&b"new-format"[..]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn entries_are_sorted_and_complete() {
+        let dir = temp_dir("entries");
+        let mut s = Store::open(small_config(&dir)).expect("open");
+        for key in ["zeta", "alpha", "mid"] {
+            s.put(key, key.as_bytes()).expect("put");
+        }
+        let entries = s.entries();
+        let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["alpha", "mid", "zeta"]);
+        assert!(entries.iter().all(|(k, v)| k.as_bytes() == v.as_slice()));
+        // Bulk scan is not a "hit" and must not promote/rewrite.
+        assert_eq!(s.stats().hits, 0);
+        assert_eq!(s.stats().promotions, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn all_fsync_policies_round_trip() {
+        for policy in [FsyncPolicy::Always, FsyncPolicy::Batch, FsyncPolicy::Never] {
+            let dir = temp_dir(policy.name());
+            {
+                let mut s = Store::open(StoreConfig {
+                    fsync: policy,
+                    ..StoreConfig::new(&dir)
+                })
+                .expect("open");
+                s.put("k", b"v").expect("put");
+                s.flush().expect("flush");
+            }
+            let mut s = Store::open(StoreConfig { fsync: policy, ..StoreConfig::new(&dir) })
+                .expect("reopen");
+            assert_eq!(s.get("k").as_deref(), Some(&b"v"[..]), "policy {}", policy.name());
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        assert!(FsyncPolicy::parse("nope").is_err());
+        assert_eq!(FsyncPolicy::parse("batch"), Ok(FsyncPolicy::Batch));
+    }
+
+    #[test]
+    fn read_only_open_leaves_no_empty_segment_behind() {
+        let dir = temp_dir("litter");
+        {
+            let mut s = Store::open(small_config(&dir)).expect("open");
+            s.put("k", b"v").expect("put");
+        }
+        {
+            let _s = Store::open(small_config(&dir)).expect("warm open");
+            // No writes at all.
+        }
+        let segments = std::fs::read_dir(&dir)
+            .expect("dir")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_str().is_some_and(|n| n.starts_with("seg-")))
+            .count();
+        assert_eq!(segments, 1, "read-only open littered a segment");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

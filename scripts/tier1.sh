@@ -50,4 +50,28 @@ cargo run --release -p nshot-bench --bin loadgen -- \
 wait "$SERVER_PID"
 rm -f "$PORT_FILE"
 
+echo "== tier1: store smoke (batch compile, corrupt tail, recover, warm start) =="
+STORE_DIR="$(mktemp -d)"
+cargo run --release -p nshot-server --bin nshot-batch -- \
+  --store "$STORE_DIR" --circuits chu133,full,hazard --fsync always
+# Tear the newest segment's tail: a crash mid-append. Recovery must drop
+# exactly the torn record and the incremental rerun recompile only it.
+SEG="$(ls "$STORE_DIR"/seg-*.log | sort | tail -1)"
+truncate -s -7 "$SEG"
+BATCH_OUT="$(cargo run --release -p nshot-server --bin nshot-batch -- \
+  --store "$STORE_DIR" --circuits chu133,full,hazard --fsync always 2>&1)"
+echo "$BATCH_OUT" | grep -q "dropped 1," \
+  || { echo "store recovery did not drop the torn record:"; echo "$BATCH_OUT"; exit 1; }
+echo "$BATCH_OUT" | grep -q "compiled 1, cached 2, failed 0" \
+  || { echo "incremental recompile mismatch:"; echo "$BATCH_OUT"; exit 1; }
+# Warm start off the batch-written store: loadgen's byte-identity checks
+# prove a warm server answers exactly what cold synthesis would, and the
+# recorded warm hit rate proves the answers came from the store.
+cargo run --release -p nshot-bench --bin loadgen -- \
+  --concurrency 2 --passes 1 --circuits chu133,full --store "$STORE_DIR" \
+  --out /tmp/BENCH_store_smoke.json
+grep -q '"warm_hit_rate": 1.0000' /tmp/BENCH_store_smoke.json \
+  || { echo "warm-start hit rate below 1.0:"; cat /tmp/BENCH_store_smoke.json; exit 1; }
+rm -rf "$STORE_DIR"
+
 echo "tier1: OK"

@@ -66,3 +66,4 @@ pub use nshot_server as server;
 pub use nshot_sg as sg;
 pub use nshot_sim as sim;
 pub use nshot_stg as stg;
+pub use nshot_store as store;

@@ -1,0 +1,250 @@
+//! Fault-injection tests for `nshot-store` crash recovery.
+//!
+//! Three corruption scenarios a real deployment will eventually hit — a
+//! crash mid-append (torn tail), silent bit rot (payload flip) and a lost
+//! file (deleted newest segment) — each injected byte-surgically into a
+//! store written by the public API. `Store::open` must recover every
+//! surviving record, never panic, never serve a corrupt artifact, and
+//! account for the damage in both its own stats and the process-global
+//! `nshot_store_recovered_records_total` / `nshot_store_dropped_records_total`
+//! counter pair.
+
+use nshot::store::{
+    frame_len, FsyncPolicy, Store, StoreConfig, HEADER_LEN, RECORD_HEADER_LEN,
+};
+use nshot_obs::Registry;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// The global-registry counters are process-wide; serialize the tests that
+/// assert on their deltas.
+static COUNTER_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "nshot-recovery-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(dir: &Path) -> StoreConfig {
+    StoreConfig {
+        // `Always` so every record is on disk before we corrupt the files.
+        fsync: FsyncPolicy::Always,
+        ..StoreConfig::new(dir)
+    }
+}
+
+/// Write `keys` (each with a distinctive 64-byte payload) and close.
+fn seed(dir: &Path, keys: &[&str]) {
+    let mut store = Store::open(config(dir)).expect("seed open");
+    for key in keys {
+        store.put(key, &payload(key)).expect("seed put");
+    }
+}
+
+fn payload(key: &str) -> Vec<u8> {
+    key.bytes().cycle().take(64).collect()
+}
+
+/// The single data segment a fresh seed run leaves behind.
+fn only_segment(dir: &Path) -> PathBuf {
+    let mut segs: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("read store dir")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("seg-"))
+        })
+        .collect();
+    assert_eq!(segs.len(), 1, "seed should leave exactly one segment");
+    segs.pop().expect("one segment")
+}
+
+fn global(name: &str) -> u64 {
+    Registry::global().counter_value(name)
+}
+
+/// Every key must round-trip; every corrupted key must miss — never panic,
+/// never return damaged bytes.
+fn assert_survivors(store: &mut Store, alive: &[&str], dead: &[&str]) {
+    for key in alive {
+        assert_eq!(
+            store.get(key).as_deref(),
+            Some(payload(key).as_slice()),
+            "surviving record '{key}' must read back intact"
+        );
+    }
+    for key in dead {
+        assert_eq!(store.get(key), None, "'{key}' was corrupted and must miss");
+    }
+}
+
+#[test]
+fn torn_tail_is_truncated_and_survivors_recovered() {
+    let _guard = lock();
+    let dir = temp_dir("torn");
+    seed(&dir, &["alpha", "beta", "gamma"]);
+
+    // Chop the last record's trailer short: a crash mid-append.
+    let seg = only_segment(&dir);
+    let len = std::fs::metadata(&seg).expect("metadata").len();
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&seg)
+        .expect("open segment")
+        .set_len(len - 7)
+        .expect("truncate");
+
+    let recovered_before = global("nshot_store_recovered_records_total");
+    let dropped_before = global("nshot_store_dropped_records_total");
+    let mut store = Store::open(config(&dir)).expect("recovery open");
+
+    assert_eq!(store.stats().recovered_records, 2);
+    assert_eq!(store.stats().dropped_records, 1);
+    assert_eq!(store.len(), 2);
+    assert_survivors(&mut store, &["alpha", "beta"], &["gamma"]);
+    assert_eq!(global("nshot_store_recovered_records_total"), recovered_before + 2);
+    assert_eq!(global("nshot_store_dropped_records_total"), dropped_before + 1);
+
+    // The torn bytes are gone from disk: the segment now ends exactly at
+    // the last whole record.
+    let expected = HEADER_LEN + frame_len("alpha".len() as u32, 64) + frame_len("beta".len() as u32, 64);
+    assert_eq!(std::fs::metadata(&seg).expect("metadata").len(), expected);
+
+    // The recovered store is fully writable again.
+    store.put("gamma", &payload("gamma")).expect("re-put");
+    assert_eq!(store.get("gamma").as_deref(), Some(payload("gamma").as_slice()));
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn flipped_payload_byte_drops_only_that_record() {
+    let _guard = lock();
+    let dir = temp_dir("flip");
+    seed(&dir, &["alpha", "beta", "gamma"]);
+
+    // Flip one byte inside the *middle* record's value: bit rot that the
+    // length framing alone would never notice.
+    let seg = only_segment(&dir);
+    let mut bytes = std::fs::read(&seg).expect("read segment");
+    let offset =
+        (HEADER_LEN + frame_len(5, 64)) as usize + RECORD_HEADER_LEN + "beta".len() + 10;
+    bytes[offset] ^= 0x40;
+    std::fs::write(&seg, &bytes).expect("write corrupted segment");
+
+    let recovered_before = global("nshot_store_recovered_records_total");
+    let dropped_before = global("nshot_store_dropped_records_total");
+    let mut store = Store::open(config(&dir)).expect("recovery open");
+
+    // The scan resyncs at the next frame: only "beta" is lost.
+    assert_eq!(store.stats().recovered_records, 2);
+    assert_eq!(store.stats().dropped_records, 1);
+    assert_survivors(&mut store, &["alpha", "gamma"], &["beta"]);
+    assert_eq!(global("nshot_store_recovered_records_total"), recovered_before + 2);
+    assert_eq!(global("nshot_store_dropped_records_total"), dropped_before + 1);
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn deleted_newest_segment_loses_only_its_records() {
+    let _guard = lock();
+    let dir = temp_dir("missing");
+    // Two generations on disk: "old" records in segment 1, then a second
+    // session adds "new" records in segment 2.
+    seed(&dir, &["old-a", "old-b"]);
+    {
+        let mut store = Store::open(config(&dir)).expect("second session");
+        store.put("new-a", &payload("new-a")).expect("put");
+        store.put("new-b", &payload("new-b")).expect("put");
+        assert_eq!(store.len(), 4);
+    }
+
+    // Lose the newest segment file wholesale.
+    let mut segs: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("read dir")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    segs.sort();
+    assert!(segs.len() >= 2, "expected at least two segments");
+    std::fs::remove_file(segs.last().expect("newest")).expect("delete newest");
+
+    let mut store = Store::open(config(&dir)).expect("recovery open");
+    // The index only ever references files that exist: the old generation
+    // is fully recovered, the lost one simply contributes nothing.
+    assert_eq!(store.stats().recovered_records, 2);
+    assert_eq!(store.len(), 2);
+    assert_survivors(&mut store, &["old-a", "old-b"], &["new-a", "new-b"]);
+
+    // Lost keys are recompilable: a fresh put round-trips.
+    store.put("new-a", &payload("new-a")).expect("re-put");
+    assert_eq!(store.get("new-a").as_deref(), Some(payload("new-a").as_slice()));
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn all_three_faults_at_once_still_recover() {
+    let _guard = lock();
+    // The faults compose: one store with a bit-flipped record in an old
+    // segment, a deleted middle segment, and a torn tail on the newest.
+    let dir = temp_dir("compound");
+    seed(&dir, &["s1-a", "s1-b"]);
+    {
+        let mut store = Store::open(config(&dir)).expect("session 2");
+        store.put("s2-a", &payload("s2-a")).expect("put");
+    }
+    {
+        let mut store = Store::open(config(&dir)).expect("session 3");
+        store.put("s3-a", &payload("s3-a")).expect("put");
+        store.put("s3-b", &payload("s3-b")).expect("put");
+    }
+
+    let mut segs: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("read dir")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    segs.sort();
+    assert_eq!(segs.len(), 3);
+    // Fault 1: flip a byte in segment 1's first record ("s1-a").
+    let mut bytes = std::fs::read(&segs[0]).expect("read");
+    let off = HEADER_LEN as usize + RECORD_HEADER_LEN + "s1-a".len() + 3;
+    bytes[off] ^= 0x01;
+    std::fs::write(&segs[0], &bytes).expect("write");
+    // Fault 2: delete segment 2 ("s2-a").
+    std::fs::remove_file(&segs[1]).expect("delete");
+    // Fault 3: tear segment 3's tail ("s3-b").
+    let len = std::fs::metadata(&segs[2]).expect("meta").len();
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&segs[2])
+        .expect("open")
+        .set_len(len - 3)
+        .expect("truncate");
+
+    let mut store = Store::open(config(&dir)).expect("compound recovery");
+    assert_eq!(store.stats().recovered_records, 2, "s1-b and s3-a survive");
+    assert_eq!(store.stats().dropped_records, 2, "s1-a flipped, s3-b torn");
+    assert_survivors(
+        &mut store,
+        &["s1-b", "s3-a"],
+        &["s1-a", "s2-a", "s3-b"],
+    );
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,128 @@
+//! Byte-identity of synthesis artifacts through the persistent store.
+//!
+//! Every circuit in the benchmark suite goes through the full persistence
+//! cycle — synthesize, store, close, reopen, read — and must come back
+//! byte-identical to what was written *and* byte-identical to a direct
+//! `synthesize` call. This is the property that makes the store safe to
+//! serve from: a warm-started server answers with exactly the bytes a
+//! cold compilation would have produced, or not at all.
+
+use nshot::server::{json, load_spec, process_synth, Deadline, Method, OutputFormat, SynthRequest};
+use nshot::store::{Store, StoreConfig};
+use nshot_core::{synthesize, Minimizer, SynthesisOptions};
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "nshot-roundtrip-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn request_for(spec: &str) -> SynthRequest {
+    SynthRequest {
+        spec: spec.to_owned(),
+        method: Method::Nshot,
+        minimizer: Minimizer::Heuristic,
+        trials: 0,
+        format: OutputFormat::Blif,
+        share: false,
+    }
+}
+
+#[test]
+fn every_suite_circuit_round_trips_byte_identically() {
+    let dir = temp_dir("suite");
+    let suite = nshot::benchmarks::suite();
+    assert!(!suite.is_empty());
+
+    // Synthesize every circuit through the service path and persist the
+    // deterministic response fields — exactly what `nshot-serve --store`
+    // persists.
+    let mut artifacts: Vec<(String, String, String)> = Vec::new(); // (key, fields, name)
+    {
+        let mut store = Store::open(StoreConfig::new(&dir)).expect("open");
+        for b in &suite {
+            let spec = b.build().to_text();
+            let request = request_for(&spec);
+            let response = process_synth(&request, &Deadline::unlimited());
+            assert_eq!(response.code, 200, "{} must synthesize", b.name);
+            let fields = response.deterministic_fields();
+            let key = request.cache_key();
+            store.put(&key, fields.as_bytes()).expect("put");
+            artifacts.push((key, fields, b.name.to_owned()));
+        }
+        store.flush().expect("flush");
+    }
+
+    // Reopen: every record must be recovered and read back byte-identical
+    // to what was written.
+    let mut store = Store::open(StoreConfig::new(&dir)).expect("reopen");
+    assert_eq!(
+        store.stats().recovered_records as usize,
+        artifacts.len(),
+        "every artifact survives the restart"
+    );
+    assert_eq!(store.stats().dropped_records, 0);
+    for (key, fields, name) in &artifacts {
+        let value = store.get(key).unwrap_or_else(|| panic!("{name}: lost artifact"));
+        assert_eq!(
+            value.as_slice(),
+            fields.as_bytes(),
+            "{name}: stored artifact differs from the response written"
+        );
+    }
+
+    // And byte-identical to direct library calls: the BLIF inside each
+    // stored response equals `synthesize` on the same specification text the
+    // service parsed. (Parsing the text, not re-building the benchmark: the
+    // text round-trip can renumber signals, which renames netlist nodes.)
+    for (b, (key, _, name)) in suite.iter().zip(&artifacts) {
+        let value = store.get(key).expect("still present");
+        let fields = String::from_utf8(value).expect("utf-8 artifact");
+        let response =
+            json::parse(&format!("{{{fields}}}")).expect("stored fields parse as json");
+        let stored_blif = response
+            .get("blif")
+            .and_then(json::Json::as_str)
+            .unwrap_or_else(|| panic!("{name}: stored response has no blif"))
+            .to_owned();
+        let sg = load_spec(&b.build().to_text()).expect("spec text parses");
+        let imp = synthesize(&sg, &SynthesisOptions::default())
+            .unwrap_or_else(|e| panic!("{name}: direct synthesis failed: {e}"));
+        assert_eq!(
+            stored_blif,
+            imp.netlist.to_blif(),
+            "{name}: stored netlist differs from a direct synthesize call"
+        );
+    }
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn rewriting_the_same_artifacts_is_stable() {
+    // Store idempotence: writing the same suite twice (the incremental
+    // `nshot-batch --force` path) leaves the same live records and the
+    // reread bytes unchanged.
+    let dir = temp_dir("stable");
+    let b = nshot::benchmarks::by_name("chu133").expect("in suite");
+    let spec = b.build().to_text();
+    let request = request_for(&spec);
+    let fields = process_synth(&request, &Deadline::unlimited()).deterministic_fields();
+    let key = request.cache_key();
+
+    {
+        let mut store = Store::open(StoreConfig::new(&dir)).expect("open");
+        store.put(&key, fields.as_bytes()).expect("first put");
+        store.put(&key, fields.as_bytes()).expect("second put");
+        assert_eq!(store.len(), 1, "same key, one live record");
+    }
+    let mut store = Store::open(StoreConfig::new(&dir)).expect("reopen");
+    assert_eq!(store.len(), 1);
+    assert_eq!(store.get(&key).as_deref(), Some(fields.as_bytes()));
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
