@@ -1,0 +1,231 @@
+//! Exhaustively model-check the full Table 2 suite: prove external
+//! hazard-freeness of every synthesized circuit with `nshot-mc` and write
+//! the per-circuit exploration statistics to `BENCH_mc.json`.
+//!
+//! Usage: `cargo run --release -p nshot-bench --bin modelcheck [-- filter [out.json]]`
+//!
+//! Circuits whose composed state space exceeds the budget (`master-read`
+//! and `tsbmsiBRK` are past 24M states at the default 4M cap) fall back to
+//! deterministic Monte-Carlo sampling — the same policy as
+//! `nshot_mc::validate` — and are reported with `method:"monte_carlo"`.
+//! The run asserts that every circuit is hazard-free by its method and
+//! that the proof covers the rest of the suite.
+//!
+//! The suite is swept twice — one worker thread, then the machine's
+//! parallelism — with circuits fanned out over `nshot_par::par_map` (the
+//! checker itself is sequential by design, so the certificates must be
+//! byte-identical across thread counts; the run asserts it).
+
+use std::time::Instant;
+
+use nshot_core::{synthesize, SynthesisOptions};
+use nshot_mc::{check, McConfig, Verdict, FALLBACK_TRIALS};
+use nshot_par::{num_threads, par_map, ThreadGuard};
+use nshot_sim::{monte_carlo, ConformanceConfig};
+
+struct CircuitResult {
+    name: String,
+    spec_states: usize,
+    states: u64,
+    edges: u64,
+    pruned_edges: u64,
+    max_depth: u32,
+    proved: bool,
+    method: &'static str,
+    hazard_free: bool,
+    wall_ms: f64,
+    render: String,
+}
+
+struct SweepRun {
+    threads: usize,
+    wall_ms: f64,
+    circuits: Vec<CircuitResult>,
+}
+
+fn run_sweep(names: &[String], threads: usize) -> SweepRun {
+    let _guard = ThreadGuard::pin(threads);
+    let t0 = Instant::now();
+    let circuits = par_map(names, |name| {
+        let bench = nshot_benchmarks::by_name(name).expect("in suite");
+        let sg = bench.build();
+        let imp = synthesize(&sg, &SynthesisOptions::default())
+            .unwrap_or_else(|e| panic!("{name}: synthesis failed: {e}"));
+        let mut config = McConfig::default();
+        if let Some(n) = std::env::var("NSHOT_MC_MAX_STATES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            config.max_states = n;
+        }
+        let c0 = Instant::now();
+        let verdict = check(&sg, &imp.netlist, &config)
+            .unwrap_or_else(|e| panic!("{name}: model build failed: {e}"));
+        let (states, edges, pruned_edges, max_depth) = verdict
+            .certificate()
+            .map(|c| (c.states, c.edges, c.pruned_edges, c.max_depth))
+            .unwrap_or((0, 0, 0, 0));
+        // Past the budget, fall back to sampling (same policy and trial
+        // count as `nshot_mc::validate`; the fixed-seed schedule keeps the
+        // result deterministic, so the cross-thread assertion still holds).
+        let (method, hazard_free, render) = match &verdict {
+            Verdict::Proved(c) => ("proof", true, c.render()),
+            Verdict::Violated(cex) => ("proof", false, cex.render()),
+            Verdict::BudgetExceeded(c) => {
+                let summary =
+                    monte_carlo(&sg, &imp, &ConformanceConfig::default(), FALLBACK_TRIALS);
+                let render = format!(
+                    "{}  fallback: monte_carlo {}/{} clean\n",
+                    c.render(),
+                    summary.clean_trials,
+                    summary.trials
+                );
+                ("monte_carlo", summary.all_clean(), render)
+            }
+        };
+        let wall_ms = c0.elapsed().as_secs_f64() * 1e3;
+        CircuitResult {
+            name: name.clone(),
+            spec_states: sg.num_states(),
+            states,
+            edges,
+            pruned_edges,
+            max_depth,
+            proved: verdict.is_proved(),
+            method,
+            hazard_free,
+            wall_ms,
+            render,
+        }
+    });
+    SweepRun {
+        threads,
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        circuits,
+    }
+}
+
+fn circuit_json(c: &CircuitResult) -> String {
+    format!(
+        concat!(
+            "{{\"name\": \"{}\", \"spec_states\": {}, \"explored_states\": {}, ",
+            "\"edges\": {}, \"pruned_edges\": {}, \"max_depth\": {}, ",
+            "\"proved\": {}, \"method\": \"{}\", \"hazard_free\": {}, \"wall_ms\": {:.3}}}"
+        ),
+        c.name,
+        c.spec_states,
+        c.states,
+        c.edges,
+        c.pruned_edges,
+        c.max_depth,
+        c.proved,
+        c.method,
+        c.hazard_free,
+        c.wall_ms
+    )
+}
+
+fn main() {
+    let filter = std::env::args().nth(1).filter(|a| a != "-");
+    let out_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_mc.json".to_string());
+
+    let names: Vec<String> = nshot_benchmarks::suite()
+        .iter()
+        .filter(|b| filter.as_deref().map_or(true, |f| b.name.contains(f)))
+        .map(|b| b.name.to_string())
+        .collect();
+    let hw_threads = num_threads();
+    println!(
+        "modelcheck: {} circuits, hardware parallelism {hw_threads}",
+        names.len()
+    );
+
+    let baseline = run_sweep(&names, 1);
+    println!("  1 thread : {:8.1} ms", baseline.wall_ms);
+    let parallel = run_sweep(&names, hw_threads);
+    println!("  {} threads: {:8.1} ms", parallel.threads, parallel.wall_ms);
+    let speedup = baseline.wall_ms / parallel.wall_ms.max(1e-9);
+    println!("  speedup  : {speedup:.2}x");
+
+    // The checker is sequential and deterministic: certificates must be
+    // byte-identical no matter how the circuits were scheduled.
+    let deterministic = baseline
+        .circuits
+        .iter()
+        .zip(&parallel.circuits)
+        .all(|(a, b)| a.name == b.name && a.render == b.render);
+    println!("  deterministic across thread counts: {deterministic}");
+    assert!(deterministic, "certificates diverged across thread counts");
+
+    println!(
+        "  {:<15} {:>7} {:>10} {:>11} {:>9} {:>6}  verdict",
+        "circuit", "spec", "explored", "edges", "pruned", "depth"
+    );
+    let mut proved_count = 0usize;
+    let mut all_clean = true;
+    for c in &baseline.circuits {
+        println!(
+            "  {:<15} {:>7} {:>10} {:>11} {:>9} {:>6}  {}",
+            c.name,
+            c.spec_states,
+            c.states,
+            c.edges,
+            c.pruned_edges,
+            c.max_depth,
+            match (c.proved, c.hazard_free) {
+                (true, _) => "proved",
+                (false, true) => "monte_carlo clean",
+                (false, false) => "FAILED",
+            }
+        );
+        if c.proved {
+            proved_count += 1;
+        }
+        if !c.hazard_free {
+            all_clean = false;
+            print!("{}", c.render);
+        }
+    }
+    println!(
+        "  proved: {proved_count}/{} (rest sampled clean: {all_clean})",
+        baseline.circuits.len()
+    );
+    assert!(all_clean, "a suite circuit failed verification");
+    assert!(
+        baseline.circuits.iter().all(|c| c.proved || c.states > 0),
+        "fallback circuits must still report their partial exploration"
+    );
+
+    let circuits: Vec<String> = baseline.circuits.iter().map(circuit_json).collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"modelcheck\",\n",
+            "  \"hw_threads\": {},\n",
+            "  \"runs\": [\n",
+            "    {{\"threads\": {}, \"wall_ms\": {:.2}}},\n",
+            "    {{\"threads\": {}, \"wall_ms\": {:.2}}}\n",
+            "  ],\n",
+            "  \"speedup\": {:.3},\n",
+            "  \"deterministic\": {},\n",
+            "  \"proved_circuits\": {},\n",
+            "  \"all_hazard_free\": {},\n",
+            "  \"circuits\": [\n    {}\n  ]\n",
+            "}}\n"
+        ),
+        hw_threads,
+        baseline.threads,
+        baseline.wall_ms,
+        parallel.threads,
+        parallel.wall_ms,
+        speedup,
+        deterministic,
+        proved_count,
+        all_clean,
+        circuits.join(",\n    ")
+    );
+    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("wrote {out_path}");
+}

@@ -56,6 +56,7 @@ mod init;
 mod report;
 mod synth;
 mod trigger;
+mod validate;
 mod verify;
 
 pub use architecture::{assemble_netlist, build_sop, AssembledSignal};
@@ -67,6 +68,7 @@ pub use synth::{
     synthesize, Minimizer, NshotImplementation, SignalImplementation, SynthesisOptions,
 };
 pub use trigger::{check_trigger_requirement, TriggerCertificate, TriggerStatus};
+pub use validate::{ValidationLevel, DEFAULT_PROOF_STATES};
 pub use verify::verify_covers;
 
 #[cfg(test)]

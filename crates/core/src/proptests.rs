@@ -1,8 +1,9 @@
 //! Property tests: synthesis invariants over generated pipeline SGs.
+//! Inputs come from the fixed-seed driver in `nshot_par::prop`.
 
 use crate::{synthesize, verify_covers, SynthesisOptions};
+use nshot_par::prop;
 use nshot_sg::{SgBuilder, SignalKind, StateGraph};
-use proptest::prelude::*;
 
 /// Sequential cycle of signals with mixed kinds (at least one non-input).
 fn pipeline_sg(kinds: &[bool]) -> StateGraph {
@@ -31,38 +32,41 @@ fn pipeline_sg(kinds: &[bool]) -> StateGraph {
     b.build(0).expect("non-empty")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn pipelines_always_synthesize(mut kinds in proptest::collection::vec(any::<bool>(), 2..8)) {
+#[test]
+fn pipelines_always_synthesize() {
+    prop::check_n("core_pipelines_synthesize", 64, |g| {
+        let mut kinds = g.vec_bool(2, 7);
         kinds[0] = false; // ensure at least one non-input signal
         let sg = pipeline_sg(&kinds);
         let result = synthesize(&sg, &SynthesisOptions::default()).expect("pipelines satisfy CSC");
         // One implementation per non-input signal.
         let expected = kinds.iter().filter(|&&k| !k).count();
-        prop_assert_eq!(result.signals.len(), expected);
+        assert_eq!(result.signals.len(), expected);
         // Covers verify against Table 1 independently.
         for s in &result.signals {
-            prop_assert_eq!(
+            assert_eq!(
                 verify_covers(&sg, s.signal, &s.set_cover, &s.reset_cover),
                 Ok(())
             );
         }
         // Corollary 1 territory: sequential SGs are single-traversal, hence
         // every trigger region is covered.
-        prop_assert!(sg.is_single_traversal());
+        assert!(sg.is_single_traversal());
         // Eq. 1 never demands compensation under the nominal model.
-        prop_assert!(result.delay_compensation_free());
+        assert!(result.delay_compensation_free());
         // The netlist has no combinational loops and positive area.
-        prop_assert!(result.area > 0);
-        prop_assert!(result.delay_ns > 0.0);
-    }
+        assert!(result.area > 0);
+        assert!(result.delay_ns > 0.0);
+    });
+}
 
-    #[test]
-    fn area_grows_with_signal_count(n in 2usize..6) {
+#[test]
+fn area_grows_with_signal_count() {
+    prop::check_n("core_area_grows", 16, |g| {
+        let n = g.usize_in(2, 5);
         let small = synthesize(&pipeline_sg(&vec![false; n]), &SynthesisOptions::default()).unwrap();
-        let large = synthesize(&pipeline_sg(&vec![false; n + 2]), &SynthesisOptions::default()).unwrap();
-        prop_assert!(large.area > small.area);
-    }
+        let large =
+            synthesize(&pipeline_sg(&vec![false; n + 2]), &SynthesisOptions::default()).unwrap();
+        assert!(large.area > small.area);
+    });
 }

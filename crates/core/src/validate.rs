@@ -1,0 +1,62 @@
+//! The validation-level vocabulary for synthesize callers.
+//!
+//! Synthesis itself lives in this crate; the two validation engines live
+//! downstream (`nshot-sim` for sampled conformance, `nshot-mc` for
+//! exhaustive proof), so this type is the contract between them:
+//! callers pick a level here and hand it to `nshot_mc::validate` (or the
+//! server's `verify` op), which dispatches accordingly.
+
+/// Default explored-state budget for proof-level validation.
+pub const DEFAULT_PROOF_STATES: usize = 4_000_000;
+
+/// How thoroughly a synthesized implementation should be validated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValidationLevel {
+    /// No validation (trust synthesis; fastest).
+    None,
+    /// Sampled conformance: Monte-Carlo trials under random gate delays.
+    /// Can miss rare interleavings by construction.
+    MonteCarlo {
+        /// Number of trials.
+        trials: usize,
+    },
+    /// Exhaustive proof: explore every reachable interleaving of the
+    /// composed circuit × environment system. Circuits whose state space
+    /// exceeds `max_states` fall back to Monte-Carlo sampling.
+    Proof {
+        /// Explored-state budget.
+        max_states: usize,
+    },
+}
+
+impl Default for ValidationLevel {
+    /// Proof-level validation at the default budget: since the exhaustive
+    /// checker exists, sampling is the fallback, not the default.
+    fn default() -> Self {
+        ValidationLevel::Proof {
+            max_states: DEFAULT_PROOF_STATES,
+        }
+    }
+}
+
+impl ValidationLevel {
+    /// Sampled validation with the historical default trial count.
+    pub fn sampled() -> Self {
+        ValidationLevel::MonteCarlo { trials: 32 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_proof() {
+        assert_eq!(
+            ValidationLevel::default(),
+            ValidationLevel::Proof {
+                max_states: DEFAULT_PROOF_STATES
+            }
+        );
+    }
+}

@@ -1,107 +1,137 @@
 //! Property-based tests over the cube/cover algebra and the minimizers.
+//! Inputs come from the fixed-seed driver in `nshot_par::prop`.
 
 use crate::{espresso, minimize_exact, Cover, Cube, Function};
-use proptest::prelude::*;
+use nshot_par::prop::{self, Gen};
 
 const NVARS: usize = 5;
 
-fn arb_minterms() -> impl Strategy<Value = Vec<u64>> {
-    proptest::collection::btree_set(0u64..(1 << NVARS), 0..=12)
-        .prop_map(|s| s.into_iter().collect())
+fn arb_minterms(g: &mut Gen) -> Vec<u64> {
+    g.subset(1 << NVARS, 12).into_iter().map(|m| m as u64).collect()
 }
 
-fn arb_cube() -> impl Strategy<Value = Cube> {
-    proptest::collection::vec(0u8..3, NVARS).prop_map(|spec| {
-        let mut c = Cube::full(NVARS);
-        for (v, s) in spec.iter().enumerate() {
-            match s {
-                0 => c.set(v, false),
-                1 => c.set(v, true),
-                _ => {}
-            }
+fn arb_cube(g: &mut Gen) -> Cube {
+    let mut c = Cube::full(NVARS);
+    for v in 0..NVARS {
+        match g.index(3) {
+            0 => c.set(v, false),
+            1 => c.set(v, true),
+            _ => {}
         }
-        c
-    })
+    }
+    c
 }
 
-fn arb_cover() -> impl Strategy<Value = Cover> {
-    proptest::collection::vec(arb_cube(), 0..6)
-        .prop_map(|cubes| Cover::from_cubes(NVARS, cubes))
+fn arb_cover(g: &mut Gen) -> Cover {
+    let cubes = g.vec_with(0, 5, arb_cube);
+    Cover::from_cubes(NVARS, cubes)
 }
 
-proptest! {
-    #[test]
-    fn complement_partitions_space(cover in arb_cover()) {
+#[test]
+fn complement_partitions_space() {
+    prop::check("logic_complement_partitions_space", |g| {
+        let cover = arb_cover(g);
         let comp = cover.complement();
         for m in 0..(1u64 << NVARS) {
-            prop_assert_eq!(cover.contains_minterm(m), !comp.contains_minterm(m));
+            assert_eq!(cover.contains_minterm(m), !comp.contains_minterm(m));
         }
-    }
+    });
+}
 
-    #[test]
-    fn tautology_agrees_with_enumeration(cover in arb_cover()) {
+#[test]
+fn tautology_agrees_with_enumeration() {
+    prop::check("logic_tautology_enumeration", |g| {
+        let cover = arb_cover(g);
         let full = (0..(1u64 << NVARS)).all(|m| cover.contains_minterm(m));
-        prop_assert_eq!(cover.is_tautology(), full);
-    }
+        assert_eq!(cover.is_tautology(), full);
+    });
+}
 
-    #[test]
-    fn cube_containment_agrees_with_minterms(a in arb_cube(), b in arb_cube()) {
+#[test]
+fn cube_containment_agrees_with_minterms() {
+    prop::check("logic_cube_containment", |g| {
+        let a = arb_cube(g);
+        let b = arb_cube(g);
         let semantic = b.minterms().iter().all(|&m| a.contains_minterm(m));
-        prop_assert_eq!(a.contains(&b), semantic || b.is_empty());
-    }
+        assert_eq!(a.contains(&b), semantic || b.is_empty());
+    });
+}
 
-    #[test]
-    fn intersection_is_semantic(a in arb_cube(), b in arb_cube()) {
+#[test]
+fn intersection_is_semantic() {
+    prop::check("logic_intersection_semantic", |g| {
+        let a = arb_cube(g);
+        let b = arb_cube(g);
         let i = a.intersect(&b);
         for m in 0..(1u64 << NVARS) {
-            prop_assert_eq!(
+            assert_eq!(
                 i.contains_minterm(m),
                 a.contains_minterm(m) && b.contains_minterm(m)
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn supercube_contains_both(a in arb_cube(), b in arb_cube()) {
+#[test]
+fn supercube_contains_both() {
+    prop::check("logic_supercube_contains_both", |g| {
+        let a = arb_cube(g);
+        let b = arb_cube(g);
         let s = a.supercube(&b);
-        prop_assert!(s.contains(&a));
-        prop_assert!(s.contains(&b));
-    }
+        assert!(s.contains(&a));
+        assert!(s.contains(&b));
+    });
+}
 
-    #[test]
-    fn espresso_implements_function(on in arb_minterms(), dc in arb_minterms()) {
-        let dc: Vec<u64> = dc.into_iter().filter(|m| !on.contains(m)).collect();
+#[test]
+fn espresso_implements_function() {
+    prop::check("logic_espresso_implements", |g| {
+        let on = arb_minterms(g);
+        let dc: Vec<u64> = arb_minterms(g)
+            .into_iter()
+            .filter(|m| !on.contains(m))
+            .collect();
         let f = Function::new(
             Cover::from_minterms(NVARS, &on),
             Cover::from_minterms(NVARS, &dc),
         );
         let c = espresso(&f);
-        prop_assert!(f.is_implemented_by(&c));
+        assert!(f.is_implemented_by(&c));
         // Every ON minterm covered, every OFF minterm not.
         for m in 0..(1u64 << NVARS) {
             if on.contains(&m) {
-                prop_assert!(c.contains_minterm(m));
+                assert!(c.contains_minterm(m));
             } else if !dc.contains(&m) {
-                prop_assert!(!c.contains_minterm(m));
+                assert!(!c.contains_minterm(m));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn exact_never_worse_than_heuristic(on in arb_minterms(), dc in arb_minterms()) {
-        let dc: Vec<u64> = dc.into_iter().filter(|m| !on.contains(m)).collect();
+#[test]
+fn exact_never_worse_than_heuristic() {
+    prop::check("logic_exact_never_worse", |g| {
+        let on = arb_minterms(g);
+        let dc: Vec<u64> = arb_minterms(g)
+            .into_iter()
+            .filter(|m| !on.contains(m))
+            .collect();
         let f = Function::new(
             Cover::from_minterms(NVARS, &on),
             Cover::from_minterms(NVARS, &dc),
         );
         let heur = espresso(&f);
         let exact = minimize_exact(&f).expect("table is tiny");
-        prop_assert!(f.is_implemented_by(&exact));
-        prop_assert!(exact.num_cubes() <= heur.num_cubes());
-    }
+        assert!(f.is_implemented_by(&exact));
+        assert!(exact.num_cubes() <= heur.num_cubes());
+    });
+}
 
-    #[test]
-    fn cofactor_shannon_expansion(cover in arb_cover(), v in 0usize..NVARS) {
+#[test]
+fn cofactor_shannon_expansion() {
+    prop::check("logic_cofactor_shannon", |g| {
+        let cover = arb_cover(g);
+        let v = g.index(NVARS);
         // F == x·F_x + x̄·F_x̄ pointwise.
         let p1 = Cube::from_literals(NVARS, &[(v, true)]);
         let p0 = Cube::from_literals(NVARS, &[(v, false)]);
@@ -109,43 +139,57 @@ proptest! {
         let f0 = cover.cofactor(&p0);
         for m in 0..(1u64 << NVARS) {
             let bit = (m >> v) & 1 == 1;
-            let expect = if bit { f1.contains_minterm(m) } else { f0.contains_minterm(m) };
-            prop_assert_eq!(cover.contains_minterm(m), expect);
+            let expect = if bit {
+                f1.contains_minterm(m)
+            } else {
+                f0.contains_minterm(m)
+            };
+            assert_eq!(cover.contains_minterm(m), expect);
         }
-    }
+    });
 }
 
-proptest! {
-    #[test]
-    fn pla_round_trip(on in arb_minterms(), dc in arb_minterms()) {
-        let dc: Vec<u64> = dc.into_iter().filter(|m| !on.contains(m)).collect();
+#[test]
+fn pla_round_trip() {
+    prop::check("logic_pla_round_trip", |g| {
+        let on = arb_minterms(g);
+        let dc: Vec<u64> = arb_minterms(g)
+            .into_iter()
+            .filter(|m| !on.contains(m))
+            .collect();
         let f = Function::new(
             Cover::from_minterms(NVARS, &on),
             Cover::from_minterms(NVARS, &dc),
         );
         let back = crate::parse_pla(&f.to_pla()).expect("self-emitted PLA parses");
         for m in 0..(1u64 << NVARS) {
-            prop_assert_eq!(f.on_set().contains_minterm(m), back.on_set().contains_minterm(m));
-            prop_assert_eq!(f.dc_set().contains_minterm(m), back.dc_set().contains_minterm(m));
+            assert_eq!(
+                f.on_set().contains_minterm(m),
+                back.on_set().contains_minterm(m)
+            );
+            assert_eq!(
+                f.dc_set().contains_minterm(m),
+                back.dc_set().contains_minterm(m)
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn multi_output_implements_every_function(
-        on0 in arb_minterms(),
-        on1 in arb_minterms(),
-        on2 in arb_minterms(),
-    ) {
-        let functions: Vec<Function> = [on0, on1, on2]
-            .into_iter()
-            .map(|on| Function::new(Cover::from_minterms(NVARS, &on), Cover::empty(NVARS)))
+#[test]
+fn multi_output_implements_every_function() {
+    prop::check("logic_multi_output_implements", |g| {
+        let functions: Vec<Function> = (0..3)
+            .map(|_| {
+                let on = arb_minterms(g);
+                Function::new(Cover::from_minterms(NVARS, &on), Cover::empty(NVARS))
+            })
             .collect();
         let multi = crate::espresso_multi(&functions);
         for (j, f) in functions.iter().enumerate() {
-            prop_assert!(f.is_implemented_by(&multi.cover_for(j)), "function {j}");
+            assert!(f.is_implemented_by(&multi.cover_for(j)), "function {j}");
         }
         // Sharing never needs more gates than independent minimization.
         let independent: usize = functions.iter().map(|f| espresso(f).num_cubes()).sum();
-        prop_assert!(multi.num_product_terms() <= independent);
-    }
+        assert!(multi.num_product_terms() <= independent);
+    });
 }

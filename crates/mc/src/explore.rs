@@ -1,0 +1,674 @@
+//! Breadth-first exhaustive exploration of the composed circuit ×
+//! environment transition system, with a sleep-set partial-order reduction
+//! over commuting combinational gate firings.
+//!
+//! States are packed bit vectors (net values ‖ per-flip-flop enable +
+//! pending bits ‖ specification state) deduplicated through an
+//! [`FxHashMap`] keyed by the full packed words. Exploration is BFS so the
+//! first violation found is depth-minimal; the canonical successor order
+//! (flip-flop fires, commits, cancels, enable updates, gate fires in index
+//! order, environment inputs in specification order) makes the result a
+//! pure function of the model — identical counterexample and certificate
+//! bytes at any `NSHOT_THREADS` value, since the explorer is sequential by
+//! design (parallelism lives one level up, across circuits).
+//!
+//! The sleep-set reduction prunes *edges*, never states: a slept gate
+//! firing is always covered by an explored permutation (the standard sleep
+//! set induction, restricted here to invisible combinational firings with a
+//! syntactic fanin-based independence relation), and revisiting a state
+//! with a smaller sleep set re-opens exactly the newly permitted firings.
+//! Certificates therefore report identical state counts with the reduction
+//! on or off — only the explored/pruned edge counts differ.
+
+use std::collections::VecDeque;
+use std::hash::Hasher;
+
+use nshot_par::{FxHashMap, FxHasher};
+use nshot_sg::{Dir, TransitionLabel};
+
+use crate::model::{CombGate, CombOp, Model};
+use crate::{Certificate, Counterexample, McViolation, Verdict};
+
+/// One interleaving transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Action {
+    /// Environment fires a specification-enabled input transition.
+    Input { signal: u16, rise: bool },
+    /// An excited combinational gate propagates (comb index).
+    Gate { comb: u32, value: bool },
+    /// A high acknowledgement rail arms the flip-flop pulse.
+    Commit { ff: u16, rise: bool },
+    /// The pulse filter absorbs a runt (rail back low before ω).
+    Cancel { ff: u16 },
+    /// The feedback/enable rail catches up with the flip-flop output.
+    Enable { ff: u16, value: bool },
+    /// The flip-flop fires — the externally observable event.
+    Fire { ff: u16, rise: bool },
+}
+
+struct Meta {
+    parent: u32,
+    action: Action,
+    depth: u32,
+}
+
+/// Explorer statistics (grow into the proof certificate).
+#[derive(Default)]
+struct Stats {
+    edges: u64,
+    pruned: u64,
+    reopened: u64,
+    max_depth: u32,
+    peak_frontier: u64,
+}
+
+pub(crate) struct Explorer<'m, 'a> {
+    m: &'m Model<'a>,
+    max_states: usize,
+    reduction: bool,
+    states: Vec<Box<[u64]>>,
+    meta: Vec<Meta>,
+    sleep: Vec<Vec<u16>>,
+    index: FxHashMap<u64, Vec<u32>>,
+    queue: VecDeque<(u32, Option<Vec<u16>>)>,
+    stats: Stats,
+}
+
+// --- packed-state bit accessors -------------------------------------------
+
+fn get_bit(w: &[u64], i: usize) -> bool {
+    w[i >> 6] >> (i & 63) & 1 == 1
+}
+
+fn set_bit(w: &mut [u64], i: usize, v: bool) {
+    if v {
+        w[i >> 6] |= 1 << (i & 63);
+    } else {
+        w[i >> 6] &= !(1 << (i & 63));
+    }
+}
+
+impl<'m, 'a> Explorer<'m, 'a> {
+    pub fn new(m: &'m Model<'a>, max_states: usize, reduction: bool) -> Self {
+        Explorer {
+            m,
+            max_states,
+            reduction,
+            states: Vec::new(),
+            meta: Vec::new(),
+            sleep: Vec::new(),
+            index: FxHashMap::default(),
+            queue: VecDeque::new(),
+            stats: Stats::default(),
+        }
+    }
+
+    // -- state layout -------------------------------------------------------
+
+    fn enable_bit(&self, ff: usize) -> usize {
+        self.m.net_words * 64 + 3 * ff
+    }
+
+    fn pending_of(&self, w: &[u64], ff: usize) -> Option<bool> {
+        let base = self.enable_bit(ff);
+        if get_bit(w, base + 1) {
+            Some(get_bit(w, base + 2))
+        } else {
+            None
+        }
+    }
+
+    fn set_pending(&self, w: &mut [u64], ff: usize, p: Option<bool>) {
+        let base = self.enable_bit(ff);
+        set_bit(w, base + 1, p.is_some());
+        set_bit(w, base + 2, p.unwrap_or(false));
+    }
+
+    fn spec_of(&self, w: &[u64]) -> nshot_sg::StateId {
+        let idx = w[self.m.net_words + self.m.ff_words] as usize;
+        self.m
+            .sg
+            .state_ids()
+            .nth(idx)
+            .expect("packed spec state index in range")
+    }
+
+    fn set_spec(&self, w: &mut [u64], s: nshot_sg::StateId) {
+        w[self.m.net_words + self.m.ff_words] = s.index() as u64;
+    }
+
+    fn eval_comb(&self, w: &[u64], c: &CombGate) -> bool {
+        match c.op {
+            CombOp::And => c.inputs.iter().all(|&(n, inv)| get_bit(w, n as usize) ^ inv),
+            CombOp::Or => c.inputs.iter().any(|&(n, _)| get_bit(w, n as usize)),
+            CombOp::Not => !get_bit(w, c.inputs[0].0 as usize),
+        }
+    }
+
+    fn excited(&self, w: &[u64], comb: u32) -> bool {
+        let c = &self.m.comb[comb as usize];
+        self.eval_comb(w, c) != get_bit(w, c.gate as usize)
+    }
+
+    /// Refresh the zero-delay acknowledgement rails of flip-flop `f` (and
+    /// its delay-line net) from the current SOP and enable values.
+    fn refresh_ack(&self, w: &mut [u64], f: usize) {
+        let ff = &self.m.ffs[f];
+        let e = get_bit(w, self.enable_bit(f));
+        let set = get_bit(w, ff.set_sop as usize) && !e;
+        let reset = get_bit(w, ff.reset_sop as usize) && e;
+        set_bit(w, ff.ack_set as usize, set);
+        set_bit(w, ff.ack_reset as usize, reset);
+        if let Some(d) = ff.delay_line {
+            set_bit(w, d as usize, e);
+        }
+    }
+
+    fn settled(&self, w: &[u64], cone: &[u32]) -> bool {
+        cone.iter().all(|&c| !self.excited(w, c))
+    }
+
+    /// `true` when sleeping comb gate `u` is independent of `action`:
+    /// neither affects the other's enabledness or effect, so the two
+    /// commute from any state where both are enabled. Sound because
+    /// `Model::build` guarantees comb fanins only come from inputs,
+    /// constants, flip-flop outputs and other comb gates.
+    fn action_independent(&self, u: u32, action: Action) -> bool {
+        let m = self.m;
+        let reads_net = |net: u32| m.comb[u as usize].inputs.iter().any(|&(n, _)| n == net);
+        match action {
+            Action::Gate { comb, .. } => m.independent(u, comb),
+            // An input flip can (un)excite any comb reading the input net.
+            Action::Input { signal, .. } => !reads_net(m.signal_net[signal as usize]),
+            // A fire flips the flip-flop output net (SOP feedback).
+            Action::Fire { ff, .. } => !reads_net(m.ffs[ff as usize].ff),
+            // Commit/cancel enabledness reads the ack rails, which are
+            // functions of the two SOP outputs (and the enable bit, which
+            // no comb touches).
+            Action::Commit { ff, .. } | Action::Cancel { ff } => {
+                let f = &m.ffs[ff as usize];
+                let g = m.comb[u as usize].gate;
+                g != f.set_sop && g != f.reset_sop
+            }
+            // Enable enabledness reads the settle status of the opening
+            // cone; conservatively treat both cones as relevant.
+            Action::Enable { ff, .. } => {
+                let f = &m.ffs[ff as usize];
+                f.set_cone.binary_search(&u).is_err() && f.reset_cone.binary_search(&u).is_err()
+            }
+        }
+    }
+
+    // -- initial state ------------------------------------------------------
+
+    fn initial_words(&self) -> Box<[u64]> {
+        let m = self.m;
+        let mut w = vec![0u64; m.state_words()].into_boxed_slice();
+        let init = m.sg.initial();
+        // Sources: inputs and flip-flop outputs at their specified initial
+        // values; constants at their value.
+        for s in m.sg.signal_ids() {
+            set_bit(&mut w, m.signal_net[s.index()] as usize, m.sg.value(init, s));
+        }
+        for g in m.nl.gate_ids() {
+            if let nshot_netlist::GateKind::Const(v) = m.nl.kind(g) {
+                set_bit(&mut w, g.index(), *v);
+            }
+        }
+        // Enables start agreeing with the outputs; no pending pulses.
+        for (f, ff) in m.ffs.iter().enumerate() {
+            let out = get_bit(&w, ff.ff as usize);
+            set_bit(&mut w, self.enable_bit(f), out);
+            self.set_pending(&mut w, f, None);
+        }
+        // Settle the combinational fabric (t = 0 initialization assumption,
+        // matching the event simulator's `eval_combinational` seed). Gate
+        // indices are topologically ordered over combinational paths, so one
+        // pass suffices; iterate to a fixpoint anyway and assert it.
+        for _ in 0..m.comb.len() + 1 {
+            let mut changed = false;
+            for c in &m.comb {
+                let v = self.eval_comb(&w, c);
+                if v != get_bit(&w, c.gate as usize) {
+                    set_bit(&mut w, c.gate as usize, v);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        debug_assert!((0..m.comb.len()).all(|c| !self.excited(&w, c as u32)));
+        for f in 0..m.ffs.len() {
+            self.refresh_ack(&mut w, f);
+        }
+        self.set_spec(&mut w, init);
+        w
+    }
+
+    // -- canonical enabled-action enumeration -------------------------------
+
+    fn enabled_actions(&self, w: &[u64]) -> Vec<Action> {
+        let m = self.m;
+        let mut out = Vec::new();
+        // 1. Observable flip-flop fires.
+        for f in 0..m.ffs.len() {
+            if let Some(rise) = self.pending_of(w, f) {
+                out.push(Action::Fire { ff: f as u16, rise });
+            }
+        }
+        // 2. Pulse commits (the opposite rail is structurally low: the two
+        //    acknowledgement gates share one enable, so a conflict cannot
+        //    reach the flip-flop — the guard mirrors `MhsCell` regardless).
+        for (f, ff) in m.ffs.iter().enumerate() {
+            if self.pending_of(w, f).is_some() {
+                continue;
+            }
+            let out_v = get_bit(w, ff.ff as usize);
+            let set = get_bit(w, ff.ack_set as usize);
+            let reset = get_bit(w, ff.ack_reset as usize);
+            if set && !reset && !out_v {
+                out.push(Action::Commit { ff: f as u16, rise: true });
+            }
+            if reset && !set && out_v {
+                out.push(Action::Commit { ff: f as u16, rise: false });
+            }
+        }
+        // 3. Runt absorption (only with ω > 0, only while the rail is back
+        //    low — a held-high rail must eventually fire).
+        if m.absorption {
+            for (f, ff) in m.ffs.iter().enumerate() {
+                if let Some(rise) = self.pending_of(w, f) {
+                    let rail = if rise { ff.ack_set } else { ff.ack_reset };
+                    if !get_bit(w, rail as usize) {
+                        out.push(Action::Cancel { ff: f as u16 });
+                    }
+                }
+            }
+        }
+        // 4. Enable/feedback updates. The update that *opens* an
+        //    acknowledgement gate waits for that SOP cone to settle when the
+        //    Eq. 1 assumption is in force.
+        for (f, ff) in m.ffs.iter().enumerate() {
+            let e = get_bit(w, self.enable_bit(f));
+            let out_v = get_bit(w, ff.ff as usize);
+            if e != out_v {
+                let opening = if out_v { &ff.reset_cone } else { &ff.set_cone };
+                if !m.assume_delay_requirement || self.settled(w, opening) {
+                    out.push(Action::Enable { ff: f as u16, value: out_v });
+                }
+            }
+        }
+        // 5. Excited combinational gates, in gate-index order.
+        for c in 0..m.comb.len() as u32 {
+            if self.excited(w, c) {
+                let value = !get_bit(w, m.comb[c as usize].gate as usize);
+                out.push(Action::Gate { comb: c, value });
+            }
+        }
+        // 6. Specification-enabled environment inputs.
+        let spec = self.spec_of(w);
+        for &(label, _) in m.sg.successors(spec) {
+            if m.sg.signal_kind(label.signal) == nshot_sg::SignalKind::Input {
+                out.push(Action::Input {
+                    signal: label.signal.index() as u16,
+                    rise: label.dir.target_value(),
+                });
+            }
+        }
+        out
+    }
+
+    /// Apply `action` to a copy of `w`. Returns `Err(violation)` when the
+    /// action is an observable fire the specification does not enable.
+    fn apply(&self, w: &[u64], action: Action) -> Result<Box<[u64]>, McViolation> {
+        let m = self.m;
+        let mut nw: Box<[u64]> = w.into();
+        match action {
+            Action::Input { signal, rise } => {
+                let s = m.signal_ids[signal as usize];
+                let net = m.signal_net[signal as usize] as usize;
+                debug_assert_eq!(get_bit(&nw, net), !rise);
+                set_bit(&mut nw, net, rise);
+                let spec = self.spec_of(w);
+                let label = TransitionLabel::new(s, Dir::to_value(rise));
+                let next = m.sg.delta(spec, label).expect("enabled input transition");
+                self.set_spec(&mut nw, next);
+            }
+            Action::Gate { comb, value } => {
+                let gate = m.comb[comb as usize].gate;
+                set_bit(&mut nw, gate as usize, value);
+                for &(f, _) in &m.sop_readers[gate as usize] {
+                    self.refresh_ack(&mut nw, f as usize);
+                }
+            }
+            Action::Commit { ff, rise } => {
+                self.set_pending(&mut nw, ff as usize, Some(rise));
+            }
+            Action::Cancel { ff } => {
+                self.set_pending(&mut nw, ff as usize, None);
+            }
+            Action::Enable { ff, value } => {
+                set_bit(&mut nw, self.enable_bit(ff as usize), value);
+                self.refresh_ack(&mut nw, ff as usize);
+            }
+            Action::Fire { ff, rise } => {
+                let info = &m.ffs[ff as usize];
+                let spec = self.spec_of(w);
+                let label = TransitionLabel::new(info.signal, Dir::to_value(rise));
+                match m.sg.delta(spec, label) {
+                    Some(next) => {
+                        set_bit(&mut nw, info.ff as usize, rise);
+                        self.set_pending(&mut nw, ff as usize, None);
+                        self.set_spec(&mut nw, next);
+                    }
+                    None => {
+                        return Err(McViolation::UnexpectedTransition {
+                            signal: m.sg.signal_name(info.signal).to_string(),
+                            rose: rise,
+                            state_code: m.sg.code(spec),
+                        })
+                    }
+                }
+            }
+        }
+        Ok(nw)
+    }
+
+    // -- dedupe -------------------------------------------------------------
+
+    fn hash_words(w: &[u64]) -> u64 {
+        let mut h = FxHasher::default();
+        for &x in w {
+            h.write_u64(x);
+        }
+        h.finish()
+    }
+
+    fn lookup(&self, w: &[u64]) -> Option<u32> {
+        self.index
+            .get(&Self::hash_words(w))?
+            .iter()
+            .copied()
+            .find(|&id| *self.states[id as usize] == *w)
+    }
+
+    fn insert(&mut self, w: Box<[u64]>, meta: Meta, sleep: Vec<u16>) -> u32 {
+        let id = self.states.len() as u32;
+        let h = Self::hash_words(&w);
+        self.index.entry(h).or_default().push(id);
+        self.states.push(w);
+        self.stats.max_depth = self.stats.max_depth.max(meta.depth);
+        self.meta.push(meta);
+        self.sleep.push(sleep);
+        self.queue.push_back((id, None));
+        self.stats.peak_frontier = self.stats.peak_frontier.max(self.queue.len() as u64);
+        id
+    }
+
+    // -- trace reconstruction ----------------------------------------------
+
+    fn describe(&self, action: Action) -> String {
+        let m = self.m;
+        match action {
+            Action::Input { signal, rise } => {
+                let name = m.sg.signal_name(m.signal_ids[signal as usize]);
+                format!("{}{name} (environment)", if rise { '+' } else { '-' })
+            }
+            Action::Gate { comb, value } => {
+                let gate = m.comb[comb as usize].gate;
+                let name = m.nl.gate_name(m.nl.gate_id(gate as usize));
+                format!("gate {name} -> {}", u8::from(value))
+            }
+            Action::Commit { ff, rise } => {
+                let name = m.sg.signal_name(m.ffs[ff as usize].signal);
+                format!(
+                    "flip-flop {name} latches {} pulse",
+                    if rise { "set" } else { "reset" }
+                )
+            }
+            Action::Cancel { ff } => {
+                let name = m.sg.signal_name(m.ffs[ff as usize].signal);
+                format!("flip-flop {name} absorbs runt pulse")
+            }
+            Action::Enable { ff, value } => {
+                let name = m.sg.signal_name(m.ffs[ff as usize].signal);
+                format!("enable[{name}] := {}", u8::from(value))
+            }
+            Action::Fire { ff, rise } => {
+                let name = m.sg.signal_name(m.ffs[ff as usize].signal);
+                format!("{}{name}", if rise { '+' } else { '-' })
+            }
+        }
+    }
+
+    fn trace_to(&self, id: u32, last: Option<Action>) -> (Vec<String>, Vec<(String, bool)>) {
+        let mut actions = Vec::new();
+        let mut cur = id;
+        while cur != u32::MAX {
+            let meta = &self.meta[cur as usize];
+            if meta.parent == u32::MAX {
+                break;
+            }
+            actions.push(meta.action);
+            cur = meta.parent;
+        }
+        actions.reverse();
+        actions.extend(last);
+        let steps = actions.iter().map(|&a| self.describe(a)).collect();
+        let inputs = actions
+            .iter()
+            .filter_map(|&a| match a {
+                Action::Input { signal, rise } => Some((
+                    self.m
+                        .sg
+                        .signal_name(self.m.signal_ids[signal as usize])
+                        .to_string(),
+                    rise,
+                )),
+                _ => None,
+            })
+            .collect();
+        (steps, inputs)
+    }
+
+    fn counterexample(&self, id: u32, last: Option<Action>, violation: McViolation) -> Verdict {
+        let (steps, inputs) = self.trace_to(id, last);
+        Verdict::Violated(Box::new(Counterexample {
+            circuit: self.m.nl.name().to_string(),
+            violation,
+            steps,
+            inputs,
+        }))
+    }
+
+    fn certificate(&self, complete: bool) -> Certificate {
+        Certificate {
+            circuit: self.m.nl.name().to_string(),
+            states: self.states.len() as u64,
+            edges: self.stats.edges,
+            pruned_edges: self.stats.pruned,
+            reopened: self.stats.reopened,
+            max_depth: self.stats.max_depth,
+            peak_frontier: self.stats.peak_frontier,
+            assumed_delay_requirement: self.m.assume_delay_requirement,
+            reduction: self.reduction,
+            complete,
+        }
+    }
+
+    // -- main loop ----------------------------------------------------------
+
+    pub fn run(mut self) -> Verdict {
+        let root = self.initial_words();
+        self.insert(
+            root,
+            Meta {
+                parent: u32::MAX,
+                action: Action::Cancel { ff: 0 }, // unused sentinel at the root
+                depth: 0,
+            },
+            Vec::new(),
+        );
+
+        while let Some((id, restrict)) = self.queue.pop_front() {
+            let words = self.states[id as usize].clone();
+            let depth = self.meta[id as usize].depth;
+            let enabled = self.enabled_actions(&words);
+
+            match restrict {
+                None => {
+                    if enabled.is_empty() {
+                        // Quiescent and environment-blocked: if the
+                        // specification still expects an output, the circuit
+                        // has deadlocked.
+                        let spec = self.spec_of(&words);
+                        let expected: Vec<String> = self
+                            .m
+                            .sg
+                            .successors(spec)
+                            .iter()
+                            .filter(|(l, _)| {
+                                self.m.sg.signal_kind(l.signal) != nshot_sg::SignalKind::Input
+                            })
+                            .map(|(l, _)| self.m.sg.label_string(*l))
+                            .collect();
+                        if !expected.is_empty() {
+                            return self.counterexample(
+                                id,
+                                None,
+                                McViolation::Deadlock {
+                                    state_code: self.m.sg.code(spec),
+                                    expected,
+                                },
+                            );
+                        }
+                        continue;
+                    }
+                    let sleep_here = self.sleep[id as usize].clone();
+                    let mut taken_comb: Vec<u16> = Vec::new();
+                    for &action in &enabled {
+                        let child_sleep = if self.reduction {
+                            if let Action::Gate { comb, .. } = action {
+                                if sleep_here.binary_search(&(comb as u16)).is_ok() {
+                                    self.stats.pruned += 1;
+                                    continue;
+                                }
+                            }
+                            // Sleep sets persist through every edge (not
+                            // just comb fires), filtered by independence
+                            // with the edge's action; comb fires taken
+                            // earlier at this state join the set.
+                            let mut cs: Vec<u16> = sleep_here
+                                .iter()
+                                .chain(taken_comb.iter())
+                                .copied()
+                                .filter(|&u| self.action_independent(u as u32, action))
+                                .collect();
+                            cs.sort_unstable();
+                            cs.dedup();
+                            if let Action::Gate { comb, .. } = action {
+                                taken_comb.push(comb as u16);
+                            }
+                            cs
+                        } else {
+                            Vec::new()
+                        };
+                        if let Some(v) = self.step(id, depth, &words, action, child_sleep) {
+                            return v;
+                        }
+                        if self.states.len() >= self.max_states {
+                            return Verdict::BudgetExceeded(self.certificate(false));
+                        }
+                    }
+                }
+                Some(allowed) => {
+                    // Re-opened expansion: only the comb fires newly
+                    // permitted by a shrunken sleep set.
+                    let sleep_here = self.sleep[id as usize].clone();
+                    let mut taken: Vec<u16> = Vec::new();
+                    for &c16 in &allowed {
+                        let comb = c16 as u32;
+                        if !self.excited(&words, comb) {
+                            continue;
+                        }
+                        let value = !get_bit(&words, self.m.comb[comb as usize].gate as usize);
+                        let mut cs: Vec<u16> = sleep_here
+                            .iter()
+                            .chain(taken.iter())
+                            .copied()
+                            .filter(|&u| self.m.independent(u as u32, comb))
+                            .collect();
+                        cs.sort_unstable();
+                        cs.dedup();
+                        taken.push(c16);
+                        if let Some(v) =
+                            self.step(id, depth, &words, Action::Gate { comb, value }, cs)
+                        {
+                            return v;
+                        }
+                        if self.states.len() >= self.max_states {
+                            return Verdict::BudgetExceeded(self.certificate(false));
+                        }
+                    }
+                }
+            }
+        }
+        Verdict::Proved(self.certificate(true))
+    }
+
+    /// Generate one successor; returns a verdict only on a violation.
+    fn step(
+        &mut self,
+        id: u32,
+        depth: u32,
+        words: &[u64],
+        action: Action,
+        child_sleep: Vec<u16>,
+    ) -> Option<Verdict> {
+        self.stats.edges += 1;
+        let next = match self.apply(words, action) {
+            Ok(nw) => nw,
+            Err(violation) => return Some(self.counterexample(id, Some(action), violation)),
+        };
+        match self.lookup(&next) {
+            None => {
+                self.insert(
+                    next,
+                    Meta {
+                        parent: id,
+                        action,
+                        depth: depth + 1,
+                    },
+                    child_sleep,
+                );
+            }
+            Some(existing) => {
+                if self.reduction {
+                    // Sleep-set soundness on revisits: firings the stored
+                    // sleep set prohibits but this arrival permits must be
+                    // re-explored with the intersected sleep set.
+                    let stored = &self.sleep[existing as usize];
+                    let newly: Vec<u16> = stored
+                        .iter()
+                        .copied()
+                        .filter(|u| child_sleep.binary_search(u).is_err())
+                        .collect();
+                    if !newly.is_empty() {
+                        let inter: Vec<u16> = stored
+                            .iter()
+                            .copied()
+                            .filter(|u| child_sleep.binary_search(u).is_ok())
+                            .collect();
+                        self.sleep[existing as usize] = inter;
+                        self.stats.reopened += 1;
+                        self.queue.push_back((existing, Some(newly)));
+                        self.stats.peak_frontier =
+                            self.stats.peak_frontier.max(self.queue.len() as u64);
+                    }
+                }
+            }
+        }
+        None
+    }
+}

@@ -1,0 +1,309 @@
+//! `nshot-mc` — exhaustive explicit-state model checking of external
+//! hazard-freeness for N-SHOT implementations.
+//!
+//! The Monte-Carlo conformance oracle in `nshot-sim` samples delay
+//! assignments; it can miss rare interleavings by construction. This crate
+//! replaces sampling with proof for controller-sized circuits: it composes
+//! the emitted netlist — gates as *unbounded pure-delay* components, MHS
+//! flip-flops abstracted to their external pulse contract — with the
+//! state-graph environment, and explores **every** reachable interleaving.
+//!
+//! * On full exploration it returns a [`Certificate`]: the circuit cannot
+//!   produce an observable non-input transition the specification does not
+//!   enable, under *any* gate-delay assignment consistent with the Eq. 1
+//!   delay requirement.
+//! * On a violation it returns a depth-minimal [`Counterexample`] whose
+//!   input schedule replays through `nshot-sim`'s trace machinery (see
+//!   [`replay`]).
+//! * Past the state budget it returns [`Verdict::BudgetExceeded`]; callers
+//!   fall back to Monte-Carlo sampling ([`validate`] does this
+//!   automatically).
+//!
+//! ## The Eq. 1 settle assumption
+//!
+//! Under *fully* unbounded delays no N-SHOT circuit is externally
+//! hazard-free: a left-over SOP pulse from the previous phase would
+//! eventually trespass through a freshly opened acknowledgement gate. The
+//! paper's Eq. 1 delay compensation exists precisely to forbid that timing.
+//! The checker therefore encodes Eq. 1 as an ordering assumption — the
+//! enable-rail update that *opens* an acknowledgement gate fires only once
+//! the exposed SOP cone has settled — and turns the assumption **off** when
+//! the netlist does not earn it: a missing/zeroed delay line (shorter than
+//! the computed requirement minus the ω absorption credit) or a pulse
+//! filter with ω = 0. The seeded-mutation tests exercise exactly those two
+//! paths.
+
+#![warn(missing_docs)]
+
+mod explore;
+mod model;
+pub mod replay;
+
+pub use model::{McConfig, ModelError};
+
+use nshot_core::{NshotImplementation, ValidationLevel};
+use nshot_netlist::Netlist;
+use nshot_sg::StateGraph;
+use nshot_sim::{monte_carlo, ConformanceConfig, MonteCarloSummary};
+
+/// An observable specification violation found by the checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum McViolation {
+    /// A non-input signal fired although no such transition was enabled.
+    UnexpectedTransition {
+        /// The offending signal.
+        signal: String,
+        /// Direction of the offending transition.
+        rose: bool,
+        /// Specification state code when it fired.
+        state_code: u64,
+    },
+    /// The composed system is quiescent while the specification still
+    /// expects a non-input transition.
+    Deadlock {
+        /// Specification state code at the deadlock.
+        state_code: u64,
+        /// The expected (enabled, non-input) transitions.
+        expected: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for McViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            McViolation::UnexpectedTransition {
+                signal,
+                rose,
+                state_code,
+            } => write!(
+                f,
+                "unexpected {}{signal} in state {state_code:b}",
+                if *rose { '+' } else { '-' }
+            ),
+            McViolation::Deadlock {
+                state_code,
+                expected,
+            } => write!(
+                f,
+                "deadlock in state {state_code:b} expecting {}",
+                expected.join(", ")
+            ),
+        }
+    }
+}
+
+/// A depth-minimal violating interleaving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// Circuit name.
+    pub circuit: String,
+    /// What went wrong at the end of the trace.
+    pub violation: McViolation,
+    /// Every interleaving step, rendered (inputs, gate firings, flip-flop
+    /// pulse events, enable updates), in order.
+    pub steps: Vec<String>,
+    /// The environment's input schedule along the trace, in order — the
+    /// projection [`replay`] drives through `nshot-sim`.
+    pub inputs: Vec<(String, bool)>,
+}
+
+impl Counterexample {
+    /// Deterministic multi-line rendering (stable across runs, thread
+    /// counts and machines).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "counterexample: {} — {} ({} steps)\n",
+            self.circuit,
+            self.violation,
+            self.steps.len()
+        );
+        for (i, s) in self.steps.iter().enumerate() {
+            out.push_str(&format!("  {:>3}. {s}\n", i + 1));
+        }
+        out
+    }
+}
+
+/// Proof of full exploration, with reduction statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// Circuit name.
+    pub circuit: String,
+    /// Distinct composed states visited. Identical with the reduction on or
+    /// off — sleep sets prune edges, never states.
+    pub states: u64,
+    /// Transitions explored.
+    pub edges: u64,
+    /// Edges pruned by the sleep-set reduction.
+    pub pruned_edges: u64,
+    /// Revisits that re-opened a state with a smaller sleep set.
+    pub reopened: u64,
+    /// Maximum BFS depth reached.
+    pub max_depth: u32,
+    /// Peak frontier (queue) length.
+    pub peak_frontier: u64,
+    /// Whether the Eq. 1 settle assumption was in force.
+    pub assumed_delay_requirement: bool,
+    /// Whether the sleep-set reduction was enabled.
+    pub reduction: bool,
+    /// `true` for a finished exploration, `false` when the budget cut it.
+    pub complete: bool,
+}
+
+impl Certificate {
+    /// Deterministic multi-line rendering (stable across runs, thread
+    /// counts and machines).
+    pub fn render(&self) -> String {
+        format!(
+            "certificate: {}\n  complete: {}\n  states: {}\n  edges: {}\n  \
+             pruned_edges: {}\n  reopened: {}\n  max_depth: {}\n  \
+             peak_frontier: {}\n  eq1_assumed: {}\n  reduction: {}\n",
+            self.circuit,
+            self.complete,
+            self.states,
+            self.edges,
+            self.pruned_edges,
+            self.reopened,
+            self.max_depth,
+            self.peak_frontier,
+            self.assumed_delay_requirement,
+            self.reduction
+        )
+    }
+}
+
+/// Outcome of a model-checking run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Every reachable interleaving explored; no violation exists.
+    Proved(Certificate),
+    /// A violating interleaving exists; the trace is depth-minimal.
+    Violated(Box<Counterexample>),
+    /// The state budget was exhausted before the frontier emptied.
+    BudgetExceeded(Certificate),
+}
+
+impl Verdict {
+    /// `true` only for [`Verdict::Proved`].
+    pub fn is_proved(&self) -> bool {
+        matches!(self, Verdict::Proved(_))
+    }
+
+    /// The certificate, when exploration produced one.
+    pub fn certificate(&self) -> Option<&Certificate> {
+        match self {
+            Verdict::Proved(c) | Verdict::BudgetExceeded(c) => Some(c),
+            Verdict::Violated(_) => None,
+        }
+    }
+
+    /// The counterexample, when one was found.
+    pub fn counterexample(&self) -> Option<&Counterexample> {
+        match self {
+            Verdict::Violated(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Deterministic rendering of whichever payload the verdict carries.
+    pub fn render(&self) -> String {
+        match self {
+            Verdict::Proved(c) | Verdict::BudgetExceeded(c) => c.render(),
+            Verdict::Violated(c) => c.render(),
+        }
+    }
+}
+
+/// Model-check `netlist` against `sg` under `config`.
+///
+/// Exhaustively explores the composed transition system; see the crate
+/// documentation for the semantics. The run is sequential and fully
+/// deterministic.
+pub fn check(sg: &StateGraph, netlist: &Netlist, config: &McConfig) -> Result<Verdict, ModelError> {
+    let _span = nshot_obs::span(nshot_obs::Stage::ModelCheck);
+    let model = model::Model::build(sg, netlist, config)?;
+    Ok(explore::Explorer::new(&model, config.max_states, config.reduction).run())
+}
+
+/// Result of [`validate`]: proof-level validation with Monte-Carlo
+/// fallback.
+#[derive(Debug, Clone)]
+pub struct ValidationReport {
+    /// The model checker's verdict, when proof was requested.
+    pub verdict: Option<Verdict>,
+    /// The sampling summary, when trials ran (requested, or as the
+    /// fallback after a budget-exceeded proof attempt).
+    pub monte_carlo: Option<MonteCarloSummary>,
+    /// `true` when nothing — proof or sampling — found a violation.
+    pub hazard_free: bool,
+}
+
+/// Trials used when a proof attempt exceeds its budget and falls back to
+/// Monte-Carlo sampling.
+pub const FALLBACK_TRIALS: usize = 256;
+
+/// Validate `implementation` at the requested [`ValidationLevel`].
+///
+/// * [`ValidationLevel::None`] — no validation, trivially clean.
+/// * [`ValidationLevel::MonteCarlo`] — sampled conformance trials.
+/// * [`ValidationLevel::Proof`] — exhaustive model checking; circuits
+///   exceeding the state budget fall back to [`FALLBACK_TRIALS`]
+///   Monte-Carlo trials (sampling is the fallback, not the default).
+pub fn validate(
+    sg: &StateGraph,
+    implementation: &NshotImplementation,
+    level: &ValidationLevel,
+) -> Result<ValidationReport, ModelError> {
+    match *level {
+        ValidationLevel::None => Ok(ValidationReport {
+            verdict: None,
+            monte_carlo: None,
+            hazard_free: true,
+        }),
+        ValidationLevel::MonteCarlo { trials } => {
+            let summary = monte_carlo(sg, implementation, &ConformanceConfig::default(), trials);
+            let clean = summary.all_clean();
+            Ok(ValidationReport {
+                verdict: None,
+                monte_carlo: Some(summary),
+                hazard_free: clean,
+            })
+        }
+        ValidationLevel::Proof { max_states } => {
+            let config = McConfig {
+                max_states,
+                ..McConfig::default()
+            };
+            let verdict = check(sg, &implementation.netlist, &config)?;
+            match verdict {
+                Verdict::BudgetExceeded(_) => {
+                    let summary = monte_carlo(
+                        sg,
+                        implementation,
+                        &ConformanceConfig::default(),
+                        FALLBACK_TRIALS,
+                    );
+                    let clean = summary.all_clean();
+                    Ok(ValidationReport {
+                        verdict: Some(verdict),
+                        monte_carlo: Some(summary),
+                        hazard_free: clean,
+                    })
+                }
+                _ => {
+                    let clean = verdict.is_proved();
+                    Ok(ValidationReport {
+                        verdict: Some(verdict),
+                        monte_carlo: None,
+                        hazard_free: clean,
+                    })
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;
+#[cfg(all(test, feature = "proptest"))]
+mod proptests;

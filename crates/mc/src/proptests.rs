@@ -1,0 +1,129 @@
+//! Property tests: randomly shaped well-formed specifications verify clean,
+//! and verdict renderings are bit-stable.
+
+use nshot_core::{synthesize, SynthesisOptions};
+use nshot_par::prop::{self, Gen};
+use nshot_sg::{SgBuilder, SignalKind, StateGraph};
+
+use crate::{check, McConfig};
+
+/// A sequential ring of `n` signals: +s0 … +s(n-1), then -s0 … -s(n-1),
+/// cyclically. Every state enables exactly one transition, so the spec is
+/// trivially semi-modular and CSC-clean; `n = 2` is the plain handshake.
+fn ring(n: usize) -> StateGraph {
+    let mut b = SgBuilder::named("prop_ring");
+    let sigs: Vec<_> = (0..n)
+        .map(|i| {
+            let kind = if i == 0 {
+                SignalKind::Input
+            } else if i + 1 == n {
+                SignalKind::Output
+            } else {
+                SignalKind::Internal
+            };
+            b.signal(&format!("s{i}"), kind)
+        })
+        .collect();
+    let code = |p: usize| -> u64 {
+        // After p transitions of the cycle: rising wave then falling wave.
+        let mut c = 0u64;
+        for (i, _) in sigs.iter().enumerate() {
+            let high = if p <= n { i < p } else { i >= p - n };
+            if high {
+                c |= 1 << i;
+            }
+        }
+        c
+    };
+    for p in 0..2 * n {
+        let i = p % n;
+        let rise = p < n;
+        b.edge_codes(code(p), (sigs[i], rise), code(p + 1)).unwrap();
+    }
+    b.build(0).unwrap()
+}
+
+/// A bank of `k` independent handshakes with a randomized signal
+/// declaration order (varies cover variable indexing across cases).
+fn bank(g: &mut Gen, k: usize) -> StateGraph {
+    let mut b = SgBuilder::named("prop_bank");
+    let mut decls: Vec<(usize, bool)> = (0..k).flat_map(|h| [(h, true), (h, false)]).collect();
+    // Fisher–Yates over the declaration order.
+    for i in (1..decls.len()).rev() {
+        decls.swap(i, g.index(i + 1));
+    }
+    let mut req = vec![None; k];
+    let mut ack = vec![None; k];
+    for (h, is_req) in decls {
+        if is_req {
+            req[h] = Some(b.signal(&format!("r{h}"), SignalKind::Input));
+        } else {
+            ack[h] = Some(b.signal(&format!("g{h}"), SignalKind::Output));
+        }
+    }
+    // Build the product of k four-phase cycles over the *declaration* code
+    // space: bit of a signal is its declaration index.
+    let sig = |h: usize, is_req: bool| {
+        if is_req {
+            req[h].unwrap()
+        } else {
+            ack[h].unwrap()
+        }
+    };
+    let num_states = 1u64 << (2 * k);
+    for packed in 0..num_states {
+        // packed holds per-handshake phase bits (r in bit 2h, g in 2h+1),
+        // independent of declaration order.
+        for h in 0..k {
+            let r = (packed >> (2 * h)) & 1 == 1;
+            let gv = (packed >> (2 * h + 1)) & 1 == 1;
+            let (is_req, rise) = match (r, gv) {
+                (false, false) => (true, true),
+                (true, false) => (false, true),
+                (true, true) => (true, false),
+                (false, true) => (false, false),
+            };
+            let code = |p: u64| -> u64 {
+                let mut c = 0u64;
+                for hh in 0..k {
+                    for (bit, is_r) in [(2 * hh, true), (2 * hh + 1, false)] {
+                        if (p >> bit) & 1 == 1 {
+                            c |= 1 << sig(hh, is_r).index();
+                        }
+                    }
+                }
+                c
+            };
+            let flip = if is_req { 2 * h } else { 2 * h + 1 };
+            b.edge_codes(code(packed), (sig(h, is_req), rise), code(packed ^ (1 << flip)))
+                .unwrap();
+        }
+    }
+    b.build(0).unwrap()
+}
+
+#[test]
+fn synthesized_specs_verify_clean() {
+    prop::check_n("mc_specs_proved", 10, |g| {
+        let sg = if g.bool() {
+            ring(g.usize_in(2, 5))
+        } else {
+            let k = g.usize_in(1, 2);
+            bank(g, k)
+        };
+        let imp = synthesize(&sg, &SynthesisOptions::default()).unwrap();
+        let verdict = check(&sg, &imp.netlist, &McConfig::default()).unwrap();
+        assert!(verdict.is_proved(), "{}", verdict.render());
+    });
+}
+
+#[test]
+fn verdict_rendering_is_deterministic() {
+    prop::check_n("mc_render_deterministic", 4, |g| {
+        let sg = ring(g.usize_in(2, 4));
+        let imp = synthesize(&sg, &SynthesisOptions::default()).unwrap();
+        let a = check(&sg, &imp.netlist, &McConfig::default()).unwrap();
+        let b = check(&sg, &imp.netlist, &McConfig::default()).unwrap();
+        assert_eq!(a.render(), b.render());
+    });
+}

@@ -1,0 +1,83 @@
+//! Replaying model-checker counterexamples through `nshot-sim`.
+//!
+//! A counterexample is an *untimed* interleaving: it witnesses that some
+//! gate-delay assignment produces the violation, without naming one. Replay
+//! closes the loop in the timed world: it runs the simulator's conformance
+//! oracle (with its waveform trace machinery) over a deterministic seed
+//! sweep until a trial realizes the same external violation — same kind,
+//! same signal, same direction. For deadlock counterexamples any seed
+//! works; for trespassing-pulse counterexamples the sweep searches for a
+//! delay assignment adversarial enough to align the left-over pulse with
+//! the gate opening.
+//!
+//! The environment side needs no forcing: the mutation fixtures and the
+//! Table 2 controllers have choice-free input behavior along the violating
+//! path, so the oracle's random environment walks the counterexample's
+//! input schedule by construction (it is the only schedule).
+
+use nshot_core::NshotImplementation;
+use nshot_sg::StateGraph;
+use nshot_sim::{check_conformance_traced, ConformanceConfig, HazardViolation, Waveform};
+
+use crate::{Counterexample, McViolation};
+
+/// A timed realization of a counterexample.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// The seed whose delay assignment realized the violation.
+    pub seed: u64,
+    /// The simulator's view of the violation.
+    pub violation: HazardViolation,
+    /// The recorded waveform of the violating trial (VCD-exportable).
+    pub waveform: Waveform,
+}
+
+/// `true` when the simulator violation matches the model checker's: same
+/// kind, same signal, same direction (times and state codes may differ —
+/// the simulator reports the code of the state it tracked at violation
+/// time, the checker the spec state of its minimal trace).
+pub fn same_violation(mc: &McViolation, sim: &HazardViolation) -> bool {
+    match (mc, sim) {
+        (
+            McViolation::UnexpectedTransition { signal, rose, .. },
+            HazardViolation::UnexpectedTransition {
+                signal: sim_signal,
+                rose: sim_rose,
+                ..
+            },
+        ) => signal == sim_signal && rose == sim_rose,
+        (McViolation::Deadlock { .. }, HazardViolation::Deadlock { .. }) => true,
+        _ => false,
+    }
+}
+
+/// Sweep conformance seeds `0..max_seeds` until a trial reproduces the
+/// counterexample's violation. Deterministic: the first matching seed is a
+/// pure function of the inputs.
+pub fn replay(
+    sg: &StateGraph,
+    implementation: &NshotImplementation,
+    cex: &Counterexample,
+    base: &ConformanceConfig,
+    max_seeds: u64,
+) -> Option<ReplayOutcome> {
+    for seed in 0..max_seeds {
+        let config = ConformanceConfig {
+            seed,
+            ..base.clone()
+        };
+        let (report, waveform) = check_conformance_traced(sg, implementation, &config);
+        if let Some(violation) = report
+            .violations
+            .iter()
+            .find(|v| same_violation(&cex.violation, v))
+        {
+            return Some(ReplayOutcome {
+                seed,
+                violation: violation.clone(),
+                waveform,
+            });
+        }
+    }
+    None
+}

@@ -1,0 +1,242 @@
+use nshot_core::{assemble_netlist, synthesize, SynthesisOptions, ValidationLevel};
+use nshot_logic::{Cover, Cube};
+use nshot_netlist::DelayModel;
+use nshot_sg::{SgBuilder, SignalKind, StateGraph};
+
+use crate::{check, validate, McConfig, McViolation, Verdict};
+
+fn handshake() -> StateGraph {
+    let mut b = SgBuilder::named("handshake");
+    let r = b.signal("r", SignalKind::Input);
+    let g = b.signal("g", SignalKind::Output);
+    b.edge_codes(0b00, (r, true), 0b01).unwrap();
+    b.edge_codes(0b01, (g, true), 0b11).unwrap();
+    b.edge_codes(0b11, (r, false), 0b10).unwrap();
+    b.edge_codes(0b10, (g, false), 0b00).unwrap();
+    b.build(0b00).unwrap()
+}
+
+/// Two independent handshakes: real input/output concurrency, 16 composed
+/// spec states — exercises the reduction on commuting gate firings.
+fn parallel_handshakes() -> StateGraph {
+    let mut b = SgBuilder::named("par2");
+    let r0 = b.signal("r0", SignalKind::Input);
+    let g0 = b.signal("g0", SignalKind::Output);
+    let r1 = b.signal("r1", SignalKind::Input);
+    let g1 = b.signal("g1", SignalKind::Output);
+    let phase = |v: u64, s: usize| (v >> s) & 0b11;
+    // Each handshake cycles 00 -> 01 -> 11 -> 10 (r in bit 0, g in bit 1).
+    let step = |ph: u64| -> (usize, bool, u64) {
+        match ph {
+            0b00 => (0, true, 0b01),  // +r
+            0b01 => (1, true, 0b11),  // +g
+            0b11 => (0, false, 0b10), // -r
+            0b10 => (1, false, 0b00), // -g
+            _ => unreachable!(),
+        }
+    };
+    for code in 0u64..16 {
+        for hs in 0..2 {
+            let shift = 2 * hs;
+            let (bit, rise, next_ph) = step(phase(code, shift));
+            let sig = match (hs, bit) {
+                (0, 0) => r0,
+                (0, 1) => g0,
+                (1, 0) => r1,
+                (1, 1) => g1,
+                _ => unreachable!(),
+            };
+            let next = (code & !(0b11 << shift)) | (next_ph << shift);
+            b.edge_codes(code, (sig, rise), next).unwrap();
+        }
+    }
+    b.build(0).unwrap()
+}
+
+#[test]
+fn handshake_is_proved() {
+    let sg = handshake();
+    let imp = synthesize(&sg, &SynthesisOptions::default()).unwrap();
+    let verdict = check(&sg, &imp.netlist, &McConfig::default()).unwrap();
+    let cert = verdict.certificate().expect("proved");
+    assert!(verdict.is_proved(), "{}", verdict.render());
+    assert!(cert.complete);
+    assert!(cert.assumed_delay_requirement);
+    assert!(cert.states > 4, "trivially few states: {}", cert.states);
+}
+
+#[test]
+fn parallel_handshakes_are_proved() {
+    let sg = parallel_handshakes();
+    let imp = synthesize(&sg, &SynthesisOptions::default()).unwrap();
+    let verdict = check(&sg, &imp.netlist, &McConfig::default()).unwrap();
+    assert!(verdict.is_proved(), "{}", verdict.render());
+}
+
+#[test]
+fn checker_is_deterministic_at_any_thread_count() {
+    let sg = parallel_handshakes();
+    let imp = synthesize(&sg, &SynthesisOptions::default()).unwrap();
+    let baseline = check(&sg, &imp.netlist, &McConfig::default())
+        .unwrap()
+        .render();
+    for threads in [1usize, 4] {
+        let _guard = nshot_par::ThreadGuard::pin(threads);
+        let v = check(&sg, &imp.netlist, &McConfig::default()).unwrap();
+        assert_eq!(v.render(), baseline, "thread count changed the verdict");
+    }
+}
+
+/// A handshake implementation whose set cover is the redundant but correct
+/// `r·g' + r·g` (≡ `r`): two AND cubes that become excited *simultaneously*
+/// when `g` fires, giving the sleep-set reduction a genuine commuting
+/// diamond with no alternate arrival path. (Synthesized covers for the toy
+/// specs are single-literal, so their diamonds always close through
+/// environment edges, which legitimately re-open slept firings.)
+fn redundant_handshake() -> (StateGraph, nshot_netlist::Netlist) {
+    let sg = handshake();
+    let g = sg.non_input_signals().next().unwrap();
+    let n = sg.num_signals();
+    // Variable order matches signal index order: r = 0, g = 1.
+    let mut set = Cover::empty(n);
+    set.push(Cube::from_literals(n, &[(0, true), (1, false)]));
+    set.push(Cube::from_literals(n, &[(0, true), (1, true)]));
+    let mut reset = Cover::empty(n);
+    reset.push(Cube::from_literals(n, &[(0, false)]));
+    let (nl, _) = assemble_netlist(&sg, &[(g, set, reset)], &DelayModel::nominal()).unwrap();
+    (sg, nl)
+}
+
+#[test]
+fn reduction_prunes_edges_not_states() {
+    let (sg, nl) = redundant_handshake();
+    let with = check(&sg, &nl, &McConfig::default()).unwrap();
+    let without = check(
+        &sg,
+        &nl,
+        &McConfig {
+            reduction: false,
+            ..McConfig::default()
+        },
+    )
+    .unwrap();
+    let (cw, co) = (with.certificate().unwrap(), without.certificate().unwrap());
+    assert_eq!(cw.states, co.states, "sleep sets must not lose states");
+    assert_eq!(co.pruned_edges, 0);
+    assert!(
+        cw.pruned_edges > 0,
+        "expected some commuting firings to be pruned"
+    );
+    assert!(cw.edges < co.edges);
+}
+
+#[test]
+fn swapped_covers_yield_unexpected_transition() {
+    let sg = handshake();
+    let imp = synthesize(&sg, &SynthesisOptions::default()).unwrap();
+    let si = &imp.signals[0];
+    let covers = vec![(si.signal, si.reset_cover.clone(), si.set_cover.clone())];
+    let (nl, _) = assemble_netlist(&sg, &covers, &DelayModel::nominal()).unwrap();
+    let verdict = check(&sg, &nl, &McConfig::default()).unwrap();
+    let cex = verdict.counterexample().expect("swapped covers must fail");
+    match &cex.violation {
+        McViolation::UnexpectedTransition { signal, rose, .. } => {
+            assert_eq!(signal, "g");
+            assert!(*rose, "swapped set fires +g out of phase");
+        }
+        v => panic!("expected an unexpected transition, got {v:?}"),
+    }
+    assert!(!cex.steps.is_empty());
+}
+
+#[test]
+fn empty_covers_deadlock() {
+    let sg = handshake();
+    let n = sg.num_signals();
+    let g = sg.non_input_signals().next().unwrap();
+    let covers = vec![(g, Cover::empty(n), Cover::empty(n))];
+    let (nl, _) = assemble_netlist(&sg, &covers, &DelayModel::nominal()).unwrap();
+    let verdict = check(&sg, &nl, &McConfig::default()).unwrap();
+    let cex = verdict.counterexample().expect("dead circuit must deadlock");
+    match &cex.violation {
+        McViolation::Deadlock { expected, .. } => {
+            assert_eq!(expected, &vec!["+g".to_string()]);
+        }
+        v => panic!("expected deadlock, got {v:?}"),
+    }
+}
+
+#[test]
+fn dropping_the_eq1_assumption_exposes_leftover_pulses() {
+    // Under fully unbounded delays even a correct circuit trespasses: the
+    // stale reset SOP (r-bar still high after +r) slips through the reset
+    // gate the moment the enable opens, before the inverter settles. Eq. 1
+    // exists to forbid exactly this interleaving — forcing the assumption
+    // off must therefore produce a counterexample on the *correct* netlist.
+    let sg = handshake();
+    let imp = synthesize(&sg, &SynthesisOptions::default()).unwrap();
+    let verdict = check(
+        &sg,
+        &imp.netlist,
+        &McConfig {
+            assume_delay_requirement: Some(false),
+            ..McConfig::default()
+        },
+    )
+    .unwrap();
+    let cex = verdict
+        .counterexample()
+        .expect("unbounded delays admit the trespass");
+    match &cex.violation {
+        McViolation::UnexpectedTransition { signal, rose, .. } => {
+            assert_eq!(signal, "g");
+            assert!(!*rose, "the leftover reset pulse fires -g early");
+        }
+        v => panic!("expected the -g trespass, got {v:?}"),
+    }
+}
+
+#[test]
+fn budget_exhaustion_is_reported() {
+    let sg = handshake();
+    let imp = synthesize(&sg, &SynthesisOptions::default()).unwrap();
+    let verdict = check(
+        &sg,
+        &imp.netlist,
+        &McConfig {
+            max_states: 2,
+            ..McConfig::default()
+        },
+    )
+    .unwrap();
+    match verdict {
+        Verdict::BudgetExceeded(cert) => assert!(!cert.complete),
+        v => panic!("expected budget exhaustion, got {}", v.render()),
+    }
+}
+
+#[test]
+fn validate_levels() {
+    let sg = handshake();
+    let imp = synthesize(&sg, &SynthesisOptions::default()).unwrap();
+
+    let none = validate(&sg, &imp, &ValidationLevel::None).unwrap();
+    assert!(none.hazard_free && none.verdict.is_none() && none.monte_carlo.is_none());
+
+    let sampled = validate(&sg, &imp, &ValidationLevel::MonteCarlo { trials: 4 }).unwrap();
+    assert!(sampled.hazard_free && sampled.monte_carlo.is_some());
+
+    let proved = validate(&sg, &imp, &ValidationLevel::default()).unwrap();
+    assert!(proved.hazard_free);
+    assert!(proved.verdict.as_ref().unwrap().is_proved());
+    assert!(proved.monte_carlo.is_none(), "no fallback when proof fits");
+
+    // A starved budget falls back to sampling.
+    let fallback = validate(&sg, &imp, &ValidationLevel::Proof { max_states: 2 }).unwrap();
+    assert!(matches!(
+        fallback.verdict,
+        Some(Verdict::BudgetExceeded(_))
+    ));
+    assert!(fallback.monte_carlo.is_some(), "sampling is the fallback");
+    assert!(fallback.hazard_free);
+}

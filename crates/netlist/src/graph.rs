@@ -88,6 +88,26 @@ impl Netlist {
         &self.name
     }
 
+    /// The gate with the given index (inverse of [`GateId::index`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn gate_id(&self, index: usize) -> GateId {
+        assert!(index < self.gates.len(), "gate index {index} out of range");
+        GateId(index as u32)
+    }
+
+    /// The net with the given index (inverse of [`NetId::index`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn net_id(&self, index: usize) -> NetId {
+        assert!(index < self.gates.len(), "net index {index} out of range");
+        NetId(index as u32)
+    }
+
     /// Add a primary input; returns its net.
     pub fn add_input(&mut self, name: &str) -> NetId {
         self.add_gate(GateKind::Input, Vec::new(), name)

@@ -1,7 +1,8 @@
 //! Property tests: dedupe preserves function; timing is monotone.
+//! Inputs come from the fixed-seed driver in `nshot_par::prop`.
 
 use crate::{DelayModel, GateKind, NetId, Netlist};
-use proptest::prelude::*;
+use nshot_par::prop::{self, Gen};
 use std::collections::HashMap;
 
 /// Build a random 2-level SOP netlist over `n` inputs from cube specs
@@ -27,62 +28,54 @@ fn sop_netlist(n: usize, cubes: &[Vec<(usize, bool)>]) -> (Netlist, Vec<NetId>, 
     (nl, inputs, out)
 }
 
-fn arb_cubes(n: usize) -> impl Strategy<Value = Vec<Vec<(usize, bool)>>> {
-    proptest::collection::vec(
-        proptest::collection::vec((0..n, any::<bool>()), 1..=n),
-        0..6,
-    )
+fn arb_cubes(g: &mut Gen, n: usize) -> Vec<Vec<(usize, bool)>> {
+    g.vec_with(0, 5, |g| g.vec_with(1, n, |g| (g.index(n), g.bool())))
 }
 
-proptest! {
-    #[test]
-    fn dedupe_preserves_function(cubes in arb_cubes(4)) {
+#[test]
+fn dedupe_preserves_function() {
+    prop::check("netlist_dedupe_preserves_function", |g| {
+        let cubes = arb_cubes(g, 4);
         let (mut nl, inputs, out) = sop_netlist(4, &cubes);
         let area_before = nl.area();
-        let evaluate = |nl: &Netlist, assignment: u32| -> bool {
+        let evaluate = |nl: &Netlist, out: NetId, assignment: u32| -> bool {
             let mut sources = HashMap::new();
             for (i, &net) in inputs.iter().enumerate() {
                 sources.insert(net, (assignment >> i) & 1 == 1);
             }
             nl.eval_combinational(&sources)[&out]
         };
-        let before: Vec<bool> = (0..16).map(|m| evaluate(&nl, m)).collect();
+        let before: Vec<bool> = (0..16).map(|m| evaluate(&nl, out, m)).collect();
         nl.dedupe();
         // Dedupe can redirect the marked output; re-resolve it.
         let out2 = nl.output_by_name("f").expect("output still present");
-        let after: Vec<bool> = (0..16).map(|m| {
-            let mut sources = HashMap::new();
-            for (i, &net) in inputs.iter().enumerate() {
-                sources.insert(net, (m >> i) & 1 == 1);
-            }
-            nl.eval_combinational(&sources)[&out2]
-        }).collect();
-        prop_assert_eq!(before, after);
-        prop_assert!(nl.area() <= area_before);
-    }
+        let after: Vec<bool> = (0..16).map(|m| evaluate(&nl, out2, m)).collect();
+        assert_eq!(before, after);
+        assert!(nl.area() <= area_before);
+    });
+}
 
-    #[test]
-    fn min_arrival_never_exceeds_max(cubes in arb_cubes(4)) {
+#[test]
+fn min_arrival_never_exceeds_max() {
+    prop::check("netlist_min_arrival_le_max", |g| {
+        let cubes = arb_cubes(g, 4);
         let (nl, _, out) = sop_netlist(4, &cubes);
         let model = DelayModel::wide_spread();
         let min = nl.arrival_min_ns(out, &model).unwrap();
         let max = nl.arrival_max_ns(out, &model).unwrap();
-        prop_assert!(min <= max + 1e-12);
-    }
+        assert!(min <= max + 1e-12);
+    });
+}
 
-    #[test]
-    fn area_is_sum_of_gate_areas(cubes in arb_cubes(3)) {
+#[test]
+fn area_is_sum_of_gate_areas() {
+    prop::check("netlist_area_sums_gates", |g| {
+        let cubes = arb_cubes(g, 3);
         let (nl, _, _) = sop_netlist(3, &cubes);
-        let by_stats = {
-            let s = nl.stats();
-            // ANDs: 8·(k+1) each, OR: 8·(k+1); recompute from structure.
-            let mut total = 0u32;
-            for g in nl.gate_ids() {
-                total += nl.kind(g).area(nl.inputs(g).len());
-            }
-            let _ = s;
-            total
-        };
-        prop_assert_eq!(nl.area(), by_stats);
-    }
+        let by_structure: u32 = nl
+            .gate_ids()
+            .map(|gid| nl.kind(gid).area(nl.inputs(gid).len()))
+            .sum();
+        assert_eq!(nl.area(), by_structure);
+    });
 }

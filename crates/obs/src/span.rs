@@ -57,10 +57,12 @@ pub enum Stage {
     Emit,
     /// Monte-Carlo conformance trials.
     MonteCarlo,
+    /// Exhaustive model checking (`nshot-mc` state-space exploration).
+    ModelCheck,
 }
 
 /// All stages, in canonical (pipeline) order.
-pub const STAGES: [Stage; 8] = [
+pub const STAGES: [Stage; 9] = [
     Stage::Parse,
     Stage::Elaborate,
     Stage::Classify,
@@ -69,6 +71,7 @@ pub const STAGES: [Stage; 8] = [
     Stage::DelayCheck,
     Stage::Emit,
     Stage::MonteCarlo,
+    Stage::ModelCheck,
 ];
 
 /// The seven synthesis-pipeline stages (everything but Monte-Carlo).
@@ -95,6 +98,7 @@ impl Stage {
             Stage::DelayCheck => "delay_check",
             Stage::Emit => "emit",
             Stage::MonteCarlo => "monte_carlo",
+            Stage::ModelCheck => "model_check",
         }
     }
 
@@ -472,7 +476,8 @@ mod tests {
                 "trigger_check",
                 "delay_check",
                 "emit",
-                "monte_carlo"
+                "monte_carlo",
+                "model_check"
             ]
         );
         assert_eq!(PIPELINE_STAGES.len(), 7);

@@ -15,6 +15,9 @@
 //! * [`rng`] — a small deterministic PRNG (xoshiro256** seeded via
 //!   SplitMix64) standing in for the `rand` crate, which is unavailable in
 //!   hermetic builds;
+//! * [`prop`] — a fixed-seed deterministic property-test driver (the
+//!   hermetic stand-in for the `proptest` crate) used by the per-crate
+//!   `proptests.rs` modules behind their `proptest` features;
 //! * [`queue`] — a bounded MPMC job queue with non-blocking admission
 //!   ([`BoundedQueue::try_push`] reports `Full`/`Closed` instead of
 //!   blocking), the backpressure primitive of the `nshot-server` layer.
@@ -25,6 +28,7 @@
 
 pub mod fxhash;
 pub mod pool;
+pub mod prop;
 pub mod queue;
 pub mod rng;
 

@@ -4,8 +4,11 @@
 //! carries a `.g` STG or SG-text specification plus options (method
 //! nshot/syn/sis, exact vs heuristic minimization, Monte-Carlo trial
 //! count), and each response carries the synthesized netlist, area/delay
-//! estimates, trigger/delay-requirement verdicts and timing. Around that
-//! core sits the production plumbing the ROADMAP's north star asks for:
+//! estimates, trigger/delay-requirement verdicts and timing. The `verify`
+//! op additionally model-checks the synthesized implementation with
+//! `nshot-mc` — exhaustive proof within the state budget, Monte-Carlo
+//! fallback past it. Around that core sits the production plumbing the
+//! ROADMAP's north star asks for:
 //!
 //! * a **bounded job queue** ([`nshot_par::BoundedQueue`]) with explicit
 //!   backpressure — a full queue rejects immediately with a 429-style
@@ -45,8 +48,10 @@ pub use json::Json;
 /// The fixed-bucket latency histogram now lives in `nshot-obs`; the old
 /// name is kept as an alias for downstream users (loadgen).
 pub use nshot_obs::Histogram as LatencyHistogram;
-pub use protocol::{Envelope, Method, OutputFormat, Request, Response, SynthRequest};
-pub use service::{load_spec, process_synth, Deadline};
+pub use protocol::{
+    Envelope, Method, OutputFormat, Request, Response, SynthRequest, VerifyRequest,
+};
+pub use service::{load_spec, process_synth, process_verify, Deadline};
 
 use nshot_logic::BoundedCache;
 use nshot_obs::{AtomicHistogram, Counter, Gauge, Registry, StageTimings};
@@ -113,6 +118,7 @@ struct Counters {
     registry: Registry,
     requests: Arc<Counter>,
     synth_requests: Arc<Counter>,
+    verify_requests: Arc<Counter>,
     ok: Arc<Counter>,
     client_errors: Arc<Counter>,
     server_errors: Arc<Counter>,
@@ -134,6 +140,7 @@ impl Counters {
         let registry = Registry::new();
         let requests = registry.counter("nshot_requests_total");
         let synth_requests = registry.counter("nshot_synth_requests_total");
+        let verify_requests = registry.counter("nshot_verify_requests_total");
         let ok = registry.counter("nshot_responses_total{outcome=\"ok\"}");
         let client_errors = registry.counter("nshot_responses_total{outcome=\"client_error\"}");
         let server_errors = registry.counter("nshot_responses_total{outcome=\"server_error\"}");
@@ -152,6 +159,7 @@ impl Counters {
             registry,
             requests,
             synth_requests,
+            verify_requests,
             ok,
             client_errors,
             server_errors,
@@ -170,10 +178,36 @@ impl Counters {
     }
 }
 
-/// One queued synthesis job: the request, its deadline, its trace id, and
-/// the channel the worker answers on (response + per-stage timings).
+/// A queueable unit of work: the two pipeline-running ops share the queue,
+/// the workers, the deadline plumbing and the response cache.
+enum Work {
+    Synth(SynthRequest),
+    Verify(VerifyRequest),
+}
+
+impl Work {
+    /// The canonical cache key (each op has its own namespace inside the
+    /// shared `request_key` encoding).
+    fn cache_key(&self) -> String {
+        match self {
+            Work::Synth(s) => s.cache_key(),
+            Work::Verify(v) => v.cache_key(),
+        }
+    }
+
+    /// Run the work to completion under the deadline.
+    fn process(&self, deadline: &Deadline) -> Response {
+        match self {
+            Work::Synth(s) => process_synth(s, deadline),
+            Work::Verify(v) => process_verify(v, deadline),
+        }
+    }
+}
+
+/// One queued job: the work, its deadline, its trace id, and the channel
+/// the worker answers on (response + per-stage timings).
 struct Job {
-    synth: SynthRequest,
+    work: Work,
     deadline: Deadline,
     trace_id: u64,
     reply: mpsc::Sender<(Response, StageTimings)>,
@@ -257,6 +291,7 @@ impl Shared {
             ("uptime_ms".into(), num(self.started.elapsed().as_millis() as u64)),
             ("requests".into(), num(c.requests.get())),
             ("synth_requests".into(), num(c.synth_requests.get())),
+            ("verify_requests".into(), num(c.verify_requests.get())),
             ("ok".into(), num(c.ok.get())),
             ("client_errors".into(), num(c.client_errors.get())),
             ("server_errors".into(), num(c.server_errors.get())),
@@ -372,7 +407,7 @@ fn worker_loop(shared: &Shared) {
             if job.deadline.expired() {
                 Response::error(504, "deadline exceeded while queued")
             } else {
-                process_synth(&job.synth, &job.deadline)
+                job.work.process(&job.deadline)
             }
         });
         // A dropped receiver just means the client hung up mid-request.
@@ -389,21 +424,20 @@ fn cacheable(code: u16) -> bool {
     matches!(code, 200 | 400 | 422)
 }
 
-/// Handle one synthesis request end to end (cache → queue → worker →
-/// cache fill). Returns the code, the deterministic field string, whether
-/// it was served from cache, and the per-stage timings (empty for cache
-/// hits and rejections — no pipeline ran).
-fn run_synth(
-    shared: &Shared,
-    synth: SynthRequest,
-    trace_id: u64,
-) -> (u16, String, bool, StageTimings) {
-    shared.counters.synth_requests.inc();
+/// Handle one queued request (synth or verify) end to end (cache → queue →
+/// worker → cache fill). Returns the code, the deterministic field string,
+/// whether it was served from cache, and the per-stage timings (empty for
+/// cache hits and rejections — no pipeline ran).
+fn run_job(shared: &Shared, work: Work, trace_id: u64) -> (u16, String, bool, StageTimings) {
+    match &work {
+        Work::Synth(_) => shared.counters.synth_requests.inc(),
+        Work::Verify(_) => shared.counters.verify_requests.inc(),
+    }
 
     // The key feeds both the in-RAM cache and the persistent store (same
     // canonical encoding, see `nshot_logic::request_key`).
     let key = (shared.config.cache_cap > 0 || shared.config.store_dir.is_some())
-        .then(|| synth.cache_key());
+        .then(|| work.cache_key());
     if shared.config.cache_cap > 0 {
         if let Some(key) = &key {
             let mut cache = shared.cache.lock().expect("cache poisoned");
@@ -430,7 +464,7 @@ fn run_synth(
     );
     let (tx, rx) = mpsc::channel();
     let job = Job {
-        synth,
+        work,
         deadline,
         trace_id,
         reply: tx,
@@ -534,7 +568,13 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream, local_addr: Socket
                     (id, r.code, r.deterministic_fields(), false)
                 }
                 Request::Synth(synth) => {
-                    let (code, fields, cached, t) = run_synth(shared, synth, trace_id);
+                    let (code, fields, cached, t) = run_job(shared, Work::Synth(synth), trace_id);
+                    timings = t;
+                    (id, code, fields, cached)
+                }
+                Request::Verify(verify) => {
+                    let (code, fields, cached, t) =
+                        run_job(shared, Work::Verify(verify), trace_id);
                     timings = t;
                     (id, code, fields, cached)
                 }

@@ -5,11 +5,17 @@
 //! ```text
 //! {"id":1,"op":"synth","spec":".name hs\n…","method":"nshot",
 //!  "minimizer":"heuristic","trials":8,"format":"blif","share":true}
-//! {"id":2,"op":"stats"}
-//! {"id":3,"op":"ping"}
-//! {"id":4,"op":"metrics"}
-//! {"id":5,"op":"shutdown"}
+//! {"id":2,"op":"verify","spec":".name hs\n…","minimizer":"heuristic",
+//!  "max_states":4000000}
+//! {"id":3,"op":"stats"}
+//! {"id":4,"op":"ping"}
+//! {"id":5,"op":"metrics"}
+//! {"id":6,"op":"shutdown"}
 //! ```
+//!
+//! `verify` synthesizes the N-SHOT implementation and then model-checks it
+//! exhaustively with `nshot-mc`; past the state budget it falls back to
+//! Monte-Carlo sampling (reported in the `method` field).
 //!
 //! Responses always carry `id` (echoed verbatim, `null` when the request
 //! had none or was unparseable), `code` (HTTP-flavoured: 200 ok, 400 bad
@@ -113,11 +119,47 @@ impl SynthRequest {
     }
 }
 
+/// Hard cap on the `verify` state budget a client may request: keeps one
+/// request from committing the service to gigabytes of visited-set.
+pub const MAX_VERIFY_STATES: usize = 50_000_000;
+
+/// A fully validated verification request: synthesize, then model-check
+/// the implementation exhaustively (`nshot-mc`).
+#[derive(Debug, Clone)]
+pub struct VerifyRequest {
+    /// The specification text, same formats as [`SynthRequest::spec`].
+    pub spec: String,
+    /// Two-level minimizer used for the synthesis step.
+    pub minimizer: Minimizer,
+    /// Model-checker state budget; past it the service falls back to
+    /// Monte-Carlo sampling.
+    pub max_states: usize,
+}
+
+impl VerifyRequest {
+    /// Response-cache key, sharing [`nshot_logic::request_key`]'s encoding
+    /// with [`SynthRequest::cache_key`]: the op rides in the method slot and
+    /// the state budget in the trials slot, so a `verify` response can never
+    /// collide with a `synth` one for the same spec.
+    pub fn cache_key(&self) -> String {
+        nshot_logic::request_key(
+            "verify",
+            self.minimizer.name(),
+            self.max_states,
+            "none",
+            false,
+            &self.spec,
+        )
+    }
+}
+
 /// A request, parsed and validated.
 #[derive(Debug, Clone)]
 pub enum Request {
     /// Run a synthesis job (queued).
     Synth(SynthRequest),
+    /// Run a synthesis + exhaustive model-checking job (queued).
+    Verify(VerifyRequest),
     /// Report service counters (answered inline).
     Stats,
     /// Prometheus-text metrics exposition (answered inline).
@@ -211,6 +253,39 @@ pub fn parse_request(line: &str) -> Result<Envelope, (Json, String)> {
                 trials,
                 format,
                 share,
+            })
+        }
+        "verify" => {
+            let spec = value
+                .get("spec")
+                .and_then(Json::as_str)
+                .ok_or_else(|| fail("verify needs a 'spec' string".into()))?
+                .to_owned();
+            let minimizer = match value
+                .get("minimizer")
+                .and_then(Json::as_str)
+                .unwrap_or("heuristic")
+            {
+                "heuristic" => Minimizer::Heuristic,
+                "exact" => Minimizer::Exact,
+                "multi" => Minimizer::MultiOutput,
+                other => return Err(fail(format!("unknown minimizer '{other}'"))),
+            };
+            let max_states = match value.get("max_states") {
+                None => nshot_core::DEFAULT_PROOF_STATES,
+                Some(v) => v
+                    .as_u64()
+                    .filter(|&n| (1..=MAX_VERIFY_STATES as u64).contains(&n))
+                    .ok_or_else(|| {
+                        fail(format!(
+                            "'max_states' must be an integer in 1..={MAX_VERIFY_STATES}"
+                        ))
+                    })? as usize,
+            };
+            Request::Verify(VerifyRequest {
+                spec,
+                minimizer,
+                max_states,
             })
         }
         other => return Err(fail(format!("unknown op '{other}'"))),
@@ -443,6 +518,61 @@ mod tests {
         assert!(!line.contains("timing"));
         assert!(line.contains("\"trace\":3"));
         crate::json::parse(&line).unwrap();
+    }
+
+    #[test]
+    fn parses_a_verify_request_with_defaults() {
+        let env = parse_request(r#"{"id":7,"op":"verify","spec":".inputs r\n"}"#).unwrap();
+        let Request::Verify(v) = env.request else {
+            panic!("expected verify")
+        };
+        assert_eq!(v.minimizer, Minimizer::Heuristic);
+        assert_eq!(v.max_states, nshot_core::DEFAULT_PROOF_STATES);
+        assert_eq!(v.spec, ".inputs r\n");
+
+        let env = parse_request(
+            r#"{"op":"verify","spec":"x","minimizer":"exact","max_states":1000}"#,
+        )
+        .unwrap();
+        let Request::Verify(v) = env.request else {
+            panic!("expected verify")
+        };
+        assert_eq!(v.minimizer, Minimizer::Exact);
+        assert_eq!(v.max_states, 1000);
+    }
+
+    #[test]
+    fn verify_rejects_bad_fields() {
+        for bad in [
+            r#"{"op":"verify"}"#,
+            r#"{"op":"verify","spec":"x","minimizer":"quantum"}"#,
+            r#"{"op":"verify","spec":"x","max_states":0}"#,
+            r#"{"op":"verify","spec":"x","max_states":999999999999}"#,
+            r#"{"op":"verify","spec":"x","max_states":"lots"}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn verify_cache_key_cannot_collide_with_synth() {
+        let v = VerifyRequest {
+            spec: ".inputs r\n".into(),
+            minimizer: Minimizer::Heuristic,
+            max_states: 4,
+        };
+        let s = SynthRequest {
+            spec: ".inputs r\n".into(),
+            method: Method::Nshot,
+            minimizer: Minimizer::Heuristic,
+            trials: 4,
+            format: OutputFormat::None,
+            share: false,
+        };
+        assert_ne!(v.cache_key(), s.cache_key());
+        let mut bigger = v.clone();
+        bigger.max_states = 8;
+        assert_ne!(v.cache_key(), bigger.cache_key());
     }
 
     #[test]

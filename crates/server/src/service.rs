@@ -13,8 +13,9 @@
 //! result discardable.
 
 use crate::json::Json;
-use crate::protocol::{Method, OutputFormat, Response, SynthRequest};
+use crate::protocol::{Method, OutputFormat, Response, SynthRequest, VerifyRequest};
 use nshot_core::{synthesize, NshotImplementation, SynthesisOptions};
+use nshot_mc::{McConfig, Verdict};
 use nshot_netlist::{DelayModel, Netlist};
 use nshot_obs::Stage;
 use nshot_sg::StateGraph;
@@ -223,6 +224,89 @@ fn process_synth_checked(
     Ok(Response::ok(body))
 }
 
+/// Execute one verification request: synthesize the N-SHOT implementation,
+/// model-check it exhaustively, and — past the state budget — fall back to
+/// deadline-checked Monte-Carlo sampling ([`nshot_mc::FALLBACK_TRIALS`]
+/// trials, the same count `nshot_mc::validate` uses).
+///
+/// The response is deterministic like [`process_synth`]'s: the `method`
+/// field says whether the verdict is a `"proof"` or a
+/// `"monte_carlo_fallback"`, and `hazard_free` is the bottom line either
+/// way.
+pub fn process_verify(req: &VerifyRequest, deadline: &Deadline) -> Response {
+    process_verify_checked(req, deadline).unwrap_or_else(|r| r)
+}
+
+fn process_verify_checked(
+    req: &VerifyRequest,
+    deadline: &Deadline,
+) -> Result<Response, Response> {
+    deadline.check("dequeue")?;
+    let sg = load_spec(&req.spec).map_err(|e| Response::error(400, format!("spec: {e}")))?;
+    deadline.check(Stage::Parse.name())?;
+
+    let options = SynthesisOptions {
+        minimizer: req.minimizer,
+        delay_model: DelayModel::default(),
+        share_products: false,
+    };
+    let imp = synthesize(&sg, &options)
+        .map_err(|e| Response::error(422, format!("synthesis: {e}")))?;
+    deadline.check("synthesize")?;
+
+    let config = McConfig {
+        max_states: req.max_states,
+        ..McConfig::default()
+    };
+    let verdict = nshot_mc::check(&sg, &imp.netlist, &config)
+        .map_err(|e| Response::error(422, format!("model: {e}")))?;
+    deadline.check(Stage::ModelCheck.name())?;
+
+    let mut body: Vec<(String, Json)> = vec![
+        ("name".into(), Json::Str(sg.name().to_owned())),
+        ("states".into(), Json::Num(sg.reachable().len() as f64)),
+        ("proved".into(), Json::Bool(verdict.is_proved())),
+    ];
+    match &verdict {
+        Verdict::Proved(c) => {
+            body.push(("method".into(), Json::Str("proof".into())));
+            body.push(("explored_states".into(), Json::Num(c.states as f64)));
+            body.push(("edges".into(), Json::Num(c.edges as f64)));
+            body.push(("pruned_edges".into(), Json::Num(c.pruned_edges as f64)));
+            body.push(("max_depth".into(), Json::Num(f64::from(c.max_depth))));
+            body.push((
+                "eq1_assumed".into(),
+                Json::Bool(c.assumed_delay_requirement),
+            ));
+            body.push(("hazard_free".into(), Json::Bool(true)));
+        }
+        Verdict::Violated(cex) => {
+            body.push(("method".into(), Json::Str("proof".into())));
+            body.push(("violation".into(), Json::Str(cex.violation.to_string())));
+            body.push(("trace_depth".into(), Json::Num(cex.steps.len() as f64)));
+            body.push(("counterexample".into(), Json::Str(cex.render())));
+            body.push(("hazard_free".into(), Json::Bool(false)));
+        }
+        Verdict::BudgetExceeded(c) => {
+            body.push((
+                "method".into(),
+                Json::Str("monte_carlo_fallback".into()),
+            ));
+            body.push(("explored_states".into(), Json::Num(c.states as f64)));
+            let summary =
+                monte_carlo_chunked(&sg, &imp, nshot_mc::FALLBACK_TRIALS, deadline)?;
+            body.push(("trials".into(), Json::Num(summary.trials as f64)));
+            body.push((
+                "clean_trials".into(),
+                Json::Num(summary.clean_trials as f64),
+            ));
+            body.push(("hazard_free".into(), Json::Bool(summary.all_clean())));
+        }
+    }
+    deadline.check("render")?;
+    Ok(Response::ok(body))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -330,6 +414,75 @@ mod tests {
         let r = process_synth(&req(HANDSHAKE_SG), &past);
         assert_eq!(r.code, 504);
         assert_eq!(r.status, "error");
+    }
+
+    fn verify_req(spec: &str, max_states: usize) -> VerifyRequest {
+        VerifyRequest {
+            spec: spec.into(),
+            minimizer: nshot_core::Minimizer::Heuristic,
+            max_states,
+        }
+    }
+
+    fn field<'a>(r: &'a Response, key: &str) -> &'a Json {
+        &r.body.iter().find(|(k, _)| k == key).unwrap_or_else(|| panic!("no field {key}")).1
+    }
+
+    #[test]
+    fn verify_proves_the_handshake() {
+        let r = process_verify(
+            &verify_req(HANDSHAKE_SG, nshot_core::DEFAULT_PROOF_STATES),
+            &Deadline::unlimited(),
+        );
+        assert_eq!(r.code, 200, "{:?}", r.body);
+        assert_eq!(field(&r, "proved").as_bool(), Some(true));
+        assert_eq!(field(&r, "method").as_str(), Some("proof"));
+        assert_eq!(field(&r, "hazard_free").as_bool(), Some(true));
+        assert!(field(&r, "explored_states").as_u64().unwrap() > 4);
+    }
+
+    #[test]
+    fn verify_budget_exhaustion_falls_back_to_sampling() {
+        let r = process_verify(&verify_req(HANDSHAKE_SG, 2), &Deadline::unlimited());
+        assert_eq!(r.code, 200, "{:?}", r.body);
+        assert_eq!(field(&r, "proved").as_bool(), Some(false));
+        assert_eq!(field(&r, "method").as_str(), Some("monte_carlo_fallback"));
+        assert_eq!(
+            field(&r, "trials").as_u64(),
+            Some(nshot_mc::FALLBACK_TRIALS as u64)
+        );
+        assert_eq!(field(&r, "hazard_free").as_bool(), Some(true));
+    }
+
+    #[test]
+    fn verify_rejects_bad_and_unsynthesizable_specs() {
+        let bad = process_verify(
+            &verify_req(".inputs r\n.initial 0\n", 1000),
+            &Deadline::unlimited(),
+        );
+        assert_eq!(bad.code, 400);
+        let smv = process_verify(
+            &verify_req(
+                ".inputs a\n.outputs y\n.initial 00\n00 +y 01\n00 +a 10\n10 -a 00\n",
+                1000,
+            ),
+            &Deadline::unlimited(),
+        );
+        assert_eq!(smv.code, 422, "{:?}", smv.body);
+    }
+
+    #[test]
+    fn verify_response_is_deterministic() {
+        let a = process_verify(&verify_req(HANDSHAKE_G, 100_000), &Deadline::unlimited());
+        let b = process_verify(&verify_req(HANDSHAKE_G, 100_000), &Deadline::unlimited());
+        assert_eq!(a.deterministic_fields(), b.deterministic_fields());
+    }
+
+    #[test]
+    fn expired_deadline_fails_verify_with_504() {
+        let past = Deadline(Some(Instant::now() - Duration::from_millis(1)));
+        let r = process_verify(&verify_req(HANDSHAKE_SG, 1000), &past);
+        assert_eq!(r.code, 504);
     }
 
     #[test]

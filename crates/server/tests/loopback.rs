@@ -207,6 +207,103 @@ fn monte_carlo_counts_match_direct_call() {
 }
 
 #[test]
+fn verify_op_proves_circuits_and_caches() {
+    let server = Server::bind(ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(server.local_addr());
+
+    let spec = spec_text("chu133");
+    let line = Json::Obj(vec![
+        ("id".into(), Json::Num(1.0)),
+        ("op".into(), Json::Str("verify".into())),
+        ("spec".into(), Json::Str(spec.clone())),
+    ])
+    .to_string();
+
+    let first_raw = client.roundtrip_raw(&line);
+    let first = json::parse(&first_raw).expect("response json");
+    assert_eq!(first.get("code").and_then(Json::as_u64), Some(200), "{first_raw}");
+    assert_eq!(first.get("proved").and_then(Json::as_bool), Some(true));
+    assert_eq!(first.get("method").and_then(Json::as_str), Some("proof"));
+    assert_eq!(first.get("hazard_free").and_then(Json::as_bool), Some(true));
+    assert_eq!(first.get("cached").and_then(Json::as_bool), Some(false));
+    assert!(first.get("explored_states").and_then(Json::as_u64).unwrap() > 0);
+
+    // The wire result must agree with a direct library call.
+    let sg = nshot_sg::parse_sg(&spec).unwrap();
+    let imp = synthesize(&sg, &SynthesisOptions::default()).unwrap();
+    let verdict = nshot_mc::check(&sg, &imp.netlist, &nshot_mc::McConfig::default()).unwrap();
+    let cert = verdict.certificate().expect("proved");
+    assert_eq!(
+        first.get("explored_states").and_then(Json::as_u64),
+        Some(cert.states)
+    );
+    assert_eq!(first.get("edges").and_then(Json::as_u64), Some(cert.edges));
+
+    // A repeat is a cache hit with an identical deterministic prefix.
+    let second_raw = client.roundtrip_raw(&line);
+    let second = json::parse(&second_raw).expect("response json");
+    assert_eq!(second.get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(deterministic_part(&first_raw), deterministic_part(&second_raw));
+
+    // A tiny budget falls back to sampling — and is cached under a
+    // different key, not served from the proof's entry.
+    let tiny = Json::Obj(vec![
+        ("id".into(), Json::Num(2.0)),
+        ("op".into(), Json::Str("verify".into())),
+        ("spec".into(), Json::Str(spec.clone())),
+        ("max_states".into(), Json::Num(2.0)),
+    ])
+    .to_string();
+    let v = client.roundtrip(&tiny);
+    assert_eq!(v.get("code").and_then(Json::as_u64), Some(200));
+    assert_eq!(v.get("proved").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        v.get("method").and_then(Json::as_str),
+        Some("monte_carlo_fallback")
+    );
+    assert_eq!(v.get("hazard_free").and_then(Json::as_bool), Some(true));
+    assert_eq!(v.get("cached").and_then(Json::as_bool), Some(false));
+
+    // Counters saw three verify requests.
+    let stats = client.roundtrip(r#"{"op":"stats"}"#);
+    assert_eq!(stats.get("verify_requests").and_then(Json::as_u64), Some(3));
+    assert_eq!(stats.get("synth_requests").and_then(Json::as_u64), Some(0));
+
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn verify_op_rejects_malformed_specs_with_typed_errors() {
+    let server = Server::bind(ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(server.local_addr());
+
+    // Malformed .g STG text (duplicate transition): 400 from the parser,
+    // never a panic or dropped connection.
+    let dup = ".model bad\n.inputs a\n.outputs y\n.graph\na+ y+\na+ y+\ny+ a-\n.marking { <y+,a-> }\n.end\n";
+    let line = Json::Obj(vec![
+        ("id".into(), Json::Num(1.0)),
+        ("op".into(), Json::Str("verify".into())),
+        ("spec".into(), Json::Str(dup.into())),
+    ])
+    .to_string();
+    let v = client.roundtrip(&line);
+    assert_eq!(v.get("code").and_then(Json::as_u64), Some(400), "{v:?}");
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("error"));
+
+    // Bad request shape: max_states out of range.
+    let v = client.roundtrip(r#"{"id":2,"op":"verify","spec":"x","max_states":0}"#);
+    assert_eq!(v.get("code").and_then(Json::as_u64), Some(400));
+
+    // The connection is still healthy.
+    let v = client.roundtrip(r#"{"id":3,"op":"ping"}"#);
+    assert_eq!(v.get("pong").and_then(Json::as_bool), Some(true));
+
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
 fn protocol_errors_are_answered_not_fatal() {
     let server = Server::bind(ServerConfig::default()).expect("bind");
     let mut client = Client::connect(server.local_addr());

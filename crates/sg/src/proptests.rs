@@ -3,10 +3,12 @@
 //! The generator builds SGs as the reachability graphs of small collections
 //! of independent toggling signals plus a chain of causal dependencies; the
 //! resulting graphs are consistent and deterministic by construction, which
-//! lets us assert the structural invariants of the analyses.
+//! lets us assert the structural invariants of the analyses. Inputs come
+//! from the fixed-seed driver in `nshot_par::prop`, so every case is
+//! reproducible on any machine at any thread count.
 
 use crate::{Dir, SgBuilder, SignalKind};
-use proptest::prelude::*;
+use nshot_par::prop;
 
 /// Build a "pipeline" SG: signals fire in a fixed cyclic order
 /// `+s0 +s1 … +sk -s0 -s1 … -sk`, with kinds chosen by the mask.
@@ -85,24 +87,25 @@ fn parallel_handshakes() -> crate::StateGraph {
     b.build(0).expect("non-empty")
 }
 
-proptest! {
-    #[test]
-    fn pipeline_invariants(kinds in proptest::collection::vec(any::<bool>(), 2..8)) {
+#[test]
+fn pipeline_invariants() {
+    prop::check("sg_pipeline_invariants", |g| {
+        let kinds = g.vec_bool(2, 7);
         let sg = pipeline_sg(&kinds);
         // Sequential SGs are deterministic, consistent, CSC and distributive.
-        prop_assert!(sg.check_csc().is_ok());
-        prop_assert!(sg.check_semi_modular().is_ok());
-        prop_assert!(sg.is_distributive());
-        prop_assert!(sg.check_output_trapping());
-        prop_assert!(sg.is_single_traversal());
-        prop_assert_eq!(sg.num_states(), 2 * kinds.len());
+        assert!(sg.check_csc().is_ok());
+        assert!(sg.check_semi_modular().is_ok());
+        assert!(sg.is_distributive());
+        assert!(sg.check_output_trapping());
+        assert!(sg.is_single_traversal());
+        assert_eq!(sg.num_states(), 2 * kinds.len());
 
         // Region partition: for every signal, ER/QR modes partition states.
         for a in sg.signal_ids() {
             let regions = sg.regions_of(a);
             // Exactly one rising and one falling ER in a sequential cycle.
-            prop_assert_eq!(regions.excitation_of(Dir::Rise).count(), 1);
-            prop_assert_eq!(regions.excitation_of(Dir::Fall).count(), 1);
+            assert_eq!(regions.excitation_of(Dir::Rise).count(), 1);
+            assert_eq!(regions.excitation_of(Dir::Fall).count(), 1);
             // ERs and QRs are disjoint and cover all states.
             let mut count = 0usize;
             for er in &regions.excitation {
@@ -111,34 +114,37 @@ proptest! {
             for qr in &regions.quiescent {
                 count += qr.states.len();
             }
-            prop_assert_eq!(count, sg.num_states());
+            assert_eq!(count, sg.num_states());
             // Every ER state is excited; every QR state is stable.
             for er in &regions.excitation {
                 for &s in &er.states {
-                    prop_assert!(sg.is_excited(s, a));
+                    assert!(sg.is_excited(s, a));
                 }
             }
             for qr in &regions.quiescent {
                 for &s in &qr.states {
-                    prop_assert!(!sg.is_excited(s, a));
-                    prop_assert_eq!(sg.value(s, a), qr.instance.dir.target_value());
+                    assert!(!sg.is_excited(s, a));
+                    assert_eq!(sg.value(s, a), qr.instance.dir.target_value());
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn trigger_regions_are_closed(kinds in proptest::collection::vec(any::<bool>(), 2..6)) {
+#[test]
+fn trigger_regions_are_closed() {
+    prop::check("sg_trigger_regions_closed", |g| {
+        let kinds = g.vec_bool(2, 5);
         let sg = pipeline_sg(&kinds);
         for a in sg.signal_ids() {
             let regions = sg.regions_of(a);
             for t in &regions.triggers {
                 let er = &regions.excitation[t.er_index];
                 for &s in &t.states {
-                    prop_assert!(er.states.contains(&s), "TR ⊆ ER");
+                    assert!(er.states.contains(&s), "TR ⊆ ER");
                     for &(label, dst) in sg.successors(s) {
                         if label.signal != a {
-                            prop_assert!(
+                            assert!(
                                 t.states.contains(&dst),
                                 "non-*a edges may not leave a trigger region"
                             );
@@ -147,7 +153,7 @@ proptest! {
                 }
             }
         }
-    }
+    });
 }
 
 #[test]

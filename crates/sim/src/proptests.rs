@@ -1,10 +1,11 @@
 //! Property tests: the headline hazard-freeness claim under random delays,
 //! and MHS pulse-filtering invariants.
+//! Inputs come from the fixed-seed driver in `nshot_par::prop`.
 
 use crate::{check_conformance, ConformanceConfig, PulseResponse, SimConfig};
 use nshot_core::{synthesize, SynthesisOptions};
+use nshot_par::prop;
 use nshot_sg::{SgBuilder, SignalKind, StateGraph};
-use proptest::prelude::*;
 
 fn pipeline_sg(kinds: &[bool]) -> StateGraph {
     let n = kinds.len();
@@ -32,14 +33,11 @@ fn pipeline_sg(kinds: &[bool]) -> StateGraph {
     b.build(0).expect("non-empty")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn synthesized_pipelines_conform_under_random_delays(
-        mut kinds in proptest::collection::vec(any::<bool>(), 2..6),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn synthesized_pipelines_conform_under_random_delays() {
+    prop::check_n("sim_pipelines_conform", 24, |g| {
+        let mut kinds = g.vec_bool(2, 5);
+        let seed = g.u64();
         kinds[0] = false;
         let last = kinds.len() - 1;
         kinds[last] = true; // keep an input so the env can act
@@ -48,19 +46,23 @@ proptest! {
         let config = ConformanceConfig {
             max_transitions: 60,
             seed,
-            sim: SimConfig { seed, ..SimConfig::default() },
+            sim: SimConfig {
+                seed,
+                ..SimConfig::default()
+            },
             ..ConformanceConfig::default()
         };
         let report = check_conformance(&sg, &imp, &config);
-        prop_assert!(report.is_hazard_free(), "{:?}", report.violations);
-        prop_assert_eq!(report.transitions, 60);
-    }
+        assert!(report.is_hazard_free(), "{:?}", report.violations);
+        assert_eq!(report.transitions, 60);
+    });
+}
 
-    #[test]
-    fn mhs_pulse_train_fires_at_most_once(
-        widths in proptest::collection::vec(50u64..2_000, 1..8),
-        gaps in proptest::collection::vec(50u64..2_000, 8),
-    ) {
+#[test]
+fn mhs_pulse_train_fires_at_most_once() {
+    prop::check_n("sim_mhs_pulse_train_once", 24, |g| {
+        let widths = g.vec_with(1, 7, |g| g.u64_in(50, 1_999));
+        let gaps = g.vec_with(8, 8, |g| g.u64_in(50, 1_999));
         let mut t = 1_000u64;
         let mut pulses = Vec::new();
         for (i, &w) in widths.iter().enumerate() {
@@ -70,15 +72,19 @@ proptest! {
         let r = PulseResponse::of_pulse_train(300, 600, &pulses);
         // Property 3 (stream-to-single-transition): never more than one
         // output transition per excitation phase.
-        prop_assert!(r.output_rises.len() <= 1);
+        assert!(r.output_rises.len() <= 1);
         // It fires iff some pulse is at least ω wide.
         let expects_fire = widths.iter().any(|&w| w >= 300);
-        prop_assert_eq!(!r.output_rises.is_empty(), expects_fire);
-    }
+        assert_eq!(!r.output_rises.is_empty(), expects_fire);
+    });
+}
 
-    #[test]
-    fn mhs_fire_time_is_rise_plus_tau(rise in 0u64..10_000, width in 300u64..5_000) {
+#[test]
+fn mhs_fire_time_is_rise_plus_tau() {
+    prop::check_n("sim_mhs_fire_time", 24, |g| {
+        let rise = g.u64_in(0, 9_999);
+        let width = g.u64_in(300, 4_999);
         let r = PulseResponse::of_pulse_train(300, 600, &[(rise, width)]);
-        prop_assert_eq!(r.output_rises.clone(), vec![rise + 600]);
-    }
+        assert_eq!(r.output_rises.clone(), vec![rise + 600]);
+    });
 }

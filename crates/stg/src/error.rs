@@ -26,6 +26,9 @@ pub enum StgError {
     TooManyStates(usize),
     /// Structural problem (disconnected place, sourceless transition, …).
     Structural(String),
+    /// A transition can never fire: its cycle carries no token (an unmarked
+    /// cycle, or an entirely empty initial marking).
+    DeadTransition(String),
     /// A signal fires inconsistently (two paths give it different values in
     /// the same marking), so no consistent state assignment exists.
     InconsistentSignal(String),
@@ -43,6 +46,10 @@ impl fmt::Display for StgError {
             StgError::Unbounded { place } => write!(f, "place {place} exceeds the token bound"),
             StgError::TooManyStates(n) => write!(f, "reachability exceeded {n} markings"),
             StgError::Structural(msg) => write!(f, "structural error: {msg}"),
+            StgError::DeadTransition(t) => write!(
+                f,
+                "transition {t} can never fire (unmarked cycle or empty marking)"
+            ),
             StgError::InconsistentSignal(s) => {
                 write!(f, "signal {s} has no consistent value assignment")
             }

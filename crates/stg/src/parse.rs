@@ -176,6 +176,10 @@ pub fn parse_stg(text: &str) -> Result<Stg, StgError> {
         Place(PlaceId),
     }
 
+    // The `.g` format has no arc weights: a repeated arc is always an
+    // authoring mistake (and a silent one — the duplicate implicit place
+    // never receives a token, so the target quietly dies).
+    let mut seen_arcs: std::collections::HashSet<(u8, u32, u32)> = std::collections::HashSet::new();
     for (line, tokens) in &graph_lines {
         if tokens.len() < 2 {
             return Err(StgError::Parse {
@@ -186,6 +190,18 @@ pub fn parse_stg(text: &str) -> Result<Stg, StgError> {
         let src = token_kind(&mut stg, &tokens[0], *line, &mut trans_ids, &mut place_ids)?;
         for tok in &tokens[1..] {
             let dst = token_kind(&mut stg, tok, *line, &mut trans_ids, &mut place_ids)?;
+            let arc_key = match (src, dst) {
+                (Node::Trans(a), Node::Trans(b)) => (0u8, a.0, b.0),
+                (Node::Trans(a), Node::Place(p)) => (1, a.0, p.0),
+                (Node::Place(p), Node::Trans(b)) => (2, p.0, b.0),
+                (Node::Place(p), Node::Place(q)) => (3, p.0, q.0),
+            };
+            if !seen_arcs.insert(arc_key) {
+                return Err(StgError::Parse {
+                    line: *line,
+                    message: format!("duplicate arc '{} {tok}'", tokens[0]),
+                });
+            }
             match (src, dst) {
                 (Node::Trans(a), Node::Trans(b)) => {
                     stg.connect(a, b, 0);

@@ -1,8 +1,9 @@
 //! Property tests: random marked-graph STGs elaborate to well-formed SGs.
+//! Inputs come from the fixed-seed driver in `nshot_par::prop`.
 
 use crate::Stg;
+use nshot_par::prop;
 use nshot_sg::{Dir, SignalKind};
-use proptest::prelude::*;
 
 /// Build a random *marked graph* (every place has one producer and one
 /// consumer): a ring of handshaking stages. Stage `i` has signals `r_i`
@@ -36,33 +37,37 @@ fn ring_stg(kinds: &[bool]) -> Stg {
     stg
 }
 
-proptest! {
-    #[test]
-    fn ring_elaboration_is_sound(kinds in proptest::collection::vec(any::<bool>(), 1..7)) {
+#[test]
+fn ring_elaboration_is_sound() {
+    prop::check("stg_ring_elaboration_sound", |g| {
+        let kinds = g.vec_bool(1, 6);
         let stg = ring_stg(&kinds);
         stg.check_structure().expect("rings are structurally fine");
         let sg = stg.elaborate().expect("marked graphs are consistent");
         // A sequential ring of n stages visits 2n markings.
-        prop_assert_eq!(sg.num_states(), 2 * kinds.len());
-        prop_assert!(sg.check_csc().is_ok());
-        prop_assert!(sg.check_semi_modular().is_ok());
-        prop_assert!(sg.is_distributive());
-        prop_assert!(sg.check_output_trapping());
+        assert_eq!(sg.num_states(), 2 * kinds.len());
+        assert!(sg.check_csc().is_ok());
+        assert!(sg.check_semi_modular().is_ok());
+        assert!(sg.is_distributive());
+        assert!(sg.check_output_trapping());
         // The elaborated code of the initial state has every signal at 0:
         // the first transition of each signal is rising.
-        prop_assert_eq!(sg.code(sg.initial()), 0);
-    }
+        assert_eq!(sg.code(sg.initial()), 0);
+    });
+}
 
-    #[test]
-    fn elaboration_is_deterministic(kinds in proptest::collection::vec(any::<bool>(), 1..5)) {
+#[test]
+fn elaboration_is_deterministic() {
+    prop::check("stg_elaboration_deterministic", |g| {
+        let kinds = g.vec_bool(1, 4);
         let stg = ring_stg(&kinds);
         let a = stg.elaborate().expect("consistent");
         let b = stg.elaborate().expect("consistent");
-        prop_assert_eq!(a.num_states(), b.num_states());
+        assert_eq!(a.num_states(), b.num_states());
         let codes_a: std::collections::BTreeSet<u64> =
             a.state_ids().map(|s| a.code(s)).collect();
         let codes_b: std::collections::BTreeSet<u64> =
             b.state_ids().map(|s| b.code(s)).collect();
-        prop_assert_eq!(codes_a, codes_b);
-    }
+        assert_eq!(codes_a, codes_b);
+    });
 }

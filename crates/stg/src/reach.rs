@@ -55,9 +55,11 @@ impl Stg {
         index.insert(m0.clone(), 0);
         markings.push(m0);
         let mut queue: VecDeque<usize> = VecDeque::from([0]);
+        let mut fired = vec![false; self.num_transitions()];
         while let Some(mi) = queue.pop_front() {
             let m = markings[mi].clone();
             for t in self.enabled(&m) {
+                fired[t.0 as usize] = true;
                 let next = self.fire(&m, t)?;
                 let ni = match index.get(&next) {
                     Some(&ni) => ni,
@@ -75,6 +77,16 @@ impl Stg {
                 let tr = &self.transitions[t.0 as usize];
                 edges.push((mi, tr.signal, tr.dir, ni));
             }
+        }
+        // A transition that fires in no reachable marking sits on a cycle
+        // that carries no token — an unmarked cycle, or an entirely empty
+        // initial marking. The state graph such a net elaborates to is
+        // degenerate (the signal is frozen at its default), so reject it
+        // with the authoring mistake named instead.
+        if let Some(i) = fired.iter().position(|&f| !f) {
+            return Err(StgError::DeadTransition(
+                self.transition_name(crate::petri::TransId(i as u32)),
+            ));
         }
 
         // --- Phase 2: infer signal values per marking by constraint

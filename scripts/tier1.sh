@@ -12,6 +12,16 @@ cargo build --release --workspace
 echo "== tier1: tests =="
 cargo test --release --workspace -q
 
+echo "== tier1: deterministic property suites =="
+for crate in nshot-sg nshot-stg nshot-logic nshot-netlist nshot-core nshot-sim; do
+  cargo test --release -p "$crate" --features proptest -q
+done
+
+echo "== tier1: model-checker smoke (1-circuit proof, both thread counts) =="
+cargo run --release -p nshot-bench --bin modelcheck -- chu133 /tmp/BENCH_mc_smoke.json
+grep -q '"all_hazard_free": true' /tmp/BENCH_mc_smoke.json \
+  || { echo "modelcheck smoke did not prove chu133"; exit 1; }
+
 echo "== tier1: disabled-tracing overhead gate (<2%) =="
 cargo run --release -p nshot-bench --bin obs_overhead
 

@@ -24,6 +24,7 @@
 //! | [`netlist`] | gate library, area/delay estimation, Eq. 1 timing |
 //! | [`core`] | the N-SHOT synthesis flow (the paper's contribution) |
 //! | [`sim`] | pure-delay event simulation, MHS models, conformance oracle |
+//! | [`mc`] | exhaustive hazard model checker: proof certificates, minimal counterexamples |
 //! | [`baselines`] | the SIS-like and SYN-like Table 2 comparators |
 //! | [`benchmarks`] | the 25-circuit Table 2 suite |
 //! | [`server`] | the NDJSON-over-TCP synthesis service (`nshot-serve`) |
@@ -61,6 +62,7 @@ pub use nshot_baselines as baselines;
 pub use nshot_benchmarks as benchmarks;
 pub use nshot_core as core;
 pub use nshot_logic as logic;
+pub use nshot_mc as mc;
 pub use nshot_netlist as netlist;
 pub use nshot_server as server;
 pub use nshot_sg as sg;

@@ -1,0 +1,10 @@
+.model crlfbad
+.inputs a
+.outputs y
+.graph
+a+ y+
+y+ a-
+a- y-
+y- a+
+.marking { <nope+,a+> }
+.end

@@ -1,0 +1,11 @@
+.model duptrans
+.inputs a
+.outputs y
+.graph
+a+ y+
+a+ y+
+y+ a-
+a- y-
+y- a+
+.marking { <y-,a+> }
+.end

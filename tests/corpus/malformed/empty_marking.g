@@ -1,0 +1,10 @@
+.model emptymark
+.inputs a
+.outputs y
+.graph
+a+ y+
+y+ a-
+a- y-
+y- a+
+.marking { }
+.end

@@ -1,0 +1,12 @@
+.model unmarkedcycle
+.inputs a
+.outputs y z
+.graph
+a+ y+
+y+ a-
+a- y-
+y- a+
+z+ z-
+z- z+
+.marking { <y-,a+> }
+.end

@@ -3,8 +3,8 @@
 //! structured 400 from the service, on both the library and the wire path.
 
 use nshot::server::{
-    json, load_spec, process_synth, Deadline, Json, Method, OutputFormat, Server,
-    ServerConfig, SynthRequest,
+    json, load_spec, process_synth, process_verify, Deadline, Json, Method, OutputFormat,
+    Server, ServerConfig, SynthRequest, VerifyRequest,
 };
 use nshot::sg::SgError;
 use nshot::stg::StgError;
@@ -100,9 +100,56 @@ fn parsers_return_structured_errors_never_panic() {
                     Err(StgError::Unbounded { .. } | StgError::TooManyStates(_))
                 ));
             }
+            "duplicate_transitions.g" => {
+                // The `.g` format has no arc weights — a repeated arc is an
+                // authoring mistake the parser must name, not dedupe.
+                assert!(matches!(
+                    nshot::stg::parse_stg(&text),
+                    Err(StgError::Parse { line: 6, .. })
+                ));
+            }
+            "unmarked_cycle.g" => {
+                // One ring marked, the other tokenless: its transitions can
+                // never fire and the signal would freeze at 0.
+                match nshot::stg::parse_stg(&text)
+                    .expect("structurally valid")
+                    .elaborate()
+                {
+                    Err(StgError::DeadTransition(t)) => assert_eq!(t, "z+"),
+                    other => panic!("expected a dead transition, got {other:?}"),
+                }
+            }
+            "empty_marking.g" => {
+                // `.marking { }`: nothing is ever enabled.
+                assert!(matches!(
+                    nshot::stg::parse_stg(&text)
+                        .expect("structurally valid")
+                        .elaborate(),
+                    Err(StgError::DeadTransition(_))
+                ));
+            }
+            "crlf.g" => {
+                // CRLF line endings must not confuse tokenizing or the
+                // 1-based line numbers in the error.
+                assert!(matches!(
+                    nshot::stg::parse_stg(&text),
+                    Err(StgError::Parse { line: 9, .. })
+                ));
+            }
             _ => {} // truncated/garbage/empty: any structured Err will do
         }
     }
+}
+
+/// CRLF endings on a *well-formed* spec are cosmetic: the corpus entry
+/// above proves the reject path, this proves the accept path.
+#[test]
+fn crlf_line_endings_do_not_reject_valid_specs() {
+    let unix = ".model hs\n.inputs r\n.outputs g\n.graph\nr+ g+\ng+ r-\nr- g-\ng- r+\n.marking { <g-,r+> }\n.end\n";
+    let dos = unix.replace('\n', "\r\n");
+    let a = nshot::stg::parse_stg(unix).unwrap().elaborate().unwrap();
+    let b = nshot::stg::parse_stg(&dos).unwrap().elaborate().unwrap();
+    assert_eq!(a.num_states(), b.num_states());
 }
 
 #[test]
@@ -112,6 +159,29 @@ fn service_answers_the_corpus_with_400() {
             continue;
         };
         let response = process_synth(&synth_request(&text), &Deadline::unlimited());
+        assert_eq!(response.code, 400, "{name}: expected a spec error");
+        assert_eq!(response.status, "error");
+        assert!(
+            response.body.iter().any(|(k, _)| k == "error"),
+            "{name}: error response carries a message"
+        );
+    }
+}
+
+/// The `verify` op shares the loader with `synth`: the whole corpus must
+/// come back as a structured 400 before any model checking is attempted.
+#[test]
+fn verify_op_answers_the_corpus_with_400() {
+    for (name, bytes) in corpus() {
+        let Ok(text) = String::from_utf8(bytes) else {
+            continue;
+        };
+        let request = VerifyRequest {
+            spec: text,
+            minimizer: nshot::core::Minimizer::Heuristic,
+            max_states: 1_000,
+        };
+        let response = process_verify(&request, &Deadline::unlimited());
         assert_eq!(response.code, 400, "{name}: expected a spec error");
         assert_eq!(response.status, "error");
         assert!(

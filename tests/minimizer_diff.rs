@@ -1,0 +1,83 @@
+//! Differential test: heuristic ESPRESSO vs. the exact minimizer, over
+//! every set/reset function of every Table 2 benchmark.
+//!
+//! For each function the two minimizers must agree *semantically modulo
+//! don't-cares* — checked with the tautology-based cover containment both
+//! directions, not by comparing cube lists — and the heuristic result must
+//! stay within a small bound of the exact optimum, so a quality regression
+//! in the iterative loop is caught even when correctness holds.
+
+use nshot::core::SetResetSpec;
+use nshot::logic::{espresso, minimize_exact, Cover, Function};
+
+/// Largest cube-count gap (heuristic − exact) tolerated per function. The
+/// suite's current worst case is 0 — the heuristic finds the optimum on
+/// every benchmark function — but a bound of 1 keeps the test from pinning
+/// the heuristic's exact search order.
+const MAX_CUBE_GAP: usize = 1;
+
+/// `a` and `b` implement the same completely specified extension of `f`:
+/// each is contained in the other once the don't-care space is granted.
+fn equivalent_modulo_dc(f: &Function, a: &Cover, b: &Cover) -> bool {
+    let a_dc = a.union(f.dc_set());
+    let b_dc = b.union(f.dc_set());
+    a_dc.contains_cover(b) && b_dc.contains_cover(a)
+}
+
+fn diff_function(circuit: &str, label: &str, f: &Function) -> (usize, usize) {
+    let heuristic = espresso(f);
+    let exact = minimize_exact(f).unwrap_or_else(|e| panic!("{circuit}/{label}: exact: {e}"));
+
+    assert!(
+        f.is_implemented_by(&heuristic),
+        "{circuit}/{label}: heuristic cover does not implement the function"
+    );
+    assert!(
+        f.is_implemented_by(&exact),
+        "{circuit}/{label}: exact cover does not implement the function"
+    );
+    assert!(
+        equivalent_modulo_dc(f, &heuristic, &exact),
+        "{circuit}/{label}: minimizers disagree outside the don't-care set\n\
+         heuristic: {heuristic:?}\nexact: {exact:?}"
+    );
+    assert!(
+        exact.num_cubes() <= heuristic.num_cubes(),
+        "{circuit}/{label}: exact ({}) larger than heuristic ({})",
+        exact.num_cubes(),
+        heuristic.num_cubes()
+    );
+    assert!(
+        heuristic.num_cubes() <= exact.num_cubes() + MAX_CUBE_GAP,
+        "{circuit}/{label}: heuristic {} cubes vs exact optimum {}",
+        heuristic.num_cubes(),
+        exact.num_cubes()
+    );
+    (heuristic.num_cubes(), exact.num_cubes())
+}
+
+#[test]
+fn heuristic_matches_exact_on_every_benchmark_function() {
+    let mut functions = 0usize;
+    let mut heuristic_total = 0usize;
+    let mut exact_total = 0usize;
+    for bench in nshot::benchmarks::suite() {
+        let sg = bench.build();
+        for a in sg.non_input_signals() {
+            let spec = SetResetSpec::derive(&sg, a);
+            for (label, f) in [("set", &spec.set), ("reset", &spec.reset)] {
+                let name = format!("{}.{label}", sg.signal_name(a));
+                let (h, e) = diff_function(bench.name, &name, f);
+                functions += 1;
+                heuristic_total += h;
+                exact_total += e;
+            }
+        }
+    }
+    // The suite exercises a real spread of function shapes; make sure the
+    // loop did not silently degenerate (e.g. an empty suite build).
+    assert!(functions > 100, "only {functions} functions diffed");
+    println!(
+        "diffed {functions} functions: heuristic {heuristic_total} cubes, exact {exact_total}"
+    );
+}
