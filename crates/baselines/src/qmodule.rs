@@ -79,7 +79,7 @@ pub fn qmodule(
     for a in sg.non_input_signals() {
         let mut on = Vec::new();
         let mut off = Vec::new();
-        for s in sg.reachable() {
+        for &s in sg.reachable() {
             match sg.region_mode(s, a) {
                 RegionMode::ExcitedUp | RegionMode::StableHigh => on.push(sg.code(s)),
                 _ => off.push(sg.code(s)),
@@ -186,7 +186,7 @@ mod tests {
         let sg = fixtures::figure1_csc();
         let imp = qmodule(&sg, &DelayModel::nominal()).unwrap();
         for (a, cover) in &imp.covers {
-            for s in sg.reachable() {
+            for &s in sg.reachable() {
                 let expect = sg.value(s, *a) != sg.is_excited(s, *a);
                 assert_eq!(cover.contains_minterm(sg.code(s)), expect);
             }

@@ -70,7 +70,7 @@ pub fn sis(sg: &StateGraph, model: &DelayModel) -> Result<SisImplementation, Bas
         // Next-state function: 1 on ER(+a) ∪ QR(+a), 0 elsewhere reachable.
         let mut on = Vec::new();
         let mut off = Vec::new();
-        for s in sg.reachable() {
+        for &s in sg.reachable() {
             match sg.region_mode(s, a) {
                 RegionMode::ExcitedUp | RegionMode::StableHigh => on.push(sg.code(s)),
                 _ => off.push(sg.code(s)),
@@ -94,7 +94,7 @@ pub fn sis(sg: &StateGraph, model: &DelayModel) -> Result<SisImplementation, Bas
         //    the output unless the feedback is slowed past the worst-case
         //    settling time.
         let mut count = 0usize;
-        for s in sg.reachable() {
+        for &s in sg.reachable() {
             for &(_, dst) in sg.successors(s) {
                 let (c1, c2) = (sg.code(s), sg.code(dst));
                 if cover.contains_minterm(c1) && cover.contains_minterm(c2) {
@@ -114,7 +114,7 @@ pub fn sis(sg: &StateGraph, model: &DelayModel) -> Result<SisImplementation, Bas
                 })
             })
             .collect();
-        for s in sg.reachable() {
+        for &s in sg.reachable() {
             let concurrent = sg
                 .successors(s)
                 .iter()
@@ -214,7 +214,7 @@ mod tests {
         let sg = fixtures::parallel_handshakes();
         let imp = sis(&sg, &DelayModel::nominal()).unwrap();
         for (a, cover) in &imp.covers {
-            for s in sg.reachable() {
+            for &s in sg.reachable() {
                 let code = sg.code(s);
                 let expect = matches!(
                     sg.region_mode(s, *a),

@@ -69,11 +69,11 @@ pub fn syn(sg: &StateGraph, model: &DelayModel) -> Result<SynImplementation, Bas
         let mut set_cubes = Vec::new();
         let mut reset_cubes = Vec::new();
         for (er, qr) in regions.excitation.iter().zip(&regions.quiescent) {
-            let er_codes: Vec<u64> = er.states.iter().map(|&s| sg.code(s)).collect();
+            let er_codes: Vec<u64> = er.states.iter().map(|s| sg.code(s)).collect();
             let allowed: std::collections::HashSet<u64> = er_codes
                 .iter()
                 .copied()
-                .chain(qr.states.iter().map(|&s| sg.code(s)))
+                .chain(qr.states.iter().map(|s| sg.code(s)))
                 .collect();
             // Forbidden = reachable codes outside ER ∪ QR_i (unreachable
             // codes are free).
@@ -257,7 +257,7 @@ mod tests {
                 .filter(|e| e.instance.dir == Dir::Rise)
                 .zip(set.iter())
             {
-                for &s in &er.states {
+                for s in &er.states {
                     assert!(cube.contains_minterm(sg.code(s)));
                 }
             }

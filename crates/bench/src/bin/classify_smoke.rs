@@ -1,0 +1,43 @@
+//! Classify-stage perf smoke: run the full suite's analysis stage
+//! (CSC + semi-modularity + per-signal region/spec derivation) and assert it
+//! stays under a generous wall-clock budget. Used by tier1.sh / CI to catch
+//! regressions of the bit-parallel analysis engine.
+
+use nshot_core::{derive_all, SetResetSpec};
+use std::time::Instant;
+
+fn main() {
+    let budget_ms: u128 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20_000);
+    let mut total_ms = 0.0f64;
+    for b in nshot_benchmarks::suite() {
+        let sg = b.build();
+        let t = Instant::now();
+        let csc = sg.check_csc().is_ok();
+        let semi = sg.check_semi_modular().is_ok();
+        let specs: Vec<SetResetSpec> = derive_all(&sg);
+        let regions: usize = sg
+            .non_input_signals()
+            .map(|a| sg.regions_of(a).excitation.len())
+            .sum();
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        total_ms += ms;
+        println!(
+            "{:<15} {:>6} states  csc={} semi={} specs={} ers={} {:>10.2} ms",
+            b.name,
+            sg.num_states(),
+            csc,
+            semi,
+            specs.len(),
+            regions,
+            ms
+        );
+    }
+    println!("classify total: {total_ms:.2} ms (budget {budget_ms} ms)");
+    if total_ms as u128 > budget_ms {
+        eprintln!("classify stage exceeded budget");
+        std::process::exit(1);
+    }
+}

@@ -36,7 +36,7 @@ pub fn figure1() -> String {
             er.instance.index + 1,
             er.states
                 .iter()
-                .map(|&s| sg.code_string(s))
+                .map(|s| sg.code_string(s))
                 .collect::<Vec<_>>()
                 .join(", ")
         ));
@@ -49,7 +49,7 @@ pub fn figure1() -> String {
             qr.instance.index + 1,
             qr.states
                 .iter()
-                .map(|&s| sg.code_string(s))
+                .map(|s| sg.code_string(s))
                 .collect::<Vec<_>>()
                 .join(", ")
         ));
@@ -77,7 +77,7 @@ pub fn figure2() -> String {
                 " {{{}}}",
                 tr.states
                     .iter()
-                    .map(|&s| sg.code_string(s))
+                    .map(|s| sg.code_string(s))
                     .collect::<Vec<_>>()
                     .join(", ")
             ));
@@ -201,7 +201,7 @@ pub fn figure7() -> String {
                     sg.signal_name(a),
                     tr.states
                         .iter()
-                        .map(|&s| sg.code_string(s))
+                        .map(|s| sg.code_string(s))
                         .collect::<Vec<_>>()
                         .join(", ")
                 ));

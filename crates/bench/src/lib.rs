@@ -182,7 +182,7 @@ pub fn run_table1(sg: &StateGraph) -> String {
             "SET",
             "RESET"
         ));
-        for s in sg.reachable() {
+        for &s in sg.reachable() {
             let (set, reset, mode) = spec.table1_row(sg, s);
             out.push_str(&format!(
                 "  {:<12} {:>3} {:>5}  {}\n",

@@ -391,14 +391,14 @@ pub fn interleave(name: &str, left: &StateGraph, right: &StateGraph) -> StateGra
     use std::collections::HashMap;
     let mut id_of: HashMap<(nshot_sg::StateId, nshot_sg::StateId), nshot_sg::StateId> =
         HashMap::new();
-    for &ls in &lreach {
-        for &rs in &rreach {
+    for &ls in lreach {
+        for &rs in rreach {
             let code = left.code(ls) | (right.code(rs) << nl);
             id_of.insert((ls, rs), b.fresh_state(code));
         }
     }
-    for &ls in &lreach {
-        for &rs in &rreach {
+    for &ls in lreach {
+        for &rs in rreach {
             let from = id_of[&(ls, rs)];
             for &(t, dst) in left.successors(ls) {
                 b.edge_states(

@@ -11,12 +11,24 @@
 //! | `QR(-a)`    |  0  |   *   | `a = 0`  |
 //! | unreachable |  *  |   *   | memory   |
 //!
-//! Unreachable codes are folded into the don't-care sets by construction:
-//! the DC cover is computed as the complement of ON ∪ OFF, which covers both
-//! the quiescent states of the firing direction and every unreachable code —
-//! without ever enumerating the `2^n` space.
+//! The don't-care sets are built directly from Table 1: the quiescent
+//! minterms of the firing direction plus the unreachable-code cover, which
+//! is computed once per graph (not once per signal per function) by
+//! recursively splitting the `2^n` code space on its most significant free
+//! bit and emitting a cube for every subspace containing no reachable code.
+//! That replaces the two `Cover::complement` calls per signal the flow
+//! used to pay — the complement of a few hundred minterm cubes over 16
+//! variables is the dominant cost of classification on the larger
+//! benchmarks — with shared work linear in the number of reachable codes.
+//!
+//! The resulting DC covers have a different *cube structure* than the
+//! complement-based ones but denote exactly the same point sets whenever
+//! states sharing a code agree on their Table 1 mode — which CSC
+//! guarantees, and specs are only derived for CSC-valid graphs. The
+//! minimizer consumes DC covers purely semantically (containment and
+//! tautology queries), so derived netlists are unchanged.
 
-use nshot_logic::{Cover, Function};
+use nshot_logic::{Cover, Cube, Function};
 use nshot_sg::{RegionMode, SignalId, StateGraph};
 
 /// The ON/DC/OFF specification of one signal's set and reset functions.
@@ -34,11 +46,21 @@ impl SetResetSpec {
     /// Derive the specification for non-input signal `a` from the reachable
     /// states of `sg`, per Table 1.
     ///
+    /// When deriving specs for several signals of one graph, prefer
+    /// [`derive_all`], which shares the unreachable-code cover across
+    /// signals.
+    ///
     /// # Panics
     ///
     /// Panics if `a` is an input signal (inputs are driven by the
     /// environment and are never implemented).
     pub fn derive(sg: &StateGraph, a: SignalId) -> Self {
+        Self::derive_with_dc(sg, a, &unreachable_cover(sg))
+    }
+
+    /// [`SetResetSpec::derive`] with the unreachable-code cover supplied by
+    /// the caller.
+    fn derive_with_dc(sg: &StateGraph, a: SignalId, unreachable: &Cover) -> Self {
         assert!(
             sg.signal_kind(a).is_non_input(),
             "input signal '{}' is not synthesized",
@@ -49,7 +71,7 @@ impl SetResetSpec {
         let mut qr_up = Vec::new();
         let mut er_down = Vec::new();
         let mut qr_down = Vec::new();
-        for s in sg.reachable() {
+        for &s in sg.reachable() {
             let code = sg.code(s);
             match sg.region_mode(s, a) {
                 RegionMode::ExcitedUp => er_up.push(code),
@@ -60,16 +82,16 @@ impl SetResetSpec {
         }
         let cover = |codes: &[u64]| Cover::from_minterms(n, codes);
 
-        // SET: on = ER(+a); off = ER(-a) ∪ QR(-a); dc = rest (QR(+a) ∪ unreachable).
+        // SET: on = ER(+a); off = ER(-a) ∪ QR(-a); dc = QR(+a) ∪ unreachable.
         let set_on = cover(&er_up);
         let set_off = cover(&er_down).union(&cover(&qr_down));
-        let set_dc = set_on.union(&set_off).complement();
+        let set_dc = cover(&qr_up).union(unreachable);
         let set = Function::with_off(set_on, set_dc, set_off);
 
-        // RESET: on = ER(-a); off = ER(+a) ∪ QR(+a); dc = rest.
+        // RESET: on = ER(-a); off = ER(+a) ∪ QR(+a); dc = QR(-a) ∪ unreachable.
         let reset_on = cover(&er_down);
         let reset_off = cover(&er_up).union(&cover(&qr_up));
-        let reset_dc = reset_on.union(&reset_off).complement();
+        let reset_dc = cover(&qr_down).union(unreachable);
         let reset = Function::with_off(reset_on, reset_dc, reset_off);
 
         SetResetSpec { signal: a, set, reset }
@@ -86,6 +108,61 @@ impl SetResetSpec {
             RegionMode::StableLow => ('0', '*', format!("{name} = 0")),
         }
     }
+}
+
+/// Derive the specifications of every non-input signal, sharing one
+/// unreachable-code cover and working the signals in parallel (deterministic
+/// output order regardless of `NSHOT_THREADS`).
+pub fn derive_all(sg: &StateGraph) -> Vec<SetResetSpec> {
+    let unreachable = unreachable_cover(sg);
+    let signals: Vec<SignalId> = sg.non_input_signals().collect();
+    nshot_par::par_map(&signals, |&a| {
+        SetResetSpec::derive_with_dc(sg, a, &unreachable)
+    })
+}
+
+/// A cube cover of exactly the codes not used by any reachable state.
+///
+/// Splits the code space recursively on the most significant free bit
+/// (0-half first): a subspace with no reachable code becomes one cube, a
+/// fully-populated subspace is dropped, anything else recurses. The cube
+/// order is therefore a fixed function of the reachable code set.
+pub fn unreachable_cover(sg: &StateGraph) -> Cover {
+    let n = sg.num_signals();
+    let mut codes: Vec<u64> = sg.reachable().iter().map(|&s| sg.code(s)).collect();
+    codes.sort_unstable();
+    codes.dedup();
+    let mut cubes = Vec::new();
+    let mut fixed: Vec<(usize, bool)> = Vec::new();
+    split_unreachable(n, &codes, n, &mut fixed, &mut cubes);
+    Cover::from_cubes(n, cubes)
+}
+
+fn split_unreachable(
+    n: usize,
+    codes: &[u64],
+    bits_left: usize,
+    fixed: &mut Vec<(usize, bool)>,
+    out: &mut Vec<Cube>,
+) {
+    if codes.is_empty() {
+        out.push(Cube::from_literals(n, fixed));
+        return;
+    }
+    if bits_left < 64 && codes.len() == 1usize << bits_left {
+        return; // subspace fully reachable
+    }
+    // codes is non-empty and not full, so at least one free bit remains.
+    let bit = bits_left - 1;
+    // Within this branch all higher bits are equal, so the sorted slice
+    // partitions cleanly on `bit`.
+    let split_at = codes.partition_point(|&c| c & (1u64 << bit) == 0);
+    fixed.push((bit, false));
+    split_unreachable(n, &codes[..split_at], bit, fixed, out);
+    fixed.pop();
+    fixed.push((bit, true));
+    split_unreachable(n, &codes[split_at..], bit, fixed, out);
+    fixed.pop();
 }
 
 #[cfg(test)]
@@ -131,13 +208,81 @@ mod tests {
     }
 
     #[test]
+    fn unreachable_cover_is_exact() {
+        // The prefix-split cover contains a code iff no reachable state
+        // uses it.
+        for sg in [
+            fixtures::handshake(),
+            fixtures::figure7b(),
+            fixtures::figure1_csc(),
+        ] {
+            let cover = unreachable_cover(&sg);
+            let reachable = sg.reachable_codes();
+            for code in 0..(1u64 << sg.num_signals()) {
+                assert_eq!(
+                    cover.contains_minterm(code),
+                    !reachable.contains(&code),
+                    "{} code {code:b}",
+                    sg.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_cover_of_full_space_is_empty() {
+        let sg = fixtures::handshake(); // all 4 codes over 2 signals used
+        assert!(unreachable_cover(&sg).is_empty());
+    }
+
+    #[test]
+    fn derive_all_matches_per_signal_derive() {
+        let sg = fixtures::figure1_csc();
+        let all = derive_all(&sg);
+        let singly: Vec<SetResetSpec> = sg
+            .non_input_signals()
+            .map(|a| SetResetSpec::derive(&sg, a))
+            .collect();
+        assert_eq!(all.len(), singly.len());
+        for (a, b) in all.iter().zip(&singly) {
+            assert_eq!(a.signal, b.signal);
+            assert!(a.set.on_set().equivalent(b.set.on_set()));
+            assert!(a.set.dc_set().equivalent(b.set.dc_set()));
+            assert!(a.set.off_set().equivalent(b.set.off_set()));
+            assert!(a.reset.on_set().equivalent(b.reset.on_set()));
+            assert!(a.reset.dc_set().equivalent(b.reset.dc_set()));
+            assert!(a.reset.off_set().equivalent(b.reset.off_set()));
+        }
+    }
+
+    #[test]
+    fn dc_matches_complement_construction() {
+        // The shared-cover DC equals the legacy complement(ON ∪ OFF)
+        // point-for-point on CSC-valid graphs.
+        for sg in [fixtures::handshake(), fixtures::figure1_csc()] {
+            for a in sg.non_input_signals() {
+                let spec = SetResetSpec::derive(&sg, a);
+                for f in [&spec.set, &spec.reset] {
+                    let legacy = f.on_set().union(f.off_set()).complement();
+                    assert!(
+                        f.dc_set().equivalent(&legacy),
+                        "{} / {}",
+                        sg.name(),
+                        sg.signal_name(a)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn table1_partition_is_exact() {
         // For every reachable state the (SET, RESET) spec matches Table 1,
         // and ON/DC/OFF partition the space.
         let sg = fixtures::figure1_csc();
         for a in sg.non_input_signals() {
             let spec = SetResetSpec::derive(&sg, a);
-            for s in sg.reachable() {
+            for &s in sg.reachable() {
                 let code = sg.code(s);
                 let (set_c, reset_c, _) = spec.table1_row(&sg, s);
                 match set_c {

@@ -161,11 +161,8 @@ pub fn synthesize(
         .map_err(SynthesisError::NotSemiModular)?;
 
     // Derive all specifications up front (the multi-output mode minimizes
-    // them jointly).
-    let specs: Vec<SetResetSpec> = sg
-        .non_input_signals()
-        .map(|a| SetResetSpec::derive(sg, a))
-        .collect();
+    // them jointly), sharing one unreachable-code cover across signals.
+    let specs: Vec<SetResetSpec> = crate::derive::derive_all(sg);
     drop(classify_span);
     let multi = match options.minimizer {
         Minimizer::MultiOutput => {

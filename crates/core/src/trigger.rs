@@ -64,7 +64,7 @@ pub fn check_trigger_requirement(
         if er.instance.dir != dir {
             continue;
         }
-        let codes: Vec<u64> = tr.states.iter().map(|&s| sg.code(s)).collect();
+        let codes: Vec<u64> = tr.states.iter().map(|s| sg.code(s)).collect();
         let covering = cover.iter().position(|cube| {
             codes.iter().all(|&m| cube.contains_minterm(m))
         });

@@ -24,7 +24,7 @@ pub fn verify_covers(
     reset_cover: &Cover,
 ) -> Result<(), String> {
     let name = sg.signal_name(signal);
-    for s in sg.reachable() {
+    for &s in sg.reachable() {
         let code = sg.code(s);
         let set = set_cover.contains_minterm(code);
         let reset = reset_cover.contains_minterm(code);

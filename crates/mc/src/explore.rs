@@ -306,15 +306,18 @@ impl<'m, 'a> Explorer<'m, 'a> {
                 out.push(Action::Gate { comb: c, value });
             }
         }
-        // 6. Specification-enabled environment inputs.
+        // 6. Specification-enabled environment inputs, straight off the
+        //    excitation mask (determinism gives one transition per signal;
+        //    its direction is forced by the signal's current value).
         let spec = self.spec_of(w);
-        for &(label, _) in m.sg.successors(spec) {
-            if m.sg.signal_kind(label.signal) == nshot_sg::SignalKind::Input {
-                out.push(Action::Input {
-                    signal: label.signal.index() as u16,
-                    rise: label.dir.target_value(),
-                });
-            }
+        let mut inputs = m.sg.excited_mask(spec) & !m.sg.non_input_mask();
+        while inputs != 0 {
+            let i = inputs.trailing_zeros() as usize;
+            inputs &= inputs - 1;
+            out.push(Action::Input {
+                signal: i as u16,
+                rise: !m.sg.value(spec, m.signal_ids[i]),
+            });
         }
         out
     }

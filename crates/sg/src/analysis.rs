@@ -1,0 +1,154 @@
+//! Lazily-built per-graph analysis cache.
+//!
+//! Every analysis the synthesis flow runs — CSC, semi-modularity, region
+//! decomposition, spec derivation — starts from the same three facts about
+//! the graph: which states are reachable, which signals each state excites,
+//! and where `δ(s, t)` goes. The legacy code recomputed the first from
+//! scratch on every call and scanned edge lists linearly for the other two;
+//! this cache computes each exactly once per [`StateGraph`]:
+//!
+//! * the reachable set, both as a [`StateSet`] (for word-wise algebra) and
+//!   as a sorted slice (for deterministic ascending iteration);
+//! * a per-state `u64` excited-signal mask (bit `i` set iff signal `i` has
+//!   an outgoing transition), plus the same mask restricted to non-input
+//!   signals for the CSC check;
+//! * a CSR copy of the edge list with each state's row sorted by
+//!   [`TransitionLabel`], so `delta` is a binary search instead of a linear
+//!   `find` — without reordering the public `successors()` slices, whose
+//!   iteration order downstream exploration (mc, sim) depends on;
+//! * one lazily-computed [`SignalRegions`] slot per signal, so
+//!   `regions_of` is computed at most once per (graph, signal) no matter
+//!   how many stages consult it.
+//!
+//! The cache lives behind a `OnceLock<Arc<…>>` on the graph: construction
+//! is thread-safe, clones of a graph share the already-built cache, and the
+//! graph's public API is unchanged apart from being faster.
+
+use crate::graph::{StateGraph, StateId};
+use crate::regions::SignalRegions;
+use crate::signal::TransitionLabel;
+use crate::stateset::StateSet;
+use std::sync::{Arc, OnceLock};
+
+pub(crate) struct Analysis {
+    /// Reachable states, ascending.
+    pub reachable: Vec<StateId>,
+    /// The same set, bit-packed.
+    pub reachable_set: StateSet,
+    /// Per-state excited-signal mask (bit `i` = signal `i` excited).
+    pub excited: Vec<u64>,
+    /// `excited` restricted to non-input signals.
+    pub excited_non_input: Vec<u64>,
+    /// Flattened per-state edge rows, each row sorted by label.
+    pub sorted_out: Vec<(TransitionLabel, StateId)>,
+    /// Row boundaries into `sorted_out` (`num_states + 1` entries).
+    pub out_start: Vec<u32>,
+    /// Per-signal region decompositions, computed on first use.
+    pub regions: Vec<OnceLock<Arc<SignalRegions>>>,
+}
+
+impl Analysis {
+    /// Build the cache. Uses only the graph's raw storage — never methods
+    /// that would themselves consult the cache.
+    pub(crate) fn build(sg: &StateGraph) -> Analysis {
+        let num_states = sg.states.len();
+        let non_input_mask: u64 = sg
+            .signals
+            .iter()
+            .enumerate()
+            .filter(|(_, info)| info.kind.is_non_input())
+            .map(|(i, _)| 1u64 << i)
+            .sum();
+
+        // Reachability: DFS from the initial state, then sort — the same
+        // order the legacy per-call computation produced.
+        let mut reachable_set = StateSet::new(num_states);
+        let mut stack = vec![sg.initial];
+        reachable_set.insert(sg.initial);
+        while let Some(s) = stack.pop() {
+            for &(_, dst) in &sg.states[s.index()].out {
+                if reachable_set.insert(dst) {
+                    stack.push(dst);
+                }
+            }
+        }
+        let reachable: Vec<StateId> = reachable_set.iter().collect();
+
+        // Excited masks and the label-sorted CSR in one pass over the edges.
+        let mut excited = vec![0u64; num_states];
+        let mut excited_non_input = vec![0u64; num_states];
+        let total_edges: usize = sg.states.iter().map(|d| d.out.len()).sum();
+        let mut sorted_out = Vec::with_capacity(total_edges);
+        let mut out_start = Vec::with_capacity(num_states + 1);
+        out_start.push(0u32);
+        for (i, data) in sg.states.iter().enumerate() {
+            let row_begin = sorted_out.len();
+            for &(label, dst) in &data.out {
+                excited[i] |= 1u64 << label.signal.index();
+                sorted_out.push((label, dst));
+            }
+            excited_non_input[i] = excited[i] & non_input_mask;
+            sorted_out[row_begin..].sort_unstable_by_key(|&(label, _)| label);
+            out_start.push(sorted_out.len() as u32);
+        }
+
+        Analysis {
+            reachable,
+            reachable_set,
+            excited,
+            excited_non_input,
+            sorted_out,
+            out_start,
+            regions: (0..sg.signals.len()).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    /// The label-sorted edge row of a state.
+    pub(crate) fn row(&self, s: StateId) -> &[(TransitionLabel, StateId)] {
+        let lo = self.out_start[s.index()] as usize;
+        let hi = self.out_start[s.index() + 1] as usize;
+        &self.sorted_out[lo..hi]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::fixtures;
+    use crate::TransitionLabel;
+
+    #[test]
+    fn cache_matches_direct_recomputation() {
+        let sg = fixtures::figure1_csc();
+        let an = sg.analysis();
+        // Reachable agrees with a fresh DFS.
+        assert_eq!(an.reachable.len(), an.reachable_set.len());
+        for &s in &an.reachable {
+            assert!(an.reachable_set.contains(s));
+        }
+        // Masks agree with the edge lists; rows are sorted and complete.
+        for s in sg.state_ids() {
+            let mut mask = 0u64;
+            for &(label, dst) in sg.successors(s) {
+                mask |= 1 << label.signal.index();
+                assert_eq!(sg.delta(s, label), Some(dst));
+            }
+            assert_eq!(sg.excited_mask(s), mask);
+            let row = an.row(s);
+            assert_eq!(row.len(), sg.successors(s).len());
+            assert!(row.windows(2).all(|w| w[0].0 < w[1].0));
+        }
+    }
+
+    #[test]
+    fn clones_share_the_cache() {
+        let sg = fixtures::handshake();
+        let _ = sg.reachable(); // force the build
+        let clone = sg.clone();
+        assert_eq!(clone.reachable().len(), sg.reachable().len());
+        let r = sg.signal_by_name("r").unwrap();
+        assert_eq!(
+            clone.delta(clone.initial(), TransitionLabel::rise(r)),
+            sg.delta(sg.initial(), TransitionLabel::rise(r))
+        );
+    }
+}

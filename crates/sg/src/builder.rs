@@ -183,6 +183,7 @@ impl SgBuilder {
             states: self.states,
             initial,
             name: self.name,
+            analysis: std::sync::OnceLock::new(),
         })
     }
 

@@ -37,14 +37,16 @@ impl StateGraph {
     /// Returns the list of violating state pairs if CSC does not hold.
     pub fn check_csc(&self) -> Result<(), Vec<CscViolation>> {
         let mut by_code: FxHashMap<u64, Vec<StateId>> = FxHashMap::default();
-        for s in self.reachable() {
+        for &s in self.reachable() {
             by_code.entry(self.code(s)).or_default().push(s);
         }
         let mut violations = Vec::new();
         for (&code, states) in &by_code {
             for i in 0..states.len() {
                 for j in (i + 1)..states.len() {
-                    if self.excited_non_inputs(states[i]) != self.excited_non_inputs(states[j]) {
+                    if self.excited_non_input_mask(states[i])
+                        != self.excited_non_input_mask(states[j])
+                    {
                         violations.push(CscViolation {
                             a: states[i],
                             b: states[j],
@@ -72,13 +74,19 @@ impl StateGraph {
     /// Returns the list of failing diamonds.
     pub fn check_semi_modular(&self) -> Result<(), Vec<SemiModularityViolation>> {
         let mut violations = Vec::new();
-        for s in self.reachable() {
-            let succ = self.successors(s).to_vec();
-            for &(t1, s1) in &succ {
-                if !self.signal_kind(t1.signal).is_non_input() {
+        let non_input = self.non_input_mask();
+        for &s in self.reachable() {
+            // Skip states with no excited non-input signal: only non-input
+            // `t1` transitions can witness a violation.
+            if self.excited_mask(s) & non_input == 0 {
+                continue;
+            }
+            let succ = self.successors(s);
+            for &(t1, s1) in succ {
+                if non_input >> t1.signal.index() & 1 == 0 {
                     continue;
                 }
-                for &(t2, s2) in &succ {
+                for &(t2, s2) in succ {
                     if t1 == t2 {
                         continue;
                     }
@@ -104,7 +112,7 @@ impl StateGraph {
     /// where `signal` is stable and at least two direct successors excite it.
     pub fn detonant_states(&self, signal: SignalId) -> Vec<StateId> {
         let mut out = Vec::new();
-        for w in self.reachable() {
+        for &w in self.reachable() {
             if self.is_excited(w, signal) {
                 continue;
             }
@@ -142,9 +150,9 @@ impl StateGraph {
         for a in self.non_input_signals() {
             let regions = self.regions_of(a);
             for er in &regions.excitation {
-                for &s in &er.states {
+                for s in &er.states {
                     for &(t, dst) in self.successors(s) {
-                        if t.signal != a && !er.states.contains(&dst) {
+                        if t.signal != a && !er.states.contains(dst) {
                             return false;
                         }
                     }

@@ -93,8 +93,8 @@ impl StateGraph {
                 });
             }
             let mut best: Option<StateGraph> = None;
-            'candidates: for &w1 in &reachable {
-                for &w2 in &reachable {
+            'candidates: for &w1 in reachable {
+                for &w2 in reachable {
                     if w1 == w2 {
                         continue;
                     }
@@ -206,14 +206,14 @@ fn insert_phase_signal(
     };
     // Allocate states (fresh: codes may still collide until repair is done).
     let mut new_id = vec![None; sg.num_states()];
-    for &s in &reachable {
+    for &s in reachable {
         new_id[s.index()] = Some(b.fresh_state(code_of(s)));
     }
     // Splice states: w1 with phase bit still 0, w2 with phase bit still 1.
     let w1_pre = b.fresh_state(sg.code(w1));
     let w2_pre = b.fresh_state(sg.code(w2) | (1 << n));
 
-    for &s in &reachable {
+    for &s in reachable {
         for &(t, dst) in sg.successors(s) {
             let from = new_id[s.index()].expect("reachable allocated");
             let to = if dst == w1 {

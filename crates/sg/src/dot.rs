@@ -18,7 +18,7 @@ impl StateGraph {
     pub fn to_dot_highlighting(&self, signal: Option<SignalId>) -> String {
         let regions = signal.map(|s| self.regions_of(s));
         let mut out = String::from("digraph sg {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
-        for s in self.reachable() {
+        for &s in self.reachable() {
             let mut label = String::new();
             let code = self.code(s);
             for i in 0..self.num_signals() {
@@ -30,7 +30,7 @@ impl StateGraph {
             let mut attrs = format!("label=\"{label}\"");
             if let Some(r) = &regions {
                 for er in &r.excitation {
-                    if er.states.contains(&s) {
+                    if er.states.contains(s) {
                         let colour = match er.instance.dir {
                             crate::Dir::Rise => "lightblue",
                             crate::Dir::Fall => "lightpink",
@@ -38,7 +38,7 @@ impl StateGraph {
                         attrs.push_str(&format!(", style=filled, fillcolor={colour}"));
                     }
                 }
-                if r.triggers.iter().any(|t| t.states.contains(&s)) {
+                if r.triggers.iter().any(|t| t.states.contains(s)) {
                     attrs.push_str(", penwidth=3");
                 }
             }
@@ -47,7 +47,7 @@ impl StateGraph {
             }
             out.push_str(&format!("  s{} [{attrs}];\n", s.index()));
         }
-        for s in self.reachable() {
+        for &s in self.reachable() {
             for &(t, dst) in self.successors(s) {
                 out.push_str(&format!(
                     "  s{} -> s{} [label=\"{}\"];\n",

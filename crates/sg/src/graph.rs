@@ -1,8 +1,11 @@
 //! The state graph automaton.
 
+use crate::analysis::Analysis;
 use crate::signal::{Dir, SignalId, SignalKind, TransitionLabel};
+use crate::stateset::StateSet;
 use nshot_par::FxHashSet;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// Index of a state within a [`StateGraph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -43,9 +46,19 @@ pub struct StateGraph {
     pub(crate) states: Vec<StateData>,
     pub(crate) initial: StateId,
     pub(crate) name: String,
+    /// Bit-parallel analysis cache (reachability, excitation masks, sorted
+    /// edge CSR, per-signal regions), built on first use and shared by
+    /// clones. The graph is immutable after construction, so the cache can
+    /// never go stale.
+    pub(crate) analysis: OnceLock<Arc<Analysis>>,
 }
 
 impl StateGraph {
+    /// The analysis cache, building it on first use.
+    pub(crate) fn analysis(&self) -> &Analysis {
+        self.analysis.get_or_init(|| Arc::new(Analysis::build(self)))
+    }
+
     /// Human-readable name of the specification (benchmark id).
     pub fn name(&self) -> &str {
         &self.name
@@ -126,56 +139,61 @@ impl StateGraph {
         &self.states[s.index()].inn
     }
 
-    /// The transition function `δ(s, t)`.
+    /// The transition function `δ(s, t)`: a binary search over the cached
+    /// label-sorted edge row (determinism guarantees at most one match).
     pub fn delta(&self, s: StateId, t: TransitionLabel) -> Option<StateId> {
-        self.successors(s)
-            .iter()
-            .find(|&&(label, _)| label == t)
-            .map(|&(_, dst)| dst)
+        let row = self.analysis().row(s);
+        row.binary_search_by(|&(label, _)| label.cmp(&t))
+            .ok()
+            .map(|i| row[i].1)
     }
 
     /// `true` if `signal` is excited in `s` (some `*signal` edge leaves `s`).
     pub fn is_excited(&self, s: StateId, signal: SignalId) -> bool {
-        self.successors(s).iter().any(|(l, _)| l.signal == signal)
+        self.excited_mask(s) >> signal.index() & 1 == 1
     }
 
-    /// The set of excited signals of a state.
-    pub fn excited_signals(&self, s: StateId) -> Vec<SignalId> {
-        let mut v: Vec<SignalId> = self
-            .successors(s)
+    /// The excited-signal mask of a state: bit `i` is set iff signal `i` is
+    /// excited in `s`. Bit order matches [`StateGraph::code`].
+    pub fn excited_mask(&self, s: StateId) -> u64 {
+        self.analysis().excited[s.index()]
+    }
+
+    /// [`StateGraph::excited_mask`] restricted to non-input signals.
+    pub fn excited_non_input_mask(&self, s: StateId) -> u64 {
+        self.analysis().excited_non_input[s.index()]
+    }
+
+    /// The mask of non-input signals (bit `i` set iff signal `i` is an
+    /// output or internal signal).
+    pub fn non_input_mask(&self) -> u64 {
+        self.signals
             .iter()
-            .map(|(l, _)| l.signal)
-            .collect();
-        v.sort_unstable();
-        v.dedup();
-        v
+            .enumerate()
+            .filter(|(_, info)| info.kind.is_non_input())
+            .map(|(i, _)| 1u64 << i)
+            .sum()
+    }
+
+    /// The set of excited signals of a state, ascending.
+    pub fn excited_signals(&self, s: StateId) -> Vec<SignalId> {
+        mask_signals(self.excited_mask(s))
     }
 
     /// The set of excited **non-input** signals (used by the CSC check).
     pub fn excited_non_inputs(&self, s: StateId) -> Vec<SignalId> {
-        self.excited_signals(s)
-            .into_iter()
-            .filter(|&x| self.signal_kind(x).is_non_input())
-            .collect()
+        mask_signals(self.excited_non_input_mask(s))
     }
 
-    /// States reachable from the initial state.
-    pub fn reachable(&self) -> Vec<StateId> {
-        let mut seen = vec![false; self.states.len()];
-        let mut stack = vec![self.initial];
-        seen[self.initial.index()] = true;
-        let mut out = Vec::new();
-        while let Some(s) = stack.pop() {
-            out.push(s);
-            for &(_, dst) in self.successors(s) {
-                if !seen[dst.index()] {
-                    seen[dst.index()] = true;
-                    stack.push(dst);
-                }
-            }
-        }
-        out.sort_unstable();
-        out
+    /// States reachable from the initial state, ascending. Computed once
+    /// per graph and cached.
+    pub fn reachable(&self) -> &[StateId] {
+        &self.analysis().reachable
+    }
+
+    /// The reachable states as a bit-packed set.
+    pub fn reachable_set(&self) -> &StateSet {
+        &self.analysis().reachable_set
     }
 
     /// `true` if every state is reachable from the initial state.
@@ -187,7 +205,7 @@ impl StateGraph {
     /// this set (over `2^num_signals`) is the unreachable-code don't-care
     /// space exploited by the synthesis flow.
     pub fn reachable_codes(&self) -> FxHashSet<u64> {
-        self.reachable().into_iter().map(|s| self.code(s)).collect()
+        self.reachable().iter().map(|&s| self.code(s)).collect()
     }
 
     /// Fire the unique enabled transition of `signal` from `s`, if any.
@@ -210,6 +228,16 @@ impl StateGraph {
             .map(|i| if (code >> i) & 1 == 1 { '1' } else { '0' })
             .collect()
     }
+}
+
+/// Unpack a signal mask into ascending [`SignalId`]s.
+fn mask_signals(mut mask: u64) -> Vec<SignalId> {
+    let mut out = Vec::with_capacity(mask.count_ones() as usize);
+    while mask != 0 {
+        out.push(SignalId(mask.trailing_zeros() as u16));
+        mask &= mask - 1;
+    }
+    out
 }
 
 impl fmt::Debug for StateGraph {

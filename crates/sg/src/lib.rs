@@ -34,6 +34,7 @@
 //! # Ok::<(), nshot_sg::SgError>(())
 //! ```
 
+mod analysis;
 mod builder;
 mod check;
 mod csc_repair;
@@ -43,6 +44,7 @@ mod graph;
 mod parse;
 mod regions;
 mod signal;
+mod stateset;
 
 pub use builder::SgBuilder;
 pub use check::{CscViolation, SemiModularityViolation};
@@ -55,6 +57,7 @@ pub use regions::{
     TriggerRegion,
 };
 pub use signal::{Dir, SignalId, SignalKind, TransitionLabel};
+pub use stateset::StateSet;
 
 #[cfg(test)]
 mod fixtures;

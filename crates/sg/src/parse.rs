@@ -213,7 +213,7 @@ impl StateGraph {
         line(crate::SignalKind::Output, ".outputs", &mut out);
         line(crate::SignalKind::Internal, ".internal", &mut out);
         out.push_str(&format!(".initial {}\n", code_string(self.initial())));
-        for s in self.reachable() {
+        for &s in self.reachable() {
             for &(t, dst) in self.successors(s) {
                 out.push_str(&format!(
                     "{} {} {}\n",

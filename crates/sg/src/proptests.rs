@@ -117,12 +117,12 @@ fn pipeline_invariants() {
             assert_eq!(count, sg.num_states());
             // Every ER state is excited; every QR state is stable.
             for er in &regions.excitation {
-                for &s in &er.states {
+                for s in &er.states {
                     assert!(sg.is_excited(s, a));
                 }
             }
             for qr in &regions.quiescent {
-                for &s in &qr.states {
+                for s in &qr.states {
                     assert!(!sg.is_excited(s, a));
                     assert_eq!(sg.value(s, a), qr.instance.dir.target_value());
                 }
@@ -140,12 +140,12 @@ fn trigger_regions_are_closed() {
             let regions = sg.regions_of(a);
             for t in &regions.triggers {
                 let er = &regions.excitation[t.er_index];
-                for &s in &t.states {
-                    assert!(er.states.contains(&s), "TR ⊆ ER");
+                for s in &t.states {
+                    assert!(er.states.contains(s), "TR ⊆ ER");
                     for &(label, dst) in sg.successors(s) {
                         if label.signal != a {
                             assert!(
-                                t.states.contains(&dst),
+                                t.states.contains(dst),
                                 "non-*a edges may not leave a trigger region"
                             );
                         }
@@ -154,6 +154,425 @@ fn trigger_regions_are_closed() {
             }
         }
     });
+}
+
+/// Product of a pipeline with a free-running input "clock": every pipeline
+/// state splits into a clk=0 and a clk=1 copy, with the clock toggling
+/// everywhere. This produces concurrency diamonds, multi-state excitation
+/// and trigger regions, and (for output signals) non-single-traversal
+/// shapes — the structures the bitset analyses must get right.
+fn pipeline_with_clock(kinds: &[bool]) -> crate::StateGraph {
+    let n = kinds.len();
+    let mut b = SgBuilder::named("pipeclock");
+    let ids: Vec<_> = (0..n)
+        .map(|i| {
+            b.signal(
+                &format!("s{i}"),
+                if kinds[i] {
+                    SignalKind::Input
+                } else {
+                    SignalKind::Output
+                },
+            )
+        })
+        .collect();
+    let clk = b.signal("clk", SignalKind::Input);
+    let clk_bit = 1u64 << n;
+    let mut code = 0u64;
+    let mut cycle_codes = vec![0u64];
+    for phase in [true, false] {
+        for (i, &id) in ids.iter().enumerate() {
+            let next = if phase {
+                code | (1 << i)
+            } else {
+                code & !(1 << i)
+            };
+            for clk_v in [0, clk_bit] {
+                b.edge_codes(code | clk_v, (id, phase), next | clk_v)
+                    .expect("consistent by construction");
+            }
+            code = next;
+            cycle_codes.push(code);
+        }
+    }
+    cycle_codes.pop(); // the cycle closes back on 0
+    for &c in &cycle_codes {
+        b.edge_codes(c, (clk, true), c | clk_bit).expect("consistent");
+        b.edge_codes(c | clk_bit, (clk, false), c).expect("consistent");
+    }
+    b.build(0).expect("non-empty")
+}
+
+/// Reference implementations of the analyses on `BTreeSet`/linear-scan
+/// structures — ports of the pre-bitset code, kept as a differential
+/// oracle. They touch none of the cached analysis structures: reachability
+/// is a fresh DFS, excitation scans edge lists, δ is a linear find.
+mod oracle {
+    use crate::graph::{StateGraph, StateId};
+    use crate::signal::{Dir, SignalId, TransitionLabel};
+    use std::collections::{BTreeSet, VecDeque};
+
+    pub fn reachable(sg: &StateGraph) -> Vec<StateId> {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![sg.initial()];
+        seen.insert(sg.initial());
+        while let Some(s) = stack.pop() {
+            for &(_, dst) in sg.successors(s) {
+                if seen.insert(dst) {
+                    stack.push(dst);
+                }
+            }
+        }
+        seen.into_iter().collect()
+    }
+
+    pub fn is_excited(sg: &StateGraph, s: StateId, a: SignalId) -> bool {
+        sg.successors(s).iter().any(|(l, _)| l.signal == a)
+    }
+
+    pub fn excited_signals(sg: &StateGraph, s: StateId) -> Vec<SignalId> {
+        let mut out: Vec<SignalId> = sg.successors(s).iter().map(|(l, _)| l.signal).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    pub fn delta(sg: &StateGraph, s: StateId, t: TransitionLabel) -> Option<StateId> {
+        sg.successors(s).iter().find(|&&(l, _)| l == t).map(|&(_, d)| d)
+    }
+
+    pub fn check_csc(sg: &StateGraph) -> Result<(), Vec<(StateId, StateId, u64)>> {
+        let reach = reachable(sg);
+        let mut by_code: nshot_par::FxHashMap<u64, Vec<StateId>> = Default::default();
+        for &s in &reach {
+            by_code.entry(sg.code(s)).or_default().push(s);
+        }
+        let excited_non_inputs = |s: StateId| -> Vec<SignalId> {
+            excited_signals(sg, s)
+                .into_iter()
+                .filter(|&a| sg.signal_kind(a).is_non_input())
+                .collect()
+        };
+        let mut violations = Vec::new();
+        for (&code, states) in &by_code {
+            for i in 0..states.len() {
+                for j in (i + 1)..states.len() {
+                    if excited_non_inputs(states[i]) != excited_non_inputs(states[j]) {
+                        violations.push((states[i], states[j], code));
+                    }
+                }
+            }
+        }
+        violations.sort_by_key(|&(a, b, _)| (a, b));
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations)
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    pub fn check_semi_modular(
+        sg: &StateGraph,
+    ) -> Result<(), Vec<(StateId, TransitionLabel, TransitionLabel)>> {
+        let mut violations = Vec::new();
+        for s in reachable(sg) {
+            let succ = sg.successors(s).to_vec();
+            for &(t1, s1) in &succ {
+                if !sg.signal_kind(t1.signal).is_non_input() {
+                    continue;
+                }
+                for &(t2, s2) in &succ {
+                    if t1 == t2 {
+                        continue;
+                    }
+                    let via_t2 = delta(sg, s2, t1);
+                    let via_t1 = delta(sg, s1, t2);
+                    let ok = matches!((via_t2, via_t1), (Some(a), Some(b)) if a == b);
+                    if !ok {
+                        violations.push((s, t1, t2));
+                    }
+                }
+            }
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations)
+        }
+    }
+
+    /// Region decomposition on tree sets: `(dir, states)` per excitation
+    /// region in discovery order, quiescent regions parallel to them, and
+    /// `(er_index, states)` per trigger region.
+    pub struct Regions {
+        pub excitation: Vec<(Dir, BTreeSet<StateId>)>,
+        pub quiescent: Vec<BTreeSet<StateId>>,
+        pub triggers: Vec<(usize, BTreeSet<StateId>)>,
+    }
+
+    pub fn regions_of(sg: &StateGraph, signal: SignalId) -> Regions {
+        let reach: BTreeSet<StateId> = reachable(sg).into_iter().collect();
+        let mut excitation: Vec<(Dir, BTreeSet<StateId>)> = Vec::new();
+        for dir in [Dir::Rise, Dir::Fall] {
+            let value_before = !dir.target_value();
+            let members: BTreeSet<StateId> = reach
+                .iter()
+                .copied()
+                .filter(|&s| is_excited(sg, s, signal) && sg.value(s, signal) == value_before)
+                .collect();
+            let mut assigned = BTreeSet::new();
+            for &start in &members {
+                if assigned.contains(&start) {
+                    continue;
+                }
+                let mut component = BTreeSet::from([start]);
+                let mut queue = VecDeque::from([start]);
+                while let Some(s) = queue.pop_front() {
+                    let neighbours = sg
+                        .successors(s)
+                        .iter()
+                        .map(|&(_, d)| d)
+                        .chain(sg.predecessors(s).iter().map(|&(_, d)| d));
+                    for n in neighbours {
+                        if members.contains(&n) && component.insert(n) {
+                            queue.push_back(n);
+                        }
+                    }
+                }
+                assigned.extend(component.iter().copied());
+                excitation.push((dir, component));
+            }
+        }
+
+        let mut quiescent = Vec::new();
+        for (dir, er) in &excitation {
+            let target = dir.target_value();
+            let mut seen: BTreeSet<StateId> = BTreeSet::new();
+            let mut queue: VecDeque<StateId> = VecDeque::new();
+            let admit = |dst: StateId, seen: &mut BTreeSet<StateId>| {
+                reach.contains(&dst)
+                    && sg.value(dst, signal) == target
+                    && !is_excited(sg, dst, signal)
+                    && seen.insert(dst)
+            };
+            for &s in er {
+                if let Some((_, dst)) = sg.fire_signal(s, signal) {
+                    if admit(dst, &mut seen) {
+                        queue.push_back(dst);
+                    }
+                }
+            }
+            while let Some(s) = queue.pop_front() {
+                for &(_, dst) in sg.successors(s) {
+                    if admit(dst, &mut seen) {
+                        queue.push_back(dst);
+                    }
+                }
+            }
+            quiescent.push(seen);
+        }
+
+        let mut triggers = Vec::new();
+        for (er_index, (_, er)) in excitation.iter().enumerate() {
+            for scc in terminal_sccs(sg, signal, er) {
+                triggers.push((er_index, scc));
+            }
+        }
+
+        Regions {
+            excitation,
+            quiescent,
+            triggers,
+        }
+    }
+
+    /// Recursive Tarjan is fine here: oracle inputs are small by
+    /// construction.
+    fn terminal_sccs(
+        sg: &StateGraph,
+        signal: SignalId,
+        states: &BTreeSet<StateId>,
+    ) -> Vec<BTreeSet<StateId>> {
+        let nodes: Vec<StateId> = states.iter().copied().collect();
+        let succ: Vec<Vec<usize>> = nodes
+            .iter()
+            .map(|&s| {
+                sg.successors(s)
+                    .iter()
+                    .filter(|(l, _)| l.signal != signal)
+                    .filter_map(|&(_, d)| nodes.binary_search(&d).ok())
+                    .collect()
+            })
+            .collect();
+        struct Tarjan<'a> {
+            succ: &'a [Vec<usize>],
+            index: Vec<usize>,
+            low: Vec<usize>,
+            on_stack: Vec<bool>,
+            stack: Vec<usize>,
+            next: usize,
+            sccs: Vec<Vec<usize>>,
+            scc_of: Vec<usize>,
+        }
+        impl Tarjan<'_> {
+            fn visit(&mut self, v: usize) {
+                self.index[v] = self.next;
+                self.low[v] = self.next;
+                self.next += 1;
+                self.stack.push(v);
+                self.on_stack[v] = true;
+                for i in 0..self.succ[v].len() {
+                    let w = self.succ[v][i];
+                    if self.index[w] == usize::MAX {
+                        self.visit(w);
+                        self.low[v] = self.low[v].min(self.low[w]);
+                    } else if self.on_stack[w] {
+                        self.low[v] = self.low[v].min(self.index[w]);
+                    }
+                }
+                if self.low[v] == self.index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = self.stack.pop().unwrap();
+                        self.on_stack[w] = false;
+                        self.scc_of[w] = self.sccs.len();
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    self.sccs.push(comp);
+                }
+            }
+        }
+        let n = nodes.len();
+        let mut t = Tarjan {
+            succ: &succ,
+            index: vec![usize::MAX; n],
+            low: vec![0; n],
+            on_stack: vec![false; n],
+            stack: Vec::new(),
+            next: 0,
+            sccs: Vec::new(),
+            scc_of: vec![usize::MAX; n],
+        };
+        for v in 0..n {
+            if t.index[v] == usize::MAX {
+                t.visit(v);
+            }
+        }
+        let mut terminal = vec![true; t.sccs.len()];
+        for v in 0..n {
+            for &w in &succ[v] {
+                if t.scc_of[v] != t.scc_of[w] {
+                    terminal[t.scc_of[v]] = false;
+                }
+            }
+        }
+        t.sccs
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| terminal[i])
+            .map(|(_, comp)| comp.iter().map(|&i| nodes[i]).collect())
+            .collect()
+    }
+}
+
+/// Compare every bitset-backed analysis of `sg` against the oracle.
+fn assert_matches_oracle(sg: &crate::StateGraph) {
+    use crate::signal::TransitionLabel;
+
+    // Reachability: slice, set view and codes.
+    let reach = oracle::reachable(sg);
+    assert_eq!(sg.reachable(), &reach[..]);
+    assert_eq!(sg.reachable_set().iter().collect::<Vec<_>>(), reach);
+    assert_eq!(sg.reachable_set().len(), reach.len());
+
+    // Excitation masks and δ on every state (present and absent labels).
+    for s in sg.state_ids() {
+        assert_eq!(sg.excited_signals(s), oracle::excited_signals(sg, s));
+        for a in sg.signal_ids() {
+            assert_eq!(sg.is_excited(s, a), oracle::is_excited(sg, s, a));
+            for label in [TransitionLabel::rise(a), TransitionLabel::fall(a)] {
+                assert_eq!(sg.delta(s, label), oracle::delta(sg, s, label));
+            }
+        }
+    }
+
+    // CSC: same verdict, same witnesses in the same order.
+    match (sg.check_csc(), oracle::check_csc(sg)) {
+        (Ok(()), Ok(())) => {}
+        (Err(new), Err(old)) => {
+            let new: Vec<_> = new.iter().map(|v| (v.a, v.b, v.code)).collect();
+            assert_eq!(new, old);
+        }
+        (new, old) => panic!("CSC verdicts differ: {new:?} vs {old:?}"),
+    }
+
+    // Semi-modularity: same verdict, same witnesses in the same order.
+    match (sg.check_semi_modular(), oracle::check_semi_modular(sg)) {
+        (Ok(()), Ok(())) => {}
+        (Err(new), Err(old)) => {
+            let new: Vec<_> = new.iter().map(|v| (v.state, v.t1, v.t2)).collect();
+            assert_eq!(new, old);
+        }
+        (new, old) => panic!("semi-modularity verdicts differ: {new:?} vs {old:?}"),
+    }
+
+    // Regions of every signal: same regions, same discovery order.
+    for a in sg.signal_ids() {
+        let new = sg.regions_of(a);
+        let old = oracle::regions_of(sg, a);
+        assert_eq!(new.excitation.len(), old.excitation.len());
+        for (ner, (odir, oer)) in new.excitation.iter().zip(&old.excitation) {
+            assert_eq!(ner.instance.dir, *odir);
+            assert_eq!(
+                ner.states.iter().collect::<Vec<_>>(),
+                oer.iter().copied().collect::<Vec<_>>()
+            );
+        }
+        assert_eq!(new.quiescent.len(), old.quiescent.len());
+        for (nqr, oqr) in new.quiescent.iter().zip(&old.quiescent) {
+            assert_eq!(
+                nqr.states.iter().collect::<Vec<_>>(),
+                oqr.iter().copied().collect::<Vec<_>>()
+            );
+        }
+        assert_eq!(new.triggers.len(), old.triggers.len());
+        for (ntr, (oi, otr)) in new.triggers.iter().zip(&old.triggers) {
+            assert_eq!(ntr.er_index, *oi);
+            assert_eq!(
+                ntr.states.iter().collect::<Vec<_>>(),
+                otr.iter().copied().collect::<Vec<_>>()
+            );
+        }
+    }
+}
+
+#[test]
+fn bitset_analyses_match_btreeset_oracle() {
+    prop::check("sg_bitset_vs_oracle", |g| {
+        let kinds = g.vec_bool(2, 6);
+        assert_matches_oracle(&pipeline_sg(&kinds));
+        assert_matches_oracle(&pipeline_with_clock(&kinds));
+    });
+    assert_matches_oracle(&parallel_handshakes());
+}
+
+#[test]
+fn oracle_agrees_on_pathological_fixtures() {
+    // Shapes the random generators cannot produce: CSC violations (distinct
+    // states sharing a code) and semi-modularity violations.
+    use crate::fixtures;
+    for sg in [
+        fixtures::handshake(),
+        fixtures::figure1(),
+        fixtures::figure1_csc(),
+        fixtures::figure7b(),
+    ] {
+        assert_matches_oracle(&sg);
+    }
 }
 
 #[test]

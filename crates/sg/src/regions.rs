@@ -1,8 +1,21 @@
 //! Excitation, quiescent and trigger regions (Definitions 5–7).
+//!
+//! Region decomposition is pure set algebra over the reachable states, so
+//! the sets here are bit-packed [`StateSet`]s and the traversals
+//! (connected components, quiescent forward closure, terminal SCCs) run on
+//! the cached analysis structures. Every discovery order matches the legacy
+//! `BTreeSet` implementation — components are found from their smallest
+//! member upward, SCC roots are visited ascending — so the produced
+//! `SignalRegions` (including vector order and occurrence indices) are
+//! identical; only the representation and the cost changed. The
+//! decomposition of each signal is computed at most once per graph (see
+//! [`StateGraph::regions_of`]).
 
 use crate::graph::{StateGraph, StateId};
 use crate::signal::{Dir, SignalId};
-use std::collections::{BTreeSet, VecDeque};
+use crate::stateset::StateSet;
+use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// An occurrence `*a_i` of a signal transition, identified by its excitation
 /// region (the paper indexes transitions by `i`; regions and transition
@@ -24,7 +37,7 @@ pub struct ExcitationRegion {
     /// Which transition occurrence this region belongs to.
     pub instance: TransitionInstance,
     /// The states of the region.
-    pub states: BTreeSet<StateId>,
+    pub states: StateSet,
 }
 
 /// A quiescent region `QR(*a_i)` (Definition 6): the maximal connected set of
@@ -36,7 +49,7 @@ pub struct QuiescentRegion {
     pub instance: TransitionInstance,
     /// The states of the region (possibly empty if the signal is immediately
     /// re-excited).
-    pub states: BTreeSet<StateId>,
+    pub states: StateSet,
 }
 
 /// A trigger region `TR(*a)` (Definition 7): a minimal connected set of
@@ -51,7 +64,7 @@ pub struct TriggerRegion {
     /// Index into [`SignalRegions::excitation`] of the owning region.
     pub er_index: usize,
     /// The states of the trigger region.
-    pub states: BTreeSet<StateId>,
+    pub states: StateSet,
 }
 
 /// Table 1 classification of a state with respect to a signal: which
@@ -106,27 +119,32 @@ impl SignalRegions {
 }
 
 impl StateGraph {
-    /// Compute the region decomposition of `signal` over the reachable states.
-    pub fn regions_of(&self, signal: SignalId) -> SignalRegions {
-        let reachable = self.reachable();
-        let in_reach = {
-            let mut v = vec![false; self.num_states()];
-            for &s in &reachable {
-                v[s.index()] = true;
-            }
-            v
-        };
+    /// The region decomposition of `signal` over the reachable states.
+    ///
+    /// Computed at most once per graph per signal; repeated calls (the
+    /// synthesis flow consults the decomposition in the classify, trigger
+    /// and trapping stages) return the cached `Arc`.
+    pub fn regions_of(&self, signal: SignalId) -> Arc<SignalRegions> {
+        let analysis = self.analysis();
+        analysis.regions[signal.index()]
+            .get_or_init(|| Arc::new(self.compute_regions(signal)))
+            .clone()
+    }
+
+    fn compute_regions(&self, signal: SignalId) -> SignalRegions {
+        let reach = self.reachable_set();
 
         // --- Excitation regions: connected components of excited states,
         // separated by current value.
         let mut excitation = Vec::new();
         for dir in [Dir::Rise, Dir::Fall] {
             let value_before = !dir.target_value();
-            let members: BTreeSet<StateId> = reachable
-                .iter()
-                .copied()
-                .filter(|&s| self.is_excited(s, signal) && self.value(s, signal) == value_before)
-                .collect();
+            let mut members = StateSet::new(self.num_states());
+            for s in reach {
+                if self.is_excited(s, signal) && self.value(s, signal) == value_before {
+                    members.insert(s);
+                }
+            }
             for component in self.connected_components(&members) {
                 excitation.push(ExcitationRegion {
                     instance: TransitionInstance {
@@ -159,26 +177,24 @@ impl StateGraph {
         let mut quiescent = Vec::new();
         for er in &excitation {
             let target = er.instance.dir.target_value();
-            let mut seen: BTreeSet<StateId> = BTreeSet::new();
+            let mut seen = StateSet::new(self.num_states());
             let mut queue: VecDeque<StateId> = VecDeque::new();
-            for &s in &er.states {
+            let admit = |dst: StateId, seen: &mut StateSet| {
+                reach.contains(dst)
+                    && self.value(dst, signal) == target
+                    && !self.is_excited(dst, signal)
+                    && seen.insert(dst)
+            };
+            for s in &er.states {
                 if let Some((_, dst)) = self.fire_signal(s, signal) {
-                    if in_reach[dst.index()]
-                        && self.value(dst, signal) == target
-                        && !self.is_excited(dst, signal)
-                        && seen.insert(dst)
-                    {
+                    if admit(dst, &mut seen) {
                         queue.push_back(dst);
                     }
                 }
             }
             while let Some(s) = queue.pop_front() {
                 for &(_, dst) in self.successors(s) {
-                    if in_reach[dst.index()]
-                        && self.value(dst, signal) == target
-                        && !self.is_excited(dst, signal)
-                        && seen.insert(dst)
-                    {
+                    if admit(dst, &mut seen) {
                         queue.push_back(dst);
                     }
                 }
@@ -228,15 +244,16 @@ impl StateGraph {
             .all(|a| self.regions_of(a).is_single_traversal())
     }
 
-    /// Undirected connected components of the induced subgraph on `members`.
-    fn connected_components(&self, members: &BTreeSet<StateId>) -> Vec<BTreeSet<StateId>> {
+    /// Undirected connected components of the induced subgraph on `members`,
+    /// in ascending order of their smallest member.
+    fn connected_components(&self, members: &StateSet) -> Vec<StateSet> {
         let mut components = Vec::new();
-        let mut assigned: BTreeSet<StateId> = BTreeSet::new();
-        for &start in members {
-            if assigned.contains(&start) {
+        let mut assigned = StateSet::new(self.num_states());
+        for start in members {
+            if assigned.contains(start) {
                 continue;
             }
-            let mut component = BTreeSet::new();
+            let mut component = StateSet::new(self.num_states());
             let mut queue = VecDeque::from([start]);
             component.insert(start);
             while let Some(s) = queue.pop_front() {
@@ -246,12 +263,12 @@ impl StateGraph {
                     .map(|&(_, d)| d)
                     .chain(self.predecessors(s).iter().map(|&(_, d)| d));
                 for n in neighbours {
-                    if members.contains(&n) && component.insert(n) {
+                    if members.contains(n) && component.insert(n) {
                         queue.push_back(n);
                     }
                 }
             }
-            assigned.extend(component.iter().copied());
+            assigned.union_with(&component);
             components.push(component);
         }
         components
@@ -260,12 +277,8 @@ impl StateGraph {
 
 /// Terminal SCCs of the subgraph induced on `states` by edges not labelled
 /// with `signal` (iterative Tarjan to survive deep graphs).
-fn terminal_sccs(
-    sg: &StateGraph,
-    signal: SignalId,
-    states: &BTreeSet<StateId>,
-) -> Vec<BTreeSet<StateId>> {
-    let nodes: Vec<StateId> = states.iter().copied().collect();
+fn terminal_sccs(sg: &StateGraph, signal: SignalId, states: &StateSet) -> Vec<StateSet> {
+    let nodes: Vec<StateId> = states.iter().collect();
     let index_of = |s: StateId| nodes.binary_search(&s).ok();
     let succ: Vec<Vec<usize>> = nodes
         .iter()
@@ -344,7 +357,9 @@ fn terminal_sccs(
     sccs.iter()
         .enumerate()
         .filter(|&(i, _)| terminal[i])
-        .map(|(_, comp)| comp.iter().map(|&i| nodes[i]).collect())
+        .map(|(_, comp)| {
+            StateSet::from_iter(sg.num_states(), comp.iter().map(|&i| nodes[i]))
+        })
         .collect()
 }
 
@@ -372,6 +387,18 @@ mod tests {
     }
 
     #[test]
+    fn regions_are_cached_per_signal() {
+        let sg = fixtures::handshake();
+        let g = sg.signal_by_name("g").unwrap();
+        let first = sg.regions_of(g);
+        let second = sg.regions_of(g);
+        assert!(
+            std::sync::Arc::ptr_eq(&first, &second),
+            "repeated regions_of must return the cached decomposition"
+        );
+    }
+
+    #[test]
     fn figure1_regions_of_c() {
         let sg = fixtures::figure1();
         let c = sg.signal_by_name("c").unwrap();
@@ -391,7 +418,7 @@ mod tests {
             .collect();
         assert_eq!(trigs.len(), 1);
         assert_eq!(trigs[0].states.len(), 1);
-        let &only = trigs[0].states.iter().next().unwrap();
+        let only = trigs[0].states.first().unwrap();
         assert_eq!(sg.code_string(only), "110");
         assert!(regions.is_single_traversal());
     }
@@ -404,7 +431,7 @@ mod tests {
         let qr_up = regions.quiescent_of(Dir::Rise).next().unwrap();
         // After +c the high-and-stable states are traversed until ER(-c).
         assert!(!qr_up.states.is_empty());
-        for &s in &qr_up.states {
+        for s in &qr_up.states {
             assert!(sg.value(s, c));
             assert!(!sg.is_excited(s, c));
         }
@@ -415,7 +442,7 @@ mod tests {
         let sg = fixtures::figure1_csc();
         let c = sg.signal_by_name("c").unwrap();
         let mut counts = [0usize; 4];
-        for s in sg.reachable() {
+        for &s in sg.reachable() {
             match sg.region_mode(s, c) {
                 RegionMode::ExcitedUp => counts[0] += 1,
                 RegionMode::StableHigh => counts[1] += 1,
@@ -466,9 +493,9 @@ mod tests {
                 for (ei, er) in regions.excitation.iter().enumerate() {
                     let trig_states: std::collections::BTreeSet<_> = regions
                         .triggers_of(ei)
-                        .flat_map(|t| t.states.iter().copied())
+                        .flat_map(|t| t.states.iter())
                         .collect();
-                    for &s in &er.states {
+                    for s in &er.states {
                         // BFS along non-*a edges inside the ER.
                         let mut seen = std::collections::BTreeSet::from([s]);
                         let mut queue = std::collections::VecDeque::from([s]);
@@ -478,7 +505,7 @@ mod tests {
                                 break;
                             }
                             for &(l, d) in sg.successors(x) {
-                                if l.signal != a && er.states.contains(&d) && seen.insert(d) {
+                                if l.signal != a && er.states.contains(d) && seen.insert(d) {
                                     if trig_states.contains(&d) {
                                         hit = true;
                                     }

@@ -245,14 +245,15 @@ fn run_conformance(
             }
             None => {
                 // Quiescent: if the spec still expects non-input activity,
-                // the circuit is stuck.
-                let expected: Vec<String> = sg
-                    .successors(state)
-                    .iter()
-                    .filter(|(l, _)| sg.signal_kind(l.signal).is_non_input())
-                    .map(|(l, _)| sg.signal_name(l.signal).to_owned())
-                    .collect();
-                if !expected.is_empty() {
+                // the circuit is stuck. The cheap mask test gates the
+                // name-building (edge order preserved for the report).
+                if sg.excited_non_input_mask(state) != 0 {
+                    let expected: Vec<String> = sg
+                        .successors(state)
+                        .iter()
+                        .filter(|(l, _)| sg.signal_kind(l.signal).is_non_input())
+                        .map(|(l, _)| sg.signal_name(l.signal).to_owned())
+                        .collect();
                     violations.push(HazardViolation::Deadlock {
                         time_ps: sim.now_ps(),
                         state_code: sg.code(state),

@@ -26,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = SetResetSpec::derive(&sg, c);
     println!("\nTable 1 for signal c:");
     println!("  {:<12} SET RESET  mode", "state");
-    for s in sg.reachable() {
+    for &s in sg.reachable() {
         let (set, reset, mode) = spec.table1_row(&sg, s);
         println!("  {:<12} {set:^3} {reset:^5}  {mode}", sg.code_string(s));
     }

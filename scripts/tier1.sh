@@ -17,6 +17,9 @@ for crate in nshot-sg nshot-stg nshot-logic nshot-netlist nshot-core nshot-sim; 
   cargo test --release -p "$crate" --features proptest -q
 done
 
+echo "== tier1: classify perf smoke (full suite analysis under budget) =="
+cargo run --release -p nshot-bench --bin classify_smoke -- 20000
+
 echo "== tier1: model-checker smoke (1-circuit proof, both thread counts) =="
 cargo run --release -p nshot-bench --bin modelcheck -- chu133 /tmp/BENCH_mc_smoke.json
 grep -q '"all_hazard_free": true' /tmp/BENCH_mc_smoke.json \

@@ -55,7 +55,7 @@ fn syn_covers_are_monotonous() {
                 assert_eq!(cover.num_cubes(), ers.len(), "{name}: one cube per ER");
                 for ((er, qr), cube) in ers.iter().zip(cover.iter()) {
                     // Covers its ER…
-                    for &s in &er.states {
+                    for s in &er.states {
                         assert!(cube.contains_minterm(sg.code(s)));
                     }
                     // …and no reachable state outside ER ∪ QR_i.
@@ -63,9 +63,9 @@ fn syn_covers_are_monotonous() {
                         .states
                         .iter()
                         .chain(qr.states.iter())
-                        .map(|&s| sg.code(s))
+                        .map(|s| sg.code(s))
                         .collect();
-                    for s in sg.reachable() {
+                    for &s in sg.reachable() {
                         let code = sg.code(s);
                         if cube.contains_minterm(code) {
                             assert!(allowed.contains(&code), "{name}: monotonicity violated");
@@ -83,7 +83,7 @@ fn sis_covers_implement_next_state_functions() {
         let sg = nshot::benchmarks::by_name(name).expect("in suite").build();
         let imp = sis(&sg, &DelayModel::nominal()).expect("distributive");
         for (a, cover) in &imp.covers {
-            for s in sg.reachable() {
+            for &s in sg.reachable() {
                 let expect = sg.value(s, *a) != sg.is_excited(s, *a);
                 assert_eq!(
                     cover.contains_minterm(sg.code(s)),

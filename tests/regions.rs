@@ -20,7 +20,7 @@ fn excitation_regions_partition_excited_states() {
             let regions = sg.regions_of(a);
             let mut seen: BTreeSet<_> = BTreeSet::new();
             for er in &regions.excitation {
-                for &s in &er.states {
+                for s in &er.states {
                     assert!(sg.is_excited(s, a), "{}: ER state not excited", sg.name());
                     assert!(
                         seen.insert(s),
@@ -38,7 +38,7 @@ fn excitation_regions_partition_excited_states() {
                 }
             }
             // Every excited state is in some ER.
-            for s in sg.reachable() {
+            for &s in sg.reachable() {
                 if sg.is_excited(s, a) {
                     assert!(seen.contains(&s), "{}: excited state missed", sg.name());
                 }
@@ -53,7 +53,7 @@ fn quiescent_regions_are_stable_at_the_new_value() {
         for a in sg.non_input_signals() {
             let regions = sg.regions_of(a);
             for qr in &regions.quiescent {
-                for &s in &qr.states {
+                for s in &qr.states {
                     assert!(!sg.is_excited(s, a), "{}: QR state excited", sg.name());
                     assert_eq!(
                         sg.value(s, a),
@@ -73,7 +73,7 @@ fn region_modes_partition_reachable_states() {
     for sg in analysed() {
         for a in sg.non_input_signals() {
             let mut counts = [0usize; 4];
-            for s in sg.reachable() {
+            for &s in sg.reachable() {
                 let i = match sg.region_mode(s, a) {
                     RegionMode::ExcitedUp => 0,
                     RegionMode::StableHigh => 1,
@@ -97,7 +97,7 @@ fn rising_and_falling_regions_alternate() {
         for a in sg.non_input_signals() {
             let regions = sg.regions_of(a);
             for er in &regions.excitation {
-                for &s in &er.states {
+                for s in &er.states {
                     let (dir, dst) = sg.fire_signal(s, a).expect("ER states fire *a");
                     assert_eq!(dir, er.instance.dir);
                     if sg.is_excited(dst, a) {
