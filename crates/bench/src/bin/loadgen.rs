@@ -4,8 +4,13 @@
 //! ```text
 //! loadgen [--addr HOST:PORT] [--concurrency N] [--passes N]
 //!         [--circuits a,b,c] [--format blif|verilog|none]
-//!         [--out PATH] [--no-shutdown] [--store DIR]
+//!         [--out PATH] [--no-shutdown] [--store DIR] [--gen N]
 //! ```
+//!
+//! With `--gen N` the workload mixes in N seeded specifications from
+//! `nshot-gen` (seeds `0..N`), each a distinct request key: a
+//! high-cardinality mix whose cache behaviour and latency are reported in
+//! the `generated` section, separate from the suite figures.
 //!
 //! With `--store DIR` (in-process mode only) the server persists its
 //! response cache to the artifact store, and after the measured run a
@@ -42,6 +47,10 @@ struct Options {
     out: String,
     shutdown: bool,
     store: Option<String>,
+    /// Number of `nshot-gen` seeded specs mixed into the workload (seeds
+    /// `0..gen`): a high-cardinality request mix that the response cache
+    /// cannot collapse the way it collapses the 25-circuit suite.
+    gen: usize,
 }
 
 impl Default for Options {
@@ -55,6 +64,7 @@ impl Default for Options {
             out: "BENCH_server.json".into(),
             shutdown: true,
             store: None,
+            gen: 0,
         }
     }
 }
@@ -67,6 +77,10 @@ struct ClientReport {
     protocol_errors: Vec<String>,
     cache_hits: u64,
     latency: LatencyHistogram,
+    /// Same figures restricted to the `--gen` portion of the workload.
+    gen_ok: u64,
+    gen_hits: u64,
+    gen_latency: LatencyHistogram,
 }
 
 fn main() -> std::process::ExitCode {
@@ -108,11 +122,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--out" => opts.out = value("--out")?,
             "--no-shutdown" => opts.shutdown = false,
             "--store" => opts.store = Some(value("--store")?),
+            "--gen" => {
+                opts.gen = value("--gen")?
+                    .parse()
+                    .map_err(|_| "--gen must be an integer".to_string())?;
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: loadgen [--addr HOST:PORT] [--concurrency N] [--passes N] \
                      [--circuits a,b,c] [--format blif|verilog|none] [--out PATH] \
-                     [--no-shutdown] [--store DIR]"
+                     [--no-shutdown] [--store DIR] [--gen N]"
                 );
                 std::process::exit(0);
             }
@@ -140,7 +159,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some(list) => list.clone(),
         None => suite.iter().map(|b| b.name.to_owned()).collect(),
     };
-    let specs: Vec<(String, String)> = names
+    let mut specs: Vec<(String, String)> = names
         .iter()
         .map(|n| {
             nshot_benchmarks::by_name(n)
@@ -148,6 +167,16 @@ fn run(args: &[String]) -> Result<(), String> {
                 .ok_or_else(|| format!("unknown circuit '{n}'"))
         })
         .collect::<Result<_, _>>()?;
+
+    // High-cardinality mix: append `--gen` seeded specs from nshot-gen.
+    // Every seed yields a distinct spec text, so each is its own cache key.
+    let gen_cfg = nshot_gen::GenConfig::default();
+    for seed in 0..opts.gen as u64 {
+        let spec = nshot_gen::draw(seed, &gen_cfg)
+            .map_err(|r| format!("gen seed {seed} rejected: {r}"))?;
+        specs.push((format!("gen{seed}"), spec.sg.to_text()));
+    }
+    let specs = specs;
 
     // Ground truth for the byte-identity check, computed once up front.
     let expected: Vec<String> = specs
@@ -336,20 +365,47 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut rejected = 0u64;
     let mut cache_hits = 0u64;
     let mut protocol_errors: Vec<String> = Vec::new();
+    let mut gen_ok = 0u64;
+    let mut gen_hits = 0u64;
+    let mut gen_latency = LatencyHistogram::default();
     for r in reports {
         latency.merge(&r.latency);
         ok += r.ok;
         rejected += r.rejected;
         cache_hits += r.cache_hits;
         protocol_errors.extend(r.protocol_errors);
+        gen_ok += r.gen_ok;
+        gen_hits += r.gen_hits;
+        gen_latency.merge(&r.gen_latency);
     }
     protocol_errors.extend(warm_errors);
     let sent = (opts.concurrency * opts.passes * specs.len()) as u64;
     let throughput = (ok + rejected) as f64 / (wall_ms / 1e3);
 
+    // The `--gen` section: cache behaviour and latency of the seeded,
+    // high-cardinality half of the mix on its own.
+    let gen_json = (opts.gen > 0).then(|| {
+        let gen_hit_rate = if gen_ok > 0 {
+            gen_hits as f64 / gen_ok as f64
+        } else {
+            0.0
+        };
+        format!(
+            "{{\"count\": {}, \"seeds\": \"0..{}\", \"ok\": {gen_ok}, \"cache_hits\": {gen_hits}, \"hit_rate\": {gen_hit_rate:.4}, \"latency_us\": {{\"count\": {}, \"p50\": {}, \"p99\": {}, \"mean\": {}, \"max\": {}}}}}",
+            opts.gen,
+            opts.gen,
+            gen_latency.count(),
+            gen_latency.p50_us(),
+            gen_latency.p99_us(),
+            gen_latency.mean_us(),
+            gen_latency.max_us(),
+        )
+    });
+
     let report = render_report(
         &opts, &names, sent, ok, rejected, cache_hits, &protocol_errors, wall_ms,
         throughput, &latency, &stats, &stage_timings, store_json.as_deref(),
+        gen_json.as_deref(),
     );
     std::fs::write(&opts.out, report).map_err(|e| format!("{}: {e}", opts.out))?;
     eprintln!(
@@ -399,6 +455,7 @@ fn client_loop(
         ])
         .to_string();
 
+        let is_gen = i >= specs.len() - opts.gen;
         let t0 = Instant::now();
         let raw = match send_line(&mut writer, &mut reader, &line) {
             Ok(raw) => raw,
@@ -407,7 +464,11 @@ fn client_loop(
                 return report; // the connection is gone
             }
         };
-        report.latency.record(t0.elapsed().as_micros() as u64);
+        let elapsed_us = t0.elapsed().as_micros() as u64;
+        report.latency.record(elapsed_us);
+        if is_gen {
+            report.gen_latency.record(elapsed_us);
+        }
 
         let response = match json::parse(&raw) {
             Ok(v) => v,
@@ -421,8 +482,14 @@ fn client_loop(
         match response.get("code").and_then(Json::as_u64) {
             Some(200) => {
                 report.ok += 1;
+                if is_gen {
+                    report.gen_ok += 1;
+                }
                 if response.get("cached").and_then(Json::as_bool) == Some(true) {
                     report.cache_hits += 1;
+                    if is_gen {
+                        report.gen_hits += 1;
+                    }
                 }
                 // Byte-identity against the direct library call.
                 if opts.format != "none" {
@@ -568,6 +635,7 @@ fn render_report(
     stats: &Json,
     stage_timings: &[(String, StageStat)],
     store_json: Option<&str>,
+    gen_json: Option<&str>,
 ) -> String {
     let stage_json = stage_timings
         .iter()
@@ -607,7 +675,7 @@ fn render_report(
          \x20 \"generated_by\": \"cargo run --release -p nshot-bench --bin loadgen\",\n\
          \x20 \"note\": \"single-container numbers; client, server and workers share the same cores, so throughput is a lower bound\",\n\
          \x20 \"hardware\": {{\"available_parallelism\": {par}}},\n\
-         \x20 \"workload\": {{\"concurrency\": {conc}, \"passes\": {passes}, \"format\": \"{format}\", \"circuits\": [{names_json}]}},\n\
+         \x20 \"workload\": {{\"concurrency\": {conc}, \"passes\": {passes}, \"format\": \"{format}\", \"gen\": {gen}, \"circuits\": [{names_json}]}},\n\
          \x20 \"requests\": {{\"sent\": {sent}, \"ok\": {ok}, \"rejected\": {rejected}, \"protocol_errors\": {perr}}},\n\
          \x20 \"byte_identical_with_direct_calls\": {ident},\n\
          \x20 \"wall_ms\": {wall_ms:.2},\n\
@@ -615,10 +683,13 @@ fn render_report(
          \x20 \"client_latency_us\": {{\"count\": {count}, \"p50\": {p50}, \"p99\": {p99}, \"mean\": {mean}, \"max\": {max}, \"buckets\": [{buckets}]}},\n\
          \x20 \"stage_timings_us\": {{{stage_json}}},\n\
          \x20 \"response_cache\": {{\"client_observed_hits\": {cache_hits}, \"client_hit_rate\": {hit_rate:.4}, \"server\": {stats_line}}},\n\
+         \x20 \"generated\": {gen_line},\n\
          \x20 \"store\": {store_line}\n\
          }}\n",
+        gen_line = gen_json.unwrap_or("null"),
         store_line = store_json.unwrap_or("null"),
         par = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        gen = opts.gen,
         conc = opts.concurrency,
         passes = opts.passes,
         format = opts.format,

@@ -1,0 +1,144 @@
+//! Delta-debugging over recipes.
+//!
+//! A counterexample found by the fuzz loop is a *recipe*, so shrinking works
+//! on structure rather than text: drop whole fragments, then reduce each
+//! fragment's parameters one notch at a time ([`Fragment::shrink_steps`]),
+//! re-checking the failure predicate after every candidate edit. The result
+//! is 1-minimal — no single fragment removal or parameter step preserves
+//! the failure.
+
+use crate::recipe::Recipe;
+
+/// Greedily minimize `recipe` while `still_fails` keeps returning `true`.
+///
+/// The predicate is called on candidate recipes only (never on the input),
+/// and the returned recipe is always one for which it returned `true` — or
+/// the input itself if no candidate failed. Deterministic: candidates are
+/// tried in a fixed order (fragment removals front-to-back, then each
+/// fragment's parameter steps) and the first still-failing one is adopted
+/// before restarting.
+pub fn shrink<F: FnMut(&Recipe) -> bool>(recipe: &Recipe, mut still_fails: F) -> Recipe {
+    let mut current = recipe.clone();
+    'restart: loop {
+        // Try removing whole fragments first: the biggest single step.
+        if current.fragments.len() > 1 {
+            for i in 0..current.fragments.len() {
+                let mut candidate = current.clone();
+                candidate.fragments.remove(i);
+                if still_fails(&candidate) {
+                    current = candidate;
+                    continue 'restart;
+                }
+            }
+        }
+        // Then shrink parameters within each fragment.
+        for i in 0..current.fragments.len() {
+            for smaller in current.fragments[i].shrink_steps() {
+                let mut candidate = current.clone();
+                candidate.fragments[i] = smaller;
+                if still_fails(&candidate) {
+                    current = candidate;
+                    continue 'restart;
+                }
+            }
+        }
+        return current;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recipe::Fragment;
+
+    fn recipe(fragments: Vec<Fragment>) -> Recipe {
+        Recipe {
+            name: "t".into(),
+            fragments,
+        }
+    }
+
+    #[test]
+    fn shrinks_to_single_fragment_when_predicate_ignores_structure() {
+        let r = recipe(vec![
+            Fragment::Pipeline {
+                kinds: vec![false, true, false, true],
+            },
+            Fragment::ForkJoin {
+                channels: 3,
+                tail: 2,
+            },
+            Fragment::ChoiceCycle {
+                branches: 3,
+                pairs: 2,
+            },
+        ]);
+        let min = shrink(&r, |_| true);
+        // Always-failing predicate: fragments are removed front-to-back, so
+        // the last one survives, shrunk to its own fixpoint.
+        assert_eq!(
+            min.fragments,
+            vec![Fragment::ChoiceCycle {
+                branches: 1,
+                pairs: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn never_failing_predicate_returns_input_unchanged() {
+        let r = recipe(vec![
+            Fragment::ParHandshakes { k: 2 },
+            Fragment::OrCausal { tail: 1 },
+        ]);
+        let min = shrink(&r, |_| false);
+        assert_eq!(min, r);
+    }
+
+    #[test]
+    fn preserves_the_property_while_minimizing_parameters() {
+        // "Fails" iff total signals ≥ 6: the shrinker must keep the recipe
+        // at or above the threshold but remove all slack.
+        let r = recipe(vec![
+            Fragment::ParHandshakes { k: 3 },
+            Fragment::Pipeline {
+                kinds: vec![false, false, false, false],
+            },
+        ]);
+        let min = shrink(&r, |c| c.signals() >= 6);
+        assert!(min.signals() >= 6);
+        // 1-minimality: no single step can shrink it further.
+        assert_eq!(min.fragments.len(), 1);
+        assert_eq!(min.signals(), 6);
+    }
+
+    #[test]
+    fn result_is_one_minimal() {
+        let r = recipe(vec![
+            Fragment::ForkJoin {
+                channels: 3,
+                tail: 1,
+            },
+            Fragment::OrCausal { tail: 2 },
+        ]);
+        let predicate =
+            |c: &Recipe| c.fragments.iter().any(|f| matches!(f, Fragment::ForkJoin { .. }));
+        let min = shrink(&r, predicate);
+        assert_eq!(
+            min.fragments,
+            vec![Fragment::ForkJoin {
+                channels: 1,
+                tail: 0
+            }]
+        );
+        // Every one-step reduction of the result must pass the predicate's
+        // negation (i.e. no longer fail).
+        for (i, f) in min.fragments.iter().enumerate() {
+            for smaller in f.shrink_steps() {
+                let mut cand = min.clone();
+                cand.fragments[i] = smaller;
+                assert!(!predicate(&cand));
+            }
+        }
+    }
+}

@@ -303,6 +303,19 @@ pub fn validate(
     }
 }
 
+/// Budgeted proof-or-sample entry point for fuzzing and batch drivers:
+/// [`validate`] at [`ValidationLevel::Proof`] with the given state budget,
+/// falling back to [`FALLBACK_TRIALS`] Monte-Carlo trials when the budget
+/// is exceeded. The report's `hazard_free` is the honest aggregate: `true`
+/// only when the proof (or the fallback sampling) saw no violation.
+pub fn verify_budgeted(
+    sg: &StateGraph,
+    implementation: &NshotImplementation,
+    max_states: usize,
+) -> Result<ValidationReport, ModelError> {
+    validate(sg, implementation, &ValidationLevel::Proof { max_states })
+}
+
 #[cfg(test)]
 mod tests;
 #[cfg(all(test, feature = "proptest"))]

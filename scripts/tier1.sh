@@ -13,9 +13,21 @@ echo "== tier1: tests =="
 cargo test --release --workspace -q
 
 echo "== tier1: deterministic property suites =="
-for crate in nshot-sg nshot-stg nshot-logic nshot-netlist nshot-core nshot-sim; do
+for crate in nshot-sg nshot-stg nshot-logic nshot-netlist nshot-core nshot-sim nshot-gen; do
   cargo test --release -p "$crate" --features proptest -q
 done
+
+echo "== tier1: fuzz smoke (fixed seeds, bounded verify budget + deadline) =="
+cargo run --release -p nshot-bench --bin nshot-fuzz -- \
+  --seeds 0..200 --budget 50000 --deadline-ms 480000 \
+  --out /tmp/BENCH_fuzz_smoke.json --archive tests/corpus/generated
+grep -q '"new_violations": 0' /tmp/BENCH_fuzz_smoke.json \
+  || { echo "fuzz smoke found an unarchived violation:"; cat /tmp/BENCH_fuzz_smoke.json; exit 1; }
+
+echo "== tier1: generated-corpus regression (archived specs re-verify) =="
+cargo run --release -p nshot-bench --bin nshot-fuzz -- \
+  --corpus --archive tests/corpus/generated --budget 200000 \
+  --out /tmp/BENCH_fuzz_corpus.json
 
 echo "== tier1: classify perf smoke (full suite analysis under budget) =="
 cargo run --release -p nshot-bench --bin classify_smoke -- 20000

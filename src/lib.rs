@@ -27,6 +27,7 @@
 //! | [`mc`] | exhaustive hazard model checker: proof certificates, minimal counterexamples |
 //! | [`baselines`] | the SIS-like and SYN-like Table 2 comparators |
 //! | [`benchmarks`] | the 25-circuit Table 2 suite |
+//! | [`gen`] | seeded random generator of valid specifications (fuzzing, load mix) |
 //! | [`server`] | the NDJSON-over-TCP synthesis service (`nshot-serve`) |
 //!
 //! ## Quickstart
@@ -61,6 +62,7 @@
 pub use nshot_baselines as baselines;
 pub use nshot_benchmarks as benchmarks;
 pub use nshot_core as core;
+pub use nshot_gen as gen;
 pub use nshot_logic as logic;
 pub use nshot_mc as mc;
 pub use nshot_netlist as netlist;

@@ -1,0 +1,22 @@
+# nshot-fuzz regression anchor
+# seed: 2
+# recipe: choice[b=3,p=1]
+.model gen2
+.inputs f0_x0_0 f0_x1_0 f0_x2_0
+.outputs f0_o0_0 f0_o1_0 f0_o2_0
+.graph
+f0_x0_0+ f0_o0_0+
+f0_x0_0- f0_o0_0-
+f0_x1_0+ f0_o1_0+
+f0_x1_0- f0_o1_0-
+f0_x2_0+ f0_o2_0+
+f0_x2_0- f0_o2_0-
+f0_o0_0+ f0_x0_0-
+f0_o0_0- p0
+f0_o1_0+ f0_x1_0-
+f0_o1_0- p0
+f0_o2_0+ f0_x2_0-
+f0_o2_0- p0
+p0 f0_x0_0+ f0_x1_0+ f0_x2_0+
+.marking { p0 }
+.end

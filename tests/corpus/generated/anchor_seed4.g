@@ -1,0 +1,44 @@
+# nshot-fuzz regression anchor
+# seed: 4
+# recipe: or_causal[t=1]
+.model gen4
+.inputs f0_a f0_b f0_u0
+.outputs f0_c f0_t0
+.internal f0_d
+.graph
+f0_a+ p1
+f0_a+/2 p3
+f0_a+/3 p6
+f0_a- p10
+f0_a-/2 p12
+f0_a-/3 p15
+f0_b+ p2
+f0_b+/2 p3
+f0_b+/3 p6
+f0_b- p11
+f0_b-/2 p12
+f0_b-/3 p15
+f0_u0+ f0_d+
+f0_u0- f0_d-
+f0_c+ f0_b+/3
+f0_c+/2 f0_a+/3
+f0_c+/3 p6
+f0_c- f0_b-/3
+f0_c-/2 f0_a-/3
+f0_c-/3 p15
+f0_t0+ f0_u0+
+f0_t0- f0_u0-
+f0_d+ p9
+f0_d- p0
+p0 f0_a+ f0_b+
+p1 f0_b+/2 f0_c+
+p10 f0_b-/2 f0_c-
+p11 f0_a-/2 f0_c-/2
+p12 f0_c-/3
+p15 f0_t0-
+p2 f0_a+/2 f0_c+/2
+p3 f0_c+/3
+p6 f0_t0+
+p9 f0_a- f0_b-
+.marking { p0 }
+.end

@@ -1,0 +1,13 @@
+# nshot-fuzz regression anchor
+# seed: 9
+# recipe: par_handshakes[k=1]
+.model gen9
+.inputs f0_r0
+.outputs f0_g0
+.graph
+f0_r0+ f0_g0+
+f0_r0- f0_g0-
+f0_g0+ f0_r0-
+f0_g0- f0_r0+
+.marking { <f0_g0-,f0_r0+> }
+.end

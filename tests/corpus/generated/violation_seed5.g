@@ -1,0 +1,48 @@
+# nshot-fuzz violation artifact
+# seed: 5
+# original recipe: choice[b=4,p=3]
+# minimized recipe: choice[b=3,p=3]
+# detail: model checker: counterexample: gen5 — unexpected -f0_o1 in state 1100000000011 (26 steps)
+# reproduce: nshot-fuzz --seeds 5..6 --budget 200000
+.model gen5
+.inputs f0_x0_0 f0_x0_1 f0_x0_2 f0_x1_0 f0_x1_1 f0_x1_2 f0_x2_0 f0_x2_1 f0_x2_2
+.outputs f0_o1 f0_o2 f0_o0_0 f0_o1_0 f0_o2_0
+.graph
+f0_x0_0+ f0_o0_0+
+f0_x0_0- f0_o0_0-
+f0_x0_1+ f0_o1+
+f0_x0_1- f0_o1-
+f0_x0_2+ f0_o2+
+f0_x0_2- p11
+f0_x1_0+ f0_o1_0+
+f0_x1_0- f0_o1_0-
+f0_x1_1+ f0_o1+/2
+f0_x1_1- f0_o1-/2
+f0_x1_2+ f0_o2+/2
+f0_x1_2- p11
+f0_x2_0+ f0_o2_0+
+f0_x2_0- f0_o2_0-
+f0_x2_1+ f0_o1+/3
+f0_x2_1- f0_o1-/3
+f0_x2_2+ f0_o2+/3
+f0_x2_2- p11
+f0_o1+ f0_x0_2+
+f0_o1+/2 f0_x1_2+
+f0_o1+/3 f0_x2_2+
+f0_o1- f0_x0_2-
+f0_o1-/2 f0_x1_2-
+f0_o1-/3 f0_x2_2-
+f0_o2+ f0_x0_0-
+f0_o2+/2 f0_x1_0-
+f0_o2+/3 f0_x2_0-
+f0_o2- p0
+f0_o0_0+ f0_x0_1+
+f0_o0_0- f0_x0_1-
+f0_o1_0+ f0_x1_1+
+f0_o1_0- f0_x1_1-
+f0_o2_0+ f0_x2_1+
+f0_o2_0- f0_x2_1-
+p0 f0_x0_0+ f0_x1_0+ f0_x2_0+
+p11 f0_o2-
+.marking { p0 }
+.end
