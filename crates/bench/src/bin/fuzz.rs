@@ -26,10 +26,19 @@
 //! Everything is deterministic: the same seed range and knobs produce the
 //! same specs, the same verdicts and the same report, byte for byte
 //! (modulo wall-clock fields).
+//!
+//! Telemetry: every seed's generate/synthesize/verify phase is timed into
+//! the `nshot_fuzz_phase_us{phase=…}` histograms and the outcome counted
+//! in the `nshot_fuzz_*` series (see `nshot_bench::telemetry`); the report
+//! folds the phase aggregates in as `phase_us`. With `NSHOT_PROGRESS` set,
+//! a heartbeat line (`{"hb":"fuzz",…}`) reports `seeds_done`/`seeds_total`,
+//! `accepted` and `violations` live between chunks.
 
+use nshot_bench::telemetry::{timed, FuzzMetrics};
 use nshot_core::{synthesize, SynthesisOptions};
 use nshot_gen::{build_recipe, draw, shrink, GenConfig, Recipe};
 use nshot_mc::{verify_budgeted, Verdict};
+use nshot_obs::Progress;
 use nshot_par::par_map;
 use std::collections::{BTreeMap, HashSet};
 use std::fmt::Write as FmtWrite;
@@ -178,6 +187,7 @@ fn spec_fails(recipe: &Recipe, cfg: &GenConfig, budget: usize) -> bool {
     use std::sync::OnceLock;
     static MEMO: OnceLock<std::sync::Mutex<std::collections::HashMap<String, bool>>> =
         OnceLock::new();
+    FuzzMetrics::global().shrink_steps.inc();
     let memo = MEMO.get_or_init(Default::default);
     let key = format!("{:?}", recipe.fragments);
     if let Some(&hit) = memo.lock().unwrap().get(&key) {
@@ -199,25 +209,35 @@ fn spec_fails(recipe: &Recipe, cfg: &GenConfig, budget: usize) -> bool {
     fails
 }
 
-/// Generate, synthesize and verify one seed.
+/// Generate, synthesize and verify one seed, recording each phase's
+/// latency and the outcome in the `nshot_fuzz_*` registry series.
 fn run_seed(seed: u64, cfg: &GenConfig, budget: usize) -> Outcome {
-    let spec = match draw(seed, cfg) {
+    let m = FuzzMetrics::global();
+    m.seeds.inc();
+    let spec = match timed(&m.generate_us, || draw(seed, cfg)) {
         Ok(spec) => spec,
-        Err(r) => return Outcome::Rejected(r.reason()),
+        Err(r) => {
+            m.rejected.inc();
+            return Outcome::Rejected(r.reason());
+        }
     };
+    m.accepted.inc();
     let request_key = request_key_of(&spec.g_text);
     let structure = structure_of(&spec.g_text);
-    let imp = match synthesize(&spec.sg, &SynthesisOptions::default()) {
+    let imp = match timed(&m.synthesize_us, || {
+        synthesize(&spec.sg, &SynthesisOptions::default())
+    }) {
         Ok(imp) => imp,
         Err(e) => {
+            m.violations.inc();
             return Outcome::Violation {
                 request_key,
                 structure,
                 detail: format!("synthesis failed: {e}"),
-            }
+            };
         }
     };
-    match verify_budgeted(&spec.sg, &imp, budget) {
+    let outcome = match timed(&m.verify_us, || verify_budgeted(&spec.sg, &imp, budget)) {
         Ok(report) if report.hazard_free => Outcome::Clean {
             request_key,
             structure,
@@ -236,7 +256,14 @@ fn run_seed(seed: u64, cfg: &GenConfig, budget: usize) -> Outcome {
             structure,
             detail: format!("model build failed: {e}"),
         },
+    };
+    match &outcome {
+        Outcome::Clean { proved: true, .. } => m.proved.inc(),
+        Outcome::Clean { proved: false, .. } => m.mc_fallback.inc(),
+        Outcome::Violation { .. } => m.violations.inc(),
+        Outcome::Rejected(_) => {}
     }
+    outcome
 }
 
 /// The structural content of an archived artifact: every line that is not
@@ -334,17 +361,43 @@ fn run(args: &[String]) -> Result<bool, String> {
         opts.seeds.0, opts.seeds.1, opts.budget
     );
 
+    // Live heartbeats (`NSHOT_PROGRESS`): N/M seeds, violations so far.
+    // Gauges are refreshed between chunks — cheap relative to a chunk of
+    // 32 synthesize+verify runs, and silent when progress is off.
+    let progress = Progress::new("fuzz");
+    let seeds_done_g = progress.rate("seeds_done");
+    let seeds_total_g = progress.field("seeds_total");
+    let accepted_g = progress.field("accepted");
+    let violations_g = progress.field("violations");
+    seeds_total_g.set(all_seeds.len() as u64);
+    let _heartbeat = progress.start_reporter();
+
     // Chunked fan-out so the wall-clock deadline is honoured between
     // chunks; within a chunk results come back in seed order.
     let mut outcomes: Vec<(u64, Outcome)> = Vec::with_capacity(all_seeds.len());
     let mut deadline_hit = false;
+    let mut live_accepted = 0u64;
+    let mut live_violations = 0u64;
     for chunk in all_seeds.chunks(32) {
         if opts.deadline_ms > 0 && t0.elapsed().as_millis() as u64 > opts.deadline_ms {
             deadline_hit = true;
             break;
         }
         let results = par_map(chunk, |&seed| run_seed(seed, &opts.cfg, opts.budget));
+        for outcome in &results {
+            match outcome {
+                Outcome::Clean { .. } => live_accepted += 1,
+                Outcome::Violation { .. } => {
+                    live_accepted += 1;
+                    live_violations += 1;
+                }
+                Outcome::Rejected(_) => {}
+            }
+        }
         outcomes.extend(chunk.iter().copied().zip(results));
+        seeds_done_g.set(outcomes.len() as u64);
+        accepted_g.set(live_accepted);
+        violations_g.set(live_violations);
     }
     if deadline_hit {
         eprintln!(
@@ -405,6 +458,7 @@ fn run(args: &[String]) -> Result<bool, String> {
             Ok((path, known)) => {
                 if known {
                     known_violations += 1;
+                    FuzzMetrics::global().known_violations.inc();
                     eprintln!(
                         "nshot-fuzz: known failure, already archived as {}",
                         path.display()
@@ -441,6 +495,23 @@ fn run(args: &[String]) -> Result<bool, String> {
     }
 
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    // Per-phase wall-clock aggregates from the registry histograms: the
+    // process is single-purpose, so process totals are run totals.
+    let metrics = FuzzMetrics::global();
+    let phase_json = |h: &nshot_obs::AtomicHistogram| {
+        let s = h.snapshot();
+        format!(
+            "{{\"count\": {}, \"sum_us\": {}, \"p50\": {}, \"p99\": {}}}",
+            s.count(),
+            s.sum_us(),
+            s.p50_us(),
+            s.p99_us()
+        )
+    };
+    let phase_generate = phase_json(&metrics.generate_us);
+    let phase_synthesize = phase_json(&metrics.synthesize_us);
+    let phase_verify = phase_json(&metrics.verify_us);
+    let shrink_steps = metrics.shrink_steps.get();
     let rejected_json = rejected
         .iter()
         .map(|(reason, n)| format!("\"{reason}\": {n}"))
@@ -476,6 +547,9 @@ fn run(args: &[String]) -> Result<bool, String> {
          \x20 \"violation_seeds\": [{violation_seeds}],\n\
          \x20 \"archived\": [{archived_json}],\n\
          \x20 \"anchors_archived\": {anchors},\n\
+         \x20 \"shrink_steps\": {shrink_steps},\n\
+         \x20 \"phase_us\": {{\"generate\": {phase_generate}, \
+         \"synthesize\": {phase_synthesize}, \"verify\": {phase_verify}}},\n\
          \x20 \"wall_ms\": {wall_ms:.2}\n\
          }}\n",
         lo = opts.seeds.0,

@@ -1,6 +1,9 @@
 //! Exhaustively model-check the full Table 2 suite: prove external
 //! hazard-freeness of every synthesized circuit with `nshot-mc` and write
-//! the per-circuit exploration statistics to `BENCH_mc.json`.
+//! the per-circuit exploration statistics to `BENCH_mc.json` — the full
+//! [`nshot_mc::ExplorationStats`] block (frontier high-water, visited-set
+//! bytes, sleep-set prune ratio, budget fraction, violation checks) plus
+//! a wall-clock `states_per_sec` computed here, outside the certificate.
 //!
 //! Usage: `cargo run --release -p nshot-bench --bin modelcheck [-- filter [out.json]]`
 //!
@@ -29,11 +32,22 @@ struct CircuitResult {
     states: u64,
     edges: u64,
     pruned_edges: u64,
+    reopened: u64,
     max_depth: u32,
+    peak_frontier: u64,
+    final_frontier: u64,
+    visited_bytes: u64,
+    prune_ratio: f64,
+    budget_fraction: f64,
+    violation_checks: u64,
     proved: bool,
     method: &'static str,
     hazard_free: bool,
     wall_ms: f64,
+    /// Exploration throughput, computed here from this run's own
+    /// wall-clock — deliberately NOT part of the certificate, which must
+    /// stay byte-identical across machines and thread counts.
+    states_per_sec: f64,
     render: String,
 }
 
@@ -61,10 +75,7 @@ fn run_sweep(names: &[String], threads: usize) -> SweepRun {
         let c0 = Instant::now();
         let verdict = check(&sg, &imp.netlist, &config)
             .unwrap_or_else(|e| panic!("{name}: model build failed: {e}"));
-        let (states, edges, pruned_edges, max_depth) = verdict
-            .certificate()
-            .map(|c| (c.states, c.edges, c.pruned_edges, c.max_depth))
-            .unwrap_or((0, 0, 0, 0));
+        let stats = verdict.certificate().map(|c| c.stats.clone());
         // Past the budget, fall back to sampling (same policy and trial
         // count as `nshot_mc::validate`; the fixed-seed schedule keeps the
         // result deterministic, so the cross-thread assertion still holds).
@@ -84,17 +95,26 @@ fn run_sweep(names: &[String], threads: usize) -> SweepRun {
             }
         };
         let wall_ms = c0.elapsed().as_secs_f64() * 1e3;
+        let stats = stats.unwrap_or_default();
         CircuitResult {
             name: name.clone(),
             spec_states: sg.num_states(),
-            states,
-            edges,
-            pruned_edges,
-            max_depth,
+            states: stats.states,
+            edges: stats.edges,
+            pruned_edges: stats.pruned_edges,
+            reopened: stats.reopened,
+            max_depth: stats.max_depth,
+            peak_frontier: stats.peak_frontier,
+            final_frontier: stats.final_frontier,
+            visited_bytes: stats.visited_bytes,
+            prune_ratio: stats.prune_ratio(),
+            budget_fraction: stats.budget_fraction(),
+            violation_checks: stats.total_violation_checks(),
             proved: verdict.is_proved(),
             method,
             hazard_free,
             wall_ms,
+            states_per_sec: stats.states as f64 / (c0.elapsed().as_secs_f64()).max(1e-9),
             render,
         }
     });
@@ -109,19 +129,30 @@ fn circuit_json(c: &CircuitResult) -> String {
     format!(
         concat!(
             "{{\"name\": \"{}\", \"spec_states\": {}, \"explored_states\": {}, ",
-            "\"edges\": {}, \"pruned_edges\": {}, \"max_depth\": {}, ",
-            "\"proved\": {}, \"method\": \"{}\", \"hazard_free\": {}, \"wall_ms\": {:.3}}}"
+            "\"edges\": {}, \"pruned_edges\": {}, \"reopened\": {}, \"max_depth\": {}, ",
+            "\"peak_frontier\": {}, \"final_frontier\": {}, \"visited_bytes\": {}, ",
+            "\"prune_ratio\": {:.4}, \"budget_fraction\": {:.4}, \"violation_checks\": {}, ",
+            "\"proved\": {}, \"method\": \"{}\", \"hazard_free\": {}, ",
+            "\"wall_ms\": {:.3}, \"states_per_sec\": {:.0}}}"
         ),
         c.name,
         c.spec_states,
         c.states,
         c.edges,
         c.pruned_edges,
+        c.reopened,
         c.max_depth,
+        c.peak_frontier,
+        c.final_frontier,
+        c.visited_bytes,
+        c.prune_ratio,
+        c.budget_fraction,
+        c.violation_checks,
         c.proved,
         c.method,
         c.hazard_free,
-        c.wall_ms
+        c.wall_ms,
+        c.states_per_sec
     )
 }
 

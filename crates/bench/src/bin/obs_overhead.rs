@@ -1,15 +1,18 @@
-//! `obs_overhead` — prove the disabled-tracing fast path is free.
+//! `obs_overhead` — prove the disabled observability fast paths are free.
 //!
-//! With `NSHOT_TRACE` unset and no request context installed, every
-//! `nshot_obs::span()` call must collapse to a single relaxed atomic load.
-//! This harness measures that cost directly, counts how many spans one
-//! `synthesize` call actually opens (by running one under a request
+//! With `NSHOT_TRACE`, `NSHOT_FLIGHT` and `NSHOT_PROGRESS` unset, every
+//! `nshot_obs::span()` call, flight-recorder `event()` and
+//! `progress_enabled()` check must collapse to a single relaxed atomic
+//! load. This harness measures each cost directly, counts how many spans
+//! one `synthesize` call actually opens (by running one under a request
 //! context and summing the per-stage counts), measures the end-to-end
 //! `synthesize` time, and computes
 //!
 //! ```text
-//! overhead% = spans_per_synthesize x inert_span_ns / synthesize_ns x 100
+//! overhead% = spans_per_synthesize x worst_inert_ns / synthesize_ns x 100
 //! ```
+//!
+//! where `worst_inert_ns` is the slowest of the three disabled primitives.
 //!
 //! The run **fails** (exit 1) when the computed overhead reaches 2% — the
 //! budget the observability layer promised when it was added. tier1.sh
@@ -69,6 +72,13 @@ fn run(args: &[String]) -> Result<(), String> {
     if std::env::var_os("NSHOT_TRACE").is_some() {
         return Err("NSHOT_TRACE is set; this harness measures the disabled path".into());
     }
+    for var in ["NSHOT_FLIGHT", "NSHOT_PROGRESS"] {
+        if std::env::var_os(var).is_some() {
+            return Err(format!(
+                "{var} is set; this harness measures the disabled path"
+            ));
+        }
+    }
 
     let bench = nshot_benchmarks::by_name(&circuit)
         .ok_or_else(|| format!("unknown circuit '{circuit}'"))?;
@@ -91,6 +101,10 @@ fn run(args: &[String]) -> Result<(), String> {
 
     // Inert span cost: with tracing disabled and no context installed,
     // span() must be one relaxed load. Median-of-5 batches.
+    let median_ns = |samples: &mut Vec<f64>| {
+        samples.sort_by(f64::total_cmp);
+        samples[samples.len() / 2]
+    };
     let mut per_span = Vec::new();
     for _ in 0..5 {
         let t0 = Instant::now();
@@ -100,8 +114,34 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         per_span.push(t0.elapsed().as_nanos() as f64 / span_reps as f64);
     }
-    per_span.sort_by(f64::total_cmp);
-    let span_ns = per_span[per_span.len() / 2];
+    let span_ns = median_ns(&mut per_span);
+
+    // Disabled flight-recorder events and progress checks share the same
+    // contract: one relaxed load, detail closure never run. Measure both
+    // the same way the span path is measured.
+    let mut per_event = Vec::new();
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        for i in 0..span_reps {
+            nshot_obs::event("bench", || {
+                // Never runs while the recorder is disabled; if it ever
+                // does, the formatting cost will blow the budget below.
+                format!("overhead probe {i}")
+            });
+        }
+        per_event.push(t0.elapsed().as_nanos() as f64 / span_reps as f64);
+    }
+    let event_ns = median_ns(&mut per_event);
+
+    let mut per_progress = Vec::new();
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        for _ in 0..span_reps {
+            black_box(nshot_obs::progress_enabled());
+        }
+        per_progress.push(t0.elapsed().as_nanos() as f64 / span_reps as f64);
+    }
+    let progress_ns = median_ns(&mut per_progress);
 
     // End-to-end synthesize cost: best-of-iters, the least noisy statistic
     // on a shared core.
@@ -112,20 +152,27 @@ fn run(args: &[String]) -> Result<(), String> {
         best_ns = best_ns.min(t0.elapsed().as_nanos() as f64);
     }
 
-    let overhead_pct = spans_per_call as f64 * span_ns / best_ns * 100.0;
+    // Gate on the worst disabled primitive, priced at the span call rate:
+    // a hot loop that touched the recorder or the progress word as often
+    // as it opens spans must still stay under the budget.
+    let worst_ns = span_ns.max(event_ns).max(progress_ns);
+    let overhead_pct = spans_per_call as f64 * worst_ns / best_ns * 100.0;
     println!(
         "{{\"circuit\": \"{circuit}\", \"spans_per_synthesize\": {spans_per_call}, \
-         \"inert_span_ns\": {span_ns:.2}, \"synthesize_ns\": {best_ns:.0}, \
+         \"inert_span_ns\": {span_ns:.2}, \"inert_event_ns\": {event_ns:.2}, \
+         \"inert_progress_ns\": {progress_ns:.2}, \"synthesize_ns\": {best_ns:.0}, \
          \"overhead_pct\": {overhead_pct:.4}, \"budget_pct\": {BUDGET_PCT}}}"
     );
     if overhead_pct >= BUDGET_PCT {
         return Err(format!(
-            "disabled-tracing overhead {overhead_pct:.4}% exceeds the {BUDGET_PCT}% budget"
+            "disabled-observability overhead {overhead_pct:.4}% exceeds the {BUDGET_PCT}% \
+             budget (span {span_ns:.2} ns, event {event_ns:.2} ns, progress \
+             {progress_ns:.2} ns per call)"
         ));
     }
     eprintln!(
-        "obs_overhead: {overhead_pct:.4}% (budget {BUDGET_PCT}%) — disabled tracing is \
-         effectively free"
+        "obs_overhead: {overhead_pct:.4}% (budget {BUDGET_PCT}%) — disabled spans, flight \
+         events and progress checks are effectively free"
     );
     Ok(())
 }

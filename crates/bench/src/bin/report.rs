@@ -1,0 +1,318 @@
+//! `nshot-report` — render the benchmark artifacts into one markdown
+//! dashboard.
+//!
+//! ```text
+//! nshot-report [--dir DIR] [--out PATH] [--metrics PATH]
+//! ```
+//!
+//! Reads `BENCH_pipeline.json`, `BENCH_server.json`, `BENCH_mc.json` and
+//! `BENCH_fuzz.json` from `--dir` (default `.`) and writes a markdown
+//! dashboard to `--out` (default `docs/DASHBOARD.md`). Artifacts that are
+//! missing are reported as such rather than failing the run, so the
+//! dashboard can be regenerated at any point of a partial bench sweep.
+//! `--metrics` optionally appends a Prometheus snapshot (e.g. the tail of
+//! `nshot-serve`'s final report) verbatim.
+//!
+//! The output carries no timestamps or machine identifiers of its own —
+//! regenerating from the same artifacts reproduces the same bytes, so a
+//! stale dashboard shows up as a diff in CI.
+
+use nshot_server::json::{self, Json};
+use std::fmt::Write as FmtWrite;
+use std::path::{Path, PathBuf};
+
+fn main() -> std::process::ExitCode {
+    match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("nshot-report: {msg}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+/// Load and parse one artifact; `None` when the file is absent, an error
+/// string when it exists but does not parse (a broken artifact should not
+/// silently vanish from the dashboard).
+fn load(dir: &Path, name: &str) -> Result<Option<Json>, String> {
+    let path = dir.join(name);
+    match std::fs::read_to_string(&path) {
+        Ok(text) => json::parse(&text)
+            .map(Some)
+            .map_err(|e| format!("{}: {e}", path.display())),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(format!("{}: {e}", path.display())),
+    }
+}
+
+fn num(v: &Json, key: &str) -> f64 {
+    v.get(key).and_then(Json::as_f64).unwrap_or(0.0)
+}
+
+fn int(v: &Json, key: &str) -> u64 {
+    v.get(key).and_then(Json::as_u64).unwrap_or(0)
+}
+
+fn arr<'a>(v: &'a Json, key: &str) -> &'a [Json] {
+    match v.get(key) {
+        Some(Json::Arr(items)) => items,
+        _ => &[],
+    }
+}
+
+fn missing(out: &mut String, name: &str, regen: &str) {
+    let _ = writeln!(out, "_`{name}` not found — regenerate with `{regen}`._\n");
+}
+
+fn pipeline_section(out: &mut String, v: Option<&Json>) {
+    let _ = writeln!(out, "## Synthesis pipeline\n");
+    let Some(v) = v else {
+        missing(
+            out,
+            "BENCH_pipeline.json",
+            "cargo run --release -p nshot-bench --bin pipeline",
+        );
+        return;
+    };
+    let _ = writeln!(out, "| run | threads | wall (ms) |");
+    let _ = writeln!(out, "|---|---:|---:|");
+    for key in ["baseline", "parallel"] {
+        if let Some(run) = v.get(key) {
+            let _ = writeln!(
+                out,
+                "| {key} | {} | {:.2} |",
+                int(run, "threads"),
+                num(run, "wall_ms")
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\nSpeedup: **{:.2}x**, deterministic across thread counts: **{}**.\n",
+        num(v, "speedup"),
+        v.get("deterministic").and_then(Json::as_bool).unwrap_or(false)
+    );
+}
+
+fn server_section(out: &mut String, v: Option<&Json>) {
+    let _ = writeln!(out, "## Server load generator\n");
+    let Some(v) = v else {
+        missing(
+            out,
+            "BENCH_server.json",
+            "cargo run --release -p nshot-bench --bin loadgen",
+        );
+        return;
+    };
+    let req = v.get("requests");
+    let lat = v.get("client_latency_us");
+    let _ = writeln!(
+        out,
+        "Requests: **{}** sent, **{}** ok; throughput **{:.1} rps**.\n",
+        req.map_or(0, |r| int(r, "sent")),
+        req.map_or(0, |r| int(r, "ok")),
+        num(v, "throughput_rps")
+    );
+    if let Some(lat) = lat {
+        let _ = writeln!(
+            out,
+            "Client latency (µs): p50 **{}**, p99 **{}**, max **{}**.\n",
+            int(lat, "p50"),
+            int(lat, "p99"),
+            int(lat, "max")
+        );
+    }
+    if let Some(Json::Obj(stages)) = v.get("stage_timings_us") {
+        let _ = writeln!(out, "| stage | count | p50 (µs) | p99 (µs) |");
+        let _ = writeln!(out, "|---|---:|---:|---:|");
+        for (stage, s) in stages {
+            let _ = writeln!(
+                out,
+                "| {stage} | {} | {} | {} |",
+                int(s, "count"),
+                int(s, "p50"),
+                int(s, "p99")
+            );
+        }
+        let _ = writeln!(out);
+    }
+}
+
+fn mc_section(out: &mut String, v: Option<&Json>) {
+    let _ = writeln!(out, "## Exhaustive model check\n");
+    let Some(v) = v else {
+        missing(
+            out,
+            "BENCH_mc.json",
+            "cargo run --release -p nshot-bench --bin modelcheck",
+        );
+        return;
+    };
+    let circuits = arr(v, "circuits");
+    let _ = writeln!(
+        out,
+        "Proved **{}** of **{}** circuits exhaustively; all hazard-free: **{}**.\n",
+        int(v, "proved_circuits"),
+        circuits.len(),
+        v.get("all_hazard_free")
+            .and_then(Json::as_bool)
+            .unwrap_or(false)
+    );
+    if circuits.is_empty() {
+        return;
+    }
+    let _ = writeln!(
+        out,
+        "| circuit | explored | edges | prune ratio | depth | peak frontier | \
+         visited (bytes) | states/s | verdict |"
+    );
+    let _ = writeln!(out, "|---|---:|---:|---:|---:|---:|---:|---:|---|");
+    for c in circuits {
+        let verdict = match (
+            c.get("proved").and_then(Json::as_bool).unwrap_or(false),
+            c.get("hazard_free").and_then(Json::as_bool).unwrap_or(false),
+        ) {
+            (true, _) => "proved",
+            (false, true) => "monte-carlo clean",
+            (false, false) => "**FAILED**",
+        };
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {:.4} | {} | {} | {} | {:.0} | {verdict} |",
+            c.get("name").and_then(Json::as_str).unwrap_or("?"),
+            int(c, "explored_states"),
+            int(c, "edges"),
+            num(c, "prune_ratio"),
+            int(c, "max_depth"),
+            int(c, "peak_frontier"),
+            int(c, "visited_bytes"),
+            num(c, "states_per_sec"),
+        );
+    }
+    let _ = writeln!(out);
+}
+
+fn fuzz_section(out: &mut String, v: Option<&Json>) {
+    let _ = writeln!(out, "## Fuzz loop\n");
+    let Some(v) = v else {
+        missing(
+            out,
+            "BENCH_fuzz.json",
+            "cargo run --release -p nshot-bench --bin nshot-fuzz",
+        );
+        return;
+    };
+    if v.get("corpus_dir").is_some() {
+        let _ = writeln!(
+            out,
+            "Corpus regression: **{}**/**{}** files ok.\n",
+            int(v, "ok"),
+            int(v, "files")
+        );
+        return;
+    }
+    let _ = writeln!(
+        out,
+        "Seeds `{}`: **{}** processed, **{}** accepted, **{}** proved, \
+         **{}** Monte-Carlo fallback, **{}** violations (**{}** new).\n",
+        v.get("seeds").and_then(Json::as_str).unwrap_or("?"),
+        int(v, "seeds_processed"),
+        int(v, "accepted"),
+        int(v, "proved"),
+        int(v, "mc_fallback"),
+        int(v, "violations"),
+        int(v, "new_violations"),
+    );
+    if let Some(Json::Obj(reasons)) = v.get("rejected") {
+        if !reasons.is_empty() {
+            let _ = writeln!(out, "| rejection reason | seeds |");
+            let _ = writeln!(out, "|---|---:|");
+            for (reason, n) in reasons {
+                let _ = writeln!(out, "| {reason} | {} |", n.as_u64().unwrap_or(0));
+            }
+            let _ = writeln!(out);
+        }
+    }
+    if let Some(phases) = v.get("phase_us") {
+        let _ = writeln!(out, "| phase | count | sum (µs) | p50 (µs) | p99 (µs) |");
+        let _ = writeln!(out, "|---|---:|---:|---:|---:|");
+        for phase in ["generate", "synthesize", "verify"] {
+            if let Some(p) = phases.get(phase) {
+                let _ = writeln!(
+                    out,
+                    "| {phase} | {} | {} | {} | {} |",
+                    int(p, "count"),
+                    int(p, "sum_us"),
+                    int(p, "p50"),
+                    int(p, "p99")
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "\nShrink predicate probes: **{}**.\n",
+            int(v, "shrink_steps")
+        );
+    }
+}
+
+fn metrics_section(out: &mut String, path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let _ = writeln!(out, "## Metrics snapshot\n");
+    let _ = writeln!(out, "```");
+    for line in text.lines() {
+        let _ = writeln!(out, "{line}");
+    }
+    let _ = writeln!(out, "```");
+    Ok(())
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut dir = PathBuf::from(".");
+    let mut out_path = PathBuf::from("docs/DASHBOARD.md");
+    let mut metrics: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--dir" => dir = PathBuf::from(value("--dir")?),
+            "--out" => out_path = PathBuf::from(value("--out")?),
+            "--metrics" => metrics = Some(value("--metrics")?),
+            "--help" | "-h" => {
+                println!("usage: nshot-report [--dir DIR] [--out PATH] [--metrics PATH]");
+                return Ok(());
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "# N-SHOT benchmark dashboard\n");
+    let _ = writeln!(
+        out,
+        "Rendered from the `BENCH_*.json` artifacts by `nshot-report`; regenerate \
+         with `cargo run --release -p nshot-bench --bin nshot-report`. The output \
+         is deterministic for fixed artifacts — a stale dashboard is a CI diff.\n"
+    );
+    pipeline_section(&mut out, load(&dir, "BENCH_pipeline.json")?.as_ref());
+    server_section(&mut out, load(&dir, "BENCH_server.json")?.as_ref());
+    mc_section(&mut out, load(&dir, "BENCH_mc.json")?.as_ref());
+    fuzz_section(&mut out, load(&dir, "BENCH_fuzz.json")?.as_ref());
+    if let Some(path) = &metrics {
+        metrics_section(&mut out, path)?;
+    }
+
+    if let Some(parent) = out_path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("{}: {e}", parent.display()))?;
+        }
+    }
+    std::fs::write(&out_path, &out).map_err(|e| format!("{}: {e}", out_path.display()))?;
+    eprintln!("nshot-report: wrote {}", out_path.display());
+    Ok(())
+}

@@ -15,6 +15,7 @@
 
 pub mod figures;
 pub mod microbench;
+pub mod telemetry;
 
 use nshot_baselines::{sis, syn, BaselineError};
 use nshot_benchmarks::{suite, Benchmark, PaperNote};

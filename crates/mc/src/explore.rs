@@ -22,12 +22,14 @@
 
 use std::collections::VecDeque;
 use std::hash::Hasher;
+use std::sync::Arc;
 
+use nshot_obs::{Gauge, Progress, Registry};
 use nshot_par::{FxHashMap, FxHasher};
 use nshot_sg::{Dir, TransitionLabel};
 
 use crate::model::{CombGate, CombOp, Model};
-use crate::{Certificate, Counterexample, McViolation, Verdict};
+use crate::{Certificate, Counterexample, ExplorationStats, McViolation, Verdict};
 
 /// One interleaving transition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,6 +62,28 @@ struct Stats {
     reopened: u64,
     max_depth: u32,
     peak_frontier: u64,
+    /// Spec-conformance checks per flip-flop (every `Fire` edge).
+    violation_checks: Vec<u64>,
+    /// Running total of `violation_checks`.
+    vchecks_total: u64,
+    /// Running count of sleep-set elements currently retained (feeds the
+    /// visited-bytes estimate without an O(states) walk).
+    sleep_elems: u64,
+}
+
+/// Heartbeat gauges the explorer updates from its hot loop. Present only
+/// when progress reporting is enabled; the explorer's decisions never
+/// read them, so runs are byte-identical with or without.
+struct ProgressGauges {
+    states: Arc<Gauge>,
+    edges: Arc<Gauge>,
+    pruned: Arc<Gauge>,
+    frontier: Arc<Gauge>,
+    frontier_peak: Arc<Gauge>,
+    depth: Arc<Gauge>,
+    visited_bytes: Arc<Gauge>,
+    budget_pct: Arc<Gauge>,
+    violation_checks: Arc<Gauge>,
 }
 
 pub(crate) struct Explorer<'m, 'a> {
@@ -72,6 +96,7 @@ pub(crate) struct Explorer<'m, 'a> {
     index: FxHashMap<u64, Vec<u32>>,
     queue: VecDeque<(u32, Option<Vec<u16>>)>,
     stats: Stats,
+    progress: Option<ProgressGauges>,
 }
 
 // --- packed-state bit accessors -------------------------------------------
@@ -99,8 +124,57 @@ impl<'m, 'a> Explorer<'m, 'a> {
             sleep: Vec::new(),
             index: FxHashMap::default(),
             queue: VecDeque::new(),
-            stats: Stats::default(),
+            stats: Stats {
+                violation_checks: vec![0; m.ffs.len()],
+                ..Stats::default()
+            },
+            progress: None,
         }
+    }
+
+    /// Register this run's heartbeat fields on `p`. The explorer then
+    /// refreshes the gauges every few thousand edges; `p`'s reporter
+    /// thread does the actual emitting.
+    pub fn attach_progress(&mut self, p: &Progress) {
+        self.progress = Some(ProgressGauges {
+            states: p.rate("states"),
+            edges: p.rate("edges"),
+            pruned: p.field("pruned_edges"),
+            frontier: p.field("frontier"),
+            frontier_peak: p.field("frontier_peak"),
+            depth: p.field("max_depth"),
+            visited_bytes: p.field("visited_bytes"),
+            budget_pct: p.field("budget_pct"),
+            violation_checks: p.field("violation_checks"),
+        });
+        self.publish_progress();
+    }
+
+    /// Deterministic visited-set memory estimate: packed state words plus
+    /// the Vec slot holding them, BFS metadata, sleep-set storage and the
+    /// dedupe index (bucket headers + one id per state).
+    fn visited_bytes(&self) -> u64 {
+        let n = self.states.len() as u64;
+        let per_state = (self.m.state_words() * 8 + 16) as u64
+            + std::mem::size_of::<Meta>() as u64
+            + std::mem::size_of::<Vec<u16>>() as u64
+            + 4;
+        n * per_state + self.stats.sleep_elems * 2 + self.index.len() as u64 * 56
+    }
+
+    #[cold]
+    fn publish_progress(&self) {
+        let Some(g) = &self.progress else { return };
+        g.states.set(self.states.len() as u64);
+        g.edges.set(self.stats.edges);
+        g.pruned.set(self.stats.pruned);
+        g.frontier.set(self.queue.len() as u64);
+        g.frontier_peak.set(self.stats.peak_frontier);
+        g.depth.set(self.stats.max_depth as u64);
+        g.visited_bytes.set(self.visited_bytes());
+        g.budget_pct
+            .set(self.states.len() as u64 * 100 / self.max_states.max(1) as u64);
+        g.violation_checks.set(self.stats.vchecks_total);
     }
 
     // -- state layout -------------------------------------------------------
@@ -403,6 +477,7 @@ impl<'m, 'a> Explorer<'m, 'a> {
         self.states.push(w);
         self.stats.max_depth = self.stats.max_depth.max(meta.depth);
         self.meta.push(meta);
+        self.stats.sleep_elems += sleep.len() as u64;
         self.sleep.push(sleep);
         self.queue.push_back((id, None));
         self.stats.peak_frontier = self.stats.peak_frontier.max(self.queue.len() as u64);
@@ -486,23 +561,74 @@ impl<'m, 'a> Explorer<'m, 'a> {
     }
 
     fn certificate(&self, complete: bool) -> Certificate {
+        let violation_checks = self
+            .m
+            .ffs
+            .iter()
+            .zip(&self.stats.violation_checks)
+            .map(|(ff, &n)| (self.m.sg.signal_name(ff.signal).to_string(), n))
+            .collect();
         Certificate {
             circuit: self.m.nl.name().to_string(),
-            states: self.states.len() as u64,
-            edges: self.stats.edges,
-            pruned_edges: self.stats.pruned,
-            reopened: self.stats.reopened,
-            max_depth: self.stats.max_depth,
-            peak_frontier: self.stats.peak_frontier,
             assumed_delay_requirement: self.m.assume_delay_requirement,
             reduction: self.reduction,
             complete,
+            stats: ExplorationStats {
+                states: self.states.len() as u64,
+                edges: self.stats.edges,
+                pruned_edges: self.stats.pruned,
+                reopened: self.stats.reopened,
+                max_depth: self.stats.max_depth,
+                peak_frontier: self.stats.peak_frontier,
+                final_frontier: self.queue.len() as u64,
+                visited_bytes: self.visited_bytes(),
+                max_states: self.max_states as u64,
+                violation_checks,
+            },
         }
+    }
+
+    /// Publish this run's totals as `nshot_mc_*` registry series: run and
+    /// verdict counters, cumulative exploration counters, and high-water
+    /// gauges. Called once per run, on every exit path.
+    fn publish_registry(&self, verdict: &Verdict) {
+        let r = Registry::global();
+        r.counter("nshot_mc_runs_total").inc();
+        r.counter("nshot_mc_states_total").add(self.states.len() as u64);
+        r.counter("nshot_mc_edges_total").add(self.stats.edges);
+        r.counter("nshot_mc_pruned_edges_total").add(self.stats.pruned);
+        r.counter("nshot_mc_reopened_total").add(self.stats.reopened);
+        r.counter("nshot_mc_violation_checks_total")
+            .add(self.stats.vchecks_total);
+        // Create all three verdict labels eagerly so one scrape sees the
+        // full family, then bump the one that happened.
+        for label in ["budget_exceeded", "proved", "violated"] {
+            let _ = r.counter(&format!("nshot_mc_verdicts_total{{verdict=\"{label}\"}}"));
+        }
+        let label = match verdict {
+            Verdict::Proved(_) => "proved",
+            Verdict::Violated(_) => "violated",
+            Verdict::BudgetExceeded(_) => "budget_exceeded",
+        };
+        r.counter(&format!("nshot_mc_verdicts_total{{verdict=\"{label}\"}}"))
+            .inc();
+        r.gauge("nshot_mc_peak_frontier").raise(self.stats.peak_frontier);
+        r.gauge("nshot_mc_max_depth").raise(self.stats.max_depth as u64);
+        r.gauge("nshot_mc_visited_bytes").raise(self.visited_bytes());
     }
 
     // -- main loop ----------------------------------------------------------
 
     pub fn run(mut self) -> Verdict {
+        let verdict = self.run_loop();
+        // Final gauge refresh so the heartbeat's closing line carries the
+        // end-of-run values, then the registry totals.
+        self.publish_progress();
+        self.publish_registry(&verdict);
+        verdict
+    }
+
+    fn run_loop(&mut self) -> Verdict {
         let root = self.initial_words();
         self.insert(
             root,
@@ -630,6 +756,15 @@ impl<'m, 'a> Explorer<'m, 'a> {
         child_sleep: Vec<u16>,
     ) -> Option<Verdict> {
         self.stats.edges += 1;
+        if let Action::Fire { ff, .. } = action {
+            self.stats.violation_checks[ff as usize] += 1;
+            self.stats.vchecks_total += 1;
+        }
+        // Refresh the heartbeat gauges every 4096 edges — off the hot
+        // path entirely when progress is disabled.
+        if self.progress.is_some() && self.stats.edges & 0xFFF == 0 {
+            self.publish_progress();
+        }
         let next = match self.apply(words, action) {
             Ok(nw) => nw,
             Err(violation) => return Some(self.counterexample(id, Some(action), violation)),
@@ -663,6 +798,8 @@ impl<'m, 'a> Explorer<'m, 'a> {
                             .copied()
                             .filter(|u| child_sleep.binary_search(u).is_ok())
                             .collect();
+                        self.stats.sleep_elems -=
+                            (self.sleep[existing as usize].len() - inter.len()) as u64;
                         self.sleep[existing as usize] = inter;
                         self.stats.reopened += 1;
                         self.queue.push_back((existing, Some(newly)));

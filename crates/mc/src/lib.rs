@@ -124,13 +124,15 @@ impl Counterexample {
     }
 }
 
-/// Proof of full exploration, with reduction statistics.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Certificate {
-    /// Circuit name.
-    pub circuit: String,
-    /// Distinct composed states visited. Identical with the reduction on or
-    /// off — sleep sets prune edges, never states.
+/// Final exploration statistics of one model-checking run. Every field is
+/// a pure function of the model and the budget — no wall-clock values —
+/// so certificates stay byte-identical across runs, thread counts and
+/// heartbeat settings. Timing-derived figures (states/sec) live in
+/// heartbeat lines and bench reports only.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExplorationStats {
+    /// Distinct composed states visited. Identical with the reduction on
+    /// or off — sleep sets prune edges, never states.
     pub states: u64,
     /// Transitions explored.
     pub edges: u64,
@@ -142,30 +144,99 @@ pub struct Certificate {
     pub max_depth: u32,
     /// Peak frontier (queue) length.
     pub peak_frontier: u64,
+    /// Frontier length when exploration stopped (0 for a completed run;
+    /// for a budget-exceeded run, how much unexplored work was queued).
+    pub final_frontier: u64,
+    /// Deterministic estimate of visited-set memory: packed state words,
+    /// BFS metadata, sleep sets and the dedupe index.
+    pub visited_bytes: u64,
+    /// The state budget the run was given.
+    pub max_states: u64,
+    /// Spec-conformance checks per observable signal — every flip-flop
+    /// fire is checked against the specification; the counts say which
+    /// outputs dominate the interleaving space. Ordered by flip-flop
+    /// index; covers every flip-flop (zeros included).
+    pub violation_checks: Vec<(String, u64)>,
+}
+
+impl ExplorationStats {
+    /// Fraction of candidate edges the sleep-set reduction pruned:
+    /// `pruned / (explored + pruned)`; 0 when nothing was enumerated.
+    pub fn prune_ratio(&self) -> f64 {
+        let total = self.edges + self.pruned_edges;
+        if total == 0 {
+            0.0
+        } else {
+            self.pruned_edges as f64 / total as f64
+        }
+    }
+
+    /// Fraction of the state budget consumed (1.0 on budget exhaustion).
+    pub fn budget_fraction(&self) -> f64 {
+        if self.max_states == 0 {
+            0.0
+        } else {
+            self.states as f64 / self.max_states as f64
+        }
+    }
+
+    /// Total spec-conformance checks across all signals.
+    pub fn total_violation_checks(&self) -> u64 {
+        self.violation_checks.iter().map(|(_, n)| n).sum()
+    }
+}
+
+/// Proof of full exploration, with reduction statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// Circuit name.
+    pub circuit: String,
     /// Whether the Eq. 1 settle assumption was in force.
     pub assumed_delay_requirement: bool,
     /// Whether the sleep-set reduction was enabled.
     pub reduction: bool,
     /// `true` for a finished exploration, `false` when the budget cut it.
     pub complete: bool,
+    /// Final exploration statistics (deterministic; see
+    /// [`ExplorationStats`]).
+    pub stats: ExplorationStats,
 }
 
 impl Certificate {
     /// Deterministic multi-line rendering (stable across runs, thread
     /// counts and machines).
     pub fn render(&self) -> String {
+        let s = &self.stats;
+        let mut checks = s
+            .violation_checks
+            .iter()
+            .map(|(name, n)| format!("{name}={n}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        if checks.is_empty() {
+            checks.push_str("none");
+        }
         format!(
             "certificate: {}\n  complete: {}\n  states: {}\n  edges: {}\n  \
              pruned_edges: {}\n  reopened: {}\n  max_depth: {}\n  \
-             peak_frontier: {}\n  eq1_assumed: {}\n  reduction: {}\n",
+             peak_frontier: {}\n  final_frontier: {}\n  visited_bytes: {}\n  \
+             budget: {}/{} ({:.4})\n  prune_ratio: {:.4}\n  \
+             violation_checks: {}\n  eq1_assumed: {}\n  reduction: {}\n",
             self.circuit,
             self.complete,
-            self.states,
-            self.edges,
-            self.pruned_edges,
-            self.reopened,
-            self.max_depth,
-            self.peak_frontier,
+            s.states,
+            s.edges,
+            s.pruned_edges,
+            s.reopened,
+            s.max_depth,
+            s.peak_frontier,
+            s.final_frontier,
+            s.visited_bytes,
+            s.states,
+            s.max_states,
+            s.budget_fraction(),
+            s.prune_ratio(),
+            checks,
             self.assumed_delay_requirement,
             self.reduction
         )
@@ -222,7 +293,19 @@ impl Verdict {
 pub fn check(sg: &StateGraph, netlist: &Netlist, config: &McConfig) -> Result<Verdict, ModelError> {
     let _span = nshot_obs::span(nshot_obs::Stage::ModelCheck);
     let model = model::Model::build(sg, netlist, config)?;
-    Ok(explore::Explorer::new(&model, config.max_states, config.reduction).run())
+    let mut explorer = explore::Explorer::new(&model, config.max_states, config.reduction);
+    // Heartbeats for long runs (NSHOT_PROGRESS): gauge updates and the
+    // reporter thread only exist when someone is listening; the explorer
+    // itself is identical either way, so verdicts and certificates are
+    // byte-identical with progress on or off.
+    let progress = nshot_obs::Progress::new(format!("mc:{}", netlist.name()));
+    let _hb = if progress.enabled() {
+        explorer.attach_progress(&progress);
+        Some(progress.start_reporter())
+    } else {
+        None
+    };
+    Ok(explorer.run())
 }
 
 /// Result of [`validate`]: proof-level validation with Monte-Carlo

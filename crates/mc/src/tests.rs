@@ -62,7 +62,23 @@ fn handshake_is_proved() {
     assert!(verdict.is_proved(), "{}", verdict.render());
     assert!(cert.complete);
     assert!(cert.assumed_delay_requirement);
-    assert!(cert.states > 4, "trivially few states: {}", cert.states);
+    assert!(
+        cert.stats.states > 4,
+        "trivially few states: {}",
+        cert.stats.states
+    );
+    // A finished run drained its frontier, burned budget, and checked the
+    // one output signal at least once.
+    assert_eq!(cert.stats.final_frontier, 0);
+    assert!(cert.stats.visited_bytes > 0);
+    assert!(cert.stats.budget_fraction() > 0.0);
+    assert_eq!(cert.stats.violation_checks.len(), 1);
+    assert_eq!(cert.stats.violation_checks[0].0, "g");
+    assert!(cert.stats.violation_checks[0].1 > 0);
+    assert_eq!(
+        cert.stats.total_violation_checks(),
+        cert.stats.violation_checks[0].1
+    );
 }
 
 #[test]
@@ -121,13 +137,18 @@ fn reduction_prunes_edges_not_states() {
     )
     .unwrap();
     let (cw, co) = (with.certificate().unwrap(), without.certificate().unwrap());
-    assert_eq!(cw.states, co.states, "sleep sets must not lose states");
-    assert_eq!(co.pruned_edges, 0);
+    assert_eq!(
+        cw.stats.states, co.stats.states,
+        "sleep sets must not lose states"
+    );
+    assert_eq!(co.stats.pruned_edges, 0);
     assert!(
-        cw.pruned_edges > 0,
+        cw.stats.pruned_edges > 0,
         "expected some commuting firings to be pruned"
     );
-    assert!(cw.edges < co.edges);
+    assert!(cw.stats.edges < co.stats.edges);
+    assert!(cw.stats.prune_ratio() > 0.0);
+    assert_eq!(co.stats.prune_ratio(), 0.0);
 }
 
 #[test]
@@ -210,9 +231,58 @@ fn budget_exhaustion_is_reported() {
     )
     .unwrap();
     match verdict {
-        Verdict::BudgetExceeded(cert) => assert!(!cert.complete),
+        Verdict::BudgetExceeded(cert) => {
+            assert!(!cert.complete);
+            // The whole budget was burned and unexplored work remains.
+            assert_eq!(cert.stats.states, 2);
+            assert_eq!(cert.stats.max_states, 2);
+            assert_eq!(cert.stats.budget_fraction(), 1.0);
+            assert!(cert.stats.final_frontier > 0, "{}", cert.render());
+        }
         v => panic!("expected budget exhaustion, got {}", v.render()),
     }
+}
+
+#[test]
+fn heartbeats_do_not_change_verdicts() {
+    // Byte-identity with progress on vs off: heartbeats observe, they do
+    // not steer. Runs under a file-target Progress writer must render the
+    // very same certificate as silent runs, and the heartbeat stream must
+    // be well-formed NDJSON ending in a final line.
+    let sg = parallel_handshakes();
+    let imp = synthesize(&sg, &SynthesisOptions::default()).unwrap();
+    let silent = check(&sg, &imp.netlist, &McConfig::default())
+        .unwrap()
+        .render();
+
+    let path = std::env::temp_dir().join(format!("nshot_mc_hb_{}.ndjson", std::process::id()));
+    nshot_obs::set_progress(Some(nshot_obs::TraceTarget::File(path.clone()))).unwrap();
+    let with_hb = check(&sg, &imp.netlist, &McConfig::default())
+        .unwrap()
+        .render();
+    let _ = nshot_obs::set_progress(None);
+
+    assert_eq!(with_hb, silent, "heartbeats changed the certificate");
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    // Other tests may run checks concurrently; look only at this job's
+    // lines. At least the reporter's opening and closing beats exist.
+    let ours: Vec<&str> = text
+        .lines()
+        .filter(|l| l.starts_with("{\"hb\":\"mc:par2\""))
+        .collect();
+    assert!(ours.len() >= 2, "expected >=2 heartbeats: {text}");
+    for line in &ours {
+        assert!(line.contains("\"elapsed_ms\":"), "{line}");
+        assert!(line.contains("\"states\":"), "{line}");
+        assert!(line.contains("\"states_per_sec\":"), "{line}");
+        assert!(line.contains("\"frontier\":"), "{line}");
+        assert!(line.contains("\"budget_pct\":"), "{line}");
+        assert!(line.ends_with('}'), "{line}");
+    }
+    let last = ours.last().unwrap();
+    assert!(last.contains("\"final\":true"), "{last}");
 }
 
 #[test]

@@ -29,15 +29,36 @@
 //!   JSON object per finished span, written through lock-striped buffers so
 //!   concurrent workers do not serialize on a single writer mutex. Off by
 //!   default; the enabled check is one atomic.
+//! * **Flight recorder** ([`event`] / [`dump`], env
+//!   `NSHOT_FLIGHT=path|stderr`, capacity `NSHOT_FLIGHT_CAP`) — a bounded
+//!   lock-striped ring of structured events with sequence numbers, dumped
+//!   on demand or automatically on panic via a chained hook
+//!   ([`install_panic_hook`], which also flushes the trace sink).
+//! * **Progress heartbeats** ([`Progress`], env
+//!   `NSHOT_PROGRESS=path|stderr`, interval `NSHOT_PROGRESS_MS`) —
+//!   per-job gauge fields plus a monotonic reporter thread emitting
+//!   periodic NDJSON heartbeat lines, for minutes-long batch jobs (the
+//!   model checker, fuzz sweeps) that otherwise say nothing until done.
 //!
-//! Determinism: tracing never influences synthesis results. Spans observe,
-//! they do not participate — the byte-identity tests run with the sink on
-//! and off and require identical netlists.
+//! Determinism: tracing never influences synthesis results. Spans,
+//! events and heartbeats observe, they do not participate — the
+//! byte-identity tests run with the sink/recorder/heartbeats on and off
+//! and require identical netlists, verdicts and certificates.
 
+pub mod progress;
+pub mod recorder;
 pub mod registry;
 pub mod sink;
 pub mod span;
 
+pub use progress::{
+    progress_enabled, set_progress, set_progress_interval_ms, HeartbeatGuard, Progress,
+    DEFAULT_PROGRESS_INTERVAL_MS,
+};
+pub use recorder::{
+    dump, event, flight_enabled, flight_events, install_panic_hook, set_flight,
+    DEFAULT_FLIGHT_CAP,
+};
 pub use registry::{
     AtomicHistogram, CacheStats, Counter, Gauge, Histogram, Registry, NUM_BUCKETS,
 };

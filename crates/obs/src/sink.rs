@@ -104,8 +104,9 @@ fn current_sink() -> Option<Arc<Sink>> {
 }
 
 /// A small, stable, process-local number for the current thread (used for
-/// the trace `thread` field and stripe selection).
-fn thread_no() -> u64 {
+/// the trace `thread` field and stripe selection, and by the flight
+/// recorder's event records).
+pub(crate) fn thread_no() -> u64 {
     static NEXT: AtomicU64 = AtomicU64::new(0);
     thread_local! {
         static NO: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
@@ -128,6 +129,10 @@ pub fn set_trace(target: Option<TraceTarget>) -> io::Result<()> {
     let on = new.is_some();
     *lock(sink_slot()) = new;
     crate::span::set_sink_flag(on);
+    if on {
+        // A worker that panics must not lose its buffered trace lines.
+        crate::recorder::install_panic_hook();
+    }
     Ok(())
 }
 

@@ -162,6 +162,12 @@ fn epoch_us(at: Instant) -> u64 {
     at.saturating_duration_since(epoch()).as_micros() as u64
 }
 
+/// Microseconds since the process epoch right now (flight-recorder
+/// event timestamps share the trace sink's clock).
+pub(crate) fn now_us() -> u64 {
+    epoch_us(Instant::now())
+}
+
 fn unpoison<T>(r: Result<T, PoisonError<T>>) -> T {
     r.unwrap_or_else(PoisonError::into_inner)
 }

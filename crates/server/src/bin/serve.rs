@@ -4,10 +4,12 @@
 //! nshot-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
 //!             [--timeout-ms N] [--cache-cap N] [--port-file PATH]
 //!             [--store DIR] [--store-fsync always|batch|never]
+//!             [--slow-ms N]
 //! ```
 //!
 //! Defaults: loopback on an ephemeral port, workers = available
-//! parallelism, queue 64, timeout 30 s, cache 1024 entries, no store. The
+//! parallelism, queue 64, timeout 30 s, cache 1024 entries, no store,
+//! slow-request log at 1000 ms (`--slow-ms 0` disables). The
 //! bound address is printed on stdout (and written to `--port-file` when
 //! given) so scripts can discover an ephemeral port. With `--store` the
 //! response cache is warmed from the persistent artifact store at startup
@@ -62,6 +64,11 @@ fn run(args: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|_| "--cache-cap must be an integer".to_string())?;
             }
+            "--slow-ms" => {
+                config.slow_ms = value("--slow-ms")?
+                    .parse()
+                    .map_err(|_| "--slow-ms must be an integer".to_string())?;
+            }
             "--port-file" => port_file = Some(value("--port-file")?),
             "--store" => config.store_dir = Some(value("--store")?.into()),
             "--store-fsync" => {
@@ -71,7 +78,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 println!(
                     "usage: nshot-serve [--addr HOST:PORT] [--workers N] [--queue-cap N] \
                      [--timeout-ms N] [--cache-cap N] [--port-file PATH] \
-                     [--store DIR] [--store-fsync always|batch|never]"
+                     [--store DIR] [--store-fsync always|batch|never] [--slow-ms N]"
                 );
                 return Ok(());
             }

@@ -94,6 +94,11 @@ pub struct ServerConfig {
     pub store_dir: Option<PathBuf>,
     /// Fsync policy for the artifact store (ignored without `store_dir`).
     pub store_fsync: FsyncPolicy,
+    /// Slow-request threshold in ms (0 disables): any request whose
+    /// service time exceeds it is logged to stderr with its per-stage
+    /// timings, counted in `nshot_slow_requests_total`, and recorded as a
+    /// flight-recorder event.
+    pub slow_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -106,6 +111,7 @@ impl Default for ServerConfig {
             cache_cap: 1024,
             store_dir: None,
             store_fsync: FsyncPolicy::default(),
+            slow_ms: 1000,
         }
     }
 }
@@ -132,6 +138,7 @@ struct Counters {
     queue_depth: Arc<Gauge>,
     queue_capacity: Arc<Gauge>,
     queue_high_water: Arc<Gauge>,
+    slow_requests: Arc<Counter>,
     latency: Arc<AtomicHistogram>,
 }
 
@@ -154,6 +161,7 @@ impl Counters {
         let queue_depth = registry.gauge("nshot_queue_depth");
         let queue_capacity = registry.gauge("nshot_queue_capacity");
         let queue_high_water = registry.gauge("nshot_queue_high_water");
+        let slow_requests = registry.counter("nshot_slow_requests_total");
         let latency = registry.histogram("nshot_request_duration_us");
         Counters {
             registry,
@@ -173,6 +181,7 @@ impl Counters {
             queue_depth,
             queue_capacity,
             queue_high_water,
+            slow_requests,
             latency,
         }
     }
@@ -469,7 +478,7 @@ fn run_job(shared: &Shared, work: Work, trace_id: u64) -> (u16, String, bool, St
         trace_id,
         reply: tx,
     };
-    let (response, timings) = match shared.queue.try_push(job) {
+    let (mut response, timings) = match shared.queue.try_push(job) {
         Ok(()) => rx.recv().unwrap_or_else(|_| {
             // Workers only exit after the queue is closed *and* drained, so
             // an accepted job always gets an answer; this is a last-resort
@@ -488,6 +497,21 @@ fn run_job(shared: &Shared, work: Work, trace_id: u64) -> (u16, String, bool, St
             StageTimings::default(),
         ),
     };
+
+    // A deadline kill is triageable from the response alone: the stages
+    // that *did* finish before the deadline ride along in the body. Safe
+    // to add here — 504 is never cacheable, so the deterministic prefix
+    // of cached responses is untouched.
+    if response.code == 504 && !timings.is_empty() {
+        let partial: Vec<(String, Json)> = timings
+            .entries()
+            .iter()
+            .map(|&(stage, _, us)| (stage.name().to_string(), Json::Num(us as f64)))
+            .collect();
+        response
+            .body
+            .push(("partial_timing".into(), Json::Obj(partial)));
+    }
 
     let fields = response.deterministic_fields();
     if cacheable(response.code) {
@@ -590,6 +614,28 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream, local_addr: Socket
         } else {
             timings.to_json()
         };
+
+        // Slow-request log: anything past the threshold is triageable
+        // from stderr (and the flight recorder) without a trace sink.
+        let slow_ms = shared.config.slow_ms;
+        if slow_ms > 0 && service_us > slow_ms.saturating_mul(1000) {
+            shared.counters.slow_requests.inc();
+            let timing = if timing_json.is_empty() {
+                "{}"
+            } else {
+                timing_json.as_str()
+            };
+            eprintln!(
+                "nshot-serve: slow request trace={trace_id} code={code} \
+                 cached={cached} service_us={service_us} timing={timing}"
+            );
+            nshot_obs::event("slow_request", || {
+                format!(
+                    "trace={trace_id} code={code} cached={cached} \
+                     service_us={service_us} timing={timing}"
+                )
+            });
+        }
         let mut line =
             protocol::render_response(&id, &fields, cached, service_us, trace_id, &timing_json);
         line.push('\n');

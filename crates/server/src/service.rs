@@ -270,10 +270,22 @@ fn process_verify_checked(
     match &verdict {
         Verdict::Proved(c) => {
             body.push(("method".into(), Json::Str("proof".into())));
-            body.push(("explored_states".into(), Json::Num(c.states as f64)));
-            body.push(("edges".into(), Json::Num(c.edges as f64)));
-            body.push(("pruned_edges".into(), Json::Num(c.pruned_edges as f64)));
-            body.push(("max_depth".into(), Json::Num(f64::from(c.max_depth))));
+            body.push(("explored_states".into(), Json::Num(c.stats.states as f64)));
+            body.push(("edges".into(), Json::Num(c.stats.edges as f64)));
+            body.push((
+                "pruned_edges".into(),
+                Json::Num(c.stats.pruned_edges as f64),
+            ));
+            body.push(("max_depth".into(), Json::Num(f64::from(c.stats.max_depth))));
+            body.push((
+                "peak_frontier".into(),
+                Json::Num(c.stats.peak_frontier as f64),
+            ));
+            body.push(("prune_ratio".into(), Json::Num(c.stats.prune_ratio())));
+            body.push((
+                "visited_bytes".into(),
+                Json::Num(c.stats.visited_bytes as f64),
+            ));
             body.push((
                 "eq1_assumed".into(),
                 Json::Bool(c.assumed_delay_requirement),
@@ -292,7 +304,20 @@ fn process_verify_checked(
                 "method".into(),
                 Json::Str("monte_carlo_fallback".into()),
             ));
-            body.push(("explored_states".into(), Json::Num(c.states as f64)));
+            body.push(("explored_states".into(), Json::Num(c.stats.states as f64)));
+            body.push((
+                "peak_frontier".into(),
+                Json::Num(c.stats.peak_frontier as f64),
+            ));
+            body.push((
+                "final_frontier".into(),
+                Json::Num(c.stats.final_frontier as f64),
+            ));
+            body.push(("prune_ratio".into(), Json::Num(c.stats.prune_ratio())));
+            body.push((
+                "visited_bytes".into(),
+                Json::Num(c.stats.visited_bytes as f64),
+            ));
             let summary =
                 monte_carlo_chunked(&sg, &imp, nshot_mc::FALLBACK_TRIALS, deadline)?;
             body.push(("trials".into(), Json::Num(summary.trials as f64)));

@@ -235,9 +235,12 @@ fn verify_op_proves_circuits_and_caches() {
     let cert = verdict.certificate().expect("proved");
     assert_eq!(
         first.get("explored_states").and_then(Json::as_u64),
-        Some(cert.states)
+        Some(cert.stats.states)
     );
-    assert_eq!(first.get("edges").and_then(Json::as_u64), Some(cert.edges));
+    assert_eq!(
+        first.get("edges").and_then(Json::as_u64),
+        Some(cert.stats.edges)
+    );
 
     // A repeat is a cache hit with an identical deterministic prefix.
     let second_raw = client.roundtrip_raw(&line);

@@ -165,6 +165,146 @@ fn per_stage_timings_sum_within_service_time() {
     server.wait();
 }
 
+/// A request that dies at the deadline still reports the per-stage
+/// timings of every stage that completed before the budget ran out: the
+/// 504 body carries a `partial_timing` object so an operator can see
+/// where the time went without re-running the request under a tracer.
+#[test]
+fn timeout_response_carries_partial_stage_timings() {
+    // combuf1's exhaustive model check (215k composed states) takes a few
+    // hundred ms even in a release build; parse and synthesis finish in a
+    // few ms. The deadline is noticed after the model-check stage (or
+    // inside the Monte-Carlo fallback), so the parse/synthesis spans are
+    // always on the books. (chu150 is too small here: its whole pipeline
+    // can finish under 60 ms in release and answer 200.)
+    let server = Server::bind(ServerConfig {
+        timeout_ms: 60,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let mut client = Client::connect(server.local_addr());
+
+    let line = Json::Obj(vec![
+        ("id".into(), Json::Num(1.0)),
+        ("op".into(), Json::Str("verify".into())),
+        ("spec".into(), Json::Str(spec_text("combuf1"))),
+    ])
+    .to_string();
+    let v = client.roundtrip(&line);
+    assert_eq!(
+        v.get("code").and_then(Json::as_u64),
+        Some(504),
+        "expected a deadline kill, got {v}"
+    );
+
+    let partial = v
+        .get("partial_timing")
+        .expect("504 must carry partial_timing for completed stages");
+    let Json::Obj(entries) = partial else {
+        panic!("partial_timing must be an object, got {partial}");
+    };
+    assert!(!entries.is_empty(), "no completed stages recorded");
+    // A verify request runs the synthesis stages plus model_check (and
+    // possibly monte_carlo fallback), so validate against the full span
+    // vocabulary, not just the seven synthesis stages.
+    let known: Vec<&str> = nshot_obs::STAGES.iter().map(|s| s.name()).collect();
+    for (stage, us) in entries {
+        assert!(
+            known.contains(&stage.as_str()),
+            "unknown stage '{stage}' in partial_timing"
+        );
+        assert!(us.as_u64().is_some(), "non-numeric timing for {stage}");
+    }
+    // The synthesis front half always beats a 60 ms deadline.
+    assert!(
+        entries.iter().any(|(k, _)| k == "parse"),
+        "parse stage missing from {partial}"
+    );
+
+    // Timeouts are counted, and a 504 is never cached.
+    let m = client.roundtrip(r#"{"id":2,"op":"metrics"}"#);
+    let expo = m.get("exposition").and_then(Json::as_str).unwrap();
+    assert!(
+        expo.contains("nshot_responses_total{outcome=\"timeout\"} 1"),
+        "timeout not counted"
+    );
+
+    server.shutdown();
+    server.wait();
+}
+
+/// One exhaustive `verify` populates the model-checker's registry series:
+/// run counters, cumulative state/edge/violation-check totals, the
+/// eagerly-registered verdict family, and the exploration gauges all show
+/// up in the Prometheus exposition (the parse test above already proves
+/// every line is well-formed).
+#[test]
+fn verify_populates_model_checker_series() {
+    let server = Server::bind(ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(server.local_addr());
+
+    let line = Json::Obj(vec![
+        ("id".into(), Json::Num(1.0)),
+        ("op".into(), Json::Str("verify".into())),
+        ("spec".into(), Json::Str(spec_text("hazard"))),
+    ])
+    .to_string();
+    let v = client.roundtrip(&line);
+    assert_eq!(v.get("code").and_then(Json::as_u64), Some(200), "{v}");
+    assert_eq!(v.get("proved").and_then(Json::as_bool), Some(true));
+
+    let m = client.roundtrip(r#"{"id":2,"op":"metrics"}"#);
+    let expo = m.get("exposition").and_then(Json::as_str).unwrap();
+    for series in [
+        "nshot_mc_runs_total",
+        "nshot_mc_states_total",
+        "nshot_mc_edges_total",
+        "nshot_mc_pruned_edges_total",
+        "nshot_mc_reopened_total",
+        "nshot_mc_violation_checks_total",
+        "nshot_mc_peak_frontier",
+        "nshot_mc_max_depth",
+        "nshot_mc_visited_bytes",
+        "nshot_mc_verdicts_total{verdict=\"proved\"}",
+        "nshot_mc_verdicts_total{verdict=\"violated\"}",
+        "nshot_mc_verdicts_total{verdict=\"budget_exceeded\"}",
+    ] {
+        assert!(expo.contains(series), "missing model-checker series {series}");
+    }
+
+    server.shutdown();
+    server.wait();
+}
+
+/// Requests slower than the configured threshold are counted in the
+/// server's `nshot_slow_requests_total`.
+#[test]
+fn slow_requests_are_counted() {
+    // 1 ms threshold: an uncached synthesis of a big circuit trips it.
+    // wrdatab is used by no other test in this binary, so the process-wide
+    // espresso cache cannot have pre-solved its covers and turned the
+    // request sub-millisecond.
+    let server = Server::bind(ServerConfig {
+        slow_ms: 1,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let mut client = Client::connect(server.local_addr());
+
+    let v = client.roundtrip(&synth_line(1, &spec_text("wrdatab")));
+    assert_eq!(v.get("code").and_then(Json::as_u64), Some(200));
+
+    let m = client.roundtrip(r#"{"id":2,"op":"metrics"}"#);
+    let expo = m.get("exposition").and_then(Json::as_str).unwrap();
+    assert!(
+        expo.contains("nshot_slow_requests_total 1"),
+        "slow request not counted:\n{expo}"
+    );
+
+    server.shutdown();
+    server.wait();
+}
+
 /// Turning the NDJSON trace sink on must not change synthesis output by a
 /// single byte, and a traced run covers every pipeline stage. The sink is
 /// installed programmatically (`set_trace`) because `NSHOT_TRACE` is only

@@ -32,13 +32,30 @@ cargo run --release -p nshot-bench --bin nshot-fuzz -- \
 echo "== tier1: classify perf smoke (full suite analysis under budget) =="
 cargo run --release -p nshot-bench --bin classify_smoke -- 20000
 
-echo "== tier1: model-checker smoke (1-circuit proof, both thread counts) =="
-cargo run --release -p nshot-bench --bin modelcheck -- chu133 /tmp/BENCH_mc_smoke.json
+echo "== tier1: model-checker smoke (1-circuit proof, heartbeats on) =="
+NSHOT_PROGRESS=stderr NSHOT_PROGRESS_MS=10 \
+  cargo run --release -p nshot-bench --bin modelcheck -- chu133 /tmp/BENCH_mc_smoke.json \
+  2> /tmp/mc_smoke_stderr.log
 grep -q '"all_hazard_free": true' /tmp/BENCH_mc_smoke.json \
   || { echo "modelcheck smoke did not prove chu133"; exit 1; }
+# With progress on, every check emits at least an opening and a final
+# heartbeat; the verdicts above must be identical either way (the run's
+# own cross-thread byte-identity assertion covers that).
+grep -q '{"hb":"mc:chu133","seq":' /tmp/mc_smoke_stderr.log \
+  || { echo "no heartbeat emitted:"; cat /tmp/mc_smoke_stderr.log; exit 1; }
+grep -q '"final":true' /tmp/mc_smoke_stderr.log \
+  || { echo "no final heartbeat emitted:"; cat /tmp/mc_smoke_stderr.log; exit 1; }
 
-echo "== tier1: disabled-tracing overhead gate (<2%) =="
+echo "== tier1: disabled-observability overhead gate (<2%) =="
 cargo run --release -p nshot-bench --bin obs_overhead
+
+echo "== tier1: dashboard regeneration (deterministic, committed copy fresh) =="
+cargo run --release -p nshot-bench --bin nshot-report -- --out /tmp/DASHBOARD_a.md
+cargo run --release -p nshot-bench --bin nshot-report -- --out /tmp/DASHBOARD_b.md
+cmp -s /tmp/DASHBOARD_a.md /tmp/DASHBOARD_b.md \
+  || { echo "nshot-report output is not deterministic"; exit 1; }
+cmp -s /tmp/DASHBOARD_a.md docs/DASHBOARD.md \
+  || { echo "docs/DASHBOARD.md is stale; regenerate with nshot-report"; exit 1; }
 
 echo "== tier1: 2-circuit smoke (synth + validate) =="
 cargo run --release --bin assassin -- bench chu133
