@@ -5,6 +5,7 @@
 //! loadgen [--addr HOST:PORT] [--concurrency N] [--passes N]
 //!         [--circuits a,b,c] [--format blif|verilog|none]
 //!         [--out PATH] [--no-shutdown] [--store DIR] [--gen N]
+//!         [--shards N,N,...]
 //! ```
 //!
 //! With `--gen N` the workload mixes in N seeded specifications from
@@ -21,6 +22,15 @@
 //! warm pass runs through the same byte-identity checks as the cold one,
 //! so a stale or corrupt store would fail the run, not skew it.
 //!
+//! With `--shards 1,2,4` (in-process mode only) the generator replays the
+//! same workload through `nshot-shard` topologies after the main run: for
+//! each listed size N it spawns N shared-nothing backends plus a front,
+//! drives every pass through the front (with the same byte-identity checks
+//! — proxied responses must match direct synthesis exactly), scrapes the
+//! merged per-shard metrics, and drains everything through the front's
+//! shutdown fan-out. The per-topology scaling figures land in the report's
+//! `shards` section.
+//!
 //! Without `--addr` the generator spawns the server in-process on an
 //! ephemeral loopback port (the reproducible, CI-friendly mode). Each of
 //! the N client connections replays every circuit once per pass, starting
@@ -33,9 +43,10 @@
 //! timings, cache hit rate, reject count) lands in `BENCH_server.json`.
 
 use nshot_core::{synthesize, SynthesisOptions};
+use nshot_server::client::{self, Client};
 use nshot_server::{json, Json, LatencyHistogram, Server, ServerConfig};
-use std::io::{BufRead, BufReader, Write as IoWrite};
-use std::net::{SocketAddr, TcpStream};
+use nshot_shard::{ShardConfig, ShardFront};
+use std::net::SocketAddr;
 use std::time::Instant;
 
 struct Options {
@@ -51,6 +62,10 @@ struct Options {
     /// `0..gen`): a high-cardinality request mix that the response cache
     /// cannot collapse the way it collapses the 25-circuit suite.
     gen: usize,
+    /// Shard-topology sizes to sweep after the main run (empty = skip).
+    /// Each entry N spawns N cold backends + a front and replays every
+    /// pass through the front, so the curves compare identical work.
+    shards: Vec<usize>,
 }
 
 impl Default for Options {
@@ -65,6 +80,7 @@ impl Default for Options {
             shutdown: true,
             store: None,
             gen: 0,
+            shards: Vec::new(),
         }
     }
 }
@@ -127,11 +143,18 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--gen must be an integer".to_string())?;
             }
+            "--shards" => {
+                opts.shards = value("--shards")?
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| "--shards must be a comma list of integers".to_string())?;
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: loadgen [--addr HOST:PORT] [--concurrency N] [--passes N] \
                      [--circuits a,b,c] [--format blif|verilog|none] [--out PATH] \
-                     [--no-shutdown] [--store DIR] [--gen N]"
+                     [--no-shutdown] [--store DIR] [--gen N] [--shards N,N,...]"
                 );
                 std::process::exit(0);
             }
@@ -146,6 +169,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     if opts.store.is_some() && !opts.shutdown {
         return Err("--store needs the graceful shutdown (drop --no-shutdown)".into());
+    }
+    if !opts.shards.is_empty() {
+        if opts.addr.is_some() {
+            return Err("--shards needs the in-process servers (drop --addr)".into());
+        }
+        if opts.shards.contains(&0) {
+            return Err("--shards sizes must be at least 1".into());
+        }
     }
     Ok(opts)
 }
@@ -247,7 +278,7 @@ fn run(args: &[String]) -> Result<(), String> {
 
         // Scrape the metrics op: cumulative per-stage pipeline timings so
         // far, straight from the server's Prometheus exposition.
-        match request(addr, r#"{"id":"metrics","op":"metrics"}"#) {
+        match client::request(addr, r#"{"id":"metrics","op":"metrics"}"#) {
             Ok(m) => {
                 if let Some(expo) = m.get("exposition").and_then(Json::as_str) {
                     stage_timings = parse_stage_histograms(expo);
@@ -265,9 +296,9 @@ fn run(args: &[String]) -> Result<(), String> {
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
 
     // Final service-side counters, then (optionally) a graceful shutdown.
-    let stats = request(addr, r#"{"id":"stats","op":"stats"}"#)?;
+    let stats = client::request(addr, r#"{"id":"stats","op":"stats"}"#)?;
     if opts.shutdown {
-        let ack = request(addr, r#"{"id":"ctl","op":"shutdown"}"#)?;
+        let ack = client::request(addr, r#"{"id":"ctl","op":"shutdown"}"#)?;
         if ack.get("drained").and_then(Json::as_bool) != Some(true) {
             return Err(format!("shutdown did not drain: {ack}"));
         }
@@ -359,6 +390,13 @@ fn run(args: &[String]) -> Result<(), String> {
         }
     };
 
+    // Shard-topology sweep: the same workload through 1/2/4-shard (or
+    // whatever `--shards` listed) fronts, each over fresh shared-nothing
+    // backends, so the report carries honest scaling curves. Byte-identity
+    // failures here fail the run exactly like the main phase's.
+    let mut sweep_errors: Vec<String> = Vec::new();
+    let shards_json = run_shard_sweep(&opts, &specs, &expected, &mut sweep_errors)?;
+
     // Merge the per-client tallies.
     let mut latency = LatencyHistogram::default();
     let mut ok = 0u64;
@@ -379,6 +417,7 @@ fn run(args: &[String]) -> Result<(), String> {
         gen_latency.merge(&r.gen_latency);
     }
     protocol_errors.extend(warm_errors);
+    protocol_errors.extend(sweep_errors);
     let sent = (opts.concurrency * opts.passes * specs.len()) as u64;
     let throughput = (ok + rejected) as f64 / (wall_ms / 1e3);
 
@@ -405,7 +444,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let report = render_report(
         &opts, &names, sent, ok, rejected, cache_hits, &protocol_errors, wall_ms,
         throughput, &latency, &stats, &stage_timings, store_json.as_deref(),
-        gen_json.as_deref(),
+        gen_json.as_deref(), shards_json.as_deref(),
     );
     std::fs::write(&opts.out, report).map_err(|e| format!("{}: {e}", opts.out))?;
     eprintln!(
@@ -434,15 +473,13 @@ fn client_loop(
     opts: &Options,
 ) -> ClientReport {
     let mut report = ClientReport::default();
-    let stream = match TcpStream::connect(addr) {
-        Ok(s) => s,
+    let mut conn = match Client::connect(addr) {
+        Ok(c) => c,
         Err(e) => {
             report.protocol_errors.push(format!("client {client}: connect: {e}"));
             return report;
         }
     };
-    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
-    let mut writer = stream;
 
     for k in 0..specs.len() {
         let i = (k + client) % specs.len();
@@ -457,7 +494,7 @@ fn client_loop(
 
         let is_gen = i >= specs.len() - opts.gen;
         let t0 = Instant::now();
-        let raw = match send_line(&mut writer, &mut reader, &line) {
+        let raw = match conn.roundtrip(&line) {
             Ok(raw) => raw,
             Err(e) => {
                 report.protocol_errors.push(format!("client {client} {name}: {e}"));
@@ -510,29 +547,167 @@ fn client_loop(
     report
 }
 
-fn send_line(
-    writer: &mut TcpStream,
-    reader: &mut BufReader<TcpStream>,
-    line: &str,
-) -> Result<String, String> {
-    writer
-        .write_all(format!("{line}\n").as_bytes())
-        .and_then(|()| writer.flush())
-        .map_err(|e| format!("write: {e}"))?;
-    let mut raw = String::new();
-    reader.read_line(&mut raw).map_err(|e| format!("read: {e}"))?;
-    if raw.is_empty() {
-        return Err("connection closed".into());
-    }
-    Ok(raw.trim_end().to_owned())
+/// Per-shard routing and cache figures recovered from the front's merged
+/// metrics exposition (the `shard="i"`-labelled series).
+struct ShardFigures {
+    requests: u64,
+    hits: u64,
+    misses: u64,
 }
 
-/// One-shot request on a fresh connection.
-fn request(addr: SocketAddr, line: &str) -> Result<Json, String> {
-    let mut writer = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
-    let mut reader = BufReader::new(writer.try_clone().map_err(|e| e.to_string())?);
-    let raw = send_line(&mut writer, &mut reader, line)?;
-    json::parse(&raw).map_err(|e| format!("bad json: {e}"))
+/// Read one integer sample (`name{shard="i"} value`) from a merged
+/// exposition; a missing series reads as 0.
+fn shard_series_value(exposition: &str, name: &str, shard: usize) -> u64 {
+    let prefix = format!("{name}{{shard=\"{shard}\"}} ");
+    exposition
+        .lines()
+        .find_map(|l| l.strip_prefix(&prefix))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Replay the workload through each requested shard topology and render
+/// the report's `shards` section. Every topology starts from cold,
+/// shared-nothing backends so the curves compare identical work; requests
+/// go through the front with the same byte-identity checks as the main
+/// phase, and the drain goes through the front's shutdown fan-out.
+fn run_shard_sweep(
+    opts: &Options,
+    specs: &[(String, String)],
+    expected: &[String],
+    errors: &mut Vec<String>,
+) -> Result<Option<String>, String> {
+    if opts.shards.is_empty() {
+        return Ok(None);
+    }
+    let mut topologies: Vec<String> = Vec::new();
+    for &n in &opts.shards {
+        let backends: Vec<Server> = (0..n)
+            .map(|_| {
+                Server::bind(ServerConfig {
+                    queue_cap: (opts.concurrency * 2).max(64),
+                    timeout_ms: 0,
+                    ..ServerConfig::default()
+                })
+            })
+            .collect::<Result<_, _>>()
+            .map_err(|e| format!("shard sweep: backend bind: {e}"))?;
+        let front = ShardFront::bind(ShardConfig {
+            backends: backends.iter().map(Server::local_addr).collect(),
+            // Let every client reach the same shard at once: the backend's
+            // own queue is the backpressure, not the proxy pool.
+            pool_cap: opts.concurrency.max(8),
+            // Suite circuits legitimately take minutes on one shared core;
+            // an IO timeout would misread slow synthesis as a dead shard.
+            io_timeout_ms: 0,
+            ..ShardConfig::default()
+        })
+        .map_err(|e| format!("shard sweep: front bind: {e}"))?;
+        let addr = front.local_addr();
+        eprintln!(
+            "loadgen: shard sweep: {} clients x {} passes through a {n}-shard front on {addr}",
+            opts.concurrency, opts.passes
+        );
+
+        let t0 = Instant::now();
+        let mut reports: Vec<ClientReport> = Vec::new();
+        for pass in 0..opts.passes {
+            let pass_reports: Vec<ClientReport> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..opts.concurrency)
+                    .map(|client| {
+                        s.spawn(move || client_loop(client, pass, addr, specs, expected, opts))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard client thread"))
+                    .collect()
+            });
+            reports.extend(pass_reports);
+        }
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        // The merged exposition carries every backend's series under its
+        // shard label — routing spread and per-shard cache behaviour.
+        let per_shard: Vec<ShardFigures> = match client::request(
+            addr,
+            r#"{"id":"metrics","op":"metrics"}"#,
+        ) {
+            Ok(m) => {
+                let expo = m
+                    .get("exposition")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_owned();
+                (0..n)
+                    .map(|i| ShardFigures {
+                        requests: shard_series_value(&expo, "nshot_shard_requests_total", i),
+                        hits: shard_series_value(&expo, "nshot_response_cache_hits_total", i),
+                        misses: shard_series_value(&expo, "nshot_response_cache_misses_total", i),
+                    })
+                    .collect()
+            }
+            Err(e) => {
+                errors.push(format!("shard sweep {n}: metrics scrape: {e}"));
+                Vec::new()
+            }
+        };
+
+        // Drain through the front: the shutdown op fans out to every
+        // backend and only acks after each has drained its queue.
+        let ack = client::request(addr, r#"{"id":"ctl","op":"shutdown"}"#)
+            .map_err(|e| format!("shard sweep {n}: shutdown: {e}"))?;
+        if ack.get("shards_drained").and_then(Json::as_u64) != Some(n as u64) {
+            return Err(format!("shard sweep {n}: shutdown fan-out incomplete: {ack}"));
+        }
+        front.wait();
+        for backend in backends {
+            backend.wait();
+        }
+
+        let mut latency = LatencyHistogram::default();
+        let (mut ok, mut rejected, mut hits) = (0u64, 0u64, 0u64);
+        for r in reports {
+            latency.merge(&r.latency);
+            ok += r.ok;
+            rejected += r.rejected;
+            hits += r.cache_hits;
+            errors.extend(
+                r.protocol_errors
+                    .into_iter()
+                    .map(|e| format!("shard sweep {n}: {e}")),
+            );
+        }
+        let throughput = (ok + rejected) as f64 / (wall_ms / 1e3);
+        let hit_rate = if ok > 0 { hits as f64 / ok as f64 } else { 0.0 };
+        eprintln!(
+            "loadgen: shard sweep: {n} shard(s): {ok} ok, {rejected} rejected, \
+             hit rate {hit_rate:.4}, {wall_ms:.0} ms, {throughput:.1} req/s"
+        );
+        let per_shard_json = per_shard
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                format!(
+                    "{{\"shard\": {i}, \"requests\": {}, \"cache_hits\": {}, \"cache_misses\": {}}}",
+                    s.requests, s.hits, s.misses
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        topologies.push(format!(
+            "{{\"shards\": {n}, \"wall_ms\": {wall_ms:.2}, \"throughput_rps\": {throughput:.1}, \
+             \"ok\": {ok}, \"rejected\": {rejected}, \"cache_hits\": {hits}, \
+             \"hit_rate\": {hit_rate:.4}, \
+             \"latency_us\": {{\"p50\": {}, \"p99\": {}, \"mean\": {}, \"max\": {}}}, \
+             \"per_shard\": [{per_shard_json}]}}",
+            latency.p50_us(),
+            latency.p99_us(),
+            latency.mean_us(),
+            latency.max_us(),
+        ));
+    }
+    Ok(Some(format!("[{}]", topologies.join(", "))))
 }
 
 /// Per-pipeline-stage summary recovered from the server's Prometheus
@@ -636,6 +811,7 @@ fn render_report(
     stage_timings: &[(String, StageStat)],
     store_json: Option<&str>,
     gen_json: Option<&str>,
+    shards_json: Option<&str>,
 ) -> String {
     let stage_json = stage_timings
         .iter()
@@ -684,10 +860,12 @@ fn render_report(
          \x20 \"stage_timings_us\": {{{stage_json}}},\n\
          \x20 \"response_cache\": {{\"client_observed_hits\": {cache_hits}, \"client_hit_rate\": {hit_rate:.4}, \"server\": {stats_line}}},\n\
          \x20 \"generated\": {gen_line},\n\
-         \x20 \"store\": {store_line}\n\
+         \x20 \"store\": {store_line},\n\
+         \x20 \"shards\": {shards_line}\n\
          }}\n",
         gen_line = gen_json.unwrap_or("null"),
         store_line = store_json.unwrap_or("null"),
+        shards_line = shards_json.unwrap_or("null"),
         par = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         gen = opts.gen,
         conc = opts.concurrency,

@@ -136,6 +136,61 @@ fn server_section(out: &mut String, v: Option<&Json>) {
         }
         let _ = writeln!(out);
     }
+    shards_subsection(out, v);
+}
+
+/// The `shards` scaling table: one row per swept topology, with the
+/// 1-shard wall time as the speedup baseline and the per-shard routing
+/// spread folded into a compact `requests/hits` column.
+fn shards_subsection(out: &mut String, v: &Json) {
+    let topologies = arr(v, "shards");
+    if topologies.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "### Shard topology sweep\n");
+    let _ = writeln!(
+        out,
+        "Same workload replayed through an `nshot-shard` front over N cold, \
+         shared-nothing backends (key-affinity routing; byte-identity checked \
+         per response).\n"
+    );
+    let baseline_ms = topologies
+        .iter()
+        .find(|t| int(t, "shards") == 1)
+        .map_or(0.0, |t| num(t, "wall_ms"));
+    let _ = writeln!(
+        out,
+        "| shards | wall (ms) | speedup | rps | ok | rejected | hit rate | \
+         p50 (µs) | p99 (µs) | per-shard requests (hits) |"
+    );
+    let _ = writeln!(out, "|---:|---:|---:|---:|---:|---:|---:|---:|---:|---|");
+    for t in topologies {
+        let wall = num(t, "wall_ms");
+        let speedup = if wall > 0.0 && baseline_ms > 0.0 {
+            format!("{:.2}x", baseline_ms / wall)
+        } else {
+            "—".into()
+        };
+        let lat = t.get("latency_us");
+        let spread = arr(t, "per_shard")
+            .iter()
+            .map(|s| format!("{} ({})", int(s, "requests"), int(s, "cache_hits")))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(
+            out,
+            "| {} | {:.0} | {speedup} | {:.1} | {} | {} | {:.4} | {} | {} | {spread} |",
+            int(t, "shards"),
+            wall,
+            num(t, "throughput_rps"),
+            int(t, "ok"),
+            int(t, "rejected"),
+            num(t, "hit_rate"),
+            lat.map_or(0, |l| int(l, "p50")),
+            lat.map_or(0, |l| int(l, "p99")),
+        );
+    }
+    let _ = writeln!(out);
 }
 
 fn mc_section(out: &mut String, v: Option<&Json>) {

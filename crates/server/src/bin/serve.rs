@@ -4,19 +4,23 @@
 //! nshot-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
 //!             [--timeout-ms N] [--cache-cap N] [--port-file PATH]
 //!             [--store DIR] [--store-fsync always|batch|never]
-//!             [--slow-ms N]
+//!             [--warm-store DIR] [--slow-ms N]
 //! ```
 //!
 //! Defaults: loopback on an ephemeral port, workers = available
 //! parallelism, queue 64, timeout 30 s, cache 1024 entries, no store,
-//! slow-request log at 1000 ms (`--slow-ms 0` disables). The
-//! bound address is printed on stdout (and written to `--port-file` when
-//! given) so scripts can discover an ephemeral port. With `--store` the
-//! response cache is warmed from the persistent artifact store at startup
-//! and every cache fill is persisted write-behind, so a restarted service
-//! answers previously seen specs from disk without recompiling. The
-//! process exits after a graceful `{"op":"shutdown"}` request has drained
-//! all jobs, printing the final store summary.
+//! slow-request log at 1000 ms (`--slow-ms 0` disables). Once the
+//! listener is accepting, a single machine-readable `ready ADDR` line is
+//! printed on stdout (and the address written to `--port-file` when
+//! given) — parents and scripts wait for that line instead of polling the
+//! file. With `--store` the response cache is warmed from the persistent
+//! artifact store at startup and every cache fill is persisted
+//! write-behind, so a restarted service answers previously seen specs
+//! from disk without recompiling. `--warm-store` warms from a directory
+//! *without writing to it* (a read-only segment scan) — the mode shard
+//! backends use so N processes can share one store. The process exits
+//! after a graceful `{"op":"shutdown"}` request has drained all jobs,
+//! printing the final store summary.
 
 use nshot_server::{FsyncPolicy, Server, ServerConfig};
 use std::process::ExitCode;
@@ -71,6 +75,7 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             "--port-file" => port_file = Some(value("--port-file")?),
             "--store" => config.store_dir = Some(value("--store")?.into()),
+            "--warm-store" => config.warm_dir = Some(value("--warm-store")?.into()),
             "--store-fsync" => {
                 config.store_fsync = FsyncPolicy::parse(&value("--store-fsync")?)?;
             }
@@ -78,7 +83,8 @@ fn run(args: &[String]) -> Result<(), String> {
                 println!(
                     "usage: nshot-serve [--addr HOST:PORT] [--workers N] [--queue-cap N] \
                      [--timeout-ms N] [--cache-cap N] [--port-file PATH] \
-                     [--store DIR] [--store-fsync always|batch|never] [--slow-ms N]"
+                     [--store DIR] [--store-fsync always|batch|never] \
+                     [--warm-store DIR] [--slow-ms N]"
                 );
                 return Ok(());
             }
@@ -88,10 +94,15 @@ fn run(args: &[String]) -> Result<(), String> {
 
     let server = Server::bind(config).map_err(|e| format!("bind: {e}"))?;
     let addr = server.local_addr();
-    println!("nshot-server listening on {addr}");
     if let Some(path) = port_file {
         std::fs::write(&path, format!("{addr}\n")).map_err(|e| format!("{path}: {e}"))?;
     }
+    // The single machine-readable readiness line: everything a parent
+    // needs (the listener is accepting, and where). Written after the
+    // port file so a reader woken by this line finds the file complete.
+    println!("ready {addr}");
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
     let report = server.wait();
     // Flush any buffered NDJSON trace lines before reporting — a trace
     // that loses its tail on graceful shutdown is worse than none.

@@ -10,12 +10,15 @@
 //! fallback past it. Around that core sits the production plumbing the
 //! ROADMAP's north star asks for:
 //!
-//! * a **bounded job queue** ([`nshot_par::BoundedQueue`]) with explicit
-//!   backpressure — a full queue rejects immediately with a 429-style
-//!   response carrying the observed depth, instead of buffering without
-//!   bound;
-//! * a **worker pool** draining the queue, sized like the synthesis
-//!   pipeline's own pool ([`nshot_par::num_threads`]);
+//! * the **reusable runtime layer** ([`runtime`]): the TCP accept loop +
+//!   newline framing ([`runtime::TcpLineServer`]) and the bounded job
+//!   queue + worker pool + graceful drain ([`runtime::WorkerPool`]).
+//!   The sharded serving tier (`nshot-shard`) runs its front on the same
+//!   module, so there is exactly one accept/queue/drain implementation in
+//!   the tree;
+//! * explicit **backpressure** — a full queue rejects immediately with a
+//!   429-style response carrying the observed depth, instead of buffering
+//!   without bound;
 //! * per-request **wall-clock deadlines**, enforced cooperatively between
 //!   pipeline stages (see [`service`]);
 //! * a **whole-response cache** keyed on the canonical encoding of
@@ -34,14 +37,18 @@
 //! * **graceful shutdown** on a control request: admission closes, queued
 //!   and in-flight jobs drain, workers exit, and only then is the shutdown
 //!   acknowledged. [`Server::wait`] returns a [`ShutdownReport`] with the
-//!   final counters and metrics snapshot.
+//!   final counters and metrics snapshot;
+//! * a shared **NDJSON client** ([`client`]) used by the load generator,
+//!   the shard front's proxy path and the metrics fan-out.
 //!
 //! Protocol details live in [`protocol`]; the deterministic request
 //! execution in [`service`]. The load harness is
 //! `cargo run --release -p nshot-bench --bin loadgen`.
 
+pub mod client;
 pub mod json;
 pub mod protocol;
+pub mod runtime;
 pub mod service;
 
 pub use json::Json;
@@ -55,14 +62,12 @@ pub use service::{load_spec, process_synth, process_verify, Deadline};
 
 use nshot_logic::BoundedCache;
 use nshot_obs::{AtomicHistogram, Counter, Gauge, Registry, StageTimings};
-use nshot_par::{BoundedQueue, PushError};
+use nshot_par::PushError;
 use nshot_store::{Store, StoreConfig, StoreReport};
-use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use runtime::{LineHandler, LineReply, TcpLineServer, WorkerPool};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
 
 pub use nshot_store::FsyncPolicy;
 
@@ -92,6 +97,13 @@ pub struct ServerConfig {
     /// and cache fills are persisted write-behind on a dedicated thread,
     /// so the request path never blocks on fsync.
     pub store_dir: Option<PathBuf>,
+    /// Warm the response cache at bind time from this store directory
+    /// *without becoming a writer*: a read-only segment scan that never
+    /// truncates, prunes or creates segments, so any number of processes
+    /// (e.g. every backend of a shard topology) can warm from one shared
+    /// directory concurrently. Ignored when `store_dir` is set (a writer
+    /// already warms from its own directory).
+    pub warm_dir: Option<PathBuf>,
     /// Fsync policy for the artifact store (ignored without `store_dir`).
     pub store_fsync: FsyncPolicy,
     /// Slow-request threshold in ms (0 disables): any request whose
@@ -110,6 +122,7 @@ impl Default for ServerConfig {
             timeout_ms: 30_000,
             cache_cap: 1024,
             store_dir: None,
+            warm_dir: None,
             store_fsync: FsyncPolicy::default(),
             slow_ms: 1000,
         }
@@ -222,18 +235,30 @@ struct Job {
     reply: mpsc::Sender<(Response, StageTimings)>,
 }
 
-/// State shared by the accept loop, connection handlers and workers.
+/// Run one job to completion (the worker pool's `run` closure). Executes
+/// inside [`nshot_obs::with_request`], so pipeline spans (including those
+/// recorded on `par_map` worker threads) are attributed to the job's trace
+/// id and come back as its per-stage timings.
+fn run_worker_job(job: Job) {
+    let (response, timings) = nshot_obs::with_request(job.trace_id, || {
+        if job.deadline.expired() {
+            Response::error(504, "deadline exceeded while queued")
+        } else {
+            job.work.process(&job.deadline)
+        }
+    });
+    // A dropped receiver just means the client hung up mid-request.
+    let _ = job.reply.send((response, timings));
+}
+
+/// State shared by the connection handlers and the shutdown path. The
+/// queue/worker/drain plumbing lives in the embedded [`WorkerPool`].
 struct Shared {
     config: ServerConfig,
     started: Instant,
-    queue: BoundedQueue<Job>,
+    pool: WorkerPool<Job>,
     cache: Mutex<BoundedCache<String, String>>,
     counters: Counters,
-    shutdown: AtomicBool,
-    in_flight: AtomicUsize,
-    /// Signalled by workers after each finished job so the shutdown path
-    /// can wait for the drain.
-    drain: (Mutex<()>, Condvar),
     /// Write-behind channel to the store thread (`None` when no store is
     /// configured). Taken — dropping the sender — at drain time, which is
     /// what tells the store thread to flush and exit.
@@ -254,9 +279,9 @@ impl Shared {
     /// Refresh the gauges that mirror live data structures (queue, caches).
     fn refresh_gauges(&self) {
         let c = &self.counters;
-        c.queue_depth.set(self.queue.len() as u64);
-        c.queue_capacity.set(self.queue.capacity() as u64);
-        c.queue_high_water.set(self.queue.high_water() as u64);
+        c.queue_depth.set(self.pool.queue_len() as u64);
+        c.queue_capacity.set(self.pool.queue_capacity() as u64);
+        c.queue_high_water.set(self.pool.queue_high_water() as u64);
         let (cache_len, cache_evictions) = {
             let cache = self.cache.lock().expect("cache poisoned");
             (cache.len(), cache.evictions())
@@ -309,14 +334,14 @@ impl Shared {
             (
                 "queue".into(),
                 Json::Obj(vec![
-                    ("depth".into(), Json::Num(self.queue.len() as f64)),
+                    ("depth".into(), Json::Num(self.pool.queue_len() as f64)),
                     (
                         "capacity".into(),
-                        Json::Num(self.queue.capacity() as f64),
+                        Json::Num(self.pool.queue_capacity() as f64),
                     ),
                     (
                         "high_water".into(),
-                        Json::Num(self.queue.high_water() as f64),
+                        Json::Num(self.pool.queue_high_water() as f64),
                     ),
                 ]),
             ),
@@ -384,45 +409,8 @@ impl Shared {
     /// sent by the time the workers are idle, so dropping the sender here
     /// loses nothing).
     fn drain(&self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        self.queue.close();
-        let (lock, cvar) = &self.drain;
-        let mut guard = lock.lock().expect("drain mutex poisoned");
-        while !self.queue.is_empty() || self.in_flight.load(Ordering::SeqCst) > 0 {
-            let (g, _) = cvar
-                .wait_timeout(guard, Duration::from_millis(20))
-                .expect("drain mutex poisoned");
-            guard = g;
-        }
-        drop(guard);
+        self.pool.drain();
         self.persist.lock().expect("persist poisoned").take();
-    }
-
-    fn notify_drain(&self) {
-        let (lock, cvar) = &self.drain;
-        let _g = lock.lock().expect("drain mutex poisoned");
-        cvar.notify_all();
-    }
-}
-
-/// Worker loop: pop jobs until the queue closes and drains. Each job runs
-/// inside [`nshot_obs::with_request`], so pipeline spans (including those
-/// recorded on `par_map` worker threads) are attributed to the job's trace
-/// id and come back as its per-stage timings.
-fn worker_loop(shared: &Shared) {
-    while let Some(job) = shared.queue.pop() {
-        shared.in_flight.fetch_add(1, Ordering::SeqCst);
-        let (response, timings) = nshot_obs::with_request(job.trace_id, || {
-            if job.deadline.expired() {
-                Response::error(504, "deadline exceeded while queued")
-            } else {
-                job.work.process(&job.deadline)
-            }
-        });
-        // A dropped receiver just means the client hung up mid-request.
-        let _ = job.reply.send((response, timings));
-        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
-        shared.notify_drain();
     }
 }
 
@@ -462,15 +450,7 @@ fn run_job(shared: &Shared, work: Work, trace_id: u64) -> (u16, String, bool, St
         }
     }
 
-    if shared.shutdown.load(Ordering::SeqCst) {
-        let r = Response::rejected(503, "shutting down", None);
-        return (r.code, r.deterministic_fields(), false, StageTimings::default());
-    }
-
-    let deadline = Deadline(
-        (shared.config.timeout_ms > 0)
-            .then(|| Instant::now() + Duration::from_millis(shared.config.timeout_ms)),
-    );
+    let deadline = Deadline::after_ms(shared.config.timeout_ms);
     let (tx, rx) = mpsc::channel();
     let job = Job {
         work,
@@ -478,7 +458,7 @@ fn run_job(shared: &Shared, work: Work, trace_id: u64) -> (u16, String, bool, St
         trace_id,
         reply: tx,
     };
-    let (mut response, timings) = match shared.queue.try_push(job) {
+    let (mut response, timings) = match shared.pool.try_submit(job) {
         Ok(()) => rx.recv().unwrap_or_else(|_| {
             // Workers only exit after the queue is closed *and* drained, so
             // an accepted job always gets an answer; this is a last-resort
@@ -534,22 +514,13 @@ fn run_job(shared: &Shared, work: Work, trace_id: u64) -> (u16, String, bool, St
     (response.code, fields, false, timings)
 }
 
-/// Serve one client connection (one request per line, one response line
-/// each, in order).
-fn handle_connection(shared: &Arc<Shared>, stream: TcpStream, local_addr: SocketAddr) {
-    let reader = match stream.try_clone() {
-        Ok(s) => BufReader::new(s),
-        Err(_) => return,
-    };
-    let mut writer = stream;
-    for line in reader.split(b'\n') {
-        let Ok(raw) = line else { break };
-        if raw.is_empty() || raw == b"\r" {
-            continue;
-        }
+impl LineHandler for Shared {
+    /// Serve one request line end to end: parse, dispatch, count, stamp
+    /// the per-call fields, render. The runtime owns framing and sockets.
+    fn handle_line(&self, raw: Vec<u8>) -> LineReply {
         let t0 = Instant::now();
         let trace_id = nshot_obs::next_trace_id();
-        shared.counters.requests.inc();
+        self.counters.requests.inc();
 
         // Non-UTF-8 bytes are a protocol error, answered — not a panic, not
         // a dropped connection.
@@ -571,43 +542,43 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream, local_addr: Socket
                     (id, r.code, r.deterministic_fields(), false)
                 }
                 Request::Stats => {
-                    let r = shared.stats_response();
+                    let r = self.stats_response();
                     (id, r.code, r.deterministic_fields(), false)
                 }
                 Request::Metrics => {
-                    let r = shared.metrics_response();
+                    let r = self.metrics_response();
                     (id, r.code, r.deterministic_fields(), false)
                 }
                 Request::Shutdown => {
-                    shared.drain();
+                    self.drain();
                     shutdown_after_reply = true;
                     let r = Response::ok(vec![
                         ("shutdown".into(), Json::Bool(true)),
                         ("drained".into(), Json::Bool(true)),
                         (
                             "served".into(),
-                            Json::Num(shared.counters.requests.get() as f64),
+                            Json::Num(self.counters.requests.get() as f64),
                         ),
                     ]);
                     (id, r.code, r.deterministic_fields(), false)
                 }
                 Request::Synth(synth) => {
-                    let (code, fields, cached, t) = run_job(shared, Work::Synth(synth), trace_id);
+                    let (code, fields, cached, t) = run_job(self, Work::Synth(synth), trace_id);
                     timings = t;
                     (id, code, fields, cached)
                 }
                 Request::Verify(verify) => {
                     let (code, fields, cached, t) =
-                        run_job(shared, Work::Verify(verify), trace_id);
+                        run_job(self, Work::Verify(verify), trace_id);
                     timings = t;
                     (id, code, fields, cached)
                 }
             },
         };
 
-        shared.count_code(code);
+        self.count_code(code);
         let service_us = t0.elapsed().as_micros() as u64;
-        shared.counters.latency.record(service_us);
+        self.counters.latency.record(service_us);
 
         let timing_json = if timings.is_empty() {
             String::new()
@@ -617,9 +588,9 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream, local_addr: Socket
 
         // Slow-request log: anything past the threshold is triageable
         // from stderr (and the flight recorder) without a trace sink.
-        let slow_ms = shared.config.slow_ms;
+        let slow_ms = self.config.slow_ms;
         if slow_ms > 0 && service_us > slow_ms.saturating_mul(1000) {
-            shared.counters.slow_requests.inc();
+            self.counters.slow_requests.inc();
             let timing = if timing_json.is_empty() {
                 "{}"
             } else {
@@ -636,16 +607,11 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream, local_addr: Socket
                 )
             });
         }
-        let mut line =
+        let line =
             protocol::render_response(&id, &fields, cached, service_us, trace_id, &timing_json);
-        line.push('\n');
-        if writer.write_all(line.as_bytes()).is_err() || writer.flush().is_err() {
-            break;
-        }
-        if shutdown_after_reply {
-            // Wake the accept loop so it observes the shutdown flag.
-            let _ = TcpStream::connect(local_addr);
-            break;
+        LineReply {
+            line,
+            shutdown: shutdown_after_reply,
         }
     }
 }
@@ -670,9 +636,7 @@ pub struct ShutdownReport {
 /// [`Server::wait`].
 pub struct Server {
     shared: Arc<Shared>,
-    addr: SocketAddr,
-    accept: std::thread::JoinHandle<()>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    line_server: TcpLineServer,
     store_thread: Option<std::thread::JoinHandle<StoreReport>>,
 }
 
@@ -687,8 +651,6 @@ impl Server {
         // scrape sees every stage (with zero counts) from the first
         // request on.
         let _ = nshot_obs::stage_histograms();
-        let listener = TcpListener::bind(&config.addr)?;
-        let addr = listener.local_addr()?;
         let workers = if config.workers == 0 {
             nshot_par::num_threads()
         } else {
@@ -723,6 +685,20 @@ impl Server {
                     }
                 }
             }
+        } else if let Some(dir) = &config.warm_dir {
+            // Shared-warm mode (shard backends): read-only scan, no writer
+            // state, safe for N processes on one directory.
+            if config.cache_cap > 0 {
+                let mut guard = cache.lock().expect("cache poisoned");
+                for (key, value) in
+                    nshot_store::read_entries(dir, RESPONSE_STORE_VERSION)?
+                {
+                    if let Ok(fields) = String::from_utf8(value) {
+                        guard.insert(key, fields);
+                        counters.cache_warmed.inc();
+                    }
+                }
+            }
         }
 
         let (persist, store_thread) = match store {
@@ -745,80 +721,48 @@ impl Server {
             }
         };
 
+        let addr = config.addr.clone();
         let shared = Arc::new(Shared {
-            queue: BoundedQueue::new(config.queue_cap),
+            pool: WorkerPool::new("nshot-worker", workers, config.queue_cap, run_worker_job),
             cache,
             counters,
-            shutdown: AtomicBool::new(false),
-            in_flight: AtomicUsize::new(0),
-            drain: (Mutex::new(()), Condvar::new()),
             started: Instant::now(),
             persist: Mutex::new(persist),
             config,
         });
 
-        let worker_handles: Vec<_> = (0..workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("nshot-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker")
-            })
-            .collect();
-
-        let accept_shared = Arc::clone(&shared);
-        let accept = std::thread::Builder::new()
-            .name("nshot-accept".into())
-            .spawn(move || {
-                for incoming in listener.incoming() {
-                    if accept_shared.shutdown.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let Ok(stream) = incoming else { continue };
-                    let shared = Arc::clone(&accept_shared);
-                    let _ = std::thread::Builder::new()
-                        .name("nshot-conn".into())
-                        .spawn(move || handle_connection(&shared, stream, addr));
-                }
-            })
-            .expect("spawn accept loop");
-
+        let line_server = TcpLineServer::bind(&addr, Arc::clone(&shared))?;
         Ok(Server {
             shared,
-            addr,
-            accept,
-            workers: worker_handles,
+            line_server,
             store_thread,
         })
     }
 
     /// The bound address (resolves port 0).
-    pub fn local_addr(&self) -> SocketAddr {
-        self.addr
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.line_server.local_addr()
     }
 
     /// Programmatic graceful shutdown: drain jobs, stop the accept loop.
     pub fn shutdown(&self) {
         self.shared.drain();
-        let _ = TcpStream::connect(self.addr);
+        self.line_server.stop();
     }
 
     /// Block until the service has shut down (via a `shutdown` request or
     /// [`Server::shutdown`]) and every worker has exited, then report what
     /// it saw.
     pub fn wait(self) -> ShutdownReport {
-        let _ = self.accept.join();
-        for w in self.workers {
-            let _ = w.join();
-        }
+        self.line_server.join();
+        self.shared.pool.join();
         // The workers are gone and drain() dropped the persist sender, so
         // the store thread is already flushing its tail; joining it here
         // makes the returned report (and the on-disk state) final.
         let store = self.store_thread.and_then(|h| h.join().ok());
         ShutdownReport {
             served: self.shared.counters.requests.get(),
-            queue_high_water: self.shared.queue.high_water() as u64,
+            queue_high_water: self.shared.pool.queue_high_water() as u64,
             metrics: self.shared.metrics_text(),
             store,
         }

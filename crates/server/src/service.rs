@@ -35,6 +35,18 @@ impl Deadline {
         Deadline(None)
     }
 
+    /// A deadline `ms` milliseconds from now; the service convention
+    /// `0 = unlimited` is interpreted here, in one place.
+    pub fn after_ms(ms: u64) -> Self {
+        if ms == 0 {
+            Deadline(None)
+        } else {
+            Deadline(Some(
+                Instant::now() + std::time::Duration::from_millis(ms),
+            ))
+        }
+    }
+
     /// `true` once the wall clock has passed the deadline.
     pub fn expired(&self) -> bool {
         self.0.is_some_and(|t| Instant::now() >= t)

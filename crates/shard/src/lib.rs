@@ -1,0 +1,454 @@
+//! `nshot-shard`: a shared-nothing sharded serving tier for the N-SHOT
+//! service.
+//!
+//! One **front** process accepts the existing NDJSON-over-TCP protocol and
+//! consistent-hashes each request's canonical key
+//! ([`nshot_logic::request_key`] — the same encoding the response cache
+//! and the artifact store use) across N backend `nshot-serve` workers.
+//! Each backend is shared-nothing: its own espresso memo, its own response
+//! cache, its own worker pool — they share only the (read-only) warm-start
+//! store directory. Key-affinity routing means a key always lands on the
+//! shard whose caches already saw it, so cache hit rates survive scale-out
+//! instead of being divided by N.
+//!
+//! **Why sharding is safe**: responses are deterministic functions of the
+//! request (hazard-freedom under the paper's externally-hazard-free
+//! discipline makes synthesis reproducible; the service caches only the
+//! deterministic response prefix). Any backend, any thread count, any
+//! cache state produces byte-identical deterministic fields — so routing
+//! is a pure performance decision, never a correctness one, and the shard
+//! smoke can assert byte-identity end to end.
+//!
+//! The front runs on the same runtime layer as the backends
+//! ([`nshot_server::runtime`]): one accept-loop/framing implementation in
+//! the tree. Proxying is synchronous in the connection thread, bounded by
+//! per-backend connection pools ([`BackendPool`]) with a retry-once
+//! discipline; a backend that stays unreachable degrades **only its own
+//! keys** to 503 responses naming the shard, while every other shard keeps
+//! serving byte-identical answers.
+//!
+//! Control ops:
+//!
+//! * `ping` — answered locally, byte-identical to a backend's pong;
+//! * `stats` — front-local JSON snapshot with a per-shard table;
+//! * `metrics` — fans out to every backend and merges the expositions
+//!   under a `shard="i"` label after the front's own series;
+//! * `shutdown` — fans out as a graceful drain to every backend, then
+//!   stops the front itself.
+
+pub mod pool;
+pub mod ring;
+
+pub use pool::BackendPool;
+pub use ring::{HashRing, DEFAULT_VNODES};
+
+use nshot_obs::{AtomicHistogram, Counter, Gauge, HeartbeatGuard, Progress, Registry};
+use nshot_server::json::Json;
+use nshot_server::protocol::{self, Envelope, Request, Response};
+use nshot_server::runtime::{LineHandler, LineReply, TcpLineServer};
+use nshot_server::client;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Front configuration.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Bind address for the front (`host:port`; port 0 picks one).
+    pub addr: String,
+    /// Backend addresses, one per shard; shard id = index in this list.
+    pub backends: Vec<SocketAddr>,
+    /// Max concurrent proxied requests per backend.
+    pub pool_cap: usize,
+    /// Per-attempt connect/send/receive timeout toward a backend, in ms
+    /// (0 = OS defaults). Keep it above the backends' own request
+    /// deadline, or slow-but-alive synthesis gets misread as a dead shard.
+    pub io_timeout_ms: u64,
+    /// Virtual nodes per backend on the hash ring (0 = [`DEFAULT_VNODES`]).
+    pub vnodes: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            addr: "127.0.0.1:0".into(),
+            backends: Vec::new(),
+            pool_cap: 8,
+            io_timeout_ms: 60_000,
+            vnodes: 0,
+        }
+    }
+}
+
+/// Per-shard metric series, labelled `shard="i"` in the front's registry.
+struct ShardSeries {
+    requests: Arc<Counter>,
+    errors: Arc<Counter>,
+    up: Arc<Gauge>,
+    latency: Arc<AtomicHistogram>,
+}
+
+/// The front's mutable state: ring, pools, metrics. This is the
+/// [`LineHandler`] the runtime drives.
+struct FrontShared {
+    started: Instant,
+    ring: HashRing,
+    pools: Vec<BackendPool>,
+    registry: Registry,
+    requests: Arc<Counter>,
+    degraded: Arc<Counter>,
+    shards: Vec<ShardSeries>,
+    progress: Progress,
+    hb_requests: Arc<Gauge>,
+    hb_degraded: Arc<Gauge>,
+}
+
+impl FrontShared {
+    fn new(config: &ShardConfig) -> FrontShared {
+        let registry = Registry::new();
+        let requests = registry.counter("nshot_shard_front_requests_total");
+        let degraded = registry.counter("nshot_shard_degraded_total");
+        let io_timeout = (config.io_timeout_ms > 0)
+            .then(|| Duration::from_millis(config.io_timeout_ms));
+        let mut pools = Vec::with_capacity(config.backends.len());
+        let mut shards = Vec::with_capacity(config.backends.len());
+        for (i, &addr) in config.backends.iter().enumerate() {
+            pools.push(BackendPool::new(addr, config.pool_cap, io_timeout));
+            shards.push(ShardSeries {
+                requests: registry
+                    .counter(&format!("nshot_shard_requests_total{{shard=\"{i}\"}}")),
+                errors: registry
+                    .counter(&format!("nshot_shard_errors_total{{shard=\"{i}\"}}")),
+                up: registry.gauge(&format!("nshot_shard_backend_up{{shard=\"{i}\"}}")),
+                latency: registry.histogram(&format!(
+                    "nshot_shard_request_duration_us{{shard=\"{i}\"}}"
+                )),
+            });
+        }
+        let progress = Progress::new("shard-front");
+        let hb_requests = progress.field("requests");
+        let hb_degraded = progress.field("degraded");
+        FrontShared {
+            started: Instant::now(),
+            ring: HashRing::new(config.backends.len(), config.vnodes),
+            pools,
+            registry,
+            requests,
+            degraded,
+            shards,
+            progress,
+            hb_requests,
+            hb_degraded,
+        }
+    }
+
+    /// Proxy one request line to the shard owning `key`. Returns the
+    /// backend's response line verbatim (its deterministic prefix is
+    /// byte-identical to a direct call — that is the whole point), or a
+    /// locally rendered 503 naming the shard when the backend stays
+    /// unreachable after the pool's retry.
+    fn proxy(&self, key: &str, raw: &str, id: &Json, trace_id: u64, t0: Instant) -> String {
+        let shard = self
+            .ring
+            .shard_for(key)
+            .expect("bind() rejects empty topologies") as usize;
+        let series = &self.shards[shard];
+        series.requests.inc();
+        match self.pools[shard].roundtrip(raw) {
+            Ok(line) => {
+                series.up.set(1);
+                series.latency.record(t0.elapsed().as_micros() as u64);
+                line
+            }
+            Err(e) => {
+                series.errors.inc();
+                series.up.set(0);
+                self.degraded.inc();
+                // Idle sockets into a dead backend are worthless; recovery
+                // should start from fresh dials.
+                self.pools[shard].clear_idle();
+                let addr = self.pools[shard].addr();
+                nshot_obs::event("shard_backend_down", || {
+                    format!("shard={shard} addr={addr} trace={trace_id} err={e}")
+                });
+                series.latency.record(t0.elapsed().as_micros() as u64);
+                let mut r =
+                    Response::rejected(503, format!("shard {shard} backend unavailable"), None);
+                r.body.push(("shard".into(), Json::Num(shard as f64)));
+                render_local(id, &r, trace_id, t0)
+            }
+        }
+    }
+
+    /// The merged Prometheus exposition: the front's own series first,
+    /// then every reachable backend's exposition with `shard="i"` injected
+    /// into each sample line. Backend `# TYPE` headers are dropped in the
+    /// merge (the series are self-describing by suffix; re-deduplicating
+    /// headers across shards is not worth the bookkeeping).
+    fn metrics_text(&self) -> String {
+        let mut text = self.registry.render_prometheus();
+        for (i, pool) in self.pools.iter().enumerate() {
+            match client::request(pool.addr(), "{\"op\":\"metrics\"}") {
+                Ok(json) => {
+                    self.shards[i].up.set(1);
+                    if let Some(expo) = json.get("exposition").and_then(Json::as_str) {
+                        text.push_str(&relabel_exposition(expo, i));
+                    }
+                }
+                Err(e) => {
+                    self.shards[i].up.set(0);
+                    let addr = pool.addr();
+                    nshot_obs::event("shard_backend_down", || {
+                        format!("shard={i} addr={addr} err=metrics {e}")
+                    });
+                }
+            }
+        }
+        text
+    }
+
+    /// Front-local stats: totals plus a per-shard table.
+    fn stats_response(&self) -> Response {
+        let num = |n: u64| Json::Num(n as f64);
+        let shards: Vec<Json> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let lat = s.latency.snapshot();
+                Json::Obj(vec![
+                    ("shard".into(), num(i as u64)),
+                    ("addr".into(), Json::Str(self.pools[i].addr().to_string())),
+                    ("requests".into(), num(s.requests.get())),
+                    ("errors".into(), num(s.errors.get())),
+                    ("up".into(), Json::Bool(s.up.get() == 1)),
+                    ("p50_us".into(), num(lat.p50_us())),
+                    ("p99_us".into(), num(lat.p99_us())),
+                ])
+            })
+            .collect();
+        Response::ok(vec![
+            (
+                "uptime_ms".into(),
+                num(self.started.elapsed().as_millis() as u64),
+            ),
+            ("requests".into(), num(self.requests.get())),
+            ("degraded".into(), num(self.degraded.get())),
+            ("shards".into(), Json::Arr(shards)),
+        ])
+    }
+
+    /// Fan the graceful drain out to every backend; each `shutdown`
+    /// roundtrip returns only after that backend has drained its queue.
+    /// Unreachable backends (already dead) do not block the drain.
+    fn shutdown_backends(&self) -> usize {
+        let mut drained = 0;
+        for (i, pool) in self.pools.iter().enumerate() {
+            match client::request(pool.addr(), "{\"op\":\"shutdown\"}") {
+                Ok(_) => drained += 1,
+                Err(e) => {
+                    let addr = pool.addr();
+                    nshot_obs::event("shard_backend_down", || {
+                        format!("shard={i} addr={addr} err=shutdown {e}")
+                    });
+                }
+            }
+        }
+        drained
+    }
+}
+
+/// Render a front-local response line (503 degradation, control ops) with
+/// the same envelope shape the backends use.
+fn render_local(id: &Json, r: &Response, trace_id: u64, t0: Instant) -> String {
+    protocol::render_response(
+        id,
+        &r.deterministic_fields(),
+        false,
+        t0.elapsed().as_micros() as u64,
+        trace_id,
+        "",
+    )
+}
+
+/// Inject `shard="i"` as the first label of every sample line of a
+/// Prometheus exposition; comment lines (`# TYPE …`) are dropped.
+fn relabel_exposition(exposition: &str, shard: usize) -> String {
+    let mut out = String::with_capacity(exposition.len() + 64);
+    for line in exposition.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match line.split_once('{') {
+            Some((name, rest)) => {
+                out.push_str(name);
+                out.push_str(&format!("{{shard=\"{shard}\","));
+                out.push_str(rest);
+            }
+            None => match line.split_once(' ') {
+                Some((name, value)) => {
+                    out.push_str(&format!("{name}{{shard=\"{shard}\"}} {value}"));
+                }
+                None => out.push_str(line),
+            },
+        }
+        out.push('\n');
+    }
+    out
+}
+
+impl LineHandler for FrontShared {
+    fn handle_line(&self, raw: Vec<u8>) -> LineReply {
+        let t0 = Instant::now();
+        let trace_id = nshot_obs::next_trace_id();
+        self.requests.inc();
+        self.hb_requests.set(self.requests.get());
+        self.hb_degraded.set(self.degraded.get());
+        self.progress.beat();
+
+        let text = match String::from_utf8(raw) {
+            Ok(text) => text,
+            Err(_) => {
+                let r = Response::error(400, "request is not valid utf-8");
+                return LineReply::reply(render_local(&Json::Null, &r, trace_id, t0));
+            }
+        };
+        let line = text.trim_end_matches('\r');
+        match protocol::parse_request(line) {
+            // A malformed request never reaches a backend; the local 400
+            // carries the same deterministic fields a backend would emit.
+            Err((id, message)) => {
+                let r = Response::error(400, message);
+                LineReply::reply(render_local(&id, &r, trace_id, t0))
+            }
+            Ok(Envelope { id, request }) => match request {
+                Request::Ping => {
+                    let r = Response::ok(vec![("pong".into(), Json::Bool(true))]);
+                    LineReply::reply(render_local(&id, &r, trace_id, t0))
+                }
+                Request::Stats => {
+                    LineReply::reply(render_local(&id, &self.stats_response(), trace_id, t0))
+                }
+                Request::Metrics => {
+                    let r = Response::ok(vec![(
+                        "exposition".into(),
+                        Json::Str(self.metrics_text()),
+                    )]);
+                    LineReply::reply(render_local(&id, &r, trace_id, t0))
+                }
+                Request::Shutdown => {
+                    let drained = self.shutdown_backends();
+                    let r = Response::ok(vec![
+                        ("shutdown".into(), Json::Bool(true)),
+                        ("drained".into(), Json::Bool(true)),
+                        ("shards_drained".into(), Json::Num(drained as f64)),
+                        (
+                            "served".into(),
+                            Json::Num(self.requests.get() as f64),
+                        ),
+                    ]);
+                    LineReply::last_reply(render_local(&id, &r, trace_id, t0))
+                }
+                Request::Synth(s) => {
+                    let key = s.cache_key();
+                    LineReply::reply(self.proxy(&key, line, &id, trace_id, t0))
+                }
+                Request::Verify(v) => {
+                    let key = v.cache_key();
+                    LineReply::reply(self.proxy(&key, line, &id, trace_id, t0))
+                }
+            },
+        }
+    }
+}
+
+/// A running shard front.
+pub struct ShardFront {
+    shared: Arc<FrontShared>,
+    line_server: TcpLineServer,
+    _heartbeat: HeartbeatGuard,
+}
+
+impl ShardFront {
+    /// Bind the front and start proxying. Backends are probed with one
+    /// `ping` each to seed the `nshot_shard_backend_up` gauges — a probe
+    /// failure is recorded, not fatal (the shard degrades per request).
+    ///
+    /// # Errors
+    ///
+    /// An empty backend list ([`std::io::ErrorKind::InvalidInput`]) or a
+    /// bind failure.
+    pub fn bind(config: ShardConfig) -> std::io::Result<ShardFront> {
+        if config.backends.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "shard front needs at least one backend",
+            ));
+        }
+        let shared = Arc::new(FrontShared::new(&config));
+        for (i, pool) in shared.pools.iter().enumerate() {
+            let up = client::request(pool.addr(), "{\"op\":\"ping\"}").is_ok();
+            shared.shards[i].up.set(u64::from(up));
+        }
+        let heartbeat = shared.progress.start_reporter();
+        let line_server = TcpLineServer::bind(&config.addr, Arc::clone(&shared))?;
+        Ok(ShardFront {
+            shared,
+            line_server,
+            _heartbeat: heartbeat,
+        })
+    }
+
+    /// The front's bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.line_server.local_addr()
+    }
+
+    /// The merged metrics exposition (what the `metrics` op returns).
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics_text()
+    }
+
+    /// Stop the front's accept loop. Does **not** touch the backends —
+    /// the protocol `shutdown` op is the fan-out drain; this is the local
+    /// half (used by tests and embedders that own their backends).
+    pub fn stop(&self) {
+        self.line_server.stop();
+    }
+
+    /// Block until the front has stopped (via [`stop`](Self::stop) or a
+    /// protocol `shutdown`). Returns total request lines served.
+    pub fn wait(self) -> u64 {
+        self.line_server.join();
+        self.shared.requests.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relabel_injects_shard_into_both_shapes() {
+        let merged = relabel_exposition(
+            "# TYPE nshot_requests_total counter\n\
+             nshot_requests_total 7\n\
+             nshot_responses_total{outcome=\"ok\"} 5\n",
+            2,
+        );
+        assert_eq!(
+            merged,
+            "nshot_requests_total{shard=\"2\"} 7\n\
+             nshot_responses_total{shard=\"2\",outcome=\"ok\"} 5\n"
+        );
+    }
+
+    #[test]
+    fn empty_topology_is_rejected() {
+        let err = match ShardFront::bind(ShardConfig::default()) {
+            Err(e) => e,
+            Ok(_) => panic!("empty topology must be rejected"),
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+}

@@ -1,0 +1,233 @@
+//! Per-backend bounded connection pool.
+//!
+//! Each backend gets its own pool: at most `cap` concurrent proxied
+//! requests (a permit counter, waited on with a condvar — the front's
+//! connection threads block here instead of piling unbounded connections
+//! onto a backend), with idle connections kept for reuse.
+//!
+//! Failure handling is **retry-once**: a roundtrip that fails on a pooled
+//! connection is retried on a freshly dialed one (the pooled socket may
+//! simply have aged out), and a dial that fails is redialed once before
+//! the error propagates. Retrying a possibly-executed request is safe
+//! because responses are deterministic functions of the request (the
+//! determinism argument of DESIGN.md §4j): re-executing produces the same
+//! deterministic prefix, at worst as a backend cache hit.
+
+use nshot_server::client::Client;
+use std::net::SocketAddr;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// A bounded pool of NDJSON connections to one backend.
+pub struct BackendPool {
+    addr: SocketAddr,
+    cap: usize,
+    io_timeout: Option<Duration>,
+    idle: Mutex<Vec<Client>>,
+    permits: Mutex<usize>,
+    available: Condvar,
+}
+
+impl BackendPool {
+    /// A pool of at most `cap` concurrent requests against `addr`
+    /// (`cap = 0` is clamped to 1). `io_timeout` bounds connect, send and
+    /// receive per attempt (`None` = OS defaults).
+    pub fn new(addr: SocketAddr, cap: usize, io_timeout: Option<Duration>) -> BackendPool {
+        BackendPool {
+            addr,
+            cap: cap.max(1),
+            io_timeout,
+            idle: Mutex::new(Vec::new()),
+            permits: Mutex::new(cap.max(1)),
+            available: Condvar::new(),
+        }
+    }
+
+    /// The backend this pool fronts.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn acquire(&self) {
+        let mut permits = self.permits.lock().expect("permits poisoned");
+        while *permits == 0 {
+            permits = self
+                .available
+                .wait(permits)
+                .expect("permits poisoned");
+        }
+        *permits -= 1;
+    }
+
+    fn release(&self) {
+        let mut permits = self.permits.lock().expect("permits poisoned");
+        *permits += 1;
+        drop(permits);
+        self.available.notify_one();
+    }
+
+    fn dial(&self) -> std::io::Result<Client> {
+        let client = match self.io_timeout {
+            Some(t) => Client::connect_timeout(self.addr, t)?,
+            None => Client::connect(self.addr)?,
+        };
+        client.set_io_timeout(self.io_timeout)?;
+        Ok(client)
+    }
+
+    /// Send one request line to the backend and return its response line.
+    ///
+    /// Blocks while the pool is at capacity (backpressure toward the
+    /// front's clients), reuses an idle connection when one exists, and
+    /// applies the retry-once discipline described in the module docs.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the final failed attempt; the
+    /// caller (the front) degrades it to a 503 naming the shard.
+    pub fn roundtrip(&self, line: &str) -> Result<String, String> {
+        self.acquire();
+        let result = self.roundtrip_inner(line);
+        self.release();
+        result
+    }
+
+    fn roundtrip_inner(&self, line: &str) -> Result<String, String> {
+        // A pooled connection may be stale (backend restarted, idle socket
+        // reaped); its failure is not the backend's answer, so fall through
+        // to a fresh dial.
+        let pooled = self.idle.lock().expect("idle poisoned").pop();
+        if let Some(mut client) = pooled {
+            if let Ok(response) = client.roundtrip(line) {
+                self.park(client);
+                return Ok(response);
+            }
+        }
+        let mut client = match self.dial() {
+            Ok(c) => c,
+            // Retry-once on connect failure: a backend mid-restart (or a
+            // listen queue burp) gets a second chance before we declare it
+            // down.
+            Err(_) => self
+                .dial()
+                .map_err(|e| format!("connect {}: {e}", self.addr))?,
+        };
+        match client.roundtrip(line) {
+            Ok(response) => {
+                self.park(client);
+                Ok(response)
+            }
+            Err(e) => Err(format!("roundtrip {}: {e}", self.addr)),
+        }
+    }
+
+    /// Return a healthy connection to the idle set (bounded by `cap` —
+    /// there can never be more live connections than permits).
+    fn park(&self, client: Client) {
+        let mut idle = self.idle.lock().expect("idle poisoned");
+        if idle.len() < self.cap {
+            idle.push(client);
+        }
+    }
+
+    /// Drop every idle connection (used after a backend is declared down,
+    /// so recovery starts from fresh dials).
+    pub fn clear_idle(&self) {
+        self.idle.lock().expect("idle poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nshot_server::runtime::{LineHandler, LineReply, TcpLineServer};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    struct Echo;
+    impl LineHandler for Echo {
+        fn handle_line(&self, raw: Vec<u8>) -> LineReply {
+            LineReply::reply(format!("echo {}", String::from_utf8_lossy(&raw)))
+        }
+    }
+
+    #[test]
+    fn reuses_connections_and_answers() {
+        let server = TcpLineServer::bind("127.0.0.1:0", Arc::new(Echo)).expect("bind");
+        let pool = BackendPool::new(server.local_addr(), 2, None);
+        for i in 0..5 {
+            let r = pool.roundtrip(&format!("r{i}")).expect("roundtrip");
+            assert_eq!(r, format!("echo r{i}"));
+        }
+        server.stop();
+        server.join();
+    }
+
+    #[test]
+    fn bounded_concurrency_queues_rather_than_piling_on() {
+        struct Slow(AtomicUsize, AtomicUsize);
+        impl LineHandler for Slow {
+            fn handle_line(&self, _raw: Vec<u8>) -> LineReply {
+                let now = self.0.fetch_add(1, Ordering::SeqCst) + 1;
+                self.1.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(20));
+                self.0.fetch_sub(1, Ordering::SeqCst);
+                LineReply::reply("ok".into())
+            }
+        }
+        let handler = Arc::new(Slow(AtomicUsize::new(0), AtomicUsize::new(0)));
+        let server =
+            TcpLineServer::bind("127.0.0.1:0", Arc::clone(&handler)).expect("bind");
+        let pool = Arc::new(BackendPool::new(server.local_addr(), 2, None));
+        let threads: Vec<_> = (0..6)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || pool.roundtrip("x").expect("roundtrip"))
+            })
+            .collect();
+        for t in threads {
+            assert_eq!(t.join().expect("join"), "ok");
+        }
+        assert!(
+            handler.1.load(Ordering::SeqCst) <= 2,
+            "pool cap 2 exceeded: peak {}",
+            handler.1.load(Ordering::SeqCst)
+        );
+        server.stop();
+        server.join();
+    }
+
+    #[test]
+    fn dead_backend_reports_connect_error() {
+        // Bind-then-drop guarantees a port with no listener.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr")
+        };
+        let pool = BackendPool::new(addr, 1, Some(Duration::from_millis(200)));
+        let err = pool.roundtrip("x").expect_err("must fail");
+        assert!(err.contains("connect"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn stale_pooled_connection_retries_on_a_fresh_dial() {
+        let server = TcpLineServer::bind("127.0.0.1:0", Arc::new(Echo)).expect("bind");
+        let addr = server.local_addr();
+        let pool = BackendPool::new(addr, 1, None);
+        assert_eq!(pool.roundtrip("a").expect("roundtrip"), "echo a");
+        // Kill the backend the pooled connection points at, then bring a
+        // new one up on the same address.
+        server.stop();
+        server.join();
+        let server2 = loop {
+            // The listener may linger briefly; rebind until it sticks.
+            match TcpLineServer::bind(&addr.to_string(), Arc::new(Echo)) {
+                Ok(s) => break s,
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        };
+        assert_eq!(pool.roundtrip("b").expect("retried"), "echo b");
+        server2.stop();
+        server2.join();
+    }
+}

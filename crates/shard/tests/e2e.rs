@@ -1,0 +1,267 @@
+//! End-to-end shard-tier tests: in-process backends behind an in-process
+//! front, driven over real sockets.
+//!
+//! The load-bearing assertions: responses proxied through the front are
+//! **byte-identical** (deterministic prefix) to direct library execution;
+//! killing one backend degrades **only that shard's keys** to 503s naming
+//! the shard while every other key keeps its exact bytes; `metrics` merges
+//! per-shard series; `shutdown` fans out as a graceful drain.
+
+use nshot_server::client::Client;
+use nshot_server::json::Json;
+use nshot_server::{
+    process_synth, Deadline, Method, OutputFormat, Server, ServerConfig, SynthRequest,
+};
+use nshot_shard::{HashRing, ShardConfig, ShardFront};
+
+/// The four-state handshake used across the server tests, parameterized so
+/// different signal names produce different request keys (and therefore
+/// spread across shards).
+fn handshake_spec(req_sig: &str, ack_sig: &str) -> String {
+    format!(
+        ".name hs_{req_sig}_{ack_sig}\n\
+         .inputs {req_sig}\n\
+         .outputs {ack_sig}\n\
+         .initial 00\n\
+         00 +{req_sig} 10\n\
+         10 +{ack_sig} 11\n\
+         11 -{req_sig} 01\n\
+         01 -{ack_sig} 00\n"
+    )
+}
+
+/// A synth request line plus everything needed to check it: the canonical
+/// key (for ring placement) and the expected deterministic fields (from
+/// direct library execution — no server involved).
+struct Case {
+    line: String,
+    key: String,
+    expected_fields: String,
+}
+
+fn cases() -> Vec<Case> {
+    let names = [
+        ("r", "g"),
+        ("req", "ack"),
+        ("a", "b"),
+        ("ri", "ro"),
+        ("x", "y"),
+        ("p", "q"),
+        ("din", "dout"),
+        ("go", "done"),
+    ];
+    names
+        .iter()
+        .map(|(r, a)| {
+            let spec = handshake_spec(r, a);
+            // Field values mirror the wire defaults of a bare synth line
+            // (notably `share: false`) so `req.cache_key()` is the exact
+            // key the front computes from the parsed request.
+            let req = SynthRequest {
+                spec: spec.clone(),
+                method: Method::Nshot,
+                minimizer: nshot_core::Minimizer::Heuristic,
+                trials: 0,
+                format: OutputFormat::Blif,
+                share: false,
+            };
+            let expected_fields =
+                process_synth(&req, &Deadline::unlimited()).deterministic_fields();
+            let escaped = spec.replace('\n', "\\n");
+            Case {
+                line: format!(
+                    "{{\"op\":\"synth\",\"spec\":\"{escaped}\",\"format\":\"blif\"}}"
+                ),
+                key: req.cache_key(),
+                expected_fields,
+            }
+        })
+        .collect()
+}
+
+/// The deterministic slice of a raw response line (between the `id` echo
+/// and the send-time stamps) — the same extraction the loopback tests use.
+fn deterministic_part(raw: &str) -> &str {
+    let start = raw.find(",\"code\":").expect("code field");
+    let end = raw.rfind(",\"cached\":").expect("cached field");
+    &raw[start + 1..end]
+}
+
+fn backend() -> Server {
+    Server::bind(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .expect("bind backend")
+}
+
+#[test]
+fn front_proxies_byte_identically_and_degrades_only_the_dead_shard() {
+    let backend0 = backend();
+    let backend1 = backend();
+    let front = ShardFront::bind(ShardConfig {
+        backends: vec![backend0.local_addr(), backend1.local_addr()],
+        ..ShardConfig::default()
+    })
+    .expect("bind front");
+
+    let cases = cases();
+    let ring = HashRing::new(2, 0);
+    // The case set must actually exercise both shards for the kill test
+    // to mean anything.
+    let shard_of = |c: &Case| ring.shard_for(&c.key).expect("routed");
+    assert!(cases.iter().any(|c| shard_of(c) == 0), "no shard-0 keys");
+    assert!(cases.iter().any(|c| shard_of(c) == 1), "no shard-1 keys");
+
+    let mut client = Client::connect(front.local_addr()).expect("connect front");
+    for case in &cases {
+        let raw = client.roundtrip(&case.line).expect("roundtrip");
+        assert_eq!(
+            deterministic_part(&raw),
+            case.expected_fields,
+            "proxied response differs from direct synthesis for key {}",
+            case.key
+        );
+    }
+
+    // Kill shard 0's backend (graceful, but from the front's point of
+    // view it is simply gone).
+    backend0.shutdown();
+    backend0.wait();
+
+    for case in &cases {
+        let raw = client.roundtrip(&case.line).expect("roundtrip");
+        if shard_of(case) == 0 {
+            let json = nshot_server::json::parse(&raw).expect("parse 503");
+            assert_eq!(
+                json.get("code").and_then(Json::as_u64),
+                Some(503),
+                "dead shard's key must degrade: {raw}"
+            );
+            assert_eq!(
+                json.get("shard").and_then(Json::as_u64),
+                Some(0),
+                "degradation must name the shard: {raw}"
+            );
+        } else {
+            // The surviving shard is untouched: still byte-identical.
+            assert_eq!(
+                deterministic_part(&raw),
+                case.expected_fields,
+                "surviving shard's response changed after the kill"
+            );
+        }
+    }
+
+    // The merged exposition reflects the outage and still carries both
+    // shards' labelled series.
+    let metrics = front.metrics_text();
+    assert!(
+        metrics.contains("nshot_shard_backend_up{shard=\"0\"} 0"),
+        "shard 0 must be marked down:\n{metrics}"
+    );
+    assert!(
+        metrics.contains("nshot_shard_backend_up{shard=\"1\"} 1"),
+        "shard 1 must be marked up:\n{metrics}"
+    );
+    assert!(
+        metrics.contains("nshot_requests_total{shard=\"1\"}"),
+        "backend series must be merged under the shard label:\n{metrics}"
+    );
+
+    front.stop();
+    front.wait();
+    backend1.shutdown();
+    backend1.wait();
+}
+
+#[test]
+fn shutdown_fans_out_and_drains_the_backends() {
+    let backend0 = backend();
+    let backend1 = backend();
+    let front = ShardFront::bind(ShardConfig {
+        backends: vec![backend0.local_addr(), backend1.local_addr()],
+        ..ShardConfig::default()
+    })
+    .expect("bind front");
+
+    let mut client = Client::connect(front.local_addr()).expect("connect front");
+    let json = client
+        .roundtrip_json("{\"op\":\"shutdown\"}")
+        .expect("shutdown");
+    assert_eq!(json.get("code").and_then(Json::as_u64), Some(200));
+    assert_eq!(
+        json.get("shards_drained").and_then(Json::as_u64),
+        Some(2),
+        "both backends must acknowledge the drain"
+    );
+
+    // The fan-out drained the backends, so their wait() returns promptly;
+    // the front stopped itself after replying.
+    assert!(backend0.wait().served >= 1);
+    assert!(backend1.wait().served >= 1);
+    front.wait();
+}
+
+#[test]
+fn shared_warm_store_hits_on_every_shard() {
+    // One writer populates a store directory…
+    let dir = std::env::temp_dir().join(format!("nshot-shard-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cases = cases();
+    {
+        let writer = Server::bind(ServerConfig {
+            workers: 1,
+            store_dir: Some(dir.clone()),
+            store_fsync: nshot_server::FsyncPolicy::Never,
+            ..ServerConfig::default()
+        })
+        .expect("bind writer");
+        let mut client = Client::connect(writer.local_addr()).expect("connect");
+        for case in &cases {
+            let raw = client.roundtrip(&case.line).expect("roundtrip");
+            assert!(raw.contains("\"code\":200"), "warm fill failed: {raw}");
+        }
+        writer.shutdown();
+        writer.wait();
+    }
+
+    // …and two shared-nothing backends warm from it read-only (this is
+    // `--warm-store`): every request through the front is a cache hit on
+    // its owning shard, byte-identical to the writer's responses.
+    let warm = |_: usize| {
+        Server::bind(ServerConfig {
+            workers: 1,
+            warm_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        })
+        .expect("bind warm backend")
+    };
+    let backend0 = warm(0);
+    let backend1 = warm(1);
+    let front = ShardFront::bind(ShardConfig {
+        backends: vec![backend0.local_addr(), backend1.local_addr()],
+        ..ShardConfig::default()
+    })
+    .expect("bind front");
+
+    let mut client = Client::connect(front.local_addr()).expect("connect front");
+    for case in &cases {
+        let raw = client.roundtrip(&case.line).expect("roundtrip");
+        assert_eq!(deterministic_part(&raw), case.expected_fields);
+        let json = nshot_server::json::parse(&raw).expect("parse");
+        assert_eq!(
+            json.get("cached").and_then(Json::as_bool),
+            Some(true),
+            "a warmed shard must answer from cache: {raw}"
+        );
+    }
+
+    front.stop();
+    front.wait();
+    backend0.shutdown();
+    backend0.wait();
+    backend1.shutdown();
+    backend1.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -59,5 +59,6 @@ pub use segment::{
     RECORD_TRAILER_LEN,
 };
 pub use store::{
-    FsyncPolicy, Store, StoreConfig, StoreReport, StoreStats, BATCH_FSYNC_EVERY,
+    read_entries, FsyncPolicy, Store, StoreConfig, StoreReport, StoreStats,
+    BATCH_FSYNC_EVERY,
 };

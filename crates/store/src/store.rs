@@ -617,6 +617,79 @@ const _: () = {
     assert!(FORMAT_VERSION == 1);
 };
 
+/// Read every live `(key, value)` pair from a store directory **without
+/// becoming a writer**: no tail truncation, no segment pruning, no active
+/// segment — the directory's bytes are untouched. Last writer (highest
+/// segment id, latest offset) wins per key; torn tails, CRC-corrupt and
+/// stale-version records are skipped exactly as [`Store::open`] would drop
+/// them. Output is sorted by key, like [`Store::entries`].
+///
+/// This is the warm path for shared-nothing shard backends: any number of
+/// processes can scan one directory concurrently while (at most) one
+/// writer owns it — the writer only ever *appends* to its active segment
+/// and deletes whole sealed files, so a concurrent scan sees either a
+/// complete record or a skippable partial one, never a torn mix.
+///
+/// # Errors
+///
+/// Real I/O failures only (unreadable directory or file); corruption and a
+/// missing directory (`NotFound` → empty) are not errors.
+pub fn read_entries(dir: &Path, value_version: u32) -> io::Result<Vec<(String, Vec<u8>)>> {
+    let read = match std::fs::read_dir(dir) {
+        Ok(read) => read,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut ids: Vec<(u64, PathBuf)> = Vec::new();
+    for entry in read {
+        let entry = entry?;
+        if let Some(id) = entry
+            .file_name()
+            .to_str()
+            .and_then(segment::parse_file_name)
+        {
+            ids.push((id, entry.path()));
+        }
+    }
+    ids.sort_unstable_by_key(|(id, _)| *id);
+
+    let mut index: FxHashMap<String, RecordLocation> = FxHashMap::default();
+    for (id, path) in &ids {
+        let Some(outcome) = segment::scan(path, *id, value_version)? else {
+            continue; // not one of our segments
+        };
+        for (key, loc) in outcome.entries {
+            index.insert(key, loc);
+        }
+    }
+
+    let mut keys: Vec<String> = index.keys().cloned().collect();
+    keys.sort_unstable();
+    let mut out = Vec::with_capacity(keys.len());
+    for key in keys {
+        let loc = index[&key];
+        // Re-verify at read time, like `Store::read_value`: the segment may
+        // have been rotated away by the writer since the scan.
+        let Ok(mut file) = File::open(dir.join(segment::file_name(loc.seg))) else {
+            continue;
+        };
+        if file.seek(SeekFrom::Start(loc.offset)).is_err() {
+            continue;
+        }
+        let mut frame = vec![0u8; loc.frame_len as usize];
+        if file.read_exact(&mut frame).is_err() {
+            continue;
+        }
+        let body_len = loc.frame_len as usize - RECORD_TRAILER_LEN;
+        let stored = u32::from_le_bytes(frame[body_len..].try_into().expect("4 bytes"));
+        if crc32(&frame[..body_len]) != stored {
+            continue;
+        }
+        out.push((key, frame[loc.value_range()].to_vec()));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -672,6 +745,53 @@ mod tests {
         }
         let mut s = Store::open(small_config(&dir)).expect("reopen");
         assert_eq!(s.get("k").as_deref(), Some(&b"v2"[..]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_entries_is_read_only_and_sees_latest() {
+        let dir = temp_dir("readonly");
+        {
+            let mut s = Store::open(small_config(&dir)).expect("open");
+            s.put("alpha", b"v1").expect("put");
+            s.put("alpha", b"v2").expect("put");
+            s.put("beta", b"payload b").expect("put");
+            s.flush().expect("flush");
+
+            // Concurrent scan while the writer still owns the directory.
+            let scanned = read_entries(&dir, s.config.value_version).expect("scan");
+            assert_eq!(
+                scanned,
+                vec![
+                    ("alpha".to_string(), b"v2".to_vec()),
+                    ("beta".to_string(), b"payload b".to_vec()),
+                ]
+            );
+        }
+
+        let before: Vec<_> = {
+            let mut names: Vec<_> = std::fs::read_dir(&dir)
+                .expect("read_dir")
+                .map(|e| e.expect("entry").file_name())
+                .collect();
+            names.sort();
+            names
+        };
+        let scanned = read_entries(&dir, StoreConfig::new(&dir).value_version).expect("scan");
+        assert_eq!(scanned.len(), 2);
+        let after: Vec<_> = {
+            let mut names: Vec<_> = std::fs::read_dir(&dir)
+                .expect("read_dir")
+                .map(|e| e.expect("entry").file_name())
+                .collect();
+            names.sort();
+            names
+        };
+        assert_eq!(before, after, "read_entries must not touch the directory");
+
+        // A missing directory is an empty store, not an error.
+        let none = read_entries(&dir.join("nope"), 1).expect("missing dir");
+        assert!(none.is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

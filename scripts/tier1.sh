@@ -61,16 +61,20 @@ echo "== tier1: 2-circuit smoke (synth + validate) =="
 cargo run --release --bin assassin -- bench chu133
 cargo run --release --bin assassin -- bench full
 
-echo "== tier1: server smoke (ephemeral port, synth + stats + shutdown) =="
-PORT_FILE="$(mktemp)"
-cargo run --release -p nshot-server --bin nshot-serve -- --port-file "$PORT_FILE" &
+echo "== tier1: server smoke (ready-line discovery, synth + stats + shutdown) =="
+# The server prints `ready ADDR` on stdout once it is accepting — no
+# port-file polling race (a file can exist but still be mid-write; the
+# ready line is written after the bind and flushed atomically).
+SERVER_LOG="$(mktemp)"
+cargo run --release -p nshot-server --bin nshot-serve > "$SERVER_LOG" &
 SERVER_PID=$!
+ADDR=""
 for _ in $(seq 1 100); do
-  [ -s "$PORT_FILE" ] && break
+  ADDR="$(awk '/^ready /{print $2; exit}' "$SERVER_LOG")"
+  [ -n "$ADDR" ] && break
   sleep 0.1
 done
-ADDR="$(cat "$PORT_FILE")"
-[ -n "$ADDR" ] || { echo "server never bound"; kill "$SERVER_PID"; exit 1; }
+[ -n "$ADDR" ] || { echo "server never printed ready"; kill "$SERVER_PID"; exit 1; }
 
 echo "== tier1: metrics op smoke =="
 exec 3<>"/dev/tcp/${ADDR%:*}/${ADDR#*:}"
@@ -90,7 +94,40 @@ cargo run --release -p nshot-bench --bin loadgen -- \
   --addr "$ADDR" --concurrency 2 --passes 1 --circuits chu133,full \
   --out /tmp/BENCH_server_smoke.json
 wait "$SERVER_PID"
-rm -f "$PORT_FILE"
+rm -f "$SERVER_LOG"
+
+echo "== tier1: shard smoke (front + 2 spawned backends, byte-identity, merged metrics, drain) =="
+SHARD_LOG="$(mktemp)"
+./target/release/nshot-shard --spawn 2 > "$SHARD_LOG" &
+SHARD_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR="$(awk '/^ready /{print $2; exit}' "$SHARD_LOG")"
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "shard front never printed ready"; kill "$SHARD_PID"; exit 1; }
+# Every response proxied through the front must be byte-identical to
+# direct synthesis — loadgen checks that per request.
+cargo run --release -p nshot-bench --bin loadgen -- \
+  --addr "$ADDR" --concurrency 2 --passes 1 --circuits chu133,full \
+  --no-shutdown --out /tmp/BENCH_shard_smoke.json
+# The metrics op fans out and merges both backends' series under their
+# shard labels; the shutdown op fans the graceful drain out to both.
+exec 3<>"/dev/tcp/${ADDR%:*}/${ADDR#*:}"
+printf '{"id":"m","op":"metrics"}\n' >&3
+IFS= read -r SHARD_METRICS <&3
+printf '{"id":"ctl","op":"shutdown"}\n' >&3
+IFS= read -r SHARD_ACK <&3
+exec 3<&- 3>&-
+echo "$SHARD_METRICS" | grep -q 'shard=\\"0\\"' \
+  || { echo "merged metrics missing shard 0 series: $SHARD_METRICS"; exit 1; }
+echo "$SHARD_METRICS" | grep -q 'shard=\\"1\\"' \
+  || { echo "merged metrics missing shard 1 series: $SHARD_METRICS"; exit 1; }
+echo "$SHARD_ACK" | grep -q '"shards_drained":2' \
+  || { echo "shutdown fan-out did not drain both shards: $SHARD_ACK"; exit 1; }
+wait "$SHARD_PID"
+rm -f "$SHARD_LOG"
 
 echo "== tier1: store smoke (batch compile, corrupt tail, recover, warm start) =="
 STORE_DIR="$(mktemp -d)"

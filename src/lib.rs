@@ -29,6 +29,7 @@
 //! | [`benchmarks`] | the 25-circuit Table 2 suite |
 //! | [`gen`] | seeded random generator of valid specifications (fuzzing, load mix) |
 //! | [`server`] | the NDJSON-over-TCP synthesis service (`nshot-serve`) |
+//! | [`shard`] | consistent-hash sharded serving front (`nshot-shard`) |
 //!
 //! ## Quickstart
 //!
@@ -68,6 +69,7 @@ pub use nshot_mc as mc;
 pub use nshot_netlist as netlist;
 pub use nshot_server as server;
 pub use nshot_sg as sg;
+pub use nshot_shard as shard;
 pub use nshot_sim as sim;
 pub use nshot_stg as stg;
 pub use nshot_store as store;
