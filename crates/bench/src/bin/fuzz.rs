@@ -6,7 +6,20 @@
 //!            [--archive DIR] [--archive-anchors N] [--deadline-ms MS]
 //!            [--max-signals N] [--max-states N] [--max-fragments N]
 //! nshot-fuzz --corpus [--archive DIR] [--budget STATES] [--out PATH]
+//! nshot-fuzz --wire-mutations N [--wire-archive DIR] [--out PATH]
 //! ```
+//!
+//! `--wire-mutations N` switches to the binary-protocol robustness mode:
+//! a deterministic set of valid `nshot-wire` frames (requests, artifact
+//! records, a full response stream) is mutated N times — truncations,
+//! flipped version/tag/length/CRC bytes, inflated declared lengths, and
+//! payload corruption re-framed under a valid CRC — and every mutant is
+//! pushed through the real decode entry points. The invariant: **every
+//! mutant yields a typed `WireError`/`RequestDecodeError` or decodes
+//! cleanly; none may panic or over-read.** The first (tail-trim
+//! minimized) witness of each outcome class is archived under
+//! `--wire-archive` so the malformed-corpus regression replays it
+//! forever.
 //!
 //! For every seed in the range the driver draws a specification
 //! ([`nshot_gen::draw`]), synthesizes it, and verifies the implementation
@@ -54,6 +67,10 @@ struct Options {
     corpus: bool,
     deadline_ms: u64,
     cfg: GenConfig,
+    /// Number of frame mutations to run (`--wire-mutations`; 0 = off).
+    wire_mutations: usize,
+    /// Archive directory for minimized malformed-frame witnesses.
+    wire_archive: PathBuf,
 }
 
 impl Default for Options {
@@ -67,6 +84,8 @@ impl Default for Options {
             corpus: false,
             deadline_ms: 0,
             cfg: GenConfig::default(),
+            wire_mutations: 0,
+            wire_archive: PathBuf::from("tests/corpus/malformed/wire"),
         }
     }
 }
@@ -135,6 +154,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     parse_usize("--archive-anchors", value("--archive-anchors")?)?;
             }
             "--corpus" => opts.corpus = true,
+            "--wire-mutations" => {
+                opts.wire_mutations =
+                    parse_usize("--wire-mutations", value("--wire-mutations")?)?;
+            }
+            "--wire-archive" => {
+                opts.wire_archive = PathBuf::from(value("--wire-archive")?);
+            }
             "--deadline-ms" => {
                 opts.deadline_ms = value("--deadline-ms")?
                     .parse()
@@ -154,7 +180,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 println!(
                     "usage: nshot-fuzz [--seeds A..B] [--budget STATES] [--out PATH] \
                      [--archive DIR] [--archive-anchors N] [--deadline-ms MS] \
-                     [--max-signals N] [--max-states N] [--max-fragments N] [--corpus]"
+                     [--max-signals N] [--max-states N] [--max-fragments N] [--corpus] \
+                     [--wire-mutations N] [--wire-archive DIR]"
                 );
                 std::process::exit(0);
             }
@@ -350,6 +377,9 @@ fn archive_anchor(seed: u64, opts: &Options) -> Result<(), String> {
 
 fn run(args: &[String]) -> Result<bool, String> {
     let opts = parse_args(args)?;
+    if opts.wire_mutations > 0 {
+        return run_wire_mutations(&opts);
+    }
     if opts.corpus {
         return run_corpus(&opts);
     }
@@ -574,6 +604,324 @@ fn run(args: &[String]) -> Result<bool, String> {
         opts.out
     );
     Ok(new_violations == 0)
+}
+
+/// Deterministic xorshift64 step (the PRNG behind the frame mutations —
+/// no external randomness so a run is reproducible byte for byte).
+fn xorshift(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+/// Name a [`nshot_wire::WireError`] for outcome bucketing.
+fn wire_class(e: &nshot_wire::WireError) -> &'static str {
+    use nshot_wire::WireError;
+    match e {
+        WireError::Truncated { .. } => "truncated",
+        WireError::BadVersion(_) => "bad_version",
+        WireError::BadTag(_) => "bad_tag",
+        WireError::BadCrc { .. } => "bad_crc",
+        WireError::BadVarint => "bad_varint",
+        WireError::TooLong { .. } => "too_long",
+        WireError::Malformed(_) => "malformed",
+        WireError::Io(_) => "io",
+    }
+}
+
+/// Decode a mutant byte stream exactly the way a connection would: frame
+/// by frame via [`nshot_wire::read_frame`], each payload dispatched to the
+/// real record decoder for its tag. Returns the outcome class — either a
+/// typed-error name or `clean_eof` when every frame decoded.
+fn decode_wire_mutant(bytes: &[u8]) -> &'static str {
+    use nshot_server::wirecodec::{self, RequestDecodeError};
+    use nshot_wire::tags;
+    let mut cursor = std::io::Cursor::new(bytes);
+    loop {
+        let frame = match nshot_wire::read_frame(&mut cursor) {
+            Ok(None) => return "clean_eof",
+            Ok(Some(frame)) => frame,
+            Err(e) => return wire_class(&e),
+        };
+        let outcome = match frame.tag {
+            tags::REQUEST => match wirecodec::decode_request(&frame.payload) {
+                Ok(_) => None,
+                Err(RequestDecodeError::Frame(e)) => Some(wire_class(&e)),
+                Err(RequestDecodeError::Invalid { .. }) => Some("invalid_request"),
+            },
+            tags::RESPONSE_HEAD => wirecodec::decode_response_head(&frame.payload)
+                .err()
+                .map(|e| wire_class(&e)),
+            tags::FIELD => wirecodec::decode_field(&frame.payload)
+                .err()
+                .map(|e| wire_class(&e)),
+            tags::END => wirecodec::decode_end(&frame.payload)
+                .err()
+                .map(|e| wire_class(&e)),
+            tags::SPEC | tags::NETLIST | tags::CERT => {
+                wirecodec::decode_artifact(&frame).err().map(|e| wire_class(&e))
+            }
+            _ => Some("unknown_tag"),
+        };
+        if let Some(class) = outcome {
+            return class;
+        }
+    }
+}
+
+/// Apply mutation class `class` (0..8) to a copy of `base`, drawing
+/// offsets and xor masks from the xorshift state.
+fn mutate_frame(base: &[u8], class: usize, s: &mut u64) -> Vec<u8> {
+    use nshot_wire::{put_varint, Frame, MAX_FRAME_PAYLOAD, WIRE_VERSION};
+    let mut bytes = base.to_vec();
+    if bytes.is_empty() {
+        return bytes;
+    }
+    match class {
+        // Truncation anywhere, including mid-header and mid-CRC.
+        0 => {
+            let k = (xorshift(s) as usize) % bytes.len();
+            bytes.truncate(k);
+        }
+        // Flipped version byte (offset 1).
+        1 => {
+            if bytes.len() > 1 {
+                bytes[1] ^= (xorshift(s) as u8) | 1;
+            }
+        }
+        // Random tag byte (offset 0; may also set the compression bit over
+        // an uncompressed payload, or clear it over a compressed one).
+        2 => {
+            bytes[0] = xorshift(s) as u8;
+        }
+        // Flipped length-varint byte (offset 2 is always inside it).
+        3 => {
+            if bytes.len() > 2 {
+                bytes[2] ^= (xorshift(s) as u8) | 1;
+            }
+        }
+        // Flipped CRC trailer byte (last four bytes).
+        4 => {
+            let span = bytes.len().min(4);
+            let k = bytes.len() - 1 - ((xorshift(s) as usize) % span);
+            bytes[k] ^= (xorshift(s) as u8) | 1;
+        }
+        // Flipped byte anywhere.
+        5 => {
+            let k = (xorshift(s) as usize) % bytes.len();
+            bytes[k] ^= (xorshift(s) as u8) | 1;
+        }
+        // Declared length inflated past the frame cap: a crafted header
+        // claiming a payload the peer must refuse to allocate.
+        6 => {
+            let mut crafted = vec![bytes[0], WIRE_VERSION];
+            put_varint(&mut crafted, MAX_FRAME_PAYLOAD + 1 + (xorshift(s) % 4096));
+            for _ in 0..16 {
+                crafted.push(xorshift(s) as u8);
+            }
+            bytes = crafted;
+        }
+        // Payload corruption re-framed under a valid CRC: the framing layer
+        // accepts it, the record decoder must reject it (or decode cleanly)
+        // without panicking.
+        _ => {
+            if let Ok((frame, _)) = nshot_wire::decode_frame(base) {
+                let mut payload = frame.payload;
+                if payload.is_empty() {
+                    payload.push(xorshift(s) as u8);
+                } else {
+                    let k = (xorshift(s) as usize) % payload.len();
+                    payload[k] ^= (xorshift(s) as u8) | 1;
+                }
+                bytes = Frame {
+                    tag: frame.tag,
+                    payload,
+                }
+                .encode();
+            }
+        }
+    }
+    bytes
+}
+
+/// Greedy tail-trim: drop trailing bytes while the outcome class is
+/// unchanged. Keeps archived witnesses small without a full delta-debug.
+fn tail_trim_wire(bytes: &[u8], class: &str) -> Vec<u8> {
+    let mut cur = bytes.to_vec();
+    while cur.len() > 1 {
+        let cand = &cur[..cur.len() - 1];
+        let same = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            decode_wire_mutant(cand)
+        }))
+        .map(|c| c == class)
+        .unwrap_or(false);
+        if !same {
+            break;
+        }
+        cur.pop();
+    }
+    cur
+}
+
+/// Binary-protocol robustness mode (`--wire-mutations N`): mutate valid
+/// frames N ways and assert every mutant decodes to a typed error or a
+/// clean result — never a panic, never an over-read. The first witness of
+/// each error class is tail-trim minimized and archived for the
+/// malformed-corpus regression.
+fn run_wire_mutations(opts: &Options) -> Result<bool, String> {
+    use nshot_server::wirecodec;
+    use nshot_server::{
+        process_synth, Deadline, Envelope, Json, Method, OutputFormat, Request, SynthRequest,
+    };
+    use nshot_core::Minimizer;
+    use nshot_wire::tags;
+
+    let t0 = Instant::now();
+    let spec = nshot_benchmarks::by_name("chu133")
+        .ok_or("suite circuit chu133 missing")?
+        .build()
+        .to_text();
+    let synth_req = SynthRequest {
+        spec: spec.clone(),
+        method: Method::Nshot,
+        minimizer: Minimizer::Heuristic,
+        trials: 0,
+        format: OutputFormat::Blif,
+        share: false,
+    };
+    let resp = process_synth(&synth_req, &Deadline::unlimited());
+    let netlist = resp
+        .body
+        .iter()
+        .find(|(k, _)| k == "blif")
+        .and_then(|(_, v)| v.as_str().map(str::to_owned))
+        .unwrap_or_else(|| spec.clone());
+    let cert = resp.deterministic_fields();
+    let wire_err = |e: nshot_wire::WireError| format!("encode base frame: {e}");
+    let ping = Envelope {
+        id: Json::Num(1.0),
+        request: Request::Ping,
+    };
+    let synth_env = Envelope {
+        id: Json::Num(2.0),
+        request: Request::Synth(synth_req.clone()),
+    };
+    let response_stream: Vec<u8> = wirecodec::encode_response_frames(
+        &Json::Num(3.0),
+        resp.code,
+        resp.status,
+        &resp.body,
+        false,
+        0,
+        0,
+        "",
+    )
+    .concat();
+    // One of each frame kind the protocol ships, mutated round-robin.
+    let bases: Vec<(&'static str, Vec<u8>)> = vec![
+        ("request_ping", wirecodec::encode_request(&ping).map_err(wire_err)?),
+        (
+            "request_synth",
+            wirecodec::encode_request(&synth_env).map_err(wire_err)?,
+        ),
+        ("artifact_spec", wirecodec::encode_artifact(tags::SPEC, &spec)),
+        (
+            "artifact_netlist",
+            wirecodec::encode_artifact(tags::NETLIST, &netlist),
+        ),
+        ("artifact_cert", wirecodec::encode_artifact(tags::CERT, &cert)),
+        ("response_stream", response_stream),
+    ];
+
+    eprintln!(
+        "nshot-fuzz: {} frame mutations over {} base frames -> {}",
+        opts.wire_mutations,
+        bases.len(),
+        opts.wire_archive.display()
+    );
+    let errors_before = nshot_wire::decode_errors_total();
+    // Silence the default panic hook for the duration: a caught panic is a
+    // counted failure, not console noise.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut outcomes: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut witnesses: Vec<(&'static str, Vec<u8>)> = Vec::new();
+    let mut panics = 0u64;
+    for i in 0..opts.wire_mutations {
+        let (base_name, base) = &bases[i % bases.len()];
+        let mut s = (i as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0x0123_4567_89AB_CDEF);
+        let mutant = mutate_frame(base, (i / bases.len()) % 8, &mut s);
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            decode_wire_mutant(&mutant)
+        })) {
+            Ok(class) => {
+                *outcomes.entry(class).or_insert(0) += 1;
+                if class != "clean_eof" && !witnesses.iter().any(|(c, _)| *c == class) {
+                    witnesses.push((class, mutant));
+                }
+            }
+            Err(_) => {
+                panics += 1;
+                eprintln!(
+                    "nshot-fuzz: PANIC decoding mutation {i} of base {base_name} \
+                     ({} bytes)",
+                    mutant.len()
+                );
+            }
+        }
+    }
+    // Archive one minimized witness per error class.
+    let mut archived: Vec<String> = Vec::new();
+    std::fs::create_dir_all(&opts.wire_archive)
+        .map_err(|e| format!("{}: {e}", opts.wire_archive.display()))?;
+    witnesses.sort_by_key(|(c, _)| *c);
+    for (class, bytes) in &witnesses {
+        let minimized = tail_trim_wire(bytes, class);
+        let path = opts.wire_archive.join(format!("{class}.bin"));
+        std::fs::write(&path, &minimized).map_err(|e| format!("{}: {e}", path.display()))?;
+        archived.push(path.display().to_string());
+    }
+    std::panic::set_hook(prev_hook);
+    let decode_errors = nshot_wire::decode_errors_total() - errors_before;
+
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let outcomes_json = outcomes
+        .iter()
+        .map(|(class, n)| format!("\"{class}\": {n}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let archived_json = archived
+        .iter()
+        .map(|p| format!("\"{p}\""))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let report = format!(
+        "{{\n\
+         \x20 \"generated_by\": \"cargo run --release -p nshot-bench --bin nshot-fuzz -- --wire-mutations\",\n\
+         \x20 \"mutations\": {mutations},\n\
+         \x20 \"base_frames\": {nbases},\n\
+         \x20 \"panics\": {panics},\n\
+         \x20 \"decode_errors_noted\": {decode_errors},\n\
+         \x20 \"outcomes\": {{{outcomes_json}}},\n\
+         \x20 \"archived\": [{archived_json}],\n\
+         \x20 \"wall_ms\": {wall_ms:.2}\n\
+         }}\n",
+        mutations = opts.wire_mutations,
+        nbases = bases.len(),
+    );
+    std::fs::write(&opts.out, &report).map_err(|e| format!("{}: {e}", opts.out))?;
+    eprintln!(
+        "nshot-fuzz: wire mutations: {} run, {panics} panics, {} outcome classes, \
+         {} witnesses archived -> {}",
+        opts.wire_mutations,
+        outcomes.len(),
+        archived.len(),
+        opts.out
+    );
+    Ok(panics == 0)
 }
 
 /// Regression mode: re-verify every archived `.g` file.

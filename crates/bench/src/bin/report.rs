@@ -137,6 +137,79 @@ fn server_section(out: &mut String, v: Option<&Json>) {
         let _ = writeln!(out);
     }
     shards_subsection(out, v);
+    wire_subsection(out, v);
+}
+
+/// The `wire` comparison: the same cached workload over NDJSON and over
+/// the negotiated binary framing, plus the two store encodings on disk.
+fn wire_subsection(out: &mut String, v: &Json) {
+    let Some(w) = v.get("wire") else {
+        return;
+    };
+    let _ = writeln!(out, "### Binary wire format\n");
+    let _ = writeln!(
+        out,
+        "The same {}-circuit cached workload over both transports \
+         (`loadgen --wire-cmp`, {} roundtrips each), then both store \
+         encodings of the same responses.\n",
+        int(w, "circuits"),
+        int(w, "cached_roundtrips_per_transport"),
+    );
+    let bytes = w.get("bytes_on_wire");
+    let store = w.get("store_bytes");
+    let lat = w.get("cached_latency_us");
+    let warm = w.get("warm_start_ms");
+    let _ = writeln!(out, "| metric | NDJSON | binary | ratio |");
+    let _ = writeln!(out, "|---|---:|---:|---:|");
+    if let Some(b) = bytes {
+        let (j, n) = (b.get("json"), b.get("binary"));
+        let _ = writeln!(
+            out,
+            "| bytes on wire | {} | {} | {:.2}x |",
+            j.map_or(0, |x| int(x, "total")),
+            n.map_or(0, |x| int(x, "total")),
+            num(b, "json_over_binary"),
+        );
+    }
+    if let Some(s) = store {
+        let _ = writeln!(
+            out,
+            "| store bytes | {} | {} | {:.2}x |",
+            int(s, "legacy_v1_json"),
+            int(s, "binary_v2"),
+            num(s, "legacy_over_binary"),
+        );
+    }
+    if let Some(l) = lat {
+        let (j, n) = (l.get("json"), l.get("binary"));
+        let _ = writeln!(
+            out,
+            "| cached p50 (µs) | {} | {} | — |",
+            j.map_or(0, |x| int(x, "p50")),
+            n.map_or(0, |x| int(x, "p50")),
+        );
+        let _ = writeln!(
+            out,
+            "| cached p99 (µs) | {} | {} | — |",
+            j.map_or(0, |x| int(x, "p99")),
+            n.map_or(0, |x| int(x, "p99")),
+        );
+    }
+    if let Some(wm) = warm {
+        let _ = writeln!(
+            out,
+            "| warm start (ms) | {:.2} | {:.2} | — |",
+            num(wm, "legacy_v1_json"),
+            num(wm, "binary_v2"),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nResponses byte-identical across transports: **{}**.\n",
+        w.get("byte_identical")
+            .and_then(Json::as_bool)
+            .unwrap_or(false)
+    );
 }
 
 /// The `shards` scaling table: one row per swept topology, with the

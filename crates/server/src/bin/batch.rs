@@ -25,7 +25,8 @@
 
 use nshot_core::Minimizer;
 use nshot_server::{
-    process_synth, Deadline, Method, OutputFormat, SynthRequest, RESPONSE_STORE_VERSION,
+    process_synth, wirecodec, Deadline, Method, OutputFormat, SynthRequest,
+    RESPONSE_STORE_LEGACY, RESPONSE_STORE_VERSION,
 };
 use nshot_store::{FsyncPolicy, Store, StoreConfig};
 use std::process::ExitCode;
@@ -167,6 +168,9 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut config = StoreConfig::new(&opts.store);
     config.fsync = opts.fsync;
     config.value_version = RESPONSE_STORE_VERSION;
+    // A record persisted by an older release still counts as present for
+    // the incremental skip — the server serves it byte-identically.
+    config.legacy_versions = RESPONSE_STORE_LEGACY.to_vec();
     let mut store = Store::open(config).map_err(|e| format!("store {}: {e}", opts.store))?;
     let recovery = store.stats();
     if recovery.dropped_records > 0 || recovery.stale_records > 0 {
@@ -194,8 +198,10 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         let response = process_synth(&request, &Deadline::unlimited());
         if persistable(response.code) {
+            let value =
+                wirecodec::encode_response_value(response.code, response.status, &response.body);
             store
-                .put(&key, response.deterministic_fields().as_bytes())
+                .put(&key, &value)
                 .map_err(|e| format!("store put {name}: {e}"))?;
         }
         if response.code == 200 {

@@ -5,8 +5,17 @@
 //! the load generator (`loadgen`), the shard front's proxy path and the
 //! front's metrics/shutdown fan-out — instead of each hand-rolling its own
 //! `BufReader` + `write_all` dance.
+//!
+//! A client can also negotiate the binary wire format
+//! ([`Client::upgrade_binary`]): after the `hello` ack the connection
+//! carries `nshot-wire` frames, requests encoded by
+//! [`crate::wirecodec::encode_request`] and responses read back as the
+//! same object shape the NDJSON line parses to.
 
 use crate::json::{self, Json};
+use crate::protocol::Envelope;
+use crate::wirecodec;
+use nshot_wire::WireError;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
@@ -38,6 +47,9 @@ impl Client {
     }
 
     fn from_stream(writer: TcpStream) -> io::Result<Client> {
+        // Request/response exchanges are latency-bound; Nagle + delayed-ACK
+        // would add ~40 ms to every roundtrip whose write spans segments.
+        writer.set_nodelay(true)?;
         let reader = BufReader::new(writer.try_clone()?);
         Ok(Client { reader, writer })
     }
@@ -89,6 +101,59 @@ impl Client {
         let raw = self.roundtrip(line).map_err(|e| format!("io: {e}"))?;
         json::parse(&raw).map_err(|e| format!("bad response json ({e}): {raw}"))
     }
+
+    /// Negotiate binary framing: send the `hello` line and check the ack.
+    /// Every later exchange on this connection must use
+    /// [`roundtrip_frame`](Self::roundtrip_frame) /
+    /// [`roundtrip_binary`](Self::roundtrip_binary).
+    ///
+    /// # Errors
+    ///
+    /// IO failures, or [`io::ErrorKind::InvalidData`] when the server
+    /// refuses the upgrade.
+    pub fn upgrade_binary(&mut self) -> io::Result<()> {
+        let raw = self.roundtrip(r#"{"op":"hello","format":"binary"}"#)?;
+        if !raw.contains("\"code\":200") {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("binary upgrade refused: {raw}"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Send one pre-encoded request frame and read back the response
+    /// frame stream, assembled into the same object shape
+    /// [`roundtrip_json`](Self::roundtrip_json) returns. Only valid
+    /// after [`upgrade_binary`](Self::upgrade_binary).
+    ///
+    /// # Errors
+    ///
+    /// IO failures; decode failures surface as
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn roundtrip_frame(&mut self, frame: &[u8]) -> io::Result<Json> {
+        self.writer.write_all(frame)?;
+        self.writer.flush()?;
+        wirecodec::read_response(&mut self.reader).map_err(wire_to_io)
+    }
+
+    /// Encode `env` and [`roundtrip_frame`](Self::roundtrip_frame) it.
+    ///
+    /// # Errors
+    ///
+    /// As `roundtrip_frame`, plus [`io::ErrorKind::InvalidData`] for a
+    /// request that has no binary encoding (`hello`).
+    pub fn roundtrip_binary(&mut self, env: &Envelope) -> io::Result<Json> {
+        let frame = wirecodec::encode_request(env).map_err(wire_to_io)?;
+        self.roundtrip_frame(&frame)
+    }
+}
+
+fn wire_to_io(e: WireError) -> io::Error {
+    match e {
+        WireError::Io(kind) => io::Error::new(kind, "binary roundtrip failed"),
+        other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+    }
 }
 
 /// One-shot request on a fresh connection (stats scrapes, control ops).
@@ -120,6 +185,55 @@ mod tests {
         let mut c = Client::connect(server.local_addr()).expect("connect");
         assert_eq!(c.roundtrip("abc").expect("rt"), "ABC");
         assert_eq!(c.roundtrip("def").expect("rt"), "DEF");
+        server.stop();
+        server.join();
+    }
+
+    /// Speaks just enough of the binary protocol to exercise the client
+    /// side of the upgrade without a full synthesis server.
+    struct BinaryPong;
+    impl LineHandler for BinaryPong {
+        fn handle_line(&self, _raw: Vec<u8>) -> LineReply {
+            crate::runtime::LineReply {
+                line: "{\"id\":null,\"code\":200,\"status\":\"ok\"}".into(),
+                shutdown: false,
+                upgrade: true,
+            }
+        }
+
+        fn handle_frame(&self, frame: nshot_wire::Frame) -> Option<crate::runtime::FrameReply> {
+            let env = wirecodec::decode_request(&frame.payload).ok()?;
+            let frames = wirecodec::encode_response_frames(
+                &env.id,
+                200,
+                "ok",
+                &[("pong".to_owned(), Json::Bool(true))],
+                false,
+                5,
+                9,
+                "",
+            );
+            Some(crate::runtime::FrameReply {
+                frames,
+                shutdown: false,
+            })
+        }
+    }
+
+    #[test]
+    fn binary_upgrade_and_roundtrip() {
+        use crate::protocol::{Envelope, Request};
+        let server = TcpLineServer::bind("127.0.0.1:0", Arc::new(BinaryPong)).expect("bind");
+        let mut c = Client::connect(server.local_addr()).expect("connect");
+        c.upgrade_binary().expect("upgrade");
+        let env = Envelope {
+            id: Json::Num(42.0),
+            request: Request::Ping,
+        };
+        let obj = c.roundtrip_binary(&env).expect("roundtrip");
+        assert_eq!(obj.get("id").unwrap().as_u64(), Some(42));
+        assert_eq!(obj.get("code").unwrap().as_u64(), Some(200));
+        assert_eq!(obj.get("pong").unwrap().as_bool(), Some(true));
         server.stop();
         server.join();
     }

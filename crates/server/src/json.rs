@@ -248,13 +248,23 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so the
-                    // bytes are valid UTF-8 by construction).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    // Consume the whole run of unescaped bytes at once and
+                    // validate it once. `"` (0x22) and `\` (0x5C) are ASCII
+                    // and never occur inside a multi-byte UTF-8 sequence,
+                    // so a bytewise scan cannot split a scalar. (Validating
+                    // the *remaining input* per character instead makes
+                    // parsing quadratic — a multi-megabyte spec string took
+                    // tens of seconds.)
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| "invalid utf-8".to_string())?;
-                    let c = rest.chars().next().expect("non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(run);
                 }
             }
         }

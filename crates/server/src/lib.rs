@@ -50,6 +50,7 @@ pub mod json;
 pub mod protocol;
 pub mod runtime;
 pub mod service;
+pub mod wirecodec;
 
 pub use json::Json;
 /// The fixed-bucket latency histogram now lives in `nshot-obs`; the old
@@ -64,7 +65,7 @@ use nshot_logic::BoundedCache;
 use nshot_obs::{AtomicHistogram, Counter, Gauge, Registry, StageTimings};
 use nshot_par::PushError;
 use nshot_store::{Store, StoreConfig, StoreReport};
-use runtime::{LineHandler, LineReply, TcpLineServer, WorkerPool};
+use runtime::{FrameReply, LineHandler, LineReply, TcpLineServer, WorkerPool};
 use std::path::PathBuf;
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Instant;
@@ -72,11 +73,18 @@ use std::time::Instant;
 pub use nshot_store::FsyncPolicy;
 
 /// Version stamped on every persisted response record. Bump when the
-/// deterministic response prefix changes shape: stale-version records are
-/// dropped at [`Store::open`] and transparently recompiled, so a store
-/// written by an older release can never serve an outdated response
-/// format.
-pub const RESPONSE_STORE_VERSION: u32 = 1;
+/// persisted payload changes shape. Version 2 is the binary encoding
+/// ([`wirecodec::encode_response_value`]: code, status byte, structured
+/// body); version 1 — the rendered deterministic-field JSON string — is
+/// listed in [`RESPONSE_STORE_LEGACY`], so old records keep being served
+/// byte-identically while every new write (cache fills, compaction
+/// rewrites) lands in binary.
+pub const RESPONSE_STORE_VERSION: u32 = 2;
+
+/// Older persisted-payload versions this release still reads. Drop a
+/// version from this list and [`Store::open`] counts its records stale
+/// and recompiles them instead.
+pub const RESPONSE_STORE_LEGACY: &[u32] = &[1];
 
 /// Service configuration. `Default` gives a loopback service on an
 /// ephemeral port with generous limits.
@@ -251,18 +259,94 @@ fn run_worker_job(job: Job) {
     let _ = job.reply.send((response, timings));
 }
 
+/// One cacheable response in both renderings: the deterministic JSON
+/// field string (served *verbatim* on NDJSON connections — what the
+/// byte-identity tests compare against direct library calls) and the
+/// structured body the binary path streams out as `FIELD` records and
+/// the store persists as its version-2 value. Kept behind an `Arc` so a
+/// cache hit clones a pointer, not a netlist.
+struct CachedResponse {
+    code: u16,
+    status: &'static str,
+    fields: String,
+    body: Vec<(String, Json)>,
+}
+
+impl CachedResponse {
+    fn from_response(r: Response) -> CachedResponse {
+        let fields = r.deterministic_fields();
+        CachedResponse {
+            code: r.code,
+            status: r.status,
+            fields,
+            body: r.body,
+        }
+    }
+
+    /// Rebuild from a legacy (version-1) store record: the stored string
+    /// is kept verbatim as the JSON rendering — byte identity with what
+    /// the old release served — and re-parsed once for the structured
+    /// body the binary path needs. `None` means the record is foreign.
+    fn from_legacy_fields(fields: String) -> Option<CachedResponse> {
+        let parsed = json::parse(&format!("{{{fields}}}")).ok()?;
+        let Json::Obj(pairs) = parsed else { return None };
+        let mut code = None;
+        let mut status = None;
+        let mut body = Vec::new();
+        for (k, v) in pairs {
+            match k.as_str() {
+                "code" => code = v.as_u64(),
+                "status" => {
+                    status = match v.as_str() {
+                        Some("ok") => Some("ok"),
+                        Some("error") => Some("error"),
+                        Some("rejected") => Some("rejected"),
+                        _ => None,
+                    }
+                }
+                _ => body.push((k, v)),
+            }
+        }
+        Some(CachedResponse {
+            code: u16::try_from(code?).ok()?,
+            status: status?,
+            fields,
+            body,
+        })
+    }
+
+    /// Decode one persisted record into a cache entry, by the payload
+    /// version the store recovered it at. `None` (foreign or damaged
+    /// record) means skip — never serve.
+    fn from_store_record(version: u32, value: Vec<u8>) -> Option<CachedResponse> {
+        if version == RESPONSE_STORE_VERSION {
+            let r = wirecodec::decode_response_value(&value).ok()?;
+            Some(CachedResponse::from_response(r))
+        } else {
+            String::from_utf8(value)
+                .ok()
+                .and_then(CachedResponse::from_legacy_fields)
+        }
+    }
+
+    /// The version-2 store value for this response.
+    fn store_value(&self) -> Vec<u8> {
+        wirecodec::encode_response_value(self.code, self.status, &self.body)
+    }
+}
+
 /// State shared by the connection handlers and the shutdown path. The
 /// queue/worker/drain plumbing lives in the embedded [`WorkerPool`].
 struct Shared {
     config: ServerConfig,
     started: Instant,
     pool: WorkerPool<Job>,
-    cache: Mutex<BoundedCache<String, String>>,
+    cache: Mutex<BoundedCache<String, Arc<CachedResponse>>>,
     counters: Counters,
     /// Write-behind channel to the store thread (`None` when no store is
     /// configured). Taken — dropping the sender — at drain time, which is
     /// what tells the store thread to flush and exit.
-    persist: Mutex<Option<mpsc::Sender<(String, String)>>>,
+    persist: Mutex<Option<mpsc::Sender<(String, Arc<CachedResponse>)>>>,
 }
 
 impl Shared {
@@ -412,6 +496,104 @@ impl Shared {
         self.pool.drain();
         self.persist.lock().expect("persist poisoned").take();
     }
+
+    /// The `hello` negotiation ack: echoes the agreed format so clients
+    /// can assert on it, plus the wire version a binary connection speaks
+    /// after the upgrade.
+    fn hello_response(binary: bool) -> Response {
+        Response::ok(vec![
+            (
+                "format".into(),
+                Json::Str(if binary { "binary" } else { "json" }.into()),
+            ),
+            (
+                "wire_version".into(),
+                Json::Num(f64::from(nshot_wire::WIRE_VERSION)),
+            ),
+        ])
+    }
+
+    /// Dispatch one validated request — the op switchboard shared by the
+    /// NDJSON and binary paths, so the two framings cannot drift. Returns
+    /// the response, whether the cache served it, the pipeline timings,
+    /// and whether the service must stop once the ack is flushed.
+    fn dispatch(
+        &self,
+        request: Request,
+        trace_id: u64,
+    ) -> (Arc<CachedResponse>, bool, StageTimings, bool) {
+        let inline = |r: Response| {
+            (
+                Arc::new(CachedResponse::from_response(r)),
+                false,
+                StageTimings::default(),
+                false,
+            )
+        };
+        match request {
+            Request::Ping => inline(Response::ok(vec![("pong".into(), Json::Bool(true))])),
+            Request::Stats => inline(self.stats_response()),
+            Request::Metrics => inline(self.metrics_response()),
+            Request::Hello { binary } => inline(Self::hello_response(binary)),
+            Request::Shutdown => {
+                self.drain();
+                let r = Response::ok(vec![
+                    ("shutdown".into(), Json::Bool(true)),
+                    ("drained".into(), Json::Bool(true)),
+                    (
+                        "served".into(),
+                        Json::Num(self.counters.requests.get() as f64),
+                    ),
+                ]);
+                (
+                    Arc::new(CachedResponse::from_response(r)),
+                    false,
+                    StageTimings::default(),
+                    true,
+                )
+            }
+            Request::Synth(synth) => {
+                let (resp, cached, timings) = run_job(self, Work::Synth(synth), trace_id);
+                (resp, cached, timings, false)
+            }
+            Request::Verify(verify) => {
+                let (resp, cached, timings) = run_job(self, Work::Verify(verify), trace_id);
+                (resp, cached, timings, false)
+            }
+        }
+    }
+
+    /// Slow-request log: anything past the threshold is triageable from
+    /// stderr (and the flight recorder) without a trace sink.
+    fn note_slow(
+        &self,
+        code: u16,
+        cached: bool,
+        service_us: u64,
+        trace_id: u64,
+        timing_json: &str,
+    ) {
+        let slow_ms = self.config.slow_ms;
+        if slow_ms == 0 || service_us <= slow_ms.saturating_mul(1000) {
+            return;
+        }
+        self.counters.slow_requests.inc();
+        let timing = if timing_json.is_empty() {
+            "{}"
+        } else {
+            timing_json
+        };
+        eprintln!(
+            "nshot-serve: slow request trace={trace_id} code={code} \
+             cached={cached} service_us={service_us} timing={timing}"
+        );
+        nshot_obs::event("slow_request", || {
+            format!(
+                "trace={trace_id} code={code} cached={cached} \
+                 service_us={service_us} timing={timing}"
+            )
+        });
+    }
 }
 
 /// Whether a response prefix may be served from / stored in the cache:
@@ -422,10 +604,10 @@ fn cacheable(code: u16) -> bool {
 }
 
 /// Handle one queued request (synth or verify) end to end (cache → queue →
-/// worker → cache fill). Returns the code, the deterministic field string,
-/// whether it was served from cache, and the per-stage timings (empty for
-/// cache hits and rejections — no pipeline ran).
-fn run_job(shared: &Shared, work: Work, trace_id: u64) -> (u16, String, bool, StageTimings) {
+/// worker → cache fill). Returns the response, whether it was served from
+/// cache, and the per-stage timings (empty for cache hits and rejections —
+/// no pipeline ran).
+fn run_job(shared: &Shared, work: Work, trace_id: u64) -> (Arc<CachedResponse>, bool, StageTimings) {
     match &work {
         Work::Synth(_) => shared.counters.synth_requests.inc(),
         Work::Verify(_) => shared.counters.verify_requests.inc(),
@@ -439,12 +621,10 @@ fn run_job(shared: &Shared, work: Work, trace_id: u64) -> (u16, String, bool, St
         if let Some(key) = &key {
             let mut cache = shared.cache.lock().expect("cache poisoned");
             if let Some(hit) = cache.get(key) {
-                let fields = hit.clone();
+                let resp = Arc::clone(hit);
                 drop(cache);
                 shared.counters.cache_hits.inc();
-                // The cached prefix starts with `"code":NNN`.
-                let code: u16 = fields[7..10].parse().unwrap_or(200);
-                return (code, fields, true, StageTimings::default());
+                return (resp, true, StageTimings::default());
             }
             shared.counters.cache_misses.inc();
         }
@@ -493,25 +673,27 @@ fn run_job(shared: &Shared, work: Work, trace_id: u64) -> (u16, String, bool, St
             .push(("partial_timing".into(), Json::Obj(partial)));
     }
 
-    let fields = response.deterministic_fields();
-    if cacheable(response.code) {
+    let resp = Arc::new(CachedResponse::from_response(response));
+    if cacheable(resp.code) {
         if let Some(key) = key {
             // Write-behind: hand the record to the store thread before the
             // cache fill; the request path never waits on disk. A closed
-            // channel (store thread released at drain) just skips.
+            // channel (store thread released at drain) just skips. The
+            // store thread owns the binary encoding, so that cost is off
+            // the request path too.
             if let Some(tx) = shared.persist.lock().expect("persist poisoned").as_ref() {
-                let _ = tx.send((key.clone(), fields.clone()));
+                let _ = tx.send((key.clone(), Arc::clone(&resp)));
             }
             if shared.config.cache_cap > 0 {
                 shared
                     .cache
                     .lock()
                     .expect("cache poisoned")
-                    .insert(key, fields.clone());
+                    .insert(key, Arc::clone(&resp));
             }
         }
     }
-    (response.code, fields, false, timings)
+    (resp, false, timings)
 }
 
 impl LineHandler for Shared {
@@ -529,54 +711,23 @@ impl LineHandler for Shared {
             Err(_) => Err((Json::Null, "request is not valid utf-8".into())),
         };
 
-        let mut shutdown_after_reply = false;
-        let mut timings = StageTimings::default();
-        let (id, code, fields, cached) = match parsed {
-            Err((id, message)) => {
-                let r = Response::error(400, message);
-                (id, r.code, r.deterministic_fields(), false)
+        let (id, resp, cached, timings, shutdown, upgrade) = match parsed {
+            Err((id, message)) => (
+                id,
+                Arc::new(CachedResponse::from_response(Response::error(400, message))),
+                false,
+                StageTimings::default(),
+                false,
+                false,
+            ),
+            Ok(Envelope { id, request }) => {
+                let upgrade = matches!(request, Request::Hello { binary: true });
+                let (resp, cached, timings, shutdown) = self.dispatch(request, trace_id);
+                (id, resp, cached, timings, shutdown, upgrade)
             }
-            Ok(Envelope { id, request }) => match request {
-                Request::Ping => {
-                    let r = Response::ok(vec![("pong".into(), Json::Bool(true))]);
-                    (id, r.code, r.deterministic_fields(), false)
-                }
-                Request::Stats => {
-                    let r = self.stats_response();
-                    (id, r.code, r.deterministic_fields(), false)
-                }
-                Request::Metrics => {
-                    let r = self.metrics_response();
-                    (id, r.code, r.deterministic_fields(), false)
-                }
-                Request::Shutdown => {
-                    self.drain();
-                    shutdown_after_reply = true;
-                    let r = Response::ok(vec![
-                        ("shutdown".into(), Json::Bool(true)),
-                        ("drained".into(), Json::Bool(true)),
-                        (
-                            "served".into(),
-                            Json::Num(self.counters.requests.get() as f64),
-                        ),
-                    ]);
-                    (id, r.code, r.deterministic_fields(), false)
-                }
-                Request::Synth(synth) => {
-                    let (code, fields, cached, t) = run_job(self, Work::Synth(synth), trace_id);
-                    timings = t;
-                    (id, code, fields, cached)
-                }
-                Request::Verify(verify) => {
-                    let (code, fields, cached, t) =
-                        run_job(self, Work::Verify(verify), trace_id);
-                    timings = t;
-                    (id, code, fields, cached)
-                }
-            },
         };
 
-        self.count_code(code);
+        self.count_code(resp.code);
         let service_us = t0.elapsed().as_micros() as u64;
         self.counters.latency.record(service_us);
 
@@ -585,34 +736,83 @@ impl LineHandler for Shared {
         } else {
             timings.to_json()
         };
+        self.note_slow(resp.code, cached, service_us, trace_id, &timing_json);
 
-        // Slow-request log: anything past the threshold is triageable
-        // from stderr (and the flight recorder) without a trace sink.
-        let slow_ms = self.config.slow_ms;
-        if slow_ms > 0 && service_us > slow_ms.saturating_mul(1000) {
-            self.counters.slow_requests.inc();
-            let timing = if timing_json.is_empty() {
-                "{}"
-            } else {
-                timing_json.as_str()
-            };
-            eprintln!(
-                "nshot-serve: slow request trace={trace_id} code={code} \
-                 cached={cached} service_us={service_us} timing={timing}"
-            );
-            nshot_obs::event("slow_request", || {
-                format!(
-                    "trace={trace_id} code={code} cached={cached} \
-                     service_us={service_us} timing={timing}"
-                )
-            });
-        }
-        let line =
-            protocol::render_response(&id, &fields, cached, service_us, trace_id, &timing_json);
+        let line = protocol::render_response(
+            &id,
+            &resp.fields,
+            cached,
+            service_us,
+            trace_id,
+            &timing_json,
+        );
         LineReply {
             line,
-            shutdown: shutdown_after_reply,
+            shutdown,
+            upgrade,
         }
+    }
+
+    /// Serve one binary request frame after the `hello` upgrade: decode,
+    /// dispatch through the same switchboard as the NDJSON path, stream
+    /// the response back as head/field/end frames. A structurally damaged
+    /// payload (already counted in `nshot_wire_decode_errors_total`)
+    /// closes the connection — its framing can no longer be trusted; a
+    /// well-formed frame carrying an invalid request is answered with a
+    /// 400 stream, exactly like a bad JSON line.
+    fn handle_frame(&self, frame: nshot_wire::Frame) -> Option<FrameReply> {
+        let t0 = Instant::now();
+        let trace_id = nshot_obs::next_trace_id();
+        self.counters.requests.inc();
+
+        let refused = |id: Json, message: String| {
+            (
+                id,
+                Arc::new(CachedResponse::from_response(Response::error(400, message))),
+                false,
+                StageTimings::default(),
+                false,
+            )
+        };
+        let (id, resp, cached, timings, shutdown) = if frame.tag != nshot_wire::tags::REQUEST {
+            // A valid frame of the wrong kind is an answerable protocol
+            // error, like a JSON line with an unknown op.
+            refused(Json::Null, format!("expected a request frame, got tag {}", frame.tag))
+        } else {
+            match wirecodec::decode_request(&frame.payload) {
+                Err(wirecodec::RequestDecodeError::Frame(_)) => return None,
+                Err(wirecodec::RequestDecodeError::Invalid { id, message }) => {
+                    refused(id, message)
+                }
+                Ok(Envelope { id, request }) => {
+                    let (resp, cached, timings, shutdown) = self.dispatch(request, trace_id);
+                    (id, resp, cached, timings, shutdown)
+                }
+            }
+        };
+
+        self.count_code(resp.code);
+        let service_us = t0.elapsed().as_micros() as u64;
+        self.counters.latency.record(service_us);
+
+        let timing_json = if timings.is_empty() {
+            String::new()
+        } else {
+            timings.to_json()
+        };
+        self.note_slow(resp.code, cached, service_us, trace_id, &timing_json);
+
+        let frames = wirecodec::encode_response_frames(
+            &id,
+            resp.code,
+            resp.status,
+            &resp.body,
+            cached,
+            service_us,
+            trace_id,
+            &timing_json,
+        );
+        Some(FrameReply { frames, shutdown })
     }
 }
 
@@ -647,10 +847,11 @@ impl Server {
     ///
     /// [`std::io::Error`] when the address cannot be bound.
     pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
-        // Force-register the pipeline-stage histograms so a `metrics`
-        // scrape sees every stage (with zero counts) from the first
-        // request on.
+        // Force-register the pipeline-stage histograms and the wire
+        // decode-error counter so a `metrics` scrape sees every series
+        // (with zero counts) from the first request on.
         let _ = nshot_obs::stage_histograms();
+        let _ = nshot_wire::decode_errors();
         let workers = if config.workers == 0 {
             nshot_par::num_threads()
         } else {
@@ -667,6 +868,7 @@ impl Server {
                 let mut cfg = StoreConfig::new(dir);
                 cfg.fsync = config.store_fsync;
                 cfg.value_version = RESPONSE_STORE_VERSION;
+                cfg.legacy_versions = RESPONSE_STORE_LEGACY.to_vec();
                 Some(Store::open(cfg)?)
             }
         };
@@ -676,11 +878,12 @@ impl Server {
         if let Some(store) = store.as_mut() {
             if config.cache_cap > 0 {
                 let mut guard = cache.lock().expect("cache poisoned");
-                for (key, value) in store.entries() {
-                    // Values are deterministic-field strings; a record
-                    // that is not UTF-8 is foreign and skipped.
-                    if let Ok(fields) = String::from_utf8(value) {
-                        guard.insert(key, fields);
+                for (key, version, value) in store.entries_versioned() {
+                    // Binary (version-2) records and legacy field strings
+                    // both warm the cache; a record neither decodes as is
+                    // foreign and skipped.
+                    if let Some(resp) = CachedResponse::from_store_record(version, value) {
+                        guard.insert(key, Arc::new(resp));
                         counters.cache_warmed.inc();
                     }
                 }
@@ -689,12 +892,12 @@ impl Server {
             // Shared-warm mode (shard backends): read-only scan, no writer
             // state, safe for N processes on one directory.
             if config.cache_cap > 0 {
+                let mut want = vec![RESPONSE_STORE_VERSION];
+                want.extend_from_slice(RESPONSE_STORE_LEGACY);
                 let mut guard = cache.lock().expect("cache poisoned");
-                for (key, value) in
-                    nshot_store::read_entries(dir, RESPONSE_STORE_VERSION)?
-                {
-                    if let Ok(fields) = String::from_utf8(value) {
-                        guard.insert(key, fields);
+                for (key, version, value) in nshot_store::read_entries_with(dir, &want)? {
+                    if let Some(resp) = CachedResponse::from_store_record(version, value) {
+                        guard.insert(key, Arc::new(resp));
                         counters.cache_warmed.inc();
                     }
                 }
@@ -704,14 +907,16 @@ impl Server {
         let (persist, store_thread) = match store {
             None => (None, None),
             Some(mut store) => {
-                let (tx, rx) = mpsc::channel::<(String, String)>();
+                let (tx, rx) = mpsc::channel::<(String, Arc<CachedResponse>)>();
                 let handle = std::thread::Builder::new()
                     .name("nshot-store".into())
                     .spawn(move || {
                         // Write-behind loop: exits when every sender is
-                        // dropped (drain), then flushes and reports.
-                        while let Ok((key, fields)) = rx.recv() {
-                            let _ = store.put(&key, fields.as_bytes());
+                        // dropped (drain), then flushes and reports. The
+                        // binary store value is encoded here, off the
+                        // request path.
+                        while let Ok((key, resp)) = rx.recv() {
+                            let _ = store.put(&key, &resp.store_value());
                         }
                         let _ = store.flush();
                         store.report()

@@ -168,6 +168,15 @@ pub enum Request {
     Ping,
     /// Drain in-flight jobs and stop the service.
     Shutdown,
+    /// Negotiate the connection's framing (answered inline). With
+    /// `binary: true` the acknowledgement line is the last NDJSON on the
+    /// connection: everything after it is length-framed `nshot-wire`
+    /// records in both directions. `format: "json"` (the default) is an
+    /// explicit no-op, so a client can always probe what the server speaks.
+    Hello {
+        /// Upgrade the connection to binary framing after the ack.
+        binary: bool,
+    },
 }
 
 /// A parsed request line: the echoed `id` plus the request itself.
@@ -202,6 +211,14 @@ pub fn parse_request(line: &str) -> Result<Envelope, (Json, String)> {
         "metrics" => Request::Metrics,
         "ping" => Request::Ping,
         "shutdown" => Request::Shutdown,
+        "hello" => {
+            let binary = match value.get("format").and_then(Json::as_str).unwrap_or("json") {
+                "binary" => true,
+                "json" => false,
+                other => return Err(fail(format!("unknown wire format '{other}'"))),
+            };
+            Request::Hello { binary }
+        }
         "synth" => {
             let spec = value
                 .get("spec")
@@ -291,6 +308,54 @@ pub fn parse_request(line: &str) -> Result<Envelope, (Json, String)> {
         other => return Err(fail(format!("unknown op '{other}'"))),
     };
     Ok(Envelope { id, request })
+}
+
+/// The wire name of a minimizer (the `minimizer` field of a request).
+/// Distinct from [`Minimizer`]'s canonical name, which is part of the
+/// cache-key encoding and uses the `{:?}` spelling for store
+/// compatibility.
+pub fn minimizer_wire_name(m: Minimizer) -> &'static str {
+    match m {
+        Minimizer::Heuristic => "heuristic",
+        Minimizer::Exact => "exact",
+        Minimizer::MultiOutput => "multi",
+    }
+}
+
+/// Render a validated envelope back to one canonical NDJSON request line
+/// (no trailing newline). Every option is spelled out explicitly, so the
+/// line parses back to the same validated request regardless of which
+/// defaults the original client relied on. The shard front uses this to
+/// forward a binary client's request to a JSON backend — correctness
+/// rests on responses being functions of the *validated* request, not of
+/// the client's original byte spelling.
+pub fn render_request(env: &Envelope) -> String {
+    let id = &env.id;
+    match &env.request {
+        Request::Synth(s) => format!(
+            "{{\"id\":{id},\"op\":\"synth\",\"spec\":{},\"method\":\"{}\",\"minimizer\":\"{}\",\"trials\":{},\"format\":\"{}\",\"share\":{}}}",
+            Json::Str(s.spec.clone()),
+            s.method.name(),
+            minimizer_wire_name(s.minimizer),
+            s.trials,
+            s.format.name(),
+            s.share,
+        ),
+        Request::Verify(v) => format!(
+            "{{\"id\":{id},\"op\":\"verify\",\"spec\":{},\"minimizer\":\"{}\",\"max_states\":{}}}",
+            Json::Str(v.spec.clone()),
+            minimizer_wire_name(v.minimizer),
+            v.max_states,
+        ),
+        Request::Stats => format!("{{\"id\":{id},\"op\":\"stats\"}}"),
+        Request::Metrics => format!("{{\"id\":{id},\"op\":\"metrics\"}}"),
+        Request::Ping => format!("{{\"id\":{id},\"op\":\"ping\"}}"),
+        Request::Shutdown => format!("{{\"id\":{id},\"op\":\"shutdown\"}}"),
+        Request::Hello { binary } => format!(
+            "{{\"id\":{id},\"op\":\"hello\",\"format\":\"{}\"}}",
+            if *binary { "binary" } else { "json" },
+        ),
+    }
 }
 
 /// A response: the HTTP-flavoured code, a status word, and the result
@@ -579,5 +644,45 @@ mod tests {
     fn metrics_op_parses() {
         let env = parse_request(r#"{"id":1,"op":"metrics"}"#).unwrap();
         assert!(matches!(env.request, Request::Metrics));
+    }
+
+    #[test]
+    fn rendered_requests_parse_back_to_the_same_request() {
+        for line in [
+            r#"{"id":3,"op":"synth","spec":".inputs r\n","method":"syn","minimizer":"multi","trials":4,"format":"verilog","share":true}"#,
+            r#"{"op":"synth","spec":"x"}"#,
+            r#"{"id":"k","op":"verify","spec":"x","minimizer":"exact","max_states":1000}"#,
+            r#"{"op":"ping"}"#,
+            r#"{"id":9,"op":"shutdown"}"#,
+            r#"{"op":"hello","format":"binary"}"#,
+        ] {
+            let env = parse_request(line).unwrap();
+            let rendered = render_request(&env);
+            // The rendered line is canonical: parsing it and rendering
+            // again is a fixed point.
+            let reparsed = parse_request(&rendered).unwrap();
+            assert_eq!(render_request(&reparsed), rendered, "not canonical: {line}");
+            // And the cache key (the routing key) survives the round trip.
+            match (&env.request, &reparsed.request) {
+                (Request::Synth(a), Request::Synth(b)) => {
+                    assert_eq!(a.cache_key(), b.cache_key());
+                }
+                (Request::Verify(a), Request::Verify(b)) => {
+                    assert_eq!(a.cache_key(), b.cache_key());
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn hello_negotiates_framing() {
+        let env = parse_request(r#"{"id":1,"op":"hello","format":"binary"}"#).unwrap();
+        assert!(matches!(env.request, Request::Hello { binary: true }));
+        let env = parse_request(r#"{"op":"hello","format":"json"}"#).unwrap();
+        assert!(matches!(env.request, Request::Hello { binary: false }));
+        let env = parse_request(r#"{"op":"hello"}"#).unwrap();
+        assert!(matches!(env.request, Request::Hello { binary: false }));
+        assert!(parse_request(r#"{"op":"hello","format":"ascii"}"#).is_err());
     }
 }

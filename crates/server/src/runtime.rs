@@ -33,6 +33,11 @@ pub struct LineReply {
     /// runtime raises the stop flag and wakes the accept loop; the handler
     /// is expected to have drained its own work before returning this.
     pub shutdown: bool,
+    /// Switch this connection to binary (`nshot-wire`) framing once the
+    /// reply has been flushed: every later exchange goes through
+    /// [`LineHandler::handle_frame`]. Returned by the handler's `hello`
+    /// negotiation ack.
+    pub upgrade: bool,
 }
 
 impl LineReply {
@@ -41,6 +46,7 @@ impl LineReply {
         LineReply {
             line,
             shutdown: false,
+            upgrade: false,
         }
     }
 
@@ -49,8 +55,20 @@ impl LineReply {
         LineReply {
             line,
             shutdown: true,
+            upgrade: false,
         }
     }
+}
+
+/// What a [`LineHandler`] wants done with one binary request frame (only
+/// reachable after a [`LineReply::upgrade`]).
+pub struct FrameReply {
+    /// Encoded response frames, written in order and flushed together —
+    /// a response streams out record by record (head, fields, end).
+    pub frames: Vec<Vec<u8>>,
+    /// Stop the whole service once the frames have been flushed (the
+    /// binary shutdown ack), like [`LineReply::shutdown`].
+    pub shutdown: bool,
 }
 
 /// One request line → one response line. Implementations own everything
@@ -61,6 +79,16 @@ pub trait LineHandler: Send + Sync + 'static {
     /// Handle one framed line (newline stripped, may still carry a
     /// trailing `\r` from CRLF clients).
     fn handle_line(&self, raw: Vec<u8>) -> LineReply;
+
+    /// Handle one binary request frame after a negotiated upgrade.
+    /// `None` closes the connection — the default for handlers that never
+    /// return [`LineReply::upgrade`], and the answer to a frame whose
+    /// payload is structurally damaged (framing can no longer be
+    /// trusted; the decode error has already been counted).
+    fn handle_frame(&self, frame: nshot_wire::Frame) -> Option<FrameReply> {
+        let _ = frame;
+        None
+    }
 }
 
 /// A bound NDJSON-over-TCP service: accept loop plus per-connection
@@ -130,26 +158,39 @@ impl TcpLineServer {
 }
 
 /// Serve one client connection: one request line in, one response line
-/// out, in order, until EOF or a shutdown reply.
+/// out, in order, until EOF or a shutdown reply. After a negotiated
+/// upgrade the same connection switches to length-framed binary records
+/// (`nshot-wire`), one request frame in, a response frame stream out.
 fn serve_connection<H: LineHandler + ?Sized>(
     handler: &H,
     stream: TcpStream,
     stop: &AtomicBool,
     local_addr: SocketAddr,
 ) {
-    let reader = match stream.try_clone() {
+    // Small request/response exchanges must not sit out Nagle + delayed-ACK
+    // stalls — the binary path in particular streams a response as several
+    // frames, and 40 ms per exchange would swamp every latency figure.
+    let _ = stream.set_nodelay(true);
+    let mut reader = match stream.try_clone() {
         Ok(s) => BufReader::new(s),
         Err(_) => return,
     };
     let mut writer = stream;
-    for line in reader.split(b'\n') {
-        let Ok(raw) = line else { break };
+    loop {
+        let mut raw = Vec::new();
+        match reader.read_until(b'\n', &mut raw) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+        if raw.last() == Some(&b'\n') {
+            raw.pop();
+        }
         // A stopped service answers nothing further, even on established
         // connections: closing here is what lets a peer (e.g. a shard
         // front's pooled connection) observe the shutdown as EOF instead
         // of talking to a half-dead server.
         if stop.load(Ordering::SeqCst) {
-            break;
+            return;
         }
         if raw.is_empty() || raw == b"\r" {
             continue;
@@ -158,13 +199,46 @@ fn serve_connection<H: LineHandler + ?Sized>(
         let mut line = reply.line;
         line.push('\n');
         if writer.write_all(line.as_bytes()).is_err() || writer.flush().is_err() {
-            break;
+            return;
         }
         if reply.shutdown {
             stop.store(true, Ordering::SeqCst);
             // Wake the accept loop so it observes the stop flag.
             let _ = TcpStream::connect(local_addr);
+            return;
+        }
+        if reply.upgrade {
             break;
+        }
+    }
+
+    // Binary phase: the upgrade ack has been flushed, everything from
+    // here is nshot-wire frames in both directions. A decode error has
+    // already been counted by the frame reader; the connection closes
+    // because its framing can no longer be trusted.
+    loop {
+        let frame = match nshot_wire::read_frame(&mut reader) {
+            Ok(Some(frame)) => frame,
+            Ok(None) | Err(_) => return,
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Some(reply) = handler.handle_frame(frame) else {
+            return;
+        };
+        for bytes in &reply.frames {
+            if writer.write_all(bytes).is_err() {
+                return;
+            }
+        }
+        if writer.flush().is_err() {
+            return;
+        }
+        if reply.shutdown {
+            stop.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(local_addr);
+            return;
         }
     }
 }
@@ -319,6 +393,79 @@ mod tests {
                 LineReply::reply(format!("echo {text}"))
             }
         }
+    }
+
+    /// Echoes lines until "up", then echoes binary frames; a REQUEST
+    /// frame with an empty payload is the shutdown signal.
+    struct FrameEcho;
+    impl LineHandler for FrameEcho {
+        fn handle_line(&self, raw: Vec<u8>) -> LineReply {
+            if raw == b"up" {
+                LineReply {
+                    line: "ok".into(),
+                    shutdown: false,
+                    upgrade: true,
+                }
+            } else {
+                LineReply::reply(String::from_utf8_lossy(&raw).into_owned())
+            }
+        }
+
+        fn handle_frame(&self, frame: nshot_wire::Frame) -> Option<FrameReply> {
+            if frame.payload.is_empty() {
+                return Some(FrameReply {
+                    frames: Vec::new(),
+                    shutdown: true,
+                });
+            }
+            Some(FrameReply {
+                frames: vec![nshot_wire::encode_frame(frame.tag, &frame.payload)],
+                shutdown: false,
+            })
+        }
+    }
+
+    #[test]
+    fn connections_upgrade_to_binary_framing() {
+        use nshot_wire::{encode_frame, read_frame, tags};
+        let server = TcpLineServer::bind("127.0.0.1:0", Arc::new(FrameEcho)).expect("bind");
+        let stream = TcpStream::connect(server.local_addr()).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+
+        writer.write_all(b"ping\nup\n").expect("write");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        assert_eq!(line, "ping\n");
+        line.clear();
+        reader.read_line(&mut line).expect("read");
+        assert_eq!(line, "ok\n");
+
+        // Past the upgrade ack the connection speaks frames.
+        writer
+            .write_all(&encode_frame(tags::FIELD, b"binary now"))
+            .expect("write frame");
+        let back = read_frame(&mut reader).expect("frame").expect("some");
+        assert_eq!(back.tag, tags::FIELD);
+        assert_eq!(back.payload, b"binary now");
+
+        // The binary shutdown path stops the whole service.
+        writer
+            .write_all(&encode_frame(tags::REQUEST, b""))
+            .expect("write shutdown");
+        server.join();
+    }
+
+    #[test]
+    fn default_handlers_close_on_frames() {
+        // Echo never upgrades; a handler without handle_frame support
+        // closes the connection if it ever returns upgrade anyway — here
+        // we just assert the default implementation is None.
+        let frame = nshot_wire::Frame {
+            tag: nshot_wire::tags::REQUEST,
+            payload: b"x".to_vec(),
+        };
+        assert!(Echo.handle_frame(frame).is_none());
     }
 
     #[test]

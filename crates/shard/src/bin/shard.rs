@@ -24,6 +24,10 @@
 //!   60000; 0 = OS defaults)
 //! * `--vnodes N` — virtual nodes per backend on the hash ring (default
 //!   64)
+//! * `--backend-format json|binary` — the framing the front's pools speak
+//!   toward the backends (default `json`); with `binary` every pooled
+//!   connection negotiates the `nshot-wire` format on dial. Client-facing
+//!   framing is negotiated per connection regardless.
 //! * `--port-file PATH` — write the front's bound address for discovery
 //!
 //! The front prints its own `ready ADDR` line once accepting. A protocol
@@ -95,13 +99,20 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--vnodes: {e}"))?;
             }
+            "--backend-format" => {
+                opts.config.backend_binary = match value("--backend-format")?.as_str() {
+                    "binary" => true,
+                    "json" => false,
+                    other => return Err(format!("unknown backend format '{other}'")),
+                };
+            }
             "--port-file" => opts.port_file = Some(PathBuf::from(value("--port-file")?)),
             "--help" | "-h" => {
                 println!(
                     "usage: nshot-shard (--backends HOST:PORT,... | --spawn N) \
                      [--addr HOST:PORT] [--serve-bin PATH] [--store DIR] \
                      [--pool-cap N] [--io-timeout-ms MS] [--vnodes N] \
-                     [--port-file PATH]"
+                     [--backend-format json|binary] [--port-file PATH]"
                 );
                 std::process::exit(0);
             }

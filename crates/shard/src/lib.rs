@@ -43,10 +43,12 @@ pub use pool::BackendPool;
 pub use ring::{HashRing, DEFAULT_VNODES};
 
 use nshot_obs::{AtomicHistogram, Counter, Gauge, HeartbeatGuard, Progress, Registry};
-use nshot_server::json::Json;
+use nshot_server::json::{self, Json};
 use nshot_server::protocol::{self, Envelope, Request, Response};
-use nshot_server::runtime::{LineHandler, LineReply, TcpLineServer};
+use nshot_server::runtime::{FrameReply, LineHandler, LineReply, TcpLineServer};
+use nshot_server::wirecodec::{self, RequestDecodeError};
 use nshot_server::client;
+use nshot_wire::tags;
 use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -66,6 +68,12 @@ pub struct ShardConfig {
     pub io_timeout_ms: u64,
     /// Virtual nodes per backend on the hash ring (0 = [`DEFAULT_VNODES`]).
     pub vnodes: usize,
+    /// Talk the binary wire format to the backends: every pooled
+    /// connection negotiates `format: binary` on dial. Client-facing
+    /// framing is independent — the front always accepts both, so the
+    /// four client×backend format combinations all serve byte-identical
+    /// deterministic fields.
+    pub backend_binary: bool,
 }
 
 impl Default for ShardConfig {
@@ -76,6 +84,7 @@ impl Default for ShardConfig {
             pool_cap: 8,
             io_timeout_ms: 60_000,
             vnodes: 0,
+            backend_binary: false,
         }
     }
 }
@@ -113,7 +122,12 @@ impl FrontShared {
         let mut pools = Vec::with_capacity(config.backends.len());
         let mut shards = Vec::with_capacity(config.backends.len());
         for (i, &addr) in config.backends.iter().enumerate() {
-            pools.push(BackendPool::new(addr, config.pool_cap, io_timeout));
+            pools.push(BackendPool::new(
+                addr,
+                config.pool_cap,
+                io_timeout,
+                config.backend_binary,
+            ));
             shards.push(ShardSeries {
                 requests: registry
                     .counter(&format!("nshot_shard_requests_total{{shard=\"{i}\"}}")),
@@ -142,23 +156,49 @@ impl FrontShared {
         }
     }
 
-    /// Proxy one request line to the shard owning `key`. Returns the
-    /// backend's response line verbatim (its deterministic prefix is
-    /// byte-identical to a direct call — that is the whole point), or a
-    /// locally rendered 503 naming the shard when the backend stays
-    /// unreachable after the pool's retry.
-    fn proxy(&self, key: &str, raw: &str, id: &Json, trace_id: u64, t0: Instant) -> String {
+    /// Forward one request to the shard owning `key`, in whichever
+    /// framing the pool toward that backend speaks. `raw` is the client's
+    /// original NDJSON line when there is one — relayed verbatim to a
+    /// JSON backend (the cheapest path, and trivially byte-identical);
+    /// without it (binary client) the line is re-rendered canonically
+    /// from the validated envelope, which is safe because responses are
+    /// functions of the validated request.
+    ///
+    /// # Errors
+    ///
+    /// The locally built 503 degradation response naming the shard.
+    fn forward(
+        &self,
+        key: &str,
+        env: &Envelope,
+        raw: Option<&str>,
+        trace_id: u64,
+        t0: Instant,
+    ) -> Result<Proxied, Response> {
         let shard = self
             .ring
             .shard_for(key)
             .expect("bind() rejects empty topologies") as usize;
         let series = &self.shards[shard];
         series.requests.inc();
-        match self.pools[shard].roundtrip(raw) {
-            Ok(line) => {
+        let result = if self.pools[shard].is_binary() {
+            self.pools[shard].roundtrip_env(env).map(Proxied::Obj)
+        } else {
+            let rendered;
+            let line = match raw {
+                Some(line) => line,
+                None => {
+                    rendered = protocol::render_request(env);
+                    &rendered
+                }
+            };
+            self.pools[shard].roundtrip(line).map(Proxied::Line)
+        };
+        match result {
+            Ok(proxied) => {
                 series.up.set(1);
                 series.latency.record(t0.elapsed().as_micros() as u64);
-                line
+                Ok(proxied)
             }
             Err(e) => {
                 series.errors.inc();
@@ -175,9 +215,45 @@ impl FrontShared {
                 let mut r =
                     Response::rejected(503, format!("shard {shard} backend unavailable"), None);
                 r.body.push(("shard".into(), Json::Num(shard as f64)));
-                render_local(id, &r, trace_id, t0)
+                Err(r)
             }
         }
+    }
+
+    /// Proxy for an NDJSON client: one response line, whatever framing
+    /// the backend spoke. A JSON backend's line is relayed verbatim; a
+    /// binary backend's frame stream is re-rendered — both rendering
+    /// paths share the `Json` writer, so the deterministic prefix stays
+    /// byte-identical to a direct call.
+    fn proxy_line(&self, key: &str, env: &Envelope, raw: &str, trace_id: u64, t0: Instant) -> String {
+        match self.forward(key, env, Some(raw), trace_id, t0) {
+            Ok(Proxied::Line(line)) => line,
+            Ok(Proxied::Obj(obj)) => obj.to_string(),
+            Err(r) => render_local(&env.id, &r, trace_id, t0),
+        }
+    }
+
+    /// Proxy for a binary-framed client: the response frame stream. A
+    /// binary backend's stream is re-encoded (deterministically — equal
+    /// values give equal bytes); a JSON backend's line is parsed and
+    /// framed. A backend answer the front cannot re-frame is degraded to
+    /// a local 500 naming the relay, never a closed connection.
+    fn proxy_frames(&self, key: &str, env: &Envelope, trace_id: u64, t0: Instant) -> Vec<Vec<u8>> {
+        let framed = match self.forward(key, env, None, trace_id, t0) {
+            Ok(Proxied::Obj(obj)) => {
+                wirecodec::encode_response_obj(&obj).map_err(|e| e.to_string())
+            }
+            Ok(Proxied::Line(line)) => json::parse(&line)
+                .map_err(|e| format!("bad backend response json: {e}"))
+                .and_then(|obj| {
+                    wirecodec::encode_response_obj(&obj).map_err(|e| e.to_string())
+                }),
+            Err(r) => return local_frames(&env.id, &r, trace_id, t0),
+        };
+        framed.unwrap_or_else(|msg| {
+            let r = Response::error(500, format!("shard relay: {msg}"));
+            local_frames(&env.id, &r, trace_id, t0)
+        })
     }
 
     /// The merged Prometheus exposition: the front's own series first,
@@ -258,12 +334,35 @@ impl FrontShared {
     }
 }
 
+/// A backend's answer, in whichever framing the pool toward it spoke.
+enum Proxied {
+    /// One NDJSON response line, relayed verbatim from a JSON backend.
+    Line(String),
+    /// The assembled response object from a binary backend's frame stream.
+    Obj(Json),
+}
+
 /// Render a front-local response line (503 degradation, control ops) with
 /// the same envelope shape the backends use.
 fn render_local(id: &Json, r: &Response, trace_id: u64, t0: Instant) -> String {
     protocol::render_response(
         id,
         &r.deterministic_fields(),
+        false,
+        t0.elapsed().as_micros() as u64,
+        trace_id,
+        "",
+    )
+}
+
+/// Encode a front-local response (503 degradation, control ops) as the
+/// frame stream a binary-framed client expects.
+fn local_frames(id: &Json, r: &Response, trace_id: u64, t0: Instant) -> Vec<Vec<u8>> {
+    wirecodec::encode_response_frames(
+        id,
+        r.code,
+        r.status,
+        &r.body,
         false,
         t0.elapsed().as_micros() as u64,
         trace_id,
@@ -336,6 +435,26 @@ impl LineHandler for FrontShared {
                     )]);
                     LineReply::reply(render_local(&id, &r, trace_id, t0))
                 }
+                // The front negotiates its *client-facing* framing exactly
+                // like a backend would, independent of the backend pools'
+                // format — the ack mirrors the server's field shape.
+                Request::Hello { binary } => {
+                    let r = Response::ok(vec![
+                        (
+                            "format".into(),
+                            Json::Str(if binary { "binary" } else { "json" }.into()),
+                        ),
+                        (
+                            "wire_version".into(),
+                            Json::Num(f64::from(nshot_wire::WIRE_VERSION)),
+                        ),
+                    ]);
+                    LineReply {
+                        line: render_local(&id, &r, trace_id, t0),
+                        shutdown: false,
+                        upgrade: binary,
+                    }
+                }
                 Request::Shutdown => {
                     let drained = self.shutdown_backends();
                     let r = Response::ok(vec![
@@ -351,13 +470,94 @@ impl LineHandler for FrontShared {
                 }
                 Request::Synth(s) => {
                     let key = s.cache_key();
-                    LineReply::reply(self.proxy(&key, line, &id, trace_id, t0))
+                    let env = Envelope {
+                        id,
+                        request: Request::Synth(s),
+                    };
+                    LineReply::reply(self.proxy_line(&key, &env, line, trace_id, t0))
                 }
                 Request::Verify(v) => {
                     let key = v.cache_key();
-                    LineReply::reply(self.proxy(&key, line, &id, trace_id, t0))
+                    let env = Envelope {
+                        id,
+                        request: Request::Verify(v),
+                    };
+                    LineReply::reply(self.proxy_line(&key, &env, line, trace_id, t0))
                 }
             },
+        }
+    }
+
+    fn handle_frame(&self, frame: nshot_wire::Frame) -> Option<FrameReply> {
+        let t0 = Instant::now();
+        let trace_id = nshot_obs::next_trace_id();
+        self.requests.inc();
+        self.hb_requests.set(self.requests.get());
+        self.hb_degraded.set(self.degraded.get());
+        self.progress.beat();
+
+        let reply = |frames: Vec<Vec<u8>>| {
+            Some(FrameReply {
+                frames,
+                shutdown: false,
+            })
+        };
+        if frame.tag != tags::REQUEST {
+            let r = Response::error(
+                400,
+                format!("expected a request frame, got tag {}", frame.tag),
+            );
+            return reply(local_frames(&Json::Null, &r, trace_id, t0));
+        }
+        let env = match wirecodec::decode_request(&frame.payload) {
+            // Structural damage: the framing can no longer be trusted.
+            Err(RequestDecodeError::Frame(_)) => return None,
+            Err(RequestDecodeError::Invalid { id, message }) => {
+                let r = Response::error(400, message);
+                return reply(local_frames(&id, &r, trace_id, t0));
+            }
+            Ok(env) => env,
+        };
+        match &env.request {
+            Request::Ping => {
+                let r = Response::ok(vec![("pong".into(), Json::Bool(true))]);
+                reply(local_frames(&env.id, &r, trace_id, t0))
+            }
+            Request::Stats => reply(local_frames(&env.id, &self.stats_response(), trace_id, t0)),
+            Request::Metrics => {
+                let r = Response::ok(vec![(
+                    "exposition".into(),
+                    Json::Str(self.metrics_text()),
+                )]);
+                reply(local_frames(&env.id, &r, trace_id, t0))
+            }
+            // Unreachable — `decode_request` has no hello op byte — but
+            // answered like any other invalid binary request.
+            Request::Hello { .. } => {
+                let r = Response::error(400, "hello is json-only");
+                reply(local_frames(&env.id, &r, trace_id, t0))
+            }
+            Request::Shutdown => {
+                let drained = self.shutdown_backends();
+                let r = Response::ok(vec![
+                    ("shutdown".into(), Json::Bool(true)),
+                    ("drained".into(), Json::Bool(true)),
+                    ("shards_drained".into(), Json::Num(drained as f64)),
+                    ("served".into(), Json::Num(self.requests.get() as f64)),
+                ]);
+                Some(FrameReply {
+                    frames: local_frames(&env.id, &r, trace_id, t0),
+                    shutdown: true,
+                })
+            }
+            Request::Synth(s) => {
+                let key = s.cache_key();
+                reply(self.proxy_frames(&key, &env, trace_id, t0))
+            }
+            Request::Verify(v) => {
+                let key = v.cache_key();
+                reply(self.proxy_frames(&key, &env, trace_id, t0))
+            }
         }
     }
 }

@@ -5,6 +5,11 @@
 //! connection threads block here instead of piling unbounded connections
 //! onto a backend), with idle connections kept for reuse.
 //!
+//! A pool speaks one framing toward its backend, fixed at construction:
+//! NDJSON lines, or — with `binary` — `nshot-wire` frames, negotiated
+//! once per dial ([`Client::upgrade_binary`]) so pooled connections are
+//! already upgraded when they are reused.
+//!
 //! Failure handling is **retry-once**: a roundtrip that fails on a pooled
 //! connection is retried on a freshly dialed one (the pooled socket may
 //! simply have aged out), and a dial that fails is redialed once before
@@ -14,15 +19,18 @@
 //! deterministic prefix, at worst as a backend cache hit.
 
 use nshot_server::client::Client;
+use nshot_server::json::Json;
+use nshot_server::protocol::Envelope;
 use std::net::SocketAddr;
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
-/// A bounded pool of NDJSON connections to one backend.
+/// A bounded pool of protocol connections to one backend.
 pub struct BackendPool {
     addr: SocketAddr,
     cap: usize,
     io_timeout: Option<Duration>,
+    binary: bool,
     idle: Mutex<Vec<Client>>,
     permits: Mutex<usize>,
     available: Condvar,
@@ -31,12 +39,20 @@ pub struct BackendPool {
 impl BackendPool {
     /// A pool of at most `cap` concurrent requests against `addr`
     /// (`cap = 0` is clamped to 1). `io_timeout` bounds connect, send and
-    /// receive per attempt (`None` = OS defaults).
-    pub fn new(addr: SocketAddr, cap: usize, io_timeout: Option<Duration>) -> BackendPool {
+    /// receive per attempt (`None` = OS defaults). With `binary`, every
+    /// dial negotiates the binary wire format before the connection
+    /// serves requests.
+    pub fn new(
+        addr: SocketAddr,
+        cap: usize,
+        io_timeout: Option<Duration>,
+        binary: bool,
+    ) -> BackendPool {
         BackendPool {
             addr,
             cap: cap.max(1),
             io_timeout,
+            binary,
             idle: Mutex::new(Vec::new()),
             permits: Mutex::new(cap.max(1)),
             available: Condvar::new(),
@@ -46,6 +62,11 @@ impl BackendPool {
     /// The backend this pool fronts.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Whether this pool talks binary frames to its backend.
+    pub fn is_binary(&self) -> bool {
+        self.binary
     }
 
     fn acquire(&self) {
@@ -67,15 +88,19 @@ impl BackendPool {
     }
 
     fn dial(&self) -> std::io::Result<Client> {
-        let client = match self.io_timeout {
+        let mut client = match self.io_timeout {
             Some(t) => Client::connect_timeout(self.addr, t)?,
             None => Client::connect(self.addr)?,
         };
         client.set_io_timeout(self.io_timeout)?;
+        if self.binary {
+            client.upgrade_binary()?;
+        }
         Ok(client)
     }
 
     /// Send one request line to the backend and return its response line.
+    /// Only valid on a JSON pool.
     ///
     /// Blocks while the pool is at capacity (backpressure toward the
     /// front's clients), reuses an idle connection when one exists, and
@@ -86,19 +111,41 @@ impl BackendPool {
     /// A human-readable description of the final failed attempt; the
     /// caller (the front) degrades it to a 503 naming the shard.
     pub fn roundtrip(&self, line: &str) -> Result<String, String> {
+        debug_assert!(!self.binary, "line roundtrip on a binary pool");
+        self.with_client(|c| c.roundtrip(line))
+    }
+
+    /// Send one request envelope over binary framing and return the
+    /// assembled response object. Only valid on a binary pool.
+    ///
+    /// # Errors
+    ///
+    /// As [`roundtrip`](Self::roundtrip).
+    pub fn roundtrip_env(&self, env: &Envelope) -> Result<Json, String> {
+        debug_assert!(self.binary, "binary roundtrip on a line pool");
+        self.with_client(|c| c.roundtrip_binary(env))
+    }
+
+    fn with_client<T>(
+        &self,
+        mut exchange: impl FnMut(&mut Client) -> std::io::Result<T>,
+    ) -> Result<T, String> {
         self.acquire();
-        let result = self.roundtrip_inner(line);
+        let result = self.with_client_inner(&mut exchange);
         self.release();
         result
     }
 
-    fn roundtrip_inner(&self, line: &str) -> Result<String, String> {
+    fn with_client_inner<T>(
+        &self,
+        exchange: &mut dyn FnMut(&mut Client) -> std::io::Result<T>,
+    ) -> Result<T, String> {
         // A pooled connection may be stale (backend restarted, idle socket
         // reaped); its failure is not the backend's answer, so fall through
         // to a fresh dial.
         let pooled = self.idle.lock().expect("idle poisoned").pop();
         if let Some(mut client) = pooled {
-            if let Ok(response) = client.roundtrip(line) {
+            if let Ok(response) = exchange(&mut client) {
                 self.park(client);
                 return Ok(response);
             }
@@ -112,7 +159,7 @@ impl BackendPool {
                 .dial()
                 .map_err(|e| format!("connect {}: {e}", self.addr))?,
         };
-        match client.roundtrip(line) {
+        match exchange(&mut client) {
             Ok(response) => {
                 self.park(client);
                 Ok(response)
@@ -140,7 +187,9 @@ impl BackendPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nshot_server::runtime::{LineHandler, LineReply, TcpLineServer};
+    use nshot_server::protocol::Request;
+    use nshot_server::runtime::{FrameReply, LineHandler, LineReply, TcpLineServer};
+    use nshot_server::wirecodec;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
 
@@ -154,7 +203,7 @@ mod tests {
     #[test]
     fn reuses_connections_and_answers() {
         let server = TcpLineServer::bind("127.0.0.1:0", Arc::new(Echo)).expect("bind");
-        let pool = BackendPool::new(server.local_addr(), 2, None);
+        let pool = BackendPool::new(server.local_addr(), 2, None, false);
         for i in 0..5 {
             let r = pool.roundtrip(&format!("r{i}")).expect("roundtrip");
             assert_eq!(r, format!("echo r{i}"));
@@ -178,7 +227,7 @@ mod tests {
         let handler = Arc::new(Slow(AtomicUsize::new(0), AtomicUsize::new(0)));
         let server =
             TcpLineServer::bind("127.0.0.1:0", Arc::clone(&handler)).expect("bind");
-        let pool = Arc::new(BackendPool::new(server.local_addr(), 2, None));
+        let pool = Arc::new(BackendPool::new(server.local_addr(), 2, None, false));
         let threads: Vec<_> = (0..6)
             .map(|_| {
                 let pool = Arc::clone(&pool);
@@ -204,7 +253,7 @@ mod tests {
             let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
             l.local_addr().expect("addr")
         };
-        let pool = BackendPool::new(addr, 1, Some(Duration::from_millis(200)));
+        let pool = BackendPool::new(addr, 1, Some(Duration::from_millis(200)), false);
         let err = pool.roundtrip("x").expect_err("must fail");
         assert!(err.contains("connect"), "unexpected error: {err}");
     }
@@ -213,7 +262,7 @@ mod tests {
     fn stale_pooled_connection_retries_on_a_fresh_dial() {
         let server = TcpLineServer::bind("127.0.0.1:0", Arc::new(Echo)).expect("bind");
         let addr = server.local_addr();
-        let pool = BackendPool::new(addr, 1, None);
+        let pool = BackendPool::new(addr, 1, None, false);
         assert_eq!(pool.roundtrip("a").expect("roundtrip"), "echo a");
         // Kill the backend the pooled connection points at, then bring a
         // new one up on the same address.
@@ -229,5 +278,61 @@ mod tests {
         assert_eq!(pool.roundtrip("b").expect("retried"), "echo b");
         server2.stop();
         server2.join();
+    }
+
+    /// A backend speaking just enough of the binary protocol: any hello
+    /// line upgrades, any request frame gets a pong carrying how many
+    /// frames this connection's handler has served (to prove the upgrade
+    /// happened once and the socket is being reused).
+    struct BinaryCounting(AtomicUsize);
+    impl LineHandler for BinaryCounting {
+        fn handle_line(&self, _raw: Vec<u8>) -> LineReply {
+            LineReply {
+                line: "{\"id\":null,\"code\":200,\"status\":\"ok\"}".into(),
+                shutdown: false,
+                upgrade: true,
+            }
+        }
+
+        fn handle_frame(&self, frame: nshot_wire::Frame) -> Option<FrameReply> {
+            let env = wirecodec::decode_request(&frame.payload).ok()?;
+            let served = self.0.fetch_add(1, Ordering::SeqCst) + 1;
+            let frames = wirecodec::encode_response_frames(
+                &env.id,
+                200,
+                "ok",
+                &[("served".to_owned(), Json::Num(served as f64))],
+                false,
+                1,
+                2,
+                "",
+            );
+            Some(FrameReply {
+                frames,
+                shutdown: false,
+            })
+        }
+    }
+
+    #[test]
+    fn binary_pool_upgrades_on_dial_and_reuses_the_connection() {
+        let server = TcpLineServer::bind(
+            "127.0.0.1:0",
+            Arc::new(BinaryCounting(AtomicUsize::new(0))),
+        )
+        .expect("bind");
+        let pool = BackendPool::new(server.local_addr(), 2, None, true);
+        assert!(pool.is_binary());
+        for i in 1..=3u64 {
+            let env = Envelope {
+                id: Json::Num(i as f64),
+                request: Request::Ping,
+            };
+            let obj = pool.roundtrip_env(&env).expect("binary roundtrip");
+            assert_eq!(obj.get("id").unwrap().as_u64(), Some(i));
+            assert_eq!(obj.get("served").unwrap().as_u64(), Some(i));
+        }
+        server.stop();
+        server.join();
     }
 }

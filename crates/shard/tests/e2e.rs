@@ -176,6 +176,58 @@ fn front_proxies_byte_identically_and_degrades_only_the_dead_shard() {
 }
 
 #[test]
+fn all_four_format_combinations_serve_identical_deterministic_fields() {
+    // Client framing × backend framing: json×json (the verbatim relay),
+    // json×binary, binary×json, binary×binary. Every combination must
+    // produce the same deterministic fields as direct library execution —
+    // the translation layers are pure re-encodings.
+    let cases = cases();
+    for backend_binary in [false, true] {
+        let backend0 = backend();
+        let backend1 = backend();
+        let front = ShardFront::bind(ShardConfig {
+            backends: vec![backend0.local_addr(), backend1.local_addr()],
+            backend_binary,
+            ..ShardConfig::default()
+        })
+        .expect("bind front");
+
+        let mut json_client = Client::connect(front.local_addr()).expect("connect");
+        let mut bin_client = Client::connect(front.local_addr()).expect("connect");
+        bin_client.upgrade_binary().expect("front accepts binary clients");
+
+        for case in &cases {
+            let raw = json_client.roundtrip(&case.line).expect("json roundtrip");
+            assert_eq!(
+                deterministic_part(&raw),
+                case.expected_fields,
+                "json client × backend_binary={backend_binary} diverged for {}",
+                case.key
+            );
+
+            let env = nshot_server::protocol::parse_request(&case.line).expect("parse");
+            let obj = bin_client.roundtrip_binary(&env).expect("binary roundtrip");
+            // Rendering the assembled object reproduces the NDJSON line
+            // shape, so the same extraction applies.
+            let rendered = obj.to_string();
+            assert_eq!(
+                deterministic_part(&rendered),
+                case.expected_fields,
+                "binary client × backend_binary={backend_binary} diverged for {}",
+                case.key
+            );
+        }
+
+        front.stop();
+        front.wait();
+        backend0.shutdown();
+        backend0.wait();
+        backend1.shutdown();
+        backend1.wait();
+    }
+}
+
+#[test]
 fn shutdown_fans_out_and_drains_the_backends() {
     let backend0 = backend();
     let backend1 = backend();

@@ -21,6 +21,14 @@
 //! (all little-endian; the CRC covers header + key + value). Appends are
 //! fsynced per [`FsyncPolicy`].
 //!
+//! Framing version 2 — the current write format — stores large record
+//! parts LZSS-compressed (bit 31 of a length field flags a part stored as
+//! `varint(raw_len) ++ lzss(raw)`; the codec is `nshot-wire`'s). Version-1
+//! segments stay readable, and [`StoreConfig::legacy_versions`] lets a
+//! reader keep serving older *payload* versions byte-identically while new
+//! writes (including compaction/promotion rewrites) land in the new
+//! format.
+//!
 //! # Recovery
 //!
 //! [`Store::open`] rebuilds the index by scanning every segment:
@@ -54,11 +62,12 @@ mod store;
 
 pub use crc32::crc32;
 pub use segment::{
-    encode_header, encode_record, file_name, frame_len, parse_file_name, RecordLocation,
-    ScanOutcome, FORMAT_VERSION, HEADER_LEN, MAGIC, MAX_PART_LEN, RECORD_HEADER_LEN,
-    RECORD_TRAILER_LEN,
+    decode_part, encode_header, encode_header_v1, encode_record, encode_record_v1, encoded_len,
+    file_name, frame_len, parse_file_name, RecordLocation, ScanOutcome, COMPRESS_MIN,
+    FORMAT_V1, FORMAT_VERSION, HEADER_LEN, MAGIC, MAX_PART_LEN, PART_COMPRESSED,
+    RECORD_HEADER_LEN, RECORD_TRAILER_LEN,
 };
 pub use store::{
-    read_entries, FsyncPolicy, Store, StoreConfig, StoreReport, StoreStats,
+    read_entries, read_entries_with, FsyncPolicy, Store, StoreConfig, StoreReport, StoreStats,
     BATCH_FSYNC_EVERY,
 };

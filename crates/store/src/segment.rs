@@ -11,11 +11,21 @@
 //! └──────────────────────────────────────────────────────────────────────────┘
 //! ```
 //!
-//! All integers are little-endian. `format_version` covers the *framing*
-//! (this layout); `value_version` covers the *payload* encoding and is
-//! chosen by the caller, so a store can transparently drop records whose
-//! payload format it no longer understands (they are recompiled and
-//! rewritten at the current version).
+//! All integers are little-endian. `format_version` covers the *framing*;
+//! `value_version` covers the *payload* encoding and is chosen by the
+//! caller, so a store can transparently drop records whose payload format
+//! it no longer understands (they are recompiled and rewritten at the
+//! current version).
+//!
+//! Framing version 2 (the current write format) adds per-part compression:
+//! bit 31 of `key_len`/`val_len` ([`PART_COMPRESSED`]) marks a part stored
+//! as `varint(raw_len) ++ lzss(raw)` using the deterministic codec from
+//! `nshot-wire`. The low 31 bits are always the *stored* byte count, so
+//! the frame walk is identical for both versions; [`MAX_PART_LEN`] is
+//! 256 MiB, far below bit 31, so the flag can never alias a real length.
+//! Version-1 segments (no flags) remain fully readable; new segments —
+//! including everything compaction and promotion rewrite — are written as
+//! version 2, which is what shrinks a JSON-era store severalfold.
 //!
 //! Recovery rules, applied by [`scan`] on every open:
 //!
@@ -32,14 +42,27 @@
 //! * a segment with a bad magic or framing version is ignored wholesale.
 
 use crate::crc32::crc32;
+use nshot_wire::{get_varint, lzss, put_varint};
+use std::borrow::Cow;
 use std::io::{self, Read};
 use std::path::Path;
 
 /// Magic bytes opening every segment file.
 pub const MAGIC: &[u8; 8] = b"NSHOTSTR";
 
-/// Version of the framing described in the module docs.
-pub const FORMAT_VERSION: u32 = 1;
+/// Version of the framing written by [`encode_header`]: compressed parts.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// The original framing (no part compression), still readable.
+pub const FORMAT_V1: u32 = 1;
+
+/// Bit 31 of a length field: the part is stored as
+/// `varint(raw_len) ++ lzss(raw)` instead of raw bytes.
+pub const PART_COMPRESSED: u32 = 1 << 31;
+
+/// Parts below this raw size are never compressed (the token overhead
+/// would not pay for itself).
+pub const COMPRESS_MIN: usize = 64;
 
 /// Segment header length in bytes.
 pub const HEADER_LEN: u64 = 16;
@@ -51,8 +74,10 @@ pub const RECORD_HEADER_LEN: usize = 12;
 pub const RECORD_TRAILER_LEN: usize = 4;
 
 /// Upper bound on a single key or value (guards against allocating on a
-/// corrupt length field).
+/// corrupt length field). Must stay below [`PART_COMPRESSED`].
 pub const MAX_PART_LEN: u32 = 256 * 1024 * 1024;
+
+const _: () = assert!(MAX_PART_LEN < PART_COMPRESSED);
 
 /// File name of segment `id` (zero-padded so lexicographic order is id
 /// order).
@@ -70,7 +95,7 @@ pub fn parse_file_name(name: &str) -> Option<u64> {
     }
 }
 
-/// The 16-byte segment header.
+/// The 16-byte segment header (always the current [`FORMAT_VERSION`]).
 pub fn encode_header(segment_id: u64) -> [u8; HEADER_LEN as usize] {
     let mut h = [0u8; HEADER_LEN as usize];
     h[..8].copy_from_slice(MAGIC);
@@ -79,8 +104,69 @@ pub fn encode_header(segment_id: u64) -> [u8; HEADER_LEN as usize] {
     h
 }
 
-/// One fully framed record, ready to append.
+/// A version-1 header, for tests and migration tooling that need to write
+/// legacy segments.
+pub fn encode_header_v1(segment_id: u64) -> [u8; HEADER_LEN as usize] {
+    let mut h = encode_header(segment_id);
+    h[8..12].copy_from_slice(&FORMAT_V1.to_le_bytes());
+    h
+}
+
+/// Compress one part when it pays: returns the stored bytes and whether
+/// the [`PART_COMPRESSED`] flag must be set.
+fn encode_part(raw: &[u8]) -> (Cow<'_, [u8]>, bool) {
+    if raw.len() >= COMPRESS_MIN {
+        let mut stored = Vec::with_capacity(raw.len() / 2 + 8);
+        put_varint(&mut stored, raw.len() as u64);
+        stored.extend_from_slice(&lzss::compress(raw));
+        if stored.len() < raw.len() {
+            return (Cow::Owned(stored), true);
+        }
+    }
+    (Cow::Borrowed(raw), false)
+}
+
+/// Decode one stored part back to raw bytes. Uncompressed parts come back
+/// as a zero-copy borrow of `stored`; compressed parts are replayed
+/// through the LZSS decoder. `None` means the stored bytes are corrupt
+/// (bad varint, a stream that does not replay, or a raw length over
+/// [`MAX_PART_LEN`]) — the caller treats the record as damaged.
+pub fn decode_part(stored: &[u8], compressed: bool) -> Option<Cow<'_, [u8]>> {
+    if !compressed {
+        return Some(Cow::Borrowed(stored));
+    }
+    let (raw_len, used) = get_varint(stored).ok()?;
+    if raw_len > u64::from(MAX_PART_LEN) {
+        return None;
+    }
+    lzss::decompress(&stored[used..], raw_len as usize)
+        .ok()
+        .map(Cow::Owned)
+}
+
+/// One fully framed record, ready to append. Parts ≥ [`COMPRESS_MIN`]
+/// bytes are LZSS-compressed when that actually shrinks them.
 pub fn encode_record(key: &[u8], value: &[u8], value_version: u32) -> Vec<u8> {
+    let (key_stored, key_flag) = encode_part(key);
+    let (val_stored, val_flag) = encode_part(value);
+    let key_field = key_stored.len() as u32 | if key_flag { PART_COMPRESSED } else { 0 };
+    let val_field = val_stored.len() as u32 | if val_flag { PART_COMPRESSED } else { 0 };
+    let mut buf = Vec::with_capacity(
+        RECORD_HEADER_LEN + key_stored.len() + val_stored.len() + RECORD_TRAILER_LEN,
+    );
+    buf.extend_from_slice(&key_field.to_le_bytes());
+    buf.extend_from_slice(&val_field.to_le_bytes());
+    buf.extend_from_slice(&value_version.to_le_bytes());
+    buf.extend_from_slice(&key_stored);
+    buf.extend_from_slice(&val_stored);
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// A version-1 record frame: raw parts, no compression flags — for tests
+/// and migration tooling fabricating legacy segments.
+pub fn encode_record_v1(key: &[u8], value: &[u8], value_version: u32) -> Vec<u8> {
     let mut buf =
         Vec::with_capacity(RECORD_HEADER_LEN + key.len() + value.len() + RECORD_TRAILER_LEN);
     buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
@@ -93,9 +179,18 @@ pub fn encode_record(key: &[u8], value: &[u8], value_version: u32) -> Vec<u8> {
     buf
 }
 
-/// Total frame length of a record with the given part lengths.
+/// Total frame length of a record whose parts are *stored* at the given
+/// lengths (compression flags stripped).
 pub fn frame_len(key_len: u32, val_len: u32) -> u64 {
     RECORD_HEADER_LEN as u64 + u64::from(key_len) + u64::from(val_len) + RECORD_TRAILER_LEN as u64
+}
+
+/// On-disk frame length [`encode_record`] would produce for this pair —
+/// what tests and size accounting should use now that parts compress.
+pub fn encoded_len(key: &[u8], value: &[u8]) -> u64 {
+    let (key_stored, _) = encode_part(key);
+    let (val_stored, _) = encode_part(value);
+    frame_len(key_stored.len() as u32, val_stored.len() as u32)
 }
 
 /// Where a live record sits inside a segment.
@@ -105,16 +200,23 @@ pub struct RecordLocation {
     pub seg: u64,
     /// Byte offset of the record frame (the `key_len` field).
     pub offset: u64,
-    /// Total frame length (header + key + value + CRC).
+    /// Total frame length (header + stored key + stored value + CRC).
     pub frame_len: u64,
-    /// Key length in bytes.
+    /// Stored key length in bytes (flag stripped).
     pub key_len: u32,
-    /// Value length in bytes.
+    /// Stored value length in bytes (flag stripped).
     pub val_len: u32,
+    /// The key part carries the [`PART_COMPRESSED`] flag.
+    pub key_compressed: bool,
+    /// The value part carries the [`PART_COMPRESSED`] flag.
+    pub val_compressed: bool,
+    /// The record's `value_version` as written.
+    pub version: u32,
 }
 
 impl RecordLocation {
-    /// Byte range of the value inside the frame.
+    /// Byte range of the *stored* value inside the frame (decode with
+    /// [`decode_part`] and `val_compressed`).
     pub fn value_range(&self) -> std::ops::Range<usize> {
         let start = RECORD_HEADER_LEN + self.key_len as usize;
         start..start + self.val_len as usize
@@ -124,14 +226,14 @@ impl RecordLocation {
 /// What scanning one segment found.
 #[derive(Debug, Default)]
 pub struct ScanOutcome {
-    /// Well-formed current-version records in append order (later entries
+    /// Well-formed wanted-version records in append order (later entries
     /// for the same key supersede earlier ones).
     pub entries: Vec<(String, RecordLocation)>,
-    /// Records that passed framing + CRC at the expected version.
+    /// Records that passed framing + CRC at a wanted version.
     pub recovered: u64,
     /// Records lost to torn tails or CRC mismatches.
     pub dropped: u64,
-    /// Well-formed records with a different `value_version`.
+    /// Well-formed records with a `value_version` outside the wanted set.
     pub stale: u64,
     /// When set, the file should be truncated to this length (torn tail or
     /// unframeable remainder).
@@ -140,27 +242,29 @@ pub struct ScanOutcome {
     pub valid_len: u64,
 }
 
-/// Scan a segment file, applying the module's recovery rules. Returns
-/// `None` when the file is not a segment of ours at all (bad magic or
-/// framing version) — the caller ignores it wholesale.
+/// Scan a segment file, applying the module's recovery rules. Records
+/// whose `value_version` appears in `want_versions` are indexed (the first
+/// entry is conventionally the current version, the rest legacy versions
+/// still readable); others count as stale. Returns `None` when the file
+/// is not a segment of ours at all (bad magic or framing version) — the
+/// caller ignores it wholesale.
 ///
 /// # Errors
 ///
 /// Only real I/O errors propagate; corruption is reported in the outcome.
-pub fn scan(path: &Path, seg_id: u64, want_version: u32) -> io::Result<Option<ScanOutcome>> {
+pub fn scan(path: &Path, seg_id: u64, want_versions: &[u32]) -> io::Result<Option<ScanOutcome>> {
     let mut buf = Vec::new();
     std::fs::File::open(path)?.read_to_end(&mut buf)?;
-    if buf.len() < HEADER_LEN as usize
-        || &buf[..8] != MAGIC
-        || u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes")) != FORMAT_VERSION
-    {
+    if buf.len() < HEADER_LEN as usize || &buf[..8] != MAGIC {
+        return Ok(None);
+    }
+    let format = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes"));
+    if format != FORMAT_VERSION && format != FORMAT_V1 {
         return Ok(None);
     }
 
     let mut out = ScanOutcome::default();
     let mut off = HEADER_LEN as usize;
-    // Keys are not valid UTF-8? Then the record cannot have been written by
-    // us (we only store string keys); it counts as corrupt.
     while off < buf.len() {
         let remaining = buf.len() - off;
         if remaining < RECORD_HEADER_LEN {
@@ -169,11 +273,23 @@ pub fn scan(path: &Path, seg_id: u64, want_version: u32) -> io::Result<Option<Sc
             out.truncate_to = Some(off as u64);
             break;
         }
-        let key_len = u32::from_le_bytes(buf[off..off + 4].try_into().expect("4 bytes"));
-        let val_len = u32::from_le_bytes(buf[off + 4..off + 8].try_into().expect("4 bytes"));
+        let key_field = u32::from_le_bytes(buf[off..off + 4].try_into().expect("4 bytes"));
+        let val_field = u32::from_le_bytes(buf[off + 4..off + 8].try_into().expect("4 bytes"));
         let version = u32::from_le_bytes(buf[off + 8..off + 12].try_into().expect("4 bytes"));
+        // Version-1 frames never set the compression bit; one that appears
+        // to is just a corrupt length field.
+        let (key_compressed, val_compressed) = if format == FORMAT_V1 {
+            (false, false)
+        } else {
+            (key_field & PART_COMPRESSED != 0, val_field & PART_COMPRESSED != 0)
+        };
+        let key_len = key_field & !PART_COMPRESSED;
+        let val_len = val_field & !PART_COMPRESSED;
+        let bad_lengths = key_len > MAX_PART_LEN
+            || val_len > MAX_PART_LEN
+            || (format == FORMAT_V1 && (key_field | val_field) & PART_COMPRESSED != 0);
         let frame = frame_len(key_len, val_len);
-        if key_len > MAX_PART_LEN || val_len > MAX_PART_LEN || frame > remaining as u64 {
+        if bad_lengths || frame > remaining as u64 {
             // The frame claims more bytes than exist: either a torn tail
             // (crash mid-append) or a corrupted length field. Both leave
             // the remainder unframeable, so truncate here.
@@ -195,23 +311,34 @@ pub fn scan(path: &Path, seg_id: u64, want_version: u32) -> io::Result<Option<Sc
             off += frame;
             continue;
         }
-        let key_bytes = &body[RECORD_HEADER_LEN..RECORD_HEADER_LEN + key_len as usize];
-        match std::str::from_utf8(key_bytes) {
-            Ok(key) if version == want_version => {
+        if !want_versions.contains(&version) {
+            out.stale += 1;
+            off += frame;
+            continue;
+        }
+        // Keys that are not valid UTF-8 (or a compressed key that does not
+        // replay) cannot have been written by us; count the record corrupt.
+        let key_stored = &body[RECORD_HEADER_LEN..RECORD_HEADER_LEN + key_len as usize];
+        let key = decode_part(key_stored, key_compressed)
+            .and_then(|raw| std::str::from_utf8(&raw).ok().map(str::to_owned));
+        match key {
+            Some(key) => {
                 out.entries.push((
-                    key.to_owned(),
+                    key,
                     RecordLocation {
                         seg: seg_id,
                         offset: off as u64,
                         frame_len: frame as u64,
                         key_len,
                         val_len,
+                        key_compressed,
+                        val_compressed,
+                        version,
                     },
                 ));
                 out.recovered += 1;
             }
-            Ok(_) => out.stale += 1,
-            Err(_) => out.dropped += 1,
+            None => out.dropped += 1,
         }
         off += frame;
     }
@@ -250,7 +377,7 @@ mod tests {
     fn clean_segment_scans_fully() {
         let path = temp_file("clean.log");
         write_segment(&path, &[("a", b"alpha", 1), ("b", b"beta", 1), ("a", b"alpha2", 1)]);
-        let out = scan(&path, 7, 1).expect("io").expect("ours");
+        let out = scan(&path, 7, &[1]).expect("io").expect("ours");
         assert_eq!(out.recovered, 3);
         assert_eq!(out.dropped, 0);
         assert_eq!(out.stale, 0);
@@ -267,11 +394,10 @@ mod tests {
         // Chop 3 bytes off the final record.
         let f = std::fs::OpenOptions::new().write(true).open(&path).expect("open");
         f.set_len(full - 3).expect("truncate");
-        let out = scan(&path, 7, 1).expect("io").expect("ours");
+        let out = scan(&path, 7, &[1]).expect("io").expect("ours");
         assert_eq!(out.recovered, 1);
         assert_eq!(out.dropped, 1);
-        let expected_cut =
-            HEADER_LEN + frame_len("a".len() as u32, "alpha".len() as u32);
+        let expected_cut = HEADER_LEN + encoded_len(b"a", b"alpha");
         assert_eq!(out.truncate_to, Some(expected_cut));
         assert_eq!(out.entries.len(), 1);
         assert_eq!(out.entries[0].0, "a");
@@ -281,13 +407,14 @@ mod tests {
     fn payload_flip_drops_only_that_record() {
         let path = temp_file("flip.log");
         write_segment(&path, &[("a", b"alpha", 1), ("b", b"beta", 1), ("c", b"gamma", 1)]);
-        // Flip one byte inside record b's value.
+        // Flip one byte inside record b's value (short parts are stored
+        // raw, so the layout matches version 1).
         let rec_a = frame_len(1, 5);
         let flip_at = HEADER_LEN + rec_a + RECORD_HEADER_LEN as u64 + 1 + 2; // inside "beta"
         let mut bytes = std::fs::read(&path).expect("read");
         bytes[flip_at as usize] ^= 0x40;
         std::fs::write(&path, &bytes).expect("write");
-        let out = scan(&path, 7, 1).expect("io").expect("ours");
+        let out = scan(&path, 7, &[1]).expect("io").expect("ours");
         assert_eq!(out.recovered, 2, "a and c survive");
         assert_eq!(out.dropped, 1, "b dropped");
         assert!(out.truncate_to.is_none(), "mid-file corruption does not truncate");
@@ -299,16 +426,79 @@ mod tests {
     fn stale_version_records_are_counted_not_indexed() {
         let path = temp_file("stale.log");
         write_segment(&path, &[("a", b"old", 1), ("b", b"new", 2)]);
-        let out = scan(&path, 7, 2).expect("io").expect("ours");
+        let out = scan(&path, 7, &[2]).expect("io").expect("ours");
         assert_eq!(out.recovered, 1);
         assert_eq!(out.stale, 1);
         assert_eq!(out.entries[0].0, "b");
     }
 
     #[test]
+    fn legacy_versions_are_indexed_alongside_current() {
+        let path = temp_file("legacy.log");
+        write_segment(&path, &[("a", b"old", 1), ("b", b"new", 2), ("c", b"older", 7)]);
+        let out = scan(&path, 7, &[2, 1]).expect("io").expect("ours");
+        assert_eq!(out.recovered, 2);
+        assert_eq!(out.stale, 1, "version 7 is outside the wanted set");
+        let got: Vec<(&str, u32)> =
+            out.entries.iter().map(|(k, loc)| (k.as_str(), loc.version)).collect();
+        assert_eq!(got, [("a", 1), ("b", 2)]);
+    }
+
+    #[test]
+    fn large_repetitive_parts_compress_and_round_trip() {
+        let key = "spec|".repeat(40); // 200 bytes, repetitive like a request key
+        let value = ".names a b c\n110 1\n101 1\n".repeat(100).into_bytes();
+        let frame = encode_record(key.as_bytes(), &value, 2);
+        assert!(
+            (frame.len() as u64) * 3 < frame_len(key.len() as u32, value.len() as u32),
+            "part compression should shrink a repetitive record ≥3x, got {}",
+            frame.len()
+        );
+        let path = temp_file("compressed.log");
+        write_segment(&path, &[(&key, &value, 2)]);
+        let out = scan(&path, 7, &[2]).expect("io").expect("ours");
+        assert_eq!(out.recovered, 1);
+        let (scanned_key, loc) = &out.entries[0];
+        assert_eq!(scanned_key, &key);
+        assert!(loc.key_compressed && loc.val_compressed);
+        let bytes = std::fs::read(&path).expect("read");
+        let stored = &bytes[HEADER_LEN as usize..][loc.value_range()];
+        let raw = decode_part(stored, loc.val_compressed).expect("decode");
+        assert_eq!(raw.as_ref(), value.as_slice());
+    }
+
+    #[test]
+    fn uncompressed_parts_decode_zero_copy() {
+        let stored = b"short value";
+        match decode_part(stored, false) {
+            Some(Cow::Borrowed(b)) => assert_eq!(b, stored),
+            other => panic!("expected a borrow, got {other:?}"),
+        }
+        // Corrupt compressed parts are refused, not replayed.
+        assert!(decode_part(b"\xff\xff\xff", true).is_none());
+    }
+
+    #[test]
+    fn v1_segments_remain_readable() {
+        let path = temp_file("v1.log");
+        let mut f = std::fs::File::create(&path).expect("create");
+        f.write_all(&encode_header_v1(7)).expect("header");
+        // A version-1 record stores raw parts, whatever their size.
+        let value = b"x".repeat(500);
+        f.write_all(&encode_record_v1(b"key1", &value, 1)).expect("record");
+        drop(f);
+        let out = scan(&path, 7, &[1]).expect("io").expect("ours");
+        assert_eq!(out.recovered, 1);
+        let (key, loc) = &out.entries[0];
+        assert_eq!(key, "key1");
+        assert!(!loc.key_compressed && !loc.val_compressed);
+        assert_eq!(loc.val_len, 500);
+    }
+
+    #[test]
     fn foreign_file_is_ignored_wholesale() {
         let path = temp_file("foreign.log");
         std::fs::write(&path, b"not a segment at all").expect("write");
-        assert!(scan(&path, 7, 1).expect("io").is_none());
+        assert!(scan(&path, 7, &[1]).expect("io").is_none());
     }
 }

@@ -15,8 +15,8 @@
 
 use crate::crc32::crc32;
 use crate::segment::{
-    self, RecordLocation, FORMAT_VERSION, HEADER_LEN, MAX_PART_LEN, RECORD_HEADER_LEN,
-    RECORD_TRAILER_LEN,
+    self, RecordLocation, FORMAT_VERSION, HEADER_LEN, MAX_PART_LEN, PART_COMPRESSED,
+    RECORD_HEADER_LEN, RECORD_TRAILER_LEN,
 };
 use nshot_obs::{Counter, Gauge, Registry};
 use nshot_par::FxHashMap;
@@ -81,13 +81,19 @@ pub struct StoreConfig {
     /// Seal the active segment once it exceeds this many bytes.
     pub segment_max_bytes: u64,
     /// Payload format version written with every record; records carrying
-    /// any other version are dropped (as "stale") on open and transparently
-    /// recompiled by the caller.
+    /// a version that is neither this nor in [`StoreConfig::legacy_versions`]
+    /// are dropped (as "stale") on open and transparently recompiled by
+    /// the caller.
     pub value_version: u32,
+    /// Older payload versions the caller can still decode. Records at
+    /// these versions are indexed and served (their version is preserved
+    /// on promotion); new writes always use `value_version`.
+    pub legacy_versions: Vec<u32>,
 }
 
 impl StoreConfig {
-    /// Defaults: batch fsync, 65 536 records, 8 MiB segments, version 1.
+    /// Defaults: batch fsync, 65 536 records, 8 MiB segments, version 1,
+    /// no legacy versions.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         StoreConfig {
             dir: dir.into(),
@@ -95,7 +101,19 @@ impl StoreConfig {
             max_records: 65_536,
             segment_max_bytes: 8 * 1024 * 1024,
             value_version: 1,
+            legacy_versions: Vec::new(),
         }
+    }
+
+    /// The versions [`Store::open`] indexes: current first, then legacy.
+    pub fn wanted_versions(&self) -> Vec<u32> {
+        let mut want = vec![self.value_version];
+        for v in &self.legacy_versions {
+            if !want.contains(v) {
+                want.push(*v);
+            }
+        }
+        want
     }
 }
 
@@ -254,9 +272,10 @@ impl Store {
         let mut index: FxHashMap<String, RecordLocation> = FxHashMap::default();
         let mut seg_bytes: FxHashMap<u64, u64> = FxHashMap::default();
         let mut max_id = 0u64;
+        let want = config.wanted_versions();
         for (id, path) in &ids {
             max_id = max_id.max(*id);
-            let Some(outcome) = segment::scan(path, *id, config.value_version)? else {
+            let Some(outcome) = segment::scan(path, *id, &want)? else {
                 continue; // not one of our segments; leave it alone
             };
             if let Some(cut) = outcome.truncate_to {
@@ -372,7 +391,7 @@ impl Store {
         if !self.in_current(key) {
             self.rotate_if_full()?;
         }
-        self.append(key, value)?;
+        self.append(key, value, self.config.value_version)?;
         Ok(())
     }
 
@@ -396,10 +415,13 @@ impl Store {
         };
         if self.prev_segs.contains(&loc.seg) {
             // Promotion failures are not fatal — the value is still good,
-            // the record just stays in the doomed generation.
+            // the record just stays in the doomed generation. The record's
+            // own payload version travels with it: the store cannot
+            // transcode payloads, only reframe them (legacy records land
+            // in a current-format segment, compressed, still legacy-typed).
             let promoted = self
                 .rotate_if_full()
-                .and_then(|()| self.append(key, &value))
+                .and_then(|()| self.append(key, &value, loc.version))
                 .is_ok();
             if promoted {
                 self.stats.promotions += 1;
@@ -416,17 +438,32 @@ impl Store {
     /// not rewrite the whole store on every restart); records failing their
     /// read-time CRC check are invalidated and skipped.
     pub fn entries(&mut self) -> Vec<(String, Vec<u8>)> {
+        self.entries_versioned()
+            .into_iter()
+            .map(|(key, _, value)| (key, value))
+            .collect()
+    }
+
+    /// Like [`Store::entries`], but carrying each record's `value_version`
+    /// so a caller holding legacy versions can pick the right payload
+    /// decoder (and rewrite legacy records at the current version).
+    pub fn entries_versioned(&mut self) -> Vec<(String, u32, Vec<u8>)> {
         let mut keys: Vec<String> = self.index.keys().cloned().collect();
         keys.sort_unstable();
         let mut out = Vec::with_capacity(keys.len());
         for key in keys {
             let loc = self.index[&key];
             match self.read_value(&loc) {
-                Some(value) => out.push((key, value)),
+                Some(value) => out.push((key, loc.version, value)),
                 None => self.invalidate(&key, &loc),
             }
         }
         out
+    }
+
+    /// The `value_version` of the live record under `key`, if any (no I/O).
+    pub fn version_of(&self, key: &str) -> Option<u32> {
+        self.index.get(key).map(|loc| loc.version)
     }
 
     /// Fsync the active segment regardless of policy.
@@ -450,7 +487,9 @@ impl Store {
             .is_some_and(|loc| self.cur_segs.contains(&loc.seg))
     }
 
-    /// Read a record frame back and verify it end to end.
+    /// Read a record frame back and verify it end to end. Compressed
+    /// parts are replayed; uncompressed ones are sliced straight out of
+    /// the frame (the CRC has already vouched for the bytes).
     fn read_value(&self, loc: &RecordLocation) -> Option<Vec<u8>> {
         let mut file = File::open(self.path_of(loc.seg)).ok()?;
         file.seek(SeekFrom::Start(loc.offset)).ok()?;
@@ -461,7 +500,8 @@ impl Store {
         if crc32(&frame[..body_len]) != stored {
             return None;
         }
-        Some(frame[loc.value_range()].to_vec())
+        segment::decode_part(&frame[loc.value_range()], loc.val_compressed)
+            .map(|raw| raw.into_owned())
     }
 
     /// Drop an index entry whose on-disk record failed verification.
@@ -476,9 +516,11 @@ impl Store {
     }
 
     /// Append one framed record to the active segment (sealing first if it
-    /// is over the size threshold) and index it.
-    fn append(&mut self, key: &str, value: &[u8]) -> io::Result<()> {
-        let frame = segment::encode_record(key.as_bytes(), value, self.config.value_version);
+    /// is over the size threshold) and index it. `version` is the payload
+    /// version stamped on the record — `put` writes the configured current
+    /// version, promotion carries the record's own.
+    fn append(&mut self, key: &str, value: &[u8], version: u32) -> io::Result<()> {
+        let frame = segment::encode_record(key.as_bytes(), value, version);
         if self.active_len > HEADER_LEN
             && self.active_len + frame.len() as u64 > self.config.segment_max_bytes
         {
@@ -489,12 +531,19 @@ impl Store {
         self.active_len += frame.len() as u64;
         self.seg_bytes.insert(self.active_id, self.active_len);
 
+        // Recover the stored lengths/flags from the frame the encoder just
+        // built (parts may have compressed).
+        let key_field = u32::from_le_bytes(frame[..4].try_into().expect("4 bytes"));
+        let val_field = u32::from_le_bytes(frame[4..8].try_into().expect("4 bytes"));
         let loc = RecordLocation {
             seg: self.active_id,
             offset,
             frame_len: frame.len() as u64,
-            key_len: key.len() as u32,
-            val_len: value.len() as u32,
+            key_len: key_field & !PART_COMPRESSED,
+            val_len: val_field & !PART_COMPRESSED,
+            key_compressed: key_field & PART_COMPRESSED != 0,
+            val_compressed: val_field & PART_COMPRESSED != 0,
+            version,
         };
         let replaced_in_cur = self
             .index
@@ -614,7 +663,7 @@ const _: () = {
     // Compile-time sanity: the frame layout constants agree.
     assert!(RECORD_HEADER_LEN == 12);
     assert!(RECORD_TRAILER_LEN == 4);
-    assert!(FORMAT_VERSION == 1);
+    assert!(FORMAT_VERSION == 2);
 };
 
 /// Read every live `(key, value)` pair from a store directory **without
@@ -635,6 +684,26 @@ const _: () = {
 /// Real I/O failures only (unreadable directory or file); corruption and a
 /// missing directory (`NotFound` → empty) are not errors.
 pub fn read_entries(dir: &Path, value_version: u32) -> io::Result<Vec<(String, Vec<u8>)>> {
+    Ok(read_entries_with(dir, &[value_version])?
+        .into_iter()
+        .map(|(key, _, value)| (key, value))
+        .collect())
+}
+
+/// [`read_entries`] accepting several payload versions at once — the warm
+/// path for a reader migrating across a `value_version` bump. Each entry
+/// carries the version its record was written at so the caller can pick
+/// the right payload decoder. Versions not listed are skipped exactly as
+/// [`Store::open`] would drop them as stale.
+///
+/// # Errors
+///
+/// Real I/O failures only; corruption and a missing directory are not
+/// errors.
+pub fn read_entries_with(
+    dir: &Path,
+    versions: &[u32],
+) -> io::Result<Vec<(String, u32, Vec<u8>)>> {
     let read = match std::fs::read_dir(dir) {
         Ok(read) => read,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
@@ -655,7 +724,7 @@ pub fn read_entries(dir: &Path, value_version: u32) -> io::Result<Vec<(String, V
 
     let mut index: FxHashMap<String, RecordLocation> = FxHashMap::default();
     for (id, path) in &ids {
-        let Some(outcome) = segment::scan(path, *id, value_version)? else {
+        let Some(outcome) = segment::scan(path, *id, versions)? else {
             continue; // not one of our segments
         };
         for (key, loc) in outcome.entries {
@@ -685,7 +754,11 @@ pub fn read_entries(dir: &Path, value_version: u32) -> io::Result<Vec<(String, V
         if crc32(&frame[..body_len]) != stored {
             continue;
         }
-        out.push((key, frame[loc.value_range()].to_vec()));
+        let Some(raw) = segment::decode_part(&frame[loc.value_range()], loc.val_compressed)
+        else {
+            continue;
+        };
+        out.push((key, loc.version, raw.into_owned()));
     }
     Ok(out)
 }
@@ -875,6 +948,49 @@ mod tests {
         assert_eq!(s.stats().stale_records, 1);
         s.put("k", b"new-format").expect("put");
         assert_eq!(s.get("k").as_deref(), Some(&b"new-format"[..]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_versions_are_served_and_promoted_as_themselves() {
+        let dir = temp_dir("legacy");
+        {
+            let mut s = Store::open(StoreConfig { value_version: 1, ..small_config(&dir) })
+                .expect("open v1");
+            s.put("json-record", b"{\"code\":200}").expect("put");
+        }
+        // A v2 store that still understands v1 payloads.
+        let cfg = StoreConfig {
+            value_version: 2,
+            legacy_versions: vec![1],
+            max_records: 4,
+            ..small_config(&dir)
+        };
+        let mut s = Store::open(cfg.clone()).expect("reopen");
+        assert_eq!(s.stats().recovered_records, 1);
+        assert_eq!(s.stats().stale_records, 0);
+        assert_eq!(s.version_of("json-record"), Some(1));
+        // Byte-identical read-back across the version boundary…
+        assert_eq!(s.get("json-record").as_deref(), Some(&b"{\"code\":200}"[..]));
+        // …and the promotion that get() performed kept the record's own
+        // payload version (the store reframes, it cannot transcode).
+        assert_eq!(s.stats().promotions, 1);
+        assert_eq!(s.version_of("json-record"), Some(1));
+        assert_eq!(
+            s.entries_versioned(),
+            vec![("json-record".to_string(), 1, b"{\"code\":200}".to_vec())]
+        );
+        s.put("json-record", b"binary-now").expect("rewrite");
+        assert_eq!(s.version_of("json-record"), Some(2));
+        drop(s);
+        let with_versions = read_entries_with(&dir, &[2, 1]).expect("scan");
+        assert_eq!(
+            with_versions,
+            vec![("json-record".to_string(), 2, b"binary-now".to_vec())]
+        );
+        // A reader without the legacy list sees only current records.
+        let mut s = Store::open(StoreConfig { legacy_versions: vec![], ..cfg }).expect("strict");
+        assert_eq!(s.get("json-record").as_deref(), Some(&b"binary-now"[..]));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

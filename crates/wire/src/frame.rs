@@ -1,0 +1,338 @@
+//! Length-framed, versioned, CRC-checked record frames.
+//!
+//! One frame on the wire:
+//!
+//! ```text
+//! +------------+-----------+-------------------+------------------+-----------+
+//! | tag u8     | version   | stored_len varint | stored bytes     | crc32 LE  |
+//! | (bit7 =    | u8 (= 1)  | (LEB128)          | (raw, or varint  | over all  |
+//! |  compressed)|          |                   |  raw_len + lzss) | prior     |
+//! +------------+-----------+-------------------+------------------+-----------+
+//! ```
+//!
+//! The CRC covers every byte before it (tag, version, length varint and
+//! the stored payload), so a flipped bit anywhere in the frame is caught.
+//! Compression is per-frame and transparent: [`encode_frame`] compresses
+//! large payloads when it saves bytes (setting the tag's high bit) and
+//! [`decode_frame`]/[`read_frame`] hand back the raw payload either way.
+//! Because the compressor is deterministic, decode→re-encode reproduces
+//! the original frame bytes exactly — the property the shard front's relay
+//! path and the golden fixtures rely on.
+
+use crate::varint::{get_varint, put_varint};
+use crate::{crc32::crc32, lzss, tags, WireError, WIRE_VERSION};
+use std::io::BufRead;
+
+/// Tag bit marking a compressed payload.
+pub const COMPRESSED: u8 = 0x80;
+
+/// Hard cap on one frame's stored payload: a hostile length prefix must
+/// not be able to commit the decoder to a giant allocation.
+pub const MAX_FRAME_PAYLOAD: u64 = 64 * 1024 * 1024;
+
+/// Payloads below this size are never worth a compression attempt.
+const COMPRESS_MIN: usize = 64;
+
+/// One decoded frame: the record tag (compression bit stripped) and the
+/// raw (decompressed) payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Record tag (see [`crate::tags`]).
+    pub tag: u8,
+    /// Raw payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Re-encode this frame. Deterministic: equal frames encode to equal
+    /// bytes, so decode → encode is the identity on valid frames.
+    pub fn encode(&self) -> Vec<u8> {
+        encode_frame(self.tag, &self.payload)
+    }
+}
+
+/// Encode one frame, compressing the payload when that saves bytes.
+pub fn encode_frame(tag: u8, payload: &[u8]) -> Vec<u8> {
+    debug_assert!(tags::is_known(tag), "unknown record tag {tag}");
+    let mut stored_tag = tag;
+    let mut stored: Vec<u8>;
+    if payload.len() >= COMPRESS_MIN {
+        let comp = lzss::compress(payload);
+        let mut framed = Vec::with_capacity(comp.len() + 4);
+        put_varint(&mut framed, payload.len() as u64);
+        framed.extend_from_slice(&comp);
+        if framed.len() < payload.len() {
+            stored_tag |= COMPRESSED;
+            stored = framed;
+        } else {
+            stored = payload.to_vec();
+        }
+    } else {
+        stored = payload.to_vec();
+    }
+
+    let mut out = Vec::with_capacity(stored.len() + 16);
+    out.push(stored_tag);
+    out.push(WIRE_VERSION);
+    put_varint(&mut out, stored.len() as u64);
+    out.append(&mut stored);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Validate the header fields and return `(tag_byte, stored_len,
+/// header_len)`. Shared by the buffer and reader decode paths.
+fn decode_header(buf: &[u8]) -> Result<(u8, usize, usize), WireError> {
+    let [tag_byte, version, ..] = *buf else {
+        return Err(WireError::Truncated {
+            needed: 2,
+            have: buf.len(),
+        });
+    };
+    if !tags::is_known(tag_byte & !COMPRESSED) {
+        return Err(WireError::BadTag(tag_byte & !COMPRESSED));
+    }
+    if version != WIRE_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let (stored_len, var_len) = get_varint(&buf[2..])?;
+    if stored_len > MAX_FRAME_PAYLOAD {
+        return Err(WireError::TooLong {
+            len: stored_len,
+            max: MAX_FRAME_PAYLOAD,
+        });
+    }
+    Ok((tag_byte, stored_len as usize, 2 + var_len))
+}
+
+/// Check the trailer CRC and unpack the stored payload of a whole frame
+/// occupying `buf[..header_len + stored_len + 4]`.
+fn finish_frame(
+    buf: &[u8],
+    tag_byte: u8,
+    stored_len: usize,
+    header_len: usize,
+) -> Result<Frame, WireError> {
+    let body_end = header_len + stored_len;
+    let expected = crc32(&buf[..body_end]);
+    let found = u32::from_le_bytes(
+        buf[body_end..body_end + 4]
+            .try_into()
+            .expect("4 trailer bytes"),
+    );
+    if expected != found {
+        return Err(WireError::BadCrc { expected, found });
+    }
+    let stored = &buf[header_len..body_end];
+    let payload = if tag_byte & COMPRESSED != 0 {
+        let (raw_len, used) = get_varint(stored)?;
+        if raw_len > MAX_FRAME_PAYLOAD {
+            return Err(WireError::TooLong {
+                len: raw_len,
+                max: MAX_FRAME_PAYLOAD,
+            });
+        }
+        lzss::decompress(&stored[used..], raw_len as usize)?
+    } else {
+        stored.to_vec()
+    };
+    Ok(Frame {
+        tag: tag_byte & !COMPRESSED,
+        payload,
+    })
+}
+
+/// Decode one frame from the front of `buf`; returns the frame and the
+/// number of bytes consumed. Never reads past the returned length.
+///
+/// # Errors
+///
+/// Every malformation is a typed [`WireError`] (and counted in
+/// `nshot_wire_decode_errors_total`); the decoder never panics and never
+/// reads beyond `buf`.
+pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), WireError> {
+    decode_frame_inner(buf).map_err(WireError::noted)
+}
+
+fn decode_frame_inner(buf: &[u8]) -> Result<(Frame, usize), WireError> {
+    let (tag_byte, stored_len, header_len) = decode_header(buf)?;
+    let total = header_len + stored_len + 4;
+    if buf.len() < total {
+        return Err(WireError::Truncated {
+            needed: total,
+            have: buf.len(),
+        });
+    }
+    let frame = finish_frame(buf, tag_byte, stored_len, header_len)?;
+    Ok((frame, total))
+}
+
+/// Read one frame from a buffered reader. `Ok(None)` is a clean EOF at a
+/// frame boundary; EOF anywhere inside a frame is [`WireError::Truncated`].
+///
+/// # Errors
+///
+/// Typed [`WireError`] for malformed frames (counted in
+/// `nshot_wire_decode_errors_total`), [`WireError::Io`] for transport
+/// failures.
+pub fn read_frame<R: BufRead>(reader: &mut R) -> Result<Option<Frame>, WireError> {
+    read_frame_inner(reader).map_err(WireError::noted)
+}
+
+fn read_frame_inner<R: BufRead>(reader: &mut R) -> Result<Option<Frame>, WireError> {
+    // Tag byte: the only place EOF is clean.
+    let mut buf = vec![0u8; 1];
+    match reader.read(&mut buf[..1]) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) => return Err(WireError::Io(e.kind())),
+    }
+    // Version byte, then the length varint one byte at a time (at most 10).
+    read_byte_into(reader, &mut buf)?;
+    loop {
+        let b = read_byte_into(reader, &mut buf)?;
+        if b & 0x80 == 0 {
+            break;
+        }
+        if buf.len() > 2 + crate::varint::MAX_VARINT_LEN {
+            return Err(WireError::BadVarint);
+        }
+    }
+    let (tag_byte, stored_len, header_len) = decode_header(&buf)?;
+    debug_assert_eq!(header_len, buf.len());
+    buf.resize(header_len + stored_len + 4, 0);
+    match reader.read_exact(&mut buf[header_len..]) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+            return Err(WireError::Truncated {
+                needed: header_len + stored_len + 4,
+                have: header_len,
+            })
+        }
+        Err(e) => return Err(WireError::Io(e.kind())),
+    }
+    finish_frame(&buf, tag_byte, stored_len, header_len).map(Some)
+}
+
+fn read_byte_into<R: BufRead>(reader: &mut R, buf: &mut Vec<u8>) -> Result<u8, WireError> {
+    let mut byte = [0u8; 1];
+    match reader.read_exact(&mut byte) {
+        Ok(()) => {
+            buf.push(byte[0]);
+            Ok(byte[0])
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Err(WireError::Truncated {
+            needed: buf.len() + 1,
+            have: buf.len(),
+        }),
+        Err(e) => Err(WireError::Io(e.kind())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tags;
+
+    #[test]
+    fn round_trips_small_and_large_payloads() {
+        for payload in [
+            Vec::new(),
+            b"x".to_vec(),
+            b"hello frame".to_vec(),
+            ".names a b c\n11 1\n".repeat(500).into_bytes(),
+        ] {
+            let bytes = encode_frame(tags::FIELD, &payload);
+            let (frame, used) = decode_frame(&bytes).expect("decode");
+            assert_eq!(used, bytes.len());
+            assert_eq!(frame.tag, tags::FIELD);
+            assert_eq!(frame.payload, payload);
+            // decode → encode is the identity.
+            assert_eq!(frame.encode(), bytes);
+        }
+    }
+
+    #[test]
+    fn large_repetitive_payloads_are_stored_compressed() {
+        let payload = ".names a b c\n11 1\n".repeat(500).into_bytes();
+        let bytes = encode_frame(tags::FIELD, &payload);
+        assert!(bytes[0] & COMPRESSED != 0, "payload should compress");
+        assert!(bytes.len() * 2 < payload.len());
+    }
+
+    #[test]
+    fn reader_path_matches_buffer_path() {
+        let a = encode_frame(tags::REQUEST, b"abc");
+        let b = encode_frame(tags::END, &[]);
+        let mut stream: Vec<u8> = Vec::new();
+        stream.extend_from_slice(&a);
+        stream.extend_from_slice(&b);
+        let mut r = std::io::Cursor::new(stream);
+        let fa = read_frame(&mut r).expect("read a").expect("some");
+        let fb = read_frame(&mut r).expect("read b").expect("some");
+        assert_eq!(fa.tag, tags::REQUEST);
+        assert_eq!(fa.payload, b"abc");
+        assert_eq!(fb.tag, tags::END);
+        assert!(read_frame(&mut r).expect("eof").is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let bytes = encode_frame(tags::FIELD, b"truncate me truncate me truncate me");
+        for cut in 0..bytes.len() {
+            match decode_frame(&bytes[..cut]) {
+                Err(WireError::Truncated { .. }) => {}
+                other => panic!("cut {cut}: {other:?}"),
+            }
+            // The reader path must agree (EOF mid-frame is truncation).
+            if cut > 0 {
+                let mut r = std::io::Cursor::new(bytes[..cut].to_vec());
+                match read_frame(&mut r) {
+                    Err(WireError::Truncated { .. }) => {}
+                    other => panic!("reader cut {cut}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flipped_bytes_are_caught() {
+        let bytes = encode_frame(tags::RESPONSE_HEAD, b"payload payload payload");
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x41;
+            assert!(
+                decode_frame(&bad).is_err(),
+                "flip at byte {i} went unnoticed"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_tag_version_and_length_are_typed() {
+        let good = encode_frame(tags::END, &[]);
+        let mut bad_tag = good.clone();
+        bad_tag[0] = 0x7f;
+        assert!(matches!(decode_frame(&bad_tag), Err(WireError::BadTag(0x7f))));
+        let mut bad_ver = good.clone();
+        bad_ver[1] = 9;
+        assert!(matches!(
+            decode_frame(&bad_ver),
+            Err(WireError::BadVersion(9))
+        ));
+        // A length claiming more than the cap must be rejected before any
+        // allocation of that size.
+        let mut huge = vec![tags::FIELD, WIRE_VERSION];
+        crate::varint::put_varint(&mut huge, MAX_FRAME_PAYLOAD + 1);
+        huge.extend_from_slice(&[0; 8]);
+        assert!(matches!(decode_frame(&huge), Err(WireError::TooLong { .. })));
+    }
+
+    #[test]
+    fn decode_errors_are_counted() {
+        let before = crate::decode_errors_total();
+        let _ = decode_frame(&[0x7f, WIRE_VERSION, 0, 0, 0, 0, 0]);
+        assert!(crate::decode_errors_total() > before);
+    }
+}

@@ -1,0 +1,115 @@
+//! LEB128 variable-length unsigned integers.
+//!
+//! Seven payload bits per byte, least-significant group first, high bit =
+//! continuation. A `u64` takes at most 10 bytes; decoding rejects anything
+//! longer (a value that does not fit, or a non-canonical run of
+//! continuation bytes) with a typed error instead of wrapping silently.
+
+use crate::WireError;
+
+/// Maximum encoded length of a `u64` (⌈64 / 7⌉).
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Append the LEB128 encoding of `value` to `out`.
+pub fn put_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decode one LEB128 integer from the front of `buf`; returns the value
+/// and the number of bytes consumed.
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] when the buffer ends mid-varint and
+/// [`WireError::BadVarint`] when the encoding overflows a `u64`.
+pub fn get_varint(buf: &[u8]) -> Result<(u64, usize), WireError> {
+    let mut value: u64 = 0;
+    for (i, &byte) in buf.iter().take(MAX_VARINT_LEN).enumerate() {
+        let group = u64::from(byte & 0x7f);
+        // The 10th byte may only contribute the single remaining bit.
+        if i == MAX_VARINT_LEN - 1 && byte > 0x01 {
+            return Err(WireError::BadVarint);
+        }
+        value |= group << (7 * i);
+        if byte & 0x80 == 0 {
+            return Ok((value, i + 1));
+        }
+    }
+    if buf.len() >= MAX_VARINT_LEN {
+        Err(WireError::BadVarint)
+    } else {
+        Err(WireError::Truncated {
+            needed: buf.len() + 1,
+            have: buf.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_representative_values() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            assert!(buf.len() <= MAX_VARINT_LEN);
+            let (back, used) = get_varint(&buf).expect("decode");
+            assert_eq!(back, v);
+            assert_eq!(used, buf.len());
+        }
+    }
+
+    #[test]
+    fn single_byte_boundary() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 127);
+        assert_eq!(buf, [0x7f]);
+        buf.clear();
+        put_varint(&mut buf, 128);
+        assert_eq!(buf, [0x80, 0x01]);
+    }
+
+    #[test]
+    fn truncated_input_is_a_typed_error() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, u64::MAX);
+        for cut in 0..buf.len() {
+            assert!(matches!(
+                get_varint(&buf[..cut]),
+                Err(WireError::Truncated { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn overlong_encoding_is_rejected() {
+        // Eleven continuation bytes can never be a canonical u64.
+        let buf = [0x80u8; 11];
+        assert!(matches!(get_varint(&buf), Err(WireError::BadVarint)));
+        // A 10-byte run whose final byte overflows bit 64.
+        let mut overflow = [0x80u8; 10];
+        overflow[9] = 0x02;
+        assert!(matches!(get_varint(&overflow), Err(WireError::BadVarint)));
+    }
+}

@@ -29,6 +29,16 @@ cargo run --release -p nshot-bench --bin nshot-fuzz -- \
   --corpus --archive tests/corpus/generated --budget 200000 \
   --out /tmp/BENCH_fuzz_corpus.json
 
+echo "== tier1: wire frame-mutation smoke (>=200 mutants, zero panics) =="
+# Mutated binary frames must decode to typed WireErrors — never a panic
+# or over-read. The run re-archives the minimized witness per failure
+# class, so a wire-format change shows up as a tests/corpus diff.
+cargo run --release -p nshot-bench --bin nshot-fuzz -- \
+  --wire-mutations 240 --wire-archive tests/corpus/malformed/wire \
+  --out /tmp/BENCH_wire_fuzz.json
+grep -q '"panics": 0' /tmp/BENCH_wire_fuzz.json \
+  || { echo "wire mutation smoke panicked:"; cat /tmp/BENCH_wire_fuzz.json; exit 1; }
+
 echo "== tier1: classify perf smoke (full suite analysis under budget) =="
 cargo run --release -p nshot-bench --bin classify_smoke -- 20000
 
@@ -89,16 +99,36 @@ case "$METRICS_LINE" in
     esac ;;
   *) echo "metrics op missing server counters: $METRICS_LINE"; kill "$SERVER_PID"; exit 1 ;;
 esac
+# The wire decode-error counter registers at bind, so every scrape carries
+# it — the series the fleet alerts on when a peer ships broken frames.
+case "$METRICS_LINE" in
+  *nshot_wire_decode_errors_total*) : ;;
+  *) echo "metrics op missing wire decode-error counter: $METRICS_LINE"; kill "$SERVER_PID"; exit 1 ;;
+esac
 
 cargo run --release -p nshot-bench --bin loadgen -- \
   --addr "$ADDR" --concurrency 2 --passes 1 --circuits chu133,full \
-  --out /tmp/BENCH_server_smoke.json
+  --no-shutdown --out /tmp/BENCH_server_smoke.json
+# Same workload again with the binary framing negotiated per connection:
+# loadgen's per-response byte-identity checks prove transport equivalence
+# end to end. This second run issues the shutdown.
+cargo run --release -p nshot-bench --bin loadgen -- \
+  --addr "$ADDR" --concurrency 2 --passes 1 --circuits chu133,full \
+  --format binary --out /tmp/BENCH_server_smoke_binary.json
 wait "$SERVER_PID"
 rm -f "$SERVER_LOG"
 
-echo "== tier1: shard smoke (front + 2 spawned backends, byte-identity, merged metrics, drain) =="
+echo "== tier1: wire-cmp smoke (both transports + both store encodings) =="
+cargo run --release -p nshot-bench --bin loadgen -- \
+  --wire-cmp --circuits chu133,full,hazard --out /tmp/BENCH_server_smoke.json
+grep -q '"byte_identical": true' /tmp/BENCH_server_smoke.json \
+  || { echo "wire-cmp smoke lost byte identity:"; cat /tmp/BENCH_server_smoke.json; exit 1; }
+
+echo "== tier1: shard smoke (front + 2 spawned backends over binary framing, byte-identity, merged metrics, drain) =="
+# The front negotiates nshot-wire framing with its backends while clients
+# stay on NDJSON — the proxy re-encodes across formats per request.
 SHARD_LOG="$(mktemp)"
-./target/release/nshot-shard --spawn 2 > "$SHARD_LOG" &
+./target/release/nshot-shard --spawn 2 --backend-format binary > "$SHARD_LOG" &
 SHARD_PID=$!
 ADDR=""
 for _ in $(seq 1 100); do

@@ -73,3 +73,4 @@ pub use nshot_shard as shard;
 pub use nshot_sim as sim;
 pub use nshot_stg as stg;
 pub use nshot_store as store;
+pub use nshot_wire as wire;

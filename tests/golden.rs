@@ -117,10 +117,16 @@ fn golden_artifacts_match() {
     );
 
     // Stale artifacts are drift too: a renamed circuit must not leave its
-    // old golden file silently green.
+    // old golden file silently green. Subdirectories (the wire-encoding
+    // fixtures under `wire/`) run their own stale check in
+    // `tests/wire_differential.rs`.
     let mut stale = Vec::new();
     for entry in std::fs::read_dir(&dir).expect("tests/golden/ must exist") {
-        let file = entry.unwrap().file_name().into_string().unwrap();
+        let entry = entry.unwrap();
+        if entry.path().is_dir() {
+            continue;
+        }
+        let file = entry.file_name().into_string().unwrap();
         if !expected_files.iter().any(|e| e == &file) {
             stale.push(file);
         }

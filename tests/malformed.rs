@@ -20,17 +20,41 @@ fn corpus_dir() -> PathBuf {
 }
 
 /// Every corpus file as `(stem, bytes)`, sorted for stable test order.
+/// Subdirectories (the binary-frame corpus under `wire/`) have their own
+/// replay tests below.
 fn corpus() -> Vec<(String, Vec<u8>)> {
     let mut entries: Vec<(String, Vec<u8>)> = std::fs::read_dir(corpus_dir())
         .expect("corpus dir")
-        .map(|e| {
+        .filter_map(|e| {
             let path = e.expect("dir entry").path();
+            if path.is_dir() {
+                return None;
+            }
             let name = path.file_name().unwrap().to_string_lossy().into_owned();
-            (name, std::fs::read(&path).expect("read corpus file"))
+            Some((name, std::fs::read(&path).expect("read corpus file")))
         })
         .collect();
     entries.sort();
     assert!(entries.len() >= 10, "corpus went missing");
+    entries
+}
+
+/// The minimized malformed-frame witnesses `nshot-fuzz --wire-mutations`
+/// archived, as `(stem, bytes)`, sorted for stable test order.
+fn wire_corpus() -> Vec<(String, Vec<u8>)> {
+    let mut entries: Vec<(String, Vec<u8>)> = std::fs::read_dir(corpus_dir().join("wire"))
+        .expect("wire corpus dir")
+        .filter_map(|e| {
+            let path = e.expect("dir entry").path();
+            if !path.extension().is_some_and(|x| x == "bin") {
+                return None;
+            }
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            Some((name, std::fs::read(&path).expect("read wire corpus file")))
+        })
+        .collect();
+    entries.sort();
+    assert!(entries.len() >= 5, "wire corpus went missing");
     entries
 }
 
@@ -232,6 +256,105 @@ fn wire_path_survives_the_corpus() {
     let pong = roundtrip(br#"{"op":"ping"}"#);
     assert_eq!(pong.get("pong").and_then(Json::as_bool), Some(true));
 
+    server.shutdown();
+    server.wait();
+}
+
+/// Decode one malformed byte stream the way a binary connection would:
+/// frame by frame, each payload through the record decoder for its tag.
+/// `Ok(())` means every frame decoded cleanly; `Err` names the typed
+/// failure. Panics and over-reads are what the corpus exists to rule out.
+fn decode_wire_bytes(bytes: &[u8]) -> Result<(), String> {
+    use nshot::server::wirecodec::{self, RequestDecodeError};
+    use nshot::wire::{read_frame, tags};
+    let mut cursor = std::io::Cursor::new(bytes);
+    loop {
+        let frame = match read_frame(&mut cursor) {
+            Ok(None) => return Ok(()),
+            Ok(Some(frame)) => frame,
+            Err(e) => return Err(format!("frame: {e}")),
+        };
+        let result = match frame.tag {
+            tags::REQUEST => match wirecodec::decode_request(&frame.payload) {
+                Ok(_) => Ok(()),
+                Err(RequestDecodeError::Frame(e)) => Err(format!("request: {e}")),
+                Err(RequestDecodeError::Invalid { message, .. }) => {
+                    Err(format!("request invalid: {message}"))
+                }
+            },
+            tags::RESPONSE_HEAD => wirecodec::decode_response_head(&frame.payload)
+                .map(|_| ())
+                .map_err(|e| format!("head: {e}")),
+            tags::FIELD => wirecodec::decode_field(&frame.payload)
+                .map(|_| ())
+                .map_err(|e| format!("field: {e}")),
+            tags::END => wirecodec::decode_end(&frame.payload)
+                .map(|_| ())
+                .map_err(|e| format!("end: {e}")),
+            tags::SPEC | tags::NETLIST | tags::CERT => wirecodec::decode_artifact(&frame)
+                .map(|_| ())
+                .map_err(|e| format!("artifact: {e}")),
+            other => Err(format!("unknown tag {other}")),
+        };
+        result?;
+    }
+}
+
+/// Every archived malformed-frame witness must come back as a typed
+/// `WireError`/`RequestDecodeError` — the decode path must neither panic
+/// (the harness would abort the test) nor accept the damage silently.
+#[test]
+fn wire_corpus_decodes_to_typed_errors_never_panics() {
+    let before = nshot::wire::decode_errors_total();
+    for (name, bytes) in wire_corpus() {
+        let result = decode_wire_bytes(&bytes);
+        assert!(
+            result.is_err(),
+            "{name}: malformed witness decoded cleanly — regenerate the corpus \
+             (nshot-fuzz --wire-mutations) if the wire format changed"
+        );
+    }
+    // Framing damage is counted in the `nshot_wire_decode_errors_total`
+    // series the metrics endpoint exposes (semantic rejects are not).
+    assert!(
+        nshot::wire::decode_errors_total() > before,
+        "replaying the wire corpus must note decode errors"
+    );
+}
+
+/// A live binary-upgraded connection fed each witness must fail that
+/// connection only: the server stays up and answers a fresh NDJSON ping.
+#[test]
+fn server_survives_the_wire_corpus() {
+    let server = Server::bind(ServerConfig::default()).expect("bind");
+    for (name, bytes) in wire_corpus() {
+        let stream = TcpStream::connect(server.local_addr()).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream;
+        writer
+            .write_all(b"{\"op\":\"hello\",\"format\":\"binary\"}\n")
+            .expect("write hello");
+        writer.flush().expect("flush");
+        let mut ack = String::new();
+        reader.read_line(&mut ack).expect("read ack");
+        assert!(ack.contains("\"code\":200"), "{name}: upgrade refused: {ack}");
+        // The malformed frames, then EOF so truncated witnesses terminate.
+        writer.write_all(&bytes).expect("write corpus bytes");
+        writer.flush().expect("flush");
+        writer
+            .shutdown(std::net::Shutdown::Write)
+            .expect("shutdown write");
+        // Drain whatever the server answers (an error response stream or
+        // an immediate close) until it hangs up.
+        let mut sink = Vec::new();
+        let _ = std::io::Read::read_to_end(&mut reader, &mut sink);
+    }
+    let pong = nshot::server::client::request(
+        server.local_addr(),
+        r#"{"op":"ping"}"#,
+    )
+    .expect("service survives the wire corpus");
+    assert_eq!(pong.get("pong").and_then(Json::as_bool), Some(true));
     server.shutdown();
     server.wait();
 }

@@ -10,7 +10,8 @@
 //! counter pair.
 
 use nshot::store::{
-    frame_len, FsyncPolicy, Store, StoreConfig, HEADER_LEN, RECORD_HEADER_LEN,
+    encode_header_v1, encode_record_v1, encoded_len, FsyncPolicy, Store, StoreConfig,
+    FORMAT_VERSION, HEADER_LEN, RECORD_HEADER_LEN,
 };
 use nshot_obs::Registry;
 use std::path::{Path, PathBuf};
@@ -119,8 +120,10 @@ fn torn_tail_is_truncated_and_survivors_recovered() {
     assert_eq!(global("nshot_store_dropped_records_total"), dropped_before + 1);
 
     // The torn bytes are gone from disk: the segment now ends exactly at
-    // the last whole record.
-    let expected = HEADER_LEN + frame_len("alpha".len() as u32, 64) + frame_len("beta".len() as u32, 64);
+    // the last whole record (encoded_len accounts for part compression).
+    let expected = HEADER_LEN
+        + encoded_len(b"alpha", &payload("alpha"))
+        + encoded_len(b"beta", &payload("beta"));
     assert_eq!(std::fs::metadata(&seg).expect("metadata").len(), expected);
 
     // The recovered store is fully writable again.
@@ -140,8 +143,8 @@ fn flipped_payload_byte_drops_only_that_record() {
     // length framing alone would never notice.
     let seg = only_segment(&dir);
     let mut bytes = std::fs::read(&seg).expect("read segment");
-    let offset =
-        (HEADER_LEN + frame_len(5, 64)) as usize + RECORD_HEADER_LEN + "beta".len() + 10;
+    let rec_alpha = encoded_len(b"alpha", &payload("alpha"));
+    let offset = (HEADER_LEN + rec_alpha) as usize + RECORD_HEADER_LEN + "beta".len() + 3;
     bytes[offset] ^= 0x40;
     std::fs::write(&seg, &bytes).expect("write corrupted segment");
 
@@ -245,6 +248,88 @@ fn all_three_faults_at_once_still_recover() {
         &["s1-b", "s3-a"],
         &["s1-a", "s2-a", "s3-b"],
     );
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The wire-format migration path: a store directory holding framing-v1
+/// segments with JSON-era payloads (value version 1) opened by a binary-era
+/// store (value version 2, legacy `[1]`). Reads must be byte-identical
+/// across versions, recovery counters exact, and compaction must rewrite
+/// every survivor in the binary v2 framing.
+#[test]
+fn mixed_legacy_and_binary_records_read_back_and_compact_to_binary() {
+    let _guard = lock();
+    let dir = temp_dir("migrate");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    // Fabricate what a pre-upgrade deployment leaves on disk: a framing-v1
+    // segment of raw (uncompressed) JSON records at payload version 1.
+    let json_a: &[u8] = br#"{"code":200,"status":"ok","blif":".names a b\n1 1\n"}"#;
+    let json_b: &[u8] = br#"{"code":200,"status":"ok","blif":".names c d\n0 1\n"}"#;
+    let mut seg1 = Vec::new();
+    seg1.extend_from_slice(&encode_header_v1(1));
+    seg1.extend_from_slice(&encode_record_v1(b"legacy-a", json_a, 1));
+    seg1.extend_from_slice(&encode_record_v1(b"legacy-b", json_b, 1));
+    std::fs::write(dir.join("seg-00000001.log"), &seg1).expect("write v1 segment");
+
+    let recovered_before = global("nshot_store_recovered_records_total");
+    let dropped_before = global("nshot_store_dropped_records_total");
+    let cfg = StoreConfig {
+        value_version: 2,
+        legacy_versions: vec![1],
+        max_records: 4, // half-cap 2: a handful of puts triggers rotation
+        ..config(&dir)
+    };
+    let mut store = Store::open(cfg.clone()).expect("mixed open");
+    assert_eq!(store.stats().recovered_records, 2);
+    assert_eq!(store.stats().dropped_records, 0);
+    assert_eq!(store.stats().stale_records, 0);
+    assert_eq!(global("nshot_store_recovered_records_total"), recovered_before + 2);
+    assert_eq!(global("nshot_store_dropped_records_total"), dropped_before);
+
+    // Binary-era writes land at version 2 alongside the legacy records…
+    store.put("binary-a", b"\x01\x02binary payload\x00").expect("put");
+    assert_eq!(store.version_of("binary-a"), Some(2));
+    // …and reads are byte-identical across versions.
+    assert_eq!(store.get("legacy-a").as_deref(), Some(json_a));
+    assert_eq!(
+        store.get("binary-a").as_deref(),
+        Some(&b"\x01\x02binary payload\x00"[..])
+    );
+    // get() promoted legacy-a out of the doomed generation, preserving its
+    // payload version (the store reframes, it cannot transcode payloads).
+    assert_eq!(store.stats().promotions, 1);
+    assert_eq!(store.version_of("legacy-a"), Some(1));
+
+    // Fill the current generation until rotation deletes the v1 segment.
+    store.put("binary-b", b"more binary").expect("put");
+    store.put("binary-c", b"even more").expect("put");
+    assert!(store.stats().compactions >= 1, "rotation must have happened");
+    assert!(store.contains("legacy-a"), "promoted survivor lives on");
+    assert!(!store.contains("legacy-b"), "unpromoted legacy record ages out");
+    assert_eq!(store.get("legacy-a").as_deref(), Some(json_a));
+    drop(store);
+
+    // After compaction every segment left on disk is framing-v2: the
+    // fabricated v1 file is gone, survivors were rewritten in binary.
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).expect("read dir") {
+        let path = entry.expect("entry").path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("").to_owned();
+        if !name.starts_with("seg-") {
+            continue;
+        }
+        let bytes = std::fs::read(&path).expect("read segment");
+        let format = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        assert_eq!(format, FORMAT_VERSION, "{name} must be framing v2 after compaction");
+        checked += 1;
+    }
+    assert!(checked > 0, "compaction left no segments to check");
+
+    // A reopen still serves the survivor byte-identically at its version.
+    let mut store = Store::open(cfg).expect("reopen");
+    assert_eq!(store.get("legacy-a").as_deref(), Some(json_a));
+    assert_eq!(store.version_of("legacy-a"), Some(1));
     drop(store);
     let _ = std::fs::remove_dir_all(&dir);
 }
